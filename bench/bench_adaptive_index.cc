@@ -1,0 +1,81 @@
+/// \file bench_adaptive_index.cc
+/// \brief Experiment E4: the §10 adaptive index policy.
+///
+/// "an index could be created for a relation after the cumulative cost of
+/// selection by scanning the relation reaches the cost of creating the
+/// index." We run q keyed selections against a relation under the three
+/// policies. Expected shape: scan wins for tiny q, always-index wins for
+/// large q, adaptive tracks the better of the two across the crossover.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/storage/relation.h"
+
+namespace gluenail {
+namespace {
+
+void BM_SelectionPolicies(benchmark::State& state) {
+  int queries = static_cast<int>(state.range(0));
+  IndexPolicy policy = static_cast<IndexPolicy>(state.range(1));
+  TermPool pool;
+  const int kRows = 20000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Relation rel("edge", 2);
+    rel.set_index_policy(policy);
+    for (int i = 0; i < kRows; ++i) {
+      rel.Insert(Tuple{pool.MakeInt(i % 512), pool.MakeInt(i)});
+    }
+    state.ResumeTiming();
+    std::vector<uint32_t> rows;
+    for (int q = 0; q < queries; ++q) {
+      rows.clear();
+      rel.Select(0b01, Tuple{pool.MakeInt(q % 512)}, &rows);
+      benchmark::DoNotOptimize(rows.size());
+    }
+    state.PauseTiming();
+    state.counters["indexes_built"] =
+        static_cast<double>(rel.counters().indexes_built);
+    state.counters["scan_rows"] =
+        static_cast<double>(rel.counters().scan_rows);
+    state.ResumeTiming();
+  }
+  const char* names[] = {"never_index", "always_index", "adaptive"};
+  state.SetLabel(StrCat(names[state.range(1)], "/q=", queries));
+}
+BENCHMARK(BM_SelectionPolicies)
+    ->ArgsProduct({{1, 4, 16, 64, 1024, 4096},
+                   {static_cast<int>(IndexPolicy::kNeverIndex),
+                    static_cast<int>(IndexPolicy::kAlwaysIndex),
+                    static_cast<int>(IndexPolicy::kAdaptive)}});
+
+/// The same effect end-to-end: a Glue join whose inner relation is
+/// repeatedly probed by key.
+void BM_JoinUnderPolicy(benchmark::State& state) {
+  IndexPolicy policy = static_cast<IndexPolicy>(state.range(0));
+  EngineOptions opts;
+  opts.index_policy = policy;
+  Engine engine(opts);
+  std::mt19937 rng(3);
+  std::uniform_int_distribution<int> v(0, 2000);
+  for (int i = 0; i < 2000; ++i) {
+    bench::Require(engine.AddFact(StrCat("probe(", v(rng), ").")));
+    bench::Require(engine.AddFact(StrCat("data(", v(rng), ",", i, ").")));
+  }
+  const std::string stmt = "out(X, Y) := probe(X) & data(X, Y).";
+  for (auto _ : state) {
+    bench::Require(engine.ExecuteStatement(stmt));
+  }
+  const char* names[] = {"never_index", "always_index", "adaptive"};
+  state.SetLabel(names[state.range(0)]);
+}
+BENCHMARK(BM_JoinUnderPolicy)
+    ->Arg(static_cast<int>(IndexPolicy::kNeverIndex))
+    ->Arg(static_cast<int>(IndexPolicy::kAlwaysIndex))
+    ->Arg(static_cast<int>(IndexPolicy::kAdaptive));
+
+}  // namespace
+}  // namespace gluenail
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+/// \file bench_compile.cc
+/// \brief Experiment E1: compiler throughput.
+///
+/// Paper §9: "The system compiles about two statements per Mips-second in
+/// compiled Sicstus Prolog on an IBM PC/RT." We measure statements/second
+/// for synthetic modules of N assignment statements (parse + link + plan,
+/// i.e. the whole front end). Absolute numbers are incomparable across 35
+/// years of hardware; the items of interest are the scale (orders of
+/// magnitude above 2/s) and near-linear scaling in N.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/analysis/resolver.h"
+#include "src/parser/parser.h"
+
+namespace gluenail {
+namespace {
+
+/// A module with n statements of mixed shapes inside one procedure.
+std::string SyntheticModule(int n) {
+  std::string src =
+      "module synth;\n"
+      "edb e0(A,B), e1(A,B), e2(A,B,C), log(A);\n"
+      "export main(:);\n"
+      "proc main(:)\n"
+      "rels t0(A,B), t1(A,B), t2(A);\n";
+  for (int i = 0; i < n; ++i) {
+    switch (i % 5) {
+      case 0:
+        src += StrCat("  t0(X,Y) += e0(X,W) & e1(W,Y) & X != Y.\n");
+        break;
+      case 1:
+        src += StrCat("  t1(X,M) := e2(X,Y,V) & group_by(X) & M = mean(V).\n");
+        break;
+      case 2:
+        src += StrCat("  t2(X) += t0(X,_) & !e1(X,", i, ").\n");
+        break;
+      case 3:
+        src += StrCat("  log(X) += t2(X) & --t2(X).\n");
+        break;
+      case 4:
+        src += StrCat("  t0(X,Y) -= t0(X,Y) & Y > ", i, ".\n");
+        break;
+    }
+  }
+  src += "  return(:) := true.\nend\nend\n";
+  return src;
+}
+
+void BM_CompileStatements(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::string src = SyntheticModule(n);
+  int64_t statements = 0;
+  for (auto _ : state) {
+    TermPool pool;
+    ast::Program parsed = bench::Require(ParseProgram(src));
+    std::vector<HostProcedure> hosts;
+    LinkedProgram linked =
+        bench::Require(LinkProgram(parsed, hosts, &pool, LinkOptions{}));
+    benchmark::DoNotOptimize(linked.program.procedures.size());
+    statements += n;
+  }
+  state.counters["statements_per_second"] = benchmark::Counter(
+      static_cast<double>(statements), benchmark::Counter::kIsRate);
+  state.counters["paper_ibm_pc_rt"] = 2.0;  // §9 reference point
+}
+BENCHMARK(BM_CompileStatements)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+/// Parse-only throughput, to separate front-end costs.
+void BM_ParseOnly(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::string src = SyntheticModule(n);
+  int64_t statements = 0;
+  for (auto _ : state) {
+    ast::Program parsed = bench::Require(ParseProgram(src));
+    benchmark::DoNotOptimize(parsed.modules.size());
+    statements += n;
+  }
+  state.counters["statements_per_second"] = benchmark::Counter(
+      static_cast<double>(statements), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParseOnly)->Arg(1024);
+
+/// NAIL! rule compilation (stratification + generated Glue procedures).
+void BM_CompileNailRules(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::string src = "module kb;\nedb e(X,Y);\n";
+  for (int i = 0; i < n; ++i) {
+    src += StrCat("p", i, "(X,Y) :- e(X,Y)", i > 0 ? StrCat(" & p", i - 1,
+                                                            "(Y,X)")
+                                                   : std::string(),
+                  ".\n");
+  }
+  src += "end\n";
+  int64_t rules = 0;
+  for (auto _ : state) {
+    TermPool pool;
+    ast::Program parsed = bench::Require(ParseProgram(src));
+    std::vector<HostProcedure> hosts;
+    LinkedProgram linked =
+        bench::Require(LinkProgram(parsed, hosts, &pool, LinkOptions{}));
+    benchmark::DoNotOptimize(linked.nail.preds.size());
+    rules += n;
+  }
+  state.counters["rules_per_second"] = benchmark::Counter(
+      static_cast<double>(rules), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CompileNailRules)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace gluenail
+
+BENCHMARK_MAIN();

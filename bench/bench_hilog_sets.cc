@@ -1,0 +1,91 @@
+/// \file bench_hilog_sets.cc
+/// \brief Experiment E6: HiLog set-name equality vs member-wise set_eq.
+///
+/// Paper §5.1: "if two set valued attributes contain the same predicate
+/// name, then the two sets are identical. Hence much of the time a simple
+/// string-string matching suffices" (here: one interned-term comparison).
+/// We sweep set cardinality m: name equality should be O(1) in m while
+/// member-wise comparison is O(m).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace gluenail {
+namespace {
+
+constexpr std::string_view kSetEqModule = R"(
+module sets;
+export set_eq(S,T:);
+proc set_eq( S, T: )
+rels different(S,T);
+  different(S,T):= in(S,T) & S(X) & !T(X).
+  different(S,T)+= in(S,T) & T(X) & !S(X).
+  return(S,T:):= !different(S,T).
+end
+end
+)";
+
+std::unique_ptr<Engine> SetsEngine(int members) {
+  auto engine = std::make_unique<Engine>();
+  bench::Require(engine->LoadProgram(kSetEqModule));
+  // Two identical-membership sets under different names, plus the holder
+  // relation pairing names for the name-equality query.
+  for (int i = 0; i < members; ++i) {
+    bench::Require(engine->AddFact(StrCat("squad_a(", i, ").")));
+    bench::Require(engine->AddFact(StrCat("squad_b(", i, ").")));
+  }
+  bench::Require(engine->AddFact("team(one, squad_a)."));
+  bench::Require(engine->AddFact("team(two, squad_a)."));
+  bench::Require(engine->AddFact("team(three, squad_b)."));
+  return engine;
+}
+
+/// Name equality: a single term comparison per candidate pair (§5.1).
+void BM_SetNameEquality(benchmark::State& state) {
+  std::unique_ptr<Engine> engine =
+      SetsEngine(static_cast<int>(state.range(0)));
+  const std::string stmt =
+      "same(X, Y) := team(X, S1) & team(Y, S2) & S1 = S2 & X != Y.";
+  for (auto _ : state) {
+    bench::Require(engine->ExecuteStatement(stmt));
+  }
+  state.SetLabel(StrCat("members=", state.range(0)));
+}
+BENCHMARK(BM_SetNameEquality)->Arg(16)->Arg(256)->Arg(1024)->Arg(4096);
+
+/// Member-wise equality through the paper's set_eq procedure.
+void BM_SetMemberEquality(benchmark::State& state) {
+  std::unique_ptr<Engine> engine =
+      SetsEngine(static_cast<int>(state.range(0)));
+  TermPool* pool = engine->pool();
+  std::vector<Tuple> input{
+      {pool->MakeSymbol("squad_a"), pool->MakeSymbol("squad_b")}};
+  for (auto _ : state) {
+    auto rows = engine->Call("set_eq", input);
+    bench::Require(rows.status());
+    benchmark::DoNotOptimize(rows->size());
+  }
+  state.SetLabel(StrCat("members=", state.range(0)));
+}
+BENCHMARK(BM_SetMemberEquality)->Arg(16)->Arg(256)->Arg(1024)->Arg(4096);
+
+/// HiLog dereference cost: iterating a set through its name (T(X)) vs
+/// reading the relation directly — the §8.2 lookup-cost question, on the
+/// matching side (Glue-Nail matches, CORAL unifies).
+void BM_SetDereference(benchmark::State& state) {
+  std::unique_ptr<Engine> engine =
+      SetsEngine(static_cast<int>(state.range(0)));
+  const std::string stmt =
+      "members(X) := team(one, S) & S(X).";
+  for (auto _ : state) {
+    bench::Require(engine->ExecuteStatement(stmt));
+  }
+  state.SetLabel(StrCat("members=", state.range(0)));
+}
+BENCHMARK(BM_SetDereference)->Arg(16)->Arg(1024)->Arg(4096);
+
+}  // namespace
+}  // namespace gluenail
+
+BENCHMARK_MAIN();

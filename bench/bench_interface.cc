@@ -1,0 +1,84 @@
+/// \file bench_interface.cc
+/// \brief Experiment E9: the no-impedance-mismatch claim (§1, §2, §11).
+///
+/// "a subgoal in Glue or NAIL! can reference an EDB relation, a NAIL!
+/// predicate, or a Glue procedure, and the syntax and semantics are
+/// identical in all three cases." We phrase the same lookup three ways and
+/// measure the interface overhead of each: EDB match (baseline), NAIL!
+/// predicate (adds memoized derivation), Glue procedure (adds the §4
+/// call-once protocol). The semantics are identical; only constant
+/// overheads should differ.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace gluenail {
+namespace {
+
+constexpr std::string_view kProgram = R"(
+module m;
+edb pairs(X,Y), probe(X);
+export go_edb(:), go_nail(:), go_proc(:);
+
+% The same mapping as a NAIL! view ...
+mapped(X,Y) :- pairs(X,Y).
+
+% ... and as a Glue procedure.
+proc lookup(X:Y)
+  return(X:Y) := pairs(X,Y).
+end
+
+proc go_edb(:)
+rels out(X,Y);
+  out(X,Y) := probe(X) & pairs(X,Y).
+  return(:) := true.
+end
+proc go_nail(:)
+rels out(X,Y);
+  out(X,Y) := probe(X) & mapped(X,Y).
+  return(:) := true.
+end
+proc go_proc(:)
+rels out(X,Y);
+  out(X,Y) := probe(X) & lookup(X,Y).
+  return(:) := true.
+end
+end
+)";
+
+std::unique_ptr<Engine> InterfaceEngine(int rows) {
+  auto engine = std::make_unique<Engine>();
+  bench::Require(engine->LoadProgram(kProgram));
+  std::mt19937 rng(13);
+  std::uniform_int_distribution<int> v(0, rows - 1);
+  for (int i = 0; i < rows; ++i) {
+    bench::Require(engine->AddFact(StrCat("pairs(", i, ",", v(rng), ").")));
+    if (i % 8 == 0) {
+      bench::Require(engine->AddFact(StrCat("probe(", i, ").")));
+    }
+  }
+  return engine;
+}
+
+void BM_SubgoalInterface(benchmark::State& state) {
+  const char* procs[] = {"go_edb", "go_nail", "go_proc"};
+  const char* proc = procs[state.range(0)];
+  std::unique_ptr<Engine> engine =
+      InterfaceEngine(static_cast<int>(state.range(1)));
+  // Warm the NAIL! memo so the steady-state interface cost is measured.
+  bench::Require(engine->Call("go_nail", {{}}).status());
+  for (auto _ : state) {
+    auto r = engine->Call(proc, {{}});
+    bench::Require(r.status());
+    benchmark::DoNotOptimize(r->size());
+  }
+  state.SetLabel(StrCat(proc, "/rows=", state.range(1)));
+}
+BENCHMARK(BM_SubgoalInterface)
+    ->ArgsProduct({{0, 1, 2}, {1000, 8000}});
+
+}  // namespace
+}  // namespace gluenail
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+/// \file bench_magic.cc
+/// \brief Experiment E7: magic sets for bound queries.
+///
+/// Paper §8.2 raises the question whether magic-style goal-directed
+/// evaluation justifies its costs. For a bound-first-argument reachability
+/// query over a graph with many components, magic should restrict
+/// derivation to the queried component; full evaluation derives every
+/// pair.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/nail/magic.h"
+#include "src/parser/parser.h"
+
+namespace gluenail {
+namespace {
+
+std::vector<ast::NailRule> TcRules() {
+  std::vector<ast::NailRule> rules;
+  rules.push_back(bench::Require(ParseRule("path(X,Y) :- edge(X,Y).")));
+  rules.push_back(
+      bench::Require(ParseRule("path(X,Z) :- edge(X,Y) & path(Y,Z).")));
+  return rules;
+}
+
+/// k disjoint chains of length len; the query binds a node in one chain.
+void FillChains(Database* db, TermPool* pool, int chains, int len) {
+  Relation* e = db->GetOrCreate(pool->MakeSymbol("edge"), 2);
+  for (int c = 0; c < chains; ++c) {
+    int base = c * (len + 10);
+    for (int i = 0; i < len; ++i) {
+      e->Insert(Tuple{pool->MakeInt(base + i), pool->MakeInt(base + i + 1)});
+    }
+  }
+}
+
+void BM_BoundQuery(benchmark::State& state) {
+  bool magic = state.range(0) != 0;
+  int chains = static_cast<int>(state.range(1));
+  const int kLen = 60;
+  TermPool pool;
+  Database db(&pool);
+  FillChains(&db, &pool, chains, kLen);
+  std::vector<ast::NailRule> rules = TcRules();
+  MagicQuery q;
+  q.pred = "path";
+  q.columns = {pool.MakeInt(5), std::nullopt};  // a node in chain 0
+  size_t answers = 0;
+  for (auto _ : state) {
+    auto rows = magic ? EvaluateWithMagic(rules, q, &db, &pool)
+                      : EvaluateWithoutMagic(rules, q, &db, &pool);
+    bench::Require(rows.status());
+    answers = rows->size();
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+  state.SetLabel(StrCat(magic ? "magic" : "full", "/chains=", chains));
+}
+BENCHMARK(BM_BoundQuery)->ArgsProduct({{0, 1}, {1, 4, 16, 64}});
+
+/// The flip side (§8.2's caution): an all-free query, where magic adds
+/// pure overhead (the magic predicate covers everything anyway).
+void BM_FreeQuery(benchmark::State& state) {
+  bool magic = state.range(0) != 0;
+  TermPool pool;
+  Database db(&pool);
+  FillChains(&db, &pool, /*chains=*/4, /*len=*/60);
+  std::vector<ast::NailRule> rules = TcRules();
+  MagicQuery q;
+  q.pred = "path";
+  q.columns = {std::nullopt, std::nullopt};
+  for (auto _ : state) {
+    auto rows = magic ? EvaluateWithMagic(rules, q, &db, &pool)
+                      : EvaluateWithoutMagic(rules, q, &db, &pool);
+    bench::Require(rows.status());
+    benchmark::DoNotOptimize(rows->size());
+  }
+  state.SetLabel(magic ? "magic" : "full");
+}
+BENCHMARK(BM_FreeQuery)->Arg(0)->Arg(1);
+
+/// Same-generation with a bound query: the classic magic showcase.
+void BM_SameGenerationBound(benchmark::State& state) {
+  bool magic = state.range(0) != 0;
+  int depth = static_cast<int>(state.range(1));
+  TermPool pool;
+  Database db(&pool);
+  Relation* up = db.GetOrCreate(pool.MakeSymbol("up"), 2);
+  Relation* down = db.GetOrCreate(pool.MakeSymbol("down"), 2);
+  Relation* flat = db.GetOrCreate(pool.MakeSymbol("flat"), 2);
+  // A balanced binary "same generation" structure.
+  int next = 1;
+  std::vector<int> level{0};
+  for (int d = 0; d < depth; ++d) {
+    std::vector<int> parents;
+    for (int node : level) {
+      int a = next++, b = next++;
+      up->Insert(Tuple{pool.MakeInt(node), pool.MakeInt(a)});
+      up->Insert(Tuple{pool.MakeInt(node), pool.MakeInt(b)});
+      down->Insert(Tuple{pool.MakeInt(a), pool.MakeInt(node)});
+      down->Insert(Tuple{pool.MakeInt(b), pool.MakeInt(node)});
+      parents.push_back(a);
+      parents.push_back(b);
+    }
+    level = std::move(parents);
+  }
+  for (size_t i = 0; i + 1 < level.size(); i += 2) {
+    flat->Insert(Tuple{pool.MakeInt(level[i]), pool.MakeInt(level[i + 1])});
+  }
+  std::vector<ast::NailRule> rules;
+  rules.push_back(bench::Require(ParseRule("sg(X,Y) :- flat(X,Y).")));
+  rules.push_back(bench::Require(
+      ParseRule("sg(X,Y) :- up(X,U) & sg(U,V) & down(V,Y).")));
+  MagicQuery q;
+  q.pred = "sg";
+  q.columns = {pool.MakeInt(0), std::nullopt};
+  for (auto _ : state) {
+    auto rows = magic ? EvaluateWithMagic(rules, q, &db, &pool)
+                      : EvaluateWithoutMagic(rules, q, &db, &pool);
+    bench::Require(rows.status());
+    benchmark::DoNotOptimize(rows->size());
+  }
+  state.SetLabel(StrCat(magic ? "magic" : "full", "/depth=", depth));
+}
+BENCHMARK(BM_SameGenerationBound)->ArgsProduct({{0, 1}, {4, 6, 8}});
+
+}  // namespace
+}  // namespace gluenail
+
+BENCHMARK_MAIN();

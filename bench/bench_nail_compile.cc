@@ -1,0 +1,85 @@
+/// \file bench_nail_compile.cc
+/// \brief Experiment E10: the NAIL!-to-Glue architecture (§1, §11).
+///
+/// "NAIL! code is compiled into Glue code, simplifying the system design."
+/// The generated-Glue evaluator pays the generality of the full Glue
+/// pipeline (repeat/until, unchanged bookkeeping, statement dispatch); the
+/// direct evaluator drives the identical plans from C++. Measuring both
+/// across a program suite quantifies the architecture's overhead —
+/// expected small and roughly constant-factor, which is what made the
+/// paper's single-optimizer design viable.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace gluenail {
+namespace {
+
+struct Program {
+  const char* name;
+  std::string source;
+};
+
+std::vector<Program> Suite() {
+  std::vector<Program> out;
+  out.push_back({"tc_chain", bench::TcModule(bench::ChainFacts(256))});
+  out.push_back({"tc_grid", bench::TcModule(bench::GridFacts(12))});
+  {
+    // Mutual recursion (even/odd over a long successor chain).
+    std::string src =
+        "module kb;\nedb succ(X,Y), start(X);\n"
+        "even(X) :- start(X).\n"
+        "even(Y) :- odd(X) & succ(X,Y).\n"
+        "odd(Y) :- even(X) & succ(X,Y).\n"
+        "start(0).\n";
+    for (int i = 0; i < 600; ++i) {
+      src += StrCat("succ(", i, ",", i + 1, ").\n");
+    }
+    src += "end\n";
+    out.push_back({"mutual_evenodd", std::move(src)});
+  }
+  {
+    // Stratified negation over recursion.
+    std::string src =
+        "module kb;\nedb edge(X,Y), node(X), root(X);\n"
+        "reach(X) :- root(X).\n"
+        "reach(Y) :- reach(X) & edge(X,Y).\n"
+        "unreachable(X) :- node(X) & !reach(X).\n"
+        "root(0).\n";
+    src += bench::RandomGraphFacts(300, 500);
+    for (int i = 0; i < 300; ++i) src += StrCat("node(", i, ").\n");
+    src += "end\n";
+    out.push_back({"strat_negation", std::move(src)});
+  }
+  return out;
+}
+
+void BM_NailEvaluationMode(benchmark::State& state) {
+  static const std::vector<Program> suite = Suite();
+  const Program& prog = suite[static_cast<size_t>(state.range(0))];
+  NailMode mode = static_cast<NailMode>(state.range(1));
+  EngineOptions opts;
+  opts.nail_mode = mode;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine(opts);
+    bench::Require(engine.LoadProgram(prog.source));
+    state.ResumeTiming();
+    // Force one full evaluation.
+    bench::Require(engine.nail_engine()->EnsureAllNail());
+    benchmark::DoNotOptimize(engine.idb()->num_relations());
+  }
+  state.SetLabel(StrCat(prog.name, "/",
+                        mode == NailMode::kDirect ? "direct"
+                                                  : "compiled_glue"));
+}
+BENCHMARK(BM_NailEvaluationMode)
+    ->ArgsProduct({{0, 1, 2, 3},
+                   {static_cast<int>(NailMode::kDirect),
+                    static_cast<int>(NailMode::kCompiledGlue)}});
+
+}  // namespace
+}  // namespace gluenail
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+/// \file bench_pipeline.cc
+/// \brief Experiment E3: pipeline breaks.
+///
+/// Paper §9: "Breaking the pipeline and materializing the supplementary
+/// relation incurs some computational overhead ... and costs an extra load
+/// and store for each tuple." We compare the pipelined executor against
+/// the fully materialized one (a break after *every* subgoal) on chain
+/// joins, and sweep the number of forced breaks by inserting fixed
+/// subgoals (calls to an identity procedure) into the chain.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace gluenail {
+namespace {
+
+std::unique_ptr<Engine> ChainJoinEngine(ExecOptions::Strategy strategy,
+                                        int rows) {
+  EngineOptions opts;
+  opts.exec.strategy = strategy;
+  auto engine = std::make_unique<Engine>(opts);
+  bench::Require(engine->LoadProgram(R"(
+module m;
+export ident(X:Y);
+proc ident(X:Y)
+  return(X:Y) := in(X) & Y = X.
+end
+end
+)"));
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> v(0, rows / 4);
+  for (int i = 0; i < rows; ++i) {
+    bench::Require(engine->AddFact(StrCat("r1(", v(rng), ",", v(rng), ").")));
+    bench::Require(engine->AddFact(StrCat("r2(", v(rng), ",", v(rng), ").")));
+    bench::Require(engine->AddFact(StrCat("r3(", v(rng), ",", v(rng), ").")));
+    bench::Require(engine->AddFact(StrCat("r4(", v(rng), ",", v(rng), ").")));
+  }
+  return engine;
+}
+
+/// Four-way chain join, no fixed subgoals: pipelined vs materialized.
+void BM_ChainJoinStrategy(benchmark::State& state) {
+  bool materialized = state.range(0) != 0;
+  std::unique_ptr<Engine> engine = ChainJoinEngine(
+      materialized ? ExecOptions::Strategy::kMaterialized
+                   : ExecOptions::Strategy::kPipelined,
+      static_cast<int>(state.range(1)));
+  const std::string stmt =
+      "out(A, E) := r1(A, B) & r2(B, C) & r3(C, D) & r4(D, E).";
+  for (auto _ : state) {
+    bench::Require(engine->ExecuteStatement(stmt));
+  }
+  state.counters["pipeline_breaks"] =
+      static_cast<double>(engine->exec_stats().pipeline_breaks);
+  state.SetLabel(materialized ? "materialized" : "pipelined");
+}
+BENCHMARK(BM_ChainJoinStrategy)
+    ->ArgsProduct({{0, 1}, {1000, 4000}});
+
+/// Forced breaks: 0..4 identity-procedure calls inserted into the chain.
+/// Each call is a barrier (§4: call once on all bindings), so the
+/// pipelined executor must materialize at each one.
+void BM_ForcedBreaks(benchmark::State& state) {
+  int breaks = static_cast<int>(state.range(0));
+  std::unique_ptr<Engine> engine =
+      ChainJoinEngine(ExecOptions::Strategy::kPipelined, 2000);
+  std::string stmt = "out(A, E) := r1(A, B)";
+  const char* joins[] = {" & r2(B, C)", " & r3(C, D)", " & r4(D, E)"};
+  const char* vars[] = {"B", "C", "D", "E"};
+  int j = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (j < breaks) {
+      stmt += StrCat(" & ident(", vars[i], ", _)");
+      ++j;
+    }
+    stmt += joins[i];
+  }
+  while (j < breaks) {
+    stmt += StrCat(" & ident(E, _)");
+    ++j;
+  }
+  stmt += ".";
+  for (auto _ : state) {
+    bench::Require(engine->ExecuteStatement(stmt));
+  }
+  state.counters["breaks_per_stmt"] = breaks;
+}
+BENCHMARK(BM_ForcedBreaks)->DenseRange(0, 4);
+
+}  // namespace
+}  // namespace gluenail
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+/// \file bench_reorder.cc
+/// \brief Experiment E8: compile-time subgoal reordering and binding
+/// analysis (§2, §3.1).
+///
+/// A deliberately mis-ordered body: the selective filter and the keyed
+/// lookup appear last. With reordering on, the optimizer runs the filter
+/// first and turns the matches into keyed selections; with it off, the
+/// statement builds a huge intermediate cross-product.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace gluenail {
+namespace {
+
+std::unique_ptr<Engine> WorkloadEngine(bool reorder, int rows) {
+  EngineOptions opts;
+  opts.planner.reorder = reorder;
+  auto engine = std::make_unique<Engine>(opts);
+  std::mt19937 rng(11);
+  std::uniform_int_distribution<int> v(0, rows - 1);
+  for (int i = 0; i < rows; ++i) {
+    bench::Require(engine->AddFact(StrCat("big(", i, ",", v(rng), ").")));
+    bench::Require(engine->AddFact(StrCat("lookup(", i, ",", v(rng), ").")));
+  }
+  bench::Require(engine->AddFact("selective(17)."));
+  return engine;
+}
+
+/// Written order: big x lookup first, selective seed last.
+void BM_MisorderedBody(benchmark::State& state) {
+  bool reorder = state.range(0) != 0;
+  int rows = static_cast<int>(state.range(1));
+  std::unique_ptr<Engine> engine = WorkloadEngine(reorder, rows);
+  const std::string stmt =
+      "out(Y) := big(S, X) & lookup(X, Y) & selective(S).";
+  for (auto _ : state) {
+    bench::Require(engine->ExecuteStatement(stmt));
+  }
+  state.SetLabel(StrCat(reorder ? "reordered" : "as_written",
+                        "/rows=", rows));
+}
+BENCHMARK(BM_MisorderedBody)->ArgsProduct({{0, 1}, {500, 2000, 8000}});
+
+/// Filters written after the joins they could have pruned.
+void BM_LateFilter(benchmark::State& state) {
+  bool reorder = state.range(0) != 0;
+  std::unique_ptr<Engine> engine = WorkloadEngine(reorder, 2000);
+  const std::string stmt =
+      "out(A, B) := big(A, X) & lookup(B, Y) & A = 17 & B = 17.";
+  for (auto _ : state) {
+    bench::Require(engine->ExecuteStatement(stmt));
+  }
+  state.SetLabel(reorder ? "reordered" : "as_written");
+}
+BENCHMARK(BM_LateFilter)->Arg(0)->Arg(1);
+
+/// Already-optimal order: reordering must not hurt.
+void BM_WellOrderedBody(benchmark::State& state) {
+  bool reorder = state.range(0) != 0;
+  std::unique_ptr<Engine> engine = WorkloadEngine(reorder, 4000);
+  const std::string stmt =
+      "out(Y) := selective(S) & big(S, X) & lookup(X, Y).";
+  for (auto _ : state) {
+    bench::Require(engine->ExecuteStatement(stmt));
+  }
+  state.SetLabel(reorder ? "reordered" : "as_written");
+}
+BENCHMARK(BM_WellOrderedBody)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace gluenail
+
+BENCHMARK_MAIN();

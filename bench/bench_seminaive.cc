@@ -1,0 +1,92 @@
+/// \file bench_seminaive.cc
+/// \brief Experiment E5: semi-naive evaluation over uniondiff vs naive.
+///
+/// Paper §10: the back end "will implement a 'uniondiff' operator in order
+/// to support compiled recursive NAIL! queries." Semi-naive evaluation
+/// with per-iteration deltas (what uniondiff enables) against the naive
+/// re-derive-everything baseline, on chains, grids, and random graphs.
+/// Expected shape: semi-naive wins by a factor that grows with the
+/// fixpoint depth; naive's per-iteration cost grows with the accumulated
+/// relation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace gluenail {
+namespace {
+
+void RunTc(NailMode mode, const std::string& facts,
+           benchmark::State& state) {
+  EngineOptions opts;
+  opts.nail_mode = mode;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine(opts);
+    bench::Require(engine.LoadProgram(bench::TcModule(facts)));
+    state.ResumeTiming();
+    auto rows = engine.Query("path(0, Y)");
+    bench::Require(rows.status());
+    benchmark::DoNotOptimize(rows->rows.size());
+    state.PauseTiming();
+    if (engine.nail_engine() != nullptr) {
+      state.counters["iterations"] = static_cast<double>(
+          engine.nail_engine()->iteration_count());
+    }
+    state.ResumeTiming();
+  }
+}
+
+const char* ModeName(int m) {
+  switch (static_cast<NailMode>(m)) {
+    case NailMode::kDirect:
+      return "seminaive_direct";
+    case NailMode::kCompiledGlue:
+      return "seminaive_compiled_glue";
+    case NailMode::kNaive:
+      return "naive";
+  }
+  return "?";
+}
+
+void BM_TcChain(benchmark::State& state) {
+  NailMode mode = static_cast<NailMode>(state.range(1));
+  std::string facts = bench::ChainFacts(static_cast<int>(state.range(0)));
+  RunTc(mode, facts, state);
+  state.SetLabel(StrCat(ModeName(state.range(1)), "/n=", state.range(0)));
+}
+BENCHMARK(BM_TcChain)->ArgsProduct(
+    {{64, 128, 256, 512},
+     {static_cast<int>(NailMode::kDirect),
+      static_cast<int>(NailMode::kCompiledGlue),
+      static_cast<int>(NailMode::kNaive)}});
+
+void BM_TcGrid(benchmark::State& state) {
+  NailMode mode = static_cast<NailMode>(state.range(1));
+  std::string facts = bench::GridFacts(static_cast<int>(state.range(0)));
+  RunTc(mode, facts, state);
+  state.SetLabel(StrCat(ModeName(state.range(1)), "/w=", state.range(0)));
+}
+BENCHMARK(BM_TcGrid)->ArgsProduct(
+    {{8, 12, 16},
+     {static_cast<int>(NailMode::kDirect),
+      static_cast<int>(NailMode::kCompiledGlue),
+      static_cast<int>(NailMode::kNaive)}});
+
+void BM_TcRandomGraph(benchmark::State& state) {
+  NailMode mode = static_cast<NailMode>(state.range(1));
+  int n = static_cast<int>(state.range(0));
+  std::string facts = bench::RandomGraphFacts(n, 2 * n);
+  RunTc(mode, facts, state);
+  state.SetLabel(StrCat(ModeName(state.range(1)), "/n=", state.range(0)));
+}
+BENCHMARK(BM_TcRandomGraph)->ArgsProduct(
+    {{128, 512},
+     {static_cast<int>(NailMode::kDirect),
+      static_cast<int>(NailMode::kCompiledGlue),
+      static_cast<int>(NailMode::kNaive)}});
+
+}  // namespace
+}  // namespace gluenail
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+/// \file bench_uniondiff.cc
+/// \brief Experiment E5b (ablation): what the dedicated uniondiff
+/// operator buys.
+///
+/// §10 argues the back end should implement `uniondiff` natively. The
+/// alternative is expressing the delta in the language. Three ways to
+/// compute the same transitive closure:
+///   1. NAIL! semi-naive — the engine's native uniondiff (delta capture
+///      on insertion);
+///   2. a hand-written Glue loop emulating the diff with negation:
+///      newdelta := cand & !full;
+///   3. the paper's §4 tc_e style: no deltas at all, re-join the full
+///      relation each pass, terminate on unchanged().
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace gluenail {
+namespace {
+
+constexpr std::string_view kGlueVariants = R"(
+module m;
+edb edge(X,Y), out(X,Y);
+export tc_negdiff(:), tc_unchanged(:);
+
+% Semi-naive with the diff expressed through negation.
+proc tc_negdiff(:)
+rels full(X,Y), delta(X,Y), newdelta(X,Y), cand(X,Y);
+  full(X,Y) := edge(X,Y).
+  delta(X,Y) := edge(X,Y).
+  repeat
+    cand(X,Z) := delta(X,Y) & edge(Y,Z).
+    newdelta(X,Z) := cand(X,Z) & !full(X,Z).
+    full(X,Z) += newdelta(X,Z).
+    delta(X,Y) := newdelta(X,Y).
+  until empty(newdelta(_,_));
+  out(X,Y) := full(X,Y).
+  return(:) := true.
+end
+
+% No deltas: the paper's §4 loop, re-deriving from full each pass.
+proc tc_unchanged(:)
+rels full(X,Y);
+  full(X,Y) := edge(X,Y).
+  repeat
+    full(X,Z) += full(X,Y) & edge(Y,Z).
+  until unchanged(full(_,_));
+  out(X,Y) := full(X,Y).
+  return(:) := true.
+end
+end
+)";
+
+void BM_TcVariant(benchmark::State& state) {
+  int variant = static_cast<int>(state.range(0));
+  int n = static_cast<int>(state.range(1));
+  std::string facts = bench::ChainFacts(n);
+  EngineOptions opts;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine(opts);
+    if (variant == 0) {
+      bench::Require(engine.LoadProgram(bench::TcModule(facts)));
+    } else {
+      bench::Require(engine.LoadProgram(
+          StrCat(kGlueVariants, "\nmodule facts;\nedb edge(X,Y);\n", facts,
+                 "end\n")));
+    }
+    state.ResumeTiming();
+    switch (variant) {
+      case 0: {
+        auto r = engine.Query("path(0, Y)");
+        bench::Require(r.status());
+        benchmark::DoNotOptimize(r->rows.size());
+        break;
+      }
+      case 1:
+        bench::Require(engine.Call("tc_negdiff", {{}}).status());
+        break;
+      case 2:
+        bench::Require(engine.Call("tc_unchanged", {{}}).status());
+        break;
+    }
+  }
+  const char* names[] = {"native_uniondiff", "glue_negation_diff",
+                         "glue_unchanged_nodelta"};
+  state.SetLabel(StrCat(names[variant], "/n=", n));
+}
+BENCHMARK(BM_TcVariant)->ArgsProduct({{0, 1, 2}, {64, 128, 256}});
+
+}  // namespace
+}  // namespace gluenail
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+/// \file bench_util.h
+/// \brief Shared workload builders for the experiment benchmarks
+/// (DESIGN.md §2 maps each bench binary to a paper claim).
+
+#ifndef GLUENAIL_BENCH_BENCH_UTIL_H_
+#define GLUENAIL_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <random>
+#include <string>
+
+#include "src/api/engine.h"
+
+namespace gluenail {
+namespace bench {
+
+inline void Require(const Status& s) {
+  if (!s.ok()) {
+    fprintf(stderr, "bench setup failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+inline T Require(Result<T> r) {
+  Require(r.status());
+  return std::move(*r);
+}
+
+/// The transitive-closure program used across E5/E7/E10.
+inline constexpr std::string_view kTcRules =
+    "path(X,Y) :- edge(X,Y).\n"
+    "path(X,Z) :- path(X,Y) & edge(Y,Z).\n";
+
+inline std::string TcModule(std::string_view facts) {
+  return StrCat("module kb;\nedb edge(X,Y);\n", kTcRules, facts, "end\n");
+}
+
+/// edge facts for a simple chain 0 -> 1 -> ... -> n.
+inline std::string ChainFacts(int n) {
+  std::string out;
+  for (int i = 0; i < n; ++i) out += StrCat("edge(", i, ",", i + 1, ").\n");
+  return out;
+}
+
+/// edge facts for a w x w grid (right and down edges).
+inline std::string GridFacts(int w) {
+  std::string out;
+  auto id = [w](int x, int y) { return x * w + y; };
+  for (int x = 0; x < w; ++x) {
+    for (int y = 0; y < w; ++y) {
+      if (x + 1 < w) out += StrCat("edge(", id(x, y), ",", id(x + 1, y), ").\n");
+      if (y + 1 < w) out += StrCat("edge(", id(x, y), ",", id(x, y + 1), ").\n");
+    }
+  }
+  return out;
+}
+
+/// edge facts for a random graph with n nodes and m edges.
+inline std::string RandomGraphFacts(int n, int m, uint32_t seed = 1991) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> node(0, n - 1);
+  std::string out;
+  for (int i = 0; i < m; ++i) {
+    out += StrCat("edge(", node(rng), ",", node(rng), ").\n");
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace gluenail
+
+#endif  // GLUENAIL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,164 @@
+/// \file cad_select.cc
+/// \brief The paper's Figure 1: interactive element selection in a
+/// micro-CAD system.
+///
+/// The `windows` and `graphics` modules the paper imports are foreign
+/// code; here they are host procedures (the §10 foreign-language
+/// interface) over a scripted session, so the example runs unattended:
+///
+///   $ ./cad_select
+///
+/// The user "clicks" near a cluster of elements, rejects the nearest
+/// candidate, and accepts the second — watch the highlight/dehighlight
+/// traffic and the prompt.
+
+#include <deque>
+#include <iostream>
+
+#include "src/api/engine.h"
+
+namespace {
+
+constexpr std::string_view kCadProgram = R"(
+module cad;
+export select(:Key);
+from windows import event( :Type, Data );
+from graphics import highlight( Key: ), dehighlight( Key: );
+edb element(Key, P1, DS),
+    tolerance(T),
+    click(X, Y);
+
+% select: find all elements within tolerance of the mouse point, then
+% offer them to the user one at a time in increasing distance order
+% (Figure 1 of the paper).
+proc select( :Key )
+rels
+  possible(Key, D), try(Key), confirmed(Key);
+  click(X,Y) := event( mouse, p(X,Y) ).
+  possible( Key, D ):= graphic_search( Key, D ).
+  repeat
+    try(Key):=
+      possible( Key, D ) &
+      D = min(D) &
+      It = arbitrary(Key) &
+      Key = It &
+      --possible( It, D ).
+    confirmed(K):=
+      try(K) &
+      highlight(K) &
+      write( 'This one? ' ) &
+      event( keyboard, KeyBuffer ) &
+      dehighlight( K ) &
+      KeyBuffer = 'y'.
+  until {confirmed(K) | empty(possible(K,D)) };
+  return(:Key):= confirmed( Key ).
+end
+
+% The declarative half: a NAIL! rule computing distances.
+graphic_search( Key, Dist ):-
+  click(X,Y) &
+  element( Key, p(Xmin, Ymin), _ ) &
+  tolerance(T) &
+  (X-Xmin)*(X-Xmin) + (Y-Ymin)*(Y-Ymin) < T &
+  Dist = (X-Xmin)*(X-Xmin) + (Y-Ymin)*(Y-Ymin).
+
+% The drawing.
+element(inner_wall,  p(12,10), solid).
+element(outer_wall,  p(14,14), solid).
+element(door_arc,    p(11,11), dashed).
+element(window_far,  p(90,80), solid).
+tolerance(40).
+end
+)";
+
+struct ScriptedSession {
+  struct Event {
+    std::string type;
+    int64_t x = 0, y = 0;
+    std::string key;
+  };
+  std::deque<Event> events;
+
+  void Register(gluenail::Engine* engine) {
+    using gluenail::HostProcedure;
+    using gluenail::Relation;
+    using gluenail::Status;
+    using gluenail::TermPool;
+    using gluenail::Tuple;
+
+    HostProcedure event{"event", 0, 2, true, nullptr};
+    event.fn = [this](TermPool* pool, const Relation& input,
+                      Relation* output) -> Status {
+      if (input.empty()) return Status::OK();
+      if (events.empty()) {
+        return Status::RuntimeError("scripted session ran out of events");
+      }
+      Event e = events.front();
+      events.pop_front();
+      gluenail::TermId data;
+      if (e.type == "mouse") {
+        std::cout << "[windows]  mouse click at (" << e.x << "," << e.y
+                  << ")\n";
+        std::vector<gluenail::TermId> xy{pool->MakeInt(e.x),
+                                         pool->MakeInt(e.y)};
+        data = pool->MakeCompound("p", xy);
+      } else {
+        std::cout << "[user]     types '" << e.key << "'\n";
+        data = pool->MakeSymbol(e.key);
+      }
+      output->Insert(Tuple{pool->MakeSymbol(e.type), data});
+      return Status::OK();
+    };
+    if (!engine->RegisterHostProcedure(std::move(event)).ok()) std::abort();
+
+    auto tracer = [](const char* verb) {
+      return [verb](TermPool* pool, const Relation& input,
+                    Relation* output) -> Status {
+        for (const Tuple& t : input) {
+          std::cout << "[graphics] " << verb << " "
+                    << pool->ToString(t[0]) << "\n";
+          output->Insert(t);
+        }
+        return Status::OK();
+      };
+    };
+    HostProcedure hi{"highlight", 1, 0, true, tracer("highlight")};
+    HostProcedure lo{"dehighlight", 1, 0, true, tracer("dehighlight")};
+    if (!engine->RegisterHostProcedure(std::move(hi)).ok()) std::abort();
+    if (!engine->RegisterHostProcedure(std::move(lo)).ok()) std::abort();
+  }
+};
+
+}  // namespace
+
+int main() {
+  gluenail::Engine engine;
+  ScriptedSession session;
+  // The script: click near the wall cluster, reject the nearest element
+  // (door_arc at distance 2), accept the next (inner_wall at distance 4).
+  session.events.push_back({"mouse", 10, 10, ""});
+  session.events.push_back({"keyboard", 0, 0, "n"});
+  session.events.push_back({"keyboard", 0, 0, "y"});
+  session.Register(&engine);
+
+  gluenail::Status s = engine.LoadProgram(kCadProgram);
+  if (!s.ok()) {
+    std::cerr << "compile failed: " << s << "\n";
+    return 1;
+  }
+
+  std::cout << "--- running select ---\n";
+  auto result = engine.Call("select", {{}});
+  if (!result.ok()) {
+    std::cerr << "select failed: " << result.status() << "\n";
+    return 1;
+  }
+  std::cout << "--- done ---\n";
+  if (result->empty()) {
+    std::cout << "nothing selected\n";
+  } else {
+    std::cout << "selected: " << engine.pool()->ToString((*result)[0][0])
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+/// \file graph_analytics.cc
+/// \brief A small graph-analytics workload mixing NAIL! and Glue.
+///
+/// Demonstrates the division of labor the paper's intro motivates:
+///  * NAIL! for the fixpoint queries (reachability, 2-hop neighbors);
+///  * Glue for everything stateful: a worklist loop assigning component
+///    ids with repeat/until + EDB updates, and report formatting via
+///    write/aggregates.
+///
+///   $ ./graph_analytics
+
+#include <iostream>
+#include <random>
+
+#include "src/api/engine.h"
+
+namespace {
+
+constexpr std::string_view kProgram = R"(
+module graphs;
+edb edge(X,Y), node(X), comp(Node, Id), pending(X);
+export components(:), summary(:);
+
+% ---- NAIL!: undirected reachability ----------------------------------
+link(X,Y) :- edge(X,Y).
+link(X,Y) :- edge(Y,X).
+reach(X,Y) :- link(X,Y).
+reach(X,Z) :- reach(X,Y) & link(Y,Z).
+
+% ---- Glue: label connected components ---------------------------------
+% Repeatedly pick the smallest unlabeled node, stamp its whole reachable
+% set with its id, and continue until nothing is pending.
+proc components(:)
+  pending(X) := node(X).
+  repeat
+    comp(Seed, Seed) += pending(Seed) & Seed = min(Seed).
+    comp(Y, Seed)    += comp(Seed, Seed) & pending(Seed) & reach(Seed, Y).
+    pending(X)       -= comp(X, _) & pending(X).
+  until empty(pending(_));
+  return(:) := true.
+end
+
+% ---- Glue: aggregate report --------------------------------------------
+proc summary(:)
+  return(:) :=
+    comp(N, Id) & group_by(Id) & Size = count(N) &
+    writeln(concat(concat('component ', Id), concat(' size ', Size))).
+end
+end
+)";
+
+void Check(const gluenail::Status& s) {
+  if (!s.ok()) {
+    std::cerr << "error: " << s << "\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  gluenail::Engine engine;
+  Check(engine.LoadProgram(kProgram));
+
+  // Build a random graph with a few obvious islands.
+  std::mt19937 rng(1991);  // the year of the paper
+  const int kNodes = 60;
+  for (int i = 0; i < kNodes; ++i) {
+    Check(engine.AddFact(gluenail::StrCat("node(", i, ").")));
+  }
+  // Three chains plus random extra edges inside each third.
+  for (int base : {0, 20, 40}) {
+    for (int i = base; i < base + 19; ++i) {
+      if (i % 7 == 3) continue;  // break the chains into more components
+      Check(engine.AddFact(gluenail::StrCat("edge(", i, ",", i + 1, ").")));
+    }
+  }
+
+  Check(engine.Call("components", {{}}).status());
+
+  auto comp = engine.Query("comp(N, Id)");
+  Check(comp.status());
+  std::cout << "labeled " << comp->rows.size() << " nodes\n";
+
+  std::cout << "\nper-component sizes:\n";
+  Check(engine.Call("summary", {{}}).status());
+
+  // Cross-check one component against the NAIL! relation directly.
+  auto island = engine.Query("comp(N, 0)");
+  Check(island.status());
+  auto reach0 = engine.Query("reach(0, Y)");
+  Check(reach0.status());
+  std::cout << "\ncomponent of node 0 has " << island->rows.size()
+            << " members; reach(0,_) has " << reach0->rows.size()
+            << " rows\n";
+
+  std::cout << "\nexec stats: "
+            << gluenail::FormatExecStats(engine.exec_stats()) << "\n";
+  return 0;
+}

@@ -1,0 +1,147 @@
+/// \file registrar_sets.cc
+/// \brief The paper's §5 registrar domain: HiLog set-valued attributes.
+///
+/// class_info carries two *set-valued* attributes — the TAs and the
+/// students of each class — represented as predicate *names* (HiLog),
+/// exactly as §5.1 prescribes. The example shows:
+///   * parameterized NAIL! predicates (tas(ID), students(ID));
+///   * set dereferencing through variables (T(TA), S(Student));
+///   * cheap set-name equality vs member-wise set_eq (§5.1);
+///   * grouped aggregation over the derived data (§3.3.1);
+///   * EDB persistence (§10).
+///
+///   $ ./registrar_sets
+
+#include <iostream>
+
+#include "src/api/engine.h"
+
+namespace {
+
+constexpr std::string_view kRegistrar = R"(
+module registrar;
+edb class_instructor(C,I), class_room(C,R), class_subject(C,S),
+    failed_exam(P,S), attends(P,C), grade(P,C,G);
+export set_eq(S,T:), roster(:Course,Student);
+
+% ---- §5.1: class_info with set-valued attributes --------------------
+class_info( ID, Instructor, Room, tas(ID), students(ID) ) :-
+  class_instructor( ID, Instructor ) &
+  class_room( ID, Room ).
+
+% The TAs for a course: graduate students who failed the qualifying
+% exam in the course's subject area (the paper's joke, preserved).
+tas(ID)(Ta) :-
+  class_subject(ID, Subject) &
+  failed_exam(Ta, Subject).
+
+students(ID)(Student) :-
+  class_subject(ID, _) &
+  attends(Student, ID).
+
+% ---- §5.1: member-wise set comparison, verbatim ----------------------
+proc set_eq( S, T: )
+rels different(S,T);
+  different(S,T):= in(S,T) & S(X) & !T(X).
+  different(S,T)+= in(S,T) & T(X) & !S(X).
+  return(S,T:):= !different(S,T).
+end
+
+% ---- A Glue procedure walking the sets -------------------------------
+proc roster(:Course,Student)
+  return(:Course,Student) :=
+    class_info(Course, _, _, _, Set) &
+    Set(Student).
+end
+
+% ---- EDB --------------------------------------------------------------
+class_instructor( cs99, smith ).
+class_instructor( cs101, jones_prof ).
+class_room( cs99, mjh460a ).
+class_room( cs101, gates104 ).
+class_subject( cs99, databases ).
+class_subject( cs101, databases ).
+failed_exam( jones, databases ).
+attends( wilson, cs99 ).
+attends( green, cs99 ).
+attends( wilson, cs101 ).
+attends( green, cs101 ).
+grade( wilson, cs99, 91 ).
+grade( green, cs99, 78 ).
+grade( wilson, cs101, 85 ).
+grade( green, cs101, 89 ).
+end
+)";
+
+void Check(const gluenail::Status& s) {
+  if (!s.ok()) {
+    std::cerr << "error: " << s << "\n";
+    std::exit(1);
+  }
+}
+
+void Show(gluenail::Engine* engine, std::string_view goal) {
+  auto r = engine->Query(goal);
+  Check(r.status());
+  std::cout << goal << "\n";
+  for (const gluenail::Tuple& row : r->rows) {
+    std::cout << "  ";
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) std::cout << ", ";
+      std::cout << r->vars[i] << " = " << engine->pool()->ToString(row[i]);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  gluenail::Engine engine;
+  Check(engine.LoadProgram(kRegistrar));
+
+  // The paper's implied IDB tuples.
+  Show(&engine, "students(cs99)(Who)");
+  Show(&engine, "tas(cs99)(Who)");
+
+  // Set-valued attributes dereferenced through variables (§5.1).
+  Show(&engine, "class_info(C, I, R, T, S) & T(Ta) & S(Student)");
+
+  // Cheap set equality: identical names, one term comparison.
+  Show(&engine, "class_info(cs99, _, _, _, S1) & "
+                "class_info(cs99, _, _, _, S2) & S1 = S2");
+
+  // Member-wise set_eq: cs99 and cs101 have the same student body even
+  // though the set *names* differ.
+  auto eq = engine.Call(
+      "set_eq", {{engine.pool()->MakeCompound(
+                      "students", std::vector<gluenail::TermId>{
+                                      engine.pool()->MakeSymbol("cs99")}),
+                  engine.pool()->MakeCompound(
+                      "students", std::vector<gluenail::TermId>{
+                                      engine.pool()->MakeSymbol("cs101")})}});
+  Check(eq.status());
+  std::cout << "set_eq(students(cs99), students(cs101)): "
+            << (eq->empty() ? "different" : "equal members") << "\n\n";
+
+  // Grouped aggregation over grades (§3.3.1).
+  Check(engine.ExecuteStatement(
+      "course_average(C, A) := grade(_, C, G) & group_by(C) & "
+      "A = mean(G)."));
+  Show(&engine, "course_average(C, A)");
+
+  // Walk a set through the exported procedure.
+  auto roster = engine.Call("roster", {{}});
+  Check(roster.status());
+  std::cout << "roster:\n";
+  for (const gluenail::Tuple& row : *roster) {
+    std::cout << "  " << engine.pool()->ToString(row[0]) << " -> "
+              << engine.pool()->ToString(row[1]) << "\n";
+  }
+
+  const std::string file = "/tmp/gluenail_registrar.facts";
+  Check(engine.SaveEdbFile(file));
+  std::cout << "\nEDB saved to " << file << "\n";
+  return 0;
+}

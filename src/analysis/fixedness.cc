@@ -1,0 +1,43 @@
+#include "src/analysis/fixedness.h"
+
+#include "src/runtime/aggregates.h"
+
+namespace gluenail {
+
+bool IsIntrinsicallyFixedSubgoal(const ast::Subgoal& g) {
+  switch (g.kind) {
+    case ast::SubgoalKind::kInsert:
+    case ast::SubgoalKind::kDelete:
+    case ast::SubgoalKind::kGroupBy:
+      return true;
+    case ast::SubgoalKind::kComparison:
+      return g.rhs.IsApply() && g.rhs.functor().IsSymbol() &&
+             g.rhs.apply_arity() == 1 &&
+             AggKindFromName(g.rhs.functor().name).has_value();
+    default:
+      return false;
+  }
+}
+
+std::vector<bool> PropagateFixedness(
+    const std::vector<bool>& intrinsic,
+    const std::vector<std::vector<int>>& calls) {
+  std::vector<bool> fixed = intrinsic;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < fixed.size(); ++i) {
+      if (fixed[i]) continue;
+      for (int callee : calls[i]) {
+        if (callee >= 0 && fixed[static_cast<size_t>(callee)]) {
+          fixed[i] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return fixed;
+}
+
+}  // namespace gluenail

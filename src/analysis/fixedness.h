@@ -1,0 +1,31 @@
+/// \file fixedness.h
+/// \brief Transitive fixedness of procedures (paper §3.1).
+///
+/// "A Glue procedure is fixed if it contains a fixed subgoal." Fixed
+/// subgoals are EDB updates, group_by, aggregators, I/O, and calls to
+/// procedures that are themselves fixed — so fixedness propagates through
+/// the call graph; this file implements that fixpoint.
+
+#ifndef GLUENAIL_ANALYSIS_FIXEDNESS_H_
+#define GLUENAIL_ANALYSIS_FIXEDNESS_H_
+
+#include <vector>
+
+#include "src/ast/ast.h"
+
+namespace gluenail {
+
+/// True for subgoal kinds that are fixed regardless of resolution:
+/// body updates, group_by, and aggregate comparisons.
+bool IsIntrinsicallyFixedSubgoal(const ast::Subgoal& g);
+
+/// Call-graph fixpoint: \p intrinsic[i] is true if procedure i directly
+/// contains a fixed subgoal other than a Glue call; \p calls[i] lists the
+/// procedures i calls. Returns the final fixed flags.
+std::vector<bool> PropagateFixedness(
+    const std::vector<bool>& intrinsic,
+    const std::vector<std::vector<int>>& calls);
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_ANALYSIS_FIXEDNESS_H_

@@ -1,0 +1,142 @@
+#include "src/analysis/reorder.h"
+
+#include <algorithm>
+
+namespace gluenail {
+
+namespace {
+
+/// Greedy desirability of a schedulable subgoal. Filters first, then
+/// matches with the most bound columns; procedure calls last ("Procedure
+/// calls are expensive", §9).
+int Score(const ast::Subgoal& g, const SubgoalInfo& info,
+          const BoundSet& bound) {
+  int base;
+  switch (g.kind) {
+    case ast::SubgoalKind::kComparison:
+      base = 1000;
+      break;
+    case ast::SubgoalKind::kNegatedAtom:
+      base = 900;
+      break;
+    case ast::SubgoalKind::kAtom:
+      if (info.binding != nullptr &&
+          (info.binding->cls == PredClass::kGlueProc ||
+           info.binding->cls == PredClass::kHostProc ||
+           info.binding->cls == PredClass::kBuiltinProc)) {
+        base = 0;
+      } else {
+        base = info.dynamic_pred ? 50 : 100;
+      }
+      break;
+    default:
+      base = 0;
+      break;
+  }
+  // Count argument columns whose patterns are fully bound (selective).
+  int bound_cols = 0;
+  for (const ast::Term& a : g.args) {
+    if (IsFullyBoundPattern(a, bound)) ++bound_cols;
+  }
+  return base + 5 * bound_cols - static_cast<int>(g.args.size());
+}
+
+}  // namespace
+
+Result<std::vector<size_t>> ReorderBody(const std::vector<ast::Subgoal>& body,
+                                        const CompileEnv& env,
+                                        const BoundSet& initially_bound) {
+  std::vector<size_t> order;
+  order.reserve(body.size());
+  BoundSet bound = initially_bound;
+
+  // Split into segments ending at (and including) each fixed subgoal.
+  size_t seg_start = 0;
+  while (seg_start < body.size()) {
+    // Find the end of this segment: the first fixed subgoal at or after
+    // seg_start (analysis may depend on `bound` only for aggregates, which
+    // are always fixed regardless, so a preliminary scan is safe).
+    size_t seg_end = body.size();  // exclusive of the barrier
+    for (size_t i = seg_start; i < body.size(); ++i) {
+      GLUENAIL_ASSIGN_OR_RETURN(SubgoalInfo info,
+                                AnalyzeSubgoal(body[i], env, bound));
+      if (info.fixed) {
+        seg_end = i;
+        break;
+      }
+    }
+
+    // Greedily order the non-fixed subgoals in [seg_start, seg_end).
+    std::vector<size_t> pending;
+    for (size_t i = seg_start; i < seg_end; ++i) pending.push_back(i);
+    while (!pending.empty()) {
+      // Precompute per-candidate info once per round.
+      std::vector<SubgoalInfo> infos(pending.size());
+      for (size_t p = 0; p < pending.size(); ++p) {
+        GLUENAIL_ASSIGN_OR_RETURN(infos[p],
+                                  AnalyzeSubgoal(body[pending[p]], env,
+                                                 bound));
+      }
+      int best_score = 0;
+      size_t best_pos = pending.size();  // sentinel: none schedulable
+      for (size_t p = 0; p < pending.size(); ++p) {
+        const SubgoalInfo& info = infos[p];
+        if (!IsSchedulable(info.required, bound)) continue;
+        // Semantics guard: an '=' that binds a variable keeps its written
+        // order relative to any subgoal that binds the same variable.
+        // Binding installs the evaluated term (later matches check term
+        // equality), whereas running after a match turns it into a
+        // numeric filter — different results for mixed int/float data.
+        // So: defer the '=' while a *written-earlier* binder of the same
+        // variable is still pending; subgoals written after it keep
+        // seeing it bind first, as written.
+        if (body[pending[p]].kind == ast::SubgoalKind::kComparison &&
+            !info.binds.empty()) {
+          bool conflict = false;
+          for (size_t q = 0; q < pending.size() && !conflict; ++q) {
+            if (q == p || pending[q] > pending[p]) continue;
+            for (const std::string& v : infos[q].binds) {
+              if (std::find(info.binds.begin(), info.binds.end(), v) !=
+                  info.binds.end()) {
+                conflict = true;
+                break;
+              }
+            }
+          }
+          if (conflict) continue;
+        }
+        int s = Score(body[pending[p]], info, bound);
+        if (best_pos == pending.size() || s > best_score) {
+          best_score = s;
+          best_pos = p;
+        }
+      }
+      if (best_pos == pending.size()) {
+        // Nothing schedulable: emit the rest in original order; the
+        // planner will report the first binding violation precisely.
+        for (size_t idx : pending) order.push_back(idx);
+        break;
+      }
+      size_t chosen = pending[best_pos];
+      pending.erase(pending.begin() + static_cast<ptrdiff_t>(best_pos));
+      order.push_back(chosen);
+      GLUENAIL_ASSIGN_OR_RETURN(SubgoalInfo info,
+                                AnalyzeSubgoal(body[chosen], env, bound));
+      for (const std::string& v : info.binds) bound.insert(v);
+    }
+
+    // Then the barrier itself (if any), updating bindings through it.
+    if (seg_end < body.size()) {
+      order.push_back(seg_end);
+      GLUENAIL_ASSIGN_OR_RETURN(SubgoalInfo info,
+                                AnalyzeSubgoal(body[seg_end], env, bound));
+      for (const std::string& v : info.binds) bound.insert(v);
+      seg_start = seg_end + 1;
+    } else {
+      seg_start = body.size();
+    }
+  }
+  return order;
+}
+
+}  // namespace gluenail

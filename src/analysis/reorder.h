@@ -1,0 +1,38 @@
+/// \file reorder.h
+/// \brief Compile-time subgoal reordering (paper §3.1).
+///
+/// "A Glue system is free to reorder the non-fixed subgoals, although
+/// procedures must still have their input arguments bound, and subgoals
+/// cannot be moved past an aggregator."
+///
+/// We take the conservative reading: every fixed subgoal (update, I/O,
+/// group_by, aggregator, fixed procedure call) is a barrier that keeps its
+/// position relative to other fixed subgoals, and non-fixed subgoals may
+/// only permute within their barrier-delimited segment. (Moving a read
+/// across an update to the same relation would change its meaning, so
+/// treating all fixed subgoals as barriers — not only aggregators — is the
+/// only safe choice.)
+///
+/// Within a segment the order is greedy: pure filters (comparisons,
+/// negations) as soon as their variables are bound, then matches with the
+/// most bound argument columns.
+
+#ifndef GLUENAIL_ANALYSIS_REORDER_H_
+#define GLUENAIL_ANALYSIS_REORDER_H_
+
+#include <vector>
+
+#include "src/analysis/binding.h"
+
+namespace gluenail {
+
+/// Returns the execution order as a permutation of body indices.
+/// Subgoals that can never be scheduled keep their original positions so
+/// the planner reports the binding error at the right place.
+Result<std::vector<size_t>> ReorderBody(const std::vector<ast::Subgoal>& body,
+                                        const CompileEnv& env,
+                                        const BoundSet& initially_bound);
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_ANALYSIS_REORDER_H_

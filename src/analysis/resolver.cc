@@ -1,0 +1,386 @@
+#include "src/analysis/resolver.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/analysis/binding.h"
+#include "src/analysis/fixedness.h"
+#include "src/common/strings.h"
+#include "src/nail/nail_to_glue.h"
+
+namespace gluenail {
+
+void DeclareBuiltinScope(Scope* scope) {
+  struct Entry {
+    const char* name;
+    uint32_t arity;
+  };
+  for (const Entry& e : std::initializer_list<Entry>{
+           {"write", 1}, {"writeln", 1}, {"nl", 0}, {"read", 1},
+           {"read_line", 1}, {"true", 0}}) {
+    std::optional<BuiltinProcInfo> info = FindBuiltinProc(e.name, e.arity);
+    PredBinding b;
+    b.cls = PredClass::kBuiltinProc;
+    b.bound_arity = info->bound_arity;
+    b.free_arity = info->free_arity;
+    b.index = static_cast<int>(info->proc);
+    b.fixed = info->fixed;
+    scope->Declare(e.name, 0, e.arity, b);
+  }
+}
+
+namespace {
+
+void DeclareHosts(Scope* scope, const std::vector<HostProcedure>& hosts) {
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    const HostProcedure& h = hosts[i];
+    PredBinding b;
+    b.cls = PredClass::kHostProc;
+    b.bound_arity = h.bound_arity;
+    b.free_arity = h.free_arity;
+    b.index = static_cast<int>(i);
+    b.fixed = h.fixed;
+    scope->Declare(h.name, 0, h.bound_arity + h.free_arity, b);
+  }
+}
+
+struct ProcRef {
+  int module;      // index into program.modules
+  int local_index; // index into that module's procedures
+  int global;      // index into CompiledProgram::procedures
+};
+
+/// Walks every subgoal of a procedure body, including nested loops.
+void ForEachSubgoal(const std::vector<ast::Statement>& body,
+                    const std::function<void(const ast::Subgoal&)>& fn) {
+  for (const ast::Statement& s : body) {
+    if (s.is_assignment()) {
+      for (const ast::Subgoal& g : s.assignment().body) fn(g);
+    } else {
+      ForEachSubgoal(s.repeat().body, fn);
+    }
+  }
+}
+
+}  // namespace
+
+Result<LinkedProgram> LinkProgram(const ast::Program& program,
+                                  const std::vector<HostProcedure>& hosts,
+                                  TermPool* pool, const LinkOptions& opts) {
+  LinkedProgram out;
+
+  // --- Scaffolding scopes -------------------------------------------------
+  out.builtin_scope = std::make_unique<Scope>();
+  DeclareBuiltinScope(out.builtin_scope.get());
+  DeclareHosts(out.builtin_scope.get(), hosts);
+
+  // All EDB declarations are globally visible: the EDB is the shared
+  // database (paper §2); `edb` clauses declare schema, not ownership.
+  out.edb_scope = std::make_unique<Scope>(out.builtin_scope.get());
+  for (const ast::Module& mod : program.modules) {
+    for (const ast::EdbDecl& decl : mod.edb) {
+      PredBinding b;
+      b.cls = PredClass::kEdb;
+      b.free_arity = decl.arity;
+      b.name = pool->MakeSymbol(decl.name);
+      b.assignable = true;
+      out.edb_scope->Declare(decl.name, 0, decl.arity, b);
+    }
+  }
+
+  // --- Procedure table ------------------------------------------------------
+  std::vector<ProcRef> proc_refs;
+  for (size_t m = 0; m < program.modules.size(); ++m) {
+    const ast::Module& mod = program.modules[m];
+    std::unordered_set<std::string> local_names;
+    for (size_t p = 0; p < mod.procedures.size(); ++p) {
+      const ast::Procedure& proc = mod.procedures[p];
+      std::string key = StrCat(proc.name, "/", proc.arity());
+      if (!local_names.insert(key).second) {
+        return Status::CompileError(StrCat("module ", mod.name,
+                                           " defines '", key, "' twice"));
+      }
+      int global = static_cast<int>(proc_refs.size());
+      proc_refs.push_back(
+          ProcRef{static_cast<int>(m), static_cast<int>(p), global});
+      out.program.proc_by_qualified.emplace(
+          StrCat(mod.name, ".", proc.name, "/", proc.arity()), global);
+    }
+  }
+
+  // Exports: "name/arity" -> proc index (procedures only; exported NAIL!
+  // predicates are handled during import resolution).
+  for (size_t m = 0; m < program.modules.size(); ++m) {
+    const ast::Module& mod = program.modules[m];
+    for (const ast::PredicateSig& sig : mod.exports) {
+      auto it = out.program.proc_by_qualified.find(
+          StrCat(mod.name, ".", sig.name, "/", sig.arity()));
+      if (it == out.program.proc_by_qualified.end()) continue;  // NAIL!/EDB
+      std::string key = StrCat(sig.name, "/", sig.arity());
+      auto [pos, inserted] =
+          out.program.proc_by_export.emplace(key, it->second);
+      if (!inserted && pos->second != it->second) {
+        return Status::CompileError(
+            StrCat("two modules export '", key, "'"));
+      }
+    }
+  }
+
+  // --- NAIL! program --------------------------------------------------------
+  std::vector<ast::NailRule> all_rules;
+  for (const ast::Module& mod : program.modules) {
+    for (const ast::NailRule& r : mod.rules) all_rules.push_back(r);
+  }
+  GLUENAIL_ASSIGN_OR_RETURN(out.nail,
+                            BuildNailProgram(std::move(all_rules), pool));
+
+  // --- Module scopes ----------------------------------------------------------
+  // Builder parameterized by the final fixedness flags so we can run it
+  // twice: once preliminarily for call-graph extraction, once for real.
+  auto build_module_scope =
+      [&](const ast::Module& mod,
+          const std::vector<bool>& proc_fixed) -> Result<Scope> {
+    Scope scope(out.edb_scope.get());
+    // Own NAIL! predicates (read-only in user code).
+    for (const ast::NailRule& rule : mod.rules) {
+      std::string root;
+      uint32_t params = 0;
+      StaticPredName(rule.head_pred, &root, &params);
+      int id = out.nail.FindPred(root, params,
+                                 static_cast<uint32_t>(rule.head_args.size()));
+      const NailPred& pred = out.nail.preds[static_cast<size_t>(id)];
+      PredBinding b;
+      b.cls = PredClass::kNail;
+      b.free_arity = pred.arity;
+      b.name = pred.storage;
+      b.nail_params = pred.params;
+      scope.Declare(pred.root, pred.params, pred.arity, b);
+    }
+    // Own procedures.
+    for (const ProcRef& ref : proc_refs) {
+      if (&program.modules[static_cast<size_t>(ref.module)] != &mod) continue;
+      const ast::Procedure& proc =
+          mod.procedures[static_cast<size_t>(ref.local_index)];
+      PredBinding b;
+      b.cls = PredClass::kGlueProc;
+      b.bound_arity = proc.bound_arity;
+      b.free_arity = proc.free_arity;
+      b.index = ref.global;
+      b.fixed = proc_fixed.empty() ? false
+                                   : proc_fixed[static_cast<size_t>(
+                                         ref.global)];
+      scope.Declare(proc.name, 0, proc.arity(), b);
+    }
+    // Imports.
+    for (const ast::ImportDecl& imp : mod.imports) {
+      const ast::PredicateSig& sig = imp.sig;
+      // (a) A procedure exported by the named module.
+      auto it = out.program.proc_by_qualified.find(
+          StrCat(imp.from_module, ".", sig.name, "/", sig.arity()));
+      if (it != out.program.proc_by_qualified.end()) {
+        // Verify it is actually exported.
+        bool exported = false;
+        for (const ast::Module& other : program.modules) {
+          if (other.name != imp.from_module) continue;
+          for (const ast::PredicateSig& e : other.exports) {
+            if (e.name == sig.name && e.arity() == sig.arity()) {
+              exported = true;
+            }
+          }
+        }
+        if (!exported) {
+          return Status::CompileError(
+              StrCat("module ", imp.from_module, " does not export '",
+                     sig.name, "/", sig.arity(), "'"));
+        }
+        int global = it->second;
+        const ProcRef& ref = proc_refs[static_cast<size_t>(global)];
+        const ast::Procedure& proc =
+            program.modules[static_cast<size_t>(ref.module)]
+                .procedures[static_cast<size_t>(ref.local_index)];
+        PredBinding b;
+        b.cls = PredClass::kGlueProc;
+        b.bound_arity = proc.bound_arity;
+        b.free_arity = proc.free_arity;
+        b.index = global;
+        b.fixed = proc_fixed.empty()
+                      ? false
+                      : proc_fixed[static_cast<size_t>(global)];
+        scope.Declare(sig.name, 0, sig.arity(), b);
+        continue;
+      }
+      // (b) A NAIL! predicate defined (and exported) by the named module.
+      int nail_id = out.nail.FindPred(sig.name, 0, sig.arity());
+      if (nail_id >= 0) {
+        const NailPred& pred = out.nail.preds[static_cast<size_t>(nail_id)];
+        PredBinding b;
+        b.cls = PredClass::kNail;
+        b.free_arity = pred.arity;
+        b.name = pred.storage;
+        b.nail_params = pred.params;
+        scope.Declare(sig.name, 0, sig.arity(), b);
+        continue;
+      }
+      // (c) An EDB relation declared elsewhere: already globally visible.
+      if (out.edb_scope->Lookup(sig.name, 0, sig.arity()) != nullptr) {
+        continue;
+      }
+      // (d) A host procedure (the paper's foreign modules, e.g. the
+      // `windows` and `graphics` modules of Figure 1).
+      if (out.builtin_scope->Lookup(sig.name, 0, sig.arity()) != nullptr) {
+        continue;
+      }
+      return Status::CompileError(
+          StrCat("cannot resolve import of '", sig.name, "/", sig.arity(),
+                 "' from module ", imp.from_module));
+    }
+    return scope;
+  };
+
+  // Validate every module's declarations and imports, even for modules
+  // with no procedures (imports must resolve regardless).
+  {
+    std::vector<bool> no_flags;
+    for (const ast::Module& mod : program.modules) {
+      Result<Scope> scope = build_module_scope(mod, no_flags);
+      if (!scope.ok()) {
+        return scope.status().WithContext(StrCat("module ", mod.name));
+      }
+    }
+  }
+
+  // --- Fixedness (two-phase) ------------------------------------------------
+  size_t num_procs = proc_refs.size();
+  std::vector<bool> intrinsic(num_procs, false);
+  std::vector<std::vector<int>> calls(num_procs);
+  {
+    std::vector<bool> no_flags;
+    for (const ProcRef& ref : proc_refs) {
+      const ast::Module& mod =
+          program.modules[static_cast<size_t>(ref.module)];
+      GLUENAIL_ASSIGN_OR_RETURN(Scope scope,
+                                build_module_scope(mod, no_flags));
+      const ast::Procedure& proc =
+          mod.procedures[static_cast<size_t>(ref.local_index)];
+      ForEachSubgoal(proc.body, [&](const ast::Subgoal& g) {
+        if (IsIntrinsicallyFixedSubgoal(g)) {
+          intrinsic[static_cast<size_t>(ref.global)] = true;
+          return;
+        }
+        if (g.kind != ast::SubgoalKind::kAtom) return;
+        std::string root;
+        uint32_t params = 0;
+        if (!StaticPredName(g.pred, &root, &params) || params != 0) return;
+        const PredBinding* b =
+            scope.Lookup(root, 0, static_cast<uint32_t>(g.args.size()));
+        if (b == nullptr) return;
+        if ((b->cls == PredClass::kBuiltinProc ||
+             b->cls == PredClass::kHostProc) &&
+            b->fixed) {
+          intrinsic[static_cast<size_t>(ref.global)] = true;
+        } else if (b->cls == PredClass::kGlueProc) {
+          calls[static_cast<size_t>(ref.global)].push_back(b->index);
+        }
+      });
+    }
+  }
+  std::vector<bool> proc_fixed = PropagateFixedness(intrinsic, calls);
+
+  // --- Plan user procedures ---------------------------------------------------
+  out.program.procedures.resize(num_procs);
+  for (const ProcRef& ref : proc_refs) {
+    const ast::Module& mod = program.modules[static_cast<size_t>(ref.module)];
+    GLUENAIL_ASSIGN_OR_RETURN(Scope scope,
+                              build_module_scope(mod, proc_fixed));
+    const ast::Procedure& proc =
+        mod.procedures[static_cast<size_t>(ref.local_index)];
+    Result<CompiledProcedure> compiled = CompileProcedureAst(
+        proc, scope, pool, mod.name,
+        proc_fixed[static_cast<size_t>(ref.global)], opts.planner);
+    if (!compiled.ok()) {
+      return compiled.status().WithContext(
+          StrCat("module ", mod.name, ", procedure ", proc.name));
+    }
+    out.program.procedures[static_cast<size_t>(ref.global)] =
+        std::move(*compiled);
+  }
+
+  // --- Generated NAIL! evaluation procedures (compiled-Glue mode) -----------
+  if (!out.nail.empty() && opts.nail_mode == NailMode::kCompiledGlue) {
+    Scope nail_scope(out.edb_scope.get());
+    DeclareNailScope(out.nail, &nail_scope);
+    // Compile each SCC procedure.
+    std::vector<int> scc_indices;
+    for (size_t s = 0; s < out.nail.scc_order.size(); ++s) {
+      ast::Procedure proc =
+          BuildSccProcedure(out.nail, static_cast<int>(s));
+      Result<CompiledProcedure> compiled =
+          CompileProcedureAst(proc, nail_scope, pool, "$nail", false,
+                              opts.planner, /*implicit_edb=*/true);
+      if (!compiled.ok()) {
+        return compiled.status().WithContext(
+            StrCat("generated NAIL! stratum ", s));
+      }
+      compiled->generated = true;
+      scc_indices.push_back(static_cast<int>(out.program.procedures.size()));
+      out.program.procedures.push_back(std::move(*compiled));
+    }
+    // The driver needs bindings for the SCC procedures.
+    Scope driver_scope(&nail_scope);
+    for (size_t s = 0; s < scc_indices.size(); ++s) {
+      PredBinding b;
+      b.cls = PredClass::kGlueProc;
+      b.index = scc_indices[s];
+      driver_scope.Declare(SccProcedureName(static_cast<int>(s)), 0, 0, b);
+    }
+    ast::Procedure driver = BuildDriverProcedure(out.nail);
+    Result<CompiledProcedure> compiled =
+        CompileProcedureAst(driver, driver_scope, pool, "$nail", false,
+                            opts.planner, /*implicit_edb=*/true);
+    if (!compiled.ok()) {
+      return compiled.status().WithContext("generated NAIL! driver");
+    }
+    compiled->generated = true;
+    out.nail_driver_proc = static_cast<int>(out.program.procedures.size());
+    out.program.procedures.push_back(std::move(*compiled));
+  }
+
+  // --- Global (ad-hoc) scope and facts -------------------------------------
+  out.global_scope = std::make_unique<Scope>(out.edb_scope.get());
+  for (const auto& [key, index] : out.program.proc_by_export) {
+    const CompiledProcedure& proc =
+        out.program.procedures[static_cast<size_t>(index)];
+    PredBinding b;
+    b.cls = PredClass::kGlueProc;
+    b.bound_arity = proc.bound_arity;
+    b.free_arity = proc.free_arity;
+    b.index = index;
+    b.fixed = proc.fixed;
+    out.global_scope->Declare(proc.name, 0, proc.arity(), b);
+  }
+  for (const NailPred& pred : out.nail.preds) {
+    PredBinding b;
+    b.cls = PredClass::kNail;
+    b.free_arity = pred.arity;
+    b.name = pred.storage;
+    b.nail_params = pred.params;
+    out.global_scope->Declare(pred.root, pred.params, pred.arity, b);
+  }
+
+  for (const ast::Module& mod : program.modules) {
+    for (const ast::Term& fact : mod.facts) {
+      GLUENAIL_ASSIGN_OR_RETURN(TermId whole, InternGroundTerm(pool, fact));
+      if (pool->IsCompound(whole)) {
+        std::span<const TermId> args = pool->Args(whole);
+        out.facts.emplace_back(pool->Functor(whole),
+                               Tuple(args.begin(), args.end()));
+      } else {
+        out.facts.emplace_back(whole, Tuple{});
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace gluenail

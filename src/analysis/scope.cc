@@ -1,0 +1,27 @@
+#include "src/analysis/scope.h"
+
+namespace gluenail {
+
+std::string_view PredClassName(PredClass cls) {
+  switch (cls) {
+    case PredClass::kEdb:
+      return "EDB relation";
+    case PredClass::kLocal:
+      return "local relation";
+    case PredClass::kNail:
+      return "NAIL! predicate";
+    case PredClass::kGlueProc:
+      return "Glue procedure";
+    case PredClass::kHostProc:
+      return "host procedure";
+    case PredClass::kBuiltinProc:
+      return "predefined procedure";
+    case PredClass::kIn:
+      return "in relation";
+    case PredClass::kReturn:
+      return "return relation";
+  }
+  return "?";
+}
+
+}  // namespace gluenail

@@ -1,0 +1,323 @@
+#include "src/api/engine.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "src/analysis/binding.h"
+#include "src/common/strings.h"
+#include "src/nail/magic.h"
+#include "src/parser/parser.h"
+#include "src/plan/plan_printer.h"
+
+namespace gluenail {
+
+Engine::Engine() : Engine(EngineOptions{}) {}
+
+Engine::Engine(EngineOptions options)
+    : options_(options), edb_(&pool_), idb_(&pool_) {
+  edb_.set_default_index_policy(options_.index_policy);
+  edb_.set_default_adaptive_config(options_.adaptive);
+  idb_.set_default_index_policy(options_.index_policy);
+  idb_.set_default_adaptive_config(options_.adaptive);
+}
+
+Engine::~Engine() = default;
+
+Status Engine::RegisterHostProcedure(HostProcedure host) {
+  if (linked_ != nullptr) {
+    return Status::InvalidArgument(
+        "host procedures must be registered before LoadProgram");
+  }
+  if (!host.fn) {
+    return Status::InvalidArgument(
+        StrCat("host procedure ", host.name, " has no callback"));
+  }
+  hosts_.push_back(std::move(host));
+  return Status::OK();
+}
+
+Status Engine::LoadProgram(std::string_view source) {
+  auto start = std::chrono::steady_clock::now();
+  GLUENAIL_ASSIGN_OR_RETURN(ast::Program parsed, ParseProgram(source));
+
+  LinkOptions link_opts;
+  link_opts.planner = options_.planner;
+  link_opts.nail_mode = options_.nail_mode;
+  GLUENAIL_ASSIGN_OR_RETURN(
+      LinkedProgram linked, LinkProgram(parsed, hosts_, &pool_, link_opts));
+  linked_ = std::make_unique<LinkedProgram>(std::move(linked));
+
+  nail_engine_ = std::make_unique<NailEngine>(linked_->nail, &edb_, &idb_,
+                                              &pool_);
+  nail_engine_->set_mode(options_.nail_mode);
+  if (options_.nail_mode == NailMode::kCompiledGlue) {
+    nail_engine_->set_driver_proc(linked_->nail_driver_proc);
+  } else {
+    GLUENAIL_RETURN_NOT_OK(nail_engine_->CompileDirect(
+        linked_->builtin_scope.get(), options_.planner));
+  }
+
+  RuntimeEnv env;
+  env.io = io_;
+  env.hosts = &hosts_;
+  env.nail = nail_engine_.get();
+  executor_ = std::make_unique<Executor>(&linked_->program, &edb_, &idb_,
+                                         &pool_, env, options_.exec);
+  nail_engine_->set_executor(executor_.get());
+
+  for (const auto& [name, tuple] : linked_->facts) {
+    edb_.GetOrCreate(name, static_cast<uint32_t>(tuple.size()))
+        ->Insert(tuple);
+  }
+
+  compile_stats_ = CompileStats{};
+  compile_stats_.modules = parsed.modules.size();
+  for (const CompiledProcedure& p : linked_->program.procedures) {
+    if (p.generated) {
+      ++compile_stats_.generated_procedures;
+    } else {
+      ++compile_stats_.procedures;
+    }
+    compile_stats_.statements += p.plans.size();
+  }
+  compile_stats_.nail_rules = linked_->nail.rules.size();
+  compile_stats_.nail_predicates = linked_->nail.preds.size();
+  compile_stats_.nail_strata = linked_->nail.scc_order.size();
+  compile_stats_.compile_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return Status::OK();
+}
+
+Status Engine::LoadProgramFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.is_open()) {
+    return Status::IoError(StrCat("cannot open ", path));
+  }
+  std::ostringstream text;
+  text << f.rdbuf();
+  return LoadProgram(text.str()).WithContext(path);
+}
+
+Status Engine::EnsureLoaded() {
+  if (linked_ == nullptr) {
+    // An empty program: everything ad-hoc against the bare EDB.
+    GLUENAIL_RETURN_NOT_OK(LoadProgram("module main; end"));
+  }
+  return Status::OK();
+}
+
+Result<CompiledProcedure> Engine::CompileAdhoc(const ast::Statement& stmt) {
+  ast::Procedure proc;
+  proc.name = "$adhoc";
+  proc.bound_arity = 0;
+  proc.free_arity = 0;
+  proc.body.push_back(stmt);
+  return CompileProcedureAst(proc, *linked_->global_scope, &pool_, "$adhoc",
+                             /*fixed=*/true, options_.planner,
+                             /*implicit_edb=*/true);
+}
+
+Status Engine::ExecuteStatement(std::string_view statement) {
+  GLUENAIL_RETURN_NOT_OK(EnsureLoaded());
+  GLUENAIL_ASSIGN_OR_RETURN(ast::Statement stmt, ParseStatement(statement));
+  GLUENAIL_ASSIGN_OR_RETURN(CompiledProcedure proc, CompileAdhoc(stmt));
+  Frame frame(&proc);
+  return executor_->ExecBlock(proc.code, proc, &frame);
+}
+
+Result<Engine::QueryResult> Engine::Query(std::string_view goal) {
+  GLUENAIL_RETURN_NOT_OK(EnsureLoaded());
+  GLUENAIL_ASSIGN_OR_RETURN(std::vector<ast::Subgoal> body, ParseGoal(goal));
+
+  // Head variables: every goal variable, in first-appearance order.
+  std::vector<std::string> vars;
+  for (const ast::Subgoal& g : body) {
+    g.pred.CollectVariables(&vars);
+    for (const ast::Term& a : g.args) a.CollectVariables(&vars);
+    g.lhs.CollectVariables(&vars);
+    g.rhs.CollectVariables(&vars);
+  }
+
+  ast::Assignment a;
+  a.head_pred = ast::Term::Symbol("$query");
+  for (const std::string& v : vars) {
+    a.head_args.push_back(ast::Term::Variable(v));
+  }
+  a.op = ast::AssignOp::kClear;
+  a.body = std::move(body);
+
+  CompileEnv env;
+  env.pool = &pool_;
+  env.scope = linked_->global_scope.get();
+  env.implicit_edb = true;
+  GLUENAIL_ASSIGN_OR_RETURN(StatementPlan plan,
+                            PlanAssignment(a, env, options_.planner));
+
+  Frame frame(nullptr);
+  RecordSet sup;
+  GLUENAIL_RETURN_NOT_OK(executor_->ExecuteBodyOnly(plan, &frame, &sup));
+
+  // Evaluate the head expressions per record; dedupe and sort.
+  Relation answers("$answers", static_cast<uint32_t>(vars.size()));
+  for (const Record& rec : sup.records) {
+    Tuple row;
+    row.reserve(plan.head.arg_exprs.size());
+    for (ExprId e : plan.head.arg_exprs) {
+      GLUENAIL_ASSIGN_OR_RETURN(TermId v, EvalExpr(plan, e, rec, &pool_));
+      row.push_back(v);
+    }
+    answers.Insert(row);
+  }
+  QueryResult out;
+  out.vars = std::move(vars);
+  out.rows = answers.SortedTuples(pool_);
+  return out;
+}
+
+Result<std::vector<Tuple>> Engine::Call(std::string_view name,
+                                        const std::vector<Tuple>& inputs) {
+  GLUENAIL_RETURN_NOT_OK(EnsureLoaded());
+  // Find an exported procedure with this name (any arity; unique names).
+  int index = -1;
+  std::string prefix = StrCat(name, "/");
+  for (const auto& [key, idx] : linked_->program.proc_by_export) {
+    if (StartsWith(key, prefix)) {
+      if (index >= 0) {
+        return Status::InvalidArgument(
+            StrCat("procedure name '", name, "' is ambiguous; qualify with "
+                   "arity"));
+      }
+      index = idx;
+    }
+  }
+  if (index < 0) {
+    return Status::NotFound(
+        StrCat("no exported procedure named '", name, "'"));
+  }
+  const CompiledProcedure& proc =
+      linked_->program.procedures[static_cast<size_t>(index)];
+  Relation input("in", proc.bound_arity);
+  for (const Tuple& t : inputs) {
+    if (t.size() != proc.bound_arity) {
+      return Status::InvalidArgument(
+          StrCat("input tuple arity ", t.size(), " != bound arity ",
+                 proc.bound_arity, " of ", proc.name));
+    }
+    input.Insert(t);
+  }
+  Relation output("out", proc.arity());
+  GLUENAIL_RETURN_NOT_OK(
+      executor_->CallProcedureByIndex(index, input, &output));
+  return output.SortedTuples(pool_);
+}
+
+Result<Engine::QueryResult> Engine::QueryMagic(std::string_view goal) {
+  GLUENAIL_RETURN_NOT_OK(EnsureLoaded());
+  GLUENAIL_ASSIGN_OR_RETURN(std::vector<ast::Subgoal> body, ParseGoal(goal));
+  if (body.size() != 1 || body[0].kind != ast::SubgoalKind::kAtom ||
+      !body[0].pred.IsSymbol()) {
+    return Status::InvalidArgument(
+        "QueryMagic takes a single atom over a NAIL! predicate");
+  }
+  const ast::Subgoal& atom = body[0];
+  MagicQuery q;
+  q.pred = atom.pred.name;
+  QueryResult out;
+  std::vector<size_t> free_columns;
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    const ast::Term& arg = atom.args[i];
+    if (arg.IsGround()) {
+      GLUENAIL_ASSIGN_OR_RETURN(TermId value, InternGroundTerm(&pool_, arg));
+      q.columns.push_back(value);
+    } else if (arg.IsVariable() || arg.IsWildcard()) {
+      q.columns.push_back(std::nullopt);
+      out.vars.push_back(arg.IsVariable() ? arg.name
+                                          : StrCat("_", i));
+      free_columns.push_back(i);
+    } else {
+      return Status::InvalidArgument(
+          "QueryMagic arguments must be constants or variables");
+    }
+  }
+  GLUENAIL_ASSIGN_OR_RETURN(
+      std::vector<Tuple> rows,
+      EvaluateWithMagic(linked_->nail.rules, q, &edb_, &pool_));
+  for (const Tuple& row : rows) {
+    Tuple projected;
+    for (size_t c : free_columns) projected.push_back(row[c]);
+    out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+Result<std::string> Engine::ExplainStatement(std::string_view statement) {
+  GLUENAIL_RETURN_NOT_OK(EnsureLoaded());
+  GLUENAIL_ASSIGN_OR_RETURN(ast::Statement stmt, ParseStatement(statement));
+  GLUENAIL_ASSIGN_OR_RETURN(CompiledProcedure proc, CompileAdhoc(stmt));
+  std::string out;
+  for (const StatementPlan& plan : proc.plans) {
+    out += PlanToString(plan, pool_);
+  }
+  return out;
+}
+
+Status Engine::AddFact(std::string_view fact) {
+  std::string text(fact);
+  while (!text.empty() &&
+         (text.back() == ' ' || text.back() == '\n' || text.back() == '.')) {
+    text.pop_back();
+  }
+  GLUENAIL_ASSIGN_OR_RETURN(TermId t, ParseGroundTerm(&pool_, text));
+  if (pool_.IsCompound(t)) {
+    std::span<const TermId> args = pool_.Args(t);
+    edb_.GetOrCreate(pool_.Functor(t), static_cast<uint32_t>(args.size()))
+        ->Insert(Tuple(args.begin(), args.end()));
+    return Status::OK();
+  }
+  if (pool_.IsSymbol(t)) {
+    edb_.GetOrCreate(t, 0)->Insert(Tuple{});
+    return Status::OK();
+  }
+  return Status::InvalidArgument("a fact must be a symbol or compound term");
+}
+
+Status Engine::SaveEdbFile(const std::string& path) {
+  return SaveDatabaseToFile(edb_, path);
+}
+
+Status Engine::LoadEdbFile(const std::string& path) {
+  return LoadDatabaseFromFile(&edb_, path);
+}
+
+Result<std::vector<Tuple>> Engine::RelationContents(
+    std::string_view name_term, uint32_t arity) {
+  GLUENAIL_ASSIGN_OR_RETURN(TermId name, ParseGroundTerm(&pool_, name_term));
+  Relation* rel = edb_.Find(name, arity);
+  if (rel == nullptr && nail_engine_ != nullptr) {
+    GLUENAIL_RETURN_NOT_OK(nail_engine_->EnsureAllNail());
+    rel = idb_.Find(name, arity);
+  }
+  if (rel == nullptr) {
+    return Status::NotFound(StrCat("no relation ", name_term, "/", arity));
+  }
+  return rel->SortedTuples(pool_);
+}
+
+void Engine::SetIo(std::ostream* out, std::istream* in) {
+  if (out != nullptr) io_.out = out;
+  if (in != nullptr) io_.in = in;
+  if (executor_ != nullptr) executor_->set_io(io_);
+}
+
+const ExecStats& Engine::exec_stats() const {
+  static const ExecStats kEmpty{};
+  return executor_ ? executor_->stats() : kEmpty;
+}
+
+void Engine::ResetExecStats() {
+  if (executor_ != nullptr) executor_->stats() = ExecStats{};
+}
+
+}  // namespace gluenail

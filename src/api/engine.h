@@ -1,0 +1,124 @@
+/// \file engine.h
+/// \brief The Glue-Nail engine: the library's public entry point.
+///
+/// Typical use (see examples/quickstart.cc):
+/// \code
+///   gluenail::Engine engine;
+///   engine.RegisterHostProcedure(...);             // optional
+///   GLUENAIL_RETURN_NOT_OK(engine.LoadProgram(source_text));
+///   engine.AddFact("edge(1,2).");
+///   auto rows = engine.Query("tc_e(1, Y)");        // call a procedure
+///   auto rows2 = engine.Query("path(1, Y)");       // or a NAIL! predicate
+///   engine.ExecuteStatement("seen(X) += path(1,X).");
+///   engine.SaveEdbFile("data.facts");              // §10 persistence
+/// \endcode
+
+#ifndef GLUENAIL_API_ENGINE_H_
+#define GLUENAIL_API_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/resolver.h"
+#include "src/api/options.h"
+#include "src/api/stats.h"
+#include "src/storage/database.h"
+#include "src/storage/persistence.h"
+
+namespace gluenail {
+
+class Engine {
+ public:
+  Engine();
+  explicit Engine(EngineOptions options);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  TermPool* pool() { return &pool_; }
+  Database* edb() { return &edb_; }
+  Database* idb() { return &idb_; }
+
+  /// Registers a foreign procedure (§10 future work: the foreign-language
+  /// interface). Must precede LoadProgram so imports can resolve to it.
+  Status RegisterHostProcedure(HostProcedure host);
+
+  /// Parses, links, and compiles \p source (one or more modules),
+  /// replacing any previously loaded program. Module-level facts are
+  /// inserted into the EDB.
+  Status LoadProgram(std::string_view source);
+
+  /// LoadProgram from a file.
+  Status LoadProgramFile(const std::string& path);
+
+  /// Executes one ad-hoc Glue statement (assignment or repeat loop)
+  /// against the loaded program's exports, the EDB, and the NAIL!
+  /// predicates. Unknown plain names resolve to EDB relations.
+  Status ExecuteStatement(std::string_view statement);
+
+  /// Answer set of a conjunctive goal, e.g. "path(1,X) & X != 3".
+  struct QueryResult {
+    /// Goal variables in first-appearance order; one column each.
+    std::vector<std::string> vars;
+    /// Distinct answers in canonical term order.
+    std::vector<Tuple> rows;
+  };
+  Result<QueryResult> Query(std::string_view goal);
+
+  /// Calls an exported procedure by name on \p inputs (each of the
+  /// procedure's bound arity); returns the full (bound+free) result rows.
+  Result<std::vector<Tuple>> Call(std::string_view name,
+                                  const std::vector<Tuple>& inputs);
+
+  /// Goal-directed evaluation of a single-atom NAIL! goal through the
+  /// magic-set rewriting (experiment E7): constants become bound columns
+  /// of the adornment, variables stay free. Example: "path(1, Y)".
+  Result<QueryResult> QueryMagic(std::string_view goal);
+
+  /// EXPLAIN: compiles \p statement ad-hoc and renders its plan(s) —
+  /// access paths, keyed columns, barriers, head action.
+  Result<std::string> ExplainStatement(std::string_view statement);
+
+  /// Inserts one ground fact, "edge(1,2)." (trailing dot optional).
+  Status AddFact(std::string_view fact);
+
+  /// §10: EDB persistence between runs.
+  Status SaveEdbFile(const std::string& path);
+  Status LoadEdbFile(const std::string& path);
+
+  /// Sorted contents of an EDB relation or NAIL! predicate instance.
+  Result<std::vector<Tuple>> RelationContents(std::string_view name_term,
+                                              uint32_t arity);
+
+  /// Redirect the I/O builtins.
+  void SetIo(std::ostream* out, std::istream* in);
+
+  const CompileStats& compile_stats() const { return compile_stats_; }
+  const ExecStats& exec_stats() const;
+  void ResetExecStats();
+  NailEngine* nail_engine() { return nail_engine_.get(); }
+  const CompiledProgram* program() const {
+    return linked_ ? &linked_->program : nullptr;
+  }
+
+ private:
+  Status EnsureLoaded();
+  /// Compiles an ad-hoc statement by wrapping it in a throwaway procedure.
+  Result<CompiledProcedure> CompileAdhoc(const ast::Statement& stmt);
+
+  EngineOptions options_;
+  TermPool pool_;
+  Database edb_;
+  Database idb_;
+  std::vector<HostProcedure> hosts_;
+  std::unique_ptr<LinkedProgram> linked_;
+  std::unique_ptr<NailEngine> nail_engine_;
+  std::unique_ptr<Executor> executor_;
+  IoEnv io_;
+  CompileStats compile_stats_;
+};
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_API_ENGINE_H_

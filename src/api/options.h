@@ -1,0 +1,32 @@
+/// \file options.h
+/// \brief Engine-wide configuration knobs.
+///
+/// Every paper-relevant design choice is switchable so the benchmarks can
+/// ablate it: execution strategy and early duplicate elimination (§9),
+/// subgoal reordering (§3.1), NAIL! evaluation mode (§1/§10), and the
+/// back-end index policy (§10).
+
+#ifndef GLUENAIL_API_OPTIONS_H_
+#define GLUENAIL_API_OPTIONS_H_
+
+#include "src/exec/executor.h"
+#include "src/nail/seminaive.h"
+#include "src/plan/planner.h"
+#include "src/storage/adaptive.h"
+
+namespace gluenail {
+
+struct EngineOptions {
+  ExecOptions exec;
+  PlannerOptions planner;
+  /// How NAIL! predicates are evaluated (§1: the shipping architecture is
+  /// compilation into Glue; direct and naive are test/bench baselines).
+  NailMode nail_mode = NailMode::kCompiledGlue;
+  /// Back-end index policy for newly created relations (§10).
+  IndexPolicy index_policy = IndexPolicy::kAdaptive;
+  AdaptiveConfig adaptive;
+};
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_API_OPTIONS_H_

@@ -1,0 +1,195 @@
+#include "src/api/repl.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/strings.h"
+
+namespace gluenail {
+
+namespace {
+
+constexpr std::string_view kHelp = R"(commands:
+  fact.                     insert a ground fact        e.g. edge(1,2).
+  head := body.             run a Glue statement        (also += -= +=[K])
+  repeat ... until C;       run a loop statement
+  ?- goal.                  query a conjunctive goal    e.g. ?- path(1,X).
+  :load FILE                load and link a program
+  :edb FILE                 load facts into the EDB
+  :save FILE                save the EDB
+  :explain STMT.            show the compiled plan of a statement
+  :relations                list EDB relations
+  :stats                    execution statistics
+  :help                     this text
+  :quit                     leave
+)";
+
+std::string Trim(const std::string& s) {
+  size_t a = s.find_first_not_of(" \t\r\n");
+  if (a == std::string::npos) return "";
+  size_t b = s.find_last_not_of(" \t\r\n");
+  return s.substr(a, b - a + 1);
+}
+
+/// True when the accumulated input is a complete unit: ends with '.' or
+/// ';', or is a one-line ':' command.
+bool IsComplete(const std::string& input) {
+  std::string t = Trim(input);
+  if (t.empty()) return false;
+  if (t[0] == ':') return true;
+  return t.back() == '.' || t.back() == ';';
+}
+
+/// A fact is a single ground atom: cheap syntactic test — no operator at
+/// the top level and no ":-".
+bool LooksLikeFact(const std::string& t) {
+  int depth = 0;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    char c = t[i];
+    if (c == '\'') {
+      // Skip quoted symbol.
+      for (++i; i + 1 < t.size() && t[i] != '\''; ++i) {
+        if (t[i] == '\\') ++i;
+      }
+      continue;
+    }
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (depth == 0) {
+      if ((c == ':' && (t[i + 1] == '=' || t[i + 1] == '-')) ||
+          (c == '+' && t[i + 1] == '=') || (c == '-' && t[i + 1] == '=')) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Repl::Repl(Engine* engine, std::istream* in, std::ostream* out,
+           ReplOptions options)
+    : engine_(engine), in_(in), out_(out), options_(options) {}
+
+void Repl::PrintQueryResult(const Engine::QueryResult& result) {
+  if (result.rows.empty()) {
+    *out_ << "no\n";
+    return;
+  }
+  if (result.vars.empty()) {
+    *out_ << "yes\n";
+    return;
+  }
+  for (const Tuple& row : result.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) *out_ << ", ";
+      *out_ << result.vars[i] << " = "
+            << engine_->pool()->ToString(row[i]);
+    }
+    *out_ << "\n";
+  }
+  *out_ << result.rows.size() << " answer(s)\n";
+}
+
+Status Repl::Execute(const std::string& raw, bool* quit) {
+  *quit = false;
+  std::string input = Trim(raw);
+  if (input.empty()) return Status::OK();
+
+  if (input[0] == ':') {
+    std::string cmd = input, arg;
+    size_t space = input.find(' ');
+    if (space != std::string::npos) {
+      cmd = input.substr(0, space);
+      arg = Trim(input.substr(space + 1));
+    }
+    if (cmd == ":quit" || cmd == ":q") {
+      *quit = true;
+      return Status::OK();
+    }
+    if (cmd == ":help" || cmd == ":h") {
+      *out_ << kHelp;
+      return Status::OK();
+    }
+    if (cmd == ":load") {
+      std::ifstream f(arg);
+      if (!f.is_open()) {
+        return Status::IoError(StrCat("cannot open ", arg));
+      }
+      std::ostringstream text;
+      text << f.rdbuf();
+      GLUENAIL_RETURN_NOT_OK(engine_->LoadProgram(text.str()));
+      *out_ << "loaded: "
+            << FormatCompileStats(engine_->compile_stats()) << "\n";
+      return Status::OK();
+    }
+    if (cmd == ":edb") {
+      GLUENAIL_RETURN_NOT_OK(engine_->LoadEdbFile(arg));
+      *out_ << "edb loaded from " << arg << "\n";
+      return Status::OK();
+    }
+    if (cmd == ":save") {
+      GLUENAIL_RETURN_NOT_OK(engine_->SaveEdbFile(arg));
+      *out_ << "edb saved to " << arg << "\n";
+      return Status::OK();
+    }
+    if (cmd == ":explain") {
+      GLUENAIL_ASSIGN_OR_RETURN(std::string plan,
+                                engine_->ExplainStatement(arg));
+      *out_ << plan;
+      return Status::OK();
+    }
+    if (cmd == ":relations") {
+      std::vector<std::string> names;
+      engine_->edb()->ForEach([&](TermId name, uint32_t arity, Relation* r) {
+        names.push_back(StrCat(engine_->pool()->ToString(name), "/", arity,
+                               "  (", r->size(), " tuples)"));
+      });
+      std::sort(names.begin(), names.end());
+      for (const std::string& n : names) *out_ << n << "\n";
+      return Status::OK();
+    }
+    if (cmd == ":stats") {
+      *out_ << FormatExecStats(engine_->exec_stats()) << "\n";
+      return Status::OK();
+    }
+    return Status::InvalidArgument(
+        StrCat("unknown command ", cmd, " (try :help)"));
+  }
+
+  if (StartsWith(input, "?-")) {
+    std::string goal = Trim(input.substr(2));
+    if (!goal.empty() && goal.back() == '.') goal.pop_back();
+    GLUENAIL_ASSIGN_OR_RETURN(Engine::QueryResult result,
+                              engine_->Query(goal));
+    PrintQueryResult(result);
+    return Status::OK();
+  }
+
+  if (input.back() == '.' && LooksLikeFact(input)) {
+    return engine_->AddFact(input);
+  }
+  return engine_->ExecuteStatement(input);
+}
+
+Status Repl::Run() {
+  std::string pending;
+  std::string line;
+  while (true) {
+    if (options_.prompt) {
+      *out_ << (pending.empty() ? "gluenail> " : "      ... ");
+      out_->flush();
+    }
+    if (!std::getline(*in_, line)) return Status::OK();  // EOF
+    pending += line;
+    pending += "\n";
+    if (!IsComplete(pending)) continue;
+    bool quit = false;
+    Status s = Execute(pending, &quit);
+    if (!s.ok()) *out_ << s << "\n";
+    pending.clear();
+    if (quit) return Status::OK();
+  }
+}
+
+}  // namespace gluenail

@@ -1,0 +1,62 @@
+/// \file repl.h
+/// \brief The interactive Glue-Nail shell (library part; tools/gluenail.cc
+/// is the thin executable around it).
+///
+/// Input forms:
+///   edge(1,2).                 insert a ground fact
+///   p(X) := q(X) & X > 2.      execute a Glue statement (also += -= +=[])
+///   repeat ... until ...;      execute a loop statement
+///   ?- path(1, X).             query a conjunctive goal
+///   :load FILE                 load (and link) a program file
+///   :edb FILE | :save FILE     load / save the EDB (§10 persistence)
+///   :explain STMT.             show the compiled plan
+///   :relations                 list EDB relations
+///   :stats                     execution statistics
+///   :help   :quit
+///
+/// Multi-line input is supported: lines accumulate until a terminating
+/// '.' or ';' (or a ':' command, which is always one line).
+
+#ifndef GLUENAIL_API_REPL_H_
+#define GLUENAIL_API_REPL_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "src/api/engine.h"
+
+namespace gluenail {
+
+struct ReplOptions {
+  /// Print the "gluenail> " prompt (off when scripting).
+  bool prompt = true;
+  /// Echo errors to the output stream (always on; kept for symmetry).
+  bool banner = true;
+};
+
+class Repl {
+ public:
+  Repl(Engine* engine, std::istream* in, std::ostream* out,
+       ReplOptions options = {});
+
+  /// Reads and executes until :quit or EOF. Returns OK on a clean exit;
+  /// individual command errors are printed, not returned.
+  Status Run();
+
+  /// Executes one complete input (a statement/fact/query/command).
+  /// Exposed for tests. Sets *quit on :quit.
+  Status Execute(const std::string& input, bool* quit);
+
+ private:
+  void PrintQueryResult(const Engine::QueryResult& result);
+
+  Engine* engine_;
+  std::istream* in_;
+  std::ostream* out_;
+  ReplOptions options_;
+};
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_API_REPL_H_

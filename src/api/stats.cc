@@ -1,0 +1,23 @@
+#include "src/api/stats.h"
+
+#include "src/common/strings.h"
+
+namespace gluenail {
+
+std::string FormatCompileStats(const CompileStats& stats) {
+  return StrCat(stats.modules, " module(s), ", stats.procedures,
+                " procedure(s) + ", stats.generated_procedures,
+                " generated, ", stats.statements, " statement plan(s), ",
+                stats.nail_rules, " NAIL! rule(s) in ", stats.nail_strata,
+                " strata (", stats.compile_seconds, "s)");
+}
+
+std::string FormatExecStats(const ExecStats& stats) {
+  return StrCat(stats.statements, " statements, ", stats.records_produced,
+                " records, ", stats.pipeline_breaks, " pipeline breaks, ",
+                stats.duplicates_removed, " dups removed, ",
+                stats.proc_calls, " proc calls, ", stats.loop_iterations,
+                " loop iterations, ", stats.head_tuples, " head tuples");
+}
+
+}  // namespace gluenail

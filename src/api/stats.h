@@ -1,0 +1,31 @@
+/// \file stats.h
+/// \brief Compile-time and aggregate engine statistics.
+
+#ifndef GLUENAIL_API_STATS_H_
+#define GLUENAIL_API_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/exec/executor.h"
+
+namespace gluenail {
+
+struct CompileStats {
+  uint64_t modules = 0;
+  uint64_t procedures = 0;          ///< user procedures
+  uint64_t generated_procedures = 0;///< NAIL! strata + driver
+  uint64_t statements = 0;          ///< compiled statement plans
+  uint64_t nail_rules = 0;
+  uint64_t nail_predicates = 0;
+  uint64_t nail_strata = 0;
+  double compile_seconds = 0;
+};
+
+/// One-line human-readable summary (README quickstart prints this).
+std::string FormatCompileStats(const CompileStats& stats);
+std::string FormatExecStats(const ExecStats& stats);
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_API_STATS_H_

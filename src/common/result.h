@@ -1,0 +1,71 @@
+/// \file result.h
+/// \brief Result<T>: a value or a non-OK Status.
+
+#ifndef GLUENAIL_COMMON_RESULT_H_
+#define GLUENAIL_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace gluenail {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Typical use:
+/// \code
+///   Result<TermId> r = ParseTerm(text);
+///   if (!r.ok()) return r.status();
+///   TermId id = *r;
+/// \endcode
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit from a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a (non-OK) status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Value access; undefined behaviour if !ok().
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T&& operator*() && { return *std::move(value_); }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  /// Returns the value, or \p fallback if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  /// Moves the value out; undefined behaviour if !ok().
+  T MoveValue() { return *std::move(value_); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define GLUENAIL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(*tmp)
+
+#define GLUENAIL_ASSIGN_OR_RETURN_CAT(a, b) a##b
+#define GLUENAIL_ASSIGN_OR_RETURN_NAME(a, b) GLUENAIL_ASSIGN_OR_RETURN_CAT(a, b)
+
+#define GLUENAIL_ASSIGN_OR_RETURN(lhs, expr)                                 \
+  GLUENAIL_ASSIGN_OR_RETURN_IMPL(                                            \
+      GLUENAIL_ASSIGN_OR_RETURN_NAME(_gluenail_result_, __LINE__), lhs, expr)
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_COMMON_RESULT_H_

@@ -1,0 +1,67 @@
+#include "src/common/status.h"
+
+namespace gluenail {
+
+namespace {
+const std::string& EmptyString() {
+  static const std::string kEmpty;
+  return kEmpty;
+}
+}  // namespace
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kParseError:
+      return "parse error";
+    case StatusCode::kCompileError:
+      return "compile error";
+    case StatusCode::kRuntimeError:
+      return "runtime error";
+    case StatusCode::kIoError:
+      return "io error";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kInternal:
+      return "internal error";
+    case StatusCode::kNotFound:
+      return "not found";
+  }
+  return "unknown";
+}
+
+Status::Status(StatusCode code, std::string message)
+    : rep_(std::make_unique<Rep>(Rep{code, std::move(message)})) {}
+
+Status::Status(const Status& other)
+    : rep_(other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr) {}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  return rep_ ? rep_->message : EmptyString();
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(rep_->code));
+  out += ": ";
+  out += rep_->message;
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return Status();
+  std::string msg(context);
+  msg += ": ";
+  msg += rep_->message;
+  return Status(rep_->code, std::move(msg));
+}
+
+}  // namespace gluenail

@@ -1,0 +1,127 @@
+/// \file status.h
+/// \brief Error handling primitives for Glue-Nail.
+///
+/// Glue-Nail reports recoverable errors through Status / Result<T> rather
+/// than exceptions, following the convention of other database codebases
+/// (Arrow, RocksDB). A Status is cheap to move, carries an error code and a
+/// human-readable message, and is [[nodiscard]] so that errors cannot be
+/// silently dropped.
+
+#ifndef GLUENAIL_COMMON_STATUS_H_
+#define GLUENAIL_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gluenail {
+
+/// \brief Broad classification of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  /// Malformed source text (lexer/parser).
+  kParseError = 1,
+  /// Program is well-formed but violates a static rule (unresolved name,
+  /// unbound variable, unsafe negation, unstratifiable program, ...).
+  kCompileError = 2,
+  /// A run-time evaluation failure (type error in arithmetic, arity
+  /// mismatch on a dynamically dereferenced predicate, ...).
+  kRuntimeError = 3,
+  /// Filesystem / persistence failure.
+  kIoError = 4,
+  /// API misuse (calling into the engine in an invalid state).
+  kInvalidArgument = 5,
+  /// An internal invariant failed; indicates a bug in Glue-Nail itself.
+  kInternal = 6,
+  /// Requested entity does not exist.
+  kNotFound = 7,
+};
+
+/// \brief Returns a stable lowercase name for a status code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief The result of an operation that can fail but returns no value.
+///
+/// The OK state is represented by a null internal pointer, so returning and
+/// testing an OK Status costs no allocation.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a non-OK status. \p code must not be kOk.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status CompileError(std::string msg) {
+    return Status(StatusCode::kCompileError, std::move(msg));
+  }
+  static Status RuntimeError(std::string msg) {
+    return Status(StatusCode::kRuntimeError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : rep_->code; }
+  /// Message text; empty for OK.
+  const std::string& message() const;
+
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsCompileError() const { return code() == StatusCode::kCompileError; }
+  bool IsRuntimeError() const { return code() == StatusCode::kRuntimeError; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  /// Prefixes the message with \p context, keeping the code. OK stays OK.
+  Status WithContext(std::string_view context) const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<Rep> rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status to the caller.
+#define GLUENAIL_RETURN_NOT_OK(expr)                 \
+  do {                                               \
+    ::gluenail::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_COMMON_STATUS_H_

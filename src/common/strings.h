@@ -1,0 +1,58 @@
+/// \file strings.h
+/// \brief Small string utilities shared across the codebase.
+
+#ifndef GLUENAIL_COMMON_STRINGS_H_
+#define GLUENAIL_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gluenail {
+
+/// Concatenates the streamable arguments into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  ((os << args), ...);
+  return os.str();
+}
+
+/// Joins \p parts with \p sep.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if \p s starts with \p prefix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Splits on \p sep, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Escapes a string for quoting inside single quotes: ' -> \', \ -> \\,
+/// newline -> \n, tab -> \t.
+std::string EscapeQuoted(std::string_view s);
+
+/// Inverse of EscapeQuoted.
+std::string UnescapeQuoted(std::string_view s);
+
+/// 64-bit FNV-1a hash, used as the base of all hashing in the storage layer.
+inline uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Mixes a 64-bit value into a hash (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+  return seed;
+}
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_COMMON_STRINGS_H_

@@ -1,0 +1,49 @@
+#include "src/exec/bindings.h"
+
+namespace gluenail {
+
+namespace {
+
+struct KeyView {
+  const Record* rec;
+  uint32_t group;
+};
+
+struct KeyHashEq {
+  size_t operator()(const KeyView& k) const {
+    uint64_t h = k.group;
+    for (TermId v : *k.rec) h = HashCombine(h, v);
+    return static_cast<size_t>(h);
+  }
+  bool operator()(const KeyView& a, const KeyView& b) const {
+    return a.group == b.group && *a.rec == *b.rec;
+  }
+};
+
+}  // namespace
+
+size_t DedupRecords(RecordSet* set) {
+  std::unordered_set<KeyView, KeyHashEq, KeyHashEq> seen;
+  std::vector<Record> out_records;
+  std::vector<uint32_t> out_groups;
+  out_records.reserve(set->records.size());
+  size_t removed = 0;
+  for (size_t i = 0; i < set->records.size(); ++i) {
+    uint32_t g = set->groups.empty() ? 0 : set->groups[i];
+    // Note: KeyView points at the record in its *final* vector so the set
+    // stays valid; insert after moving.
+    out_records.push_back(std::move(set->records[i]));
+    out_groups.push_back(g);
+    KeyView key{&out_records.back(), g};
+    if (!seen.insert(key).second) {
+      out_records.pop_back();
+      out_groups.pop_back();
+      ++removed;
+    }
+  }
+  set->records = std::move(out_records);
+  set->groups = std::move(out_groups);
+  return removed;
+}
+
+}  // namespace gluenail

@@ -1,0 +1,110 @@
+#include "src/exec/eval.h"
+
+#include "src/common/strings.h"
+#include "src/runtime/arith.h"
+#include "src/runtime/string_builtins.h"
+
+namespace gluenail {
+
+Result<TermId> EvalExpr(const StatementPlan& plan, ExprId id,
+                        const Record& rec, TermPool* pool) {
+  const ExprNode& n = plan.exprs[static_cast<size_t>(id)];
+  switch (n.kind) {
+    case ExprKind::kConst:
+      return n.const_term;
+    case ExprKind::kSlot: {
+      TermId v = rec[static_cast<size_t>(n.slot)];
+      if (v == kNullTerm) {
+        return Status::Internal(
+            StrCat("unbound slot ", n.slot, " read at run time"));
+      }
+      return v;
+    }
+    case ExprKind::kArith: {
+      GLUENAIL_ASSIGN_OR_RETURN(TermId a,
+                                EvalExpr(plan, n.children[0], rec, pool));
+      GLUENAIL_ASSIGN_OR_RETURN(TermId b,
+                                EvalExpr(plan, n.children[1], rec, pool));
+      return EvalArith(pool, n.op, a, b);
+    }
+    case ExprKind::kNegate: {
+      GLUENAIL_ASSIGN_OR_RETURN(TermId a,
+                                EvalExpr(plan, n.children[0], rec, pool));
+      return EvalNegate(pool, a);
+    }
+    case ExprKind::kStringOp: {
+      std::vector<TermId> args;
+      args.reserve(n.children.size());
+      for (ExprId c : n.children) {
+        GLUENAIL_ASSIGN_OR_RETURN(TermId v, EvalExpr(plan, c, rec, pool));
+        args.push_back(v);
+      }
+      return EvalStringBuiltin(pool, n.op, args);
+    }
+    case ExprKind::kBuild: {
+      GLUENAIL_ASSIGN_OR_RETURN(TermId f,
+                                EvalExpr(plan, n.children[0], rec, pool));
+      std::vector<TermId> args;
+      args.reserve(n.children.size() - 1);
+      for (size_t i = 1; i < n.children.size(); ++i) {
+        GLUENAIL_ASSIGN_OR_RETURN(TermId v,
+                                  EvalExpr(plan, n.children[i], rec, pool));
+        args.push_back(v);
+      }
+      return pool->MakeCompound(f, args);
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+bool MatchTerm(const MatchNode& node, TermId value, const TermPool& pool,
+               Record* rec, BindUndo* undo) {
+  switch (node.kind) {
+    case MatchNode::Kind::kWildcard:
+      return true;
+    case MatchNode::Kind::kConst:
+      return value == node.const_term;
+    case MatchNode::Kind::kBind: {
+      size_t slot = static_cast<size_t>(node.slot);
+      undo->emplace_back(node.slot, (*rec)[slot]);
+      (*rec)[slot] = value;
+      return true;
+    }
+    case MatchNode::Kind::kCheck:
+      return (*rec)[static_cast<size_t>(node.slot)] == value;
+    case MatchNode::Kind::kStruct: {
+      if (!pool.IsCompound(value)) return false;
+      size_t arity = node.children.size() - 1;
+      if (pool.Arity(value) != arity) return false;
+      if (!MatchTerm(node.children[0], pool.Functor(value), pool, rec,
+                     undo)) {
+        return false;
+      }
+      std::span<const TermId> args = pool.Args(value);
+      for (size_t i = 0; i < arity; ++i) {
+        if (!MatchTerm(node.children[i + 1], args[i], pool, rec, undo)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MatchColumns(const std::vector<MatchNode>& patterns, const Tuple& tuple,
+                  const TermPool& pool, Record* rec, BindUndo* undo) {
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    if (!MatchTerm(patterns[i], tuple[i], pool, rec, undo)) return false;
+  }
+  return true;
+}
+
+void UnbindAll(const BindUndo& undo, Record* rec) {
+  // Restore in reverse so repeated bindings of one slot unwind correctly.
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+    (*rec)[static_cast<size_t>(it->first)] = it->second;
+  }
+}
+
+}  // namespace gluenail

@@ -1,0 +1,40 @@
+/// \file eval.h
+/// \brief Expression evaluation and pattern matching over binding records.
+
+#ifndef GLUENAIL_EXEC_EVAL_H_
+#define GLUENAIL_EXEC_EVAL_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/exec/bindings.h"
+#include "src/plan/plan.h"
+#include "src/storage/tuple.h"
+
+namespace gluenail {
+
+/// Evaluates expression \p id of \p plan against \p rec. All slots an
+/// expression reads are guaranteed bound by the planner.
+Result<TermId> EvalExpr(const StatementPlan& plan, ExprId id,
+                        const Record& rec, TermPool* pool);
+
+/// Undo log for bindings made while matching; unwound between candidate
+/// tuples so one scratch record serves a whole scan.
+using BindUndo = std::vector<std::pair<int, TermId>>;
+
+/// Matches \p value against \p node. kBind entries write into \p rec and
+/// log into \p undo; the caller unwinds with UnbindAll on failure or after
+/// consuming the match.
+bool MatchTerm(const MatchNode& node, TermId value, const TermPool& pool,
+               Record* rec, BindUndo* undo);
+
+/// Matches \p tuple column-wise against \p patterns (same length).
+bool MatchColumns(const std::vector<MatchNode>& patterns, const Tuple& tuple,
+                  const TermPool& pool, Record* rec, BindUndo* undo);
+
+/// Reverts the bindings recorded in \p undo (restores previous values).
+void UnbindAll(const BindUndo& undo, Record* rec);
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_EXEC_EVAL_H_

@@ -1,0 +1,467 @@
+#include "src/exec/executor.h"
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/strings.h"
+#include "src/exec/ops.h"
+#include "src/runtime/arith.h"
+
+namespace gluenail {
+
+// ---------------------------------------------------------------------------
+// Relation resolution
+// ---------------------------------------------------------------------------
+
+Result<Relation*> Executor::ResolveRead(const PredicateAccess& access,
+                                        Frame* frame) {
+  switch (access.kind) {
+    case PredicateAccess::Kind::kEdb:
+      return edb_->Find(access.name, access.arity);
+    case PredicateAccess::Kind::kLocal:
+      return frame->local(access.local_index);
+    case PredicateAccess::Kind::kIn:
+      return frame->in();
+    case PredicateAccess::Kind::kNail: {
+      if (env_.nail == nullptr) {
+        return Status::Internal("NAIL! predicate read without an evaluator");
+      }
+      ++stats_.nail_refreshes;
+      return env_.nail->EnsureNail(access.name, access.arity);
+    }
+    default:
+      return Status::Internal("unexpected access kind in ResolveRead");
+  }
+}
+
+Result<Relation*> Executor::ResolveWrite(const PredicateAccess& access,
+                                         Frame* frame, TermId dynamic_name) {
+  switch (access.kind) {
+    case PredicateAccess::Kind::kEdb:
+      return edb_->GetOrCreate(access.name, access.arity);
+    case PredicateAccess::Kind::kLocal:
+      return frame->local(access.local_index);
+    case PredicateAccess::Kind::kReturn:
+      return frame->ret();
+    case PredicateAccess::Kind::kNail:
+      return idb_->GetOrCreate(access.name, access.arity);
+    case PredicateAccess::Kind::kDynamic:
+      return edb_->GetOrCreate(dynamic_name, access.arity);
+    default:
+      return Status::Internal("unexpected access kind in ResolveWrite");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Barrier ops
+// ---------------------------------------------------------------------------
+
+Status Executor::ApplyAggregate(const StatementPlan& plan, const PlanOp& op,
+                                RecordSet* set) {
+  // One accumulator per group; aggregates see one contribution per
+  // supplementary tuple (§3.3), never a projection.
+  std::unordered_map<uint32_t, Aggregator> accs;
+  for (size_t i = 0; i < set->records.size(); ++i) {
+    uint32_t g = set->groups.empty() ? 0 : set->groups[i];
+    auto [it, unused] = accs.try_emplace(g, op.agg, pool_);
+    GLUENAIL_ASSIGN_OR_RETURN(
+        TermId v, EvalExpr(plan, op.agg_arg, set->records[i], pool_));
+    GLUENAIL_RETURN_NOT_OK(it->second.Add(v));
+  }
+  std::unordered_map<uint32_t, TermId> results;
+  for (auto& [g, acc] : accs) {
+    GLUENAIL_ASSIGN_OR_RETURN(TermId v, acc.Finish(pool_));
+    results.emplace(g, v);
+  }
+  RecordSet out;
+  out.num_groups = set->num_groups;
+  for (size_t i = 0; i < set->records.size(); ++i) {
+    uint32_t g = set->groups.empty() ? 0 : set->groups[i];
+    TermId value = results.at(g);
+    if (op.bind_slot >= 0) {
+      Record rec = set->records[i];
+      rec[static_cast<size_t>(op.bind_slot)] = value;
+      out.Add(std::move(rec), g);
+    } else {
+      // "T = min(T)" with T bound: filter, i.e. the §3.3 aggregation+join.
+      GLUENAIL_ASSIGN_OR_RETURN(
+          TermId lhs, EvalExpr(plan, op.lhs, set->records[i], pool_));
+      GLUENAIL_ASSIGN_OR_RETURN(
+          bool eq, EvalCompare(*pool_, ast::CompareOp::kEq, lhs, value));
+      if (eq) out.Add(set->records[i], g);
+    }
+  }
+  *set = std::move(out);
+  return Status::OK();
+}
+
+Status Executor::ApplyGroupBy(const PlanOp& op, RecordSet* set) {
+  // Refine existing groups by the key slots; cascade semantics (§3.3.1).
+  std::map<std::pair<uint32_t, Tuple>, uint32_t> ids;
+  std::vector<uint32_t> new_groups(set->records.size());
+  uint32_t next = 0;
+  for (size_t i = 0; i < set->records.size(); ++i) {
+    uint32_t g = set->groups.empty() ? 0 : set->groups[i];
+    Tuple key;
+    key.reserve(op.group_slots.size());
+    for (int slot : op.group_slots) {
+      key.push_back(set->records[i][static_cast<size_t>(slot)]);
+    }
+    auto [it, inserted] = ids.try_emplace({g, std::move(key)}, next);
+    if (inserted) ++next;
+    new_groups[i] = it->second;
+  }
+  set->groups = std::move(new_groups);
+  set->num_groups = next == 0 ? 1 : next;
+  return Status::OK();
+}
+
+Status Executor::ApplyCall(const StatementPlan& plan, const PlanOp& op,
+                           Frame* frame, const RecordSet& in,
+                           RecordSet* out) {
+  // Project the sup onto the bound arguments, dedupe, call ONCE (§4).
+  Relation input("call_in", op.callee_bound_arity);
+  std::vector<Tuple> rec_keys;
+  rec_keys.reserve(in.records.size());
+  for (const Record& rec : in.records) {
+    Tuple key;
+    key.reserve(op.call_in_exprs.size());
+    for (ExprId e : op.call_in_exprs) {
+      GLUENAIL_ASSIGN_OR_RETURN(TermId v, EvalExpr(plan, e, rec, pool_));
+      key.push_back(v);
+    }
+    input.Insert(key);
+    rec_keys.push_back(std::move(key));
+  }
+
+  Relation result("call_out", op.callee_bound_arity + op.callee_free_arity);
+  switch (op.callee) {
+    case CalleeKind::kBuiltin:
+      ++stats_.builtin_calls;
+      GLUENAIL_RETURN_NOT_OK(
+          ExecBuiltinProc(static_cast<BuiltinProc>(op.callee_index), pool_,
+                          &env_.io, input, &result));
+      break;
+    case CalleeKind::kHost: {
+      ++stats_.host_calls;
+      if (env_.hosts == nullptr ||
+          op.callee_index >= static_cast<int>(env_.hosts->size())) {
+        return Status::Internal("host procedure table missing");
+      }
+      const HostProcedure& host =
+          (*env_.hosts)[static_cast<size_t>(op.callee_index)];
+      GLUENAIL_RETURN_NOT_OK(
+          host.fn(pool_, input, &result).WithContext(host.name));
+      break;
+    }
+    case CalleeKind::kGlueProc: {
+      ++stats_.proc_calls;
+      GLUENAIL_RETURN_NOT_OK(
+          CallProcedureByIndex(op.callee_index, input, &result));
+      break;
+    }
+  }
+
+  // Join the result back: group result tuples by their bound prefix.
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> by_prefix;
+  std::vector<const Tuple*> result_rows;
+  for (const Tuple& t : result) result_rows.push_back(&t);
+  for (const Tuple* t : result_rows) {
+    Tuple prefix(t->begin(), t->begin() + op.callee_bound_arity);
+    by_prefix[std::move(prefix)].push_back(t);
+  }
+  OpRunner runner(this, plan, frame);
+  for (size_t i = 0; i < in.records.size(); ++i) {
+    auto it = by_prefix.find(rec_keys[i]);
+    if (it == by_prefix.end()) continue;
+    uint32_t g = in.groups.empty() ? 0 : in.groups[i];
+    Record rec = in.records[i];
+    for (const Tuple* t : it->second) {
+      BindUndo undo;
+      bool ok = true;
+      for (size_t c = 0; c < op.call_out_patterns.size(); ++c) {
+        if (!MatchTerm(op.call_out_patterns[c],
+                       (*t)[op.callee_bound_arity + c], *pool_, &rec,
+                       &undo)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) out->Add(rec, g);
+      UnbindAll(undo, &rec);
+    }
+  }
+  out->num_groups = in.num_groups;
+  return Status::OK();
+}
+
+Status Executor::ApplyUpdate(const StatementPlan& plan, const PlanOp& op,
+                             Frame* frame, RecordSet* set) {
+  for (const Record& rec : set->records) {
+    Tuple tuple;
+    tuple.reserve(op.update_exprs.size());
+    for (ExprId e : op.update_exprs) {
+      GLUENAIL_ASSIGN_OR_RETURN(TermId v, EvalExpr(plan, e, rec, pool_));
+      tuple.push_back(v);
+    }
+    TermId dynamic_name = kNullTerm;
+    if (op.access.kind == PredicateAccess::Kind::kDynamic) {
+      GLUENAIL_ASSIGN_OR_RETURN(dynamic_name,
+                                EvalExpr(plan, op.access.name_expr, rec,
+                                         pool_));
+    }
+    GLUENAIL_ASSIGN_OR_RETURN(Relation * rel,
+                              ResolveWrite(op.access, frame, dynamic_name));
+    if (op.update_insert) {
+      rel->Insert(tuple);
+    } else {
+      rel->Erase(tuple);
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Heads
+// ---------------------------------------------------------------------------
+
+Status Executor::ApplyHead(const StatementPlan& plan, Frame* frame,
+                           const RecordSet& sup) {
+  const HeadPlan& head = plan.head;
+
+  if (head.is_return) {
+    Relation* ret = frame->ret();
+    if (ret == nullptr) {
+      return Status::Internal("return head outside a procedure frame");
+    }
+    for (const Record& rec : sup.records) {
+      Tuple tuple;
+      tuple.reserve(head.arg_exprs.size());
+      for (ExprId e : head.arg_exprs) {
+        GLUENAIL_ASSIGN_OR_RETURN(TermId v, EvalExpr(plan, e, rec, pool_));
+        tuple.push_back(v);
+      }
+      ret->Insert(tuple);
+      ++stats_.head_tuples;
+    }
+    // Assigning to return exits the procedure (§4). When the body yields
+    // nothing, §3.2's "execution stops on an empty supplementary relation"
+    // applies: no assignment happened, so no exit — which is what makes
+    // sequential return statements act as conditionals (base case /
+    // recursive case) and matches Figure 1's final `return := confirmed`.
+    if (!sup.records.empty()) frame->returned = true;
+    return Status::OK();
+  }
+
+  bool dynamic = head.access.kind == PredicateAccess::Kind::kDynamic;
+  Relation* static_rel = nullptr;
+  if (!dynamic) {
+    GLUENAIL_ASSIGN_OR_RETURN(static_rel,
+                              ResolveWrite(head.access, frame, kNullTerm));
+  }
+  Relation* delta_rel = nullptr;
+  if (head.delta_access.kind != PredicateAccess::Kind::kNone) {
+    GLUENAIL_ASSIGN_OR_RETURN(
+        delta_rel, ResolveWrite(head.delta_access, frame, kNullTerm));
+  }
+
+  // Build the head tuples (and their target relation when dynamic).
+  std::vector<std::pair<Relation*, Tuple>> new_tuples;
+  std::unordered_set<TermId> cleared_dynamic;
+  for (const Record& rec : sup.records) {
+    Relation* rel = static_rel;
+    if (dynamic) {
+      GLUENAIL_ASSIGN_OR_RETURN(
+          TermId name, EvalExpr(plan, head.access.name_expr, rec, pool_));
+      GLUENAIL_ASSIGN_OR_RETURN(rel, ResolveWrite(head.access, frame, name));
+      if (head.op == ast::AssignOp::kClear &&
+          cleared_dynamic.insert(name).second) {
+        rel->Clear();
+      }
+    }
+    Tuple tuple;
+    tuple.reserve(head.arg_exprs.size());
+    for (ExprId e : head.arg_exprs) {
+      GLUENAIL_ASSIGN_OR_RETURN(TermId v, EvalExpr(plan, e, rec, pool_));
+      tuple.push_back(v);
+    }
+    new_tuples.emplace_back(rel, std::move(tuple));
+  }
+
+  switch (head.op) {
+    case ast::AssignOp::kClear:
+      // ":=" overwrites: clear even when the body produced nothing.
+      if (!dynamic) static_rel->Clear();
+      for (auto& [rel, tuple] : new_tuples) {
+        if (rel->Insert(tuple)) ++stats_.head_tuples;
+      }
+      return Status::OK();
+    case ast::AssignOp::kInsert:
+      for (auto& [rel, tuple] : new_tuples) {
+        if (rel->Insert(tuple)) {
+          ++stats_.head_tuples;
+          if (delta_rel != nullptr) delta_rel->Insert(tuple);
+        }
+      }
+      return Status::OK();
+    case ast::AssignOp::kDelete:
+      for (auto& [rel, tuple] : new_tuples) {
+        if (rel->Erase(tuple)) ++stats_.head_tuples;
+      }
+      return Status::OK();
+    case ast::AssignOp::kModify: {
+      // Update-by-key (§3.1): remove every existing tuple agreeing with a
+      // new tuple on the key columns, then insert the new tuples.
+      std::vector<std::pair<Relation*, Tuple>> victims;
+      std::vector<uint32_t> rows;
+      Tuple key;
+      for (auto& [rel, tuple] : new_tuples) {
+        ExtractKey(head.modify_mask, tuple, &key);
+        rows.clear();
+        rel->Select(head.modify_mask, key, &rows);
+        for (uint32_t row : rows) {
+          victims.emplace_back(rel, rel->row(row));
+        }
+      }
+      for (auto& [rel, tuple] : victims) rel->Erase(tuple);
+      for (auto& [rel, tuple] : new_tuples) {
+        if (rel->Insert(tuple)) ++stats_.head_tuples;
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable head op");
+}
+
+// ---------------------------------------------------------------------------
+// Statements, loops, procedures
+// ---------------------------------------------------------------------------
+
+Status Executor::ExecuteStatementPlan(const StatementPlan& plan,
+                                      Frame* frame) {
+  RecordSet final_sup;
+  return ExecuteStatementPlanCapture(plan, frame, &final_sup);
+}
+
+Status Executor::ExecuteStatementPlanCapture(const StatementPlan& plan,
+                                             Frame* frame,
+                                             RecordSet* final_sup) {
+  GLUENAIL_RETURN_NOT_OK(ExecuteBodyOnly(plan, frame, final_sup));
+  return ApplyHead(plan, frame, *final_sup);
+}
+
+Status Executor::ExecuteBodyOnly(const StatementPlan& plan, Frame* frame,
+                                 RecordSet* final_sup) {
+  ++stats_.statements;
+  final_sup->Clear();
+  Status st = options_.strategy == ExecOptions::Strategy::kMaterialized
+                  ? RunMaterialized(plan, frame, final_sup)
+                  : RunPipelined(plan, frame, final_sup);
+  GLUENAIL_RETURN_NOT_OK(st);
+  stats_.records_produced += final_sup->size();
+  return Status::OK();
+}
+
+Result<bool> Executor::EvalCond(const CondPlan& cond, Frame* frame) {
+  switch (cond.kind) {
+    case ast::UntilCond::Kind::kAnd: {
+      // No short-circuiting: unchanged() leaves must always update their
+      // site state so later iterations see consistent versions.
+      GLUENAIL_ASSIGN_OR_RETURN(bool a, EvalCond(cond.children[0], frame));
+      GLUENAIL_ASSIGN_OR_RETURN(bool b, EvalCond(cond.children[1], frame));
+      return a && b;
+    }
+    case ast::UntilCond::Kind::kOr: {
+      GLUENAIL_ASSIGN_OR_RETURN(bool a, EvalCond(cond.children[0], frame));
+      GLUENAIL_ASSIGN_OR_RETURN(bool b, EvalCond(cond.children[1], frame));
+      return a || b;
+    }
+    case ast::UntilCond::Kind::kNot: {
+      GLUENAIL_ASSIGN_OR_RETURN(bool a, EvalCond(cond.children[0], frame));
+      return !a;
+    }
+    case ast::UntilCond::Kind::kUnchanged: {
+      GLUENAIL_ASSIGN_OR_RETURN(Relation * rel,
+                                ResolveRead(cond.access, frame));
+      uint64_t current = rel == nullptr ? 0 : rel->version();
+      Frame::UnchangedSite& site =
+          frame->unchanged_sites[static_cast<size_t>(cond.unchanged_site)];
+      // "always false the first time it is executed" (§4).
+      bool result = site.seen && site.version == current;
+      site.seen = true;
+      site.version = current;
+      return result;
+    }
+    case ast::UntilCond::Kind::kEmpty:
+    case ast::UntilCond::Kind::kNonEmpty: {
+      GLUENAIL_ASSIGN_OR_RETURN(Relation * rel,
+                                ResolveRead(cond.access, frame));
+      bool exists = false;
+      if (rel != nullptr) {
+        Record dummy;
+        BindUndo undo;
+        for (const Tuple& t : *rel) {
+          undo.clear();
+          if (MatchColumns(cond.patterns, t, *pool_, &dummy, &undo)) {
+            exists = true;
+            break;
+          }
+        }
+      }
+      return cond.kind == ast::UntilCond::Kind::kNonEmpty ? exists : !exists;
+    }
+  }
+  return Status::Internal("unreachable cond kind");
+}
+
+Status Executor::ExecBlock(const std::vector<CInstr>& code,
+                           const CompiledProcedure& proc, Frame* frame) {
+  for (const CInstr& instr : code) {
+    if (frame->returned) return Status::OK();
+    if (instr.kind == CInstr::Kind::kExec) {
+      GLUENAIL_RETURN_NOT_OK(ExecuteStatementPlan(
+          proc.plans[static_cast<size_t>(instr.plan_index)], frame));
+    } else {
+      uint64_t iterations = 0;
+      while (true) {
+        ++stats_.loop_iterations;
+        if (++iterations > options_.max_loop_iterations) {
+          return Status::RuntimeError(
+              StrCat("repeat loop in ", proc.name, " exceeded ",
+                     options_.max_loop_iterations, " iterations"));
+        }
+        GLUENAIL_RETURN_NOT_OK(ExecBlock(instr.body, proc, frame));
+        if (frame->returned) return Status::OK();
+        GLUENAIL_ASSIGN_OR_RETURN(bool done, EvalCond(instr.cond, frame));
+        if (done) break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Executor::CallProcedureByIndex(int index, const Relation& input,
+                                      Relation* output) {
+  if (call_depth_ >= options_.max_call_depth) {
+    return Status::RuntimeError(
+        StrCat("procedure call depth exceeded ", options_.max_call_depth));
+  }
+  const CompiledProcedure& proc =
+      program_->procedures[static_cast<size_t>(index)];
+  if (input.arity() != proc.bound_arity) {
+    return Status::Internal(
+        StrCat("call to ", proc.name, " with input arity ", input.arity(),
+               ", expected ", proc.bound_arity));
+  }
+  Frame frame(&proc);
+  frame.in()->CopyFrom(input);
+  ++call_depth_;
+  Status st = ExecBlock(proc.code, proc, &frame);
+  --call_depth_;
+  GLUENAIL_RETURN_NOT_OK(st.WithContext(StrCat("in ", proc.name)));
+  output->UnionAll(*frame.ret());
+  return Status::OK();
+}
+
+}  // namespace gluenail

@@ -1,0 +1,178 @@
+/// \file executor.h
+/// \brief Plan interpretation: procedures, statements, loops.
+///
+/// Two statement execution strategies, selected by ExecOptions::strategy:
+///  * kMaterialized — realizes every supplementary relation sup_i (§3.2);
+///  * kPipelined — nested-join streaming that fuses runs of pipelineable
+///    ops and breaks (materializes) at aggregates, group_by, procedure
+///    calls, and body updates, optionally eliminating duplicates at each
+///    break ("removing duplicates early has always been advantageous",
+///    §9).
+///
+/// Both strategies share the op semantics; differential tests in
+/// tests/executor_strategies_test.cc hold them equal.
+
+#ifndef GLUENAIL_EXEC_EXECUTOR_H_
+#define GLUENAIL_EXEC_EXECUTOR_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/exec/bindings.h"
+#include "src/exec/eval.h"
+#include "src/exec/frame.h"
+#include "src/plan/plan.h"
+#include "src/runtime/io.h"
+#include "src/storage/database.h"
+
+namespace gluenail {
+
+struct ExecOptions {
+  enum class Strategy { kMaterialized, kPipelined };
+  Strategy strategy = Strategy::kPipelined;
+  /// Eliminate duplicate binding records at every materialization point
+  /// (§9). Turning this off is the bench E2 baseline.
+  bool dedup_at_breaks = true;
+  /// Recursion guard for Glue procedure calls.
+  int max_call_depth = 512;
+  /// Guard against non-terminating repeat loops.
+  uint64_t max_loop_iterations = 10'000'000;
+};
+
+/// Run-time counters surfaced through Engine::stats().
+struct ExecStats {
+  uint64_t statements = 0;
+  uint64_t records_produced = 0;
+  uint64_t pipeline_breaks = 0;
+  uint64_t duplicates_removed = 0;
+  uint64_t proc_calls = 0;
+  uint64_t host_calls = 0;
+  uint64_t builtin_calls = 0;
+  uint64_t loop_iterations = 0;
+  uint64_t head_tuples = 0;
+  uint64_t nail_refreshes = 0;
+};
+
+/// Interface to the NAIL! engine (implemented in src/nail/seminaive.cc).
+/// Keeps exec below nail in the layering.
+class NailEvaluator {
+ public:
+  virtual ~NailEvaluator() = default;
+  /// Brings the flattened storage relation \p storage_name up to date with
+  /// the current EDB and returns it (lives in the IDB database).
+  virtual Result<Relation*> EnsureNail(TermId storage_name,
+                                       uint32_t arity) = 0;
+  /// Refreshes every NAIL! predicate and its published HiLog instances —
+  /// needed before dynamic predicate dereferencing.
+  virtual Status EnsureAllNail() = 0;
+};
+
+/// Everything the executor reaches outside the plan: streams, host
+/// procedures, the NAIL! engine. All pointers are borrowed.
+struct RuntimeEnv {
+  IoEnv io;
+  const std::vector<HostProcedure>* hosts = nullptr;
+  NailEvaluator* nail = nullptr;
+};
+
+class Executor {
+ public:
+  Executor(const CompiledProgram* program, Database* edb, Database* idb,
+           TermPool* pool, RuntimeEnv env, ExecOptions options)
+      : program_(program),
+        edb_(edb),
+        idb_(idb),
+        pool_(pool),
+        env_(env),
+        options_(options) {}
+
+  /// Calls procedure \p index once on the whole \p input relation (§4) and
+  /// copies its return relation into \p output.
+  Status CallProcedureByIndex(int index, const Relation& input,
+                              Relation* output);
+
+  /// Executes one statement plan in \p frame (which supplies locals and
+  /// in/return for procedure statements; a proc-less Frame works for
+  /// ad-hoc statements).
+  Status ExecuteStatementPlan(const StatementPlan& plan, Frame* frame);
+
+  /// Executes a statement and also hands the final supplementary relation
+  /// to the caller — the Engine's query API is built on this.
+  Status ExecuteStatementPlanCapture(const StatementPlan& plan, Frame* frame,
+                                     RecordSet* final_sup);
+
+  /// Evaluates only the body, leaving the head unapplied: ad-hoc queries
+  /// read the final supplementary relation without touching any relation.
+  Status ExecuteBodyOnly(const StatementPlan& plan, Frame* frame,
+                         RecordSet* final_sup);
+
+  /// Redirects the I/O builtins (tests and examples script stdin/stdout).
+  void set_io(const IoEnv& io) { env_.io = io; }
+
+  /// Evaluates a loop condition.
+  Result<bool> EvalCond(const CondPlan& cond, Frame* frame);
+
+  /// Runs a compiled instruction block (statements and loops).
+  Status ExecBlock(const std::vector<CInstr>& code,
+                   const CompiledProcedure& proc, Frame* frame);
+
+  ExecStats& stats() { return stats_; }
+  const ExecStats& stats() const { return stats_; }
+  const ExecOptions& options() const { return options_; }
+
+ private:
+  // --- Strategy entry points (materialized.cc / pipelined.cc) -----------
+  Status RunMaterialized(const StatementPlan& plan, Frame* frame,
+                         RecordSet* out);
+  Status RunPipelined(const StatementPlan& plan, Frame* frame,
+                      RecordSet* out);
+
+  // --- Shared op helpers (ops.cc) ----------------------------------------
+  friend class OpRunner;
+
+  /// Resolves a static-name relation access for reading. May return
+  /// nullptr: the relation does not exist, i.e. it is empty.
+  Result<Relation*> ResolveRead(const PredicateAccess& access, Frame* frame);
+  /// Resolves for writing, creating EDB/IDB relations on demand.
+  Result<Relation*> ResolveWrite(const PredicateAccess& access, Frame* frame,
+                                 TermId dynamic_name);
+
+  /// Barrier ops over a whole record set.
+  Status ApplyAggregate(const StatementPlan& plan, const PlanOp& op,
+                        RecordSet* set);
+  Status ApplyGroupBy(const PlanOp& op, RecordSet* set);
+  Status ApplyCall(const StatementPlan& plan, const PlanOp& op, Frame* frame,
+                   const RecordSet& in, RecordSet* out);
+  Status ApplyUpdate(const StatementPlan& plan, const PlanOp& op,
+                     Frame* frame, RecordSet* set);
+
+  /// Head application (§3.1 operators; return exit; uniondiff delta).
+  Status ApplyHead(const StatementPlan& plan, Frame* frame,
+                   const RecordSet& sup);
+
+  /// True when \p op must materialize the supplementary relation (§9).
+  static bool IsBarrier(const PlanOp& op) {
+    switch (op.kind) {
+      case OpKind::kAggregate:
+      case OpKind::kGroupBy:
+      case OpKind::kCall:
+      case OpKind::kUpdate:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  const CompiledProgram* program_;
+  Database* edb_;
+  Database* idb_;
+  TermPool* pool_;
+  RuntimeEnv env_;
+  ExecOptions options_;
+  ExecStats stats_;
+  int call_depth_ = 0;
+};
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_EXEC_EXECUTOR_H_

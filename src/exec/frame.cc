@@ -1,0 +1,16 @@
+#include "src/exec/frame.h"
+
+namespace gluenail {
+
+Frame::Frame(const CompiledProcedure* proc) {
+  if (proc == nullptr) return;
+  locals_.reserve(proc->locals.size());
+  for (const auto& [name, arity] : proc->locals) {
+    locals_.push_back(std::make_unique<Relation>(name, arity));
+  }
+  in_ = std::make_unique<Relation>("in", proc->bound_arity);
+  return_ = std::make_unique<Relation>("return", proc->arity());
+  unchanged_sites.resize(static_cast<size_t>(proc->num_unchanged_sites));
+}
+
+}  // namespace gluenail

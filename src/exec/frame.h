@@ -1,0 +1,47 @@
+/// \file frame.h
+/// \brief Procedure invocation frames.
+///
+/// Paper §4: "Each invocation of a procedure has its own copies of its
+/// local relations", plus the special `in` and `return` relations. The
+/// frame also tracks the per-call-site state behind `unchanged`.
+
+#ifndef GLUENAIL_EXEC_FRAME_H_
+#define GLUENAIL_EXEC_FRAME_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/plan/plan.h"
+#include "src/storage/relation.h"
+
+namespace gluenail {
+
+class Frame {
+ public:
+  /// Builds the frame for \p proc: fresh locals, empty in/return.
+  /// \p proc may be nullptr for ad-hoc statement execution (no locals, no
+  /// in/return; unchanged sites per engine-supplied count).
+  explicit Frame(const CompiledProcedure* proc);
+
+  Relation* local(int index) { return locals_[index].get(); }
+  Relation* in() { return in_.get(); }
+  Relation* ret() { return return_.get(); }
+
+  bool returned = false;
+
+  /// unchanged(p) bookkeeping: last observed version per site.
+  struct UnchangedSite {
+    bool seen = false;
+    uint64_t version = 0;
+  };
+  std::vector<UnchangedSite> unchanged_sites;
+
+ private:
+  std::vector<std::unique_ptr<Relation>> locals_;
+  std::unique_ptr<Relation> in_;
+  std::unique_ptr<Relation> return_;
+};
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_EXEC_FRAME_H_

@@ -1,0 +1,197 @@
+#include "src/exec/ops.h"
+
+#include "src/common/strings.h"
+#include "src/runtime/arith.h"
+
+namespace gluenail {
+
+bool IsInternalPredicateName(const TermPool& pool, TermId name) {
+  TermId root = name;
+  while (pool.IsCompound(root)) root = pool.Functor(root);
+  return pool.IsSymbol(root) && StartsWith(pool.SymbolName(root), "$");
+}
+
+Status OpRunner::Stream(const PlanOp& op, Record* rec, uint32_t group,
+                        const EmitFn& emit) {
+  switch (op.kind) {
+    case OpKind::kMatch:
+      return StreamMatch(op, rec, group, emit);
+    case OpKind::kNegMatch:
+      return StreamNegMatch(op, rec, group, emit);
+    case OpKind::kCompare:
+      return StreamCompare(op, rec, group, emit);
+    default:
+      return Status::Internal("barrier op streamed");
+  }
+}
+
+Result<Tuple> OpRunner::EvalKey(const PlanOp& op, const Record& rec) {
+  Tuple key;
+  key.reserve(op.key_exprs.size());
+  for (ExprId e : op.key_exprs) {
+    GLUENAIL_ASSIGN_OR_RETURN(TermId v,
+                              EvalExpr(plan_, e, rec, exec_->pool_));
+    key.push_back(v);
+  }
+  return key;
+}
+
+std::vector<uint32_t>* OpRunner::AcquireScratch() {
+  if (scratch_depth_ == scratch_pool_.size()) {
+    scratch_pool_.emplace_back();
+  }
+  std::vector<uint32_t>* out = &scratch_pool_[scratch_depth_++];
+  out->clear();
+  return out;
+}
+
+void OpRunner::ReleaseScratch() { --scratch_depth_; }
+
+Status OpRunner::StreamMatchRelation(const PlanOp& op, Relation* rel,
+                                     Record* rec, uint32_t group,
+                                     const EmitFn& emit) {
+  if (rel == nullptr || rel->empty()) return Status::OK();
+  BindUndo undo;
+  if (op.bound_mask != 0) {
+    GLUENAIL_ASSIGN_OR_RETURN(Tuple key, EvalKey(op, *rec));
+    std::vector<uint32_t>* rows = AcquireScratch();
+    rel->Select(op.bound_mask, key, rows);
+    Status st;
+    for (uint32_t row : *rows) {
+      undo.clear();
+      if (MatchColumns(op.col_patterns, rel->row(row), *exec_->pool_, rec,
+                       &undo)) {
+        st = emit(rec, group);
+        if (!st.ok()) break;
+      }
+      UnbindAll(undo, rec);
+    }
+    ReleaseScratch();
+    return st;
+  }
+  for (const Tuple& tuple : *rel) {
+    undo.clear();
+    if (MatchColumns(op.col_patterns, tuple, *exec_->pool_, rec, &undo)) {
+      GLUENAIL_RETURN_NOT_OK(emit(rec, group));
+    }
+    UnbindAll(undo, rec);
+  }
+  return Status::OK();
+}
+
+Status OpRunner::StreamMatch(const PlanOp& op, Record* rec, uint32_t group,
+                             const EmitFn& emit) {
+  if (op.access.kind != PredicateAccess::Kind::kDynamic) {
+    GLUENAIL_ASSIGN_OR_RETURN(Relation * rel,
+                              exec_->ResolveRead(op.access, frame_));
+    return StreamMatchRelation(op, rel, rec, group, emit);
+  }
+
+  // Dynamic (HiLog) dereference.
+  if (op.access.name_expr != kNoExpr) {
+    GLUENAIL_ASSIGN_OR_RETURN(
+        TermId name, EvalExpr(plan_, op.access.name_expr, *rec, exec_->pool_));
+    Relation* rel = exec_->edb_->Find(name, op.access.arity);
+    if (rel == nullptr && exec_->env_.nail != nullptr) {
+      GLUENAIL_RETURN_NOT_OK(exec_->env_.nail->EnsureAllNail());
+      rel = exec_->idb_->Find(name, op.access.arity);
+    }
+    return StreamMatchRelation(op, rel, rec, group, emit);
+  }
+
+  // Unbound name variables: enumerate every candidate predicate of the
+  // right arity — paper §5.1: "predicate variables can only range over
+  // predicate names", which are always finitely many.
+  const MatchNode& name_pattern =
+      plan_.name_patterns[static_cast<size_t>(op.access.name_pattern_index)];
+  if (exec_->env_.nail != nullptr) {
+    GLUENAIL_RETURN_NOT_OK(exec_->env_.nail->EnsureAllNail());
+  }
+  for (Database* db : {exec_->edb_, exec_->idb_}) {
+    if (db == nullptr) continue;
+    for (auto& [name, rel] : db->RelationsWithArity(op.access.arity)) {
+      if (IsInternalPredicateName(*exec_->pool_, name)) continue;
+      BindUndo name_undo;
+      if (MatchTerm(name_pattern, name, *exec_->pool_, rec, &name_undo)) {
+        GLUENAIL_RETURN_NOT_OK(
+            StreamMatchRelation(op, rel, rec, group, emit));
+      }
+      UnbindAll(name_undo, rec);
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> OpRunner::HasMatch(const PlanOp& op, Relation* rel,
+                                Record* rec) {
+  if (rel == nullptr || rel->empty()) return false;
+  BindUndo undo;
+  if (op.bound_mask != 0) {
+    GLUENAIL_ASSIGN_OR_RETURN(Tuple key, EvalKey(op, *rec));
+    std::vector<uint32_t>* rows = AcquireScratch();
+    rel->Select(op.bound_mask, key, rows);
+    bool found = false;
+    for (uint32_t row : *rows) {
+      undo.clear();
+      bool ok = MatchColumns(op.col_patterns, rel->row(row), *exec_->pool_,
+                             rec, &undo);
+      UnbindAll(undo, rec);
+      if (ok) {
+        found = true;
+        break;
+      }
+    }
+    ReleaseScratch();
+    return found;
+  }
+  for (const Tuple& tuple : *rel) {
+    undo.clear();
+    bool ok = MatchColumns(op.col_patterns, tuple, *exec_->pool_, rec, &undo);
+    UnbindAll(undo, rec);
+    if (ok) return true;
+  }
+  return false;
+}
+
+Status OpRunner::StreamNegMatch(const PlanOp& op, Record* rec, uint32_t group,
+                                const EmitFn& emit) {
+  Relation* rel = nullptr;
+  if (op.access.kind == PredicateAccess::Kind::kDynamic) {
+    GLUENAIL_ASSIGN_OR_RETURN(
+        TermId name, EvalExpr(plan_, op.access.name_expr, *rec, exec_->pool_));
+    rel = exec_->edb_->Find(name, op.access.arity);
+    if (rel == nullptr && exec_->env_.nail != nullptr) {
+      GLUENAIL_RETURN_NOT_OK(exec_->env_.nail->EnsureAllNail());
+      rel = exec_->idb_->Find(name, op.access.arity);
+    }
+  } else {
+    GLUENAIL_ASSIGN_OR_RETURN(rel, exec_->ResolveRead(op.access, frame_));
+  }
+  GLUENAIL_ASSIGN_OR_RETURN(bool exists, HasMatch(op, rel, rec));
+  if (!exists) return emit(rec, group);
+  return Status::OK();
+}
+
+Status OpRunner::StreamCompare(const PlanOp& op, Record* rec, uint32_t group,
+                               const EmitFn& emit) {
+  if (op.bind_slot >= 0) {
+    GLUENAIL_ASSIGN_OR_RETURN(TermId v,
+                              EvalExpr(plan_, op.rhs, *rec, exec_->pool_));
+    size_t slot = static_cast<size_t>(op.bind_slot);
+    TermId old = (*rec)[slot];
+    (*rec)[slot] = v;
+    Status st = emit(rec, group);
+    (*rec)[slot] = old;
+    return st;
+  }
+  GLUENAIL_ASSIGN_OR_RETURN(TermId a,
+                            EvalExpr(plan_, op.lhs, *rec, exec_->pool_));
+  GLUENAIL_ASSIGN_OR_RETURN(TermId b,
+                            EvalExpr(plan_, op.rhs, *rec, exec_->pool_));
+  GLUENAIL_ASSIGN_OR_RETURN(bool pass,
+                            EvalCompare(*exec_->pool_, op.cmp, a, b));
+  if (pass) return emit(rec, group);
+  return Status::OK();
+}
+
+}  // namespace gluenail

@@ -1,0 +1,65 @@
+/// \file ops.h
+/// \brief Shared per-record op semantics used by both executors.
+///
+/// OpRunner streams one input record through a pipelineable op (match,
+/// negated match, comparison), emitting zero or more extended records. The
+/// materialized executor calls it once per record per op; the pipelined
+/// executor chains the calls without materializing in between — identical
+/// semantics, different memory traffic, which is exactly the §9 trade-off
+/// the benchmarks measure.
+
+#ifndef GLUENAIL_EXEC_OPS_H_
+#define GLUENAIL_EXEC_OPS_H_
+
+#include <functional>
+
+#include "src/exec/executor.h"
+
+namespace gluenail {
+
+class OpRunner {
+ public:
+  using EmitFn = std::function<Status(Record*, uint32_t group)>;
+
+  OpRunner(Executor* exec, const StatementPlan& plan, Frame* frame)
+      : exec_(exec), plan_(plan), frame_(frame) {}
+
+  /// Streams \p rec through a kMatch / kNegMatch / kCompare op. \p rec is
+  /// scratch space: bindings made during matching are undone before
+  /// returning, but the record handed to \p emit is valid only for the
+  /// duration of that call.
+  Status Stream(const PlanOp& op, Record* rec, uint32_t group,
+                const EmitFn& emit);
+
+ private:
+  Status StreamMatch(const PlanOp& op, Record* rec, uint32_t group,
+                     const EmitFn& emit);
+  Status StreamMatchRelation(const PlanOp& op, Relation* rel, Record* rec,
+                             uint32_t group, const EmitFn& emit);
+  Status StreamNegMatch(const PlanOp& op, Record* rec, uint32_t group,
+                        const EmitFn& emit);
+  Result<bool> HasMatch(const PlanOp& op, Relation* rel, Record* rec);
+  Status StreamCompare(const PlanOp& op, Record* rec, uint32_t group,
+                       const EmitFn& emit);
+  Result<Tuple> EvalKey(const PlanOp& op, const Record& rec);
+
+  /// Row-id scratch buffers, one per nesting depth: in the pipelined
+  /// executor an inner match runs while an outer match is still iterating
+  /// its row list, so a single shared buffer would be clobbered.
+  std::vector<uint32_t>* AcquireScratch();
+  void ReleaseScratch();
+
+  Executor* exec_;
+  const StatementPlan& plan_;
+  Frame* frame_;
+  std::vector<std::vector<uint32_t>> scratch_pool_;
+  size_t scratch_depth_ = 0;
+};
+
+/// True for predicate names reserved by the implementation (NAIL! storage
+/// and delta relations): hidden from dynamic (HiLog) enumeration.
+bool IsInternalPredicateName(const TermPool& pool, TermId name);
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_EXEC_OPS_H_

@@ -1,0 +1,209 @@
+#include "src/nail/seminaive.h"
+
+#include "src/common/strings.h"
+#include "src/nail/nail_to_glue.h"
+#include "src/plan/planner.h"
+
+namespace gluenail {
+
+Status NailEngine::CompileDirect(const Scope* builtin_scope,
+                                 const PlannerOptions& opts) {
+  nail_scope_ = std::make_unique<Scope>(builtin_scope);
+  DeclareNailScope(program_, nail_scope_.get());
+  CompileEnv env;
+  env.pool = pool_;
+  env.scope = nail_scope_.get();
+  // Rule bodies reference EDB relations without per-module declarations.
+  env.implicit_edb = true;
+
+  scc_plans_.clear();
+  scc_plans_.resize(program_.scc_order.size());
+  for (size_t s = 0; s < program_.scc_order.size(); ++s) {
+    SccStatements stmts =
+        BuildSccStatements(program_, static_cast<int>(s));
+    for (const ast::Assignment& a : stmts.init) {
+      GLUENAIL_ASSIGN_OR_RETURN(StatementPlan plan,
+                                PlanAssignment(a, env, opts));
+      scc_plans_[s].init.push_back(std::move(plan));
+      // Naive baseline: same statement without delta capture.
+      ast::Assignment naive = a;
+      naive.has_delta = false;
+      GLUENAIL_ASSIGN_OR_RETURN(StatementPlan nplan,
+                                PlanAssignment(naive, env, opts));
+      scc_plans_[s].naive.push_back(std::move(nplan));
+    }
+    for (const ast::Assignment& a : stmts.iterate) {
+      GLUENAIL_ASSIGN_OR_RETURN(StatementPlan plan,
+                                PlanAssignment(a, env, opts));
+      scc_plans_[s].iterate.push_back(std::move(plan));
+    }
+  }
+  return Status::OK();
+}
+
+std::pair<uint64_t, uint64_t> NailEngine::EdbSnapshot() const {
+  uint64_t count = 0, sum = 0;
+  edb_->ForEach([&](TermId, uint32_t, Relation* rel) {
+    ++count;
+    sum += rel->version();
+  });
+  return {count, sum};
+}
+
+Status NailEngine::ClearIdb() {
+  // Storage, deltas, and published instances all live in the IDB database;
+  // recomputation starts from scratch.
+  std::vector<std::pair<TermId, uint32_t>> keys;
+  idb_->ForEach([&](TermId name, uint32_t arity, Relation*) {
+    keys.emplace_back(name, arity);
+  });
+  for (const auto& [name, arity] : keys) {
+    GLUENAIL_RETURN_NOT_OK(idb_->Drop(name, arity));
+  }
+  return Status::OK();
+}
+
+Result<Relation*> NailEngine::EnsureNail(TermId storage_name,
+                                         uint32_t arity) {
+  if (!evaluating_) {
+    GLUENAIL_RETURN_NOT_OK(Refresh());
+  }
+  return idb_->GetOrCreate(storage_name, arity);
+}
+
+Status NailEngine::EnsureAllNail() {
+  if (evaluating_) return Status::OK();
+  return Refresh();
+}
+
+Status NailEngine::Refresh() {
+  if (program_.empty()) return Status::OK();
+  std::pair<uint64_t, uint64_t> now = EdbSnapshot();
+  if (valid_ && now == snapshot_) return Status::OK();
+  if (exec_ == nullptr) {
+    return Status::Internal("NailEngine has no executor wired");
+  }
+  evaluating_ = true;
+  Status st = ClearIdb();
+  if (st.ok()) {
+    switch (mode_) {
+      case NailMode::kDirect:
+        st = RefreshDirect();
+        break;
+      case NailMode::kNaive:
+        st = RefreshNaive();
+        break;
+      case NailMode::kCompiledGlue:
+        st = RefreshCompiled();
+        break;
+    }
+  }
+  if (st.ok()) st = Publish();
+  evaluating_ = false;
+  GLUENAIL_RETURN_NOT_OK(st.WithContext("NAIL! evaluation"));
+  ++refresh_count_;
+  // Snapshot *after* evaluation: evaluation only writes the IDB, so the
+  // EDB snapshot is unchanged unless a concurrent statement interfered
+  // (impossible: single-threaded).
+  snapshot_ = EdbSnapshot();
+  valid_ = true;
+  return Status::OK();
+}
+
+Status NailEngine::RefreshDirect() {
+  Frame frame(nullptr);
+  for (size_t s = 0; s < program_.scc_order.size(); ++s) {
+    SccPlans& plans = scc_plans_[s];
+    for (const StatementPlan& plan : plans.init) {
+      GLUENAIL_RETURN_NOT_OK(exec_->ExecuteStatementPlan(plan, &frame));
+    }
+    if (plans.iterate.empty()) continue;
+    const std::vector<int>& preds = program_.scc_order[s];
+    while (true) {
+      ++iteration_count_;
+      // Clear newdelta relations.
+      for (int p : preds) {
+        const NailPred& pred = program_.preds[static_cast<size_t>(p)];
+        idb_->GetOrCreate(pred.newdelta_storage, pred.columns())->Clear();
+      }
+      for (const StatementPlan& plan : plans.iterate) {
+        GLUENAIL_RETURN_NOT_OK(exec_->ExecuteStatementPlan(plan, &frame));
+      }
+      bool done = true;
+      for (int p : preds) {
+        const NailPred& pred = program_.preds[static_cast<size_t>(p)];
+        Relation* nd =
+            idb_->GetOrCreate(pred.newdelta_storage, pred.columns());
+        if (!nd->empty()) {
+          done = false;
+          // Shift: delta := newdelta.
+          idb_->GetOrCreate(pred.delta_storage, pred.columns())
+              ->CopyFrom(*nd);
+        } else {
+          idb_->GetOrCreate(pred.delta_storage, pred.columns())->Clear();
+        }
+      }
+      if (done) break;
+    }
+  }
+  return Status::OK();
+}
+
+Status NailEngine::RefreshNaive() {
+  // Ablation baseline (bench E5): iterate the original rules over full
+  // relations until no storage relation grows. No deltas, no uniondiff.
+  Frame frame(nullptr);
+  for (size_t s = 0; s < program_.scc_order.size(); ++s) {
+    SccPlans& plans = scc_plans_[s];
+    const std::vector<int>& preds = program_.scc_order[s];
+    while (true) {
+      ++iteration_count_;
+      uint64_t before = 0;
+      for (int p : preds) {
+        const NailPred& pred = program_.preds[static_cast<size_t>(p)];
+        before += idb_->GetOrCreate(pred.storage, pred.columns())->version();
+      }
+      for (const StatementPlan& plan : plans.naive) {
+        GLUENAIL_RETURN_NOT_OK(exec_->ExecuteStatementPlan(plan, &frame));
+      }
+      uint64_t after = 0;
+      for (int p : preds) {
+        const NailPred& pred = program_.preds[static_cast<size_t>(p)];
+        after += idb_->GetOrCreate(pred.storage, pred.columns())->version();
+      }
+      if (after == before) break;
+    }
+  }
+  return Status::OK();
+}
+
+Status NailEngine::RefreshCompiled() {
+  if (driver_proc_ < 0) {
+    return Status::Internal("compiled NAIL! mode without a driver proc");
+  }
+  Relation input("in", 0);
+  input.Insert(Tuple{});
+  Relation output("out", 0);
+  return exec_->CallProcedureByIndex(driver_proc_, input, &output);
+}
+
+Status NailEngine::Publish() {
+  for (const NailPred& pred : program_.preds) {
+    Relation* storage = idb_->GetOrCreate(pred.storage, pred.columns());
+    TermId root = pool_->MakeSymbol(pred.root);
+    if (pred.params == 0) {
+      Relation* pub = idb_->GetOrCreate(root, pred.arity);
+      pub->CopyFrom(*storage);
+      continue;
+    }
+    for (const Tuple& t : *storage) {
+      std::vector<TermId> params(t.begin(), t.begin() + pred.params);
+      TermId name = pool_->MakeCompound(root, params);
+      Relation* pub = idb_->GetOrCreate(name, pred.arity);
+      pub->Insert(Tuple(t.begin() + pred.params, t.end()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gluenail

@@ -1,0 +1,112 @@
+/// \file seminaive.h
+/// \brief The NAIL! evaluation engine.
+///
+/// NAIL! predicates are "computed on demand using the current value of the
+/// EDB" (paper §2). The engine materializes every predicate's flattened
+/// storage relation in the IDB database, memoized against an EDB version
+/// snapshot: any EDB change invalidates the materialization and the next
+/// demand recomputes (relation versions are monotone, so a snapshot is
+/// just the (count, version-sum) pair).
+///
+/// Two modes:
+///  * kDirect — C++ drives the semi-naive fixpoint per SCC over compiled
+///    rule-version plans (the differential-testing oracle and baseline);
+///  * kCompiledGlue — the paper's architecture: generated Glue procedures
+///    (nail_to_glue.h) run the fixpoint through the ordinary Glue
+///    executor, repeat/until and all.
+///  * kNaive — ablation baseline for bench E5: every iteration re-derives
+///    from full relations; no deltas.
+///
+/// After evaluation, instances of parameterized predicates are *published*
+/// (students(cs99) as a 1-ary relation, ...) for HiLog dereferencing.
+
+#ifndef GLUENAIL_NAIL_SEMINAIVE_H_
+#define GLUENAIL_NAIL_SEMINAIVE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/exec/executor.h"
+#include "src/nail/rule_graph.h"
+#include "src/plan/planner.h"
+
+namespace gluenail {
+
+enum class NailMode { kDirect, kCompiledGlue, kNaive };
+
+class NailEngine : public NailEvaluator {
+ public:
+  NailEngine(NailProgram program, Database* edb, Database* idb,
+             TermPool* pool)
+      : program_(std::move(program)), edb_(edb), idb_(idb), pool_(pool) {}
+
+  const NailProgram& program() const { return program_; }
+
+  /// Compiles the rule-version plans for kDirect / kNaive mode. The plans
+  /// resolve EDB names implicitly; \p module_scope supplies anything else
+  /// visible to rules.
+  Status CompileDirect(const Scope* builtin_scope,
+                       const PlannerOptions& opts);
+
+  /// Wires the executor used to run plans / generated procedures. Must be
+  /// called before evaluation. (The executor's RuntimeEnv points back at
+  /// this engine; re-entrant EnsureNail calls during evaluation pass
+  /// through to storage.)
+  void set_executor(Executor* exec) { exec_ = exec; }
+
+  void set_mode(NailMode mode) { mode_ = mode; }
+  NailMode mode() const { return mode_; }
+
+  /// Compiled-Glue mode: the index of the generated driver procedure.
+  void set_driver_proc(int index) { driver_proc_ = index; }
+
+  /// Forces recomputation on next demand.
+  void Invalidate() { valid_ = false; }
+
+  // NailEvaluator:
+  Result<Relation*> EnsureNail(TermId storage_name, uint32_t arity) override;
+  Status EnsureAllNail() override;
+
+  /// Number of full recomputations performed (for tests/benches).
+  uint64_t refresh_count() const { return refresh_count_; }
+  /// Fixpoint iterations across refreshes (direct/naive modes).
+  uint64_t iteration_count() const { return iteration_count_; }
+
+ private:
+  Status Refresh();
+  Status RefreshDirect();
+  Status RefreshNaive();
+  Status RefreshCompiled();
+  Status Publish();
+  /// (relation count, sum of versions) over the EDB — monotone snapshot.
+  std::pair<uint64_t, uint64_t> EdbSnapshot() const;
+  Status ClearIdb();
+
+  NailProgram program_;
+  Database* edb_;
+  Database* idb_;
+  TermPool* pool_;
+  Executor* exec_ = nullptr;
+  NailMode mode_ = NailMode::kDirect;
+  int driver_proc_ = -1;
+
+  /// Per-SCC compiled plans (direct/naive modes).
+  struct SccPlans {
+    std::vector<StatementPlan> init;
+    std::vector<StatementPlan> iterate;
+    /// Naive mode: the original rules over full relations, delta-free.
+    std::vector<StatementPlan> naive;
+  };
+  std::vector<SccPlans> scc_plans_;
+  std::unique_ptr<Scope> nail_scope_;
+
+  bool valid_ = false;
+  bool evaluating_ = false;
+  std::pair<uint64_t, uint64_t> snapshot_{0, 0};
+  uint64_t refresh_count_ = 0;
+  uint64_t iteration_count_ = 0;
+};
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_NAIL_SEMINAIVE_H_

@@ -1,0 +1,145 @@
+/// \file stratify.cc
+/// \brief Tarjan SCC + topological ordering + stratified-negation check.
+///
+/// Paper §8: LDL and CORAL "use stratified negation"; Glue-Nail's NAIL!
+/// does the same. A program is stratified iff no negative dependency edge
+/// lies inside a strongly connected component.
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+#include "src/nail/rule_graph.h"
+
+namespace gluenail {
+
+namespace {
+
+/// Iterative Tarjan to survive deep rule chains.
+class TarjanScc {
+ public:
+  explicit TarjanScc(const NailProgram& prog) : prog_(prog) {
+    size_t n = prog.preds.size();
+    index_.assign(n, -1);
+    low_.assign(n, 0);
+    on_stack_.assign(n, false);
+    scc_of_.assign(n, -1);
+  }
+
+  void Run() {
+    for (size_t v = 0; v < prog_.preds.size(); ++v) {
+      if (index_[v] < 0) Visit(static_cast<int>(v));
+    }
+  }
+
+  const std::vector<int>& scc_of() const { return scc_of_; }
+  int num_sccs() const { return num_sccs_; }
+
+ private:
+  struct WorkItem {
+    int node;
+    size_t edge = 0;
+  };
+
+  void Visit(int root) {
+    std::vector<WorkItem> work{{root}};
+    while (!work.empty()) {
+      WorkItem& item = work.back();
+      int v = item.node;
+      if (item.edge == 0) {
+        index_[v] = low_[v] = counter_++;
+        stack_.push_back(v);
+        on_stack_[v] = true;
+      }
+      bool descended = false;
+      const auto& edges = prog_.deps[static_cast<size_t>(v)];
+      while (item.edge < edges.size()) {
+        int w = edges[item.edge].first;
+        ++item.edge;
+        if (index_[w] < 0) {
+          work.push_back(WorkItem{w});
+          descended = true;
+          break;
+        }
+        if (on_stack_[w]) low_[v] = std::min(low_[v], index_[w]);
+      }
+      if (descended) continue;
+      if (low_[v] == index_[v]) {
+        int scc = num_sccs_++;
+        while (true) {
+          int w = stack_.back();
+          stack_.pop_back();
+          on_stack_[w] = false;
+          scc_of_[w] = scc;
+          if (w == v) break;
+        }
+      }
+      work.pop_back();
+      if (!work.empty()) {
+        int parent = work.back().node;
+        low_[parent] = std::min(low_[parent], low_[v]);
+      }
+    }
+  }
+
+  const NailProgram& prog_;
+  std::vector<int> index_, low_, scc_of_;
+  std::vector<bool> on_stack_;
+  std::vector<int> stack_;
+  int counter_ = 0;
+  int num_sccs_ = 0;
+};
+
+}  // namespace
+
+Status Stratify(NailProgram* program) {
+  TarjanScc tarjan(*program);
+  tarjan.Run();
+  const std::vector<int>& scc_of = tarjan.scc_of();
+  int num_sccs = tarjan.num_sccs();
+
+  for (size_t p = 0; p < program->preds.size(); ++p) {
+    program->preds[p].scc = scc_of[p];
+  }
+
+  // Negative edge within an SCC => not stratified.
+  for (size_t p = 0; p < program->preds.size(); ++p) {
+    for (const auto& [q, negated] : program->deps[p]) {
+      if (negated && scc_of[p] == scc_of[static_cast<size_t>(q)]) {
+        return Status::CompileError(
+            StrCat("program is not stratified: '", program->preds[p].root,
+                   "' depends negatively on '",
+                   program->preds[static_cast<size_t>(q)].root,
+                   "' within a recursive cycle"));
+      }
+    }
+  }
+
+  // Topological order of SCCs. Tarjan emits SCCs in reverse topological
+  // order of the dependency direction "p reads q": an SCC is completed
+  // only after everything it depends on, so ascending SCC id is already a
+  // valid evaluation order.
+  program->scc_order.assign(static_cast<size_t>(num_sccs), {});
+  for (size_t p = 0; p < program->preds.size(); ++p) {
+    program->scc_order[static_cast<size_t>(scc_of[p])].push_back(
+        static_cast<int>(p));
+  }
+
+  // An SCC is recursive if it has more than one predicate or a self-loop.
+  program->scc_recursive.assign(static_cast<size_t>(num_sccs), false);
+  for (size_t s = 0; s < program->scc_order.size(); ++s) {
+    if (program->scc_order[s].size() > 1) {
+      program->scc_recursive[s] = true;
+      continue;
+    }
+    int p = program->scc_order[s][0];
+    for (const auto& [q, negated] : program->deps[static_cast<size_t>(p)]) {
+      if (q == p) {
+        program->scc_recursive[s] = true;
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gluenail

@@ -1,0 +1,310 @@
+#include "src/parser/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "src/common/strings.h"
+
+namespace gluenail {
+
+std::string_view TokKindName(TokKind kind) {
+  switch (kind) {
+    case TokKind::kIdent:
+      return "identifier";
+    case TokKind::kVariable:
+      return "variable";
+    case TokKind::kInt:
+      return "integer";
+    case TokKind::kFloat:
+      return "float";
+    case TokKind::kString:
+      return "quoted symbol";
+    case TokKind::kLParen:
+      return "'('";
+    case TokKind::kRParen:
+      return "')'";
+    case TokKind::kLBracket:
+      return "'['";
+    case TokKind::kRBracket:
+      return "']'";
+    case TokKind::kLBrace:
+      return "'{'";
+    case TokKind::kRBrace:
+      return "'}'";
+    case TokKind::kComma:
+      return "','";
+    case TokKind::kAmp:
+      return "'&'";
+    case TokKind::kDot:
+      return "'.'";
+    case TokKind::kSemi:
+      return "';'";
+    case TokKind::kColon:
+      return "':'";
+    case TokKind::kBang:
+      return "'!'";
+    case TokKind::kPipe:
+      return "'|'";
+    case TokKind::kAssign:
+      return "':='";
+    case TokKind::kPlusAssign:
+      return "'+='";
+    case TokKind::kMinusAssign:
+      return "'-='";
+    case TokKind::kRuleArrow:
+      return "':-'";
+    case TokKind::kPlusPlus:
+      return "'++'";
+    case TokKind::kMinusMinus:
+      return "'--'";
+    case TokKind::kEq:
+      return "'='";
+    case TokKind::kNe:
+      return "'!='";
+    case TokKind::kLt:
+      return "'<'";
+    case TokKind::kLe:
+      return "'<='";
+    case TokKind::kGt:
+      return "'>'";
+    case TokKind::kGe:
+      return "'>='";
+    case TokKind::kPlus:
+      return "'+'";
+    case TokKind::kMinus:
+      return "'-'";
+    case TokKind::kStar:
+      return "'*'";
+    case TokKind::kSlash:
+      return "'/'";
+    case TokKind::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpaceAndComments();
+      ast::SourceLoc loc{line_, col_};
+      if (AtEnd()) {
+        out.push_back(Token{TokKind::kEof, "", 0, 0, loc});
+        return out;
+      }
+      GLUENAIL_ASSIGN_OR_RETURN(Token tok, Next());
+      tok.loc = loc;
+      out.push_back(std::move(tok));
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void SkipSpaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '%') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status Error(std::string_view msg) const {
+    return Status::ParseError(
+        StrCat("line ", line_, ", col ", col_, ": ", msg));
+  }
+
+  Token Simple(TokKind kind) {
+    Advance();
+    return Token{kind, "", 0, 0, {}};
+  }
+
+  Token Pair(TokKind kind) {
+    Advance();
+    Advance();
+    return Token{kind, "", 0, 0, {}};
+  }
+
+  Result<Token> Next() {
+    char c = Peek();
+    if (std::isdigit(static_cast<unsigned char>(c))) return Number();
+    if (c == '\'') return Quoted();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return Identifier();
+    }
+    switch (c) {
+      case '(':
+        return Simple(TokKind::kLParen);
+      case ')':
+        return Simple(TokKind::kRParen);
+      case '[':
+        return Simple(TokKind::kLBracket);
+      case ']':
+        return Simple(TokKind::kRBracket);
+      case '{':
+        return Simple(TokKind::kLBrace);
+      case '}':
+        return Simple(TokKind::kRBrace);
+      case ',':
+        return Simple(TokKind::kComma);
+      case '&':
+        return Simple(TokKind::kAmp);
+      case ';':
+        return Simple(TokKind::kSemi);
+      case '|':
+        return Simple(TokKind::kPipe);
+      case '.':
+        return Simple(TokKind::kDot);
+      case '*':
+        return Simple(TokKind::kStar);
+      case '/':
+        return Simple(TokKind::kSlash);
+      case ':':
+        if (Peek(1) == '=') return Pair(TokKind::kAssign);
+        if (Peek(1) == '-') return Pair(TokKind::kRuleArrow);
+        return Simple(TokKind::kColon);
+      case '+':
+        if (Peek(1) == '=') return Pair(TokKind::kPlusAssign);
+        if (Peek(1) == '+') return Pair(TokKind::kPlusPlus);
+        return Simple(TokKind::kPlus);
+      case '-':
+        if (Peek(1) == '=') return Pair(TokKind::kMinusAssign);
+        if (Peek(1) == '-') return Pair(TokKind::kMinusMinus);
+        return Simple(TokKind::kMinus);
+      case '!':
+        if (Peek(1) == '=') return Pair(TokKind::kNe);
+        return Simple(TokKind::kBang);
+      case '=':
+        return Simple(TokKind::kEq);
+      case '<':
+        if (Peek(1) == '=') return Pair(TokKind::kLe);
+        return Simple(TokKind::kLt);
+      case '>':
+        if (Peek(1) == '=') return Pair(TokKind::kGe);
+        return Simple(TokKind::kGt);
+      default:
+        return Error(StrCat("unexpected character '", std::string(1, c), "'"));
+    }
+  }
+
+  Result<Token> Number() {
+    size_t start = pos_;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+    bool is_float = false;
+    // '.' continues the number only if a digit follows; a bare '.' is the
+    // statement terminator ("matrix(X,X, 1.0):= row(X)." ends with kDot).
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_float = true;
+      Advance();
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      size_t save = pos_;
+      int save_line = line_, save_col = col_;
+      Advance();
+      if (Peek() == '+' || Peek() == '-') Advance();
+      if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        is_float = true;
+        while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+      } else {
+        pos_ = save;
+        line_ = save_line;
+        col_ = save_col;
+      }
+    }
+    std::string_view lit = src_.substr(start, pos_ - start);
+    Token tok;
+    if (is_float) {
+      tok.kind = TokKind::kFloat;
+      auto [p, ec] =
+          std::from_chars(lit.data(), lit.data() + lit.size(), tok.float_value);
+      if (ec != std::errc() || p != lit.data() + lit.size()) {
+        return Error(StrCat("malformed float literal '", lit, "'"));
+      }
+    } else {
+      tok.kind = TokKind::kInt;
+      auto [p, ec] =
+          std::from_chars(lit.data(), lit.data() + lit.size(), tok.int_value);
+      if (ec != std::errc() || p != lit.data() + lit.size()) {
+        return Error(StrCat("malformed integer literal '", lit, "'"));
+      }
+    }
+    return tok;
+  }
+
+  Result<Token> Quoted() {
+    Advance();  // opening quote
+    std::string raw;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        raw += Advance();
+        raw += Advance();
+        continue;
+      }
+      if (c == '\'') {
+        Advance();
+        return Token{TokKind::kString, UnescapeQuoted(raw), 0, 0, {}};
+      }
+      raw += Advance();
+    }
+    return Error("unterminated quoted symbol");
+  }
+
+  Result<Token> Identifier() {
+    size_t start = pos_;
+    char first = Peek();
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        Advance();
+      } else {
+        break;
+      }
+    }
+    std::string text(src_.substr(start, pos_ - start));
+    bool is_var = std::isupper(static_cast<unsigned char>(first)) ||
+                  first == '_';
+    Token tok;
+    tok.kind = is_var ? TokKind::kVariable : TokKind::kIdent;
+    tok.text = std::move(text);
+    return tok;
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view src) {
+  return Lexer(src).Run();
+}
+
+}  // namespace gluenail

@@ -1,0 +1,88 @@
+/// \file lexer.h
+/// \brief Tokenizer for Glue / NAIL! source text.
+///
+/// Lexical rules (docs/LANGUAGE.md):
+///  * identifiers starting with a lower-case letter are symbols/names;
+///  * identifiers starting with an upper-case letter or '_' are variables
+///    (the bare '_' is the wildcard);
+///  * 'quoted text' is a symbol (atoms and strings are the same thing, §2);
+///  * numbers: 123, -0 handled by the parser via unary minus, 2.5, 1e-3;
+///  * '%' starts a comment running to end of line;
+///  * multi-character operators: :=  +=  -=  :-  ++  --  !=  <=  >= .
+
+#ifndef GLUENAIL_PARSER_LEXER_H_
+#define GLUENAIL_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/ast/ast.h"
+#include "src/common/result.h"
+
+namespace gluenail {
+
+enum class TokKind : uint8_t {
+  kIdent,     ///< lower-case identifier (symbol or keyword — see text)
+  kVariable,  ///< upper-case / underscore identifier; "_" is the wildcard
+  kInt,
+  kFloat,
+  kString,  ///< quoted symbol
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kAmp,    ///< &
+  kDot,    ///< statement terminator
+  kSemi,   ///< ;
+  kColon,  ///< arity split in signatures and return heads
+  kBang,   ///< ! negation
+  kPipe,   ///< | in until conditions
+  kAssign,       ///< :=
+  kPlusAssign,   ///< +=
+  kMinusAssign,  ///< -=
+  kRuleArrow,    ///< :-
+  kPlusPlus,     ///< ++ body insertion
+  kMinusMinus,   ///< -- body deletion
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kEof,
+};
+
+/// Stable token-kind name for error messages.
+std::string_view TokKindName(TokKind kind);
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  /// Identifier / variable / string text.
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  ast::SourceLoc loc;
+
+  /// True if this is the identifier \p kw. Keywords ("module", "proc",
+  /// "repeat", ...) are contextual: they lex as plain identifiers and the
+  /// parser decides, so `end`, `in`, `return` can still name predicates.
+  bool IsIdent(std::string_view kw) const {
+    return kind == TokKind::kIdent && text == kw;
+  }
+};
+
+/// Tokenizes \p src. On success the final token is kEof.
+Result<std::vector<Token>> Lex(std::string_view src);
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_PARSER_LEXER_H_

@@ -1,0 +1,785 @@
+#include "src/parser/parser.h"
+
+#include <utility>
+
+#include "src/common/strings.h"
+#include "src/parser/lexer.h"
+
+namespace gluenail {
+
+namespace {
+
+using ast::Assignment;
+using ast::AssignOp;
+using ast::CompareOp;
+using ast::EdbDecl;
+using ast::ImportDecl;
+using ast::LocalRelation;
+using ast::Module;
+using ast::NailRule;
+using ast::PredicateSig;
+using ast::Procedure;
+using ast::Program;
+using ast::RepeatUntil;
+using ast::SourceLoc;
+using ast::Statement;
+using ast::Subgoal;
+using ast::Term;
+using ast::UntilCond;
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseProgram() {
+    Program prog;
+    while (!At(TokKind::kEof)) {
+      GLUENAIL_ASSIGN_OR_RETURN(Module m, ParseModule());
+      prog.modules.push_back(std::move(m));
+    }
+    if (prog.modules.empty()) {
+      return Error("expected at least one module");
+    }
+    return prog;
+  }
+
+  Result<Module> ParseModule() {
+    Module mod;
+    mod.loc = Here();
+    GLUENAIL_RETURN_NOT_OK(ExpectIdent("module"));
+    GLUENAIL_ASSIGN_OR_RETURN(mod.name, ExpectName("module name"));
+    GLUENAIL_RETURN_NOT_OK(Expect(TokKind::kSemi));
+    while (!Cur().IsIdent("end")) {
+      if (At(TokKind::kEof)) return Error("unterminated module (missing end)");
+      GLUENAIL_RETURN_NOT_OK(ParseModuleItem(&mod));
+    }
+    Next();  // consume 'end'
+    return mod;
+  }
+
+  Result<Statement> ParseSingleStatement() {
+    GLUENAIL_ASSIGN_OR_RETURN(Statement s, ParseStatement());
+    GLUENAIL_RETURN_NOT_OK(ExpectEof());
+    return s;
+  }
+
+  Result<NailRule> ParseSingleRule() {
+    GLUENAIL_ASSIGN_OR_RETURN(HeadInfo head, ParseHead());
+    if (head.colon >= 0) return Error("NAIL! rule heads have no ':'");
+    GLUENAIL_RETURN_NOT_OK(Expect(TokKind::kRuleArrow));
+    NailRule rule;
+    rule.loc = head.loc;
+    rule.head_pred = std::move(head.pred);
+    rule.head_args = std::move(head.args);
+    GLUENAIL_ASSIGN_OR_RETURN(rule.body, ParseBody());
+    GLUENAIL_RETURN_NOT_OK(Expect(TokKind::kDot));
+    GLUENAIL_RETURN_NOT_OK(ExpectEof());
+    return rule;
+  }
+
+  Result<std::vector<Subgoal>> ParseSingleGoal() {
+    GLUENAIL_ASSIGN_OR_RETURN(std::vector<Subgoal> body, ParseBody());
+    if (At(TokKind::kDot)) Next();
+    GLUENAIL_RETURN_NOT_OK(ExpectEof());
+    return body;
+  }
+
+  Result<Term> ParseSingleTerm() {
+    GLUENAIL_ASSIGN_OR_RETURN(Term t, ParseExpr());
+    GLUENAIL_RETURN_NOT_OK(ExpectEof());
+    return t;
+  }
+
+ private:
+  // --- Token plumbing ----------------------------------------------------
+
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Ahead(size_t n) const {
+    size_t i = pos_ + n;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool At(TokKind k) const { return Cur().kind == k; }
+  Token Next() { return tokens_[pos_++]; }
+  SourceLoc Here() const { return Cur().loc; }
+
+  Status Error(std::string_view msg) const {
+    const Token& t = Cur();
+    return Status::ParseError(StrCat("line ", t.loc.line, ", col ", t.loc.col,
+                                     ": ", msg, " (found ",
+                                     TokKindName(t.kind),
+                                     t.text.empty() ? "" : " '", t.text,
+                                     t.text.empty() ? "" : "'", ")"));
+  }
+
+  Status Expect(TokKind k) {
+    if (!At(k)) return Error(StrCat("expected ", TokKindName(k)));
+    Next();
+    return Status::OK();
+  }
+
+  Status ExpectIdent(std::string_view kw) {
+    if (!Cur().IsIdent(kw)) return Error(StrCat("expected '", kw, "'"));
+    Next();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectName(std::string_view what) {
+    if (!At(TokKind::kIdent)) return Error(StrCat("expected ", what));
+    return Next().text;
+  }
+
+  Status ExpectEof() {
+    if (!At(TokKind::kEof)) return Error("unexpected trailing input");
+    return Status::OK();
+  }
+
+  // --- Module items -------------------------------------------------------
+
+  Status ParseModuleItem(Module* mod) {
+    if (Cur().IsIdent("export")) return ParseExport(mod);
+    if (Cur().IsIdent("from")) return ParseImport(mod);
+    if (Cur().IsIdent("edb")) return ParseEdbDecl(mod);
+    if (Cur().IsIdent("procedure") || Cur().IsIdent("proc")) {
+      GLUENAIL_ASSIGN_OR_RETURN(Procedure p, ParseProcedure());
+      mod->procedures.push_back(std::move(p));
+      return Status::OK();
+    }
+    return ParseRuleOrFact(mod);
+  }
+
+  Status ParseExport(Module* mod) {
+    Next();  // 'export'
+    while (true) {
+      GLUENAIL_ASSIGN_OR_RETURN(PredicateSig sig, ParseSig());
+      mod->exports.push_back(std::move(sig));
+      if (At(TokKind::kComma)) {
+        Next();
+        continue;
+      }
+      return Expect(TokKind::kSemi);
+    }
+  }
+
+  Status ParseImport(Module* mod) {
+    Next();  // 'from'
+    GLUENAIL_ASSIGN_OR_RETURN(std::string from, ExpectName("module name"));
+    GLUENAIL_RETURN_NOT_OK(ExpectIdent("import"));
+    while (true) {
+      GLUENAIL_ASSIGN_OR_RETURN(PredicateSig sig, ParseSig());
+      mod->imports.push_back(ImportDecl{from, std::move(sig)});
+      if (At(TokKind::kComma)) {
+        Next();
+        continue;
+      }
+      return Expect(TokKind::kSemi);
+    }
+  }
+
+  Status ParseEdbDecl(Module* mod) {
+    Next();  // 'edb'
+    while (true) {
+      EdbDecl decl;
+      decl.loc = Here();
+      GLUENAIL_ASSIGN_OR_RETURN(decl.name, ExpectName("EDB relation name"));
+      GLUENAIL_ASSIGN_OR_RETURN(decl.arity, ParseAritySig());
+      mod->edb.push_back(std::move(decl));
+      if (At(TokKind::kComma)) {
+        Next();
+        continue;
+      }
+      return Expect(TokKind::kSemi);
+    }
+  }
+
+  /// Parses "(A,B,...)" counting names; "()" or absence means arity 0.
+  Result<uint32_t> ParseAritySig() {
+    if (!At(TokKind::kLParen)) return 0u;
+    Next();
+    uint32_t arity = 0;
+    if (!At(TokKind::kRParen)) {
+      while (true) {
+        if (!At(TokKind::kVariable) && !At(TokKind::kIdent)) {
+          return Error("expected an attribute name");
+        }
+        Next();
+        ++arity;
+        if (At(TokKind::kComma)) {
+          Next();
+          continue;
+        }
+        break;
+      }
+    }
+    GLUENAIL_RETURN_NOT_OK(Expect(TokKind::kRParen));
+    return arity;
+  }
+
+  /// Parses "name(B1,..,Bm : F1,..,Fn)". A missing colon means all
+  /// arguments are free (the usual case for imported EDB relations).
+  Result<PredicateSig> ParseSig() {
+    PredicateSig sig;
+    sig.loc = Here();
+    GLUENAIL_ASSIGN_OR_RETURN(sig.name, ExpectName("predicate name"));
+    GLUENAIL_RETURN_NOT_OK(Expect(TokKind::kLParen));
+    uint32_t before_colon = 0, after_colon = 0;
+    bool saw_colon = false;
+    while (!At(TokKind::kRParen)) {
+      if (At(TokKind::kColon)) {
+        if (saw_colon) return Error("duplicate ':' in signature");
+        saw_colon = true;
+        Next();
+        continue;
+      }
+      if (!At(TokKind::kVariable) && !At(TokKind::kIdent)) {
+        return Error("expected an argument name in signature");
+      }
+      Next();
+      if (saw_colon) {
+        ++after_colon;
+      } else {
+        ++before_colon;
+      }
+      if (At(TokKind::kComma)) Next();
+    }
+    Next();  // ')'
+    if (saw_colon) {
+      sig.bound_arity = before_colon;
+      sig.free_arity = after_colon;
+    } else {
+      sig.bound_arity = 0;
+      sig.free_arity = before_colon;
+    }
+    return sig;
+  }
+
+  Status ParseRuleOrFact(Module* mod) {
+    GLUENAIL_ASSIGN_OR_RETURN(HeadInfo head, ParseHead());
+    if (At(TokKind::kRuleArrow)) {
+      if (head.colon >= 0) return Error("NAIL! rule heads have no ':'");
+      Next();
+      NailRule rule;
+      rule.loc = head.loc;
+      rule.head_pred = std::move(head.pred);
+      rule.head_args = std::move(head.args);
+      GLUENAIL_ASSIGN_OR_RETURN(rule.body, ParseBody());
+      GLUENAIL_RETURN_NOT_OK(Expect(TokKind::kDot));
+      mod->rules.push_back(std::move(rule));
+      return Status::OK();
+    }
+    if (At(TokKind::kDot)) {
+      Next();
+      if (head.colon >= 0) return Error("facts have no ':'");
+      Term fact = head.args.empty()
+                      ? head.pred
+                      : Term::Apply(head.pred, std::move(head.args), head.loc);
+      if (!fact.IsGround()) return Error("facts must be ground");
+      mod->facts.push_back(std::move(fact));
+      return Status::OK();
+    }
+    return Error("expected ':-' (rule) or '.' (fact) after head");
+  }
+
+  // --- Procedures -----------------------------------------------------------
+
+  Result<Procedure> ParseProcedure() {
+    Procedure proc;
+    proc.loc = Here();
+    Next();  // 'procedure' | 'proc'
+    GLUENAIL_ASSIGN_OR_RETURN(proc.name, ExpectName("procedure name"));
+    GLUENAIL_RETURN_NOT_OK(Expect(TokKind::kLParen));
+    bool saw_colon = false;
+    while (!At(TokKind::kRParen)) {
+      if (At(TokKind::kColon)) {
+        if (saw_colon) return Error("duplicate ':' in procedure signature");
+        saw_colon = true;
+        Next();
+        continue;
+      }
+      if (!At(TokKind::kVariable)) {
+        return Error("expected a formal parameter (variable)");
+      }
+      Next();
+      if (saw_colon) {
+        ++proc.free_arity;
+      } else {
+        ++proc.bound_arity;
+      }
+      if (At(TokKind::kComma)) Next();
+    }
+    Next();  // ')'
+    if (!saw_colon) {
+      return Error("procedure signature needs ':' (bound:free split)");
+    }
+    if (Cur().IsIdent("rels")) {
+      Next();
+      while (true) {
+        LocalRelation local;
+        local.loc = Here();
+        GLUENAIL_ASSIGN_OR_RETURN(local.name,
+                                  ExpectName("local relation name"));
+        GLUENAIL_ASSIGN_OR_RETURN(local.arity, ParseAritySig());
+        proc.locals.push_back(std::move(local));
+        if (At(TokKind::kComma)) {
+          Next();
+          continue;
+        }
+        GLUENAIL_RETURN_NOT_OK(Expect(TokKind::kSemi));
+        break;
+      }
+    }
+    while (!Cur().IsIdent("end")) {
+      if (At(TokKind::kEof)) {
+        return Error("unterminated procedure (missing end)");
+      }
+      GLUENAIL_ASSIGN_OR_RETURN(Statement s, ParseStatement());
+      proc.body.push_back(std::move(s));
+    }
+    Next();  // 'end'
+    return proc;
+  }
+
+  // --- Statements -----------------------------------------------------------
+
+  Result<Statement> ParseStatement() {
+    if (Cur().IsIdent("repeat")) return ParseRepeat();
+    GLUENAIL_ASSIGN_OR_RETURN(Assignment a, ParseAssignment());
+    Statement s;
+    s.node = std::move(a);
+    return s;
+  }
+
+  Result<Statement> ParseRepeat() {
+    RepeatUntil rep;
+    rep.loc = Here();
+    Next();  // 'repeat'
+    while (!Cur().IsIdent("until")) {
+      if (At(TokKind::kEof)) return Error("repeat without until");
+      GLUENAIL_ASSIGN_OR_RETURN(Statement s, ParseStatement());
+      rep.body.push_back(std::move(s));
+    }
+    Next();  // 'until'
+    bool braced = At(TokKind::kLBrace);
+    if (braced) Next();
+    GLUENAIL_ASSIGN_OR_RETURN(rep.cond, ParseOrCond());
+    if (braced) GLUENAIL_RETURN_NOT_OK(Expect(TokKind::kRBrace));
+    GLUENAIL_RETURN_NOT_OK(Expect(TokKind::kSemi));
+    Statement s;
+    s.node = std::move(rep);
+    return s;
+  }
+
+  Result<Assignment> ParseAssignment() {
+    GLUENAIL_ASSIGN_OR_RETURN(HeadInfo head, ParseHead());
+    Assignment a;
+    a.loc = head.loc;
+    a.head_pred = std::move(head.pred);
+    a.head_args = std::move(head.args);
+    a.head_colon = head.colon;
+    switch (Cur().kind) {
+      case TokKind::kAssign:
+        a.op = AssignOp::kClear;
+        Next();
+        break;
+      case TokKind::kMinusAssign:
+        a.op = AssignOp::kDelete;
+        Next();
+        break;
+      case TokKind::kPlusAssign: {
+        Next();
+        if (At(TokKind::kLBracket)) {
+          a.op = AssignOp::kModify;
+          Next();
+          while (!At(TokKind::kRBracket)) {
+            if (!At(TokKind::kVariable)) {
+              return Error("expected key variable in +=[...]");
+            }
+            a.modify_key.push_back(Next().text);
+            if (At(TokKind::kComma)) Next();
+          }
+          Next();  // ']'
+          if (a.modify_key.empty()) return Error("empty key in +=[...]");
+        } else {
+          a.op = AssignOp::kInsert;
+        }
+        break;
+      }
+      default:
+        return Error("expected ':=', '+=', or '-='");
+    }
+    GLUENAIL_ASSIGN_OR_RETURN(a.body, ParseBody());
+    GLUENAIL_RETURN_NOT_OK(Expect(TokKind::kDot));
+    return a;
+  }
+
+  // --- Heads ---------------------------------------------------------------
+
+  struct HeadInfo {
+    Term pred;
+    std::vector<Term> args;
+    int colon = -1;
+    SourceLoc loc;
+  };
+
+  /// Parses a head: primary applied zero or more times; the final argument
+  /// list may contain one ':' (return heads, §4).
+  Result<HeadInfo> ParseHead() {
+    HeadInfo head;
+    head.loc = Here();
+    GLUENAIL_ASSIGN_OR_RETURN(Term pred, ParsePrimary());
+    if (!At(TokKind::kLParen)) {
+      // Arity-0 head, e.g. "initialized := true." style flags.
+      head.pred = std::move(pred);
+      return head;
+    }
+    while (At(TokKind::kLParen)) {
+      Next();  // '('
+      std::vector<Term> args;
+      int colon = -1;
+      while (!At(TokKind::kRParen)) {
+        if (At(TokKind::kColon)) {
+          if (colon >= 0) return Error("duplicate ':' in head");
+          colon = static_cast<int>(args.size());
+          Next();
+          continue;
+        }
+        GLUENAIL_ASSIGN_OR_RETURN(Term arg, ParseExpr());
+        args.push_back(std::move(arg));
+        if (At(TokKind::kComma)) Next();
+      }
+      Next();  // ')'
+      bool more = At(TokKind::kLParen);
+      if (more) {
+        if (colon >= 0) return Error("':' allowed only in the final head args");
+        pred = Term::Apply(std::move(pred), std::move(args), head.loc);
+      } else {
+        head.pred = std::move(pred);
+        head.args = std::move(args);
+        head.colon = colon;
+        return head;
+      }
+    }
+    return Error("unreachable head state");
+  }
+
+  // --- Bodies & subgoals -----------------------------------------------------
+
+  Result<std::vector<Subgoal>> ParseBody() {
+    std::vector<Subgoal> body;
+    while (true) {
+      GLUENAIL_ASSIGN_OR_RETURN(Subgoal g, ParseSubgoal());
+      body.push_back(std::move(g));
+      if (At(TokKind::kAmp)) {
+        Next();
+        continue;
+      }
+      return body;
+    }
+  }
+
+  Result<Subgoal> ParseSubgoal() {
+    SourceLoc loc = Here();
+    if (At(TokKind::kBang)) {
+      Next();
+      GLUENAIL_ASSIGN_OR_RETURN(Term t, ParseApplyChain());
+      GLUENAIL_ASSIGN_OR_RETURN(Subgoal g, AtomFromTerm(std::move(t), loc));
+      g.kind = ast::SubgoalKind::kNegatedAtom;
+      return g;
+    }
+    if (At(TokKind::kPlusPlus) || At(TokKind::kMinusMinus)) {
+      bool insert = At(TokKind::kPlusPlus);
+      Next();
+      GLUENAIL_ASSIGN_OR_RETURN(Term t, ParseApplyChain());
+      GLUENAIL_ASSIGN_OR_RETURN(Subgoal g, AtomFromTerm(std::move(t), loc));
+      g.kind = insert ? ast::SubgoalKind::kInsert : ast::SubgoalKind::kDelete;
+      return g;
+    }
+    GLUENAIL_ASSIGN_OR_RETURN(Term lhs, ParseExpr());
+    CompareOp op;
+    switch (Cur().kind) {
+      case TokKind::kEq:
+        op = CompareOp::kEq;
+        break;
+      case TokKind::kNe:
+        op = CompareOp::kNe;
+        break;
+      case TokKind::kLt:
+        op = CompareOp::kLt;
+        break;
+      case TokKind::kLe:
+        op = CompareOp::kLe;
+        break;
+      case TokKind::kGt:
+        op = CompareOp::kGt;
+        break;
+      case TokKind::kGe:
+        op = CompareOp::kGe;
+        break;
+      default: {
+        // No comparison operator: the expression must be an atom.
+        GLUENAIL_ASSIGN_OR_RETURN(Subgoal g, AtomFromTerm(std::move(lhs), loc));
+        // group_by(C) is surface syntax for the partitioning subgoal.
+        if (g.pred.IsSymbol() && g.pred.name == "group_by") {
+          for (const Term& v : g.args) {
+            if (!v.IsVariable()) {
+              return Error("group_by arguments must be variables");
+            }
+          }
+          g.kind = ast::SubgoalKind::kGroupBy;
+        }
+        return g;
+      }
+    }
+    Next();  // the comparison operator
+    GLUENAIL_ASSIGN_OR_RETURN(Term rhs, ParseExpr());
+    return Subgoal::Comparison(std::move(lhs), op, std::move(rhs), loc);
+  }
+
+  /// Splits the outermost application of \p t into predicate + args:
+  ///   e(X,Y)        -> pred e, args [X,Y]
+  ///   T(TA)         -> pred T (HiLog variable), args [TA]
+  ///   tas(ID)(Who)  -> pred tas(ID), args [Who]
+  ///   flag          -> pred flag, args []
+  Result<Subgoal> AtomFromTerm(Term t, SourceLoc loc) {
+    if (t.kind == ast::TermKind::kApply) {
+      Term pred = std::move(t.children[0]);
+      std::vector<Term> args(std::make_move_iterator(t.children.begin() + 1),
+                             std::make_move_iterator(t.children.end()));
+      return Subgoal::Atom(std::move(pred), std::move(args), loc);
+    }
+    if (t.IsSymbol() || t.IsVariable()) {
+      return Subgoal::Atom(std::move(t), {}, loc);
+    }
+    return Error("expected a predicate subgoal");
+  }
+
+  // --- Until conditions --------------------------------------------------
+
+  Result<UntilCond> ParseOrCond() {
+    GLUENAIL_ASSIGN_OR_RETURN(UntilCond left, ParseAndCond());
+    while (At(TokKind::kPipe)) {
+      Next();
+      GLUENAIL_ASSIGN_OR_RETURN(UntilCond right, ParseAndCond());
+      UntilCond node;
+      node.kind = UntilCond::Kind::kOr;
+      node.children.push_back(std::move(left));
+      node.children.push_back(std::move(right));
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<UntilCond> ParseAndCond() {
+    GLUENAIL_ASSIGN_OR_RETURN(UntilCond left, ParseUnaryCond());
+    while (At(TokKind::kAmp)) {
+      Next();
+      GLUENAIL_ASSIGN_OR_RETURN(UntilCond right, ParseUnaryCond());
+      UntilCond node;
+      node.kind = UntilCond::Kind::kAnd;
+      node.children.push_back(std::move(left));
+      node.children.push_back(std::move(right));
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<UntilCond> ParseUnaryCond() {
+    SourceLoc loc = Here();
+    if (At(TokKind::kBang)) {
+      Next();
+      GLUENAIL_ASSIGN_OR_RETURN(UntilCond inner, ParseUnaryCond());
+      UntilCond node;
+      node.kind = UntilCond::Kind::kNot;
+      node.loc = loc;
+      node.children.push_back(std::move(inner));
+      return node;
+    }
+    if (At(TokKind::kLParen)) {
+      Next();
+      GLUENAIL_ASSIGN_OR_RETURN(UntilCond inner, ParseOrCond());
+      GLUENAIL_RETURN_NOT_OK(Expect(TokKind::kRParen));
+      return inner;
+    }
+    if (Cur().IsIdent("unchanged") || Cur().IsIdent("empty")) {
+      bool unchanged = Cur().IsIdent("unchanged");
+      Next();
+      GLUENAIL_RETURN_NOT_OK(Expect(TokKind::kLParen));
+      GLUENAIL_ASSIGN_OR_RETURN(Term t, ParseApplyChain());
+      GLUENAIL_RETURN_NOT_OK(Expect(TokKind::kRParen));
+      GLUENAIL_ASSIGN_OR_RETURN(Subgoal g, AtomFromTerm(std::move(t), loc));
+      UntilCond node;
+      node.kind = unchanged ? UntilCond::Kind::kUnchanged
+                            : UntilCond::Kind::kEmpty;
+      node.pred = std::move(g.pred);
+      node.args = std::move(g.args);
+      node.loc = loc;
+      return node;
+    }
+    GLUENAIL_ASSIGN_OR_RETURN(Term t, ParseApplyChain());
+    GLUENAIL_ASSIGN_OR_RETURN(Subgoal g, AtomFromTerm(std::move(t), loc));
+    UntilCond node;
+    node.kind = UntilCond::Kind::kNonEmpty;
+    node.pred = std::move(g.pred);
+    node.args = std::move(g.args);
+    node.loc = loc;
+    return node;
+  }
+
+  // --- Expressions ---------------------------------------------------------
+
+  Result<Term> ParseExpr() { return ParseAdd(); }
+
+  Result<Term> ParseAdd() {
+    GLUENAIL_ASSIGN_OR_RETURN(Term left, ParseMul());
+    while (At(TokKind::kPlus) || At(TokKind::kMinus)) {
+      SourceLoc loc = Here();
+      const char* op = At(TokKind::kPlus) ? "+" : "-";
+      Next();
+      GLUENAIL_ASSIGN_OR_RETURN(Term right, ParseMul());
+      std::vector<Term> args;
+      args.push_back(std::move(left));
+      args.push_back(std::move(right));
+      left = Term::Apply(op, std::move(args), loc);
+    }
+    return left;
+  }
+
+  Result<Term> ParseMul() {
+    GLUENAIL_ASSIGN_OR_RETURN(Term left, ParseUnary());
+    while (At(TokKind::kStar) || At(TokKind::kSlash) || Cur().IsIdent("mod")) {
+      SourceLoc loc = Here();
+      const char* op =
+          At(TokKind::kStar) ? "*" : (At(TokKind::kSlash) ? "/" : "mod");
+      Next();
+      GLUENAIL_ASSIGN_OR_RETURN(Term right, ParseUnary());
+      std::vector<Term> args;
+      args.push_back(std::move(left));
+      args.push_back(std::move(right));
+      left = Term::Apply(op, std::move(args), loc);
+    }
+    return left;
+  }
+
+  Result<Term> ParseUnary() {
+    if (At(TokKind::kMinus)) {
+      SourceLoc loc = Here();
+      Next();
+      // Fold the sign into numeric literals so "-2" is a literal, not an
+      // expression — required for literals in matching positions.
+      if (At(TokKind::kInt)) {
+        Token t = Next();
+        return Term::Int(-t.int_value, loc);
+      }
+      if (At(TokKind::kFloat)) {
+        Token t = Next();
+        return Term::Float(-t.float_value, loc);
+      }
+      GLUENAIL_ASSIGN_OR_RETURN(Term inner, ParseUnary());
+      std::vector<Term> args;
+      args.push_back(std::move(inner));
+      return Term::Apply("-", std::move(args), loc);
+    }
+    return ParseApplyChain();
+  }
+
+  /// primary ('(' args ')')*
+  Result<Term> ParseApplyChain() {
+    SourceLoc loc = Here();
+    GLUENAIL_ASSIGN_OR_RETURN(Term t, ParsePrimary());
+    while (At(TokKind::kLParen)) {
+      Next();
+      std::vector<Term> args;
+      while (!At(TokKind::kRParen)) {
+        GLUENAIL_ASSIGN_OR_RETURN(Term arg, ParseExpr());
+        args.push_back(std::move(arg));
+        if (At(TokKind::kComma)) {
+          Next();
+          continue;
+        }
+        break;
+      }
+      GLUENAIL_RETURN_NOT_OK(Expect(TokKind::kRParen));
+      t = Term::Apply(std::move(t), std::move(args), loc);
+    }
+    return t;
+  }
+
+  Result<Term> ParsePrimary() {
+    SourceLoc loc = Here();
+    switch (Cur().kind) {
+      case TokKind::kInt: {
+        Token t = Next();
+        return Term::Int(t.int_value, loc);
+      }
+      case TokKind::kFloat: {
+        Token t = Next();
+        return Term::Float(t.float_value, loc);
+      }
+      case TokKind::kString: {
+        Token t = Next();
+        return Term::Symbol(std::move(t.text), loc);
+      }
+      case TokKind::kIdent: {
+        Token t = Next();
+        return Term::Symbol(std::move(t.text), loc);
+      }
+      case TokKind::kVariable: {
+        Token t = Next();
+        if (t.text == "_") return Term::Wildcard(loc);
+        return Term::Variable(std::move(t.text), loc);
+      }
+      case TokKind::kLParen: {
+        Next();
+        GLUENAIL_ASSIGN_OR_RETURN(Term inner, ParseExpr());
+        GLUENAIL_RETURN_NOT_OK(Expect(TokKind::kRParen));
+        return inner;
+      }
+      default:
+        return Error("expected a term");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<Parser> MakeParser(std::string_view src) {
+  GLUENAIL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(src));
+  return Parser(std::move(tokens));
+}
+
+}  // namespace
+
+Result<ast::Program> ParseProgram(std::string_view src) {
+  GLUENAIL_ASSIGN_OR_RETURN(Parser p, MakeParser(src));
+  return p.ParseProgram();
+}
+
+Result<ast::Module> ParseModule(std::string_view src) {
+  GLUENAIL_ASSIGN_OR_RETURN(ast::Program prog, ParseProgram(src));
+  if (prog.modules.size() != 1) {
+    return Status::ParseError("expected exactly one module");
+  }
+  return std::move(prog.modules[0]);
+}
+
+Result<ast::Statement> ParseStatement(std::string_view src) {
+  GLUENAIL_ASSIGN_OR_RETURN(Parser p, MakeParser(src));
+  return p.ParseSingleStatement();
+}
+
+Result<ast::NailRule> ParseRule(std::string_view src) {
+  GLUENAIL_ASSIGN_OR_RETURN(Parser p, MakeParser(src));
+  return p.ParseSingleRule();
+}
+
+Result<std::vector<ast::Subgoal>> ParseGoal(std::string_view src) {
+  GLUENAIL_ASSIGN_OR_RETURN(Parser p, MakeParser(src));
+  return p.ParseSingleGoal();
+}
+
+Result<ast::Term> ParseTermText(std::string_view src) {
+  GLUENAIL_ASSIGN_OR_RETURN(Parser p, MakeParser(src));
+  return p.ParseSingleTerm();
+}
+
+}  // namespace gluenail

@@ -1,0 +1,40 @@
+/// \file parser.h
+/// \brief Recursive-descent parser for Glue and NAIL! source.
+///
+/// The complete grammar is documented in docs/LANGUAGE.md. Both languages
+/// parse into the shared AST (src/ast/ast.h); a statement whose connective
+/// is `:-` is a NAIL! rule, while `:=`, `+=`, `-=`, and `+=[key]` form Glue
+/// assignment statements.
+
+#ifndef GLUENAIL_PARSER_PARSER_H_
+#define GLUENAIL_PARSER_PARSER_H_
+
+#include <string_view>
+
+#include "src/ast/ast.h"
+#include "src/common/result.h"
+
+namespace gluenail {
+
+/// Parses a whole source file: one or more modules.
+Result<ast::Program> ParseProgram(std::string_view src);
+
+/// Parses exactly one module.
+Result<ast::Module> ParseModule(std::string_view src);
+
+/// Parses a single Glue statement (assignment or repeat loop); used by the
+/// Engine's ad-hoc statement API and by tests.
+Result<ast::Statement> ParseStatement(std::string_view src);
+
+/// Parses a single NAIL! rule ("h(X) :- b(X).").
+Result<ast::NailRule> ParseRule(std::string_view src);
+
+/// Parses a conjunctive goal ("path(1,X) & X < 5") for ad-hoc queries.
+Result<std::vector<ast::Subgoal>> ParseGoal(std::string_view src);
+
+/// Parses one (possibly non-ground) term.
+Result<ast::Term> ParseTermText(std::string_view src);
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_PARSER_PARSER_H_

@@ -1,0 +1,217 @@
+#include "src/plan/plan_printer.h"
+
+#include "src/common/strings.h"
+
+namespace gluenail {
+
+namespace {
+
+void AppendMatchNode(const MatchNode& n, std::string* out) {
+  switch (n.kind) {
+    case MatchNode::Kind::kWildcard:
+      out->push_back('_');
+      return;
+    case MatchNode::Kind::kConst:
+      out->append(StrCat("const#", n.const_term));
+      return;
+    case MatchNode::Kind::kBind:
+      out->append(StrCat("bind:", n.slot));
+      return;
+    case MatchNode::Kind::kCheck:
+      out->append(StrCat("check:", n.slot));
+      return;
+    case MatchNode::Kind::kStruct: {
+      out->append("struct(");
+      for (size_t i = 0; i < n.children.size(); ++i) {
+        if (i != 0) out->push_back(',');
+        AppendMatchNode(n.children[i], out);
+      }
+      out->push_back(')');
+      return;
+    }
+  }
+}
+
+void AppendAccess(const PredicateAccess& a, const TermPool& pool,
+                  std::string* out) {
+  switch (a.kind) {
+    case PredicateAccess::Kind::kNone:
+      out->append("none");
+      return;
+    case PredicateAccess::Kind::kEdb:
+      out->append(StrCat("edb ", pool.ToString(a.name), "/", a.arity));
+      return;
+    case PredicateAccess::Kind::kLocal:
+      out->append(StrCat("local#", a.local_index, "/", a.arity));
+      return;
+    case PredicateAccess::Kind::kIn:
+      out->append(StrCat("in/", a.arity));
+      return;
+    case PredicateAccess::Kind::kReturn:
+      out->append(StrCat("return/", a.arity));
+      return;
+    case PredicateAccess::Kind::kNail:
+      out->append(StrCat("nail ", pool.ToString(a.name), "/", a.arity,
+                         a.nail_params != 0
+                             ? StrCat(" params=", a.nail_params)
+                             : std::string()));
+      return;
+    case PredicateAccess::Kind::kDynamic:
+      if (a.name_expr != kNoExpr) {
+        out->append(StrCat("dynamic expr#", a.name_expr, "/", a.arity));
+      } else {
+        out->append(StrCat("dynamic enumerate/", a.arity, " pattern#",
+                           a.name_pattern_index));
+      }
+      return;
+  }
+}
+
+void AppendKeyedColumns(const PlanOp& op, std::string* out) {
+  out->append(" keyed[");
+  bool first = true;
+  for (uint32_t c = 0; c < 32; ++c) {
+    if (op.bound_mask & (1u << c)) {
+      if (!first) out->push_back(',');
+      out->append(StrCat("c", c));
+      first = false;
+    }
+  }
+  out->append("] cols(");
+  for (size_t c = 0; c < op.col_patterns.size(); ++c) {
+    if (c != 0) out->push_back(',');
+    AppendMatchNode(op.col_patterns[c], out);
+  }
+  out->push_back(')');
+}
+
+void AppendOp(const PlanOp& op, const TermPool& pool, std::string* out) {
+  switch (op.kind) {
+    case OpKind::kMatch:
+      out->append("match ");
+      AppendAccess(op.access, pool, out);
+      AppendKeyedColumns(op, out);
+      break;
+    case OpKind::kNegMatch:
+      out->append("negmatch ");
+      AppendAccess(op.access, pool, out);
+      AppendKeyedColumns(op, out);
+      break;
+    case OpKind::kCompare:
+      if (op.bind_slot >= 0) {
+        out->append(StrCat("bind slot", op.bind_slot, " = expr#", op.rhs));
+      } else {
+        out->append(StrCat("filter expr#", op.lhs, " ",
+                           ast::CompareOpName(op.cmp), " expr#", op.rhs));
+      }
+      break;
+    case OpKind::kAggregate:
+      out->append(StrCat("aggregate ", AggKindName(op.agg), "(expr#",
+                         op.agg_arg, ") -> "));
+      if (op.bind_slot >= 0) {
+        out->append(StrCat("slot", op.bind_slot));
+      } else {
+        out->append(StrCat("filter = expr#", op.lhs));
+      }
+      break;
+    case OpKind::kGroupBy: {
+      out->append("group_by slots(");
+      for (size_t i = 0; i < op.group_slots.size(); ++i) {
+        if (i != 0) out->push_back(',');
+        out->append(std::to_string(op.group_slots[i]));
+      }
+      out->push_back(')');
+      break;
+    }
+    case OpKind::kCall: {
+      const char* kinds[] = {"glue", "host", "builtin"};
+      out->append(StrCat("call ", kinds[static_cast<int>(op.callee)], "#",
+                         op.callee_index, " (", op.callee_bound_arity, ":",
+                         op.callee_free_arity, ")"));
+      break;
+    }
+    case OpKind::kUpdate:
+      out->append(op.update_insert ? "insert into " : "delete from ");
+      AppendAccess(op.access, pool, out);
+      break;
+  }
+  if (op.fixed) out->append("  ; fixed");
+}
+
+}  // namespace
+
+std::string PlanToString(const StatementPlan& plan, const TermPool& pool) {
+  std::string out = "slots:";
+  for (size_t i = 0; i < plan.slot_names.size(); ++i) {
+    out.append(StrCat(" ", plan.slot_names[i], "=", i));
+  }
+  out.push_back('\n');
+  for (size_t i = 0; i < plan.ops.size(); ++i) {
+    out.append(StrCat("  ", i, ": "));
+    AppendOp(plan.ops[i], pool, &out);
+    out.push_back('\n');
+  }
+  out.append("  head: ");
+  out.append(ast::AssignOpName(plan.head.op));
+  out.push_back(' ');
+  if (plan.head.is_return) {
+    out.append("return");
+  } else {
+    AppendAccess(plan.head.access, pool, &out);
+  }
+  out.append(StrCat(" cols ", plan.head.arg_exprs.size()));
+  if (plan.head.modify_mask != 0) {
+    out.append(StrCat(" key_mask=", plan.head.modify_mask));
+  }
+  if (plan.head.delta_access.kind != PredicateAccess::Kind::kNone) {
+    out.append(" uniondiff -> ");
+    AppendAccess(plan.head.delta_access, pool, &out);
+  }
+  out.push_back('\n');
+  return out;
+}
+
+namespace {
+
+void AppendInstr(const CInstr& instr, const CompiledProcedure& proc,
+                 const TermPool& pool, int indent, std::string* out) {
+  std::string pad(static_cast<size_t>(indent), ' ');
+  if (instr.kind == CInstr::Kind::kExec) {
+    out->append(StrCat(pad, "stmt ", instr.plan_index, ":\n"));
+    std::string body =
+        PlanToString(proc.plans[static_cast<size_t>(instr.plan_index)], pool);
+    // Indent the plan body.
+    size_t start = 0;
+    while (start < body.size()) {
+      size_t nl = body.find('\n', start);
+      out->append(pad);
+      out->append(body, start, nl - start + 1);
+      start = nl + 1;
+    }
+  } else {
+    out->append(StrCat(pad, "repeat\n"));
+    for (const CInstr& inner : instr.body) {
+      AppendInstr(inner, proc, pool, indent + 2, out);
+    }
+    out->append(StrCat(pad, "until <cond>\n"));
+  }
+}
+
+}  // namespace
+
+std::string ProcedureToString(const CompiledProcedure& proc,
+                              const TermPool& pool) {
+  std::string out = StrCat("proc ", proc.module, ".", proc.name, " (",
+                           proc.bound_arity, ":", proc.free_arity, ")",
+                           proc.fixed ? " fixed" : "", "\n");
+  for (size_t i = 0; i < proc.locals.size(); ++i) {
+    out.append(StrCat("  local#", i, " ", proc.locals[i].first, "/",
+                      proc.locals[i].second, "\n"));
+  }
+  for (const CInstr& instr : proc.code) {
+    AppendInstr(instr, proc, pool, 2, &out);
+  }
+  return out;
+}
+
+}  // namespace gluenail

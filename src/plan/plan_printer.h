@@ -1,0 +1,34 @@
+/// \file plan_printer.h
+/// \brief Human-readable rendering of compiled plans (EXPLAIN).
+///
+/// Developers of the original system debugged through the Prolog VM's
+/// code; this is the native equivalent: a stable text form of the op
+/// sequence the executors interpret, showing access paths (scan vs keyed
+/// selection and on which columns), barriers, binding structure, and the
+/// head action. Engine::ExplainStatement exposes it.
+
+#ifndef GLUENAIL_PLAN_PLAN_PRINTER_H_
+#define GLUENAIL_PLAN_PLAN_PRINTER_H_
+
+#include <string>
+
+#include "src/plan/plan.h"
+
+namespace gluenail {
+
+/// Renders a statement plan, one op per line, e.g.:
+///
+///   slots: X=0 Y=1 W=2
+///   0: match edb s keyed[] cols(bind:0, bind:2)
+///   1: match edb t keyed[c0] cols(_, bind:1)          ; barrier=no
+///   2: compare slot0 != slot1
+///   head: += edb r cols 2
+std::string PlanToString(const StatementPlan& plan, const TermPool& pool);
+
+/// Renders a whole compiled procedure: locals, statements, loop structure.
+std::string ProcedureToString(const CompiledProcedure& proc,
+                              const TermPool& pool);
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_PLAN_PLAN_PRINTER_H_

@@ -1,0 +1,126 @@
+#include "src/runtime/aggregates.h"
+
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace gluenail {
+
+std::optional<AggKind> AggKindFromName(std::string_view name) {
+  if (name == "min") return AggKind::kMin;
+  if (name == "max") return AggKind::kMax;
+  if (name == "mean") return AggKind::kMean;
+  if (name == "sum") return AggKind::kSum;
+  if (name == "product") return AggKind::kProduct;
+  if (name == "arbitrary") return AggKind::kArbitrary;
+  if (name == "std_dev") return AggKind::kStdDev;
+  if (name == "count") return AggKind::kCount;
+  return std::nullopt;
+}
+
+std::string_view AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kMean:
+      return "mean";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kProduct:
+      return "product";
+    case AggKind::kArbitrary:
+      return "arbitrary";
+    case AggKind::kStdDev:
+      return "std_dev";
+    case AggKind::kCount:
+      return "count";
+  }
+  return "?";
+}
+
+Status Aggregator::Add(TermId value) {
+  ++count_;
+  switch (kind_) {
+    case AggKind::kCount:
+      return Status::OK();
+    case AggKind::kMin:
+      if (best_ == kNullTerm || pool_->Compare(value, best_) < 0) {
+        best_ = value;
+      }
+      return Status::OK();
+    case AggKind::kMax:
+      if (best_ == kNullTerm || pool_->Compare(value, best_) > 0) {
+        best_ = value;
+      }
+      return Status::OK();
+    case AggKind::kArbitrary:
+      // Deterministic choice: the smallest term.
+      if (best_ == kNullTerm || pool_->Compare(value, best_) < 0) {
+        best_ = value;
+      }
+      return Status::OK();
+    default:
+      break;
+  }
+  if (!pool_->IsNumber(value)) {
+    return Status::RuntimeError(StrCat(AggKindName(kind_),
+                                       " over non-number ",
+                                       pool_->ToString(value)));
+  }
+  double v = pool_->NumericValue(value);
+  if (!pool_->IsInt(value)) all_int_ = false;
+  switch (kind_) {
+    case AggKind::kMean:
+    case AggKind::kStdDev:
+      sum_ += v;
+      sum_sq_ += v * v;
+      return Status::OK();
+    case AggKind::kSum:
+      sum_ += v;
+      if (all_int_) int_sum_ += pool_->IntValue(value);
+      return Status::OK();
+    case AggKind::kProduct:
+      product_ *= v;
+      if (all_int_) int_product_ *= pool_->IntValue(value);
+      return Status::OK();
+    default:
+      return Status::Internal("unreachable aggregate kind");
+  }
+}
+
+Result<TermId> Aggregator::Finish(TermPool* pool) const {
+  if (kind_ == AggKind::kCount) {
+    return pool->MakeInt(static_cast<int64_t>(count_));
+  }
+  if (count_ == 0) {
+    return Status::RuntimeError(
+        StrCat(AggKindName(kind_), " over an empty group"));
+  }
+  switch (kind_) {
+    case AggKind::kMin:
+    case AggKind::kMax:
+    case AggKind::kArbitrary:
+      return best_;
+    case AggKind::kMean:
+      return pool->MakeFloat(sum_ / static_cast<double>(count_));
+    case AggKind::kSum:
+      return all_int_ ? pool->MakeInt(int_sum_) : pool->MakeFloat(sum_);
+    case AggKind::kProduct:
+      return all_int_ ? pool->MakeInt(int_product_)
+                      : pool->MakeFloat(product_);
+    case AggKind::kStdDev: {
+      double n = static_cast<double>(count_);
+      double mean = sum_ / n;
+      double var = sum_sq_ / n - mean * mean;
+      if (var < 0) var = 0;  // numeric noise
+      return pool->MakeFloat(std::sqrt(var));
+    }
+    case AggKind::kCount:
+      break;
+  }
+  return Status::Internal("unreachable aggregate finish");
+}
+
+}  // namespace gluenail

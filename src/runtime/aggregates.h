@@ -1,0 +1,76 @@
+/// \file aggregates.h
+/// \brief The aggregate operators of paper §3.3:
+/// min, max, mean, sum, product, arbitrary, std_dev, count.
+///
+/// Semantics (paper §3.3): an aggregator operates over the *supplementary
+/// relation* — one contribution per supplementary tuple — never over a
+/// projection, so duplicated values that arise from distinct bindings are
+/// counted as many times as they occur. `arbitrary` must pick some element;
+/// we pick the smallest in the pool's total term order so runs are
+/// deterministic and testable.
+
+#ifndef GLUENAIL_RUNTIME_AGGREGATES_H_
+#define GLUENAIL_RUNTIME_AGGREGATES_H_
+
+#include <optional>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/term/term_pool.h"
+
+namespace gluenail {
+
+enum class AggKind : uint8_t {
+  kMin,
+  kMax,
+  kMean,
+  kSum,
+  kProduct,
+  kArbitrary,
+  kStdDev,
+  kCount,
+};
+
+/// Maps a functor name ("min", "std_dev", ...) to its kind; nullopt if the
+/// name is not an aggregate operator.
+std::optional<AggKind> AggKindFromName(std::string_view name);
+std::string_view AggKindName(AggKind kind);
+
+/// \brief Streaming accumulator for one aggregate over one group.
+///
+/// Feed one value per supplementary tuple, then call Finish. Numeric
+/// aggregates (mean, sum, product, std_dev) require numeric inputs;
+/// min/max/arbitrary accept any term (total term order); count accepts
+/// anything.
+class Aggregator {
+ public:
+  Aggregator(AggKind kind, const TermPool* pool)
+      : kind_(kind), pool_(pool) {}
+
+  Status Add(TermId value);
+
+  /// Result over the values fed so far. Aggregating an empty group is a
+  /// runtime error for every operator except count (which yields 0):
+  /// min/max/mean/... of nothing has no value. (In statement execution the
+  /// situation cannot arise: an empty supplementary relation stops the
+  /// statement before the aggregator runs, §3.2.)
+  Result<TermId> Finish(TermPool* pool) const;
+
+  size_t count() const { return count_; }
+
+ private:
+  AggKind kind_;
+  const TermPool* pool_;
+  size_t count_ = 0;
+  TermId best_ = kNullTerm;      // min/max/arbitrary
+  double sum_ = 0;               // mean/sum/std_dev
+  double sum_sq_ = 0;            // std_dev
+  double product_ = 1;           // product
+  bool all_int_ = true;          // sum/product stay int when inputs are
+  int64_t int_sum_ = 0;
+  int64_t int_product_ = 1;
+};
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_RUNTIME_AGGREGATES_H_

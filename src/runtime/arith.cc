@@ -1,0 +1,95 @@
+#include "src/runtime/arith.h"
+
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace gluenail {
+
+namespace {
+
+Status TypeError(const TermPool& pool, std::string_view op, TermId a,
+                 TermId b) {
+  return Status::RuntimeError(StrCat("arithmetic on non-numbers: ",
+                                     pool.ToString(a), " ", op, " ",
+                                     pool.ToString(b)));
+}
+
+}  // namespace
+
+Result<TermId> EvalArith(TermPool* pool, std::string_view op, TermId a,
+                         TermId b) {
+  if (!pool->IsNumber(a) || !pool->IsNumber(b)) {
+    return TypeError(*pool, op, a, b);
+  }
+  bool both_int = pool->IsInt(a) && pool->IsInt(b);
+  if (both_int) {
+    int64_t x = pool->IntValue(a), y = pool->IntValue(b);
+    if (op == "+") return pool->MakeInt(x + y);
+    if (op == "-") return pool->MakeInt(x - y);
+    if (op == "*") return pool->MakeInt(x * y);
+    if (op == "/") {
+      if (y == 0) return Status::RuntimeError("integer division by zero");
+      return pool->MakeInt(x / y);
+    }
+    if (op == "mod") {
+      if (y == 0) return Status::RuntimeError("mod by zero");
+      return pool->MakeInt(x % y);
+    }
+  } else {
+    double x = pool->NumericValue(a), y = pool->NumericValue(b);
+    if (op == "+") return pool->MakeFloat(x + y);
+    if (op == "-") return pool->MakeFloat(x - y);
+    if (op == "*") return pool->MakeFloat(x * y);
+    if (op == "/") {
+      if (y == 0.0) return Status::RuntimeError("float division by zero");
+      return pool->MakeFloat(x / y);
+    }
+    if (op == "mod") {
+      if (y == 0.0) return Status::RuntimeError("mod by zero");
+      return pool->MakeFloat(std::fmod(x, y));
+    }
+  }
+  return Status::Internal(StrCat("unknown arithmetic operator '", op, "'"));
+}
+
+Result<TermId> EvalNegate(TermPool* pool, TermId a) {
+  if (pool->IsInt(a)) return pool->MakeInt(-pool->IntValue(a));
+  if (pool->IsFloat(a)) return pool->MakeFloat(-pool->FloatValue(a));
+  return Status::RuntimeError(
+      StrCat("cannot negate non-number ", pool->ToString(a)));
+}
+
+Result<bool> EvalCompare(const TermPool& pool, ast::CompareOp cmp, TermId a,
+                         TermId b) {
+  bool numeric = pool.IsNumber(a) && pool.IsNumber(b);
+  switch (cmp) {
+    case ast::CompareOp::kEq:
+      return numeric ? pool.NumericValue(a) == pool.NumericValue(b) : a == b;
+    case ast::CompareOp::kNe:
+      return numeric ? pool.NumericValue(a) != pool.NumericValue(b) : a != b;
+    default:
+      break;
+  }
+  int c;
+  if (numeric) {
+    double x = pool.NumericValue(a), y = pool.NumericValue(b);
+    c = x < y ? -1 : (x > y ? 1 : 0);
+  } else {
+    c = pool.Compare(a, b);
+  }
+  switch (cmp) {
+    case ast::CompareOp::kLt:
+      return c < 0;
+    case ast::CompareOp::kLe:
+      return c <= 0;
+    case ast::CompareOp::kGt:
+      return c > 0;
+    case ast::CompareOp::kGe:
+      return c >= 0;
+    default:
+      return Status::Internal("unreachable comparison");
+  }
+}
+
+}  // namespace gluenail

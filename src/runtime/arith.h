@@ -1,0 +1,39 @@
+/// \file arith.h
+/// \brief Arithmetic and comparison semantics over interned terms.
+///
+/// Numeric rules:
+///  * int (op) int yields int for + - * and truncating / and mod;
+///  * any float operand widens the operation to double;
+///  * division by zero is a runtime error (Status), not UB.
+///
+/// Comparison rules:
+///  * `=` / `!=` compare terms structurally, except that two numbers
+///    compare by value (so 1 = 1.0 holds; 1 and 1.0 are still distinct
+///    terms for storage purposes);
+///  * `<  <=  >  >=` use numeric order between numbers and the pool's
+///    total term order otherwise (symbols compare lexicographically,
+///    which gives the string ordering a database needs).
+
+#ifndef GLUENAIL_RUNTIME_ARITH_H_
+#define GLUENAIL_RUNTIME_ARITH_H_
+
+#include "src/ast/ast.h"
+#include "src/common/result.h"
+#include "src/term/term_pool.h"
+
+namespace gluenail {
+
+/// Binary arithmetic: op is one of "+", "-", "*", "/", "mod".
+Result<TermId> EvalArith(TermPool* pool, std::string_view op, TermId a,
+                         TermId b);
+
+/// Unary negation of a number.
+Result<TermId> EvalNegate(TermPool* pool, TermId a);
+
+/// Evaluates `a cmp b` under the comparison semantics above.
+Result<bool> EvalCompare(const TermPool& pool, ast::CompareOp cmp, TermId a,
+                         TermId b);
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_RUNTIME_ARITH_H_

@@ -1,0 +1,89 @@
+#include "src/runtime/io.h"
+
+#include <string>
+
+#include "src/storage/persistence.h"
+
+namespace gluenail {
+
+std::optional<BuiltinProcInfo> FindBuiltinProc(std::string_view name,
+                                               uint32_t arity) {
+  if (name == "write" && arity == 1) {
+    return BuiltinProcInfo{BuiltinProc::kWrite, 1, 0, true};
+  }
+  if (name == "writeln" && arity == 1) {
+    return BuiltinProcInfo{BuiltinProc::kWriteln, 1, 0, true};
+  }
+  if (name == "nl" && arity == 0) {
+    return BuiltinProcInfo{BuiltinProc::kNl, 0, 0, true};
+  }
+  if (name == "read" && arity == 1) {
+    return BuiltinProcInfo{BuiltinProc::kRead, 0, 1, true};
+  }
+  if (name == "read_line" && arity == 1) {
+    return BuiltinProcInfo{BuiltinProc::kReadLine, 0, 1, true};
+  }
+  if (name == "true" && arity == 0) {
+    return BuiltinProcInfo{BuiltinProc::kTrue, 0, 0, false};
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+void PrintTerm(const TermPool& pool, TermId t, std::ostream* os) {
+  if (pool.IsSymbol(t)) {
+    *os << pool.SymbolName(t);
+  } else {
+    *os << pool.ToString(t);
+  }
+}
+
+}  // namespace
+
+Status ExecBuiltinProc(BuiltinProc proc, TermPool* pool, IoEnv* io,
+                       const Relation& input, Relation* output) {
+  switch (proc) {
+    case BuiltinProc::kWrite:
+    case BuiltinProc::kWriteln: {
+      // Print in canonical order so output is deterministic even though
+      // relation iteration order is not.
+      for (const Tuple& t : input.SortedTuples(*pool)) {
+        PrintTerm(*pool, t[0], io->out);
+        if (proc == BuiltinProc::kWriteln) *io->out << "\n";
+        output->Insert(t);
+      }
+      return Status::OK();
+    }
+    case BuiltinProc::kNl:
+      *io->out << "\n";
+      output->Insert(Tuple{});
+      return Status::OK();
+    case BuiltinProc::kTrue:
+      output->Insert(Tuple{});
+      return Status::OK();
+    case BuiltinProc::kRead: {
+      std::string line;
+      if (!std::getline(*io->in, line)) {
+        return Status::IoError("read: end of input");
+      }
+      Result<TermId> parsed = ParseGroundTerm(pool, line);
+      // A line that is not term syntax reads as a plain symbol, so users
+      // can type free text at prompts.
+      TermId t = parsed.ok() ? *parsed : pool->MakeSymbol(line);
+      output->Insert(Tuple{t});
+      return Status::OK();
+    }
+    case BuiltinProc::kReadLine: {
+      std::string line;
+      if (!std::getline(*io->in, line)) {
+        return Status::IoError("read_line: end of input");
+      }
+      output->Insert(Tuple{pool->MakeSymbol(line)});
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown builtin procedure");
+}
+
+}  // namespace gluenail

@@ -1,0 +1,82 @@
+/// \file io.h
+/// \brief Predefined I/O procedures and the host (foreign) procedure
+/// interface.
+///
+/// Paper §3.1: "The predefined I/O procedures are all fixed." They follow
+/// the same calling convention as Glue procedures (§4): called once on the
+/// whole set of input bindings, returning a relation of (bound ++ free)
+/// tuples that is joined back into the supplementary relation.
+///
+/// Paper §10 lists a foreign-language interface as required future work
+/// ("many applications use windowing systems, typically with a C
+/// interface"); HostProcedure is that interface. The CAD example
+/// (examples/cad_select.cc) registers `event`, `highlight`, `dehighlight`
+/// as host procedures over a scripted event queue.
+
+#ifndef GLUENAIL_RUNTIME_IO_H_
+#define GLUENAIL_RUNTIME_IO_H_
+
+#include <functional>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/storage/relation.h"
+#include "src/term/term_pool.h"
+
+namespace gluenail {
+
+/// A foreign procedure registered on the Engine. `input` holds the deduped
+/// projection of the supplementary relation onto the bound arguments
+/// (arity bound_arity); the callback fills `output` with (bound ++ free)
+/// tuples (arity bound_arity + free_arity).
+struct HostProcedure {
+  std::string name;
+  uint32_t bound_arity = 0;
+  uint32_t free_arity = 0;
+  /// Fixed procedures are barriers for subgoal reordering and pipelining
+  /// (§3.1). Anything with side effects must stay fixed.
+  bool fixed = true;
+  std::function<Status(TermPool* pool, const Relation& input,
+                       Relation* output)>
+      fn;
+};
+
+/// The predefined I/O procedures.
+enum class BuiltinProc : uint8_t {
+  kWrite,     ///< write(T):   bound 1, free 0 — prints each input term
+  kWriteln,   ///< writeln(T): bound 1, free 0 — same, newline after each
+  kNl,        ///< nl:         bound 0, free 0 — prints one newline
+  kRead,      ///< read(T):    bound 0, free 1 — reads one term from input
+  kReadLine,  ///< read_line(L): bound 0, free 1 — reads a raw line
+  kTrue,      ///< true:       bound 0, free 0 — always succeeds (§3.2)
+};
+
+struct BuiltinProcInfo {
+  BuiltinProc proc;
+  uint32_t bound_arity;
+  uint32_t free_arity;
+  bool fixed;
+};
+
+/// Looks up a predefined procedure by name and total arity.
+std::optional<BuiltinProcInfo> FindBuiltinProc(std::string_view name,
+                                               uint32_t arity);
+
+/// Injectable stream environment so tests and examples can script I/O.
+struct IoEnv {
+  std::ostream* out = &std::cout;
+  std::istream* in = &std::cin;
+};
+
+/// Runs a predefined procedure: consumes `input` (arity = bound_arity),
+/// produces `output` (arity = bound + free). Symbols print as their raw
+/// text (write('This one?') prints This one?); other terms print in source
+/// syntax.
+Status ExecBuiltinProc(BuiltinProc proc, TermPool* pool, IoEnv* io,
+                       const Relation& input, Relation* output);
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_RUNTIME_IO_H_

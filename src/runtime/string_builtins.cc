@@ -1,0 +1,60 @@
+#include "src/runtime/string_builtins.h"
+
+#include "src/common/strings.h"
+
+namespace gluenail {
+
+namespace {
+
+/// Symbols contribute their raw text; other terms contribute their printed
+/// form. This makes concat('x', 3) == 'x3'.
+std::string TextOf(const TermPool& pool, TermId t) {
+  if (pool.IsSymbol(t)) return std::string(pool.SymbolName(t));
+  return pool.ToString(t);
+}
+
+}  // namespace
+
+bool IsStringBuiltin(std::string_view functor, size_t arity) {
+  if (functor == "concat") return arity == 2;
+  if (functor == "length") return arity == 1;
+  if (functor == "substring") return arity == 3;
+  return false;
+}
+
+Result<TermId> EvalStringBuiltin(TermPool* pool, std::string_view functor,
+                                 std::span<const TermId> args) {
+  if (functor == "concat" && args.size() == 2) {
+    return pool->MakeSymbol(
+        StrCat(TextOf(*pool, args[0]), TextOf(*pool, args[1])));
+  }
+  if (functor == "length" && args.size() == 1) {
+    if (!pool->IsSymbol(args[0])) {
+      return Status::RuntimeError(StrCat("length of non-string ",
+                                         pool->ToString(args[0])));
+    }
+    return pool->MakeInt(
+        static_cast<int64_t>(pool->SymbolName(args[0]).size()));
+  }
+  if (functor == "substring" && args.size() == 3) {
+    if (!pool->IsSymbol(args[0]) || !pool->IsInt(args[1]) ||
+        !pool->IsInt(args[2])) {
+      return Status::RuntimeError("substring expects (string, int, int)");
+    }
+    std::string_view s = pool->SymbolName(args[0]);
+    int64_t start = pool->IntValue(args[1]);
+    int64_t len = pool->IntValue(args[2]);
+    if (start < 0 || len < 0 || static_cast<size_t>(start) > s.size()) {
+      return Status::RuntimeError(
+          StrCat("substring out of range: start ", start, " len ", len,
+                 " on string of length ", s.size()));
+    }
+    size_t avail = s.size() - static_cast<size_t>(start);
+    size_t take = std::min<size_t>(static_cast<size_t>(len), avail);
+    return pool->MakeSymbol(s.substr(static_cast<size_t>(start), take));
+  }
+  return Status::Internal(StrCat("unknown string builtin ", functor, "/",
+                                 args.size()));
+}
+
+}  // namespace gluenail

@@ -1,0 +1,30 @@
+/// \file string_builtins.h
+/// \brief The string operators of paper §2: "the language has built-in
+/// operators (concatenation, length, and substring)".
+///
+/// These are expression functors, usable wherever arithmetic is:
+///   Full = concat(First, Last)
+///   N = length(Name)
+///   Prefix = substring(Name, 0, 3)
+/// `concat` accepts numbers too (they render in source syntax), which makes
+/// message formatting for `write` pleasant.
+
+#ifndef GLUENAIL_RUNTIME_STRING_BUILTINS_H_
+#define GLUENAIL_RUNTIME_STRING_BUILTINS_H_
+
+#include "src/common/result.h"
+#include "src/term/term_pool.h"
+
+namespace gluenail {
+
+/// Returns true if \p functor names a string builtin (concat, length,
+/// substring) of the given arity.
+bool IsStringBuiltin(std::string_view functor, size_t arity);
+
+/// Evaluates a string builtin over ground arguments.
+Result<TermId> EvalStringBuiltin(TermPool* pool, std::string_view functor,
+                                 std::span<const TermId> args);
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_RUNTIME_STRING_BUILTINS_H_

@@ -1,0 +1,3 @@
+// adaptive.h is header-only; this file anchors the translation unit so the
+// build lists every storage component explicitly.
+#include "src/storage/adaptive.h"

@@ -1,0 +1,76 @@
+/// \file adaptive.h
+/// \brief The adaptive optimization policy of paper §10.
+///
+/// "The back end will employ adaptive optimization techniques that select
+///  appropriate storage structures and access methods at run-time based on
+///  changing properties of the database and patterns of access. For
+///  example, an index could be created for a relation after the cumulative
+///  cost of selection by scanning the relation reaches the cost of creating
+///  the index."
+///
+/// We implement exactly that rule: for each (relation, column-set) we
+/// accumulate the number of rows scanned by selections that could have used
+/// an index on that column set; once the cumulative scan cost reaches
+/// `build_cost_factor * current_relation_size` (our model of index build
+/// cost: one hash insert per row), the index is built and used from then on.
+
+#ifndef GLUENAIL_STORAGE_ADAPTIVE_H_
+#define GLUENAIL_STORAGE_ADAPTIVE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/storage/index.h"
+
+namespace gluenail {
+
+/// How a relation decides when to build indexes for keyed selections.
+enum class IndexPolicy {
+  /// Never index; every keyed selection scans.
+  kNeverIndex,
+  /// Build an index on first use of a keyed selection.
+  kAlwaysIndex,
+  /// Paper §10: build once cumulative scan cost reaches build cost.
+  kAdaptive,
+};
+
+struct AdaptiveConfig {
+  /// Estimated cost of building an index, in units of "rows scanned" per
+  /// row of the relation. 1.0 models one hash insert ~= one scan step.
+  double build_cost_factor = 1.0;
+};
+
+/// \brief Per-relation access statistics backing the adaptive policy.
+class AccessStats {
+ public:
+  /// Accounts \p rows_scanned rows of scanning on behalf of a keyed
+  /// selection over \p mask.
+  void RecordScan(ColumnMask mask, uint64_t rows_scanned) {
+    scanned_[mask] += rows_scanned;
+  }
+
+  /// True if the cumulative scan cost for \p mask has reached the modeled
+  /// build cost for a relation of \p relation_size rows.
+  bool ShouldBuild(ColumnMask mask, uint64_t relation_size,
+                   const AdaptiveConfig& config) const {
+    auto it = scanned_.find(mask);
+    if (it == scanned_.end()) return false;
+    double build_cost =
+        config.build_cost_factor * static_cast<double>(relation_size);
+    return static_cast<double>(it->second) >= build_cost;
+  }
+
+  uint64_t cumulative_scanned(ColumnMask mask) const {
+    auto it = scanned_.find(mask);
+    return it == scanned_.end() ? 0 : it->second;
+  }
+
+  void Reset() { scanned_.clear(); }
+
+ private:
+  std::unordered_map<ColumnMask, uint64_t> scanned_;
+};
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_STORAGE_ADAPTIVE_H_

@@ -1,0 +1,48 @@
+#include "src/storage/database.h"
+
+namespace gluenail {
+
+Relation* Database::GetOrCreate(TermId name, uint32_t arity) {
+  Key key{name, arity};
+  auto it = relations_.find(key);
+  if (it != relations_.end()) return it->second.get();
+  auto rel = std::make_unique<Relation>(pool_->ToString(name), arity);
+  rel->set_index_policy(default_policy_);
+  rel->set_adaptive_config(default_adaptive_cfg_);
+  Relation* out = rel.get();
+  relations_.emplace(key, std::move(rel));
+  return out;
+}
+
+Relation* Database::Find(TermId name, uint32_t arity) const {
+  auto it = relations_.find(Key{name, arity});
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+Status Database::Drop(TermId name, uint32_t arity) {
+  auto it = relations_.find(Key{name, arity});
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("no relation ", pool_->ToString(name), "/",
+                                   arity, " to drop"));
+  }
+  relations_.erase(it);
+  return Status::OK();
+}
+
+void Database::ForEach(
+    const std::function<void(TermId, uint32_t, Relation*)>& fn) const {
+  for (const auto& [key, rel] : relations_) {
+    fn(key.name, key.arity, rel.get());
+  }
+}
+
+std::vector<std::pair<TermId, Relation*>> Database::RelationsWithArity(
+    uint32_t arity) const {
+  std::vector<std::pair<TermId, Relation*>> out;
+  for (const auto& [key, rel] : relations_) {
+    if (key.arity == arity) out.emplace_back(key.name, rel.get());
+  }
+  return out;
+}
+
+}  // namespace gluenail

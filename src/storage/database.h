@@ -1,0 +1,91 @@
+/// \file database.h
+/// \brief The Extensional Data Base: a catalog of relations keyed by
+/// (name term, arity).
+///
+/// In Glue-Nail a predicate name is itself a term (HiLog, paper §5): the
+/// relation `students(cs99)` has the compound term students(cs99) as its
+/// name. Keying the catalog by TermId makes parameterized predicate
+/// families first-class and makes run-time predicate dereferencing (a
+/// subgoal whose predicate position is a bound variable) a single map
+/// lookup.
+
+#ifndef GLUENAIL_STORAGE_DATABASE_H_
+#define GLUENAIL_STORAGE_DATABASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/storage/relation.h"
+#include "src/term/term_pool.h"
+
+namespace gluenail {
+
+class Database {
+ public:
+  /// The pool must outlive the database.
+  explicit Database(TermPool* pool) : pool_(pool) {}
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  TermPool* pool() const { return pool_; }
+
+  /// Finds or creates the relation named by \p name with \p arity. A newly
+  /// created relation receives the database's default index policy.
+  Relation* GetOrCreate(TermId name, uint32_t arity);
+
+  /// Returns the relation, or nullptr if it does not exist.
+  Relation* Find(TermId name, uint32_t arity) const;
+
+  /// Removes a relation entirely.
+  Status Drop(TermId name, uint32_t arity);
+
+  /// Invokes \p fn for every relation (iteration order unspecified).
+  void ForEach(
+      const std::function<void(TermId name, uint32_t arity, Relation*)>& fn)
+      const;
+
+  /// All (name, relation) pairs of the given arity — used when a HiLog
+  /// predicate variable must range over every known predicate name.
+  std::vector<std::pair<TermId, Relation*>> RelationsWithArity(
+      uint32_t arity) const;
+
+  size_t num_relations() const { return relations_.size(); }
+
+  /// Policy applied to relations created after this call.
+  void set_default_index_policy(IndexPolicy policy) {
+    default_policy_ = policy;
+  }
+  IndexPolicy default_index_policy() const { return default_policy_; }
+  void set_default_adaptive_config(const AdaptiveConfig& cfg) {
+    default_adaptive_cfg_ = cfg;
+  }
+
+ private:
+  struct Key {
+    TermId name;
+    uint32_t arity;
+    bool operator==(const Key& o) const {
+      return name == o.name && arity == o.arity;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(
+          HashCombine(HashCombine(0x51ed270b2f6e69c5ULL, k.name), k.arity));
+    }
+  };
+
+  TermPool* pool_;
+  std::unordered_map<Key, std::unique_ptr<Relation>, KeyHash> relations_;
+  IndexPolicy default_policy_ = IndexPolicy::kAdaptive;
+  AdaptiveConfig default_adaptive_cfg_;
+};
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_STORAGE_DATABASE_H_

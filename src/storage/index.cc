@@ -1,0 +1,41 @@
+#include "src/storage/index.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace gluenail {
+
+int ColumnMaskArity(ColumnMask mask) { return std::popcount(mask); }
+
+void ExtractKey(ColumnMask mask, const Tuple& row, Tuple* key) {
+  key->clear();
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (mask & (1u << i)) key->push_back(row[i]);
+  }
+}
+
+void HashIndex::Add(const Tuple& row, uint32_t row_id) {
+  ExtractKey(mask_, row, &scratch_key_);
+  buckets_[scratch_key_].push_back(row_id);
+}
+
+void HashIndex::Remove(const Tuple& row, uint32_t row_id) {
+  ExtractKey(mask_, row, &scratch_key_);
+  auto it = buckets_.find(scratch_key_);
+  if (it == buckets_.end()) return;
+  std::vector<uint32_t>& ids = it->second;
+  auto pos = std::find(ids.begin(), ids.end(), row_id);
+  if (pos != ids.end()) {
+    *pos = ids.back();
+    ids.pop_back();
+  }
+  if (ids.empty()) buckets_.erase(it);
+}
+
+std::span<const uint32_t> HashIndex::Find(const Tuple& key) const {
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) return {};
+  return it->second;
+}
+
+}  // namespace gluenail

@@ -1,0 +1,51 @@
+/// \file index.h
+/// \brief Hash indexes over column subsets of a relation.
+
+#ifndef GLUENAIL_STORAGE_INDEX_H_
+#define GLUENAIL_STORAGE_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/tuple.h"
+
+namespace gluenail {
+
+/// Bitmask of indexed columns; bit i set means column i is part of the key.
+/// Relations are limited to 32 columns, far beyond any real program.
+using ColumnMask = uint32_t;
+
+/// Number of set bits in \p mask.
+int ColumnMaskArity(ColumnMask mask);
+
+/// Extracts the key (columns of \p mask, ascending) from \p row into \p key.
+void ExtractKey(ColumnMask mask, const Tuple& row, Tuple* key);
+
+/// \brief A hash multimap from key tuples to row ids, maintained
+/// incrementally by the owning Relation on every insert and erase.
+class HashIndex {
+ public:
+  explicit HashIndex(ColumnMask mask) : mask_(mask) {}
+
+  ColumnMask mask() const { return mask_; }
+
+  /// Adds \p row_id under the key extracted from \p row.
+  void Add(const Tuple& row, uint32_t row_id);
+  /// Removes \p row_id (swap-remove within its bucket).
+  void Remove(const Tuple& row, uint32_t row_id);
+  /// Row ids matching \p key, or an empty span.
+  std::span<const uint32_t> Find(const Tuple& key) const;
+
+  size_t num_keys() const { return buckets_.size(); }
+
+ private:
+  ColumnMask mask_;
+  std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> buckets_;
+  mutable Tuple scratch_key_;
+};
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_STORAGE_INDEX_H_

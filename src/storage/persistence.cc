@@ -1,0 +1,311 @@
+#include "src/storage/persistence.h"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/common/strings.h"
+
+namespace gluenail {
+
+namespace {
+
+/// Minimal recursive-descent reader for ground terms in fact syntax.
+/// Grammar:
+///   term     := primary suffix*
+///   suffix   := '(' term (',' term)* ')'        // HiLog application
+///   primary  := number | symbol | quoted | '(' term ')'
+class GroundTermReader {
+ public:
+  GroundTermReader(TermPool* pool, std::string_view text)
+      : pool_(pool), text_(text) {}
+
+  Result<TermId> ReadTerm() {
+    GLUENAIL_ASSIGN_OR_RETURN(TermId t, ReadPrimary());
+    SkipSpace();
+    while (!AtEnd() && Peek() == '(') {
+      GLUENAIL_ASSIGN_OR_RETURN(std::vector<TermId> args, ReadArgs());
+      if (args.empty()) {
+        return Status::ParseError(Context("empty argument list"));
+      }
+      t = pool_->MakeCompound(t, args);
+      SkipSpace();
+    }
+    return t;
+  }
+
+  Status ExpectEnd() {
+    SkipSpace();
+    if (!AtEnd()) {
+      return Status::ParseError(Context("trailing characters after term"));
+    }
+    return Status::OK();
+  }
+
+  Status ExpectDot() {
+    SkipSpace();
+    if (AtEnd() || Peek() != '.') {
+      return Status::ParseError(Context("expected '.' after fact"));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  void SkipSpace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+ private:
+  char Peek() const { return text_[pos_]; }
+
+  std::string Context(std::string_view msg) const {
+    return StrCat(msg, " at offset ", pos_, " in \"", text_, "\"");
+  }
+
+  Result<std::vector<TermId>> ReadArgs() {
+    ++pos_;  // consume '('
+    std::vector<TermId> args;
+    SkipSpace();
+    if (!AtEnd() && Peek() == ')') {
+      ++pos_;
+      return args;
+    }
+    while (true) {
+      GLUENAIL_ASSIGN_OR_RETURN(TermId a, ReadTerm());
+      args.push_back(a);
+      SkipSpace();
+      if (AtEnd()) return Status::ParseError(Context("unterminated args"));
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ')') {
+        ++pos_;
+        return args;
+      }
+      return Status::ParseError(Context("expected ',' or ')'"));
+    }
+  }
+
+  Result<TermId> ReadPrimary() {
+    SkipSpace();
+    if (AtEnd()) return Status::ParseError(Context("expected a term"));
+    char c = Peek();
+    if (c == '(') {
+      ++pos_;
+      GLUENAIL_ASSIGN_OR_RETURN(TermId t, ReadTerm());
+      SkipSpace();
+      if (AtEnd() || Peek() != ')') {
+        return Status::ParseError(Context("expected ')'"));
+      }
+      ++pos_;
+      return t;
+    }
+    if (c == '\'') return ReadQuoted();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ReadNumber();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return ReadSymbol();
+    }
+    return Status::ParseError(Context("unexpected character"));
+  }
+
+  Result<TermId> ReadQuoted() {
+    ++pos_;  // consume opening quote
+    std::string raw;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        raw += c;
+        raw += text_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\'') {
+        ++pos_;
+        return pool_->MakeSymbol(UnescapeQuoted(raw));
+      }
+      raw += c;
+      ++pos_;
+    }
+    return Status::ParseError(Context("unterminated quoted symbol"));
+  }
+
+  Result<TermId> ReadNumber() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    bool is_float = false;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' && pos_ + 1 < text_.size() &&
+                 std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+        // A '.' only continues the number if a digit follows; a bare '.' is
+        // the fact terminator.
+        is_float = true;
+        ++pos_;
+      } else if ((c == 'e' || c == 'E') && pos_ > start &&
+                 pos_ + 1 < text_.size() &&
+                 (std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])) ||
+                  text_[pos_ + 1] == '-' || text_[pos_ + 1] == '+')) {
+        is_float = true;
+        pos_ += 2;
+      } else {
+        break;
+      }
+    }
+    std::string_view lit = text_.substr(start, pos_ - start);
+    if (lit.empty() || lit == "-") {
+      return Status::ParseError(Context("malformed number"));
+    }
+    if (is_float) {
+      double v = 0;
+      auto [p, ec] = std::from_chars(lit.data(), lit.data() + lit.size(), v);
+      if (ec != std::errc() || p != lit.data() + lit.size()) {
+        return Status::ParseError(Context("malformed float"));
+      }
+      return pool_->MakeFloat(v);
+    }
+    int64_t v = 0;
+    auto [p, ec] = std::from_chars(lit.data(), lit.data() + lit.size(), v);
+    if (ec != std::errc() || p != lit.data() + lit.size()) {
+      return Status::ParseError(Context("malformed integer"));
+    }
+    return pool_->MakeInt(v);
+  }
+
+  Result<TermId> ReadSymbol() {
+    // An unquoted identifier starting upper-case or with '_' would be a
+    // variable in source syntax; facts are ground, so reject it. (A symbol
+    // that genuinely starts upper-case is written quoted: 'X'.)
+    char first = Peek();
+    if (std::isupper(static_cast<unsigned char>(first)) || first == '_') {
+      return Status::ParseError(
+          Context("variables are not allowed in ground facts"));
+    }
+    size_t start = pos_;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return pool_->MakeSymbol(text_.substr(start, pos_ - start));
+  }
+
+  TermPool* pool_;
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void AppendFact(const TermPool& pool, TermId name, const Tuple& tuple,
+                std::string* out) {
+  pool.AppendTerm(name, out);
+  if (!tuple.empty()) {
+    out->push_back('(');
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (i != 0) out->push_back(',');
+      pool.AppendTerm(tuple[i], out);
+    }
+    out->push_back(')');
+  }
+  out->append(".\n");
+}
+
+}  // namespace
+
+Result<TermId> ParseGroundTerm(TermPool* pool, std::string_view text) {
+  GroundTermReader reader(pool, text);
+  GLUENAIL_ASSIGN_OR_RETURN(TermId t, reader.ReadTerm());
+  GLUENAIL_RETURN_NOT_OK(reader.ExpectEnd());
+  return t;
+}
+
+Status SaveDatabase(const Database& db, std::ostream& os) {
+  const TermPool& pool = *db.pool();
+  // Collect and order relations by printed name for deterministic files.
+  std::vector<std::pair<std::string, std::pair<TermId, Relation*>>> rels;
+  db.ForEach([&](TermId name, uint32_t arity, Relation* rel) {
+    rels.emplace_back(StrCat(pool.ToString(name), "/", arity),
+                      std::make_pair(name, rel));
+  });
+  std::sort(rels.begin(), rels.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::string buf;
+  for (const auto& [label, entry] : rels) {
+    auto [name, rel] = entry;
+    buf.clear();
+    buf += StrCat("% ", label, ": ", rel->size(), " tuples\n");
+    for (const Tuple& t : rel->SortedTuples(pool)) {
+      AppendFact(pool, name, t, &buf);
+    }
+    os << buf;
+    if (!os.good()) return Status::IoError("write failed while saving EDB");
+  }
+  return Status::OK();
+}
+
+Status SaveDatabaseToFile(const Database& db, const std::string& path) {
+  std::ofstream os(path);
+  if (!os.is_open()) {
+    return Status::IoError(StrCat("cannot open ", path, " for writing"));
+  }
+  return SaveDatabase(db, os).WithContext(path);
+}
+
+Status LoadDatabase(Database* db, std::istream& is) {
+  TermPool* pool = db->pool();
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and blank lines.
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '%' || line[first] == '#') continue;
+    GroundTermReader reader(pool, line);
+    Result<TermId> fact = reader.ReadTerm();
+    if (!fact.ok()) {
+      return fact.status().WithContext(StrCat("line ", line_no));
+    }
+    Status dot = reader.ExpectDot();
+    if (!dot.ok()) return dot.WithContext(StrCat("line ", line_no));
+    GLUENAIL_RETURN_NOT_OK(reader.ExpectEnd().WithContext(
+        StrCat("line ", line_no)));
+    TermId t = *fact;
+    if (pool->IsCompound(t)) {
+      TermId name = pool->Functor(t);
+      std::span<const TermId> args = pool->Args(t);
+      Relation* rel =
+          db->GetOrCreate(name, static_cast<uint32_t>(args.size()));
+      rel->Insert(Tuple(args.begin(), args.end()));
+    } else if (pool->IsSymbol(t)) {
+      Relation* rel = db->GetOrCreate(t, 0);
+      rel->Insert(Tuple{});
+    } else {
+      return Status::ParseError(
+          StrCat("line ", line_no, ": a fact must be a symbol or compound"));
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadDatabaseFromFile(Database* db, const std::string& path) {
+  std::ifstream is(path);
+  if (!is.is_open()) {
+    return Status::IoError(StrCat("cannot open ", path, " for reading"));
+  }
+  return LoadDatabase(db, is).WithContext(path);
+}
+
+}  // namespace gluenail

@@ -1,0 +1,46 @@
+/// \file persistence.h
+/// \brief EDB persistence: "storing EDB relations on disk between runs"
+/// (paper §10).
+///
+/// The on-disk format is plain fact syntax, one ground fact per line:
+///
+///     edge(1,2).
+///     tolerance(2.5).
+///     students(cs99)(wilson).      % parameterized (HiLog) predicate
+///     flag.                        % zero-arity relation
+///     % comment lines start with '%' or '#'
+///
+/// Every fact is simply a ground term whose functor is the predicate name
+/// and whose arguments are the tuple; the loader therefore needs only a
+/// ground-term reader, implemented here without depending on the full Glue
+/// parser (the storage layer sits below the language front end).
+
+#ifndef GLUENAIL_STORAGE_PERSISTENCE_H_
+#define GLUENAIL_STORAGE_PERSISTENCE_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/storage/database.h"
+
+namespace gluenail {
+
+/// Writes every relation of \p db in canonical sorted order.
+Status SaveDatabase(const Database& db, std::ostream& os);
+Status SaveDatabaseToFile(const Database& db, const std::string& path);
+
+/// Reads facts into \p db, creating relations as needed. Existing tuples
+/// are kept; duplicates in the input are harmless (relations dedupe).
+Status LoadDatabase(Database* db, std::istream& is);
+Status LoadDatabaseFromFile(Database* db, const std::string& path);
+
+/// Parses one ground term from \p text (the whole string must be consumed,
+/// modulo surrounding whitespace). Exposed for tests and the Engine's
+/// fact-insertion API.
+Result<TermId> ParseGroundTerm(TermPool* pool, std::string_view text);
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_STORAGE_PERSISTENCE_H_

@@ -1,0 +1,177 @@
+#include "src/storage/relation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gluenail {
+
+Relation::Relation(std::string name, uint32_t arity)
+    : name_(std::move(name)), arity_(arity) {
+  assert(arity <= 32 && "relations are limited to 32 columns");
+}
+
+bool Relation::Insert(const Tuple& t) {
+  assert(t.size() == arity_);
+  auto [it, inserted] = dedup_.try_emplace(t, num_rows());
+  if (!inserted) return false;
+  rows_.push_back(t);
+  live_.push_back(true);
+  uint32_t row_id = it->second;
+  for (auto& idx : indexes_) idx->Add(t, row_id);
+  ++version_;
+  return true;
+}
+
+bool Relation::Erase(const Tuple& t) {
+  auto it = dedup_.find(t);
+  if (it == dedup_.end()) return false;
+  uint32_t row_id = it->second;
+  live_[row_id] = false;
+  for (auto& idx : indexes_) idx->Remove(t, row_id);
+  dedup_.erase(it);
+  ++version_;
+  return true;
+}
+
+void Relation::Clear() {
+  if (!dedup_.empty()) ++version_;
+  rows_.clear();
+  live_.clear();
+  dedup_.clear();
+  indexes_.clear();
+  access_stats_.Reset();
+}
+
+const HashIndex* Relation::FindIndex(ColumnMask mask) const {
+  for (const auto& idx : indexes_) {
+    if (idx->mask() == mask) return idx.get();
+  }
+  return nullptr;
+}
+
+HashIndex* Relation::EnsureIndex(ColumnMask mask) {
+  for (auto& idx : indexes_) {
+    if (idx->mask() == mask) return idx.get();
+  }
+  auto idx = std::make_unique<HashIndex>(mask);
+  for (uint32_t r = 0; r < num_rows(); ++r) {
+    if (live_[r]) idx->Add(rows_[r], r);
+  }
+  ++counters_.indexes_built;
+  indexes_.push_back(std::move(idx));
+  return indexes_.back().get();
+}
+
+void Relation::ScanSelect(ColumnMask mask, const Tuple& key,
+                          std::vector<uint32_t>* out) const {
+  for (uint32_t r = 0; r < num_rows(); ++r) {
+    if (!live_[r]) continue;
+    const Tuple& row = rows_[r];
+    bool match = true;
+    size_t k = 0;
+    for (size_t col = 0; col < row.size(); ++col) {
+      if (mask & (1u << col)) {
+        if (row[col] != key[k]) {
+          match = false;
+          break;
+        }
+        ++k;
+      }
+    }
+    if (match) out->push_back(r);
+  }
+  counters_.scan_rows += num_rows();
+}
+
+void Relation::Select(ColumnMask mask, const Tuple& key,
+                      std::vector<uint32_t>* out) {
+  assert(mask != 0);
+  const HashIndex* idx = FindIndex(mask);
+  if (idx == nullptr) {
+    switch (policy_) {
+      case IndexPolicy::kNeverIndex:
+        ScanSelect(mask, key, out);
+        return;
+      case IndexPolicy::kAlwaysIndex:
+        idx = EnsureIndex(mask);
+        break;
+      case IndexPolicy::kAdaptive:
+        // Paper §10: build the index once the cumulative scanning cost for
+        // this column set reaches the cost of building the index.
+        if (access_stats_.ShouldBuild(mask, size(), adaptive_cfg_)) {
+          idx = EnsureIndex(mask);
+        } else {
+          access_stats_.RecordScan(mask, size());
+          ScanSelect(mask, key, out);
+          return;
+        }
+        break;
+    }
+  }
+  ++counters_.index_lookups;
+  for (uint32_t r : idx->Find(key)) out->push_back(r);
+}
+
+void Relation::SelectConst(ColumnMask mask, const Tuple& key,
+                           std::vector<uint32_t>* out) const {
+  const HashIndex* idx = FindIndex(mask);
+  if (idx != nullptr) {
+    ++counters_.index_lookups;
+    for (uint32_t r : idx->Find(key)) out->push_back(r);
+    return;
+  }
+  ScanSelect(mask, key, out);
+}
+
+size_t Relation::UnionDiff(const Relation& src, Relation* delta) {
+  assert(src.arity() == arity_);
+  size_t added = 0;
+  for (const Tuple& t : src) {
+    if (Insert(t)) {
+      ++added;
+      if (delta != nullptr) delta->Insert(t);
+    }
+  }
+  return added;
+}
+
+size_t Relation::UnionAll(const Relation& src) {
+  return UnionDiff(src, nullptr);
+}
+
+void Relation::CopyFrom(const Relation& src) {
+  assert(src.arity() == arity_);
+  Clear();
+  for (const Tuple& t : src) Insert(t);
+}
+
+std::vector<Tuple> Relation::SortedTuples(const TermPool& pool) const {
+  std::vector<Tuple> out;
+  out.reserve(size());
+  for (const Tuple& t : *this) out.push_back(t);
+  std::sort(out.begin(), out.end(), [&pool](const Tuple& a, const Tuple& b) {
+    return CompareTuples(pool, a, b) < 0;
+  });
+  return out;
+}
+
+void Relation::Compact() {
+  std::vector<Tuple> live_rows;
+  live_rows.reserve(size());
+  for (const Tuple& t : *this) live_rows.push_back(t);
+  std::vector<ColumnMask> masks;
+  for (const auto& idx : indexes_) masks.push_back(idx->mask());
+  rows_.clear();
+  live_.clear();
+  dedup_.clear();
+  indexes_.clear();
+  for (Tuple& t : live_rows) {
+    dedup_.emplace(t, num_rows());
+    rows_.push_back(std::move(t));
+    live_.push_back(true);
+  }
+  for (ColumnMask m : masks) EnsureIndex(m);
+  ++version_;
+}
+
+}  // namespace gluenail

@@ -1,0 +1,163 @@
+/// \file relation.h
+/// \brief Duplicate-free, main-memory relations over ground tuples.
+///
+/// This is the core of the Section-10 back end: relations live in main
+/// memory, keep no concurrency machinery (the paper scopes Glue-Nail to
+/// single-user applications), support the `uniondiff` operator used by
+/// compiled recursive NAIL! queries, and build hash indexes on demand under
+/// a pluggable policy (see adaptive.h).
+///
+/// Predicates never contain duplicates (paper §2), so Insert is a no-op on
+/// an existing tuple and reports whether the relation changed — exactly the
+/// information `repeat ... until unchanged(p)` loops need.
+
+#ifndef GLUENAIL_STORAGE_RELATION_H_
+#define GLUENAIL_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/adaptive.h"
+#include "src/storage/index.h"
+#include "src/storage/tuple.h"
+
+namespace gluenail {
+
+class Relation {
+ public:
+  Relation(std::string name, uint32_t arity);
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+
+  const std::string& name() const { return name_; }
+  uint32_t arity() const { return arity_; }
+  /// Number of live tuples.
+  size_t size() const { return dedup_.size(); }
+  bool empty() const { return dedup_.empty(); }
+
+  /// Monotone counter bumped by every successful mutation. Powers the
+  /// `unchanged(p)` builtin (paper §4) and NAIL! memo invalidation.
+  uint64_t version() const { return version_; }
+
+  /// Inserts \p t; returns true iff the relation changed.
+  bool Insert(const Tuple& t);
+  /// Erases \p t; returns true iff the relation changed.
+  bool Erase(const Tuple& t);
+  bool Contains(const Tuple& t) const { return dedup_.count(t) != 0; }
+  /// Removes all tuples (the effect of a `:=` with an empty body result).
+  void Clear();
+
+  // --- Row-level access for the executors -------------------------------
+
+  /// Total physical rows, live or dead. Row ids are stable until Compact().
+  uint32_t num_rows() const { return static_cast<uint32_t>(rows_.size()); }
+  bool row_live(uint32_t row_id) const { return live_[row_id]; }
+  const Tuple& row(uint32_t row_id) const { return rows_[row_id]; }
+
+  /// Appends the ids of live rows whose \p mask columns equal \p key.
+  ///
+  /// This is the single entry point for keyed selection: it consults an
+  /// existing index, or scans — and under IndexPolicy::kAdaptive it
+  /// accounts the scan cost and converts to an index once the cumulative
+  /// scanning reaches the modeled build cost (paper §10). Under
+  /// kAlwaysIndex the index is built on first use. \p mask must be
+  /// non-zero; full scans should iterate rows directly.
+  void Select(ColumnMask mask, const Tuple& key, std::vector<uint32_t>* out);
+
+  /// Const selection that never builds indexes or updates statistics.
+  void SelectConst(ColumnMask mask, const Tuple& key,
+                   std::vector<uint32_t>* out) const;
+
+  // --- Index management --------------------------------------------------
+
+  const HashIndex* FindIndex(ColumnMask mask) const;
+  /// Builds (if necessary) and returns the index on \p mask.
+  HashIndex* EnsureIndex(ColumnMask mask);
+  void set_index_policy(IndexPolicy policy) { policy_ = policy; }
+  IndexPolicy index_policy() const { return policy_; }
+  void set_adaptive_config(const AdaptiveConfig& cfg) { adaptive_cfg_ = cfg; }
+  const AccessStats& access_stats() const { return access_stats_; }
+
+  // --- Set operations ----------------------------------------------------
+
+  /// The paper's `uniondiff` (§10, after [9]): inserts every tuple of
+  /// \p src not already present, appending exactly the newly added tuples
+  /// to \p delta (if non-null). Returns the number of tuples added.
+  /// This one operator is what semi-naive loops need per iteration.
+  size_t UnionDiff(const Relation& src, Relation* delta);
+
+  /// Inserts every tuple of \p src; returns the number actually added.
+  size_t UnionAll(const Relation& src);
+
+  /// Replaces contents with a copy of \p src (arity must match).
+  void CopyFrom(const Relation& src);
+
+  /// Live tuples in canonical (term-order) sorted order; for deterministic
+  /// output and tests.
+  std::vector<Tuple> SortedTuples(const TermPool& pool) const;
+
+  /// Drops dead rows and rebuilds indexes. Invalidates row ids.
+  void Compact();
+
+  // --- Iteration over live tuples ---------------------------------------
+
+  class const_iterator {
+   public:
+    const_iterator(const Relation* rel, uint32_t pos) : rel_(rel), pos_(pos) {
+      SkipDead();
+    }
+    const Tuple& operator*() const { return rel_->rows_[pos_]; }
+    const Tuple* operator->() const { return &rel_->rows_[pos_]; }
+    const_iterator& operator++() {
+      ++pos_;
+      SkipDead();
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return pos_ == o.pos_; }
+    bool operator!=(const const_iterator& o) const { return pos_ != o.pos_; }
+
+   private:
+    void SkipDead() {
+      while (pos_ < rel_->rows_.size() && !rel_->live_[pos_]) ++pos_;
+    }
+    const Relation* rel_;
+    uint32_t pos_;
+  };
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, num_rows()); }
+
+  /// Cumulative operation counters, reported through Engine statistics.
+  struct Counters {
+    uint64_t scan_rows = 0;       ///< rows visited by keyed scans
+    uint64_t index_lookups = 0;   ///< keyed selections served by an index
+    uint64_t indexes_built = 0;   ///< indexes constructed (any policy)
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  void ScanSelect(ColumnMask mask, const Tuple& key,
+                  std::vector<uint32_t>* out) const;
+
+  std::string name_;
+  uint32_t arity_;
+  uint64_t version_ = 0;
+
+  std::vector<Tuple> rows_;
+  std::vector<bool> live_;
+  std::unordered_map<Tuple, uint32_t, TupleHash> dedup_;
+
+  std::vector<std::unique_ptr<HashIndex>> indexes_;
+
+  IndexPolicy policy_ = IndexPolicy::kAdaptive;
+  AdaptiveConfig adaptive_cfg_;
+  AccessStats access_stats_;
+  mutable Counters counters_;
+};
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_STORAGE_RELATION_H_

@@ -1,0 +1,25 @@
+#include "src/storage/tuple.h"
+
+namespace gluenail {
+
+std::string TupleToString(const TermPool& pool, const Tuple& tuple) {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i != 0) out += ",";
+    pool.AppendTerm(tuple[i], &out);
+  }
+  out += ")";
+  return out;
+}
+
+int CompareTuples(const TermPool& pool, const Tuple& a, const Tuple& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = pool.Compare(a[i], b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+}  // namespace gluenail

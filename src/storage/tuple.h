@@ -1,0 +1,37 @@
+/// \file tuple.h
+/// \brief Ground tuples: fixed-arity sequences of interned terms.
+
+#ifndef GLUENAIL_STORAGE_TUPLE_H_
+#define GLUENAIL_STORAGE_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/term/term_pool.h"
+
+namespace gluenail {
+
+/// A ground tuple. All attributes are interned TermIds, so tuple equality
+/// and hashing never inspect term structure.
+using Tuple = std::vector<TermId>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (TermId v : t) h = HashCombine(h, v);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Renders "(a,b,c)" using the pool's term printer.
+std::string TupleToString(const TermPool& pool, const Tuple& tuple);
+
+/// Lexicographic comparison by the pool's total term order; shorter tuples
+/// sort first. Used for canonical (deterministic) output ordering.
+int CompareTuples(const TermPool& pool, const Tuple& a, const Tuple& b);
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_STORAGE_TUPLE_H_

@@ -1,0 +1,125 @@
+#include "src/term/term_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace gluenail {
+
+namespace {
+constexpr size_t kArenaChunkTerms = 4096;
+}  // namespace
+
+TermId TermPool::AddTerm(TermTag tag, uint32_t payload) {
+  TermId id = static_cast<TermId>(tags_.size());
+  tags_.push_back(tag);
+  payload_.push_back(payload);
+  return id;
+}
+
+TermId TermPool::MakeInt(int64_t value) {
+  auto it = int_map_.find(value);
+  if (it != int_map_.end()) return it->second;
+  uint32_t payload = static_cast<uint32_t>(ints_.size());
+  ints_.push_back(value);
+  TermId id = AddTerm(TermTag::kInt, payload);
+  int_map_.emplace(value, id);
+  return id;
+}
+
+TermId TermPool::MakeFloat(double value) {
+  auto it = float_map_.find(value);
+  if (it != float_map_.end()) return it->second;
+  uint32_t payload = static_cast<uint32_t>(floats_.size());
+  floats_.push_back(value);
+  TermId id = AddTerm(TermTag::kFloat, payload);
+  float_map_.emplace(value, id);
+  return id;
+}
+
+TermId TermPool::MakeSymbol(std::string_view name) {
+  auto it = symbol_map_.find(name);
+  if (it != symbol_map_.end()) return it->second;
+  uint32_t payload = static_cast<uint32_t>(symbols_.size());
+  symbols_.emplace_back(name);
+  TermId id = AddTerm(TermTag::kSymbol, payload);
+  symbol_map_.emplace(symbols_.back(), id);
+  return id;
+}
+
+const TermId* TermPool::InternArgs(std::span<const TermId> args) {
+  if (arg_arena_.empty() ||
+      arg_arena_.back().size() + args.size() > arg_arena_.back().capacity()) {
+    arg_arena_.emplace_back();
+    arg_arena_.back().reserve(std::max(kArenaChunkTerms, args.size()));
+  }
+  std::vector<TermId>& chunk = arg_arena_.back();
+  const TermId* out = chunk.data() + chunk.size();
+  chunk.insert(chunk.end(), args.begin(), args.end());
+  return out;
+}
+
+TermId TermPool::MakeCompound(TermId functor, std::span<const TermId> args) {
+  assert(!args.empty() && "a compound term needs at least one argument");
+  CompoundKey probe{functor, args};
+  auto it = compound_map_.find(probe);
+  if (it != compound_map_.end()) return it->second;
+  const TermId* stable = InternArgs(args);
+  uint32_t payload = static_cast<uint32_t>(compounds_.size());
+  compounds_.push_back(
+      CompoundRec{functor, stable, static_cast<uint32_t>(args.size())});
+  TermId id = AddTerm(TermTag::kCompound, payload);
+  compound_map_.emplace(CompoundKey{functor, {stable, args.size()}}, id);
+  return id;
+}
+
+TermId TermPool::MakeCompound(std::string_view functor,
+                              std::span<const TermId> args) {
+  return MakeCompound(MakeSymbol(functor), args);
+}
+
+int TermPool::Compare(TermId a, TermId b) const {
+  if (a == b) return 0;
+  auto rank = [](TermTag t) {
+    // Numbers sort together regardless of int/float tag.
+    switch (t) {
+      case TermTag::kInt:
+      case TermTag::kFloat:
+        return 0;
+      case TermTag::kSymbol:
+        return 1;
+      case TermTag::kCompound:
+        return 2;
+    }
+    return 3;
+  };
+  int ra = rank(tag(a)), rb = rank(tag(b));
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0: {
+      double va = NumericValue(a), vb = NumericValue(b);
+      if (va < vb) return -1;
+      if (va > vb) return 1;
+      // Same numeric value: int sorts before float (e.g. 1 < 1.0).
+      int ta = IsFloat(a) ? 1 : 0, tb = IsFloat(b) ? 1 : 0;
+      return ta - tb;
+    }
+    case 1: {
+      int c = SymbolName(a).compare(SymbolName(b));
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default: {
+      size_t aa = Arity(a), ab = Arity(b);
+      if (aa != ab) return aa < ab ? -1 : 1;
+      int c = Compare(Functor(a), Functor(b));
+      if (c != 0) return c;
+      std::span<const TermId> xa = Args(a), xb = Args(b);
+      for (size_t i = 0; i < aa; ++i) {
+        c = Compare(xa[i], xb[i]);
+        if (c != 0) return c;
+      }
+      return 0;
+    }
+  }
+}
+
+}  // namespace gluenail

@@ -1,0 +1,188 @@
+/// \file term_pool.h
+/// \brief Hash-consed storage for ground HiLog terms.
+///
+/// Glue-Nail relations contain only completely ground tuples (paper §2), so
+/// every term a program ever touches is a ground term and can be interned.
+/// The pool hash-conses terms: each structurally distinct term receives
+/// exactly one TermId, making term equality a single integer comparison and
+/// making HiLog set-name equality (paper §5.1: "a simple string-string
+/// matching suffices") literally a word compare.
+///
+/// Following HiLog, a compound term's functor is itself an arbitrary term,
+/// not just an atom: `students(cs99)` is a compound whose functor is the
+/// symbol `students`, and it can in turn be the functor of
+/// `students(cs99)(wilson)` or serve as a predicate *name*.
+///
+/// Per the paper (§2) there is no distinction between atoms and strings:
+/// both are interned symbols.
+
+#ifndef GLUENAIL_TERM_TERM_POOL_H_
+#define GLUENAIL_TERM_TERM_POOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/strings.h"
+
+namespace gluenail {
+
+/// \brief Identifier of an interned term. Equality of ids is equality of
+/// terms within one pool.
+using TermId = uint32_t;
+
+/// Sentinel for "no term" (e.g. an unbound slot in a binding record).
+inline constexpr TermId kNullTerm = 0xffffffffu;
+
+/// \brief Discriminator for the four kinds of ground terms.
+enum class TermTag : uint8_t {
+  kInt = 0,
+  kFloat = 1,
+  /// An atom or string; the paper treats the two identically (§2).
+  kSymbol = 2,
+  /// functor(args...) where the functor is itself any term (HiLog, §5).
+  kCompound = 3,
+};
+
+/// \brief Arena of interned ground terms.
+///
+/// Not thread-safe; each Engine owns one pool. TermIds are only meaningful
+/// relative to the pool that produced them.
+class TermPool {
+ public:
+  TermPool() = default;
+  TermPool(const TermPool&) = delete;
+  TermPool& operator=(const TermPool&) = delete;
+
+  /// Interns an integer term.
+  TermId MakeInt(int64_t value);
+  /// Interns a floating-point term.
+  TermId MakeFloat(double value);
+  /// Interns a symbol (atom/string).
+  TermId MakeSymbol(std::string_view name);
+  /// Interns a compound term with an arbitrary functor term (HiLog).
+  /// \p args must be non-empty; a zero-argument "compound" is its functor.
+  TermId MakeCompound(TermId functor, std::span<const TermId> args);
+  /// Convenience: compound with a symbol functor.
+  TermId MakeCompound(std::string_view functor, std::span<const TermId> args);
+
+  TermTag tag(TermId id) const { return tags_[id]; }
+  bool IsInt(TermId id) const { return tag(id) == TermTag::kInt; }
+  bool IsFloat(TermId id) const { return tag(id) == TermTag::kFloat; }
+  bool IsSymbol(TermId id) const { return tag(id) == TermTag::kSymbol; }
+  bool IsCompound(TermId id) const { return tag(id) == TermTag::kCompound; }
+  bool IsNumber(TermId id) const { return IsInt(id) || IsFloat(id); }
+
+  /// Value accessors. Preconditions: the term has the matching tag.
+  int64_t IntValue(TermId id) const { return ints_[payload_[id]]; }
+  double FloatValue(TermId id) const { return floats_[payload_[id]]; }
+  /// Numeric value of an int or float term, widened to double.
+  double NumericValue(TermId id) const {
+    return IsInt(id) ? static_cast<double>(IntValue(id)) : FloatValue(id);
+  }
+  std::string_view SymbolName(TermId id) const {
+    return symbols_[payload_[id]];
+  }
+  /// Functor of a compound term.
+  TermId Functor(TermId id) const { return compounds_[payload_[id]].functor; }
+  /// Arguments of a compound term.
+  std::span<const TermId> Args(TermId id) const {
+    const CompoundRec& rec = compounds_[payload_[id]];
+    return {rec.args, rec.arity};
+  }
+  /// Number of arguments; 0 for non-compound terms.
+  size_t Arity(TermId id) const {
+    return IsCompound(id) ? compounds_[payload_[id]].arity : 0;
+  }
+
+  /// Total order over all terms in this pool, used by min/max aggregation
+  /// over non-numeric data, by `arbitrary` (smallest term, for determinism)
+  /// and by the EDB persistence writer for canonical output.
+  /// Order: numbers (by value; int before float on ties) < symbols
+  /// (lexicographic) < compounds (arity, then functor, then args).
+  /// Returns <0, 0, >0.
+  int Compare(TermId a, TermId b) const;
+
+  /// Number of distinct interned terms.
+  size_t size() const { return tags_.size(); }
+
+  /// Renders the term in source syntax (see term_printer.cc).
+  std::string ToString(TermId id) const;
+  /// Appends the source rendering of \p id to \p out.
+  void AppendTerm(TermId id, std::string* out) const;
+
+ private:
+  struct CompoundRec {
+    TermId functor;
+    /// Points into arg_arena_ chunks, whose storage is never reallocated.
+    const TermId* args;
+    uint32_t arity;
+  };
+
+  struct CompoundKey {
+    TermId functor;
+    std::span<const TermId> args;
+  };
+  struct CompoundKeyHash {
+    size_t operator()(const CompoundKey& k) const {
+      uint64_t h = HashCombine(0x9e3779b97f4a7c15ULL, k.functor);
+      for (TermId a : k.args) h = HashCombine(h, a);
+      return static_cast<size_t>(h);
+    }
+  };
+  struct CompoundKeyEq {
+    bool operator()(const CompoundKey& a, const CompoundKey& b) const {
+      if (a.functor != b.functor || a.args.size() != b.args.size())
+        return false;
+      for (size_t i = 0; i < a.args.size(); ++i)
+        if (a.args[i] != b.args[i]) return false;
+      return true;
+    }
+  };
+
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return static_cast<size_t>(Fnv1a64(s.data(), s.size()));
+    }
+    size_t operator()(const std::string& s) const {
+      return operator()(std::string_view(s));
+    }
+  };
+  struct StringEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  TermId AddTerm(TermTag tag, uint32_t payload);
+  /// Copies \p args into the stable arena and returns the persistent slice.
+  const TermId* InternArgs(std::span<const TermId> args);
+
+  std::vector<TermTag> tags_;
+  std::vector<uint32_t> payload_;
+
+  std::vector<int64_t> ints_;
+  std::unordered_map<int64_t, TermId> int_map_;
+
+  std::vector<double> floats_;
+  std::unordered_map<double, TermId> float_map_;
+
+  std::vector<std::string> symbols_;
+  std::unordered_map<std::string, TermId, StringHash, StringEq> symbol_map_;
+
+  std::vector<CompoundRec> compounds_;
+  /// Chunked arena: chunks never move once allocated, so CompoundRec::args
+  /// and the spans inside compound_map_ keys stay valid forever.
+  std::vector<std::vector<TermId>> arg_arena_;
+  std::unordered_map<CompoundKey, TermId, CompoundKeyHash, CompoundKeyEq>
+      compound_map_;
+};
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_TERM_TERM_POOL_H_

@@ -1,0 +1,93 @@
+/// \file term_printer.cc
+/// \brief Renders interned terms back into source syntax.
+///
+/// The output is re-parseable by the Glue parser and is used by the
+/// persistence writer, by `write`/`writeln`, and by error messages.
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/strings.h"
+#include "src/term/term_pool.h"
+
+namespace gluenail {
+
+namespace {
+
+/// A symbol prints unquoted iff it is a plain lowercase identifier
+/// (the lexer would read it back as one token).
+bool IsPlainIdentifier(std::string_view s) {
+  if (s.empty()) return false;
+  if (!std::islower(static_cast<unsigned char>(s[0]))) return false;
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+void AppendFloat(double v, std::string* out) {
+  char buf[64];
+  // %.17g round-trips doubles exactly.
+  int n = std::snprintf(buf, sizeof(buf), "%.17g", v);
+  std::string_view sv(buf, static_cast<size_t>(n));
+  out->append(sv);
+  // Keep floats lexically distinct from ints so the value re-parses as a
+  // float (e.g. "1" vs "1.0").
+  if (sv.find('.') == std::string_view::npos &&
+      sv.find('e') == std::string_view::npos &&
+      sv.find("inf") == std::string_view::npos &&
+      sv.find("nan") == std::string_view::npos) {
+    out->append(".0");
+  }
+}
+
+}  // namespace
+
+void TermPool::AppendTerm(TermId id, std::string* out) const {
+  switch (tag(id)) {
+    case TermTag::kInt:
+      out->append(std::to_string(IntValue(id)));
+      return;
+    case TermTag::kFloat:
+      AppendFloat(FloatValue(id), out);
+      return;
+    case TermTag::kSymbol: {
+      std::string_view name = SymbolName(id);
+      if (IsPlainIdentifier(name)) {
+        out->append(name);
+      } else {
+        out->push_back('\'');
+        out->append(EscapeQuoted(name));
+        out->push_back('\'');
+      }
+      return;
+    }
+    case TermTag::kCompound: {
+      TermId f = Functor(id);
+      // HiLog functors that are themselves non-atomic print parenthesized,
+      // e.g. (1)(a); compound functors print naturally: tas(cs99)(jones).
+      bool paren = IsInt(f) || IsFloat(f);
+      if (paren) out->push_back('(');
+      AppendTerm(f, out);
+      if (paren) out->push_back(')');
+      out->push_back('(');
+      std::span<const TermId> args = Args(id);
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i != 0) out->push_back(',');
+        AppendTerm(args[i], out);
+      }
+      out->push_back(')');
+      return;
+    }
+  }
+}
+
+std::string TermPool::ToString(TermId id) const {
+  std::string out;
+  AppendTerm(id, &out);
+  return out;
+}
+
+}  // namespace gluenail

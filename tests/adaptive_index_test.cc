@@ -1,0 +1,135 @@
+/// Tests for the paper-§10 adaptive index policy: "an index could be
+/// created for a relation after the cumulative cost of selection by
+/// scanning the relation reaches the cost of creating the index."
+
+#include <gtest/gtest.h>
+
+#include "src/storage/adaptive.h"
+#include "src/storage/relation.h"
+#include "src/term/term_pool.h"
+
+namespace gluenail {
+namespace {
+
+class AdaptiveIndexTest : public ::testing::Test {
+ protected:
+  Tuple T(std::initializer_list<int64_t> xs) {
+    Tuple t;
+    for (int64_t x : xs) t.push_back(pool_.MakeInt(x));
+    return t;
+  }
+
+  void Fill(Relation* r, int n) {
+    for (int i = 0; i < n; ++i) r->Insert(T({i % 16, i}));
+  }
+
+  TermPool pool_;
+};
+
+TEST_F(AdaptiveIndexTest, AccessStatsAccumulate) {
+  AccessStats stats;
+  stats.RecordScan(0b01, 100);
+  stats.RecordScan(0b01, 150);
+  stats.RecordScan(0b10, 10);
+  EXPECT_EQ(stats.cumulative_scanned(0b01), 250u);
+  EXPECT_EQ(stats.cumulative_scanned(0b10), 10u);
+  EXPECT_EQ(stats.cumulative_scanned(0b11), 0u);
+}
+
+TEST_F(AdaptiveIndexTest, ShouldBuildAtThreshold) {
+  AccessStats stats;
+  AdaptiveConfig cfg;  // build cost = 1.0 * relation size
+  stats.RecordScan(0b01, 999);
+  EXPECT_FALSE(stats.ShouldBuild(0b01, 1000, cfg));
+  stats.RecordScan(0b01, 1);
+  EXPECT_TRUE(stats.ShouldBuild(0b01, 1000, cfg));
+}
+
+TEST_F(AdaptiveIndexTest, BuildCostFactorScalesThreshold) {
+  AccessStats stats;
+  AdaptiveConfig cfg;
+  cfg.build_cost_factor = 3.0;
+  stats.RecordScan(0b01, 2000);
+  EXPECT_FALSE(stats.ShouldBuild(0b01, 1000, cfg));
+  stats.RecordScan(0b01, 1000);
+  EXPECT_TRUE(stats.ShouldBuild(0b01, 1000, cfg));
+}
+
+TEST_F(AdaptiveIndexTest, AdaptivePolicyConvertsScansToIndex) {
+  Relation r("edge", 2);
+  r.set_index_policy(IndexPolicy::kAdaptive);
+  Fill(&r, 1000);
+  std::vector<uint32_t> rows;
+  // First selection: no stats yet -> scans.
+  r.Select(0b01, T({3}), &rows);
+  EXPECT_EQ(r.FindIndex(0b01), nullptr);
+  // Second selection: cumulative scanned (1000) >= size (1000) -> builds.
+  rows.clear();
+  r.Select(0b01, T({3}), &rows);
+  EXPECT_NE(r.FindIndex(0b01), nullptr);
+  EXPECT_EQ(r.counters().indexes_built, 1u);
+  // Results identical either way.
+  EXPECT_EQ(rows.size(), 1000u / 16 + (3 < 1000 % 16 ? 1 : 0));
+}
+
+TEST_F(AdaptiveIndexTest, NeverIndexNeverBuilds) {
+  Relation r("edge", 2);
+  r.set_index_policy(IndexPolicy::kNeverIndex);
+  Fill(&r, 100);
+  std::vector<uint32_t> rows;
+  for (int q = 0; q < 50; ++q) {
+    rows.clear();
+    r.Select(0b01, T({1}), &rows);
+  }
+  EXPECT_EQ(r.FindIndex(0b01), nullptr);
+  EXPECT_EQ(r.counters().indexes_built, 0u);
+}
+
+TEST_F(AdaptiveIndexTest, AlwaysIndexBuildsOnFirstUse) {
+  Relation r("edge", 2);
+  r.set_index_policy(IndexPolicy::kAlwaysIndex);
+  Fill(&r, 100);
+  std::vector<uint32_t> rows;
+  r.Select(0b01, T({1}), &rows);
+  EXPECT_NE(r.FindIndex(0b01), nullptr);
+  EXPECT_EQ(r.counters().indexes_built, 1u);
+  EXPECT_EQ(r.counters().index_lookups, 1u);
+}
+
+TEST_F(AdaptiveIndexTest, DifferentColumnSetsTrackedIndependently) {
+  Relation r("edge", 2);
+  r.set_index_policy(IndexPolicy::kAdaptive);
+  Fill(&r, 100);
+  std::vector<uint32_t> rows;
+  // Drive column 0 over the threshold; column 1 untouched.
+  rows.clear();
+  r.Select(0b01, T({1}), &rows);
+  rows.clear();
+  r.Select(0b01, T({1}), &rows);
+  EXPECT_NE(r.FindIndex(0b01), nullptr);
+  EXPECT_EQ(r.FindIndex(0b10), nullptr);
+}
+
+TEST_F(AdaptiveIndexTest, AdaptiveAndScanAgreeOnResults) {
+  Relation scan("edge", 2), adaptive("edge", 2);
+  scan.set_index_policy(IndexPolicy::kNeverIndex);
+  adaptive.set_index_policy(IndexPolicy::kAdaptive);
+  Fill(&scan, 500);
+  Fill(&adaptive, 500);
+  for (int q = 0; q < 10; ++q) {
+    std::vector<uint32_t> a, b;
+    scan.Select(0b01, T({q % 16}), &a);
+    adaptive.Select(0b01, T({q % 16}), &b);
+    ASSERT_EQ(a.size(), b.size()) << "query " << q;
+    // Same multiset of tuples.
+    std::vector<Tuple> ta, tb;
+    for (uint32_t x : a) ta.push_back(scan.row(x));
+    for (uint32_t x : b) tb.push_back(adaptive.row(x));
+    std::sort(ta.begin(), ta.end());
+    std::sort(tb.begin(), tb.end());
+    EXPECT_EQ(ta, tb);
+  }
+}
+
+}  // namespace
+}  // namespace gluenail

@@ -1,0 +1,172 @@
+/// Unit tests for the aggregate operators of §3.3.
+
+#include "src/runtime/aggregates.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gluenail {
+namespace {
+
+class AggregatesTest : public ::testing::Test {
+ protected:
+  Result<TermId> Run(AggKind kind, std::initializer_list<double> values,
+                     bool as_int = false) {
+    Aggregator agg(kind, &pool_);
+    for (double v : values) {
+      TermId t = as_int ? pool_.MakeInt(static_cast<int64_t>(v))
+                        : pool_.MakeFloat(v);
+      Status s = agg.Add(t);
+      if (!s.ok()) return s;
+    }
+    return agg.Finish(&pool_);
+  }
+
+  TermPool pool_;
+};
+
+TEST_F(AggregatesTest, NamesRoundTrip) {
+  for (AggKind k : {AggKind::kMin, AggKind::kMax, AggKind::kMean,
+                    AggKind::kSum, AggKind::kProduct, AggKind::kArbitrary,
+                    AggKind::kStdDev, AggKind::kCount}) {
+    std::optional<AggKind> back = AggKindFromName(AggKindName(k));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, k);
+  }
+  EXPECT_FALSE(AggKindFromName("median").has_value());
+}
+
+TEST_F(AggregatesTest, MinMaxNumeric) {
+  Result<TermId> lo = Run(AggKind::kMin, {3, 1, 2}, /*as_int=*/true);
+  ASSERT_TRUE(lo.ok());
+  EXPECT_EQ(pool_.IntValue(*lo), 1);
+  Result<TermId> hi = Run(AggKind::kMax, {3, 1, 2}, /*as_int=*/true);
+  ASSERT_TRUE(hi.ok());
+  EXPECT_EQ(pool_.IntValue(*hi), 3);
+}
+
+TEST_F(AggregatesTest, MinMaxOverSymbolsUsesTermOrder) {
+  Aggregator agg(AggKind::kMin, &pool_);
+  ASSERT_TRUE(agg.Add(pool_.MakeSymbol("pear")).ok());
+  ASSERT_TRUE(agg.Add(pool_.MakeSymbol("apple")).ok());
+  Result<TermId> r = agg.Finish(&pool_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(pool_.SymbolName(*r), "apple");
+}
+
+TEST_F(AggregatesTest, SumStaysIntegerForIntegers) {
+  Result<TermId> r = Run(AggKind::kSum, {1, 2, 3}, /*as_int=*/true);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(pool_.IsInt(*r));
+  EXPECT_EQ(pool_.IntValue(*r), 6);
+}
+
+TEST_F(AggregatesTest, SumWidensWithFloats) {
+  Aggregator agg(AggKind::kSum, &pool_);
+  ASSERT_TRUE(agg.Add(pool_.MakeInt(1)).ok());
+  ASSERT_TRUE(agg.Add(pool_.MakeFloat(0.5)).ok());
+  Result<TermId> r = agg.Finish(&pool_);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(pool_.IsFloat(*r));
+  EXPECT_DOUBLE_EQ(pool_.FloatValue(*r), 1.5);
+}
+
+TEST_F(AggregatesTest, MeanIsAlwaysFloat) {
+  Result<TermId> r = Run(AggKind::kMean, {1, 2}, /*as_int=*/true);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(pool_.IsFloat(*r));
+  EXPECT_DOUBLE_EQ(pool_.FloatValue(*r), 1.5);
+}
+
+TEST_F(AggregatesTest, ProductInt) {
+  Result<TermId> r = Run(AggKind::kProduct, {2, 3, 4}, /*as_int=*/true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(pool_.IntValue(*r), 24);
+}
+
+TEST_F(AggregatesTest, StdDevPopulation) {
+  Result<TermId> r = Run(AggKind::kStdDev, {2, 4, 4, 4, 5, 5, 7, 9});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(pool_.FloatValue(*r), 2.0, 1e-9);
+}
+
+TEST_F(AggregatesTest, CountIgnoresValues) {
+  Aggregator agg(AggKind::kCount, &pool_);
+  ASSERT_TRUE(agg.Add(pool_.MakeSymbol("anything")).ok());
+  ASSERT_TRUE(agg.Add(pool_.MakeSymbol("anything")).ok());  // duplicates too
+  Result<TermId> r = agg.Finish(&pool_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(pool_.IntValue(*r), 2);
+}
+
+TEST_F(AggregatesTest, CountOfEmptyIsZero) {
+  Aggregator agg(AggKind::kCount, &pool_);
+  Result<TermId> r = agg.Finish(&pool_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(pool_.IntValue(*r), 0);
+}
+
+TEST_F(AggregatesTest, OtherAggregatesErrorOnEmpty) {
+  for (AggKind k : {AggKind::kMin, AggKind::kMax, AggKind::kMean,
+                    AggKind::kSum, AggKind::kProduct, AggKind::kArbitrary,
+                    AggKind::kStdDev}) {
+    Aggregator agg(k, &pool_);
+    EXPECT_TRUE(agg.Finish(&pool_).status().IsRuntimeError())
+        << AggKindName(k);
+  }
+}
+
+TEST_F(AggregatesTest, NumericAggregatesRejectSymbols) {
+  for (AggKind k : {AggKind::kMean, AggKind::kSum, AggKind::kProduct,
+                    AggKind::kStdDev}) {
+    Aggregator agg(k, &pool_);
+    EXPECT_TRUE(agg.Add(pool_.MakeSymbol("x")).IsRuntimeError())
+        << AggKindName(k);
+  }
+}
+
+TEST_F(AggregatesTest, ArbitraryIsDeterministicSmallest) {
+  Aggregator agg(AggKind::kArbitrary, &pool_);
+  ASSERT_TRUE(agg.Add(pool_.MakeInt(5)).ok());
+  ASSERT_TRUE(agg.Add(pool_.MakeInt(2)).ok());
+  ASSERT_TRUE(agg.Add(pool_.MakeInt(9)).ok());
+  Result<TermId> r = agg.Finish(&pool_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(pool_.IntValue(*r), 2);
+}
+
+/// Property sweep: mean/sum/std_dev agree with a reference computation on
+/// arithmetic sequences of varying length.
+class AggregatePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AggregatePropertyTest, MatchesReference) {
+  int n = GetParam();
+  TermPool pool;
+  Aggregator sum(AggKind::kSum, &pool);
+  Aggregator mean(AggKind::kMean, &pool);
+  Aggregator sd(AggKind::kStdDev, &pool);
+  double ref_sum = 0;
+  std::vector<double> xs;
+  for (int i = 1; i <= n; ++i) {
+    double v = 1.5 * i;
+    xs.push_back(v);
+    ref_sum += v;
+    ASSERT_TRUE(sum.Add(pool.MakeFloat(v)).ok());
+    ASSERT_TRUE(mean.Add(pool.MakeFloat(v)).ok());
+    ASSERT_TRUE(sd.Add(pool.MakeFloat(v)).ok());
+  }
+  double ref_mean = ref_sum / n;
+  double ref_var = 0;
+  for (double v : xs) ref_var += (v - ref_mean) * (v - ref_mean);
+  ref_var /= n;
+  EXPECT_NEAR(pool.FloatValue(*sum.Finish(&pool)), ref_sum, 1e-6);
+  EXPECT_NEAR(pool.FloatValue(*mean.Finish(&pool)), ref_mean, 1e-9);
+  EXPECT_NEAR(pool.FloatValue(*sd.Finish(&pool)), std::sqrt(ref_var), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AggregatePropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 64, 1000));
+
+}  // namespace
+}  // namespace gluenail

@@ -1,0 +1,137 @@
+/// Unit tests for arithmetic, comparison, and string builtins.
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/arith.h"
+#include "src/runtime/string_builtins.h"
+
+namespace gluenail {
+namespace {
+
+class ArithTest : public ::testing::Test {
+ protected:
+  TermId I(int64_t v) { return pool_.MakeInt(v); }
+  TermId F(double v) { return pool_.MakeFloat(v); }
+  TermId S(std::string_view v) { return pool_.MakeSymbol(v); }
+
+  int64_t IntOf(const Result<TermId>& r) {
+    EXPECT_TRUE(r.ok()) << r.status();
+    EXPECT_TRUE(pool_.IsInt(*r));
+    return pool_.IntValue(*r);
+  }
+  double FloatOf(const Result<TermId>& r) {
+    EXPECT_TRUE(r.ok()) << r.status();
+    EXPECT_TRUE(pool_.IsFloat(*r));
+    return pool_.FloatValue(*r);
+  }
+
+  TermPool pool_;
+};
+
+TEST_F(ArithTest, IntOpsStayInt) {
+  EXPECT_EQ(IntOf(EvalArith(&pool_, "+", I(2), I(3))), 5);
+  EXPECT_EQ(IntOf(EvalArith(&pool_, "-", I(2), I(3))), -1);
+  EXPECT_EQ(IntOf(EvalArith(&pool_, "*", I(4), I(3))), 12);
+  EXPECT_EQ(IntOf(EvalArith(&pool_, "/", I(7), I(2))), 3);
+  EXPECT_EQ(IntOf(EvalArith(&pool_, "mod", I(7), I(2))), 1);
+}
+
+TEST_F(ArithTest, FloatWidening) {
+  EXPECT_DOUBLE_EQ(FloatOf(EvalArith(&pool_, "+", I(1), F(0.5))), 1.5);
+  EXPECT_DOUBLE_EQ(FloatOf(EvalArith(&pool_, "/", F(7), I(2))), 3.5);
+  EXPECT_DOUBLE_EQ(FloatOf(EvalArith(&pool_, "mod", F(7.5), I(2))), 1.5);
+}
+
+TEST_F(ArithTest, DivisionByZero) {
+  EXPECT_TRUE(EvalArith(&pool_, "/", I(1), I(0)).status().IsRuntimeError());
+  EXPECT_TRUE(
+      EvalArith(&pool_, "mod", I(1), I(0)).status().IsRuntimeError());
+  EXPECT_TRUE(
+      EvalArith(&pool_, "/", F(1), F(0)).status().IsRuntimeError());
+}
+
+TEST_F(ArithTest, NonNumbersRejected) {
+  EXPECT_TRUE(EvalArith(&pool_, "+", S("a"), I(1)).status().IsRuntimeError());
+  EXPECT_TRUE(EvalNegate(&pool_, S("a")).status().IsRuntimeError());
+}
+
+TEST_F(ArithTest, Negate) {
+  EXPECT_EQ(IntOf(EvalNegate(&pool_, I(5))), -5);
+  EXPECT_DOUBLE_EQ(FloatOf(EvalNegate(&pool_, F(2.5))), -2.5);
+}
+
+TEST_F(ArithTest, NumericComparisonAcrossKinds) {
+  using ast::CompareOp;
+  EXPECT_TRUE(*EvalCompare(pool_, CompareOp::kEq, I(1), F(1.0)));
+  EXPECT_FALSE(*EvalCompare(pool_, CompareOp::kNe, I(1), F(1.0)));
+  EXPECT_TRUE(*EvalCompare(pool_, CompareOp::kLt, I(1), F(1.5)));
+  EXPECT_TRUE(*EvalCompare(pool_, CompareOp::kGe, F(2.0), I(2)));
+}
+
+TEST_F(ArithTest, TermEqualityForNonNumbers) {
+  using ast::CompareOp;
+  EXPECT_TRUE(*EvalCompare(pool_, CompareOp::kEq, S("a"), S("a")));
+  EXPECT_FALSE(*EvalCompare(pool_, CompareOp::kEq, S("a"), S("b")));
+  // Symbols order lexicographically for < (string ordering).
+  EXPECT_TRUE(*EvalCompare(pool_, CompareOp::kLt, S("apple"), S("pear")));
+}
+
+TEST(StringBuiltinsLookupTest, ArityMatters) {
+  EXPECT_TRUE(IsStringBuiltin("concat", 2));
+  EXPECT_FALSE(IsStringBuiltin("concat", 3));
+  EXPECT_TRUE(IsStringBuiltin("length", 1));
+  EXPECT_TRUE(IsStringBuiltin("substring", 3));
+  EXPECT_FALSE(IsStringBuiltin("upper", 1));
+}
+
+class StringBuiltinsTest : public ::testing::Test {
+ protected:
+  Result<TermId> Call(std::string_view f, std::vector<TermId> args) {
+    return EvalStringBuiltin(&pool_, f, args);
+  }
+  TermPool pool_;
+};
+
+TEST_F(StringBuiltinsTest, Concat) {
+  Result<TermId> r = Call(
+      "concat", {pool_.MakeSymbol("foo"), pool_.MakeSymbol("bar")});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(pool_.SymbolName(*r), "foobar");
+}
+
+TEST_F(StringBuiltinsTest, ConcatRendersNumbers) {
+  Result<TermId> r =
+      Call("concat", {pool_.MakeSymbol("x="), pool_.MakeInt(42)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(pool_.SymbolName(*r), "x=42");
+}
+
+TEST_F(StringBuiltinsTest, Length) {
+  Result<TermId> r = Call("length", {pool_.MakeSymbol("hello")});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(pool_.IntValue(*r), 5);
+  EXPECT_TRUE(
+      Call("length", {pool_.MakeInt(5)}).status().IsRuntimeError());
+}
+
+TEST_F(StringBuiltinsTest, Substring) {
+  TermId s = pool_.MakeSymbol("database");
+  Result<TermId> r =
+      Call("substring", {s, pool_.MakeInt(4), pool_.MakeInt(4)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(pool_.SymbolName(*r), "base");
+  // Length clamps to the available tail.
+  r = Call("substring", {s, pool_.MakeInt(4), pool_.MakeInt(100)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(pool_.SymbolName(*r), "base");
+  // Negative / out-of-range starts are errors.
+  EXPECT_TRUE(Call("substring", {s, pool_.MakeInt(-1), pool_.MakeInt(1)})
+                  .status()
+                  .IsRuntimeError());
+  EXPECT_TRUE(Call("substring", {s, pool_.MakeInt(99), pool_.MakeInt(1)})
+                  .status()
+                  .IsRuntimeError());
+}
+
+}  // namespace
+}  // namespace gluenail

@@ -1,0 +1,122 @@
+/// Round-trip tests: printing an AST and re-parsing it must yield an
+/// equivalent AST. The NAIL!-to-Glue compiler's generated code is checked
+/// through the same printer, so round-tripping is load-bearing.
+
+#include <gtest/gtest.h>
+
+#include "src/ast/ast.h"
+#include "src/parser/parser.h"
+
+namespace gluenail {
+namespace {
+
+void ExpectTermRoundTrip(std::string_view src) {
+  Result<ast::Term> first = ParseTermText(src);
+  ASSERT_TRUE(first.ok()) << first.status();
+  std::string printed = ast::ToString(*first);
+  Result<ast::Term> second = ParseTermText(printed);
+  ASSERT_TRUE(second.ok()) << "reparse of \"" << printed
+                           << "\": " << second.status();
+  EXPECT_TRUE(first->Equals(*second)) << printed;
+}
+
+TEST(AstPrinterTest, TermRoundTrips) {
+  ExpectTermRoundTrip("wilson");
+  ExpectTermRoundTrip("X");
+  ExpectTermRoundTrip("_");
+  ExpectTermRoundTrip("42");
+  ExpectTermRoundTrip("-7");
+  ExpectTermRoundTrip("2.5");
+  ExpectTermRoundTrip("'quoted atom'");
+  ExpectTermRoundTrip("f(X,1,g(a))");
+  ExpectTermRoundTrip("students(cs99)(wilson)");
+  ExpectTermRoundTrip("E(Y,Z)");
+  ExpectTermRoundTrip("A+B*C");
+  ExpectTermRoundTrip("(A+B)*C");
+  ExpectTermRoundTrip("X mod 3");
+  ExpectTermRoundTrip("min(T)");
+}
+
+void ExpectStatementRoundTrip(std::string_view src) {
+  Result<ast::Statement> first = ParseStatement(src);
+  ASSERT_TRUE(first.ok()) << first.status();
+  std::string printed = ast::ToString(*first);
+  Result<ast::Statement> second = ParseStatement(printed);
+  ASSERT_TRUE(second.ok()) << "reparse of \"" << printed
+                           << "\": " << second.status();
+  EXPECT_EQ(printed, ast::ToString(*second)) << printed;
+}
+
+TEST(AstPrinterTest, StatementRoundTrips) {
+  ExpectStatementRoundTrip("r(X,Y) += s(X,W) & t(f(W,X),Y).");
+  ExpectStatementRoundTrip("p(X) := q(X) & X != 3.");
+  ExpectStatementRoundTrip("p(X) -= q(X).");
+  ExpectStatementRoundTrip("p(K,V) +=[K] q(K,V).");
+  ExpectStatementRoundTrip(
+      "coldest_city(Name) := daily_temp(Name,T) & T = min(T).");
+  ExpectStatementRoundTrip(
+      "avg(C,A) := g(C,S,G) & group_by(C) & A = mean(G).");
+  ExpectStatementRoundTrip("d(S,T) := in(S,T) & S(X) & !T(X).");
+  ExpectStatementRoundTrip("log(K) += try(K) & --possible(K,D) & ++seen(K).");
+  ExpectStatementRoundTrip("return(X:Y) := connected(X,Y).");
+  ExpectStatementRoundTrip("return(S,T:) := !different(S,T).");
+  ExpectStatementRoundTrip(
+      "repeat connected(X,Y) += connected(X,Z) & e(Z,Y). "
+      "until unchanged(connected(_,_));");
+  ExpectStatementRoundTrip(
+      "repeat try(K) := possible(K,D). "
+      "until {confirmed(K) | empty(possible(K,D))};");
+  ExpectStatementRoundTrip("students(ID)(S) += attends(S,ID).");
+}
+
+TEST(AstPrinterTest, RuleRoundTrip) {
+  Result<ast::NailRule> first = ParseRule("tc(E,X,Z) :- tc(E,X,Y) & E(Y,Z).");
+  ASSERT_TRUE(first.ok());
+  std::string printed = ast::ToString(*first);
+  Result<ast::NailRule> second = ParseRule(printed);
+  ASSERT_TRUE(second.ok()) << printed << ": " << second.status();
+  EXPECT_EQ(printed, ast::ToString(*second));
+}
+
+TEST(AstPrinterTest, ModuleRoundTrip) {
+  Result<ast::Module> first = ParseModule(R"(
+module graph;
+edb e(X,Y);
+export tc_e(X:Y);
+path(X,Y) :- e(X,Y).
+path(X,Z) :- path(X,Y) & e(Y,Z).
+procedure tc_e (X:Y)
+rels connected(X,Y);
+  connected(X,Y):= in(X) & e(X,Y).
+  repeat
+    connected(X,Y)+= connected(X,Z) & e(Z,Y).
+  until unchanged( connected(_,_));
+  return(X:Y):= connected(X,Y).
+end
+end
+)");
+  ASSERT_TRUE(first.ok()) << first.status();
+  std::string printed = ast::ToString(*first);
+  Result<ast::Module> second = ParseModule(printed);
+  ASSERT_TRUE(second.ok()) << printed << "\n" << second.status();
+  EXPECT_EQ(printed, ast::ToString(*second));
+  EXPECT_EQ(second->procedures.size(), 1u);
+  EXPECT_EQ(second->rules.size(), 2u);
+}
+
+TEST(AstPrinterTest, QuotedSymbolsStayQuoted) {
+  Result<ast::Term> t = ParseTermText("'Hello World'");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(ast::ToString(*t), "'Hello World'");
+}
+
+TEST(AstPrinterTest, UntilCondToString) {
+  Result<ast::Statement> s = ParseStatement(
+      "repeat p(X) := q(X). until !empty(p(_)) & unchanged(p(_));");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(ast::ToString(s->repeat().cond),
+            "(!empty(p(_)) & unchanged(p(_)))");
+}
+
+}  // namespace
+}  // namespace gluenail

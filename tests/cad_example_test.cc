@@ -1,0 +1,233 @@
+/// Reproduction of Figure 1 (experiment F1 in DESIGN.md): the micro-CAD
+/// `select` module. The paper's `windows` and `graphics` modules are
+/// foreign code; here they are host procedures over a scripted event
+/// queue, exercising the same code path (fixed I/O subgoals, pipeline
+/// breaks, foreign calls).
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "src/api/engine.h"
+
+namespace gluenail {
+namespace {
+
+// Cleaned of the OCR noise in the paper's listing. One structural change:
+// the paper passes the mouse point into graphic_search as a bound
+// argument, which presumes top-down (magic-style) binding propagation;
+// this bottom-up engine instead has select record the point in a `click`
+// EDB relation that the rule reads — the division of labor the paper
+// itself prescribes (Glue for state, NAIL! for the query).
+constexpr std::string_view kCadModule = R"(
+module example;
+export select(:Key);
+from windows import event( :Type, Data );
+from graphics import
+  highlight( Key: ), dehighlight( Key: );
+edb element(Key, P1, DS),
+    tolerance(T),
+    click(X, Y);
+
+proc select( :Key )
+rels
+  possible(Key, D), try(Key), confirmed(Key);
+  click(X,Y) := event( mouse, p(X,Y) ).
+  possible( Key, D ):= graphic_search( Key, D ).
+  repeat
+    try(Key):=
+      possible( Key, D ) &
+      D = min(D) &
+      It = arbitrary(Key) &
+      Key = It &
+      --possible( It, D ).
+    confirmed(K):=
+      try(K) &
+      highlight(K) &
+      write( 'This one?' ) &
+      event( keyboard, KeyBuffer ) &
+      dehighlight( K ) &
+      KeyBuffer = 'y'.
+  until {confirmed(K) | empty(possible(K,D)) };
+  return(:Key):= confirmed( Key ).
+end
+
+graphic_search( Key, Dist ):-
+  click(X,Y) &
+  element( Key, p(Xmin, Ymin), _ ) &
+  tolerance(T) &
+  (X-Xmin)*(X-Xmin) + (Y-Ymin)*(Y-Ymin) < T &
+  Dist = (X-Xmin)*(X-Xmin) + (Y-Ymin)*(Y-Ymin).
+end
+)";
+
+/// A scripted windowing system standing in for the paper's foreign
+/// `windows`/`graphics` modules.
+class FakeWindowSystem {
+ public:
+  void PushMouse(int64_t x, int64_t y) {
+    events_.push_back(Event{"mouse", x, y, ""});
+  }
+  void PushKey(std::string key) {
+    events_.push_back(Event{"keyboard", 0, 0, std::move(key)});
+  }
+
+  const std::vector<std::string>& highlighted() const { return highlighted_; }
+  const std::vector<std::string>& dehighlighted() const {
+    return dehighlighted_;
+  }
+
+  void Register(Engine* engine) {
+    HostProcedure event;
+    event.name = "event";
+    event.bound_arity = 0;
+    event.free_arity = 2;
+    event.fn = [this](TermPool* pool, const Relation& input,
+                      Relation* output) -> Status {
+      if (input.empty()) return Status::OK();
+      if (events_.empty()) {
+        return Status::RuntimeError("event queue exhausted");
+      }
+      Event e = events_.front();
+      events_.pop_front();
+      TermId type = pool->MakeSymbol(e.type);
+      TermId data;
+      if (e.type == "mouse") {
+        std::vector<TermId> xy{pool->MakeInt(e.x), pool->MakeInt(e.y)};
+        data = pool->MakeCompound("p", xy);
+      } else {
+        data = pool->MakeSymbol(e.key);
+      }
+      output->Insert(Tuple{type, data});
+      return Status::OK();
+    };
+    ASSERT_TRUE(engine->RegisterHostProcedure(std::move(event)).ok());
+
+    HostProcedure highlight;
+    highlight.name = "highlight";
+    highlight.bound_arity = 1;
+    highlight.free_arity = 0;
+    highlight.fn = [this](TermPool* pool, const Relation& input,
+                          Relation* output) -> Status {
+      for (const Tuple& t : input) {
+        highlighted_.push_back(pool->ToString(t[0]));
+        output->Insert(t);
+      }
+      return Status::OK();
+    };
+    ASSERT_TRUE(engine->RegisterHostProcedure(std::move(highlight)).ok());
+
+    HostProcedure dehighlight = highlight;
+    dehighlight.name = "dehighlight";
+    dehighlight.fn = [this](TermPool* pool, const Relation& input,
+                            Relation* output) -> Status {
+      for (const Tuple& t : input) {
+        dehighlighted_.push_back(pool->ToString(t[0]));
+        output->Insert(t);
+      }
+      return Status::OK();
+    };
+    ASSERT_TRUE(engine->RegisterHostProcedure(std::move(dehighlight)).ok());
+  }
+
+ private:
+  struct Event {
+    std::string type;
+    int64_t x, y;
+    std::string key;
+  };
+  std::deque<Event> events_;
+  std::vector<std::string> highlighted_;
+  std::vector<std::string> dehighlighted_;
+};
+
+class CadExampleTest : public ::testing::TestWithParam<ExecOptions::Strategy> {
+ protected:
+  void SetUp() override {
+    EngineOptions opts;
+    opts.exec.strategy = GetParam();
+    engine_ = std::make_unique<Engine>(opts);
+    windows_.Register(engine_.get());
+    out_ = std::make_unique<std::ostringstream>();
+    engine_->SetIo(out_.get(), nullptr);
+  }
+
+  void LoadCad() {
+    ASSERT_TRUE(engine_->LoadProgram(kCadModule).ok());
+    // A small drawing: three elements, two near the click point (5,5).
+    ASSERT_TRUE(engine_->AddFact("element(line1, p(5,6), solid).").ok());
+    ASSERT_TRUE(engine_->AddFact("element(line2, p(7,5), dashed).").ok());
+    ASSERT_TRUE(engine_->AddFact("element(blob, p(90,90), solid).").ok());
+    ASSERT_TRUE(engine_->AddFact("tolerance(30).").ok());
+  }
+
+  std::string CallSelect() {
+    Result<std::vector<Tuple>> r = engine_->Call("select", {Tuple{}});
+    EXPECT_TRUE(r.ok()) << r.status();
+    if (!r.ok() || r->empty()) return "";
+    return engine_->pool()->ToString((*r)[0][0]);
+  }
+
+  FakeWindowSystem windows_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<std::ostringstream> out_;
+};
+
+TEST_P(CadExampleTest, UserConfirmsFirstCandidate) {
+  LoadCad();
+  windows_.PushMouse(5, 5);
+  windows_.PushKey("y");
+  // line1 is nearest (distance 1 < line2's distance 4): offered first.
+  EXPECT_EQ(CallSelect(), "line1");
+  EXPECT_EQ(windows_.highlighted(),
+            (std::vector<std::string>{"line1"}));
+  EXPECT_EQ(windows_.dehighlighted(),
+            (std::vector<std::string>{"line1"}));
+  EXPECT_EQ(out_->str(), "This one?");
+}
+
+TEST_P(CadExampleTest, UserRejectsFirstAcceptsSecond) {
+  LoadCad();
+  windows_.PushMouse(5, 5);
+  windows_.PushKey("n");
+  windows_.PushKey("y");
+  // Candidates offered in increasing distance order: line1 then line2.
+  EXPECT_EQ(CallSelect(), "line2");
+  EXPECT_EQ(windows_.highlighted(),
+            (std::vector<std::string>{"line1", "line2"}));
+}
+
+TEST_P(CadExampleTest, UserRejectsEverything) {
+  LoadCad();
+  windows_.PushMouse(5, 5);
+  windows_.PushKey("n");
+  windows_.PushKey("n");
+  // Both candidates rejected: select returns no key.
+  Result<std::vector<Tuple>> r = engine_->Call("select", {Tuple{}});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->empty());
+}
+
+TEST_P(CadExampleTest, ClickFarFromEverything) {
+  LoadCad();
+  windows_.PushMouse(50, 50);
+  Result<std::vector<Tuple>> r = engine_->Call("select", {Tuple{}});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->empty());
+  // Nothing was ever highlighted or asked about.
+  EXPECT_TRUE(windows_.highlighted().empty());
+  EXPECT_EQ(out_->str(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, CadExampleTest,
+    ::testing::Values(ExecOptions::Strategy::kMaterialized,
+                      ExecOptions::Strategy::kPipelined),
+    [](const ::testing::TestParamInfo<ExecOptions::Strategy>& info) {
+      return info.param == ExecOptions::Strategy::kMaterialized
+                 ? "Materialized"
+                 : "Pipelined";
+    });
+
+}  // namespace
+}  // namespace gluenail

@@ -1,0 +1,229 @@
+/// Cross-feature integration: combinations the single-feature suites do
+/// not reach — host + Glue + NAIL! in one statement, post-aggregate
+/// joins, HiLog sets over derived predicates, loops driving procedures,
+/// and zero-arity corners.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/api/engine.h"
+
+namespace gluenail {
+namespace {
+
+class CrossFeatureTest
+    : public ::testing::TestWithParam<ExecOptions::Strategy> {
+ protected:
+  CrossFeatureTest() {
+    EngineOptions opts;
+    opts.exec.strategy = GetParam();
+    engine_ = std::make_unique<Engine>(opts);
+  }
+
+  std::string Ask(std::string_view goal) {
+    Result<Engine::QueryResult> r = engine_->Query(goal);
+    EXPECT_TRUE(r.ok()) << goal << ": " << r.status();
+    if (!r.ok()) return "<error>";
+    std::string out;
+    for (size_t i = 0; i < r->rows.size(); ++i) {
+      if (i != 0) out += ";";
+      for (size_t j = 0; j < r->rows[i].size(); ++j) {
+        if (j != 0) out += ",";
+        out += engine_->pool()->ToString(r->rows[i][j]);
+      }
+    }
+    return out;
+  }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_P(CrossFeatureTest, HostGlueAndNailInOneStatement) {
+  HostProcedure scale{"scale", 1, 1, false, nullptr};
+  scale.fn = [](TermPool* pool, const Relation& input, Relation* output) {
+    for (const Tuple& t : input) {
+      if (!pool->IsInt(t[0])) continue;
+      output->Insert(Tuple{t[0], pool->MakeInt(pool->IntValue(t[0]) * 100)});
+    }
+    return Status::OK();
+  };
+  ASSERT_TRUE(engine_->RegisterHostProcedure(std::move(scale)).ok());
+  ASSERT_TRUE(engine_->LoadProgram(R"(
+module m;
+edb edge(X,Y), result(A,B,C);
+export run(:);
+from native import scale(X:Y);
+path(X,Y) :- edge(X,Y).
+path(X,Z) :- path(X,Y) & edge(Y,Z).
+proc bump(X:Y)
+  return(X:Y) := in(X) & Y = X + 1.
+end
+proc run(:)
+  % EDB + NAIL! + host + Glue procedure, one body.
+  result(Y, S, B) := edge(1, X) & path(X, Y) & scale(Y, S) & bump(S, B).
+  return(:) := true.
+end
+edge(1,2). edge(2,3).
+end
+)").ok());
+  ASSERT_TRUE(engine_->Call("run", {{}}).ok());
+  EXPECT_EQ(Ask("result(A,B,C)"), "3,300,301");
+}
+
+TEST_P(CrossFeatureTest, JoinAfterGroupedAggregate) {
+  // Aggregates mid-statement followed by further matches: the per-group
+  // mean is joined against a threshold relation.
+  for (const char* f :
+       {"score(math, a, 70).", "score(math, b, 90).",
+        "score(art, a, 40).", "score(art, b, 50).",
+        "passmark(math, 75).", "passmark(art, 60)."}) {
+    ASSERT_TRUE(engine_->AddFact(f).ok());
+  }
+  ASSERT_TRUE(engine_->ExecuteStatement(
+                  "passing_subject(S) := score(S, P, G) & group_by(S) & "
+                  "M = mean(G) & passmark(S, T) & M >= T.")
+                  .ok());
+  EXPECT_EQ(Ask("passing_subject(S)"), "math");
+}
+
+TEST_P(CrossFeatureTest, TwoAggregatesDifferentGroupDepths) {
+  for (const char* f :
+       {"sale(east, jan, 10).", "sale(east, feb, 30).",
+        "sale(west, jan, 100).", "sale(west, feb, 200)."}) {
+    ASSERT_TRUE(engine_->AddFact(f).ok());
+  }
+  // Total per region, then the grand max of those totals via a second
+  // statement (aggregate-of-aggregate).
+  ASSERT_TRUE(engine_->ExecuteStatement(
+                  "regional(R, T) := sale(R, M, V) & group_by(R) & "
+                  "T = sum(V).")
+                  .ok());
+  ASSERT_TRUE(engine_->ExecuteStatement(
+                  "best(R, T) := regional(R, T) & T = max(T).")
+                  .ok());
+  EXPECT_EQ(Ask("best(R, T)"), "west,300");
+}
+
+TEST_P(CrossFeatureTest, HiLogSetOfDerivedPredicate) {
+  // A set-valued attribute naming a *NAIL!* predicate instance: the
+  // dereference must trigger derivation.
+  ASSERT_TRUE(engine_->LoadProgram(R"(
+module m;
+edb attends(S,C), course_set(C, Set);
+students(C)(S) :- attends(S, C).
+attends(ann, cs99). attends(bo, cs99).
+course_set(cs99, students(cs99)).
+end
+)").ok());
+  EXPECT_EQ(Ask("course_set(C, Set) & Set(Who)"),
+            "cs99,students(cs99),ann;cs99,students(cs99),bo");
+}
+
+TEST_P(CrossFeatureTest, LoopDrivingProcedureCalls) {
+  // A repeat loop whose body calls a procedure that shrinks a worklist.
+  std::ostringstream out;
+  engine_->SetIo(&out, nullptr);
+  ASSERT_TRUE(engine_->LoadProgram(R"(
+module m;
+edb work(X), done(X);
+export drain(:);
+proc step(:X)
+  return(:X) := work(X) & X = min(X) & --work(X) & ++done(X).
+end
+proc drain(:)
+rels tick(X);
+  repeat
+    tick(X) := step(X).
+  until empty(work(_));
+  return(:) := true.
+end
+work(3). work(1). work(2).
+end
+)").ok());
+  ASSERT_TRUE(engine_->Call("drain", {{}}).ok());
+  EXPECT_EQ(Ask("done(X)"), "1;2;3");
+  EXPECT_EQ(Ask("work(X)"), "");
+}
+
+TEST_P(CrossFeatureTest, ZeroArityEverything) {
+  // Zero-arity relations as booleans; zero-arity procedure; empty tuple
+  // plumbing end to end.
+  ASSERT_TRUE(engine_->LoadProgram(R"(
+module m;
+edb armed, fired;
+export maybe_fire(:);
+proc maybe_fire(:)
+  fired := armed.
+  return(:) := true.
+end
+end
+)").ok());
+  ASSERT_TRUE(engine_->Call("maybe_fire", {{}}).ok());
+  EXPECT_EQ(Ask("fired"), "");  // not armed: fired cleared/empty
+  ASSERT_TRUE(engine_->AddFact("armed.").ok());
+  ASSERT_TRUE(engine_->Call("maybe_fire", {{}}).ok());
+  Result<Engine::QueryResult> r = engine_->Query("fired");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);  // the empty tuple: true
+}
+
+TEST_P(CrossFeatureTest, NegatedLocalInsideProcedure) {
+  ASSERT_TRUE(engine_->LoadProgram(R"(
+module m;
+edb all(X), out(X);
+export keep_new(:);
+proc keep_new(:)
+rels seen(X);
+  seen(X) += all(X) & X < 3.
+  out(X) := all(X) & !seen(X).
+  return(:) := true.
+end
+all(1). all(2). all(3). all(4).
+end
+)").ok());
+  ASSERT_TRUE(engine_->Call("keep_new", {{}}).ok());
+  EXPECT_EQ(Ask("out(X)"), "3;4");
+}
+
+TEST_P(CrossFeatureTest, StringPipelineThroughWrite) {
+  std::ostringstream out;
+  engine_->SetIo(&out, nullptr);
+  ASSERT_TRUE(engine_->AddFact("user(ada, 3).").ok());
+  ASSERT_TRUE(engine_->ExecuteStatement(
+                  "logged(M) := user(N, Count) & "
+                  "M = concat(concat(substring(N, 0, 1), '-'), Count) & "
+                  "writeln(M).")
+                  .ok());
+  EXPECT_EQ(out.str(), "a-3\n");
+  EXPECT_EQ(Ask("logged(M)"), "'a-3'");
+}
+
+TEST_P(CrossFeatureTest, DynamicHeadFromNailDerivedName) {
+  // The written relation's name comes from a NAIL!-derived tuple.
+  ASSERT_TRUE(engine_->LoadProgram(R"(
+module m;
+edb pref(P, Kind);
+sink(P, box(P)) :- pref(P, _).
+pref(ann, a). pref(bo, b).
+end
+)").ok());
+  ASSERT_TRUE(engine_->ExecuteStatement(
+                  "Box(K) += pref(P, K) & sink(P, Box).")
+                  .ok());
+  EXPECT_EQ(Ask("box(ann)(K)"), "a");
+  EXPECT_EQ(Ask("box(bo)(K)"), "b");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, CrossFeatureTest,
+    ::testing::Values(ExecOptions::Strategy::kMaterialized,
+                      ExecOptions::Strategy::kPipelined),
+    [](const ::testing::TestParamInfo<ExecOptions::Strategy>& info) {
+      return info.param == ExecOptions::Strategy::kMaterialized
+                 ? "Materialized"
+                 : "Pipelined";
+    });
+
+}  // namespace
+}  // namespace gluenail

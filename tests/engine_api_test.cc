@@ -1,0 +1,245 @@
+/// Engine facade tests: queries, calls, facts, persistence, statistics,
+/// and option plumbing.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "src/api/engine.h"
+
+namespace gluenail {
+namespace {
+
+TEST(EngineApiTest, QueryVariablesInFirstAppearanceOrder) {
+  Engine engine;
+  ASSERT_TRUE(engine.AddFact("edge(1,2).").ok());
+  Result<Engine::QueryResult> r = engine.Query("edge(A,B) & B > A");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->vars, (std::vector<std::string>{"A", "B"}));
+  ASSERT_EQ(r->rows.size(), 1u);
+}
+
+TEST(EngineApiTest, QueryAnswersAreDistinctAndSorted) {
+  Engine engine;
+  ASSERT_TRUE(engine.AddFact("p(3).").ok());
+  ASSERT_TRUE(engine.AddFact("p(1).").ok());
+  ASSERT_TRUE(engine.AddFact("q(3).").ok());
+  ASSERT_TRUE(engine.AddFact("q(1).").ok());
+  // X appears twice; answers deduped.
+  Result<Engine::QueryResult> r = engine.Query("p(X) & q(X)");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(engine.pool()->IntValue(r->rows[0][0]), 1);
+  EXPECT_EQ(engine.pool()->IntValue(r->rows[1][0]), 3);
+}
+
+TEST(EngineApiTest, QueryDoesNotDisturbState) {
+  Engine engine;
+  ASSERT_TRUE(engine.AddFact("p(1).").ok());
+  size_t before = engine.edb()->num_relations();
+  ASSERT_TRUE(engine.Query("p(X)").ok());
+  EXPECT_EQ(engine.edb()->num_relations(), before);
+}
+
+TEST(EngineApiTest, AddFactVariants) {
+  Engine engine;
+  EXPECT_TRUE(engine.AddFact("edge(1,2).").ok());
+  EXPECT_TRUE(engine.AddFact("edge(2,3)").ok());  // dot optional
+  EXPECT_TRUE(engine.AddFact("flag.").ok());      // zero arity
+  EXPECT_TRUE(engine.AddFact("students(cs99)(wilson).").ok());
+  EXPECT_FALSE(engine.AddFact("42.").ok());
+  EXPECT_FALSE(engine.AddFact("p(X).").ok());  // not ground
+  Result<Engine::QueryResult> r = engine.Query("edge(X,Y)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST(EngineApiTest, RelationContents) {
+  Engine engine;
+  ASSERT_TRUE(engine.AddFact("p(2).").ok());
+  ASSERT_TRUE(engine.AddFact("p(1).").ok());
+  Result<std::vector<Tuple>> rows = engine.RelationContents("p", 1);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ(engine.pool()->IntValue((*rows)[0][0]), 1);
+  EXPECT_TRUE(engine.RelationContents("zzz", 1).status().IsNotFound());
+}
+
+TEST(EngineApiTest, RelationContentsReachesNailPredicates) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram(R"(
+module kb;
+edb edge(X,Y);
+path(X,Y) :- edge(X,Y).
+path(X,Z) :- path(X,Y) & edge(Y,Z).
+edge(1,2). edge(2,3).
+end
+)").ok());
+  Result<std::vector<Tuple>> rows = engine.RelationContents("path", 2);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST(EngineApiTest, EdbPersistenceBetweenRuns) {
+  // §10: "storing EDB relations on disk between runs".
+  const std::string path = testing::TempDir() + "/gluenail_engine_run.facts";
+  {
+    Engine engine;
+    ASSERT_TRUE(engine.AddFact("account(alice, 100).").ok());
+    ASSERT_TRUE(engine.AddFact("account(bob, 50).").ok());
+    ASSERT_TRUE(
+        engine.ExecuteStatement(
+                  "account(N, B) +=[N] account(N, B0) & N = alice & "
+                  "B = B0 + 10.")
+            .ok());
+    ASSERT_TRUE(engine.SaveEdbFile(path).ok());
+  }
+  {
+    Engine engine;
+    ASSERT_TRUE(engine.LoadEdbFile(path).ok());
+    Result<Engine::QueryResult> r = engine.Query("account(alice, B)");
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->rows.size(), 1u);
+    EXPECT_EQ(engine.pool()->IntValue(r->rows[0][0]), 110);
+  }
+}
+
+TEST(EngineApiTest, CompileStatsArePopulated) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram(R"(
+module kb;
+edb edge(X,Y);
+export go(:);
+path(X,Y) :- edge(X,Y).
+path(X,Z) :- path(X,Y) & edge(Y,Z).
+proc go(:)
+  return(:) := true.
+end
+end
+)").ok());
+  const CompileStats& cs = engine.compile_stats();
+  EXPECT_EQ(cs.modules, 1u);
+  EXPECT_EQ(cs.procedures, 1u);
+  EXPECT_GE(cs.generated_procedures, 2u);  // stratum + driver
+  EXPECT_EQ(cs.nail_rules, 2u);
+  EXPECT_EQ(cs.nail_predicates, 1u);
+  EXPECT_GT(cs.statements, 0u);
+  EXPECT_FALSE(FormatCompileStats(cs).empty());
+}
+
+TEST(EngineApiTest, ExecStatsAccumulateAndReset) {
+  Engine engine;
+  ASSERT_TRUE(engine.AddFact("p(1).").ok());
+  ASSERT_TRUE(engine.ExecuteStatement("q(X) := p(X).").ok());
+  EXPECT_GT(engine.exec_stats().statements, 0u);
+  EXPECT_FALSE(FormatExecStats(engine.exec_stats()).empty());
+  engine.ResetExecStats();
+  EXPECT_EQ(engine.exec_stats().statements, 0u);
+}
+
+TEST(EngineApiTest, HostRegistrationAfterLoadRejected) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram("module m; end").ok());
+  HostProcedure h;
+  h.name = "late";
+  h.fn = [](TermPool*, const Relation&, Relation*) { return Status::OK(); };
+  EXPECT_TRUE(engine.RegisterHostProcedure(std::move(h)).IsInvalidArgument());
+}
+
+TEST(EngineApiTest, HostWithoutCallbackRejected) {
+  Engine engine;
+  HostProcedure h;
+  h.name = "broken";
+  EXPECT_TRUE(engine.RegisterHostProcedure(std::move(h)).IsInvalidArgument());
+}
+
+TEST(EngineApiTest, LoadProgramReplacesPrevious) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram(R"(
+module a;
+export f(:X);
+proc f(:X)
+  return(:X) := true & X = 1.
+end
+end
+)").ok());
+  ASSERT_TRUE(engine.Call("f", {Tuple{}}).ok());
+  ASSERT_TRUE(engine.LoadProgram(R"(
+module b;
+export g(:X);
+proc g(:X)
+  return(:X) := true & X = 2.
+end
+end
+)").ok());
+  EXPECT_TRUE(engine.Call("f", {Tuple{}}).status().IsNotFound());
+  EXPECT_TRUE(engine.Call("g", {Tuple{}}).ok());
+}
+
+TEST(EngineApiTest, CallInputArityChecked) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram(R"(
+module m;
+export f(X:Y);
+proc f(X:Y)
+  return(X:Y) := in(X) & Y = X.
+end
+end
+)").ok());
+  Tuple wrong{engine.pool()->MakeInt(1), engine.pool()->MakeInt(2)};
+  EXPECT_TRUE(engine.Call("f", {wrong}).status().IsInvalidArgument());
+}
+
+TEST(EngineApiTest, LoadProgramFile) {
+  const std::string path = testing::TempDir() + "/engine_prog.gn";
+  {
+    std::ofstream f(path);
+    f << "module kb;\nedb e(X);\np(X) :- e(X).\ne(3).\nend\n";
+  }
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgramFile(path).ok());
+  Result<Engine::QueryResult> r = engine.Query("p(X)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+  EXPECT_TRUE(
+      engine.LoadProgramFile("/nonexistent/file.gn").IsIoError());
+}
+
+TEST(EngineApiTest, ParseErrorsSurfaceWithLocation) {
+  Engine engine;
+  Status s = engine.LoadProgram("module m; p(X) := q(X) end");
+  ASSERT_TRUE(s.IsParseError());
+  EXPECT_NE(s.message().find("line"), std::string::npos);
+}
+
+TEST(EngineApiTest, IndexPolicyOptionReachesRelations) {
+  EngineOptions opts;
+  opts.index_policy = IndexPolicy::kNeverIndex;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.AddFact("p(1).").ok());
+  Relation* rel = engine.edb()->Find(engine.pool()->MakeSymbol("p"), 1);
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->index_policy(), IndexPolicy::kNeverIndex);
+}
+
+TEST(EngineApiTest, DedupOptionObservableInStats) {
+  EngineOptions with;
+  with.exec.dedup_at_breaks = true;
+  EngineOptions without;
+  without.exec.dedup_at_breaks = false;
+  for (EngineOptions* o : {&with, &without}) {
+    Engine engine(*o);
+    // A join that produces duplicate binding projections.
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(
+          engine.AddFact(StrCat("s(", i, ",", i % 2, ").")).ok());
+    }
+    ASSERT_TRUE(engine.ExecuteStatement("t(Y) := s(X, Y).").ok());
+    Result<Engine::QueryResult> r = engine.Query("t(Y)");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->rows.size(), 2u);  // identical answers either way
+  }
+}
+
+}  // namespace
+}  // namespace gluenail

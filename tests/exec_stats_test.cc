@@ -1,0 +1,132 @@
+/// Tests pinning the executor's observable cost model: pipeline break
+/// counts (§9), duplicate-elimination counters, call counters, and the
+/// strategy-dependent behaviours the benchmarks rely on.
+
+#include <gtest/gtest.h>
+
+#include "src/api/engine.h"
+
+namespace gluenail {
+namespace {
+
+TEST(ExecStatsTest, PurePipelineHasNoBreaks) {
+  EngineOptions opts;
+  opts.exec.strategy = ExecOptions::Strategy::kPipelined;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.AddFact("a(1).").ok());
+  ASSERT_TRUE(engine.AddFact("b(1).").ok());
+  ASSERT_TRUE(engine.ExecuteStatement("out(X) := a(X) & b(X) & X > 0.").ok());
+  EXPECT_EQ(engine.exec_stats().pipeline_breaks, 0u);
+}
+
+TEST(ExecStatsTest, EachBarrierKindBreaks) {
+  struct Case {
+    const char* stmt;
+    uint64_t min_breaks;
+  };
+  const Case cases[] = {
+      {"out(M) := a(X) & M = max(X).", 1},                  // aggregate
+      {"out(X, C) := a(X) & group_by(X) & C = count(X).", 2},
+      {"out(X) := a(X) & ++log(X).", 1},                    // update
+      {"out(X) := a(X) & writeln(X).", 1},                  // builtin call
+  };
+  for (const Case& c : cases) {
+    EngineOptions opts;
+    opts.exec.strategy = ExecOptions::Strategy::kPipelined;
+    Engine engine(opts);
+    std::ostringstream sink;
+    engine.SetIo(&sink, nullptr);
+    ASSERT_TRUE(engine.AddFact("a(1).").ok());
+    ASSERT_TRUE(engine.ExecuteStatement(c.stmt).ok()) << c.stmt;
+    EXPECT_GE(engine.exec_stats().pipeline_breaks, c.min_breaks) << c.stmt;
+  }
+}
+
+TEST(ExecStatsTest, DuplicateRemovalCounted) {
+  EngineOptions opts;
+  opts.exec.strategy = ExecOptions::Strategy::kPipelined;
+  opts.exec.dedup_at_breaks = true;
+  Engine engine(opts);
+  // 5 facts differing only in the wildcard column, then a barrier.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(engine.AddFact(StrCat("s(", i, ", 7).")).ok());
+  }
+  ASSERT_TRUE(
+      engine.ExecuteStatement("out(K) := s(_, K) & ++touched(K).").ok());
+  EXPECT_EQ(engine.exec_stats().duplicates_removed, 4u);
+}
+
+TEST(ExecStatsTest, CallCountersByKind) {
+  Engine engine;
+  std::ostringstream sink;
+  engine.SetIo(&sink, nullptr);
+  ASSERT_TRUE(engine.LoadProgram(R"(
+module m;
+export f(:);
+proc g(:)
+  return(:) := true.
+end
+proc f(:)
+  return(:) := true & g() & writeln(done).
+end
+end
+)").ok());
+  ASSERT_TRUE(engine.Call("f", {{}}).ok());
+  const ExecStats& stats = engine.exec_stats();
+  // proc_calls counts procedure-as-subgoal calls (g from inside f); the
+  // top-level Engine::Call is the caller, not a subgoal.
+  EXPECT_GE(stats.proc_calls, 1u);
+  EXPECT_GE(stats.builtin_calls, 2u);  // true + writeln
+  EXPECT_EQ(stats.host_calls, 0u);
+}
+
+TEST(ExecStatsTest, MaterializedCountsNoPipelineBreaks) {
+  // The break counter is a pipelined-strategy concept.
+  EngineOptions opts;
+  opts.exec.strategy = ExecOptions::Strategy::kMaterialized;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.AddFact("a(1).").ok());
+  ASSERT_TRUE(engine.ExecuteStatement("out(M) := a(X) & M = max(X).").ok());
+  EXPECT_EQ(engine.exec_stats().pipeline_breaks, 0u);
+}
+
+TEST(ExecStatsTest, LoopIterationsCounted) {
+  Engine engine;
+  ASSERT_TRUE(engine.AddFact("n(1).").ok());
+  ASSERT_TRUE(engine.ExecuteStatement(
+                  "repeat n(Y) += n(X) & Y = X * 2 & Y < 100. "
+                  "until unchanged(n(_));")
+                  .ok());
+  // 1..64: six productive passes plus the final no-change pass.
+  EXPECT_GE(engine.exec_stats().loop_iterations, 7u);
+}
+
+TEST(ExecStatsTest, HeadTuplesCountNetChanges) {
+  Engine engine;
+  ASSERT_TRUE(engine.AddFact("a(1).").ok());
+  ASSERT_TRUE(engine.AddFact("a(2).").ok());
+  engine.ResetExecStats();
+  ASSERT_TRUE(engine.ExecuteStatement("out(X) += a(X).").ok());
+  EXPECT_EQ(engine.exec_stats().head_tuples, 2u);
+  // Re-running inserts nothing new.
+  engine.ResetExecStats();
+  ASSERT_TRUE(engine.ExecuteStatement("out(X) += a(X).").ok());
+  EXPECT_EQ(engine.exec_stats().head_tuples, 0u);
+}
+
+TEST(ExecStatsTest, NailRefreshCounted) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram(R"(
+module kb;
+edb e(X);
+p(X) :- e(X).
+e(1).
+end
+)").ok());
+  engine.ResetExecStats();
+  ASSERT_TRUE(engine.Query("p(X)").ok());
+  EXPECT_GE(engine.exec_stats().nail_refreshes, 1u);
+}
+
+}  // namespace
+}  // namespace gluenail

@@ -1,0 +1,111 @@
+/// Tests for Engine::ExplainStatement and Engine::QueryMagic.
+
+#include <gtest/gtest.h>
+
+#include "src/api/engine.h"
+
+namespace gluenail {
+namespace {
+
+TEST(ExplainTest, ShowsKeyedSelectionAfterReorder) {
+  Engine engine;
+  ASSERT_TRUE(engine.AddFact("seed(1).").ok());
+  ASSERT_TRUE(engine.AddFact("big(1,2).").ok());
+  Result<std::string> plan =
+      engine.ExplainStatement("out(Y) := big(S, X) & lookup(X, Y) & "
+                              "seed(S).");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // The reorderer runs seed first; big then probes keyed on its first
+  // column; lookup keyed on its first column.
+  size_t seed_pos = plan->find("match edb seed");
+  size_t big_pos = plan->find("match edb big");
+  size_t lookup_pos = plan->find("match edb lookup");
+  ASSERT_NE(seed_pos, std::string::npos) << *plan;
+  ASSERT_NE(big_pos, std::string::npos);
+  ASSERT_NE(lookup_pos, std::string::npos);
+  EXPECT_LT(seed_pos, big_pos);
+  EXPECT_LT(big_pos, lookup_pos);
+  EXPECT_NE(plan->find("match edb big/2 keyed[c0]"), std::string::npos)
+      << *plan;
+}
+
+TEST(ExplainTest, ShowsBarriersAndHead) {
+  Engine engine;
+  Result<std::string> plan = engine.ExplainStatement(
+      "avg(C, A) := m(C, V) & group_by(C) & A = mean(V).");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(plan->find("group_by"), std::string::npos);
+  EXPECT_NE(plan->find("aggregate mean"), std::string::npos);
+  EXPECT_NE(plan->find("fixed"), std::string::npos);
+  EXPECT_NE(plan->find("head: := edb avg/2"), std::string::npos) << *plan;
+}
+
+TEST(ExplainTest, ShowsModifyKeyAndUpdates) {
+  Engine engine;
+  Result<std::string> plan = engine.ExplainStatement(
+      "salary(E, S) +=[E] raise(E, S) & --raise(E, S).");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(plan->find("delete from edb raise/2"), std::string::npos)
+      << *plan;
+  EXPECT_NE(plan->find("key_mask=1"), std::string::npos);
+}
+
+TEST(ExplainTest, ShowsLoopStructureViaStats) {
+  Engine engine;
+  Result<std::string> plan = engine.ExplainStatement(
+      "repeat p(X) += q(X). until unchanged(p(_));");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(plan->find("match edb q"), std::string::npos) << *plan;
+}
+
+TEST(QueryMagicTest, BoundQueryMatchesPlainQuery) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram(R"(
+module kb;
+edb edge(X,Y);
+path(X,Y) :- edge(X,Y).
+path(X,Z) :- edge(X,Y) & path(Y,Z).
+edge(1,2). edge(2,3). edge(10,11).
+end
+)").ok());
+  Result<Engine::QueryResult> magic = engine.QueryMagic("path(1, Y)");
+  ASSERT_TRUE(magic.ok()) << magic.status();
+  Result<Engine::QueryResult> plain = engine.Query("path(1, Y)");
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ(magic->rows.size(), plain->rows.size());
+  EXPECT_EQ(magic->vars, (std::vector<std::string>{"Y"}));
+  for (size_t i = 0; i < magic->rows.size(); ++i) {
+    EXPECT_EQ(magic->rows[i], plain->rows[i]);
+  }
+}
+
+TEST(QueryMagicTest, WildcardsAreFreeColumns) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram(R"(
+module kb;
+edb edge(X,Y);
+path(X,Y) :- edge(X,Y).
+path(X,Z) :- edge(X,Y) & path(Y,Z).
+edge(1,2). edge(2,3).
+end
+)").ok());
+  Result<Engine::QueryResult> r = engine.QueryMagic("path(1, _)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST(QueryMagicTest, RejectsNonAtomGoals) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram(R"(
+module kb;
+edb e(X);
+p(X) :- e(X).
+end
+)").ok());
+  EXPECT_TRUE(engine.QueryMagic("p(X) & p(Y)").status().IsInvalidArgument());
+  EXPECT_TRUE(engine.QueryMagic("p(X + 1)").status().IsInvalidArgument());
+  EXPECT_TRUE(engine.QueryMagic("zzz(X)").status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace gluenail

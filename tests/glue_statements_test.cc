@@ -1,0 +1,358 @@
+/// End-to-end tests for Glue assignment statements (paper §3), executed
+/// ad-hoc through the Engine.
+
+#include <gtest/gtest.h>
+
+#include "src/api/engine.h"
+
+namespace gluenail {
+namespace {
+
+class GlueStatementsTest : public ::testing::TestWithParam<
+                               ExecOptions::Strategy> {
+ protected:
+  GlueStatementsTest() {
+    EngineOptions opts;
+    opts.exec.strategy = GetParam();
+    engine_ = std::make_unique<Engine>(opts);
+  }
+
+  void Fact(std::string_view f) {
+    Status s = engine_->AddFact(f);
+    ASSERT_TRUE(s.ok()) << s;
+  }
+
+  void Exec(std::string_view stmt) {
+    Status s = engine_->ExecuteStatement(stmt);
+    ASSERT_TRUE(s.ok()) << stmt << ": " << s;
+  }
+
+  /// Renders query answers as "a,b;c,d" in canonical order.
+  std::string Ask(std::string_view goal) {
+    Result<Engine::QueryResult> r = engine_->Query(goal);
+    EXPECT_TRUE(r.ok()) << goal << ": " << r.status();
+    if (!r.ok()) return "<error>";
+    std::string out;
+    for (size_t i = 0; i < r->rows.size(); ++i) {
+      if (i != 0) out += ";";
+      for (size_t j = 0; j < r->rows[i].size(); ++j) {
+        if (j != 0) out += ",";
+        out += engine_->pool()->ToString(r->rows[i][j]);
+      }
+    }
+    return out;
+  }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_P(GlueStatementsTest, PaperInsertionExample) {
+  // §3.1: r(X,Y) += s(X,W) & t(f(W,X),Y).
+  Fact("s(1,10).");
+  Fact("s(2,20).");
+  Fact("t(f(10,1), a).");
+  Fact("t(f(20,2), b).");
+  Fact("t(f(99,9), c).");
+  Exec("r(X,Y) += s(X,W) & t(f(W,X),Y).");
+  EXPECT_EQ(Ask("r(X,Y)"), "1,a;2,b");
+}
+
+TEST_P(GlueStatementsTest, ClearingAssignmentOverwrites) {
+  Fact("p(old).");
+  Fact("q(new1).");
+  Fact("q(new2).");
+  Exec("p(X) := q(X).");
+  EXPECT_EQ(Ask("p(X)"), "new1;new2");
+}
+
+TEST_P(GlueStatementsTest, ClearingAssignmentWithEmptyBodyClears) {
+  Fact("p(a).");
+  Exec("p(X) := q(X).");  // q is empty
+  EXPECT_EQ(Ask("p(X)"), "");
+}
+
+TEST_P(GlueStatementsTest, DeletionAssignment) {
+  Fact("p(1).");
+  Fact("p(2).");
+  Fact("p(3).");
+  Fact("drop(2).");
+  Exec("p(X) -= drop(X).");
+  EXPECT_EQ(Ask("p(X)"), "1;3");
+}
+
+TEST_P(GlueStatementsTest, ModifyAssignmentUpdatesByKey) {
+  // §3.1: "+=[Z] ... analogous to UPDATE in SQL".
+  Fact("salary(smith, 100).");
+  Fact("salary(jones, 200).");
+  Fact("raise(smith, 150).");
+  Exec("salary(E, S) +=[E] raise(E, S).");
+  EXPECT_EQ(Ask("salary(E,S)"), "jones,200;smith,150");
+}
+
+TEST_P(GlueStatementsTest, IdentityMatrixExample) {
+  // §3.1 verbatim (N=3).
+  Fact("row(1).");
+  Fact("row(2).");
+  Fact("row(3).");
+  Exec("matrix(X,X, 1.0):= row(X).");
+  Exec("matrix(X,Y, 0.0)+= row(X) & row(Y) & X != Y.");
+  EXPECT_EQ(Ask("matrix(X,Y,1.0)"), "1,1;2,2;3,3");
+  Result<Engine::QueryResult> all = engine_->Query("matrix(X,Y,V)");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->rows.size(), 9u);
+}
+
+TEST_P(GlueStatementsTest, MaxAggregate) {
+  // §3.3: max_temp example.
+  Fact("temperature(10).");
+  Fact("temperature(35).");
+  Exec("max_temp( MaxT ):= temperature( T ) & MaxT = max(T).");
+  EXPECT_EQ(Ask("max_temp(T)"), "35");
+}
+
+TEST_P(GlueStatementsTest, ColdestCityJoinForm) {
+  // §3.3: the sup_1/sup_2/sup_3 walkthrough.
+  Fact("daily_temp('San Francisco', 12).");
+  Fact("daily_temp('Madang', 36).");
+  Fact("daily_temp('Copenhagen', -2).");
+  Exec(
+      "coldest_city( Name ):= daily_temp( Name, T ) & MinT = min(T) & "
+      "T = MinT.");
+  EXPECT_EQ(Ask("coldest_city(N)"), "'Copenhagen'");
+}
+
+TEST_P(GlueStatementsTest, ColdestCityCombinedForm) {
+  // §3.3: "T = min(T)" combining aggregation and restriction.
+  Fact("daily_temp(sf, 12).");
+  Fact("daily_temp(madang, 36).");
+  Fact("daily_temp(copenhagen, -2).");
+  Fact("daily_temp(oslo, -2).");  // tie: both returned
+  Exec("coldest_cities( Name ):= daily_temp( Name, T ) & T = min(T).");
+  EXPECT_EQ(Ask("coldest_cities(N)"), "copenhagen;oslo");
+}
+
+TEST_P(GlueStatementsTest, MeanSeesSupplementaryDuplicates) {
+  // §3.3: identical temperature readings at different stations must both
+  // count — the aggregate runs over the supplementary relation, not a
+  // projection.
+  Fact("reading(station1, 10).");
+  Fact("reading(station2, 10).");
+  Fact("reading(station3, 40).");
+  Exec("avg_temp(A) := reading(S, T) & A = mean(T).");
+  EXPECT_EQ(Ask("avg_temp(A)"), "20.0");
+}
+
+TEST_P(GlueStatementsTest, WildcardColumnsAreProjectedBeforeAggregation) {
+  // §3.2: sup_i ranges over the *variables* of the first i subgoals; a
+  // wildcard column contributes nothing, so tuples differing only there
+  // collapse — and being a relation, sup has no duplicates. count sees 2.
+  Fact("m(a, 1).");
+  Fact("m(b, 1).");
+  Fact("m(c, 2).");
+  Exec("distinct_vals(C) := m(_, V) & C = count(V).");
+  EXPECT_EQ(Ask("distinct_vals(C)"), "2");
+}
+
+TEST_P(GlueStatementsTest, AggregateCorrectEvenWithDedupDisabled) {
+  // dedup_at_breaks=false is a §9 performance ablation; aggregates must
+  // still see set semantics.
+  EngineOptions opts;
+  opts.exec.strategy = GetParam();
+  opts.exec.dedup_at_breaks = false;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.AddFact("m(a, 1).").ok());
+  ASSERT_TRUE(engine.AddFact("m(b, 1).").ok());
+  ASSERT_TRUE(engine.AddFact("m(c, 2).").ok());
+  ASSERT_TRUE(
+      engine.ExecuteStatement("distinct_vals(C) := m(_, V) & C = count(V).")
+          .ok());
+  Result<Engine::QueryResult> r = engine.Query("distinct_vals(C)");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(engine.pool()->IntValue(r->rows[0][0]), 2);
+}
+
+TEST_P(GlueStatementsTest, CountSumProduct) {
+  Fact("n(2).");
+  Fact("n(3).");
+  Fact("n(4).");
+  Exec("stats(C, S, P) := n(X) & C = count(X) & S = sum(X) & P = "
+       "product(X).");
+  EXPECT_EQ(Ask("stats(C,S,P)"), "3,9,24");
+}
+
+TEST_P(GlueStatementsTest, StdDevAndArbitrary) {
+  Fact("v(2).");
+  Fact("v(4).");
+  Exec("sd(S) := v(X) & S = std_dev(X).");
+  EXPECT_EQ(Ask("sd(S)"), "1.0");
+  // arbitrary picks deterministically (smallest term).
+  Exec("pick(P) := v(X) & P = arbitrary(X).");
+  EXPECT_EQ(Ask("pick(P)"), "2");
+}
+
+TEST_P(GlueStatementsTest, GroupByCourseAverage) {
+  // §3.3.1 verbatim.
+  Fact("course_student_grade(cs99, wilson, 80).");
+  Fact("course_student_grade(cs99, green, 90).");
+  Fact("course_student_grade(cs101, jones, 60).");
+  Exec(
+      "course_average( C, Average ):= course_student_grade(C,S,G) & "
+      "group_by(C) & Average = mean(G).");
+  EXPECT_EQ(Ask("course_average(C,A)"), "cs101,60.0;cs99,85.0");
+}
+
+TEST_P(GlueStatementsTest, CascadingGroupBy) {
+  // §3.3.1: "Group_by statements cascade".
+  Fact("sale(east, a, 1).");
+  Fact("sale(east, a, 2).");
+  Fact("sale(east, b, 10).");
+  Fact("sale(west, a, 100).");
+  Exec(
+      "per_region_product(R, P, S) := sale(R, P, V) & group_by(R) & "
+      "group_by(P) & S = sum(V).");
+  EXPECT_EQ(Ask("per_region_product(R,P,S)"),
+            "east,a,3;east,b,10;west,a,100");
+}
+
+TEST_P(GlueStatementsTest, GroupedMinThenFilter) {
+  // Per-group aggregate then join within the group.
+  Fact("price(apple, storeA, 3).");
+  Fact("price(apple, storeB, 2).");
+  Fact("price(pear, storeA, 5).");
+  Fact("price(pear, storeB, 7).");
+  Exec("cheapest(F, S) := price(F, S, P) & group_by(F) & P = min(P).");
+  EXPECT_EQ(Ask("cheapest(F,S)"), "apple,storeB;pear,storeA");
+}
+
+TEST_P(GlueStatementsTest, NegatedSubgoal) {
+  Fact("all(1).");
+  Fact("all(2).");
+  Fact("all(3).");
+  Fact("bad(2).");
+  Exec("good(X) := all(X) & !bad(X).");
+  EXPECT_EQ(Ask("good(X)"), "1;3");
+}
+
+TEST_P(GlueStatementsTest, NegationOnMissingRelationPasses) {
+  Fact("all(1).");
+  Exec("good(X) := all(X) & !never_mentioned(X).");
+  EXPECT_EQ(Ask("good(X)"), "1");
+}
+
+TEST_P(GlueStatementsTest, ArithmeticInComparisonAndHead) {
+  Fact("base(3).");
+  Fact("base(5).");
+  Exec("doubled(X, Y) := base(X) & Y = X * 2.");
+  EXPECT_EQ(Ask("doubled(X,Y)"), "3,6;5,10");
+  Exec("shifted(X + 100) := base(X).");
+  EXPECT_EQ(Ask("shifted(S)"), "103;105");
+}
+
+TEST_P(GlueStatementsTest, EuclideanDistanceFilter) {
+  // The Figure 1 graphic_search arithmetic shape.
+  Fact("element(e1, 0, 0).");
+  Fact("element(e2, 3, 4).");
+  Fact("element(e3, 10, 10).");
+  Exec(
+      "near(K) := element(K, Xmin, Ymin) & "
+      "(5-Xmin)*(5-Xmin) + (5-Ymin)*(5-Ymin) < 30.");
+  EXPECT_EQ(Ask("near(K)"), "e2");
+}
+
+TEST_P(GlueStatementsTest, StringBuiltins) {
+  Fact("person(ada).");
+  Exec("greeting(G) := person(P) & G = concat('hello ', P).");
+  EXPECT_EQ(Ask("greeting(G)"), "'hello ada'");
+  Exec("len(L) := person(P) & L = length(P).");
+  EXPECT_EQ(Ask("len(L)"), "3");
+  Exec("prefix(S) := person(P) & S = substring(P, 0, 2).");
+  EXPECT_EQ(Ask("prefix(S)"), "ad");
+}
+
+TEST_P(GlueStatementsTest, BodyUpdatesExecutePerTuple) {
+  Fact("queue(job1).");
+  Fact("queue(job2).");
+  Exec("done(J) += queue(J) & --queue(J) & ++log(J).");
+  EXPECT_EQ(Ask("done(J)"), "job1;job2");
+  EXPECT_EQ(Ask("queue(J)"), "");
+  EXPECT_EQ(Ask("log(J)"), "job1;job2");
+}
+
+TEST_P(GlueStatementsTest, UpdateVisibleToLaterSubgoals) {
+  // Supplementary semantics: the update happens for ALL sup tuples before
+  // the next subgoal is evaluated (the §3.2 execution order).
+  Fact("item(a).");
+  Exec("out(X) := item(X) & ++extra(marker) & extra(Y).");
+  EXPECT_EQ(Ask("out(X)"), "a");
+}
+
+TEST_P(GlueStatementsTest, CompoundTermsAsData) {
+  Fact("shape(box(2,3)).");
+  Fact("shape(circle(5)).");
+  Exec("area_box(W*H) := shape(box(W,H)).");
+  EXPECT_EQ(Ask("area_box(A)"), "6");
+}
+
+TEST_P(GlueStatementsTest, EmptySupStopsStatement) {
+  // §3.2: "Execution of an assignment statement stops whenever a
+  // supplementary relation is empty" — the aggregate never runs, so no
+  // empty-group error escapes.
+  Exec("never(M) += no_tuples(X) & M = max(X).");
+  EXPECT_EQ(Ask("never(M)"), "");
+}
+
+TEST_P(GlueStatementsTest, ComparisonBindsEitherSide) {
+  Fact("n(4).");
+  Exec("a(Y) := n(X) & Y = X + 1.");
+  Exec("b(Y) := n(X) & X + 1 = Y.");
+  EXPECT_EQ(Ask("a(Y)"), "5");
+  EXPECT_EQ(Ask("b(Y)"), "5");
+}
+
+TEST_P(GlueStatementsTest, NumericEqualityAcrossIntFloat) {
+  Fact("n(1).");
+  Exec("ok(X) := n(X) & X = 1.0.");
+  EXPECT_EQ(Ask("ok(X)"), "1");
+}
+
+TEST_P(GlueStatementsTest, ModOperator) {
+  Fact("n(10).");
+  Fact("n(11).");
+  Exec("even(X) := n(X) & X mod 2 = 0.");
+  EXPECT_EQ(Ask("even(X)"), "10");
+}
+
+TEST_P(GlueStatementsTest, UnboundHeadVariableIsCompileError) {
+  Status s = engine_->ExecuteStatement("p(X, Y) := q(X).");
+  EXPECT_TRUE(s.IsCompileError()) << s;
+}
+
+TEST_P(GlueStatementsTest, UnboundNegationIsCompileError) {
+  Status s = engine_->ExecuteStatement("p(X) := !q(X).");
+  EXPECT_TRUE(s.IsCompileError()) << s;
+}
+
+TEST_P(GlueStatementsTest, AggregateOnLeftIsCompileError) {
+  Status s = engine_->ExecuteStatement("p(M) := q(X) & max(X) = M.");
+  EXPECT_TRUE(s.IsCompileError()) << s;
+}
+
+TEST_P(GlueStatementsTest, DivisionByZeroIsRuntimeError) {
+  ASSERT_TRUE(engine_->AddFact("n(0).").ok());
+  Status s = engine_->ExecuteStatement("p(Y) := n(X) & Y = 1 / X.");
+  EXPECT_TRUE(s.IsRuntimeError()) << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, GlueStatementsTest,
+    ::testing::Values(ExecOptions::Strategy::kMaterialized,
+                      ExecOptions::Strategy::kPipelined),
+    [](const ::testing::TestParamInfo<ExecOptions::Strategy>& info) {
+      return info.param == ExecOptions::Strategy::kMaterialized
+                 ? "Materialized"
+                 : "Pipelined";
+    });
+
+}  // namespace
+}  // namespace gluenail

@@ -1,0 +1,136 @@
+/// Unit tests for the predefined I/O procedures (runtime/io.h) at the
+/// call-convention level, plus stream plumbing.
+
+#include "src/runtime/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gluenail {
+namespace {
+
+class IoBuiltinsTest : public ::testing::Test {
+ protected:
+  IoBuiltinsTest() : input_("call_in", 1), out_rel_("call_out", 1) {
+    io_.out = &out_;
+    io_.in = &in_;
+  }
+
+  TermPool pool_;
+  Relation input_;
+  Relation out_rel_;
+  std::ostringstream out_;
+  std::istringstream in_;
+  IoEnv io_;
+};
+
+TEST_F(IoBuiltinsTest, LookupTable) {
+  EXPECT_TRUE(FindBuiltinProc("write", 1).has_value());
+  EXPECT_FALSE(FindBuiltinProc("write", 2).has_value());
+  EXPECT_TRUE(FindBuiltinProc("nl", 0).has_value());
+  EXPECT_TRUE(FindBuiltinProc("read", 1).has_value());
+  EXPECT_TRUE(FindBuiltinProc("read_line", 1).has_value());
+  EXPECT_TRUE(FindBuiltinProc("true", 0).has_value());
+  EXPECT_FALSE(FindBuiltinProc("print", 1).has_value());
+  // Fixedness: all I/O fixed, `true` not.
+  EXPECT_TRUE(FindBuiltinProc("write", 1)->fixed);
+  EXPECT_FALSE(FindBuiltinProc("true", 0)->fixed);
+}
+
+TEST_F(IoBuiltinsTest, WriteSymbolsRaw) {
+  input_.Insert(Tuple{pool_.MakeSymbol("Hello, world")});
+  ASSERT_TRUE(ExecBuiltinProc(BuiltinProc::kWrite, &pool_, &io_, input_,
+                              &out_rel_)
+                  .ok());
+  EXPECT_EQ(out_.str(), "Hello, world");
+  // Output relation echoes the inputs (all succeed).
+  EXPECT_EQ(out_rel_.size(), 1u);
+}
+
+TEST_F(IoBuiltinsTest, WriteNonSymbolsInSourceSyntax) {
+  std::vector<TermId> args{pool_.MakeInt(1), pool_.MakeInt(2)};
+  input_.Insert(Tuple{pool_.MakeCompound("p", args)});
+  ASSERT_TRUE(ExecBuiltinProc(BuiltinProc::kWrite, &pool_, &io_, input_,
+                              &out_rel_)
+                  .ok());
+  EXPECT_EQ(out_.str(), "p(1,2)");
+}
+
+TEST_F(IoBuiltinsTest, WritelnSortsCanonically) {
+  input_.Insert(Tuple{pool_.MakeInt(2)});
+  input_.Insert(Tuple{pool_.MakeInt(1)});
+  ASSERT_TRUE(ExecBuiltinProc(BuiltinProc::kWriteln, &pool_, &io_, input_,
+                              &out_rel_)
+                  .ok());
+  EXPECT_EQ(out_.str(), "1\n2\n");
+}
+
+TEST_F(IoBuiltinsTest, NlWritesNewline) {
+  Relation unit("in", 0);
+  unit.Insert(Tuple{});
+  Relation out_unit("out", 0);
+  ASSERT_TRUE(
+      ExecBuiltinProc(BuiltinProc::kNl, &pool_, &io_, unit, &out_unit).ok());
+  EXPECT_EQ(out_.str(), "\n");
+  EXPECT_EQ(out_unit.size(), 1u);
+}
+
+TEST_F(IoBuiltinsTest, ReadParsesGroundTerm) {
+  in_.str("p(1, 'two')\n");
+  Relation unit("in", 0);
+  unit.Insert(Tuple{});
+  ASSERT_TRUE(ExecBuiltinProc(BuiltinProc::kRead, &pool_, &io_, unit,
+                              &out_rel_)
+                  .ok());
+  ASSERT_EQ(out_rel_.size(), 1u);
+  TermId t = (*out_rel_.begin())[0];
+  ASSERT_TRUE(pool_.IsCompound(t));
+  EXPECT_EQ(pool_.ToString(t), "p(1,two)");
+}
+
+TEST_F(IoBuiltinsTest, ReadFallsBackToRawSymbol) {
+  in_.str("not really a term!!\n");
+  Relation unit("in", 0);
+  unit.Insert(Tuple{});
+  ASSERT_TRUE(ExecBuiltinProc(BuiltinProc::kRead, &pool_, &io_, unit,
+                              &out_rel_)
+                  .ok());
+  TermId t = (*out_rel_.begin())[0];
+  ASSERT_TRUE(pool_.IsSymbol(t));
+  EXPECT_EQ(pool_.SymbolName(t), "not really a term!!");
+}
+
+TEST_F(IoBuiltinsTest, ReadLineKeepsRawText) {
+  in_.str("p(1)\n");
+  Relation unit("in", 0);
+  unit.Insert(Tuple{});
+  ASSERT_TRUE(ExecBuiltinProc(BuiltinProc::kReadLine, &pool_, &io_, unit,
+                              &out_rel_)
+                  .ok());
+  TermId t = (*out_rel_.begin())[0];
+  ASSERT_TRUE(pool_.IsSymbol(t));
+  EXPECT_EQ(pool_.SymbolName(t), "p(1)");
+}
+
+TEST_F(IoBuiltinsTest, ReadAtEofFails) {
+  Relation unit("in", 0);
+  unit.Insert(Tuple{});
+  EXPECT_TRUE(ExecBuiltinProc(BuiltinProc::kRead, &pool_, &io_, unit,
+                              &out_rel_)
+                  .IsIoError());
+}
+
+TEST_F(IoBuiltinsTest, TrueEmitsUnit) {
+  Relation unit("in", 0);
+  unit.Insert(Tuple{});
+  Relation out_unit("out", 0);
+  ASSERT_TRUE(ExecBuiltinProc(BuiltinProc::kTrue, &pool_, &io_, unit,
+                              &out_unit)
+                  .ok());
+  EXPECT_EQ(out_unit.size(), 1u);
+  EXPECT_EQ(out_.str(), "");
+}
+
+}  // namespace
+}  // namespace gluenail

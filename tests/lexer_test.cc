@@ -1,0 +1,142 @@
+#include "src/parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace gluenail {
+namespace {
+
+std::vector<TokKind> Kinds(std::string_view src) {
+  Result<std::vector<Token>> r = Lex(src);
+  EXPECT_TRUE(r.ok()) << r.status();
+  std::vector<TokKind> out;
+  if (r.ok()) {
+    for (const Token& t : *r) out.push_back(t.kind);
+  }
+  return out;
+}
+
+TEST(LexerTest, EmptyInput) {
+  EXPECT_EQ(Kinds(""), (std::vector<TokKind>{TokKind::kEof}));
+  EXPECT_EQ(Kinds("   \n\t "), (std::vector<TokKind>{TokKind::kEof}));
+}
+
+TEST(LexerTest, IdentifiersAndVariables) {
+  Result<std::vector<Token>> r = Lex("edge Key _Temp _ x9_a");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 6u);
+  EXPECT_EQ((*r)[0].kind, TokKind::kIdent);
+  EXPECT_EQ((*r)[0].text, "edge");
+  EXPECT_EQ((*r)[1].kind, TokKind::kVariable);
+  EXPECT_EQ((*r)[1].text, "Key");
+  EXPECT_EQ((*r)[2].kind, TokKind::kVariable);
+  EXPECT_EQ((*r)[2].text, "_Temp");
+  EXPECT_EQ((*r)[3].kind, TokKind::kVariable);
+  EXPECT_EQ((*r)[3].text, "_");
+  EXPECT_EQ((*r)[4].kind, TokKind::kIdent);
+  EXPECT_EQ((*r)[4].text, "x9_a");
+}
+
+TEST(LexerTest, Numbers) {
+  Result<std::vector<Token>> r = Lex("42 2.5 1e3 1.5e-2 7");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].kind, TokKind::kInt);
+  EXPECT_EQ((*r)[0].int_value, 42);
+  EXPECT_EQ((*r)[1].kind, TokKind::kFloat);
+  EXPECT_DOUBLE_EQ((*r)[1].float_value, 2.5);
+  EXPECT_EQ((*r)[2].kind, TokKind::kFloat);
+  EXPECT_DOUBLE_EQ((*r)[2].float_value, 1000.0);
+  EXPECT_EQ((*r)[3].kind, TokKind::kFloat);
+  EXPECT_DOUBLE_EQ((*r)[3].float_value, 0.015);
+  EXPECT_EQ((*r)[4].kind, TokKind::kInt);
+}
+
+TEST(LexerTest, DotAfterIntIsTerminator) {
+  // "row(X)." — the final dot is a statement terminator, not a decimal
+  // point; likewise "f(1)." must end with kDot.
+  EXPECT_EQ(Kinds("f(1)."),
+            (std::vector<TokKind>{TokKind::kIdent, TokKind::kLParen,
+                                  TokKind::kInt, TokKind::kRParen,
+                                  TokKind::kDot, TokKind::kEof}));
+}
+
+TEST(LexerTest, FloatThenTerminatorDot) {
+  // "1.0." lexes as float 1.0 followed by kDot.
+  Result<std::vector<Token>> r = Lex("1.0.");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].kind, TokKind::kFloat);
+  EXPECT_EQ((*r)[1].kind, TokKind::kDot);
+}
+
+TEST(LexerTest, QuotedSymbols) {
+  Result<std::vector<Token>> r = Lex("'San Francisco' 'it\\'s'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].kind, TokKind::kString);
+  EXPECT_EQ((*r)[0].text, "San Francisco");
+  EXPECT_EQ((*r)[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(Lex("'oops").ok());
+}
+
+TEST(LexerTest, CompoundOperators) {
+  EXPECT_EQ(Kinds(":= += -= :- ++ -- != <= >="),
+            (std::vector<TokKind>{
+                TokKind::kAssign, TokKind::kPlusAssign, TokKind::kMinusAssign,
+                TokKind::kRuleArrow, TokKind::kPlusPlus, TokKind::kMinusMinus,
+                TokKind::kNe, TokKind::kLe, TokKind::kGe, TokKind::kEof}));
+}
+
+TEST(LexerTest, SingleCharOperators) {
+  EXPECT_EQ(Kinds("( ) [ ] { } , & . ; : ! | = < > + - * /"),
+            (std::vector<TokKind>{
+                TokKind::kLParen, TokKind::kRParen, TokKind::kLBracket,
+                TokKind::kRBracket, TokKind::kLBrace, TokKind::kRBrace,
+                TokKind::kComma, TokKind::kAmp, TokKind::kDot, TokKind::kSemi,
+                TokKind::kColon, TokKind::kBang, TokKind::kPipe, TokKind::kEq,
+                TokKind::kLt, TokKind::kGt, TokKind::kPlus, TokKind::kMinus,
+                TokKind::kStar, TokKind::kSlash, TokKind::kEof}));
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  EXPECT_EQ(Kinds("a % comment := here\nb"),
+            (std::vector<TokKind>{TokKind::kIdent, TokKind::kIdent,
+                                  TokKind::kEof}));
+}
+
+TEST(LexerTest, SourceLocations) {
+  Result<std::vector<Token>> r = Lex("a\n  b");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].loc.line, 1);
+  EXPECT_EQ((*r)[0].loc.col, 1);
+  EXPECT_EQ((*r)[1].loc.line, 2);
+  EXPECT_EQ((*r)[1].loc.col, 3);
+}
+
+TEST(LexerTest, AssignmentStatementTokens) {
+  // The paper's first example: r(X,Y) += s(X,W) & t(f(W,X),Y).
+  Result<std::vector<Token>> r = Lex("r(X,Y) += s(X,W) & t(f(W,X),Y).");
+  ASSERT_TRUE(r.ok());
+  // r ( X , Y ) +=
+  EXPECT_EQ((*r)[5].kind, TokKind::kRParen);
+  EXPECT_EQ((*r)[6].kind, TokKind::kPlusAssign);
+  EXPECT_EQ(r->back().kind, TokKind::kEof);
+  EXPECT_EQ((*r)[r->size() - 2].kind, TokKind::kDot);
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  EXPECT_FALSE(Lex("a @ b").ok());
+  EXPECT_FALSE(Lex("a $ b").ok());
+}
+
+TEST(LexerTest, ExponentNotFollowedByDigitsIsNotFloat) {
+  // "12e" is the int 12 followed by identifier e.
+  Result<std::vector<Token>> r = Lex("12e");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].kind, TokKind::kInt);
+  EXPECT_EQ((*r)[1].kind, TokKind::kIdent);
+  EXPECT_EQ((*r)[1].text, "e");
+}
+
+}  // namespace
+}  // namespace gluenail

@@ -1,0 +1,213 @@
+/// Module system tests (§6): visibility, separate compilation concerns,
+/// shared EDB, export/import discipline.
+
+#include <gtest/gtest.h>
+
+#include "src/api/engine.h"
+
+namespace gluenail {
+namespace {
+
+TEST(ModuleSystemTest, EdbDeclarationsAreGloballyVisible) {
+  // The EDB is the shared database (§2); `edb` clauses declare schema.
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram(R"(
+module data;
+edb stock(Item, Qty);
+stock(bolts, 40).
+end
+module app;
+export low(:Item);
+proc low(:Item)
+  return(:Item) := stock(Item, Q) & Q < 100.
+end
+end
+)").ok());
+  auto r = engine.Call("low", {{}});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST(ModuleSystemTest, NailPredicatesImportableByExport) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram(R"(
+module graphlib;
+edb edge(X,Y);
+export path(X,Y);
+path(X,Y) :- edge(X,Y).
+path(X,Z) :- path(X,Y) & edge(Y,Z).
+edge(1,2). edge(2,3).
+end
+module app;
+from graphlib import path(X,Y);
+export far(:Y);
+proc far(:Y)
+  return(:Y) := path(1, Y) & Y > 2.
+end
+end
+)").ok());
+  auto r = engine.Call("far", {{}});
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ(engine.pool()->IntValue((*r)[0][0]), 3);
+}
+
+TEST(ModuleSystemTest, DuplicateProcedureInModuleRejected) {
+  Engine engine;
+  Status s = engine.LoadProgram(R"(
+module m;
+proc f(:) return(:) := true. end
+proc f(:) return(:) := true. end
+end
+)");
+  EXPECT_TRUE(s.IsCompileError()) << s;
+}
+
+TEST(ModuleSystemTest, ConflictingExportsRejected) {
+  Engine engine;
+  Status s = engine.LoadProgram(R"(
+module a;
+export f(:);
+proc f(:) return(:) := true. end
+end
+module b;
+export f(:);
+proc f(:) return(:) := true. end
+end
+)");
+  EXPECT_TRUE(s.IsCompileError()) << s;
+}
+
+TEST(ModuleSystemTest, SameProcedureNameInTwoModulesOk) {
+  // Unexported names do not clash across modules.
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram(R"(
+module a;
+export fa(:X);
+proc helper(:X) return(:X) := true & X = 1. end
+proc fa(:X) return(:X) := helper(X). end
+end
+module b;
+export fb(:X);
+proc helper(:X) return(:X) := true & X = 2. end
+proc fb(:X) return(:X) := helper(X). end
+end
+)").ok());
+  auto ra = engine.Call("fa", {{}});
+  auto rb = engine.Call("fb", {{}});
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(engine.pool()->IntValue((*ra)[0][0]), 1);
+  EXPECT_EQ(engine.pool()->IntValue((*rb)[0][0]), 2);
+}
+
+TEST(ModuleSystemTest, RulesAcrossModulesMerge) {
+  // IDB predicates are global: rules in different modules for the same
+  // predicate contribute together (documented deviation-free reading of
+  // §6: modules organize code, not semantics).
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram(R"(
+module base;
+edb e1(X,Y), e2(X,Y);
+link(X,Y) :- e1(X,Y).
+e1(1,2).
+end
+module extra;
+link(X,Y) :- e2(X,Y).
+e2(3,4).
+end
+)").ok());
+  auto r = engine.Query("link(X,Y)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST(ModuleSystemTest, ModuleFactsLoadIntoEdb) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram(R"(
+module seed;
+edb p(X);
+p(1). p(2).
+end
+)").ok());
+  auto r = engine.Query("p(X)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST(ModuleSystemTest, HostImportSatisfiesForeignModule) {
+  // Figure 1 pattern: `from windows import event(...)` where `windows`
+  // is not a Glue module at all.
+  Engine engine;
+  HostProcedure beep{"beep", 1, 0, true, nullptr};
+  beep.fn = [](TermPool*, const Relation& input, Relation* output) {
+    for (const Tuple& t : input) output->Insert(t);
+    return Status::OK();
+  };
+  ASSERT_TRUE(engine.RegisterHostProcedure(std::move(beep)).ok());
+  ASSERT_TRUE(engine.LoadProgram(R"(
+module app;
+from audio import beep(X:);
+export go(:);
+proc go(:)
+  return(:) := true & beep(1).
+end
+end
+)").ok());
+  EXPECT_TRUE(engine.Call("go", {{}}).ok());
+}
+
+TEST(ModuleSystemTest, MissingImportSourceRejected) {
+  Engine engine;
+  Status s = engine.LoadProgram(R"(
+module app;
+from nowhere import mystery(X:Y);
+end
+)");
+  EXPECT_TRUE(s.IsCompileError()) << s;
+}
+
+TEST(ModuleSystemTest, LocalRelationShadowsEdb) {
+  // §4: local declarations "hide" outer predicates they unify with.
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram(R"(
+module m;
+edb shared(X);
+export probe(:X);
+proc probe(:X)
+rels shared(X);
+  shared(42) += true.
+  return(:X) := shared(X).
+end
+shared(7).
+end
+)").ok());
+  auto r = engine.Call("probe", {{}});
+  ASSERT_TRUE(r.ok());
+  // Only the local's contents: the EDB shared(7) is hidden.
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ(engine.pool()->IntValue((*r)[0][0]), 42);
+  // And the EDB relation was untouched.
+  auto edb = engine.Query("shared(X)");
+  ASSERT_TRUE(edb.ok());
+  ASSERT_EQ(edb->rows.size(), 1u);
+  EXPECT_EQ(engine.pool()->IntValue(edb->rows[0][0]), 7);
+}
+
+TEST(ModuleSystemTest, ExportOfUnknownNameIsIgnoredForProcsButUsableForNail) {
+  // An export listing a NAIL! predicate must not break linking.
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram(R"(
+module m;
+edb e(X);
+export derived(X);
+derived(X) :- e(X).
+e(5).
+end
+)").ok());
+  auto r = engine.Query("derived(X)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gluenail

@@ -1,0 +1,258 @@
+/// NAIL! edge cases: stratification structure, rule-graph corner cases,
+/// constants in heads, deep strata, publication details.
+
+#include <gtest/gtest.h>
+
+#include "src/api/engine.h"
+#include "src/nail/rule_graph.h"
+#include "src/parser/parser.h"
+
+namespace gluenail {
+namespace {
+
+std::vector<ast::NailRule> Rules(
+    std::initializer_list<std::string_view> texts) {
+  std::vector<ast::NailRule> out;
+  for (std::string_view t : texts) {
+    Result<ast::NailRule> r = ParseRule(t);
+    EXPECT_TRUE(r.ok()) << t << ": " << r.status();
+    if (r.ok()) out.push_back(std::move(*r));
+  }
+  return out;
+}
+
+TEST(RuleGraphTest, PredicatesKeyedByRootParamsArity) {
+  TermPool pool;
+  Result<NailProgram> prog = BuildNailProgram(
+      Rules({
+          "p(X) :- e(X).",
+          "p(X,Y) :- e2(X,Y).",           // different arity: new pred
+          "p(A)(X) :- e(A) & e(X).",      // parameterized: new pred
+      }),
+      &pool);
+  ASSERT_TRUE(prog.ok()) << prog.status();
+  EXPECT_EQ(prog->preds.size(), 3u);
+  EXPECT_GE(prog->FindPred("p", 0, 1), 0);
+  EXPECT_GE(prog->FindPred("p", 0, 2), 0);
+  EXPECT_GE(prog->FindPred("p", 1, 1), 0);
+  EXPECT_EQ(prog->FindPred("p", 2, 1), -1);
+}
+
+TEST(RuleGraphTest, SccAndTopologicalOrder) {
+  TermPool pool;
+  Result<NailProgram> prog = BuildNailProgram(
+      Rules({
+          "a(X) :- e(X).",
+          "b(X) :- a(X).",
+          "b(X) :- c(X).",
+          "c(X) :- b(X).",  // b,c form one SCC
+          "d(X) :- c(X).",
+      }),
+      &pool);
+  ASSERT_TRUE(prog.ok()) << prog.status();
+  // SCCs: {a}, {b,c}, {d} in dependency order.
+  ASSERT_EQ(prog->scc_order.size(), 3u);
+  auto scc_of = [&](const char* name) {
+    return prog->preds[static_cast<size_t>(prog->FindPred(name, 0, 1))].scc;
+  };
+  EXPECT_EQ(scc_of("b"), scc_of("c"));
+  EXPECT_NE(scc_of("a"), scc_of("b"));
+  EXPECT_LT(scc_of("a"), scc_of("b"));
+  EXPECT_LT(scc_of("b"), scc_of("d"));
+  EXPECT_TRUE(prog->scc_recursive[static_cast<size_t>(scc_of("b"))]);
+  EXPECT_FALSE(prog->scc_recursive[static_cast<size_t>(scc_of("a"))]);
+}
+
+TEST(RuleGraphTest, NegationAcrossStrataAllowed) {
+  TermPool pool;
+  EXPECT_TRUE(BuildNailProgram(
+                  Rules({
+                      "a(X) :- e(X).",
+                      "b(X) :- e(X) & !a(X).",
+                  }),
+                  &pool)
+                  .ok());
+}
+
+TEST(RuleGraphTest, SelfNegationRejected) {
+  TermPool pool;
+  Result<NailProgram> prog = BuildNailProgram(
+      Rules({"p(X) :- e(X) & !p(X)."}), &pool);
+  EXPECT_TRUE(prog.status().IsCompileError());
+}
+
+TEST(RuleGraphTest, UpdatesInRulesRejected) {
+  TermPool pool;
+  Result<ast::NailRule> r = ParseRule("p(X) :- e(X) & ++log(X).");
+  ASSERT_TRUE(r.ok());
+  std::vector<ast::NailRule> rules{std::move(*r)};
+  EXPECT_TRUE(
+      BuildNailProgram(std::move(rules), &pool).status().IsCompileError());
+}
+
+TEST(RuleGraphTest, AggregationInRulesRejected) {
+  TermPool pool;
+  Result<ast::NailRule> r = ParseRule("p(M) :- e(X) & M = max(X).");
+  ASSERT_TRUE(r.ok());
+  std::vector<ast::NailRule> rules{std::move(*r)};
+  EXPECT_TRUE(
+      BuildNailProgram(std::move(rules), &pool).status().IsCompileError());
+}
+
+class NailEdgeTest : public ::testing::TestWithParam<NailMode> {
+ protected:
+  NailEdgeTest() {
+    EngineOptions opts;
+    opts.nail_mode = GetParam();
+    engine_ = std::make_unique<Engine>(opts);
+  }
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_P(NailEdgeTest, ConstantsInHeadsAndBodies) {
+  ASSERT_TRUE(engine_->LoadProgram(R"(
+module kb;
+edb num(X);
+special(99) :- num(1).
+tagged(X, hot) :- num(X) & X > 5.
+num(1). num(7).
+end
+)").ok());
+  auto r = engine_->Query("special(X)");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(engine_->pool()->IntValue(r->rows[0][0]), 99);
+  auto t = engine_->Query("tagged(7, W)");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->rows.size(), 1u);
+  EXPECT_EQ(engine_->pool()->SymbolName(t->rows[0][0]), "hot");
+}
+
+TEST_P(NailEdgeTest, DuplicateRulesAreHarmless) {
+  ASSERT_TRUE(engine_->LoadProgram(R"(
+module kb;
+edb e(X);
+p(X) :- e(X).
+p(X) :- e(X).
+e(1).
+end
+)").ok());
+  auto r = engine_->Query("p(X)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+}
+
+TEST_P(NailEdgeTest, RuleOverMissingEdbIsEmpty) {
+  ASSERT_TRUE(engine_->LoadProgram(R"(
+module kb;
+edb declared_but_empty(X);
+p(X) :- declared_but_empty(X).
+end
+)").ok());
+  auto r = engine_->Query("p(X)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->rows.empty());
+}
+
+TEST_P(NailEdgeTest, DeepStrataChain) {
+  std::string src = "module kb;\nedb e(X);\np0(X) :- e(X).\n";
+  for (int i = 1; i < 40; ++i) {
+    src += StrCat("p", i, "(X) :- p", i - 1, "(X) & !q", i, "(X).\n");
+    src += StrCat("q", i, "(X) :- p", i - 1, "(X) & X < ", i, ".\n");
+  }
+  src += "e(5). e(50).\nend\n";
+  ASSERT_TRUE(engine_->LoadProgram(src).ok());
+  // 5 survives every !q_i with i <= 5, dies at i = 6; 50 survives all.
+  auto r = engine_->Query("p39(X)");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(engine_->pool()->IntValue(r->rows[0][0]), 50);
+}
+
+TEST_P(NailEdgeTest, CycleWithSelfLoopNode) {
+  ASSERT_TRUE(engine_->LoadProgram(R"(
+module kb;
+edb edge(X,Y);
+path(X,Y) :- edge(X,Y).
+path(X,Z) :- path(X,Y) & edge(Y,Z).
+edge(1,1).
+edge(1,2).
+end
+)").ok());
+  auto r = engine_->Query("path(1,Y)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);  // (1,1), (1,2)
+}
+
+TEST_P(NailEdgeTest, NonLinearRecursion) {
+  // path(X,Z) :- path(X,Y) & path(Y,Z): two recursive subgoals per rule,
+  // exercising multiple semi-naive versions.
+  ASSERT_TRUE(engine_->LoadProgram(R"(
+module kb;
+edb edge(X,Y);
+path(X,Y) :- edge(X,Y).
+path(X,Z) :- path(X,Y) & path(Y,Z).
+edge(1,2). edge(2,3). edge(3,4). edge(4,5).
+end
+)").ok());
+  auto r = engine_->Query("path(1,Y)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 4u);
+}
+
+TEST_P(NailEdgeTest, PublishedInstancesVisibleViaContents) {
+  ASSERT_TRUE(engine_->LoadProgram(R"(
+module kb;
+edb attends(S,C);
+students(C)(S) :- attends(S, C).
+attends(wilson, cs99).
+end
+)").ok());
+  auto rows = engine_->RelationContents("students(cs99)", 1);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 1u);
+}
+
+TEST_P(NailEdgeTest, GlueWritesInvalidateBetweenLoopIterations) {
+  // A repeat loop that grows the EDB each pass; the NAIL! view must track
+  // it (recomputation inside a procedure's loop).
+  ASSERT_TRUE(engine_->LoadProgram(R"(
+module kb;
+edb n(X), out(X);
+export pump(:);
+double_view(Y) :- n(X) & Y = X * 2.
+proc pump(:)
+  repeat
+    n(Y) += double_view(Y) & Y < 20.
+  until unchanged(n(_));
+  out(X) := n(X).
+  return(:) := true.
+end
+n(1).
+end
+)").ok());
+  ASSERT_TRUE(engine_->Call("pump", {{}}).ok());
+  auto r = engine_->Query("out(X)");
+  ASSERT_TRUE(r.ok());
+  // 1 -> 2 -> 4 -> 8 -> 16 -> (32 blocked by Y<20 guard)
+  EXPECT_EQ(r->rows.size(), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, NailEdgeTest,
+    ::testing::Values(NailMode::kDirect, NailMode::kCompiledGlue,
+                      NailMode::kNaive),
+    [](const ::testing::TestParamInfo<NailMode>& info) {
+      switch (info.param) {
+        case NailMode::kDirect:
+          return "Direct";
+        case NailMode::kCompiledGlue:
+          return "CompiledGlue";
+        case NailMode::kNaive:
+          return "Naive";
+      }
+      return "?";
+    });
+
+}  // namespace
+}  // namespace gluenail

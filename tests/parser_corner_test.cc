@@ -1,0 +1,132 @@
+/// Additional grammar corners and negative parser cases, plus Glue
+/// negation over NAIL! predicates end-to-end.
+
+#include <gtest/gtest.h>
+
+#include "src/api/engine.h"
+#include "src/parser/parser.h"
+
+namespace gluenail {
+namespace {
+
+TEST(ParserCornerTest, SignatureErrors) {
+  EXPECT_FALSE(ParseModule("module m; export f(X:Y:Z); end").ok());
+  EXPECT_FALSE(ParseModule("module m; proc f(X:Y:Z) end end").ok());
+  EXPECT_FALSE(ParseModule("module m; proc f(1:Y) end end").ok());
+  EXPECT_FALSE(ParseStatement("p(K,V) +=[] q(K,V).").ok());
+  EXPECT_FALSE(ParseStatement("p(K,V) +=[1] q(K,V).").ok());
+}
+
+TEST(ParserCornerTest, EmptyBoundAndFreeSides) {
+  // f(:) — zero bound, zero free.
+  Result<ast::Module> m =
+      ParseModule("module m; proc f(:) return(:) := true. end end");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->procedures[0].bound_arity, 0u);
+  EXPECT_EQ(m->procedures[0].free_arity, 0u);
+}
+
+TEST(ParserCornerTest, ColonOnlyInFinalHeadSuffix) {
+  EXPECT_FALSE(ParseStatement("f(X:)(Y) := q(X,Y).").ok());
+}
+
+TEST(ParserCornerTest, RepeatErrors) {
+  EXPECT_FALSE(ParseStatement("repeat p(X) += q(X).").ok());  // no until
+  EXPECT_FALSE(
+      ParseStatement("repeat p(X) += q(X). until ;").ok());  // empty cond
+  EXPECT_FALSE(ParseStatement(
+                   "repeat p(X) += q(X). until {unchanged(p(_))")
+                   .ok());  // unclosed brace
+}
+
+TEST(ParserCornerTest, RuleBodySubgoalKinds) {
+  // Rules may contain comparisons and negation but the parser accepts
+  // updates too (the rule-graph rejects them later) — verify the split.
+  Result<ast::NailRule> r =
+      ParseRule("p(X) :- e(X) & !f(X) & X > 1 & X mod 2 = 0.");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->body.size(), 4u);
+}
+
+TEST(ParserCornerTest, NestedParensAndPrecedence) {
+  Result<ast::Term> t = ParseTermText("((A))");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->IsVariable());
+  t = ParseTermText("A - B - C");  // left associative
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->functor().name, "-");
+  EXPECT_EQ(t->arg(0).functor().name, "-");
+}
+
+TEST(ParserCornerTest, QuotedKeywordsAreSymbols) {
+  Result<ast::Statement> s =
+      ParseStatement("p(X) := q(X) & X = 'end'.");
+  ASSERT_TRUE(s.ok()) << s.status();
+}
+
+TEST(ParserCornerTest, CommentsInsideStatements) {
+  Result<ast::Statement> s = ParseStatement(
+      "p(X) := % first\n q(X) & % second\n X > 1.");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->assignment().body.size(), 2u);
+}
+
+TEST(GlueNegationOverNailTest, NegatedNailPredicate) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram(R"(
+module kb;
+edb edge(X,Y), node(X);
+path(X,Y) :- edge(X,Y).
+path(X,Z) :- path(X,Y) & edge(Y,Z).
+node(1). node(2). node(3). node(4).
+edge(1,2). edge(2,3).
+end
+)").ok());
+  // Glue negation over the NAIL! view.
+  ASSERT_TRUE(engine.ExecuteStatement(
+                  "dead_end(X) := node(X) & !path(X, _).")
+                  .ok());
+  Result<Engine::QueryResult> r = engine.Query("dead_end(X)");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);  // 3 and 4
+}
+
+TEST(GlueNegationOverNailTest, NegatedParameterizedInstance) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram(R"(
+module kb;
+edb attends(S,C), person(P);
+students(C)(S) :- attends(S, C).
+person(ann). person(bo).
+attends(ann, cs99).
+end
+)").ok());
+  ASSERT_TRUE(engine.ExecuteStatement(
+                  "slacker(P) := person(P) & !students(cs99)(P).")
+                  .ok());
+  Result<Engine::QueryResult> r = engine.Query("slacker(P)");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(engine.pool()->SymbolName(r->rows[0][0]), "bo");
+}
+
+TEST(GlueNegationOverNailTest, UnchangedOverNailIsCompileError) {
+  Engine engine;
+  Status s = engine.LoadProgram(R"(
+module kb;
+edb e(X);
+p(X) :- e(X).
+export f(:);
+proc f(:)
+  repeat
+    e(1) += true.
+  until unchanged(p(_));
+  return(:) := true.
+end
+end
+)");
+  EXPECT_TRUE(s.IsCompileError()) << s;
+}
+
+}  // namespace
+}  // namespace gluenail

@@ -1,0 +1,396 @@
+/// End-to-end tests for Glue procedures (paper §4): in/return, local
+/// relations, repeat/until with unchanged, call-once semantics, recursion,
+/// and the fixed-procedure machinery.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/api/engine.h"
+
+namespace gluenail {
+namespace {
+
+class ProceduresTest
+    : public ::testing::TestWithParam<ExecOptions::Strategy> {
+ protected:
+  ProceduresTest() {
+    EngineOptions opts;
+    opts.exec.strategy = GetParam();
+    engine_ = std::make_unique<Engine>(opts);
+  }
+
+  void Load(std::string_view src) {
+    Status s = engine_->LoadProgram(src);
+    ASSERT_TRUE(s.ok()) << s;
+  }
+
+  std::string Rows(const Result<std::vector<Tuple>>& r) {
+    EXPECT_TRUE(r.ok()) << r.status();
+    if (!r.ok()) return "<error>";
+    std::string out;
+    for (size_t i = 0; i < r->size(); ++i) {
+      if (i != 0) out += ";";
+      for (size_t j = 0; j < (*r)[i].size(); ++j) {
+        if (j != 0) out += ",";
+        out += engine_->pool()->ToString((*r)[i][j]);
+      }
+    }
+    return out;
+  }
+
+  Tuple T(std::initializer_list<int64_t> xs) {
+    Tuple t;
+    for (int64_t x : xs) t.push_back(engine_->pool()->MakeInt(x));
+    return t;
+  }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+constexpr std::string_view kTcModule = R"(
+module graph;
+edb e(X,Y);
+export tc_e(X:Y);
+procedure tc_e (X:Y)
+rels connected(X,Y);
+  connected(X,Y):= in(X) & e(X,Y).
+  repeat
+    connected(X,Y)+= connected(X,Z) & e(Z,Y).
+  until unchanged( connected(_,_));
+  return(X:Y):= connected(X,Y).
+end
+e(1,2).
+e(2,3).
+e(3,4).
+e(5,6).
+end
+)";
+
+TEST_P(ProceduresTest, PaperTcExample) {
+  // §4 verbatim: reachability from a seed set.
+  Load(kTcModule);
+  EXPECT_EQ(Rows(engine_->Call("tc_e", {T({1})})), "1,2;1,3;1,4");
+}
+
+TEST_P(ProceduresTest, TcCalledOnceOnAllBindings) {
+  // §4: "it is called once on all of the bindings for its input
+  // arguments" — two seeds, one call.
+  Load(kTcModule);
+  EXPECT_EQ(Rows(engine_->Call("tc_e", {T({1}), T({5})})),
+            "1,2;1,3;1,4;5,6");
+}
+
+TEST_P(ProceduresTest, TcAsSubgoal) {
+  Load(kTcModule);
+  ASSERT_TRUE(engine_->AddFact("seed(2).").ok());
+  ASSERT_TRUE(
+      engine_->ExecuteStatement("reach(Y) := seed(X) & tc_e(X, Y).").ok());
+  Result<Engine::QueryResult> r = engine_->Query("reach(Y)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);  // 3, 4
+}
+
+TEST_P(ProceduresTest, ReturnRestrictsToInputExtension) {
+  // The implicit `in` subgoal on return heads (§4).
+  Load(R"(
+module m;
+edb p(X,Y);
+export lookup(X:Y);
+proc lookup(X:Y)
+  return(X:Y) := p(X,Y).
+end
+p(1,10).
+p(2,20).
+end
+)");
+  // Only tuples extending the inputs come back.
+  EXPECT_EQ(Rows(engine_->Call("lookup", {T({1})})), "1,10");
+}
+
+TEST_P(ProceduresTest, ReturnExitsImmediately) {
+  // Statements after a return assignment never run (§4: assigning to
+  // return exits).
+  Load(R"(
+module m;
+edb marker(X);
+export f(:X);
+proc f(:X)
+  return(:X) := true & X = 42.
+  marker(99) += true.
+end
+end
+)");
+  EXPECT_EQ(Rows(engine_->Call("f", {Tuple{}})), "42");
+  Result<Engine::QueryResult> r = engine_->Query("marker(X)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->rows.empty());
+}
+
+TEST_P(ProceduresTest, SetEqFromPaper) {
+  // §5.1's set_eq procedure, comparing sets member-wise.
+  Load(R"(
+module sets;
+export set_eq(S,T:);
+proc set_eq( S, T: )
+rels different(S,T);
+  different(S,T):= in(S,T) & S(X) & !T(X).
+  different(S,T)+= in(S,T) & T(X) & !S(X).
+  return(S,T:):= !different(S,T).
+end
+a(1). a(2).
+b(1). b(2).
+c(1).
+end
+)");
+  TermPool* pool = engine_->pool();
+  auto name = [&](const char* n) { return pool->MakeSymbol(n); };
+  EXPECT_EQ(Rows(engine_->Call("set_eq", {{name("a"), name("b")}})), "a,b");
+  // Different members: empty result.
+  EXPECT_EQ(Rows(engine_->Call("set_eq", {{name("a"), name("c")}})), "");
+}
+
+TEST_P(ProceduresTest, LocalRelationsAreFreshPerInvocation) {
+  Load(R"(
+module m;
+export collect(X:C);
+proc collect(X:C)
+rels acc(V);
+  acc(X) += in(X).
+  return(X:C) := in(X) & acc(V) & C = count(V).
+end
+end
+)");
+  // If locals leaked across invocations the count would grow.
+  EXPECT_EQ(Rows(engine_->Call("collect", {T({7})})), "7,1");
+  EXPECT_EQ(Rows(engine_->Call("collect", {T({8})})), "8,1");
+}
+
+TEST_P(ProceduresTest, RecursivePeanoSum) {
+  // Recursion with per-invocation locals: sum 0..N via self-call.
+  Load(R"(
+module m;
+export sum_to(N:S);
+proc sum_to(N:S)
+rels smaller(M,S2);
+  return(N:S) := in(N) & N = 0 & S = 0.
+  smaller(M,S2) := in(N) & N > 0 & M = N - 1 & sum_to(M, S2).
+  return(N:S) := in(N) & smaller(M,S2) & M = N - 1 & S = S2 + N.
+end
+end
+)");
+  EXPECT_EQ(Rows(engine_->Call("sum_to", {T({0})})), "0,0");
+  EXPECT_EQ(Rows(engine_->Call("sum_to", {T({5})})), "5,15");
+}
+
+TEST_P(ProceduresTest, UnchangedIsFalseOnFirstEvaluation) {
+  // A loop whose body changes nothing still runs at least twice: the
+  // first unchanged() is always false (§4).
+  Load(R"(
+module m;
+edb counterless(X);
+export f(:);
+proc f(:)
+  repeat
+    counterless(1) += true.
+  until unchanged(counterless(_));
+  return(:) := true.
+end
+end
+)");
+  ASSERT_TRUE(engine_->Call("f", {Tuple{}}).ok());
+  // Loop ran: iteration 1 inserts (change), iteration 2 no change -> exit.
+  EXPECT_GE(engine_->exec_stats().loop_iterations, 2u);
+}
+
+TEST_P(ProceduresTest, UntilEmptyAndNonEmptyTests) {
+  Load(R"(
+module m;
+edb work(X), out(X);
+export drain(:);
+proc drain(:)
+  repeat
+    out(X) += work(X) & X = min(X) & --work(X).
+  until empty(work(_));
+  return(:) := true.
+end
+work(3). work(1). work(2).
+end
+)");
+  ASSERT_TRUE(engine_->Call("drain", {Tuple{}}).ok());
+  Result<Engine::QueryResult> r = engine_->Query("out(X)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 3u);
+  Result<Engine::QueryResult> w = engine_->Query("work(X)");
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(w->rows.empty());
+}
+
+TEST_P(ProceduresTest, WriteGoesToConfiguredStream) {
+  std::ostringstream out;
+  engine_->SetIo(&out, nullptr);
+  Load(R"(
+module m;
+export hello(:);
+proc hello(:)
+  return(:) := write('Hello, Glue!') & nl.
+end
+end
+)");
+  ASSERT_TRUE(engine_->Call("hello", {Tuple{}}).ok());
+  EXPECT_EQ(out.str(), "Hello, Glue!\n");
+}
+
+TEST_P(ProceduresTest, ReadParsesTermsFromInput) {
+  std::istringstream in("point(3,4)\n");
+  engine_->SetIo(nullptr, &in);
+  Load(R"(
+module m;
+edb got(X);
+export ask(:);
+proc ask(:)
+  got(T) += read(T).
+  return(:) := true.
+end
+end
+)");
+  ASSERT_TRUE(engine_->Call("ask", {Tuple{}}).ok());
+  Result<Engine::QueryResult> r = engine_->Query("got(point(X,Y))");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+}
+
+TEST_P(ProceduresTest, WritePrintsEachDistinctBindingOnce) {
+  std::ostringstream out;
+  engine_->SetIo(&out, nullptr);
+  Load(R"(
+module m;
+edb p(X);
+export dump(:);
+proc dump(:)
+  return(:) := p(X) & writeln(X).
+end
+p(2). p(1). p(2).
+end
+)");
+  ASSERT_TRUE(engine_->Call("dump", {Tuple{}}).ok());
+  EXPECT_EQ(out.str(), "1\n2\n");
+}
+
+TEST_P(ProceduresTest, ImportedProcedureAcrossModules) {
+  Load(R"(
+module lib;
+export double(X:Y);
+proc double(X:Y)
+  return(X:Y) := in(X) & Y = X * 2.
+end
+end
+module app;
+from lib import double(X:Y);
+edb n(X);
+export run(:Y);
+proc run(:Y)
+  return(:Y) := n(X) & double(X, Y).
+end
+n(21).
+end
+)");
+  EXPECT_EQ(Rows(engine_->Call("run", {Tuple{}})), "42");
+}
+
+TEST_P(ProceduresTest, UnimportedProcedureIsCompileError) {
+  Status s = engine_->LoadProgram(R"(
+module lib;
+export double(X:Y);
+proc double(X:Y)
+  return(X:Y) := in(X) & Y = X * 2.
+end
+end
+module app;
+edb n(X);
+export run(:Y);
+proc run(:Y)
+  return(:Y) := n(X) & double(X, Y).
+end
+end
+)");
+  EXPECT_TRUE(s.IsCompileError()) << s;
+}
+
+TEST_P(ProceduresTest, ImportRequiresExport) {
+  Status s = engine_->LoadProgram(R"(
+module lib;
+proc secret(X:Y)
+  return(X:Y) := in(X) & Y = X.
+end
+end
+module app;
+from lib import secret(X:Y);
+end
+)");
+  EXPECT_TRUE(s.IsCompileError()) << s;
+}
+
+TEST_P(ProceduresTest, CallUnknownProcedureFails) {
+  Load("module m; end");
+  EXPECT_TRUE(engine_->Call("nothing", {}).status().IsNotFound());
+}
+
+TEST_P(ProceduresTest, FixedProcedurePropagation) {
+  // g calls f which writes the EDB; both must be fixed, so neither may be
+  // reordered — observable: compile succeeds and updates happen once per
+  // distinct binding set.
+  Load(R"(
+module m;
+edb log(X);
+export g(:);
+proc f(X:)
+  log(X) += in(X).
+  return(X:) := in(X).
+end
+proc g(:)
+  return(:) := true & f(7).
+end
+end
+)");
+  ASSERT_TRUE(engine_->Call("g", {Tuple{}}).ok());
+  Result<Engine::QueryResult> r = engine_->Query("log(X)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+}
+
+TEST_P(ProceduresTest, InfiniteLoopIsGuarded) {
+  EngineOptions opts;
+  opts.exec.strategy = GetParam();
+  opts.exec.max_loop_iterations = 100;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.LoadProgram(R"(
+module m;
+edb flip(X);
+export spin(:);
+proc spin(:)
+  repeat
+    flip(1) += true.
+    flip(1) -= flip(1).
+  until empty(flip(0));
+  return(:) := true.
+end
+flip(0).
+end
+)").ok());
+  Status s = engine.Call("spin", {Tuple{}}).status();
+  EXPECT_TRUE(s.IsRuntimeError()) << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, ProceduresTest,
+    ::testing::Values(ExecOptions::Strategy::kMaterialized,
+                      ExecOptions::Strategy::kPipelined),
+    [](const ::testing::TestParamInfo<ExecOptions::Strategy>& info) {
+      return info.param == ExecOptions::Strategy::kMaterialized
+                 ? "Materialized"
+                 : "Pipelined";
+    });
+
+}  // namespace
+}  // namespace gluenail

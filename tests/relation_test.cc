@@ -1,0 +1,230 @@
+#include "src/storage/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/term/term_pool.h"
+
+namespace gluenail {
+namespace {
+
+class RelationTest : public ::testing::Test {
+ protected:
+  Tuple T(std::initializer_list<int64_t> xs) {
+    Tuple t;
+    for (int64_t x : xs) t.push_back(pool_.MakeInt(x));
+    return t;
+  }
+
+  TermPool pool_;
+};
+
+TEST_F(RelationTest, InsertAndContains) {
+  Relation r("edge", 2);
+  EXPECT_TRUE(r.Insert(T({1, 2})));
+  EXPECT_TRUE(r.Contains(T({1, 2})));
+  EXPECT_FALSE(r.Contains(T({2, 1})));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST_F(RelationTest, DuplicatesAreRejected) {
+  // Paper §2: "Predicates do not have duplicates."
+  Relation r("edge", 2);
+  EXPECT_TRUE(r.Insert(T({1, 2})));
+  EXPECT_FALSE(r.Insert(T({1, 2})));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST_F(RelationTest, EraseRemoves) {
+  Relation r("edge", 2);
+  r.Insert(T({1, 2}));
+  r.Insert(T({3, 4}));
+  EXPECT_TRUE(r.Erase(T({1, 2})));
+  EXPECT_FALSE(r.Erase(T({1, 2})));
+  EXPECT_FALSE(r.Contains(T({1, 2})));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST_F(RelationTest, VersionBumpsOnlyOnChange) {
+  Relation r("p", 1);
+  uint64_t v0 = r.version();
+  r.Insert(T({1}));
+  uint64_t v1 = r.version();
+  EXPECT_GT(v1, v0);
+  r.Insert(T({1}));  // duplicate, no change
+  EXPECT_EQ(r.version(), v1);
+  r.Erase(T({2}));  // absent, no change
+  EXPECT_EQ(r.version(), v1);
+  r.Erase(T({1}));
+  EXPECT_GT(r.version(), v1);
+}
+
+TEST_F(RelationTest, ClearEmptiesAndBumpsVersion) {
+  Relation r("p", 1);
+  r.Insert(T({1}));
+  uint64_t v = r.version();
+  r.Clear();
+  EXPECT_TRUE(r.empty());
+  EXPECT_GT(r.version(), v);
+  // Clearing an already-empty relation is not a change.
+  uint64_t v2 = r.version();
+  r.Clear();
+  EXPECT_EQ(r.version(), v2);
+}
+
+TEST_F(RelationTest, IterationSkipsErasedRows) {
+  Relation r("p", 1);
+  for (int i = 0; i < 10; ++i) r.Insert(T({i}));
+  for (int i = 0; i < 10; i += 2) r.Erase(T({i}));
+  int count = 0;
+  for (const Tuple& t : r) {
+    EXPECT_EQ(pool_.IntValue(t[0]) % 2, 1);
+    ++count;
+  }
+  EXPECT_EQ(count, 5);
+}
+
+TEST_F(RelationTest, ReinsertAfterErase) {
+  Relation r("p", 1);
+  r.Insert(T({7}));
+  r.Erase(T({7}));
+  EXPECT_TRUE(r.Insert(T({7})));
+  EXPECT_TRUE(r.Contains(T({7})));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST_F(RelationTest, SelectViaExplicitIndex) {
+  Relation r("edge", 2);
+  for (int i = 0; i < 100; ++i) {
+    r.Insert(T({i % 10, i}));
+  }
+  r.EnsureIndex(0b01);
+  std::vector<uint32_t> rows;
+  r.Select(0b01, T({3}), &rows);
+  EXPECT_EQ(rows.size(), 10u);
+  for (uint32_t row : rows) {
+    EXPECT_EQ(pool_.IntValue(r.row(row)[0]), 3);
+  }
+}
+
+TEST_F(RelationTest, IndexIsMaintainedAcrossMutation) {
+  Relation r("edge", 2);
+  r.EnsureIndex(0b01);
+  r.Insert(T({1, 10}));
+  r.Insert(T({1, 11}));
+  r.Insert(T({2, 20}));
+  std::vector<uint32_t> rows;
+  r.Select(0b01, T({1}), &rows);
+  EXPECT_EQ(rows.size(), 2u);
+  r.Erase(T({1, 10}));
+  rows.clear();
+  r.Select(0b01, T({1}), &rows);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(pool_.IntValue(r.row(rows[0])[1]), 11);
+}
+
+TEST_F(RelationTest, ScanSelectWithoutIndex) {
+  Relation r("edge", 2);
+  r.set_index_policy(IndexPolicy::kNeverIndex);
+  for (int i = 0; i < 20; ++i) r.Insert(T({i % 4, i}));
+  std::vector<uint32_t> rows;
+  r.Select(0b01, T({2}), &rows);
+  EXPECT_EQ(rows.size(), 5u);
+  EXPECT_EQ(r.FindIndex(0b01), nullptr);
+  EXPECT_GT(r.counters().scan_rows, 0u);
+}
+
+TEST_F(RelationTest, SelectOnSecondColumn) {
+  Relation r("edge", 2);
+  r.EnsureIndex(0b10);
+  r.Insert(T({1, 5}));
+  r.Insert(T({2, 5}));
+  r.Insert(T({3, 6}));
+  std::vector<uint32_t> rows;
+  r.Select(0b10, T({5}), &rows);
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(RelationTest, SelectOnBothColumns) {
+  Relation r("edge", 2);
+  r.Insert(T({1, 5}));
+  r.Insert(T({2, 5}));
+  std::vector<uint32_t> rows;
+  r.SelectConst(0b11, T({2, 5}), &rows);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(pool_.IntValue(r.row(rows[0])[0]), 2);
+}
+
+TEST_F(RelationTest, UnionDiffComputesDelta) {
+  // The §10 uniondiff operator: the engine of semi-naive evaluation.
+  Relation acc("tc", 2), src("new", 2), delta("delta", 2);
+  acc.Insert(T({1, 2}));
+  src.Insert(T({1, 2}));  // already present
+  src.Insert(T({2, 3}));  // new
+  src.Insert(T({3, 4}));  // new
+  size_t added = acc.UnionDiff(src, &delta);
+  EXPECT_EQ(added, 2u);
+  EXPECT_EQ(acc.size(), 3u);
+  EXPECT_EQ(delta.size(), 2u);
+  EXPECT_FALSE(delta.Contains(T({1, 2})));
+  EXPECT_TRUE(delta.Contains(T({2, 3})));
+  EXPECT_TRUE(delta.Contains(T({3, 4})));
+}
+
+TEST_F(RelationTest, UnionDiffEmptyDeltaAtFixpoint) {
+  Relation acc("tc", 2), src("new", 2), delta("delta", 2);
+  acc.Insert(T({1, 2}));
+  src.Insert(T({1, 2}));
+  EXPECT_EQ(acc.UnionDiff(src, &delta), 0u);
+  EXPECT_TRUE(delta.empty());
+}
+
+TEST_F(RelationTest, CopyFromReplaces) {
+  Relation a("a", 1), b("b", 1);
+  a.Insert(T({1}));
+  b.Insert(T({2}));
+  b.Insert(T({3}));
+  a.CopyFrom(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_FALSE(a.Contains(T({1})));
+  EXPECT_TRUE(a.Contains(T({3})));
+}
+
+TEST_F(RelationTest, SortedTuplesAreCanonical) {
+  Relation r("p", 1);
+  r.Insert(T({3}));
+  r.Insert(T({1}));
+  r.Insert(T({2}));
+  std::vector<Tuple> sorted = r.SortedTuples(pool_);
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(pool_.IntValue(sorted[0][0]), 1);
+  EXPECT_EQ(pool_.IntValue(sorted[2][0]), 3);
+}
+
+TEST_F(RelationTest, CompactPreservesContentAndIndexes) {
+  Relation r("edge", 2);
+  r.EnsureIndex(0b01);
+  for (int i = 0; i < 50; ++i) r.Insert(T({i % 5, i}));
+  for (int i = 0; i < 50; i += 2) r.Erase(T({i % 5, i}));
+  size_t before = r.size();
+  r.Compact();
+  EXPECT_EQ(r.size(), before);
+  EXPECT_NE(r.FindIndex(0b01), nullptr);
+  std::vector<uint32_t> rows;
+  r.Select(0b01, T({1}), &rows);
+  for (uint32_t row : rows) {
+    EXPECT_EQ(pool_.IntValue(r.row(row)[0]), 1);
+  }
+}
+
+TEST_F(RelationTest, ZeroArityRelation) {
+  Relation r("flag", 0);
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(r.Insert(Tuple{}));
+  EXPECT_FALSE(r.Insert(Tuple{}));  // only one possible tuple
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Erase(Tuple{}));
+  EXPECT_TRUE(r.empty());
+}
+
+}  // namespace
+}  // namespace gluenail

@@ -1,0 +1,135 @@
+/// Unit tests for the subgoal reorderer (§3.1).
+
+#include "src/analysis/reorder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/parser/parser.h"
+
+namespace gluenail {
+namespace {
+
+class ReorderTest : public ::testing::Test {
+ protected:
+  ReorderTest() {
+    env_.pool = &pool_;
+    env_.scope = &scope_;
+    env_.implicit_edb = true;
+  }
+
+  /// Parses "h := body." and reorders the body; returns the subgoals in
+  /// execution order, rendered.
+  std::vector<std::string> Order(std::string_view stmt) {
+    Result<ast::Statement> s = ParseStatement(stmt);
+    EXPECT_TRUE(s.ok()) << s.status();
+    const ast::Assignment& a = s->assignment();
+    Result<std::vector<size_t>> perm = ReorderBody(a.body, env_, {});
+    EXPECT_TRUE(perm.ok()) << perm.status();
+    std::vector<std::string> out;
+    for (size_t idx : *perm) {
+      out.push_back(ast::ToString(a.body[idx]));
+    }
+    return out;
+  }
+
+  TermPool pool_;
+  Scope scope_;
+  CompileEnv env_;
+};
+
+TEST_F(ReorderTest, FiltersScheduleAsSoonAsBound) {
+  std::vector<std::string> order =
+      Order("h(X) := a(X) & b(X, Y) & X > 3.");
+  // X > 3 only needs X, so it runs right after a(X).
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"a(X)", "X > 3", "b(X,Y)"}));
+}
+
+TEST_F(ReorderTest, NegationRunsEarlyOnceBound) {
+  std::vector<std::string> order =
+      Order("h(X,Y) := a(X) & b(X, Y) & !bad(X).");
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"a(X)", "!bad(X)", "b(X,Y)"}));
+}
+
+TEST_F(ReorderTest, FixedSubgoalsAreBarriers) {
+  // The update must stay between its neighbors even though c(X) would
+  // otherwise score like a(X).
+  std::vector<std::string> order =
+      Order("h(X) := a(X) & ++log(X) & c(X).");
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"a(X)", "++log(X)", "c(X)"}));
+}
+
+TEST_F(ReorderTest, AggregatorPinsItsPosition) {
+  // §3.1: "subgoals cannot be moved past an aggregator".
+  std::vector<std::string> order =
+      Order("h(M) := a(X) & M = max(X) & b(M, Y).");
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[1], "M = max(X)");
+}
+
+TEST_F(ReorderTest, SelectiveSeedMovesFirst) {
+  // The mis-ordered body of bench E8.
+  std::vector<std::string> order =
+      Order("h(Y) := big(S, X) & lookup(X, Y) & seed(S).");
+  // seed has fewer columns, but big(S,X) with S bound becomes keyed, so
+  // seed should come first.
+  EXPECT_EQ(order[0], "seed(S)");
+  EXPECT_EQ(order[1], "big(S,X)");
+  EXPECT_EQ(order[2], "lookup(X,Y)");
+}
+
+TEST_F(ReorderTest, EqBindingDefersToMatchingBinder) {
+  // X = 1.0 must not hoist above n(X): binding installs the float term,
+  // whereas filtering compares numerically (the semantics guard).
+  std::vector<std::string> order = Order("h(X) := n(X) & X = 1.0.");
+  EXPECT_EQ(order, (std::vector<std::string>{"n(X)", "X = 1.0"}));
+}
+
+TEST_F(ReorderTest, EqComputationSchedulesWhenSourceBound) {
+  std::vector<std::string> order =
+      Order("h(Y) := a(X) & b(Y2, Z) & Y = X + 1 & c(Y, Z).");
+  // Y = X+1 binds Y and no other subgoal binds Y, so it may run as soon
+  // as X is bound — before the b/c matches.
+  EXPECT_EQ(order[0], "a(X)");
+  EXPECT_EQ(order[1], "Y = (X+1)");
+}
+
+TEST_F(ReorderTest, UnschedulableTailKeepsOriginalOrder) {
+  // W is never bound: the reorderer leaves the broken tail as written so
+  // the planner reports the error at the right subgoal.
+  Result<ast::Statement> s =
+      ParseStatement("h(X) := a(X) & W > 2 & b(W).");
+  ASSERT_TRUE(s.ok());
+  Result<std::vector<size_t>> perm =
+      ReorderBody(s->assignment().body, env_, {});
+  ASSERT_TRUE(perm.ok());
+  EXPECT_EQ(perm->size(), 3u);
+}
+
+TEST_F(ReorderTest, ProcedureCallsScheduleLast) {
+  // Procedure calls are expensive (§9); with fixedness off they may
+  // reorder but should sort after plain matches.
+  PredBinding proc;
+  proc.cls = PredClass::kGlueProc;
+  proc.bound_arity = 1;
+  proc.free_arity = 1;
+  proc.index = 0;
+  proc.fixed = false;
+  scope_.Declare("expensive", 0, 2, proc);
+  std::vector<std::string> order =
+      Order("h(Y) := expensive(X, Y) & a(X) & b(X).");
+  EXPECT_EQ(order[2], "expensive(X,Y)");
+}
+
+TEST_F(ReorderTest, PermutationIsValid) {
+  std::vector<std::string> order = Order(
+      "h(A,B,C) := r(A) & s(A,B) & t(B,C) & A != B & ++u(C) & v(C).");
+  EXPECT_EQ(order.size(), 6u);
+  std::set<std::string> distinct(order.begin(), order.end());
+  EXPECT_EQ(distinct.size(), 6u);
+}
+
+}  // namespace
+}  // namespace gluenail

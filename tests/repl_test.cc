@@ -1,0 +1,150 @@
+/// Tests for the interactive shell (src/api/repl.h), driven through
+/// injected streams.
+
+#include "src/api/repl.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace gluenail {
+namespace {
+
+class ReplTest : public ::testing::Test {
+ protected:
+  /// Runs a whole scripted session; returns the output.
+  std::string Session(std::string_view script) {
+    Engine engine;
+    std::istringstream in{std::string(script)};
+    std::ostringstream out;
+    ReplOptions opts;
+    opts.prompt = false;
+    Repl repl(&engine, &in, &out, opts);
+    Status s = repl.Run();
+    EXPECT_TRUE(s.ok()) << s;
+    return out.str();
+  }
+};
+
+TEST_F(ReplTest, FactsAndQueries) {
+  std::string out = Session(
+      "edge(1,2).\n"
+      "edge(2,3).\n"
+      "?- edge(1, X).\n");
+  EXPECT_NE(out.find("X = 2"), std::string::npos) << out;
+  EXPECT_NE(out.find("1 answer(s)"), std::string::npos) << out;
+}
+
+TEST_F(ReplTest, StatementsExecute) {
+  std::string out = Session(
+      "n(1).\n"
+      "n(2).\n"
+      "doubled(Y) := n(X) & Y = X * 2.\n"
+      "?- doubled(Y).\n");
+  EXPECT_NE(out.find("Y = 2"), std::string::npos) << out;
+  EXPECT_NE(out.find("Y = 4"), std::string::npos) << out;
+}
+
+TEST_F(ReplTest, GroundQueriesSayYesNo) {
+  std::string out = Session(
+      "p(1).\n"
+      "?- p(1).\n"
+      "?- p(9).\n");
+  EXPECT_NE(out.find("yes"), std::string::npos) << out;
+  EXPECT_NE(out.find("no"), std::string::npos) << out;
+}
+
+TEST_F(ReplTest, MultiLineInputAccumulates) {
+  std::string out = Session(
+      "big(X,\n"
+      "    Y) :=\n"
+      "  s(X) &\n"
+      "  t(Y).\n"
+      "?- big(A, B).\n");
+  EXPECT_NE(out.find("no"), std::string::npos) << out;
+}
+
+TEST_F(ReplTest, ErrorsAreReportedAndSessionContinues) {
+  std::string out = Session(
+      "p(X) := !q(X).\n"
+      "p(1).\n"
+      "?- p(X).\n");
+  EXPECT_NE(out.find("compile error"), std::string::npos) << out;
+  EXPECT_NE(out.find("X = 1"), std::string::npos) << out;
+}
+
+TEST_F(ReplTest, HelpAndUnknownCommand) {
+  std::string out = Session(":help\n:bogus\n");
+  EXPECT_NE(out.find("commands:"), std::string::npos);
+  EXPECT_NE(out.find("unknown command"), std::string::npos);
+}
+
+TEST_F(ReplTest, QuitStopsProcessing) {
+  std::string out = Session(
+      "p(1).\n"
+      ":quit\n"
+      "?- p(X).\n");  // never reached
+  EXPECT_EQ(out.find("X = 1"), std::string::npos) << out;
+}
+
+TEST_F(ReplTest, RelationsAndStats) {
+  std::string out = Session(
+      "edge(1,2).\n"
+      "edge(2,3).\n"
+      ":relations\n"
+      ":stats\n");
+  EXPECT_NE(out.find("edge/2  (2 tuples)"), std::string::npos) << out;
+  EXPECT_NE(out.find("statements"), std::string::npos) << out;
+}
+
+TEST_F(ReplTest, ExplainCommand) {
+  std::string out = Session(":explain p(X) := q(X) & X > 1.\n");
+  EXPECT_NE(out.find("match edb q"), std::string::npos) << out;
+  EXPECT_NE(out.find("head: :="), std::string::npos) << out;
+}
+
+TEST_F(ReplTest, SaveAndLoadEdb) {
+  const std::string path = testing::TempDir() + "/repl_edb.facts";
+  std::string out1 = Session(StrCat(
+      "edge(7,8).\n"
+      ":save ", path, "\n"));
+  EXPECT_NE(out1.find("edb saved"), std::string::npos) << out1;
+  std::string out2 = Session(StrCat(
+      ":edb ", path, "\n"
+      "?- edge(7, X).\n"));
+  EXPECT_NE(out2.find("X = 8"), std::string::npos) << out2;
+}
+
+TEST_F(ReplTest, LoadProgramFile) {
+  const std::string path = testing::TempDir() + "/repl_prog.gn";
+  {
+    std::ofstream f(path);
+    f << "module kb;\nedb e(X,Y);\npath(X,Y) :- e(X,Y).\n"
+         "path(X,Z) :- path(X,Y) & e(Y,Z).\ne(1,2). e(2,3).\nend\n";
+  }
+  std::string out = Session(StrCat(
+      ":load ", path, "\n"
+      "?- path(1, X).\n"));
+  EXPECT_NE(out.find("loaded:"), std::string::npos) << out;
+  EXPECT_NE(out.find("X = 3"), std::string::npos) << out;
+}
+
+TEST_F(ReplTest, RepeatLoopStatement) {
+  std::string out = Session(
+      "n(1).\n"
+      "repeat n(Y) += n(X) & Y = X * 2 & Y < 50. "
+      "until unchanged(n(_));\n"
+      "?- n(X).\n");
+  EXPECT_NE(out.find("6 answer(s)"), std::string::npos) << out;  // 1..32
+}
+
+TEST_F(ReplTest, QuotedFactWithOperatorsInsideIsStillAFact) {
+  std::string out = Session(
+      "note('a := b').\n"
+      "?- note(X).\n");
+  EXPECT_NE(out.find("X = 'a := b'"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace gluenail

@@ -1,0 +1,98 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/result.h"
+
+namespace gluenail {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("unexpected ')'");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsParseError());
+  EXPECT_EQ(s.message(), "unexpected ')'");
+  EXPECT_EQ(s.ToString(), "parse error: unexpected ')'");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::CompileError("x").IsCompileError());
+  EXPECT_TRUE(Status::RuntimeError("x").IsRuntimeError());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status a = Status::IoError("disk full");
+  Status b = a;
+  EXPECT_EQ(a.ToString(), b.ToString());
+  b = Status::OK();
+  EXPECT_TRUE(b.ok());
+  EXPECT_FALSE(a.ok());
+}
+
+TEST(StatusTest, WithContextPrefixes) {
+  Status s = Status::IoError("open failed").WithContext("edb.facts");
+  EXPECT_TRUE(s.IsIoError());
+  EXPECT_EQ(s.message(), "edb.facts: open failed");
+  EXPECT_TRUE(Status::OK().WithContext("ignored").ok());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    GLUENAIL_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto producer = [](bool fail) -> Result<std::string> {
+    if (fail) return Status::RuntimeError("bad");
+    return std::string("value");
+  };
+  auto consumer = [&](bool fail) -> Result<size_t> {
+    std::string s;
+    GLUENAIL_ASSIGN_OR_RETURN(s, producer(fail));
+    return s.size();
+  };
+  Result<size_t> ok = consumer(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5u);
+  EXPECT_TRUE(consumer(true).status().IsRuntimeError());
+}
+
+TEST(ResultTest, MoveValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  std::unique_ptr<int> p = r.MoveValue();
+  EXPECT_EQ(*p, 7);
+}
+
+}  // namespace
+}  // namespace gluenail

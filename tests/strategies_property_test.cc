@@ -1,0 +1,213 @@
+/// Differential property tests: the materialized and pipelined executors,
+/// with and without early duplicate elimination, and all index policies,
+/// must agree on every program — the §9 trade-offs are performance-only.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/api/engine.h"
+
+namespace gluenail {
+namespace {
+
+struct Config {
+  ExecOptions::Strategy strategy;
+  bool dedup;
+  IndexPolicy policy;
+  NailMode nail;
+};
+
+std::vector<Config> AllConfigs() {
+  std::vector<Config> out;
+  for (auto strategy : {ExecOptions::Strategy::kMaterialized,
+                        ExecOptions::Strategy::kPipelined}) {
+    for (bool dedup : {true, false}) {
+      for (auto policy : {IndexPolicy::kNeverIndex, IndexPolicy::kAdaptive,
+                          IndexPolicy::kAlwaysIndex}) {
+        out.push_back(Config{strategy, dedup, policy, NailMode::kDirect});
+      }
+    }
+  }
+  out.push_back(Config{ExecOptions::Strategy::kPipelined, true,
+                       IndexPolicy::kAdaptive, NailMode::kCompiledGlue});
+  out.push_back(Config{ExecOptions::Strategy::kPipelined, true,
+                       IndexPolicy::kAdaptive, NailMode::kNaive});
+  return out;
+}
+
+std::unique_ptr<Engine> MakeEngine(const Config& c) {
+  EngineOptions opts;
+  opts.exec.strategy = c.strategy;
+  opts.exec.dedup_at_breaks = c.dedup;
+  opts.index_policy = c.policy;
+  opts.nail_mode = c.nail;
+  return std::make_unique<Engine>(opts);
+}
+
+std::string Render(Engine* engine, const Engine::QueryResult& r) {
+  std::string out;
+  for (size_t i = 0; i < r.rows.size(); ++i) {
+    if (i != 0) out += ";";
+    out += TupleToString(*engine->pool(), r.rows[i]);
+  }
+  return out;
+}
+
+/// Runs the same scenario under every config and expects identical
+/// answers.
+void ExpectAllConfigsAgree(
+    const std::function<void(Engine*)>& setup,
+    const std::vector<std::string>& goals) {
+  std::vector<std::string> reference;
+  bool first = true;
+  for (const Config& c : AllConfigs()) {
+    std::unique_ptr<Engine> engine = MakeEngine(c);
+    setup(engine.get());
+    std::vector<std::string> answers;
+    for (const std::string& g : goals) {
+      Result<Engine::QueryResult> r = engine->Query(g);
+      ASSERT_TRUE(r.ok()) << g << ": " << r.status();
+      answers.push_back(Render(engine.get(), *r));
+    }
+    if (first) {
+      reference = answers;
+      first = false;
+    } else {
+      EXPECT_EQ(answers, reference)
+          << "strategy=" << static_cast<int>(c.strategy)
+          << " dedup=" << c.dedup
+          << " policy=" << static_cast<int>(c.policy)
+          << " nail=" << static_cast<int>(c.nail);
+    }
+  }
+}
+
+TEST(StrategiesPropertyTest, RandomGraphReachability) {
+  std::mt19937 rng(20260707);
+  for (int trial = 0; trial < 5; ++trial) {
+    int n = 12 + trial * 7;
+    std::uniform_int_distribution<int> node(0, n - 1);
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i < n * 2; ++i) {
+      edges.emplace_back(node(rng), node(rng));
+    }
+    ExpectAllConfigsAgree(
+        [&](Engine* e) {
+          std::string src =
+              "module kb;\nedb edge(X,Y);\n"
+              "path(X,Y) :- edge(X,Y).\n"
+              "path(X,Z) :- path(X,Y) & edge(Y,Z).\n";
+          for (auto [a, b] : edges) {
+            src += StrCat("edge(", a, ",", b, ").\n");
+          }
+          src += "end\n";
+          ASSERT_TRUE(e->LoadProgram(src).ok());
+        },
+        {"path(0,Y)", "path(X,Y)", "path(X,0)"});
+  }
+}
+
+TEST(StrategiesPropertyTest, JoinsWithDuplicateAmplification) {
+  std::mt19937 rng(42);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::uniform_int_distribution<int> v(0, 5);
+    std::vector<std::array<int, 3>> s_facts, t_facts;
+    for (int i = 0; i < 40; ++i) {
+      s_facts.push_back({v(rng), v(rng), v(rng)});
+      t_facts.push_back({v(rng), v(rng), v(rng)});
+    }
+    ExpectAllConfigsAgree(
+        [&](Engine* e) {
+          for (auto& f : s_facts) {
+            ASSERT_TRUE(
+                e->AddFact(StrCat("s(", f[0], ",", f[1], ",", f[2], ")."))
+                    .ok());
+          }
+          for (auto& f : t_facts) {
+            ASSERT_TRUE(
+                e->AddFact(StrCat("t(", f[0], ",", f[1], ",", f[2], ")."))
+                    .ok());
+          }
+          ASSERT_TRUE(
+              e->ExecuteStatement("j(A, D) := s(A, B, _) & t(B, _, D).")
+                  .ok());
+        },
+        {"j(A, D)"});
+  }
+}
+
+TEST(StrategiesPropertyTest, GroupedAggregatesOverRandomData) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::uniform_int_distribution<int> g(0, 3), x(1, 9);
+    std::vector<std::pair<int, int>> facts;
+    for (int i = 0; i < 30; ++i) facts.emplace_back(g(rng), x(rng));
+    ExpectAllConfigsAgree(
+        [&](Engine* e) {
+          for (auto& [grp, val] : facts) {
+            ASSERT_TRUE(
+                e->AddFact(StrCat("m(", grp, ",", val, ",", trial * 1000 + val,
+                                  ")."))
+                    .ok());
+          }
+          ASSERT_TRUE(e->ExecuteStatement(
+                           "agg(G, S, C) := m(G, V, _) & group_by(G) & "
+                           "S = sum(V) & C = count(V).")
+                          .ok());
+        },
+        {"agg(G, S, C)"});
+  }
+}
+
+TEST(StrategiesPropertyTest, ThreeDeepKeyedJoinChain) {
+  // Regression shape for the nested-scratch clobbering bug: three keyed
+  // selections nest inside one pipeline.
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<int> v(0, 7);
+  std::vector<std::array<int, 2>> a, b, c;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back({v(rng), v(rng)});
+    b.push_back({v(rng), v(rng)});
+    c.push_back({v(rng), v(rng)});
+  }
+  ExpectAllConfigsAgree(
+      [&](Engine* e) {
+        for (auto& f : a) {
+          ASSERT_TRUE(e->AddFact(StrCat("a(", f[0], ",", f[1], ").")).ok());
+        }
+        for (auto& f : b) {
+          ASSERT_TRUE(e->AddFact(StrCat("b(", f[0], ",", f[1], ").")).ok());
+        }
+        for (auto& f : c) {
+          ASSERT_TRUE(e->AddFact(StrCat("c(", f[0], ",", f[1], ").")).ok());
+        }
+        ASSERT_TRUE(e->ExecuteStatement(
+                         "chain(W, Z) := a(W, X) & b(X, Y) & c(Y, Z).")
+                        .ok());
+      },
+      {"chain(W, Z)"});
+}
+
+TEST(StrategiesPropertyTest, NegationAndArithmetic) {
+  std::mt19937 rng(5);
+  std::uniform_int_distribution<int> v(0, 20);
+  std::vector<int> xs;
+  for (int i = 0; i < 25; ++i) xs.push_back(v(rng));
+  ExpectAllConfigsAgree(
+      [&](Engine* e) {
+        for (int x : xs) {
+          ASSERT_TRUE(e->AddFact(StrCat("n(", x, ").")).ok());
+        }
+        ASSERT_TRUE(e->AddFact("banned(4).").ok());
+        ASSERT_TRUE(e->AddFact("banned(8).").ok());
+        ASSERT_TRUE(e->ExecuteStatement(
+                         "keep(X, Y) := n(X) & !banned(X) & Y = X mod 5 & "
+                         "Y != 2.")
+                        .ok());
+      },
+      {"keep(X, Y)"});
+}
+
+}  // namespace
+}  // namespace gluenail

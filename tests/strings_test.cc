@@ -1,0 +1,49 @@
+#include "src/common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace gluenail {
+namespace {
+
+TEST(StringsTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("gluenail", "glue"));
+  EXPECT_FALSE(StartsWith("glue", "gluenail"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, EscapeRoundTrip) {
+  const std::string original = "it's a \\ test\nwith\ttabs";
+  EXPECT_EQ(UnescapeQuoted(EscapeQuoted(original)), original);
+  EXPECT_EQ(EscapeQuoted("a'b"), "a\\'b");
+}
+
+TEST(StringsTest, HashIsStable) {
+  const char data[] = "glue";
+  EXPECT_EQ(Fnv1a64(data, 4), Fnv1a64(data, 4));
+  EXPECT_NE(Fnv1a64("a", 1), Fnv1a64("b", 1));
+}
+
+TEST(StringsTest, HashCombineOrderSensitive) {
+  EXPECT_NE(HashCombine(HashCombine(0, 1), 2),
+            HashCombine(HashCombine(0, 2), 1));
+}
+
+}  // namespace
+}  // namespace gluenail

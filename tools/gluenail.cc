@@ -1,0 +1,107 @@
+/// \file gluenail.cc
+/// \brief The gluenail command-line shell.
+///
+/// Usage:
+///   gluenail                          interactive shell
+///   gluenail program.gn ...           load programs, then shell
+///   gluenail --edb data.facts         preload the EDB
+///   gluenail -e 'stmt.'               execute and exit (repeatable)
+///   gluenail -q 'goal'                query and exit (repeatable)
+///   gluenail --script file            run shell commands from a file
+///
+/// Everything the shell accepts is described under :help.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "src/api/engine.h"
+#include "src/api/repl.h"
+
+namespace {
+
+int Fail(const gluenail::Status& s) {
+  std::cerr << "gluenail: " << s << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gluenail::Engine engine;
+  bool ran_batch = false;
+  std::vector<std::string> scripts;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "gluenail: " << arg << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--edb") {
+      gluenail::Status s = engine.LoadEdbFile(next());
+      if (!s.ok()) return Fail(s);
+    } else if (arg == "-e") {
+      ran_batch = true;
+      gluenail::Status s = engine.ExecuteStatement(next());
+      if (!s.ok()) return Fail(s);
+    } else if (arg == "-q") {
+      ran_batch = true;
+      auto r = engine.Query(next());
+      if (!r.ok()) return Fail(r.status());
+      for (const gluenail::Tuple& row : r->rows) {
+        for (size_t c = 0; c < row.size(); ++c) {
+          if (c != 0) std::cout << ", ";
+          std::cout << r->vars[c] << " = "
+                    << engine.pool()->ToString(row[c]);
+        }
+        std::cout << "\n";
+      }
+    } else if (arg == "--script") {
+      scripts.push_back(next());
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: gluenail [program.gn ...] [--edb FILE] "
+                   "[-e STMT] [-q GOAL] [--script FILE]\n";
+      return 0;
+    } else {
+      std::ifstream f(arg);
+      if (!f.is_open()) {
+        std::cerr << "gluenail: cannot open " << arg << "\n";
+        return 1;
+      }
+      std::ostringstream text;
+      text << f.rdbuf();
+      gluenail::Status s = engine.LoadProgram(text.str());
+      if (!s.ok()) return Fail(s);
+      std::cout << "loaded " << arg << ": "
+                << gluenail::FormatCompileStats(engine.compile_stats())
+                << "\n";
+    }
+  }
+
+  for (const std::string& path : scripts) {
+    ran_batch = true;
+    std::ifstream f(path);
+    if (!f.is_open()) {
+      std::cerr << "gluenail: cannot open " << path << "\n";
+      return 1;
+    }
+    gluenail::ReplOptions opts;
+    opts.prompt = false;
+    gluenail::Repl repl(&engine, &f, &std::cout, opts);
+    gluenail::Status s = repl.Run();
+    if (!s.ok()) return Fail(s);
+  }
+
+  if (ran_batch) return 0;
+
+  std::cout << "Glue-Nail shell — :help for commands, :quit to leave\n";
+  gluenail::Repl repl(&engine, &std::cin, &std::cout);
+  gluenail::Status s = repl.Run();
+  return s.ok() ? 0 : Fail(s);
+}
