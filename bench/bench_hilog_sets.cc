@@ -58,9 +58,8 @@ BENCHMARK(BM_SetNameEquality)->Arg(16)->Arg(256)->Arg(1024)->Arg(4096);
 void BM_SetMemberEquality(benchmark::State& state) {
   std::unique_ptr<Engine> engine =
       SetsEngine(static_cast<int>(state.range(0)));
-  TermPool* pool = engine->pool();
-  std::vector<Tuple> input{
-      {pool->MakeSymbol("squad_a"), pool->MakeSymbol("squad_b")}};
+  std::vector<Tuple> input{{*engine->InternTerm("squad_a"),
+                            *engine->InternTerm("squad_b")}};
   for (auto _ : state) {
     auto rows = engine->Call("set_eq", input);
     bench::Require(rows.status());

@@ -68,7 +68,7 @@ void BM_NailEvaluationMode(benchmark::State& state) {
     state.ResumeTiming();
     // Force one full evaluation.
     bench::Require(engine.nail_engine()->EnsureAllNail());
-    benchmark::DoNotOptimize(engine.idb()->num_relations());
+    benchmark::DoNotOptimize(engine.snapshot()->idb().num_relations());
   }
   state.SetLabel(StrCat(prog.name, "/",
                         mode == NailMode::kDirect ? "direct"

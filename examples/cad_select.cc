@@ -157,7 +157,7 @@ int main() {
   if (result->empty()) {
     std::cout << "nothing selected\n";
   } else {
-    std::cout << "selected: " << engine.pool()->ToString((*result)[0][0])
+    std::cout << "selected: " << engine.terms().ToString((*result)[0][0])
               << "\n";
   }
   return 0;

@@ -57,16 +57,16 @@ int main() {
   Check(answers.status());
   std::cout << "path(1, Y) & Y > 2:\n";
   for (const gluenail::Tuple& row : answers->rows) {
-    std::cout << "  Y = " << engine.pool()->ToString(row[0]) << "\n";
+    std::cout << "  Y = " << engine.terms().ToString(row[0]) << "\n";
   }
 
   // Call the exported procedure once on a set of seeds (§4 semantics).
   auto crawled =
-      engine.Call("crawl", {{engine.pool()->MakeInt(2)}});
+      engine.Call("crawl", {{*engine.InternTerm("2")}});
   Check(crawled.status());
   std::cout << "\ncrawl(2):\n";
   for (const gluenail::Tuple& row : *crawled) {
-    std::cout << "  reached " << engine.pool()->ToString(row[1]) << "\n";
+    std::cout << "  reached " << engine.terms().ToString(row[1]) << "\n";
   }
 
   // Ad-hoc Glue statements mutate the EDB...

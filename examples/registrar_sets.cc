@@ -88,7 +88,7 @@ void Show(gluenail::Engine* engine, std::string_view goal) {
     std::cout << "  ";
     for (size_t i = 0; i < row.size(); ++i) {
       if (i != 0) std::cout << ", ";
-      std::cout << r->vars[i] << " = " << engine->pool()->ToString(row[i]);
+      std::cout << r->vars[i] << " = " << engine->terms().ToString(row[i]);
     }
     std::cout << "\n";
   }
@@ -115,12 +115,8 @@ int main() {
   // Member-wise set_eq: cs99 and cs101 have the same student body even
   // though the set *names* differ.
   auto eq = engine.Call(
-      "set_eq", {{engine.pool()->MakeCompound(
-                      "students", std::vector<gluenail::TermId>{
-                                      engine.pool()->MakeSymbol("cs99")}),
-                  engine.pool()->MakeCompound(
-                      "students", std::vector<gluenail::TermId>{
-                                      engine.pool()->MakeSymbol("cs101")})}});
+      "set_eq", {{*engine.InternTerm("students(cs99)"),
+                  *engine.InternTerm("students(cs101)")}});
   Check(eq.status());
   std::cout << "set_eq(students(cs99), students(cs101)): "
             << (eq->empty() ? "different" : "equal members") << "\n\n";
@@ -136,8 +132,8 @@ int main() {
   Check(roster.status());
   std::cout << "roster:\n";
   for (const gluenail::Tuple& row : *roster) {
-    std::cout << "  " << engine.pool()->ToString(row[0]) << " -> "
-              << engine.pool()->ToString(row[1]) << "\n";
+    std::cout << "  " << engine.terms().ToString(row[0]) << " -> "
+              << engine.terms().ToString(row[1]) << "\n";
   }
 
   const std::string file = "/tmp/gluenail_registrar.facts";

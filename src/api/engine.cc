@@ -2,9 +2,11 @@
 
 #include <chrono>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 #include "src/analysis/binding.h"
+#include "src/api/session.h"
 #include "src/common/strings.h"
 #include "src/nail/magic.h"
 #include "src/parser/parser.h"
@@ -24,7 +26,10 @@ Engine::Engine(EngineOptions options)
 
 Engine::~Engine() = default;
 
+Session Engine::OpenSession() { return Session(this); }
+
 Status Engine::RegisterHostProcedure(HostProcedure host) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   if (linked_ != nullptr) {
     return Status::InvalidArgument(
         "host procedures must be registered before LoadProgram");
@@ -38,20 +43,34 @@ Status Engine::RegisterHostProcedure(HostProcedure host) {
 }
 
 Status Engine::LoadProgram(std::string_view source) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  return LoadProgramLocked(source);
+}
+
+Status Engine::LoadProgramLocked(std::string_view source) {
   auto start = std::chrono::steady_clock::now();
   GLUENAIL_ASSIGN_OR_RETURN(ast::Program parsed, ParseProgram(source));
 
+  // The parallel evaluator partitions the direct fixpoint; the generated
+  // Glue driver cannot be split, so multi-threading forces direct mode
+  // (the modes are differential-tested equal).
+  NailMode nail_mode = options_.nail_mode;
+  if (options_.num_threads > 1 && nail_mode == NailMode::kCompiledGlue) {
+    nail_mode = NailMode::kDirect;
+  }
+
   LinkOptions link_opts;
   link_opts.planner = options_.planner;
-  link_opts.nail_mode = options_.nail_mode;
+  link_opts.nail_mode = nail_mode;
   GLUENAIL_ASSIGN_OR_RETURN(
       LinkedProgram linked, LinkProgram(parsed, hosts_, &pool_, link_opts));
   linked_ = std::make_unique<LinkedProgram>(std::move(linked));
 
   nail_engine_ = std::make_unique<NailEngine>(linked_->nail, &edb_, &idb_,
                                               &pool_);
-  nail_engine_->set_mode(options_.nail_mode);
-  if (options_.nail_mode == NailMode::kCompiledGlue) {
+  nail_engine_->set_mode(nail_mode);
+  nail_engine_->set_num_threads(options_.num_threads);
+  if (nail_mode == NailMode::kCompiledGlue) {
     nail_engine_->set_driver_proc(linked_->nail_driver_proc);
   } else {
     GLUENAIL_RETURN_NOT_OK(nail_engine_->CompileDirect(
@@ -100,10 +119,23 @@ Status Engine::LoadProgramFile(const std::string& path) {
   return LoadProgram(text.str()).WithContext(path);
 }
 
-Status Engine::EnsureLoaded() {
+Status Engine::EnsureLoadedLocked() {
   if (linked_ == nullptr) {
     // An empty program: everything ad-hoc against the bare EDB.
-    GLUENAIL_RETURN_NOT_OK(LoadProgram("module main; end"));
+    GLUENAIL_RETURN_NOT_OK(LoadProgramLocked("module main; end"));
+  }
+  return Status::OK();
+}
+
+bool Engine::ReadReadyLocked() const {
+  return linked_ != nullptr &&
+         (nail_engine_ == nullptr || nail_engine_->IsFresh());
+}
+
+Status Engine::PrepareForReadLocked() {
+  GLUENAIL_RETURN_NOT_OK(EnsureLoadedLocked());
+  if (nail_engine_ != nullptr) {
+    GLUENAIL_RETURN_NOT_OK(nail_engine_->EnsureAllNail());
   }
   return Status::OK();
 }
@@ -120,15 +152,30 @@ Result<CompiledProcedure> Engine::CompileAdhoc(const ast::Statement& stmt) {
 }
 
 Status Engine::ExecuteStatement(std::string_view statement) {
-  GLUENAIL_RETURN_NOT_OK(EnsureLoaded());
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  return ExecuteStatementLocked(statement);
+}
+
+Status Engine::ExecuteStatementLocked(std::string_view statement) {
+  GLUENAIL_RETURN_NOT_OK(EnsureLoadedLocked());
   GLUENAIL_ASSIGN_OR_RETURN(ast::Statement stmt, ParseStatement(statement));
   GLUENAIL_ASSIGN_OR_RETURN(CompiledProcedure proc, CompileAdhoc(stmt));
   Frame frame(&proc);
   return executor_->ExecBlock(proc.code, proc, &frame);
 }
 
-Result<Engine::QueryResult> Engine::Query(std::string_view goal) {
-  GLUENAIL_RETURN_NOT_OK(EnsureLoaded());
+Result<Engine::QueryResult> Engine::Query(std::string_view goal,
+                                          const QueryOptions& options) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  GLUENAIL_RETURN_NOT_OK(EnsureLoadedLocked());
+  if (options.strategy == QueryStrategy::kMagic) {
+    return QueryMagicWith(goal, ExecOptions{});
+  }
+  return QueryGoalWith(executor_.get(), goal);
+}
+
+Result<Engine::QueryResult> Engine::QueryGoalWith(Executor* exec,
+                                                  std::string_view goal) {
   GLUENAIL_ASSIGN_OR_RETURN(std::vector<ast::Subgoal> body, ParseGoal(goal));
 
   // Head variables: every goal variable, in first-appearance order.
@@ -157,7 +204,7 @@ Result<Engine::QueryResult> Engine::Query(std::string_view goal) {
 
   Frame frame(nullptr);
   RecordSet sup;
-  GLUENAIL_RETURN_NOT_OK(executor_->ExecuteBodyOnly(plan, &frame, &sup));
+  GLUENAIL_RETURN_NOT_OK(exec->ExecuteBodyOnly(plan, &frame, &sup));
 
   // Evaluate the head expressions per record; dedupe and sort.
   Relation answers("$answers", static_cast<uint32_t>(vars.size()));
@@ -178,7 +225,14 @@ Result<Engine::QueryResult> Engine::Query(std::string_view goal) {
 
 Result<std::vector<Tuple>> Engine::Call(std::string_view name,
                                         const std::vector<Tuple>& inputs) {
-  GLUENAIL_RETURN_NOT_OK(EnsureLoaded());
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  GLUENAIL_RETURN_NOT_OK(EnsureLoadedLocked());
+  return CallWith(executor_.get(), name, inputs);
+}
+
+Result<std::vector<Tuple>> Engine::CallWith(Executor* exec,
+                                            std::string_view name,
+                                            const std::vector<Tuple>& inputs) {
   // Find an exported procedure with this name (any arity; unique names).
   int index = -1;
   std::string prefix = StrCat(name, "/");
@@ -208,18 +262,17 @@ Result<std::vector<Tuple>> Engine::Call(std::string_view name,
     input.Insert(t);
   }
   Relation output("out", proc.arity());
-  GLUENAIL_RETURN_NOT_OK(
-      executor_->CallProcedureByIndex(index, input, &output));
+  GLUENAIL_RETURN_NOT_OK(exec->CallProcedureByIndex(index, input, &output));
   return output.SortedTuples(pool_);
 }
 
-Result<Engine::QueryResult> Engine::QueryMagic(std::string_view goal) {
-  GLUENAIL_RETURN_NOT_OK(EnsureLoaded());
+Result<Engine::QueryResult> Engine::QueryMagicWith(
+    std::string_view goal, const ExecOptions& exec_opts) {
   GLUENAIL_ASSIGN_OR_RETURN(std::vector<ast::Subgoal> body, ParseGoal(goal));
   if (body.size() != 1 || body[0].kind != ast::SubgoalKind::kAtom ||
       !body[0].pred.IsSymbol()) {
     return Status::InvalidArgument(
-        "QueryMagic takes a single atom over a NAIL! predicate");
+        "a magic-strategy query takes a single atom over a NAIL! predicate");
   }
   const ast::Subgoal& atom = body[0];
   MagicQuery q;
@@ -238,12 +291,12 @@ Result<Engine::QueryResult> Engine::QueryMagic(std::string_view goal) {
       free_columns.push_back(i);
     } else {
       return Status::InvalidArgument(
-          "QueryMagic arguments must be constants or variables");
+          "magic-strategy query arguments must be constants or variables");
     }
   }
   GLUENAIL_ASSIGN_OR_RETURN(
       std::vector<Tuple> rows,
-      EvaluateWithMagic(linked_->nail.rules, q, &edb_, &pool_));
+      EvaluateWithMagic(linked_->nail.rules, q, &edb_, &pool_, exec_opts));
   for (const Tuple& row : rows) {
     Tuple projected;
     for (size_t c : free_columns) projected.push_back(row[c]);
@@ -253,7 +306,8 @@ Result<Engine::QueryResult> Engine::QueryMagic(std::string_view goal) {
 }
 
 Result<std::string> Engine::ExplainStatement(std::string_view statement) {
-  GLUENAIL_RETURN_NOT_OK(EnsureLoaded());
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  GLUENAIL_RETURN_NOT_OK(EnsureLoadedLocked());
   GLUENAIL_ASSIGN_OR_RETURN(ast::Statement stmt, ParseStatement(statement));
   GLUENAIL_ASSIGN_OR_RETURN(CompiledProcedure proc, CompileAdhoc(stmt));
   std::string out;
@@ -264,6 +318,11 @@ Result<std::string> Engine::ExplainStatement(std::string_view statement) {
 }
 
 Status Engine::AddFact(std::string_view fact) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  return AddFactLocked(fact);
+}
+
+Status Engine::AddFactLocked(std::string_view fact) {
   std::string text(fact);
   while (!text.empty() &&
          (text.back() == ' ' || text.back() == '\n' || text.back() == '.')) {
@@ -283,22 +342,55 @@ Status Engine::AddFact(std::string_view fact) {
   return Status::InvalidArgument("a fact must be a symbol or compound term");
 }
 
+Result<TermId> Engine::InternTerm(std::string_view text) {
+  // The pool is thread-safe; no engine lock required.
+  return ParseGroundTerm(&pool_, text);
+}
+
+Status Engine::Mutate(const std::function<Status(Database*, Database*,
+                                                 TermPool*)>& fn) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  return fn(&edb_, &idb_, &pool_);
+}
+
+Result<EngineSnapshot> Engine::snapshot() {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  GLUENAIL_RETURN_NOT_OK(PrepareForReadLocked());
+  return SnapshotLocked();
+}
+
+EngineSnapshot Engine::SnapshotLocked() {
+  EngineSnapshot snap;
+  snap.pool_ = &pool_;
+  snap.edb_ = edb_.Snapshot();
+  snap.idb_ = idb_.Snapshot();
+  return snap;
+}
+
 Status Engine::SaveEdbFile(const std::string& path) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   return SaveDatabaseToFile(edb_, path);
 }
 
 Status Engine::LoadEdbFile(const std::string& path) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   return LoadDatabaseFromFile(&edb_, path);
 }
 
 Result<std::vector<Tuple>> Engine::RelationContents(
     std::string_view name_term, uint32_t arity) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  if (nail_engine_ != nullptr) {
+    GLUENAIL_RETURN_NOT_OK(nail_engine_->EnsureAllNail());
+  }
+  return RelationContentsLocked(name_term, arity);
+}
+
+Result<std::vector<Tuple>> Engine::RelationContentsLocked(
+    std::string_view name_term, uint32_t arity) {
   GLUENAIL_ASSIGN_OR_RETURN(TermId name, ParseGroundTerm(&pool_, name_term));
   Relation* rel = edb_.Find(name, arity);
-  if (rel == nullptr && nail_engine_ != nullptr) {
-    GLUENAIL_RETURN_NOT_OK(nail_engine_->EnsureAllNail());
-    rel = idb_.Find(name, arity);
-  }
+  if (rel == nullptr) rel = idb_.Find(name, arity);
   if (rel == nullptr) {
     return Status::NotFound(StrCat("no relation ", name_term, "/", arity));
   }
@@ -306,6 +398,7 @@ Result<std::vector<Tuple>> Engine::RelationContents(
 }
 
 void Engine::SetIo(std::ostream* out, std::istream* in) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   if (out != nullptr) io_.out = out;
   if (in != nullptr) io_.in = in;
   if (executor_ != nullptr) executor_->set_io(io_);
@@ -317,6 +410,7 @@ const ExecStats& Engine::exec_stats() const {
 }
 
 void Engine::ResetExecStats() {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   if (executor_ != nullptr) executor_->stats() = ExecStats{};
 }
 

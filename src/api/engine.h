@@ -12,11 +12,22 @@
 ///   engine.ExecuteStatement("seen(X) += path(1,X).");
 ///   engine.SaveEdbFile("data.facts");              // §10 persistence
 /// \endcode
+///
+/// Concurrency model (see docs/ARCHITECTURE.md, "Concurrency model"):
+/// every Engine method is a *write* entry point — it takes the engine's
+/// writer lock and is safe to call from any thread, one at a time.
+/// Concurrent *readers* use Session handles (one per client thread,
+/// Engine::OpenSession): Session reads take a shared lock and evaluate
+/// against read-only storage, so any number of read sessions proceed in
+/// parallel with each other and block only while a writer runs. Immutable
+/// point-in-time views come from Engine::snapshot() / Session::Snapshot().
 
 #ifndef GLUENAIL_API_ENGINE_H_
 #define GLUENAIL_API_ENGINE_H_
 
+#include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -25,8 +36,44 @@
 #include "src/api/stats.h"
 #include "src/storage/database.h"
 #include "src/storage/persistence.h"
+#include "src/storage/snapshot.h"
 
 namespace gluenail {
+
+class Session;
+
+/// How Query evaluates its goal.
+enum class QueryStrategy {
+  /// Bottom-up: bring every NAIL! predicate to fixpoint, then filter.
+  kBottomUp,
+  /// Goal-directed magic-sets rewriting (E7); single-atom goals only.
+  kMagic,
+};
+
+struct QueryOptions {
+  QueryStrategy strategy = QueryStrategy::kBottomUp;
+};
+
+/// An immutable, consistent view of the engine's databases at one point in
+/// time. Copyable and cheap to pass around (relation contents are shared,
+/// not duplicated); stays valid after the engine mutates or is destroyed —
+/// except terms(), which borrows the engine's pool.
+class EngineSnapshot {
+ public:
+  EngineSnapshot() = default;
+
+  /// The engine's term pool (terms are append-only, so reading through a
+  /// snapshot is always safe while the engine is alive).
+  const TermPool& terms() const { return *pool_; }
+  const DatabaseSnapshot& edb() const { return edb_; }
+  const DatabaseSnapshot& idb() const { return idb_; }
+
+ private:
+  friend class Engine;
+  const TermPool* pool_ = nullptr;
+  DatabaseSnapshot edb_;
+  DatabaseSnapshot idb_;
+};
 
 class Engine {
  public:
@@ -36,9 +83,42 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  // --- Concurrent-read surface -------------------------------------------
+
+  /// Opens a session handle. One per client thread; see session.h.
+  Session OpenSession();
+
+  /// Immutable view of the current EDB + IDB (NAIL! predicates brought up
+  /// to date first). Cheap when nothing changed since the last snapshot.
+  Result<EngineSnapshot> snapshot();
+
+  /// Read-only access to the term pool. Interning and accessors are
+  /// thread-safe, so this needs no locking.
+  const TermPool& terms() const { return pool_; }
+
+  /// Parses and interns a ground term, e.g. "f(a,1)" or "42". The pool is
+  /// thread-safe, so this is callable from any thread at any time.
+  Result<TermId> InternTerm(std::string_view text);
+
+  /// Runs \p fn with exclusive access to the raw databases and pool — the
+  /// explicit escape hatch replacing the deprecated mutable accessors.
+  Status Mutate(const std::function<Status(Database* edb, Database* idb,
+                                           TermPool* pool)>& fn);
+
+  // --- Deprecated raw accessors ------------------------------------------
+
+  /// \deprecated Unsynchronized mutable accessors predate the concurrent
+  /// API. Use terms() / InternTerm() for terms, snapshot() for reads, and
+  /// Mutate() / AddFact() for writes. These remain for backward
+  /// compatibility and are only safe while no other thread touches the
+  /// engine.
   TermPool* pool() { return &pool_; }
+  /// \deprecated See pool().
   Database* edb() { return &edb_; }
+  /// \deprecated See pool().
   Database* idb() { return &idb_; }
+
+  // --- Write entry points (serialized behind the writer lock) ------------
 
   /// Registers a foreign procedure (§10 future work: the foreign-language
   /// interface). Must precede LoadProgram so imports can resolve to it.
@@ -64,17 +144,24 @@ class Engine {
     /// Distinct answers in canonical term order.
     std::vector<Tuple> rows;
   };
-  Result<QueryResult> Query(std::string_view goal);
+  Result<QueryResult> Query(std::string_view goal) {
+    return Query(goal, QueryOptions{});
+  }
+  /// Query with an explicit evaluation strategy (kBottomUp | kMagic).
+  Result<QueryResult> Query(std::string_view goal,
+                            const QueryOptions& options);
 
   /// Calls an exported procedure by name on \p inputs (each of the
   /// procedure's bound arity); returns the full (bound+free) result rows.
   Result<std::vector<Tuple>> Call(std::string_view name,
                                   const std::vector<Tuple>& inputs);
 
-  /// Goal-directed evaluation of a single-atom NAIL! goal through the
-  /// magic-set rewriting (experiment E7): constants become bound columns
-  /// of the adornment, variables stay free. Example: "path(1, Y)".
-  Result<QueryResult> QueryMagic(std::string_view goal);
+  /// \deprecated Thin shim for Query(goal, {.strategy = kMagic}).
+  Result<QueryResult> QueryMagic(std::string_view goal) {
+    QueryOptions options;
+    options.strategy = QueryStrategy::kMagic;
+    return Query(goal, options);
+  }
 
   /// EXPLAIN: compiles \p statement ad-hoc and renders its plan(s) —
   /// access paths, keyed columns, barriers, head action.
@@ -95,6 +182,7 @@ class Engine {
   void SetIo(std::ostream* out, std::istream* in);
 
   const CompileStats& compile_stats() const { return compile_stats_; }
+  /// Statistics of the writer-path executor. Read while quiescent.
   const ExecStats& exec_stats() const;
   void ResetExecStats();
   NailEngine* nail_engine() { return nail_engine_.get(); }
@@ -103,9 +191,36 @@ class Engine {
   }
 
  private:
-  Status EnsureLoaded();
+  friend class Session;
+
+  Status EnsureLoadedLocked();
   /// Compiles an ad-hoc statement by wrapping it in a throwaway procedure.
   Result<CompiledProcedure> CompileAdhoc(const ast::Statement& stmt);
+
+  Status LoadProgramLocked(std::string_view source);
+  Status ExecuteStatementLocked(std::string_view statement);
+  Status AddFactLocked(std::string_view fact);
+
+  /// True when reads can proceed under a shared lock: a program is linked
+  /// and the NAIL! materialization matches the current EDB.
+  bool ReadReadyLocked() const;
+  /// Brings the engine into ReadReady state; needs the writer lock.
+  Status PrepareForReadLocked();
+
+  /// Goal evaluation through \p exec (the writer path passes executor_,
+  /// read sessions pass a private read-only executor).
+  Result<QueryResult> QueryGoalWith(Executor* exec, std::string_view goal);
+  Result<std::vector<Tuple>> CallWith(Executor* exec, std::string_view name,
+                                      const std::vector<Tuple>& inputs);
+  Result<QueryResult> QueryMagicWith(std::string_view goal,
+                                     const ExecOptions& exec_opts);
+  Result<std::vector<Tuple>> RelationContentsLocked(
+      std::string_view name_term, uint32_t arity);
+  EngineSnapshot SnapshotLocked();
+
+  /// Single-writer / shared-reader lock over all engine state. Engine
+  /// methods hold it exclusively; Session reads hold it shared.
+  mutable std::shared_mutex state_mu_;
 
   EngineOptions options_;
   TermPool pool_;

@@ -25,6 +25,13 @@ struct EngineOptions {
   /// Back-end index policy for newly created relations (§10).
   IndexPolicy index_policy = IndexPolicy::kAdaptive;
   AdaptiveConfig adaptive;
+  /// Worker threads for the parallel semi-naive evaluator: each fixpoint
+  /// iteration partitions the delta across this many workers. 1 (the
+  /// default) is exactly the old serial behavior. Values > 1 force the
+  /// direct NAIL! mode (the compiled-Glue driver runs the fixpoint through
+  /// generated Glue procedures, which the partitioner cannot split); the
+  /// two modes are differential-tested equal.
+  int num_threads = 1;
 };
 
 }  // namespace gluenail

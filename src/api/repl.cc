@@ -84,7 +84,7 @@ void Repl::PrintQueryResult(const Engine::QueryResult& result) {
     for (size_t i = 0; i < row.size(); ++i) {
       if (i != 0) *out_ << ", ";
       *out_ << result.vars[i] << " = "
-            << engine_->pool()->ToString(row[i]);
+            << engine_->terms().ToString(row[i]);
     }
     *out_ << "\n";
   }
@@ -141,10 +141,12 @@ Status Repl::Execute(const std::string& raw, bool* quit) {
     }
     if (cmd == ":relations") {
       std::vector<std::string> names;
-      engine_->edb()->ForEach([&](TermId name, uint32_t arity, Relation* r) {
-        names.push_back(StrCat(engine_->pool()->ToString(name), "/", arity,
-                               "  (", r->size(), " tuples)"));
-      });
+      GLUENAIL_ASSIGN_OR_RETURN(EngineSnapshot snap, engine_->snapshot());
+      snap.edb().ForEach(
+          [&](TermId name, uint32_t arity, const RelationSnapshot& r) {
+            names.push_back(StrCat(engine_->terms().ToString(name), "/",
+                                   arity, "  (", r.size(), " tuples)"));
+          });
       std::sort(names.begin(), names.end());
       for (const std::string& n : names) *out_ << n << "\n";
       return Status::OK();

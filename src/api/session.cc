@@ -1,0 +1,87 @@
+#include "src/api/session.h"
+
+namespace gluenail {
+
+Status Session::EnterRead(std::shared_lock<std::shared_mutex>* lock) {
+  // Freshness retry loop: probe under a shared lock; if the engine is not
+  // read-ready (no program linked yet, or the NAIL! memo is stale),
+  // release, refresh under the writer lock, and re-probe. Another writer
+  // can slip in between the two locks, hence the loop; it converges
+  // because refreshes leave the engine read-ready and writers are finite.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    lock->lock();
+    if (engine_->ReadReadyLocked()) return Status::OK();
+    lock->unlock();
+    {
+      std::unique_lock<std::shared_mutex> writer(engine_->state_mu_);
+      GLUENAIL_RETURN_NOT_OK(engine_->PrepareForReadLocked());
+    }
+  }
+  return Status::RuntimeError(
+      "session read could not reach a quiescent state (writer livelock?)");
+}
+
+Result<Engine::QueryResult> Session::Query(std::string_view goal,
+                                           const QueryOptions& options) {
+  std::shared_lock<std::shared_mutex> lock(engine_->state_mu_,
+                                           std::defer_lock);
+  GLUENAIL_RETURN_NOT_OK(EnterRead(&lock));
+  if (options.strategy == QueryStrategy::kMagic) {
+    // Magic evaluation writes only a private scratch IDB; the shared EDB
+    // stays read-only.
+    ExecOptions opts;
+    opts.read_only_storage = true;
+    opts.writable_private_idb = true;
+    return engine_->QueryMagicWith(goal, opts);
+  }
+  ExecOptions opts = engine_->options_.exec;
+  opts.read_only_storage = true;
+  RuntimeEnv env;
+  env.io = engine_->io_;
+  env.hosts = &engine_->hosts_;
+  env.nail = engine_->nail_engine_.get();
+  Executor exec(&engine_->linked_->program, &engine_->edb_, &engine_->idb_,
+                &engine_->pool_, env, opts);
+  return engine_->QueryGoalWith(&exec, goal);
+}
+
+Result<std::vector<Tuple>> Session::Call(std::string_view name,
+                                         const std::vector<Tuple>& inputs) {
+  std::shared_lock<std::shared_mutex> lock(engine_->state_mu_,
+                                           std::defer_lock);
+  GLUENAIL_RETURN_NOT_OK(EnterRead(&lock));
+  ExecOptions opts = engine_->options_.exec;
+  opts.read_only_storage = true;
+  RuntimeEnv env;
+  env.io = engine_->io_;
+  env.hosts = &engine_->hosts_;
+  env.nail = engine_->nail_engine_.get();
+  Executor exec(&engine_->linked_->program, &engine_->edb_, &engine_->idb_,
+                &engine_->pool_, env, opts);
+  return engine_->CallWith(&exec, name, inputs);
+}
+
+Result<std::vector<Tuple>> Session::RelationContents(
+    std::string_view name_term, uint32_t arity) {
+  std::shared_lock<std::shared_mutex> lock(engine_->state_mu_,
+                                           std::defer_lock);
+  GLUENAIL_RETURN_NOT_OK(EnterRead(&lock));
+  return engine_->RelationContentsLocked(name_term, arity);
+}
+
+Result<EngineSnapshot> Session::Snapshot() {
+  std::shared_lock<std::shared_mutex> lock(engine_->state_mu_,
+                                           std::defer_lock);
+  GLUENAIL_RETURN_NOT_OK(EnterRead(&lock));
+  return engine_->SnapshotLocked();
+}
+
+Status Session::ExecuteStatement(std::string_view statement) {
+  return engine_->ExecuteStatement(statement);
+}
+
+Status Session::AddFact(std::string_view fact) {
+  return engine_->AddFact(fact);
+}
+
+}  // namespace gluenail

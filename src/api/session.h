@@ -1,0 +1,69 @@
+/// \file session.h
+/// \brief Per-client-thread handles for concurrent query serving.
+///
+/// A Session is a lightweight handle onto an Engine — open one per client
+/// thread (Engine::OpenSession) and use it for the thread's queries.
+/// Read operations (Query, Call, RelationContents, Snapshot) take the
+/// engine's lock *shared*: any number of sessions read in parallel, each
+/// through its own private read-only executor, so they never contend on
+/// executor state, never build indexes, and never observe a half-applied
+/// write. If the NAIL! materialization is stale (the EDB changed), the
+/// first reader transparently upgrades to the writer lock, refreshes, and
+/// retries — later readers piggyback on the fresh state.
+///
+/// Write operations (ExecuteStatement, AddFact) delegate to the Engine's
+/// writer path and serialize behind the single-writer lock.
+///
+/// Sessions are cheap to copy and carry no state of their own; the Engine
+/// must outlive every session. A single Session instance may be shared by
+/// multiple threads, but the intended pattern is one per thread.
+
+#ifndef GLUENAIL_API_SESSION_H_
+#define GLUENAIL_API_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/api/engine.h"
+
+namespace gluenail {
+
+class Session {
+ public:
+  /// Answer set of a conjunctive goal; shared-lock read path.
+  Result<Engine::QueryResult> Query(std::string_view goal,
+                                    const QueryOptions& options = {});
+
+  /// Calls an exported procedure. The procedure must be side-effect-free
+  /// (local and return relations only): a statement writing a shared
+  /// relation fails with a runtime error under the read-only discipline.
+  Result<std::vector<Tuple>> Call(std::string_view name,
+                                  const std::vector<Tuple>& inputs);
+
+  /// Sorted contents of an EDB relation or NAIL! predicate instance.
+  Result<std::vector<Tuple>> RelationContents(std::string_view name_term,
+                                              uint32_t arity);
+
+  /// Immutable view of the EDB + IDB; never observes a torn write.
+  Result<EngineSnapshot> Snapshot();
+
+  // --- Writes (serialized behind the engine's writer lock) ---------------
+
+  Status ExecuteStatement(std::string_view statement);
+  Status AddFact(std::string_view fact);
+
+ private:
+  friend class Engine;
+  explicit Session(Engine* engine) : engine_(engine) {}
+
+  /// Acquires \p lock (shared) with the engine read-ready, upgrading to
+  /// the writer lock to refresh stale state as needed. On success the
+  /// shared lock is held.
+  Status EnterRead(std::shared_lock<std::shared_mutex>* lock);
+
+  Engine* engine_;
+};
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_API_SESSION_H_

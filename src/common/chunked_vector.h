@@ -1,0 +1,106 @@
+/// \file chunked_vector.h
+/// \brief Append-only chunked storage with wait-free concurrent readers.
+///
+/// A ChunkedVector is a growable array that never moves an element once it
+/// has been appended: storage is a geometric series of chunks (the k-th
+/// chunk holds 2^k * kBaseCapacity elements), located through a fixed table
+/// of atomic chunk pointers. That gives three properties the term pool and
+/// interning shards rely on:
+///
+///   - operator[] is wait-free and safe to call from any thread for any
+///     index that was published to that thread (see below) — no locks, no
+///     hazard pointers, no reallocation races.
+///   - Pointers and string_views into stored elements stay valid forever.
+///   - Append is O(1) amortized and allocation happens at most once per
+///     chunk (31 times over the full 2^32 id space).
+///
+/// Concurrency contract: appends must be externally serialized (the term
+/// pool funnels all appends through one mutex). An element becomes visible
+/// to readers through a release/acquire edge: Append publishes the new
+/// size with std::memory_order_release after the element is fully written,
+/// so a reader that either (a) loads size() or (b) learns the index through
+/// any other synchronizing operation (a mutex, another atomic) reads fully
+/// constructed data.
+
+#ifndef GLUENAIL_COMMON_CHUNKED_VECTOR_H_
+#define GLUENAIL_COMMON_CHUNKED_VECTOR_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <utility>
+
+namespace gluenail {
+
+template <typename T>
+class ChunkedVector {
+ public:
+  /// log2 of the first chunk's capacity: 4096 elements.
+  static constexpr size_t kBaseShift = 12;
+  /// 31 chunks cover 2^12 * (2^31 - 1) > 2^42 elements — far beyond the
+  /// 32-bit id space the pool uses.
+  static constexpr size_t kMaxChunks = 31;
+
+  ChunkedVector() = default;
+  ChunkedVector(const ChunkedVector&) = delete;
+  ChunkedVector& operator=(const ChunkedVector&) = delete;
+
+  ~ChunkedVector() {
+    for (auto& slot : chunks_) {
+      delete[] slot.load(std::memory_order_relaxed);
+    }
+  }
+
+  /// Number of published elements. Acquire-loads so indexes below the
+  /// returned size are safe to read.
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  bool empty() const { return size() == 0; }
+
+  /// Wait-free read. \p i must have been published to the calling thread.
+  const T& operator[](size_t i) const {
+    size_t chunk, offset;
+    Locate(i, &chunk, &offset);
+    return chunks_[chunk].load(std::memory_order_acquire)[offset];
+  }
+
+  /// Appends one element and returns its index. Calls must be externally
+  /// serialized; concurrent reads of previously published indexes are fine.
+  size_t Append(T value) {
+    size_t i = size_.load(std::memory_order_relaxed);
+    size_t chunk, offset;
+    Locate(i, &chunk, &offset);
+    assert(chunk < kMaxChunks);
+    T* data = chunks_[chunk].load(std::memory_order_relaxed);
+    if (data == nullptr) {
+      data = new T[ChunkCapacity(chunk)]();
+      // Release: a reader that obtains this pointer sees initialized memory.
+      chunks_[chunk].store(data, std::memory_order_release);
+    }
+    data[offset] = std::move(value);
+    size_.store(i + 1, std::memory_order_release);
+    return i;
+  }
+
+ private:
+  static constexpr size_t ChunkCapacity(size_t chunk) {
+    return size_t{1} << (kBaseShift + chunk);
+  }
+  /// Chunk k spans global indexes [(2^k - 1) << kBaseShift,
+  /// (2^(k+1) - 1) << kBaseShift).
+  static void Locate(size_t i, size_t* chunk, size_t* offset) {
+    size_t j = (i >> kBaseShift) + 1;
+    size_t k = static_cast<size_t>(std::bit_width(j)) - 1;
+    *chunk = k;
+    *offset = i - (((size_t{1} << k) - 1) << kBaseShift);
+  }
+
+  std::array<std::atomic<T*>, kMaxChunks> chunks_{};
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_COMMON_CHUNKED_VECTOR_H_

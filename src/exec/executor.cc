@@ -16,6 +16,12 @@ namespace gluenail {
 
 Result<Relation*> Executor::ResolveRead(const PredicateAccess& access,
                                         Frame* frame) {
+  if (!read_overrides_.empty() &&
+      (access.kind == PredicateAccess::Kind::kEdb ||
+       access.kind == PredicateAccess::Kind::kNail)) {
+    auto it = read_overrides_.find(access.name);
+    if (it != read_overrides_.end()) return it->second;
+  }
   switch (access.kind) {
     case PredicateAccess::Kind::kEdb:
       return edb_->Find(access.name, access.arity);
@@ -24,6 +30,11 @@ Result<Relation*> Executor::ResolveRead(const PredicateAccess& access,
     case PredicateAccess::Kind::kIn:
       return frame->in();
     case PredicateAccess::Kind::kNail: {
+      if (options_.read_only_storage && !options_.writable_private_idb) {
+        // The engine guarantees the IDB is fresh before a read-only
+        // executor runs, so a plain lookup suffices.
+        return idb_->Find(access.name, access.arity);
+      }
       if (env_.nail == nullptr) {
         return Status::Internal("NAIL! predicate read without an evaluator");
       }
@@ -37,6 +48,18 @@ Result<Relation*> Executor::ResolveRead(const PredicateAccess& access,
 
 Result<Relation*> Executor::ResolveWrite(const PredicateAccess& access,
                                          Frame* frame, TermId dynamic_name) {
+  if (options_.read_only_storage) {
+    bool allowed = access.kind == PredicateAccess::Kind::kLocal ||
+                   access.kind == PredicateAccess::Kind::kReturn ||
+                   (access.kind == PredicateAccess::Kind::kNail &&
+                    options_.writable_private_idb);
+    if (!allowed) {
+      return Status::RuntimeError(
+          "read-only session: the statement writes a shared relation; use a "
+          "write entry point (Engine::ExecuteStatement / Session write "
+          "methods)");
+    }
+  }
   switch (access.kind) {
     case PredicateAccess::Kind::kEdb:
       return edb_->GetOrCreate(access.name, access.arity);

@@ -15,6 +15,7 @@
 #ifndef GLUENAIL_EXEC_EXECUTOR_H_
 #define GLUENAIL_EXEC_EXECUTOR_H_
 
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/result.h"
@@ -37,6 +38,16 @@ struct ExecOptions {
   int max_call_depth = 512;
   /// Guard against non-terminating repeat loops.
   uint64_t max_loop_iterations = 10'000'000;
+  /// Read-only discipline for concurrent reader sessions and parallel
+  /// evaluation workers: keyed selections go through SelectConst (never
+  /// build indexes or touch adaptive statistics), NAIL! reads assume the
+  /// IDB is already fresh, and any statement that writes a shared relation
+  /// fails with a runtime error.
+  bool read_only_storage = false;
+  /// Exception to read_only_storage for magic-sets evaluation: the IDB
+  /// passed to this executor is a private scratch database, so kNail writes
+  /// and refreshes stay allowed while the shared EDB remains read-only.
+  bool writable_private_idb = false;
 };
 
 /// Run-time counters surfaced through Engine::stats().
@@ -109,6 +120,14 @@ class Executor {
   /// Redirects the I/O builtins (tests and examples script stdin/stdout).
   void set_io(const IoEnv& io) { env_.io = io; }
 
+  /// Substitutes the relation read for \p name (any arity) — the parallel
+  /// semi-naive workers point the delta predicate at their partition.
+  void AddReadOverride(TermId name, Relation* rel) {
+    read_overrides_[name] = rel;
+  }
+
+  const CompiledProgram* program() const { return program_; }
+
   /// Evaluates a loop condition.
   Result<bool> EvalCond(const CondPlan& cond, Frame* frame);
 
@@ -133,9 +152,22 @@ class Executor {
   /// Resolves a static-name relation access for reading. May return
   /// nullptr: the relation does not exist, i.e. it is empty.
   Result<Relation*> ResolveRead(const PredicateAccess& access, Frame* frame);
-  /// Resolves for writing, creating EDB/IDB relations on demand.
+  /// Resolves for writing, creating EDB/IDB relations on demand. Rejects
+  /// shared-relation writes under ExecOptions::read_only_storage.
   Result<Relation*> ResolveWrite(const PredicateAccess& access, Frame* frame,
                                  TermId dynamic_name);
+
+  /// Keyed selection honoring read_only_storage: the mutable Select path
+  /// (adaptive index building) for writers, SelectConst for shared readers.
+  void SelectRows(Relation* rel, ColumnMask mask, const Tuple& key,
+                  std::vector<uint32_t>* out) {
+    if (options_.read_only_storage) {
+      const Relation* crel = rel;
+      crel->SelectConst(mask, key, out);
+    } else {
+      rel->Select(mask, key, out);
+    }
+  }
 
   /// Barrier ops over a whole record set.
   Status ApplyAggregate(const StatementPlan& plan, const PlanOp& op,
@@ -171,6 +203,8 @@ class Executor {
   ExecOptions options_;
   ExecStats stats_;
   int call_depth_ = 0;
+  /// Name -> replacement relation for reads (parallel delta partitions).
+  std::unordered_map<TermId, Relation*> read_overrides_;
 };
 
 }  // namespace gluenail

@@ -55,7 +55,7 @@ Status OpRunner::StreamMatchRelation(const PlanOp& op, Relation* rel,
   if (op.bound_mask != 0) {
     GLUENAIL_ASSIGN_OR_RETURN(Tuple key, EvalKey(op, *rec));
     std::vector<uint32_t>* rows = AcquireScratch();
-    rel->Select(op.bound_mask, key, rows);
+    exec_->SelectRows(rel, op.bound_mask, key, rows);
     Status st;
     for (uint32_t row : *rows) {
       undo.clear();
@@ -129,7 +129,7 @@ Result<bool> OpRunner::HasMatch(const PlanOp& op, Relation* rel,
   if (op.bound_mask != 0) {
     GLUENAIL_ASSIGN_OR_RETURN(Tuple key, EvalKey(op, *rec));
     std::vector<uint32_t>* rows = AcquireScratch();
-    rel->Select(op.bound_mask, key, rows);
+    exec_->SelectRows(rel, op.bound_mask, key, rows);
     bool found = false;
     for (uint32_t row : *rows) {
       undo.clear();

@@ -1,0 +1,68 @@
+#include "src/exec/worker_pool.h"
+
+namespace gluenail {
+
+WorkerPool::WorkerPool(int num_workers) {
+  int helpers = num_workers > 1 ? num_workers - 1 : 0;
+  helpers_.reserve(static_cast<size_t>(helpers));
+  for (int i = 0; i < helpers; ++i) {
+    helpers_.emplace_back([this] { HelperLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : helpers_) t.join();
+}
+
+void WorkerPool::Run(int count, const std::function<void(int)>& fn) {
+  if (helpers_.empty()) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    busy_helpers_ = static_cast<int>(helpers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller is a worker too.
+  for (;;) {
+    int i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) break;
+    fn(i);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return busy_helpers_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::HelperLoop() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock,
+                  [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    const std::function<void(int)>* job = job_;
+    int count = count_;
+    lock.unlock();
+    for (;;) {
+      int i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      (*job)(i);
+    }
+    lock.lock();
+    if (--busy_helpers_ == 0) done_cv_.notify_one();
+  }
+}
+
+}  // namespace gluenail

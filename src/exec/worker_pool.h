@@ -1,0 +1,60 @@
+/// \file worker_pool.h
+/// \brief A small fork-join worker pool for the parallel semi-naive
+/// evaluator.
+///
+/// The pool owns num_workers - 1 helper threads; the calling thread
+/// participates in every batch, so `WorkerPool(1)` spawns nothing and
+/// degenerates to inline execution. Run() is a full barrier: it returns
+/// only after every task index has been processed, which keeps the
+/// evaluator's merge phase trivially race-free (workers are quiescent while
+/// the merger runs).
+
+#ifndef GLUENAIL_EXEC_WORKER_POOL_H_
+#define GLUENAIL_EXEC_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gluenail {
+
+class WorkerPool {
+ public:
+  /// \p num_workers is the total parallelism including the caller.
+  explicit WorkerPool(int num_workers);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int num_workers() const {
+    return static_cast<int>(helpers_.size()) + 1;
+  }
+
+  /// Invokes fn(i) once for each i in [0, count), distributed across the
+  /// helpers and the calling thread. Blocks until all tasks finish. \p fn
+  /// must not throw; only one Run may be active at a time (the evaluator
+  /// is single-writer, so this holds by construction).
+  void Run(int count, const std::function<void(int)>& fn);
+
+ private:
+  void HelperLoop();
+
+  std::vector<std::thread> helpers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;  // guarded by mu_
+  int count_ = 0;                                  // guarded by mu_
+  uint64_t generation_ = 0;                        // guarded by mu_
+  int busy_helpers_ = 0;                           // guarded by mu_
+  bool shutdown_ = false;                          // guarded by mu_
+  std::atomic<int> next_{0};
+};
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_EXEC_WORKER_POOL_H_

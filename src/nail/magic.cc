@@ -227,7 +227,8 @@ namespace {
 
 Result<std::vector<Tuple>> RunRulesAndFilter(
     std::vector<NailRule> rules, const std::string& answer_root,
-    const MagicQuery& query, Database* edb, TermPool* pool) {
+    const MagicQuery& query, Database* edb, TermPool* pool,
+    const ExecOptions& exec_opts) {
   GLUENAIL_ASSIGN_OR_RETURN(NailProgram prog,
                             BuildNailProgram(std::move(rules), pool));
   Database scratch_idb(pool);
@@ -239,7 +240,7 @@ Result<std::vector<Tuple>> RunRulesAndFilter(
   CompiledProgram empty_program;
   RuntimeEnv env;
   env.nail = &engine;
-  Executor exec(&empty_program, edb, &scratch_idb, pool, env, ExecOptions{});
+  Executor exec(&empty_program, edb, &scratch_idb, pool, env, exec_opts);
   engine.set_executor(&exec);
   GLUENAIL_RETURN_NOT_OK(engine.EnsureAllNail());
 
@@ -267,17 +268,17 @@ Result<std::vector<Tuple>> RunRulesAndFilter(
 
 Result<std::vector<Tuple>> EvaluateWithMagic(
     const std::vector<NailRule>& rules, const MagicQuery& query,
-    Database* edb, TermPool* pool) {
+    Database* edb, TermPool* pool, const ExecOptions& exec_opts) {
   GLUENAIL_ASSIGN_OR_RETURN(MagicProgram magic,
                             MagicTransform(rules, query, pool));
   return RunRulesAndFilter(std::move(magic.rules), magic.answer_pred, query,
-                           edb, pool);
+                           edb, pool, exec_opts);
 }
 
 Result<std::vector<Tuple>> EvaluateWithoutMagic(
     const std::vector<NailRule>& rules, const MagicQuery& query,
-    Database* edb, TermPool* pool) {
-  return RunRulesAndFilter(rules, query.pred, query, edb, pool);
+    Database* edb, TermPool* pool, const ExecOptions& exec_opts) {
+  return RunRulesAndFilter(rules, query.pred, query, edb, pool, exec_opts);
 }
 
 }  // namespace gluenail

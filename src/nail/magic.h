@@ -21,6 +21,7 @@
 
 #include "src/ast/ast.h"
 #include "src/common/result.h"
+#include "src/exec/executor.h"
 #include "src/storage/database.h"
 
 namespace gluenail {
@@ -52,15 +53,18 @@ Result<MagicProgram> MagicTransform(const std::vector<ast::NailRule>& rules,
 /// Convenience evaluator: transforms, evaluates the transformed program
 /// semi-naively against \p edb (plus the seed), and returns the matching
 /// answer tuples (full query arity, sorted). \p edb is not modified.
+/// Evaluation writes only a private scratch IDB, so read-only callers pass
+/// ExecOptions with read_only_storage + writable_private_idb set and the
+/// shared EDB is never mutated (concurrent reader sessions rely on this).
 Result<std::vector<Tuple>> EvaluateWithMagic(
     const std::vector<ast::NailRule>& rules, const MagicQuery& query,
-    Database* edb, TermPool* pool);
+    Database* edb, TermPool* pool, const ExecOptions& exec_opts = {});
 
 /// Baseline for the same entry point: evaluates \p rules without the
 /// transformation and filters the query predicate on the bound columns.
 Result<std::vector<Tuple>> EvaluateWithoutMagic(
     const std::vector<ast::NailRule>& rules, const MagicQuery& query,
-    Database* edb, TermPool* pool);
+    Database* edb, TermPool* pool, const ExecOptions& exec_opts = {});
 
 }  // namespace gluenail
 

@@ -1,5 +1,7 @@
 #include "src/nail/seminaive.h"
 
+#include <unordered_set>
+
 #include "src/common/strings.h"
 #include "src/nail/nail_to_glue.h"
 #include "src/plan/planner.h"
@@ -35,6 +37,7 @@ Status NailEngine::CompileDirect(const Scope* builtin_scope,
     for (const ast::Assignment& a : stmts.iterate) {
       GLUENAIL_ASSIGN_OR_RETURN(StatementPlan plan,
                                 PlanAssignment(a, env, opts));
+      scc_plans_[s].iterate_info.push_back(AnalyzeIterate(plan));
       scc_plans_[s].iterate.push_back(std::move(plan));
     }
   }
@@ -104,7 +107,7 @@ Status NailEngine::Refresh() {
   ++refresh_count_;
   // Snapshot *after* evaluation: evaluation only writes the IDB, so the
   // EDB snapshot is unchanged unless a concurrent statement interfered
-  // (impossible: single-threaded).
+  // (impossible: refreshes run under the engine's writer lock).
   snapshot_ = EdbSnapshot();
   valid_ = true;
   return Status::OK();
@@ -126,8 +129,21 @@ Status NailEngine::RefreshDirect() {
         const NailPred& pred = program_.preds[static_cast<size_t>(p)];
         idb_->GetOrCreate(pred.newdelta_storage, pred.columns())->Clear();
       }
-      for (const StatementPlan& plan : plans.iterate) {
-        GLUENAIL_RETURN_NOT_OK(exec_->ExecuteStatementPlan(plan, &frame));
+      for (size_t i = 0; i < plans.iterate.size(); ++i) {
+        const StatementPlan& plan = plans.iterate[i];
+        const IterInfo& info = plans.iterate_info[i];
+        Relation* delta = nullptr;
+        if (num_threads_ > 1 && info.parallel_ok) {
+          delta = idb_->Find(info.delta_name, info.delta_arity);
+        }
+        // Partitioning pays off only when the delta can feed every worker;
+        // tiny deltas (and all barrier statements) take the serial path.
+        if (delta != nullptr &&
+            delta->size() >= static_cast<size_t>(num_threads_)) {
+          GLUENAIL_RETURN_NOT_OK(ParallelIterate(plan, info, delta));
+        } else {
+          GLUENAIL_RETURN_NOT_OK(exec_->ExecuteStatementPlan(plan, &frame));
+        }
       }
       bool done = true;
       for (int p : preds) {
@@ -146,6 +162,150 @@ Status NailEngine::RefreshDirect() {
       if (done) break;
     }
   }
+  return Status::OK();
+}
+
+NailEngine::IterInfo NailEngine::AnalyzeIterate(
+    const StatementPlan& plan) const {
+  IterInfo info;
+  const HeadPlan& head = plan.head;
+  if (head.is_return || head.op != ast::AssignOp::kInsert ||
+      head.access.kind != PredicateAccess::Kind::kNail ||
+      head.delta_access.kind != PredicateAccess::Kind::kNail) {
+    return info;
+  }
+  std::unordered_set<TermId> delta_names;
+  for (const NailPred& pred : program_.preds) {
+    delta_names.insert(pred.delta_storage);
+  }
+  int delta_ops = 0;
+  for (const PlanOp& op : plan.ops) {
+    switch (op.kind) {
+      case OpKind::kMatch:
+        if (op.access.kind != PredicateAccess::Kind::kEdb &&
+            op.access.kind != PredicateAccess::Kind::kNail) {
+          return info;
+        }
+        if (op.access.kind == PredicateAccess::Kind::kNail &&
+            delta_names.count(op.access.name) != 0) {
+          ++delta_ops;
+          info.delta_name = op.access.name;
+          info.delta_arity = op.access.arity;
+        }
+        break;
+      case OpKind::kCompare:
+        break;
+      default:
+        // kNegMatch marks a stratified-negation barrier; aggregates,
+        // group_by, calls, and body updates are pipeline barriers. All of
+        // them keep the statement on the serial path.
+        return info;
+    }
+  }
+  info.parallel_ok = delta_ops == 1 && info.delta_name != kNullTerm;
+  if (!info.parallel_ok) {
+    info.delta_name = kNullTerm;
+    info.delta_arity = 0;
+  }
+  return info;
+}
+
+Status NailEngine::ParallelIterate(const StatementPlan& plan,
+                                   const IterInfo& info, Relation* delta) {
+  const HeadPlan& head = plan.head;
+  Relation* storage = idb_->GetOrCreate(head.access.name, head.access.arity);
+  Relation* newdelta =
+      idb_->GetOrCreate(head.delta_access.name, head.delta_access.arity);
+
+  // Workers read shared relations strictly through SelectConst, which
+  // never builds indexes — so build any keyed index up front, serially,
+  // where the serial path would have built it adaptively.
+  for (const PlanOp& op : plan.ops) {
+    if (op.kind != OpKind::kMatch && op.kind != OpKind::kNegMatch) continue;
+    if (op.bound_mask == 0 || op.access.name == info.delta_name) continue;
+    Database* db =
+        op.access.kind == PredicateAccess::Kind::kEdb ? edb_ : idb_;
+    Relation* rel = db->Find(op.access.name, op.access.arity);
+    if (rel != nullptr && rel->index_policy() != IndexPolicy::kNeverIndex &&
+        rel->size() >= 64) {
+      rel->EnsureIndex(op.bound_mask);
+    }
+  }
+
+  if (workers_ == nullptr) {
+    workers_ = std::make_unique<WorkerPool>(num_threads_);
+  }
+  int k = num_threads_;
+  if (static_cast<size_t>(k) > delta->size()) {
+    k = static_cast<int>(delta->size());
+  }
+
+  // Round-robin partition of the delta; deterministic given the delta's
+  // (deterministic) insertion order.
+  std::vector<std::unique_ptr<Relation>> parts;
+  parts.reserve(static_cast<size_t>(k));
+  for (int w = 0; w < k; ++w) {
+    parts.push_back(std::make_unique<Relation>(delta->name(), delta->arity()));
+  }
+  size_t next = 0;
+  for (const Tuple& t : *delta) {
+    parts[next]->Insert(t);
+    next = (next + 1) % static_cast<size_t>(k);
+  }
+
+  // Each worker evaluates the body against frozen shared state, with the
+  // delta subgoal redirected to its partition, and keeps only candidate
+  // head tuples not already in storage. Any derivation that would need a
+  // tuple merged this same round still appears: its premises are then in
+  // storage ∪ newdelta, so the delta rule refires next round.
+  std::vector<std::vector<Tuple>> found(static_cast<size_t>(k));
+  std::vector<Status> worker_status(static_cast<size_t>(k));
+  workers_->Run(k, [&](int w) {
+    ExecOptions opts = exec_->options();
+    opts.read_only_storage = true;
+    opts.writable_private_idb = false;
+    RuntimeEnv env;
+    env.nail = this;
+    Executor worker(exec_->program(), edb_, idb_, pool_, env, opts);
+    worker.AddReadOverride(info.delta_name,
+                           parts[static_cast<size_t>(w)].get());
+    Frame frame(nullptr);
+    RecordSet sup;
+    Status st = worker.ExecuteBodyOnly(plan, &frame, &sup);
+    if (!st.ok()) {
+      worker_status[static_cast<size_t>(w)] = st;
+      return;
+    }
+    std::unordered_set<Tuple, TupleHash> seen;
+    std::vector<Tuple>& out = found[static_cast<size_t>(w)];
+    for (const Record& rec : sup.records) {
+      Tuple t;
+      t.reserve(head.arg_exprs.size());
+      for (ExprId e : head.arg_exprs) {
+        Result<TermId> v = EvalExpr(plan, e, rec, pool_);
+        if (!v.ok()) {
+          worker_status[static_cast<size_t>(w)] = v.status();
+          return;
+        }
+        t.push_back(*v);
+      }
+      if (!storage->Contains(t) && seen.insert(t).second) {
+        out.push_back(std::move(t));
+      }
+    }
+  });
+  for (const Status& st : worker_status) {
+    GLUENAIL_RETURN_NOT_OK(st);
+  }
+
+  // Serial merge: uniondiff the per-worker buffers into storage, capturing
+  // genuinely new tuples into newdelta for the next round.
+  for (const std::vector<Tuple>& buf : found) {
+    for (const Tuple& t : buf) {
+      if (storage->Insert(t)) newdelta->Insert(t);
+    }
+  }
+  ++parallel_batches_;
   return Status::OK();
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/exec/executor.h"
+#include "src/exec/worker_pool.h"
 #include "src/nail/rule_graph.h"
 #include "src/plan/planner.h"
 
@@ -57,6 +58,18 @@ class NailEngine : public NailEvaluator {
   void set_mode(NailMode mode) { mode_ = mode; }
   NailMode mode() const { return mode_; }
 
+  /// Parallelism for the direct semi-naive fixpoint: each iteration's delta
+  /// is partitioned across \p n workers (1 = the exact serial path).
+  void set_num_threads(int n) { num_threads_ = n < 1 ? 1 : n; }
+  int num_threads() const { return num_threads_; }
+
+  /// True when the memoized IDB matches the current EDB — i.e. reads can
+  /// proceed without evaluation. Callers use this to decide whether a
+  /// shared (read) lock suffices.
+  bool IsFresh() const {
+    return program_.empty() || (valid_ && EdbSnapshot() == snapshot_);
+  }
+
   /// Compiled-Glue mode: the index of the generated driver procedure.
   void set_driver_proc(int index) { driver_proc_ = index; }
 
@@ -71,6 +84,9 @@ class NailEngine : public NailEvaluator {
   uint64_t refresh_count() const { return refresh_count_; }
   /// Fixpoint iterations across refreshes (direct/naive modes).
   uint64_t iteration_count() const { return iteration_count_; }
+  /// Iterate statements executed through the parallel partitioned path
+  /// (tests assert the parallel evaluator actually engaged).
+  uint64_t parallel_batches() const { return parallel_batches_; }
 
  private:
   Status Refresh();
@@ -90,21 +106,43 @@ class NailEngine : public NailEvaluator {
   NailMode mode_ = NailMode::kDirect;
   int driver_proc_ = -1;
 
+  /// Static analysis of one iterate statement for the parallel path.
+  struct IterInfo {
+    /// The single delta subgoal's relation (the partitioned input);
+    /// kNullTerm when the statement is not parallel-eligible.
+    TermId delta_name = kNullTerm;
+    uint32_t delta_arity = 0;
+    bool parallel_ok = false;
+  };
+
   /// Per-SCC compiled plans (direct/naive modes).
   struct SccPlans {
     std::vector<StatementPlan> init;
     std::vector<StatementPlan> iterate;
+    /// Parallel to `iterate`.
+    std::vector<IterInfo> iterate_info;
     /// Naive mode: the original rules over full relations, delta-free.
     std::vector<StatementPlan> naive;
   };
   std::vector<SccPlans> scc_plans_;
   std::unique_ptr<Scope> nail_scope_;
 
+  /// Classifies an iterate statement; called once at compile time.
+  IterInfo AnalyzeIterate(const StatementPlan& plan) const;
+  /// Runs one iterate statement by partitioning its delta across the
+  /// worker pool; falls back is handled by the caller.
+  Status ParallelIterate(const StatementPlan& plan, const IterInfo& info,
+                         Relation* delta);
+
   bool valid_ = false;
   bool evaluating_ = false;
   std::pair<uint64_t, uint64_t> snapshot_{0, 0};
   uint64_t refresh_count_ = 0;
   uint64_t iteration_count_ = 0;
+  uint64_t parallel_batches_ = 0;
+  int num_threads_ = 1;
+  /// Lazily created when num_threads_ > 1 and a parallel batch runs.
+  std::unique_ptr<WorkerPool> workers_;
 };
 
 }  // namespace gluenail

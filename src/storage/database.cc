@@ -36,6 +36,16 @@ void Database::ForEach(
   }
 }
 
+DatabaseSnapshot Database::Snapshot() const {
+  DatabaseSnapshot snap;
+  snap.entries_.reserve(relations_.size());
+  for (const auto& [key, rel] : relations_) {
+    snap.entries_.emplace(DatabaseSnapshot::PackKey(key.name, key.arity),
+                          rel->Snapshot(*pool_));
+  }
+  return snap;
+}
+
 std::vector<std::pair<TermId, Relation*>> Database::RelationsWithArity(
     uint32_t arity) const {
   std::vector<std::pair<TermId, Relation*>> out;

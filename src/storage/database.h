@@ -21,6 +21,7 @@
 
 #include "src/common/result.h"
 #include "src/storage/relation.h"
+#include "src/storage/snapshot.h"
 #include "src/term/term_pool.h"
 
 namespace gluenail {
@@ -55,6 +56,11 @@ class Database {
       uint32_t arity) const;
 
   size_t num_relations() const { return relations_.size(); }
+
+  /// Captures an immutable snapshot of every relation. Per-relation
+  /// snapshots are cached by version, so this is cheap when little has
+  /// changed. Must not race with mutations (engine writer lock).
+  DatabaseSnapshot Snapshot() const;
 
   /// Policy applied to relations created after this call.
   void set_default_index_policy(IndexPolicy policy) {

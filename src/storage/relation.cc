@@ -18,7 +18,7 @@ bool Relation::Insert(const Tuple& t) {
   live_.push_back(true);
   uint32_t row_id = it->second;
   for (auto& idx : indexes_) idx->Add(t, row_id);
-  ++version_;
+  version_.fetch_add(1, std::memory_order_acq_rel);
   return true;
 }
 
@@ -29,12 +29,12 @@ bool Relation::Erase(const Tuple& t) {
   live_[row_id] = false;
   for (auto& idx : indexes_) idx->Remove(t, row_id);
   dedup_.erase(it);
-  ++version_;
+  version_.fetch_add(1, std::memory_order_acq_rel);
   return true;
 }
 
 void Relation::Clear() {
-  if (!dedup_.empty()) ++version_;
+  if (!dedup_.empty()) version_.fetch_add(1, std::memory_order_acq_rel);
   rows_.clear();
   live_.clear();
   dedup_.clear();
@@ -57,7 +57,7 @@ HashIndex* Relation::EnsureIndex(ColumnMask mask) {
   for (uint32_t r = 0; r < num_rows(); ++r) {
     if (live_[r]) idx->Add(rows_[r], r);
   }
-  ++counters_.indexes_built;
+  counters_.indexes_built.fetch_add(1, std::memory_order_relaxed);
   indexes_.push_back(std::move(idx));
   return indexes_.back().get();
 }
@@ -80,7 +80,7 @@ void Relation::ScanSelect(ColumnMask mask, const Tuple& key,
     }
     if (match) out->push_back(r);
   }
-  counters_.scan_rows += num_rows();
+  counters_.scan_rows.fetch_add(num_rows(), std::memory_order_relaxed);
 }
 
 void Relation::Select(ColumnMask mask, const Tuple& key,
@@ -108,7 +108,7 @@ void Relation::Select(ColumnMask mask, const Tuple& key,
         break;
     }
   }
-  ++counters_.index_lookups;
+  counters_.index_lookups.fetch_add(1, std::memory_order_relaxed);
   for (uint32_t r : idx->Find(key)) out->push_back(r);
 }
 
@@ -116,7 +116,7 @@ void Relation::SelectConst(ColumnMask mask, const Tuple& key,
                            std::vector<uint32_t>* out) const {
   const HashIndex* idx = FindIndex(mask);
   if (idx != nullptr) {
-    ++counters_.index_lookups;
+    counters_.index_lookups.fetch_add(1, std::memory_order_relaxed);
     for (uint32_t r : idx->Find(key)) out->push_back(r);
     return;
   }
@@ -155,6 +155,20 @@ std::vector<Tuple> Relation::SortedTuples(const TermPool& pool) const {
   return out;
 }
 
+std::shared_ptr<const RelationSnapshot> Relation::Snapshot(
+    const TermPool& pool) const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  uint64_t v = version();
+  if (snap_cache_ != nullptr && snap_cache_->version == v) return snap_cache_;
+  auto snap = std::make_shared<RelationSnapshot>();
+  snap->name = name_;
+  snap->arity = arity_;
+  snap->version = v;
+  snap->tuples = SortedTuples(pool);
+  snap_cache_ = std::move(snap);
+  return snap_cache_;
+}
+
 void Relation::Compact() {
   std::vector<Tuple> live_rows;
   live_rows.reserve(size());
@@ -171,7 +185,7 @@ void Relation::Compact() {
     live_.push_back(true);
   }
   for (ColumnMask m : masks) EnsureIndex(m);
-  ++version_;
+  version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 }  // namespace gluenail

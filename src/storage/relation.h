@@ -2,10 +2,16 @@
 /// \brief Duplicate-free, main-memory relations over ground tuples.
 ///
 /// This is the core of the Section-10 back end: relations live in main
-/// memory, keep no concurrency machinery (the paper scopes Glue-Nail to
-/// single-user applications), support the `uniondiff` operator used by
-/// compiled recursive NAIL! queries, and build hash indexes on demand under
-/// a pluggable policy (see adaptive.h).
+/// memory, support the `uniondiff` operator used by compiled recursive
+/// NAIL! queries, and build hash indexes on demand under a pluggable policy
+/// (see adaptive.h).
+///
+/// Concurrency: a Relation is single-writer. Mutations must be externally
+/// serialized (the engine's writer lock does this); const methods —
+/// Contains, SelectConst, iteration, version(), Snapshot() — are safe to
+/// call from many threads as long as no mutation runs concurrently.
+/// version() is an atomic counter so readers polling for staleness (NAIL!
+/// memo invalidation, `unchanged(p)`) never see a torn increment.
 ///
 /// Predicates never contain duplicates (paper §2), so Insert is a no-op on
 /// an existing tuple and reports whether the relation changed — exactly the
@@ -14,14 +20,17 @@
 #ifndef GLUENAIL_STORAGE_RELATION_H_
 #define GLUENAIL_STORAGE_RELATION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/storage/adaptive.h"
 #include "src/storage/index.h"
+#include "src/storage/snapshot.h"
 #include "src/storage/tuple.h"
 
 namespace gluenail {
@@ -38,9 +47,10 @@ class Relation {
   size_t size() const { return dedup_.size(); }
   bool empty() const { return dedup_.empty(); }
 
-  /// Monotone counter bumped by every successful mutation. Powers the
-  /// `unchanged(p)` builtin (paper §4) and NAIL! memo invalidation.
-  uint64_t version() const { return version_; }
+  /// Monotone counter bumped atomically by every successful mutation.
+  /// Powers the `unchanged(p)` builtin (paper §4), NAIL! memo invalidation,
+  /// and snapshot cache keys.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
   /// Inserts \p t; returns true iff the relation changed.
   bool Insert(const Tuple& t);
@@ -99,6 +109,13 @@ class Relation {
   /// output and tests.
   std::vector<Tuple> SortedTuples(const TermPool& pool) const;
 
+  /// Immutable snapshot of the current contents, keyed off version(): the
+  /// same shared_ptr is returned until the next mutation, so repeated
+  /// snapshots of an unchanged relation are O(1). Must not race with a
+  /// mutation (the engine's writer lock guarantees this); the returned
+  /// snapshot may outlive the relation.
+  std::shared_ptr<const RelationSnapshot> Snapshot(const TermPool& pool) const;
+
   /// Drops dead rows and rebuilds indexes. Invalidates row ids.
   void Compact();
 
@@ -131,10 +148,13 @@ class Relation {
   const_iterator end() const { return const_iterator(this, num_rows()); }
 
   /// Cumulative operation counters, reported through Engine statistics.
+  /// Atomic (relaxed) because SelectConst updates them from concurrent
+  /// reader threads; atomic<uint64_t> converts implicitly on read, so
+  /// counters().scan_rows etc. read like plain fields.
   struct Counters {
-    uint64_t scan_rows = 0;       ///< rows visited by keyed scans
-    uint64_t index_lookups = 0;   ///< keyed selections served by an index
-    uint64_t indexes_built = 0;   ///< indexes constructed (any policy)
+    std::atomic<uint64_t> scan_rows{0};     ///< rows visited by keyed scans
+    std::atomic<uint64_t> index_lookups{0}; ///< keyed selections via index
+    std::atomic<uint64_t> indexes_built{0}; ///< indexes built (any policy)
   };
   const Counters& counters() const { return counters_; }
 
@@ -144,7 +164,7 @@ class Relation {
 
   std::string name_;
   uint32_t arity_;
-  uint64_t version_ = 0;
+  std::atomic<uint64_t> version_{0};
 
   std::vector<Tuple> rows_;
   std::vector<bool> live_;
@@ -156,6 +176,10 @@ class Relation {
   AdaptiveConfig adaptive_cfg_;
   AccessStats access_stats_;
   mutable Counters counters_;
+
+  /// Snapshot cache: valid while snap_cache_->version == version().
+  mutable std::mutex snap_mu_;
+  mutable std::shared_ptr<const RelationSnapshot> snap_cache_;
 };
 
 }  // namespace gluenail

@@ -1,0 +1,31 @@
+#include "src/storage/snapshot.h"
+
+#include <algorithm>
+
+#include "src/term/term_pool.h"
+
+namespace gluenail {
+
+bool RelationSnapshot::Contains(const TermPool& pool, const Tuple& t) const {
+  return std::binary_search(
+      tuples.begin(), tuples.end(), t,
+      [&pool](const Tuple& a, const Tuple& b) {
+        return CompareTuples(pool, a, b) < 0;
+      });
+}
+
+const RelationSnapshot* DatabaseSnapshot::Find(TermId name,
+                                               uint32_t arity) const {
+  auto it = entries_.find(PackKey(name, arity));
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+void DatabaseSnapshot::ForEach(
+    const std::function<void(TermId, uint32_t, const RelationSnapshot&)>& fn)
+    const {
+  for (const auto& [key, rel] : entries_) {
+    fn(static_cast<TermId>(key >> 32), static_cast<uint32_t>(key), *rel);
+  }
+}
+
+}  // namespace gluenail

@@ -9,44 +9,82 @@ namespace {
 constexpr size_t kArenaChunkTerms = 4096;
 }  // namespace
 
-TermId TermPool::AddTerm(TermTag tag, uint32_t payload) {
-  TermId id = static_cast<TermId>(tags_.size());
-  tags_.push_back(tag);
-  payload_.push_back(payload);
-  return id;
+size_t TermPool::ShardOfFloat(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return static_cast<size_t>(HashCombine(0xc2b2ae3d27d4eb4fULL, bits)) %
+         kNumShards;
+}
+
+TermId TermPool::AddTermLocked(TermTag tag, uint32_t payload) {
+  return static_cast<TermId>(terms_.Append(TermRec{tag, payload}));
 }
 
 TermId TermPool::MakeInt(int64_t value) {
-  auto it = int_map_.find(value);
-  if (it != int_map_.end()) return it->second;
-  uint32_t payload = static_cast<uint32_t>(ints_.size());
-  ints_.push_back(value);
-  TermId id = AddTerm(TermTag::kInt, payload);
-  int_map_.emplace(value, id);
+  auto& shard = int_shards_[ShardOfInt(value)];
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.map.find(value);
+    if (it != shard.map.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(value);
+  if (it != shard.map.end()) return it->second;
+  TermId id;
+  {
+    std::lock_guard<std::mutex> append(append_mu_);
+    uint32_t payload = static_cast<uint32_t>(ints_.Append(value));
+    id = AddTermLocked(TermTag::kInt, payload);
+  }
+  shard.map.emplace(value, id);
   return id;
 }
 
 TermId TermPool::MakeFloat(double value) {
-  auto it = float_map_.find(value);
-  if (it != float_map_.end()) return it->second;
-  uint32_t payload = static_cast<uint32_t>(floats_.size());
-  floats_.push_back(value);
-  TermId id = AddTerm(TermTag::kFloat, payload);
-  float_map_.emplace(value, id);
+  auto& shard = float_shards_[ShardOfFloat(value)];
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.map.find(value);
+    if (it != shard.map.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(value);
+  if (it != shard.map.end()) return it->second;
+  TermId id;
+  {
+    std::lock_guard<std::mutex> append(append_mu_);
+    uint32_t payload = static_cast<uint32_t>(floats_.Append(value));
+    id = AddTermLocked(TermTag::kFloat, payload);
+  }
+  shard.map.emplace(value, id);
   return id;
 }
 
 TermId TermPool::MakeSymbol(std::string_view name) {
-  auto it = symbol_map_.find(name);
-  if (it != symbol_map_.end()) return it->second;
-  uint32_t payload = static_cast<uint32_t>(symbols_.size());
-  symbols_.emplace_back(name);
-  TermId id = AddTerm(TermTag::kSymbol, payload);
-  symbol_map_.emplace(symbols_.back(), id);
+  auto& shard = symbol_shards_[ShardOfString(name)];
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.map.find(name);
+    if (it != shard.map.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(name);
+  if (it != shard.map.end()) return it->second;
+  TermId id;
+  std::string_view stable;
+  {
+    std::lock_guard<std::mutex> append(append_mu_);
+    uint32_t payload =
+        static_cast<uint32_t>(symbols_.Append(std::string(name)));
+    stable = symbols_[payload];
+    id = AddTermLocked(TermTag::kSymbol, payload);
+  }
+  shard.map.emplace(stable, id);
   return id;
 }
 
-const TermId* TermPool::InternArgs(std::span<const TermId> args) {
+const TermId* TermPool::InternArgsLocked(std::span<const TermId> args) {
   if (arg_arena_.empty() ||
       arg_arena_.back().size() + args.size() > arg_arena_.back().capacity()) {
     arg_arena_.emplace_back();
@@ -61,14 +99,25 @@ const TermId* TermPool::InternArgs(std::span<const TermId> args) {
 TermId TermPool::MakeCompound(TermId functor, std::span<const TermId> args) {
   assert(!args.empty() && "a compound term needs at least one argument");
   CompoundKey probe{functor, args};
-  auto it = compound_map_.find(probe);
-  if (it != compound_map_.end()) return it->second;
-  const TermId* stable = InternArgs(args);
-  uint32_t payload = static_cast<uint32_t>(compounds_.size());
-  compounds_.push_back(
-      CompoundRec{functor, stable, static_cast<uint32_t>(args.size())});
-  TermId id = AddTerm(TermTag::kCompound, payload);
-  compound_map_.emplace(CompoundKey{functor, {stable, args.size()}}, id);
+  auto& shard = compound_shards_[ShardOfCompound(probe)];
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.map.find(probe);
+    if (it != shard.map.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(probe);
+  if (it != shard.map.end()) return it->second;
+  TermId id;
+  const TermId* stable;
+  {
+    std::lock_guard<std::mutex> append(append_mu_);
+    stable = InternArgsLocked(args);
+    uint32_t payload = static_cast<uint32_t>(compounds_.Append(
+        CompoundRec{functor, stable, static_cast<uint32_t>(args.size())}));
+    id = AddTermLocked(TermTag::kCompound, payload);
+  }
+  shard.map.emplace(CompoundKey{functor, {stable, args.size()}}, id);
   return id;
 }
 

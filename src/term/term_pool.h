@@ -19,13 +19,17 @@
 #ifndef GLUENAIL_TERM_TERM_POOL_H_
 #define GLUENAIL_TERM_TERM_POOL_H_
 
+#include <array>
 #include <cstdint>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/chunked_vector.h"
 #include "src/common/strings.h"
 
 namespace gluenail {
@@ -49,8 +53,14 @@ enum class TermTag : uint8_t {
 
 /// \brief Arena of interned ground terms.
 ///
-/// Not thread-safe; each Engine owns one pool. TermIds are only meaningful
-/// relative to the pool that produced them.
+/// Thread-safe: any number of threads may intern and read concurrently.
+/// Accessors (tag, IntValue, SymbolName, Args, Compare, ToString, ...) are
+/// wait-free — term records live in chunked storage that never moves, so a
+/// TermId published to a thread can be dereferenced without locking.
+/// Interning takes a shared lock on one of kNumShards hash shards for the
+/// fast (already-interned) path and an exclusive shard lock plus a single
+/// pool-wide append mutex for the slow (first-occurrence) path.
+/// TermIds are only meaningful relative to the pool that produced them.
 class TermPool {
  public:
   TermPool() = default;
@@ -69,7 +79,7 @@ class TermPool {
   /// Convenience: compound with a symbol functor.
   TermId MakeCompound(std::string_view functor, std::span<const TermId> args);
 
-  TermTag tag(TermId id) const { return tags_[id]; }
+  TermTag tag(TermId id) const { return terms_[id].tag; }
   bool IsInt(TermId id) const { return tag(id) == TermTag::kInt; }
   bool IsFloat(TermId id) const { return tag(id) == TermTag::kFloat; }
   bool IsSymbol(TermId id) const { return tag(id) == TermTag::kSymbol; }
@@ -77,25 +87,27 @@ class TermPool {
   bool IsNumber(TermId id) const { return IsInt(id) || IsFloat(id); }
 
   /// Value accessors. Preconditions: the term has the matching tag.
-  int64_t IntValue(TermId id) const { return ints_[payload_[id]]; }
-  double FloatValue(TermId id) const { return floats_[payload_[id]]; }
+  int64_t IntValue(TermId id) const { return ints_[terms_[id].payload]; }
+  double FloatValue(TermId id) const { return floats_[terms_[id].payload]; }
   /// Numeric value of an int or float term, widened to double.
   double NumericValue(TermId id) const {
     return IsInt(id) ? static_cast<double>(IntValue(id)) : FloatValue(id);
   }
   std::string_view SymbolName(TermId id) const {
-    return symbols_[payload_[id]];
+    return symbols_[terms_[id].payload];
   }
   /// Functor of a compound term.
-  TermId Functor(TermId id) const { return compounds_[payload_[id]].functor; }
+  TermId Functor(TermId id) const {
+    return compounds_[terms_[id].payload].functor;
+  }
   /// Arguments of a compound term.
   std::span<const TermId> Args(TermId id) const {
-    const CompoundRec& rec = compounds_[payload_[id]];
+    const CompoundRec& rec = compounds_[terms_[id].payload];
     return {rec.args, rec.arity};
   }
   /// Number of arguments; 0 for non-compound terms.
   size_t Arity(TermId id) const {
-    return IsCompound(id) ? compounds_[payload_[id]].arity : 0;
+    return IsCompound(id) ? compounds_[terms_[id].payload].arity : 0;
   }
 
   /// Total order over all terms in this pool, used by min/max aggregation
@@ -107,7 +119,7 @@ class TermPool {
   int Compare(TermId a, TermId b) const;
 
   /// Number of distinct interned terms.
-  size_t size() const { return tags_.size(); }
+  size_t size() const { return terms_.size(); }
 
   /// Renders the term in source syntax (see term_printer.cc).
   std::string ToString(TermId id) const;
@@ -115,11 +127,18 @@ class TermPool {
   void AppendTerm(TermId id, std::string* out) const;
 
  private:
+  /// Tag + index into the per-kind payload vector, stored together so the
+  /// hot accessors do a single chunked-vector read.
+  struct TermRec {
+    TermTag tag = TermTag::kInt;
+    uint32_t payload = 0;
+  };
+
   struct CompoundRec {
-    TermId functor;
+    TermId functor = kNullTerm;
     /// Points into arg_arena_ chunks, whose storage is never reallocated.
-    const TermId* args;
-    uint32_t arity;
+    const TermId* args = nullptr;
+    uint32_t arity = 0;
   };
 
   struct CompoundKey {
@@ -143,44 +162,70 @@ class TermPool {
     }
   };
 
-  struct StringHash {
-    using is_transparent = void;
+  struct StringViewHash {
     size_t operator()(std::string_view s) const {
       return static_cast<size_t>(Fnv1a64(s.data(), s.size()));
     }
-    size_t operator()(const std::string& s) const {
-      return operator()(std::string_view(s));
-    }
-  };
-  struct StringEq {
-    using is_transparent = void;
-    bool operator()(std::string_view a, std::string_view b) const {
-      return a == b;
-    }
   };
 
-  TermId AddTerm(TermTag tag, uint32_t payload);
-  /// Copies \p args into the stable arena and returns the persistent slice.
-  const TermId* InternArgs(std::span<const TermId> args);
+  /// One interning shard: a shared_mutex over one hash map. Writers hold
+  /// the shard lock exclusively while (briefly) taking append_mu_; the
+  /// shard lock is always acquired before append_mu_, never the reverse.
+  template <typename Map>
+  struct Shard {
+    mutable std::shared_mutex mu;
+    Map map;
+  };
 
-  std::vector<TermTag> tags_;
-  std::vector<uint32_t> payload_;
+  static constexpr size_t kNumShards = 16;
 
-  std::vector<int64_t> ints_;
-  std::unordered_map<int64_t, TermId> int_map_;
+  static size_t ShardOfInt(int64_t v) {
+    return static_cast<size_t>(HashCombine(0x51ed270b0741d1abULL,
+                                           static_cast<uint64_t>(v))) %
+           kNumShards;
+  }
+  static size_t ShardOfFloat(double v);
+  static size_t ShardOfString(std::string_view s) {
+    return static_cast<size_t>(Fnv1a64(s.data(), s.size())) % kNumShards;
+  }
+  static size_t ShardOfCompound(const CompoundKey& k) {
+    return CompoundKeyHash{}(k) % kNumShards;
+  }
 
-  std::vector<double> floats_;
-  std::unordered_map<double, TermId> float_map_;
+  /// Appends the term record; caller holds append_mu_.
+  TermId AddTermLocked(TermTag tag, uint32_t payload);
+  /// Copies \p args into the stable arena; caller holds append_mu_.
+  const TermId* InternArgsLocked(std::span<const TermId> args);
 
-  std::vector<std::string> symbols_;
-  std::unordered_map<std::string, TermId, StringHash, StringEq> symbol_map_;
+  /// Immutable-once-published term storage, readable without locks.
+  ChunkedVector<TermRec> terms_;
+  ChunkedVector<int64_t> ints_;
+  ChunkedVector<double> floats_;
+  ChunkedVector<std::string> symbols_;
+  ChunkedVector<CompoundRec> compounds_;
 
-  std::vector<CompoundRec> compounds_;
+  /// Serializes all appends (terms_, payload vectors, arg_arena_) so ids
+  /// and payload indexes stay consistent across kinds.
+  std::mutex append_mu_;
   /// Chunked arena: chunks never move once allocated, so CompoundRec::args
-  /// and the spans inside compound_map_ keys stay valid forever.
+  /// and the spans inside compound-shard keys stay valid forever. Guarded
+  /// by append_mu_ (the outer vector may reallocate, but only the spine —
+  /// published chunk storage is stable and read without locks).
   std::vector<std::vector<TermId>> arg_arena_;
-  std::unordered_map<CompoundKey, TermId, CompoundKeyHash, CompoundKeyEq>
-      compound_map_;
+
+  std::array<Shard<std::unordered_map<int64_t, TermId>>, kNumShards>
+      int_shards_;
+  std::array<Shard<std::unordered_map<double, TermId>>, kNumShards>
+      float_shards_;
+  /// Keys are views into symbols_ storage, which never moves.
+  std::array<
+      Shard<std::unordered_map<std::string_view, TermId, StringViewHash>>,
+      kNumShards>
+      symbol_shards_;
+  std::array<Shard<std::unordered_map<CompoundKey, TermId, CompoundKeyHash,
+                                      CompoundKeyEq>>,
+             kNumShards>
+      compound_shards_;
 };
 
 }  // namespace gluenail

@@ -86,14 +86,14 @@ class TravelTest : public ::testing::TestWithParam<ExecOptions::Strategy> {
     EXPECT_TRUE(s.ok()) << s;
   }
 
-  TermId Sym(const char* s) { return engine_->pool()->MakeSymbol(s); }
+  TermId Sym(const char* s) { return *engine_->InternTerm(s); }
 
   /// Books one passenger; returns the printed booking ref ("" if none).
   std::string Book(const char* who, const char* from, const char* to) {
     auto r = engine_->Call("book", {{Sym(who), Sym(from), Sym(to)}});
     EXPECT_TRUE(r.ok()) << r.status();
     if (!r.ok() || r->empty()) return "";
-    return engine_->pool()->ToString((*r)[0][3]);
+    return engine_->terms().ToString((*r)[0][3]);
   }
 
   std::unique_ptr<Engine> engine_;
@@ -122,9 +122,7 @@ TEST_P(TravelTest, SoldOutRouteYieldsNoBooking) {
 TEST_P(TravelTest, RefundFreesTheSeat) {
   EXPECT_EQ(Book("a", "london", "rome"), "bk(a,lh4)");
   EXPECT_EQ(Book("b", "london", "rome"), "");
-  TermPool* pool = engine_->pool();
-  std::vector<TermId> args{Sym("a"), Sym("lh4")};
-  TermId ref = pool->MakeCompound("bk", args);
+  TermId ref = *engine_->InternTerm("bk(a,lh4)");
   ASSERT_TRUE(engine_->Call("refund", {{ref}}).ok());
   EXPECT_EQ(Book("b", "london", "rome"), "bk(b,lh4)");
 }
@@ -144,7 +142,7 @@ TEST_P(TravelTest, ManifestListsPassengersPerFlight) {
   auto m = engine_->Call("manifest", {{}});
   ASSERT_TRUE(m.ok());
   ASSERT_EQ(m->size(), 2u);
-  EXPECT_EQ(engine_->pool()->ToString((*m)[0][0]), "af2");
+  EXPECT_EQ(engine_->terms().ToString((*m)[0][0]), "af2");
 }
 
 TEST_P(TravelTest, RoutesViewIncludesConnections) {
@@ -156,7 +154,7 @@ TEST_P(TravelTest, RoutesViewIncludesConnections) {
       "route(london, rome, R, P) & P = min(P)");
   ASSERT_TRUE(cheapest.ok());
   ASSERT_EQ(cheapest->rows.size(), 1u);
-  EXPECT_EQ(engine_->pool()->ToString(cheapest->rows[0][0]),
+  EXPECT_EQ(engine_->terms().ToString(cheapest->rows[0][0]),
             "via(af2,af3)");
 }
 
@@ -176,7 +174,7 @@ TEST_P(TravelTest, StateSurvivesPersistence) {
   auto m = engine2.Call("manifest", {{}});
   ASSERT_TRUE(m.ok());
   ASSERT_EQ(m->size(), 1u);
-  EXPECT_EQ(engine2.pool()->ToString((*m)[0][1]), "ada");
+  EXPECT_EQ(engine2.terms().ToString((*m)[0][1]), "ada");
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -165,7 +165,7 @@ class CadExampleTest : public ::testing::TestWithParam<ExecOptions::Strategy> {
     Result<std::vector<Tuple>> r = engine_->Call("select", {Tuple{}});
     EXPECT_TRUE(r.ok()) << r.status();
     if (!r.ok() || r->empty()) return "";
-    return engine_->pool()->ToString((*r)[0][0]);
+    return engine_->terms().ToString((*r)[0][0]);
   }
 
   FakeWindowSystem windows_;

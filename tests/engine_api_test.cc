@@ -29,16 +29,16 @@ TEST(EngineApiTest, QueryAnswersAreDistinctAndSorted) {
   Result<Engine::QueryResult> r = engine.Query("p(X) & q(X)");
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->rows.size(), 2u);
-  EXPECT_EQ(engine.pool()->IntValue(r->rows[0][0]), 1);
-  EXPECT_EQ(engine.pool()->IntValue(r->rows[1][0]), 3);
+  EXPECT_EQ(engine.terms().IntValue(r->rows[0][0]), 1);
+  EXPECT_EQ(engine.terms().IntValue(r->rows[1][0]), 3);
 }
 
 TEST(EngineApiTest, QueryDoesNotDisturbState) {
   Engine engine;
   ASSERT_TRUE(engine.AddFact("p(1).").ok());
-  size_t before = engine.edb()->num_relations();
+  size_t before = engine.snapshot()->edb().num_relations();
   ASSERT_TRUE(engine.Query("p(X)").ok());
-  EXPECT_EQ(engine.edb()->num_relations(), before);
+  EXPECT_EQ(engine.snapshot()->edb().num_relations(), before);
 }
 
 TEST(EngineApiTest, AddFactVariants) {
@@ -61,7 +61,7 @@ TEST(EngineApiTest, RelationContents) {
   Result<std::vector<Tuple>> rows = engine.RelationContents("p", 1);
   ASSERT_TRUE(rows.ok());
   ASSERT_EQ(rows->size(), 2u);
-  EXPECT_EQ(engine.pool()->IntValue((*rows)[0][0]), 1);
+  EXPECT_EQ(engine.terms().IntValue((*rows)[0][0]), 1);
   EXPECT_TRUE(engine.RelationContents("zzz", 1).status().IsNotFound());
 }
 
@@ -100,7 +100,7 @@ TEST(EngineApiTest, EdbPersistenceBetweenRuns) {
     Result<Engine::QueryResult> r = engine.Query("account(alice, B)");
     ASSERT_TRUE(r.ok());
     ASSERT_EQ(r->rows.size(), 1u);
-    EXPECT_EQ(engine.pool()->IntValue(r->rows[0][0]), 110);
+    EXPECT_EQ(engine.terms().IntValue(r->rows[0][0]), 110);
   }
 }
 
@@ -186,7 +186,7 @@ proc f(X:Y)
 end
 end
 )").ok());
-  Tuple wrong{engine.pool()->MakeInt(1), engine.pool()->MakeInt(2)};
+  Tuple wrong{*engine.InternTerm("1"), *engine.InternTerm("2")};
   EXPECT_TRUE(engine.Call("f", {wrong}).status().IsInvalidArgument());
 }
 
@@ -217,9 +217,13 @@ TEST(EngineApiTest, IndexPolicyOptionReachesRelations) {
   opts.index_policy = IndexPolicy::kNeverIndex;
   Engine engine(opts);
   ASSERT_TRUE(engine.AddFact("p(1).").ok());
-  Relation* rel = engine.edb()->Find(engine.pool()->MakeSymbol("p"), 1);
-  ASSERT_NE(rel, nullptr);
-  EXPECT_EQ(rel->index_policy(), IndexPolicy::kNeverIndex);
+  Status s = engine.Mutate([](Database* edb, Database*, TermPool* pool) {
+    Relation* rel = edb->Find(pool->MakeSymbol("p"), 1);
+    if (rel == nullptr) return Status::NotFound("p/1");
+    EXPECT_EQ(rel->index_policy(), IndexPolicy::kNeverIndex);
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok()) << s;
 }
 
 TEST(EngineApiTest, DedupOptionObservableInStats) {

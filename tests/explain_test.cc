@@ -68,7 +68,9 @@ path(X,Z) :- edge(X,Y) & path(Y,Z).
 edge(1,2). edge(2,3). edge(10,11).
 end
 )").ok());
-  Result<Engine::QueryResult> magic = engine.QueryMagic("path(1, Y)");
+  QueryOptions magic_opts;
+  magic_opts.strategy = QueryStrategy::kMagic;
+  Result<Engine::QueryResult> magic = engine.Query("path(1, Y)", magic_opts);
   ASSERT_TRUE(magic.ok()) << magic.status();
   Result<Engine::QueryResult> plain = engine.Query("path(1, Y)");
   ASSERT_TRUE(plain.ok());
@@ -89,7 +91,8 @@ path(X,Z) :- edge(X,Y) & path(Y,Z).
 edge(1,2). edge(2,3).
 end
 )").ok());
-  Result<Engine::QueryResult> r = engine.QueryMagic("path(1, _)");
+  Result<Engine::QueryResult> r =
+      engine.Query("path(1, _)", {QueryStrategy::kMagic});
   ASSERT_TRUE(r.ok()) << r.status();
   EXPECT_EQ(r->rows.size(), 2u);
 }
@@ -102,8 +105,13 @@ edb e(X);
 p(X) :- e(X).
 end
 )").ok());
-  EXPECT_TRUE(engine.QueryMagic("p(X) & p(Y)").status().IsInvalidArgument());
-  EXPECT_TRUE(engine.QueryMagic("p(X + 1)").status().IsInvalidArgument());
+  EXPECT_TRUE(engine.Query("p(X) & p(Y)", {QueryStrategy::kMagic})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(engine.Query("p(X + 1)", {QueryStrategy::kMagic})
+                  .status()
+                  .IsInvalidArgument());
+  // The deprecated shim forwards to Query(goal, {kMagic}).
   EXPECT_TRUE(engine.QueryMagic("zzz(X)").status().IsInvalidArgument());
 }
 

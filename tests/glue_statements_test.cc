@@ -37,7 +37,7 @@ class GlueStatementsTest : public ::testing::TestWithParam<
       if (i != 0) out += ";";
       for (size_t j = 0; j < r->rows[i].size(); ++j) {
         if (j != 0) out += ",";
-        out += engine_->pool()->ToString(r->rows[i][j]);
+        out += engine_->terms().ToString(r->rows[i][j]);
       }
     }
     return out;
@@ -169,7 +169,7 @@ TEST_P(GlueStatementsTest, AggregateCorrectEvenWithDedupDisabled) {
   Result<Engine::QueryResult> r = engine.Query("distinct_vals(C)");
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->rows.size(), 1u);
-  EXPECT_EQ(engine.pool()->IntValue(r->rows[0][0]), 2);
+  EXPECT_EQ(engine.terms().IntValue(r->rows[0][0]), 2);
 }
 
 TEST_P(GlueStatementsTest, CountSumProduct) {

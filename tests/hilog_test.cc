@@ -31,7 +31,7 @@ class HiLogTest : public ::testing::TestWithParam<ExecOptions::Strategy> {
       if (i != 0) out += ";";
       for (size_t j = 0; j < r->rows[i].size(); ++j) {
         if (j != 0) out += ",";
-        out += engine_->pool()->ToString(r->rows[i][j]);
+        out += engine_->terms().ToString(r->rows[i][j]);
       }
     }
     return out;
@@ -137,8 +137,8 @@ end
   Result<Engine::QueryResult> r = engine_->Query("P(1,2)");
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->rows.size(), 2u);
-  EXPECT_EQ(engine_->pool()->ToString(r->rows[0][0]), "edge");
-  EXPECT_EQ(engine_->pool()->ToString(r->rows[1][0]), "path");
+  EXPECT_EQ(engine_->terms().ToString(r->rows[0][0]), "edge");
+  EXPECT_EQ(engine_->terms().ToString(r->rows[1][0]), "path");
 }
 
 TEST_P(HiLogTest, CurriedDataTermsRoundTrip) {

@@ -49,7 +49,7 @@ end
   auto r = engine.Call("far", {{}});
   ASSERT_TRUE(r.ok()) << r.status();
   ASSERT_EQ(r->size(), 1u);
-  EXPECT_EQ(engine.pool()->IntValue((*r)[0][0]), 3);
+  EXPECT_EQ(engine.terms().IntValue((*r)[0][0]), 3);
 }
 
 TEST(ModuleSystemTest, DuplicateProcedureInModuleRejected) {
@@ -96,8 +96,8 @@ end
   auto ra = engine.Call("fa", {{}});
   auto rb = engine.Call("fb", {{}});
   ASSERT_TRUE(ra.ok() && rb.ok());
-  EXPECT_EQ(engine.pool()->IntValue((*ra)[0][0]), 1);
-  EXPECT_EQ(engine.pool()->IntValue((*rb)[0][0]), 2);
+  EXPECT_EQ(engine.terms().IntValue((*ra)[0][0]), 1);
+  EXPECT_EQ(engine.terms().IntValue((*rb)[0][0]), 2);
 }
 
 TEST(ModuleSystemTest, RulesAcrossModulesMerge) {
@@ -185,12 +185,12 @@ end
   ASSERT_TRUE(r.ok());
   // Only the local's contents: the EDB shared(7) is hidden.
   ASSERT_EQ(r->size(), 1u);
-  EXPECT_EQ(engine.pool()->IntValue((*r)[0][0]), 42);
+  EXPECT_EQ(engine.terms().IntValue((*r)[0][0]), 42);
   // And the EDB relation was untouched.
   auto edb = engine.Query("shared(X)");
   ASSERT_TRUE(edb.ok());
   ASSERT_EQ(edb->rows.size(), 1u);
-  EXPECT_EQ(engine.pool()->IntValue(edb->rows[0][0]), 7);
+  EXPECT_EQ(engine.terms().IntValue(edb->rows[0][0]), 7);
 }
 
 TEST(ModuleSystemTest, ExportOfUnknownNameIsIgnoredForProcsButUsableForNail) {

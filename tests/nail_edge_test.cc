@@ -121,11 +121,11 @@ end
   auto r = engine_->Query("special(X)");
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->rows.size(), 1u);
-  EXPECT_EQ(engine_->pool()->IntValue(r->rows[0][0]), 99);
+  EXPECT_EQ(engine_->terms().IntValue(r->rows[0][0]), 99);
   auto t = engine_->Query("tagged(7, W)");
   ASSERT_TRUE(t.ok());
   ASSERT_EQ(t->rows.size(), 1u);
-  EXPECT_EQ(engine_->pool()->SymbolName(t->rows[0][0]), "hot");
+  EXPECT_EQ(engine_->terms().SymbolName(t->rows[0][0]), "hot");
 }
 
 TEST_P(NailEdgeTest, DuplicateRulesAreHarmless) {
@@ -166,7 +166,7 @@ TEST_P(NailEdgeTest, DeepStrataChain) {
   auto r = engine_->Query("p39(X)");
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->rows.size(), 1u);
-  EXPECT_EQ(engine_->pool()->IntValue(r->rows[0][0]), 50);
+  EXPECT_EQ(engine_->terms().IntValue(r->rows[0][0]), 50);
 }
 
 TEST_P(NailEdgeTest, CycleWithSelfLoopNode) {

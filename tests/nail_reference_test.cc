@@ -230,8 +230,8 @@ TEST_P(NailReferenceTest, EngineMatchesBruteForce) {
     ASSERT_TRUE(r.ok()) << pred << ": " << r.status() << "\n" << prog.source;
     RefRelation got;
     for (const Tuple& row : r->rows) {
-      got.insert({static_cast<int>(engine.pool()->IntValue(row[0])),
-                  static_cast<int>(engine.pool()->IntValue(row[1]))});
+      got.insert({static_cast<int>(engine.terms().IntValue(row[0])),
+                  static_cast<int>(engine.terms().IntValue(row[1]))});
     }
     RefRelation want = expected.count(pred) ? expected[pred] : RefRelation{};
     EXPECT_EQ(got, want) << "predicate " << pred << " disagrees for seed "

@@ -31,7 +31,7 @@ class NailTest : public ::testing::TestWithParam<NailMode> {
       if (i != 0) out += ";";
       for (size_t j = 0; j < r->rows[i].size(); ++j) {
         if (j != 0) out += ",";
-        out += engine_->pool()->ToString(r->rows[i][j]);
+        out += engine_->terms().ToString(r->rows[i][j]);
       }
     }
     return out;

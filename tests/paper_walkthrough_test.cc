@@ -33,7 +33,7 @@ class PaperWalkthroughTest
       if (i != 0) out += ";";
       for (size_t j = 0; j < r->rows[i].size(); ++j) {
         if (j != 0) out += ",";
-        out += engine_->pool()->ToString(r->rows[i][j]);
+        out += engine_->terms().ToString(r->rows[i][j]);
       }
     }
     return out;

@@ -107,7 +107,7 @@ end
   Result<Engine::QueryResult> r = engine.Query("slacker(P)");
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->rows.size(), 1u);
-  EXPECT_EQ(engine.pool()->SymbolName(r->rows[0][0]), "bo");
+  EXPECT_EQ(engine.terms().SymbolName(r->rows[0][0]), "bo");
 }
 
 TEST(GlueNegationOverNailTest, UnchangedOverNailIsCompileError) {

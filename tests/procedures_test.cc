@@ -33,7 +33,7 @@ class ProceduresTest
       if (i != 0) out += ";";
       for (size_t j = 0; j < (*r)[i].size(); ++j) {
         if (j != 0) out += ",";
-        out += engine_->pool()->ToString((*r)[i][j]);
+        out += engine_->terms().ToString((*r)[i][j]);
       }
     }
     return out;
@@ -41,7 +41,7 @@ class ProceduresTest
 
   Tuple T(std::initializer_list<int64_t> xs) {
     Tuple t;
-    for (int64_t x : xs) t.push_back(engine_->pool()->MakeInt(x));
+    for (int64_t x : xs) t.push_back(*engine_->InternTerm(std::to_string(x)));
     return t;
   }
 
@@ -143,8 +143,7 @@ b(1). b(2).
 c(1).
 end
 )");
-  TermPool* pool = engine_->pool();
-  auto name = [&](const char* n) { return pool->MakeSymbol(n); };
+  auto name = [&](const char* n) { return *engine_->InternTerm(n); };
   EXPECT_EQ(Rows(engine_->Call("set_eq", {{name("a"), name("b")}})), "a,b");
   // Different members: empty result.
   EXPECT_EQ(Rows(engine_->Call("set_eq", {{name("a"), name("c")}})), "");

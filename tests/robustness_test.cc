@@ -66,7 +66,7 @@ TEST(RobustnessTest, DeepExpressionNesting) {
   Result<Engine::QueryResult> r = engine.Query("p(Y)");
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->rows.size(), 1u);
-  EXPECT_EQ(engine.pool()->IntValue(r->rows[0][0]), 2000);
+  EXPECT_EQ(engine.terms().IntValue(r->rows[0][0]), 2000);
 }
 
 TEST(RobustnessTest, RecursionDepthGuard) {
@@ -83,7 +83,7 @@ rels step(K,R);
 end
 end
 )").ok());
-  Status s = engine.Call("down", {{engine.pool()->MakeInt(100)}}).status();
+  Status s = engine.Call("down", {{*engine.InternTerm("100")}}).status();
   ASSERT_TRUE(s.IsRuntimeError()) << s;
   EXPECT_NE(s.message().find("depth"), std::string::npos);
 }

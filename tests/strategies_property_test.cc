@@ -49,7 +49,7 @@ std::string Render(Engine* engine, const Engine::QueryResult& r) {
   std::string out;
   for (size_t i = 0; i < r.rows.size(); ++i) {
     if (i != 0) out += ";";
-    out += TupleToString(*engine->pool(), r.rows[i]);
+    out += TupleToString(engine->terms(), r.rows[i]);
   }
   return out;
 }

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
         for (size_t c = 0; c < row.size(); ++c) {
           if (c != 0) std::cout << ", ";
           std::cout << r->vars[c] << " = "
-                    << engine.pool()->ToString(row[c]);
+                    << engine.terms().ToString(row[c]);
         }
         std::cout << "\n";
       }
