@@ -114,7 +114,7 @@ struct ScriptedSession {
     auto tracer = [](const char* verb) {
       return [verb](TermPool* pool, const Relation& input,
                     Relation* output) -> Status {
-        for (const Tuple& t : input) {
+        for (gluenail::RowView t : input) {
           std::cout << "[graphics] " << verb << " "
                     << pool->ToString(t[0]) << "\n";
           output->Insert(t);

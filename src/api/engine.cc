@@ -414,4 +414,22 @@ void Engine::ResetExecStats() {
   if (executor_ != nullptr) executor_->stats() = ExecStats{};
 }
 
+StorageStats Engine::storage_stats() const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  StorageStats out;
+  auto add = [&out](TermId, uint32_t, Relation* rel) {
+    ++out.relations;
+    out.live_tuples += rel->size();
+    out.arena_bytes += rel->arena_bytes();
+    const Relation::Counters& c = rel->counters();
+    out.dedup_probes += c.dedup_probes.load(std::memory_order_relaxed);
+    out.scan_rows += c.scan_rows.load(std::memory_order_relaxed);
+    out.index_lookups += c.index_lookups.load(std::memory_order_relaxed);
+    out.indexes_built += c.indexes_built.load(std::memory_order_relaxed);
+  };
+  edb_.ForEach(add);
+  idb_.ForEach(add);
+  return out;
+}
+
 }  // namespace gluenail

@@ -185,6 +185,8 @@ class Engine {
   /// Statistics of the writer-path executor. Read while quiescent.
   const ExecStats& exec_stats() const;
   void ResetExecStats();
+  /// Storage-layer counters aggregated over every EDB and IDB relation.
+  StorageStats storage_stats() const;
   NailEngine* nail_engine() { return nail_engine_.get(); }
   const CompiledProgram* program() const {
     return linked_ ? &linked_->program : nullptr;

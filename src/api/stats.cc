@@ -20,4 +20,12 @@ std::string FormatExecStats(const ExecStats& stats) {
                 " loop iterations, ", stats.head_tuples, " head tuples");
 }
 
+std::string FormatStorageStats(const StorageStats& stats) {
+  return StrCat(stats.relations, " relations, ", stats.live_tuples,
+                " tuples, ", stats.arena_bytes, " arena bytes, ",
+                stats.dedup_probes, " dedup probes, ", stats.scan_rows,
+                " scan rows, ", stats.index_lookups, " index lookups, ",
+                stats.indexes_built, " indexes built");
+}
+
 }  // namespace gluenail

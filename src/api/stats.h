@@ -22,9 +22,23 @@ struct CompileStats {
   double compile_seconds = 0;
 };
 
+/// Aggregate storage-layer counters over every EDB and IDB relation
+/// (Relation::counters() plus current arena footprints).
+struct StorageStats {
+  uint64_t relations = 0;
+  uint64_t live_tuples = 0;
+  /// Bytes currently held by tuple arenas, dedup tables, and indexes.
+  uint64_t arena_bytes = 0;
+  uint64_t dedup_probes = 0;
+  uint64_t scan_rows = 0;
+  uint64_t index_lookups = 0;
+  uint64_t indexes_built = 0;
+};
+
 /// One-line human-readable summary (README quickstart prints this).
 std::string FormatCompileStats(const CompileStats& stats);
 std::string FormatExecStats(const ExecStats& stats);
+std::string FormatStorageStats(const StorageStats& stats);
 
 }  // namespace gluenail
 

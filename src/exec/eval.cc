@@ -92,7 +92,7 @@ bool MatchTerm(const MatchNode& node, TermId value, const TermPool& pool,
   return false;
 }
 
-bool MatchColumns(const std::vector<MatchNode>& patterns, const Tuple& tuple,
+bool MatchColumns(const std::vector<MatchNode>& patterns, RowView tuple,
                   const TermPool& pool, Record* rec, BindUndo* undo) {
   for (size_t i = 0; i < patterns.size(); ++i) {
     if (!MatchTerm(patterns[i], tuple[i], pool, rec, undo)) return false;

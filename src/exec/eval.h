@@ -29,7 +29,7 @@ bool MatchTerm(const MatchNode& node, TermId value, const TermPool& pool,
                Record* rec, BindUndo* undo);
 
 /// Matches \p tuple column-wise against \p patterns (same length).
-bool MatchColumns(const std::vector<MatchNode>& patterns, const Tuple& tuple,
+bool MatchColumns(const std::vector<MatchNode>& patterns, RowView tuple,
                   const TermPool& pool, Record* rec, BindUndo* undo);
 
 /// Reverts the bindings recorded in \p undo (restores previous values).

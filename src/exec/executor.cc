@@ -186,12 +186,11 @@ Status Executor::ApplyCall(const StatementPlan& plan, const PlanOp& op,
     }
   }
 
-  // Join the result back: group result tuples by their bound prefix.
-  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> by_prefix;
-  std::vector<const Tuple*> result_rows;
-  for (const Tuple& t : result) result_rows.push_back(&t);
-  for (const Tuple* t : result_rows) {
-    Tuple prefix(t->begin(), t->begin() + op.callee_bound_arity);
+  // Join the result back: group result tuples by their bound prefix. The
+  // RowViews stay valid because `result` is not mutated during the join.
+  std::unordered_map<Tuple, std::vector<RowView>, TupleHash> by_prefix;
+  for (RowView t : result) {
+    Tuple prefix(t.begin(), t.begin() + op.callee_bound_arity);
     by_prefix[std::move(prefix)].push_back(t);
   }
   OpRunner runner(this, plan, frame);
@@ -200,12 +199,12 @@ Status Executor::ApplyCall(const StatementPlan& plan, const PlanOp& op,
     if (it == by_prefix.end()) continue;
     uint32_t g = in.groups.empty() ? 0 : in.groups[i];
     Record rec = in.records[i];
-    for (const Tuple* t : it->second) {
+    for (RowView t : it->second) {
       BindUndo undo;
       bool ok = true;
       for (size_t c = 0; c < op.call_out_patterns.size(); ++c) {
         if (!MatchTerm(op.call_out_patterns[c],
-                       (*t)[op.callee_bound_arity + c], *pool_, &rec,
+                       t[op.callee_bound_arity + c], *pool_, &rec,
                        &undo)) {
           ok = false;
           break;
@@ -344,7 +343,8 @@ Status Executor::ApplyHead(const StatementPlan& plan, Frame* frame,
         rows.clear();
         rel->Select(head.modify_mask, key, &rows);
         for (uint32_t row : rows) {
-          victims.emplace_back(rel, rel->row(row));
+          RowView victim = rel->row(row);
+          victims.emplace_back(rel, Tuple(victim.begin(), victim.end()));
         }
       }
       for (auto& [rel, tuple] : victims) rel->Erase(tuple);
@@ -424,7 +424,7 @@ Result<bool> Executor::EvalCond(const CondPlan& cond, Frame* frame) {
       if (rel != nullptr) {
         Record dummy;
         BindUndo undo;
-        for (const Tuple& t : *rel) {
+        for (RowView t : *rel) {
           undo.clear();
           if (MatchColumns(cond.patterns, t, *pool_, &dummy, &undo)) {
             exists = true;

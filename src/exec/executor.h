@@ -159,7 +159,7 @@ class Executor {
 
   /// Keyed selection honoring read_only_storage: the mutable Select path
   /// (adaptive index building) for writers, SelectConst for shared readers.
-  void SelectRows(Relation* rel, ColumnMask mask, const Tuple& key,
+  void SelectRows(Relation* rel, ColumnMask mask, RowView key,
                   std::vector<uint32_t>* out) {
     if (options_.read_only_storage) {
       const Relation* crel = rel;

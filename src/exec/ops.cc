@@ -25,23 +25,22 @@ Status OpRunner::Stream(const PlanOp& op, Record* rec, uint32_t group,
   }
 }
 
-Result<Tuple> OpRunner::EvalKey(const PlanOp& op, const Record& rec) {
-  Tuple key;
-  key.reserve(op.key_exprs.size());
+Status OpRunner::EvalKey(const PlanOp& op, const Record& rec, Tuple* key) {
+  key->clear();
   for (ExprId e : op.key_exprs) {
     GLUENAIL_ASSIGN_OR_RETURN(TermId v,
                               EvalExpr(plan_, e, rec, exec_->pool_));
-    key.push_back(v);
+    key->push_back(v);
   }
-  return key;
+  return Status::OK();
 }
 
-std::vector<uint32_t>* OpRunner::AcquireScratch() {
+OpRunner::Scratch* OpRunner::AcquireScratch() {
   if (scratch_depth_ == scratch_pool_.size()) {
     scratch_pool_.emplace_back();
   }
-  std::vector<uint32_t>* out = &scratch_pool_[scratch_depth_++];
-  out->clear();
+  Scratch* out = &scratch_pool_[scratch_depth_++];
+  out->rows.clear();
   return out;
 }
 
@@ -53,11 +52,15 @@ Status OpRunner::StreamMatchRelation(const PlanOp& op, Relation* rel,
   if (rel == nullptr || rel->empty()) return Status::OK();
   BindUndo undo;
   if (op.bound_mask != 0) {
-    GLUENAIL_ASSIGN_OR_RETURN(Tuple key, EvalKey(op, *rec));
-    std::vector<uint32_t>* rows = AcquireScratch();
-    exec_->SelectRows(rel, op.bound_mask, key, rows);
+    Scratch* scratch = AcquireScratch();
+    Status key_st = EvalKey(op, *rec, &scratch->key);
+    if (!key_st.ok()) {
+      ReleaseScratch();
+      return key_st;
+    }
+    exec_->SelectRows(rel, op.bound_mask, scratch->key, &scratch->rows);
     Status st;
-    for (uint32_t row : *rows) {
+    for (uint32_t row : scratch->rows) {
       undo.clear();
       if (MatchColumns(op.col_patterns, rel->row(row), *exec_->pool_, rec,
                        &undo)) {
@@ -69,7 +72,7 @@ Status OpRunner::StreamMatchRelation(const PlanOp& op, Relation* rel,
     ReleaseScratch();
     return st;
   }
-  for (const Tuple& tuple : *rel) {
+  for (RowView tuple : *rel) {
     undo.clear();
     if (MatchColumns(op.col_patterns, tuple, *exec_->pool_, rec, &undo)) {
       GLUENAIL_RETURN_NOT_OK(emit(rec, group));
@@ -127,11 +130,15 @@ Result<bool> OpRunner::HasMatch(const PlanOp& op, Relation* rel,
   if (rel == nullptr || rel->empty()) return false;
   BindUndo undo;
   if (op.bound_mask != 0) {
-    GLUENAIL_ASSIGN_OR_RETURN(Tuple key, EvalKey(op, *rec));
-    std::vector<uint32_t>* rows = AcquireScratch();
-    exec_->SelectRows(rel, op.bound_mask, key, rows);
+    Scratch* scratch = AcquireScratch();
+    Status key_st = EvalKey(op, *rec, &scratch->key);
+    if (!key_st.ok()) {
+      ReleaseScratch();
+      return key_st;
+    }
+    exec_->SelectRows(rel, op.bound_mask, scratch->key, &scratch->rows);
     bool found = false;
-    for (uint32_t row : *rows) {
+    for (uint32_t row : scratch->rows) {
       undo.clear();
       bool ok = MatchColumns(op.col_patterns, rel->row(row), *exec_->pool_,
                              rec, &undo);
@@ -144,7 +151,7 @@ Result<bool> OpRunner::HasMatch(const PlanOp& op, Relation* rel,
     ReleaseScratch();
     return found;
   }
-  for (const Tuple& tuple : *rel) {
+  for (RowView tuple : *rel) {
     undo.clear();
     bool ok = MatchColumns(op.col_patterns, tuple, *exec_->pool_, rec, &undo);
     UnbindAll(undo, rec);

@@ -41,18 +41,26 @@ class OpRunner {
   Result<bool> HasMatch(const PlanOp& op, Relation* rel, Record* rec);
   Status StreamCompare(const PlanOp& op, Record* rec, uint32_t group,
                        const EmitFn& emit);
-  Result<Tuple> EvalKey(const PlanOp& op, const Record& rec);
+  /// Evaluates the op's key expressions into \p key (cleared first). The
+  /// buffer is pooled scratch, so steady-state probes do not allocate.
+  Status EvalKey(const PlanOp& op, const Record& rec, Tuple* key);
 
-  /// Row-id scratch buffers, one per nesting depth: in the pipelined
-  /// executor an inner match runs while an outer match is still iterating
-  /// its row list, so a single shared buffer would be clobbered.
-  std::vector<uint32_t>* AcquireScratch();
+  /// Per-probe scratch: the selected row ids and the packed lookup key.
+  struct Scratch {
+    std::vector<uint32_t> rows;
+    Tuple key;
+  };
+
+  /// Scratch buffers, one per nesting depth: in the pipelined executor an
+  /// inner match runs while an outer match is still iterating its row
+  /// list, so a single shared buffer would be clobbered.
+  Scratch* AcquireScratch();
   void ReleaseScratch();
 
   Executor* exec_;
   const StatementPlan& plan_;
   Frame* frame_;
-  std::vector<std::vector<uint32_t>> scratch_pool_;
+  std::vector<Scratch> scratch_pool_;
   size_t scratch_depth_ = 0;
 };
 

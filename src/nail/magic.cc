@@ -248,7 +248,7 @@ Result<std::vector<Tuple>> RunRulesAndFilter(
       scratch_idb.Find(pool->MakeSymbol(answer_root), query.arity());
   std::vector<Tuple> out;
   if (answers == nullptr) return out;
-  for (const Tuple& t : *answers) {
+  for (RowView t : *answers) {
     bool match = true;
     for (size_t i = 0; i < query.columns.size(); ++i) {
       if (query.columns[i].has_value() && t[i] != *query.columns[i]) {
@@ -256,7 +256,7 @@ Result<std::vector<Tuple>> RunRulesAndFilter(
         break;
       }
     }
-    if (match) out.push_back(t);
+    if (match) out.emplace_back(t.begin(), t.end());
   }
   std::sort(out.begin(), out.end(), [pool](const Tuple& a, const Tuple& b) {
     return CompareTuples(*pool, a, b) < 0;

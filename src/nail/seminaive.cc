@@ -248,7 +248,7 @@ Status NailEngine::ParallelIterate(const StatementPlan& plan,
     parts.push_back(std::make_unique<Relation>(delta->name(), delta->arity()));
   }
   size_t next = 0;
-  for (const Tuple& t : *delta) {
+  for (RowView t : *delta) {
     parts[next]->Insert(t);
     next = (next + 1) % static_cast<size_t>(k);
   }
@@ -356,11 +356,11 @@ Status NailEngine::Publish() {
       pub->CopyFrom(*storage);
       continue;
     }
-    for (const Tuple& t : *storage) {
+    for (RowView t : *storage) {
       std::vector<TermId> params(t.begin(), t.begin() + pred.params);
       TermId name = pool_->MakeCompound(root, params);
       Relation* pub = idb_->GetOrCreate(name, pred.arity);
-      pub->Insert(Tuple(t.begin() + pred.params, t.end()));
+      pub->Insert(t.subspan(pred.params));
     }
   }
   return Status::OK();

@@ -288,7 +288,7 @@ Status LoadDatabase(Database* db, std::istream& is) {
       std::span<const TermId> args = pool->Args(t);
       Relation* rel =
           db->GetOrCreate(name, static_cast<uint32_t>(args.size()));
-      rel->Insert(Tuple(args.begin(), args.end()));
+      rel->Insert(args);  // span insert: no intermediate Tuple copy
     } else if (pool->IsSymbol(t)) {
       Relation* rel = db->GetOrCreate(t, 0);
       rel->Insert(Tuple{});

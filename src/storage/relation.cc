@@ -6,38 +6,57 @@
 namespace gluenail {
 
 Relation::Relation(std::string name, uint32_t arity)
-    : name_(std::move(name)), arity_(arity) {
+    : name_(std::move(name)), arity_(arity), arena_(arity) {
   assert(arity <= 32 && "relations are limited to 32 columns");
 }
 
-bool Relation::Insert(const Tuple& t) {
-  assert(t.size() == arity_);
-  auto [it, inserted] = dedup_.try_emplace(t, num_rows());
-  if (!inserted) return false;
-  rows_.push_back(t);
+uint32_t Relation::FindRow(RowView t, uint64_t hash) const {
+  uint64_t probes = 0;
+  uint32_t r = dedup_.Find(
+      hash, [&](uint32_t row_id) { return RowEquals(arena_.row(row_id), t); },
+      &probes);
+  counters_.dedup_probes.fetch_add(probes, std::memory_order_relaxed);
+  return r;
+}
+
+void Relation::AppendNewRow(RowView t, uint64_t hash) {
+  uint32_t row_id = arena_.Append(t);
   live_.push_back(true);
-  uint32_t row_id = it->second;
-  for (auto& idx : indexes_) idx->Add(t, row_id);
+  dedup_.Insert(hash, row_id,
+                [this](uint32_t r) { return HashRow(arena_.row(r)); });
+  for (auto& idx : indexes_) idx->Add(arena_, row_id);
+  version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool Relation::Insert(RowView t) {
+  assert(t.size() == arity_);
+  uint64_t h = HashRow(t);
+  if (FindRow(t, h) != RowIdTable::kNoRow) return false;
+  AppendNewRow(t, h);
+  return true;
+}
+
+bool Relation::Erase(RowView t) {
+  uint64_t h = HashRow(t);
+  uint32_t row_id = dedup_.Erase(
+      h, [&](uint32_t r) { return RowEquals(arena_.row(r), t); });
+  if (row_id == RowIdTable::kNoRow) return false;
+  live_[row_id] = false;
+  for (auto& idx : indexes_) idx->Remove(arena_, row_id);
   version_.fetch_add(1, std::memory_order_acq_rel);
   return true;
 }
 
-bool Relation::Erase(const Tuple& t) {
-  auto it = dedup_.find(t);
-  if (it == dedup_.end()) return false;
-  uint32_t row_id = it->second;
-  live_[row_id] = false;
-  for (auto& idx : indexes_) idx->Remove(t, row_id);
-  dedup_.erase(it);
-  version_.fetch_add(1, std::memory_order_acq_rel);
-  return true;
+bool Relation::Contains(RowView t) const {
+  assert(t.size() == arity_);
+  return FindRow(t, HashRow(t)) != RowIdTable::kNoRow;
 }
 
 void Relation::Clear() {
   if (!dedup_.empty()) version_.fetch_add(1, std::memory_order_acq_rel);
-  rows_.clear();
+  arena_.Clear();
   live_.clear();
-  dedup_.clear();
+  dedup_.Clear();
   indexes_.clear();
   access_stats_.Reset();
 }
@@ -55,35 +74,23 @@ HashIndex* Relation::EnsureIndex(ColumnMask mask) {
   }
   auto idx = std::make_unique<HashIndex>(mask);
   for (uint32_t r = 0; r < num_rows(); ++r) {
-    if (live_[r]) idx->Add(rows_[r], r);
+    if (live_[r]) idx->Add(arena_, r);
   }
   counters_.indexes_built.fetch_add(1, std::memory_order_relaxed);
   indexes_.push_back(std::move(idx));
   return indexes_.back().get();
 }
 
-void Relation::ScanSelect(ColumnMask mask, const Tuple& key,
+void Relation::ScanSelect(ColumnMask mask, RowView key,
                           std::vector<uint32_t>* out) const {
   for (uint32_t r = 0; r < num_rows(); ++r) {
     if (!live_[r]) continue;
-    const Tuple& row = rows_[r];
-    bool match = true;
-    size_t k = 0;
-    for (size_t col = 0; col < row.size(); ++col) {
-      if (mask & (1u << col)) {
-        if (row[col] != key[k]) {
-          match = false;
-          break;
-        }
-        ++k;
-      }
-    }
-    if (match) out->push_back(r);
+    if (ProjectedEquals(mask, arena_.row(r), key)) out->push_back(r);
   }
   counters_.scan_rows.fetch_add(num_rows(), std::memory_order_relaxed);
 }
 
-void Relation::Select(ColumnMask mask, const Tuple& key,
+void Relation::Select(ColumnMask mask, RowView key,
                       std::vector<uint32_t>* out) {
   assert(mask != 0);
   const HashIndex* idx = FindIndex(mask);
@@ -109,15 +116,15 @@ void Relation::Select(ColumnMask mask, const Tuple& key,
     }
   }
   counters_.index_lookups.fetch_add(1, std::memory_order_relaxed);
-  for (uint32_t r : idx->Find(key)) out->push_back(r);
+  idx->Find(arena_, key, out);
 }
 
-void Relation::SelectConst(ColumnMask mask, const Tuple& key,
+void Relation::SelectConst(ColumnMask mask, RowView key,
                            std::vector<uint32_t>* out) const {
   const HashIndex* idx = FindIndex(mask);
   if (idx != nullptr) {
     counters_.index_lookups.fetch_add(1, std::memory_order_relaxed);
-    for (uint32_t r : idx->Find(key)) out->push_back(r);
+    idx->Find(arena_, key, out);
     return;
   }
   ScanSelect(mask, key, out);
@@ -125,8 +132,9 @@ void Relation::SelectConst(ColumnMask mask, const Tuple& key,
 
 size_t Relation::UnionDiff(const Relation& src, Relation* delta) {
   assert(src.arity() == arity_);
+  assert(&src != this);
   size_t added = 0;
-  for (const Tuple& t : src) {
+  for (RowView t : src) {
     if (Insert(t)) {
       ++added;
       if (delta != nullptr) delta->Insert(t);
@@ -141,14 +149,29 @@ size_t Relation::UnionAll(const Relation& src) {
 
 void Relation::CopyFrom(const Relation& src) {
   assert(src.arity() == arity_);
+  assert(&src != this);
   Clear();
-  for (const Tuple& t : src) Insert(t);
+  if (src.empty()) return;
+  if (src.num_rows() == src.size()) {
+    // No dead rows: copy whole arena chunks and bulk-load the dedup table
+    // without probing (src is duplicate-free by construction).
+    arena_.CopyRowsFrom(src.arena_);
+    live_.assign(src.num_rows(), true);
+    auto hash_of = [this](uint32_t r) { return HashRow(arena_.row(r)); };
+    dedup_.Reserve(src.size(), hash_of);
+    for (uint32_t r = 0; r < arena_.num_rows(); ++r) {
+      dedup_.Insert(HashRow(arena_.row(r)), r, hash_of);
+    }
+    version_.fetch_add(1, std::memory_order_acq_rel);
+    return;
+  }
+  for (RowView t : src) Insert(t);
 }
 
 std::vector<Tuple> Relation::SortedTuples(const TermPool& pool) const {
   std::vector<Tuple> out;
   out.reserve(size());
-  for (const Tuple& t : *this) out.push_back(t);
+  for (RowView t : *this) out.emplace_back(t.begin(), t.end());
   std::sort(out.begin(), out.end(), [&pool](const Tuple& a, const Tuple& b) {
     return CompareTuples(pool, a, b) < 0;
   });
@@ -170,22 +193,31 @@ std::shared_ptr<const RelationSnapshot> Relation::Snapshot(
 }
 
 void Relation::Compact() {
-  std::vector<Tuple> live_rows;
-  live_rows.reserve(size());
-  for (const Tuple& t : *this) live_rows.push_back(t);
+  TupleArena next(arity_);
+  for (uint32_t r = 0; r < num_rows(); ++r) {
+    if (live_[r]) next.Append(arena_.row(r));
+  }
   std::vector<ColumnMask> masks;
+  masks.reserve(indexes_.size());
   for (const auto& idx : indexes_) masks.push_back(idx->mask());
-  rows_.clear();
-  live_.clear();
-  dedup_.clear();
   indexes_.clear();
-  for (Tuple& t : live_rows) {
-    dedup_.emplace(t, num_rows());
-    rows_.push_back(std::move(t));
-    live_.push_back(true);
+  arena_ = std::move(next);
+  live_.assign(arena_.num_rows(), true);
+  dedup_.Clear();
+  auto hash_of = [this](uint32_t r) { return HashRow(arena_.row(r)); };
+  dedup_.Reserve(arena_.num_rows(), hash_of);
+  for (uint32_t r = 0; r < arena_.num_rows(); ++r) {
+    dedup_.Insert(HashRow(arena_.row(r)), r, hash_of);
   }
   for (ColumnMask m : masks) EnsureIndex(m);
   version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+size_t Relation::arena_bytes() const {
+  size_t n = arena_.allocated_bytes() + dedup_.allocated_bytes() +
+             live_.capacity() / 8;
+  for (const auto& idx : indexes_) n += idx->allocated_bytes();
+  return n;
 }
 
 }  // namespace gluenail

@@ -6,6 +6,13 @@
 /// NAIL! queries, and build hash indexes on demand under a pluggable policy
 /// (see adaptive.h).
 ///
+/// Storage layout (see docs/ARCHITECTURE.md, "Storage layout"): row data
+/// lives once, contiguously, in an arity-strided TupleArena. Everything
+/// else — the dedup set and every index — stores only 32-bit row ids and
+/// resolves them through the arena, so inserting a tuple costs one arena
+/// append and zero per-tuple heap allocations, and `row(id)` hands the
+/// executors a borrowed RowView instead of a copy.
+///
 /// Concurrency: a Relation is single-writer. Mutations must be externally
 /// serialized (the engine's writer lock does this); const methods —
 /// Contains, SelectConst, iteration, version(), Snapshot() — are safe to
@@ -25,13 +32,14 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/storage/adaptive.h"
 #include "src/storage/index.h"
+#include "src/storage/row_table.h"
 #include "src/storage/snapshot.h"
 #include "src/storage/tuple.h"
+#include "src/storage/tuple_arena.h"
 
 namespace gluenail {
 
@@ -53,19 +61,20 @@ class Relation {
   uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
   /// Inserts \p t; returns true iff the relation changed.
-  bool Insert(const Tuple& t);
+  bool Insert(RowView t);
   /// Erases \p t; returns true iff the relation changed.
-  bool Erase(const Tuple& t);
-  bool Contains(const Tuple& t) const { return dedup_.count(t) != 0; }
+  bool Erase(RowView t);
+  bool Contains(RowView t) const;
   /// Removes all tuples (the effect of a `:=` with an empty body result).
   void Clear();
 
   // --- Row-level access for the executors -------------------------------
 
   /// Total physical rows, live or dead. Row ids are stable until Compact().
-  uint32_t num_rows() const { return static_cast<uint32_t>(rows_.size()); }
+  uint32_t num_rows() const { return arena_.num_rows(); }
   bool row_live(uint32_t row_id) const { return live_[row_id]; }
-  const Tuple& row(uint32_t row_id) const { return rows_[row_id]; }
+  /// Borrowed view of the row's columns; valid until Clear()/Compact().
+  RowView row(uint32_t row_id) const { return arena_.row(row_id); }
 
   /// Appends the ids of live rows whose \p mask columns equal \p key.
   ///
@@ -75,10 +84,10 @@ class Relation {
   /// scanning reaches the modeled build cost (paper §10). Under
   /// kAlwaysIndex the index is built on first use. \p mask must be
   /// non-zero; full scans should iterate rows directly.
-  void Select(ColumnMask mask, const Tuple& key, std::vector<uint32_t>* out);
+  void Select(ColumnMask mask, RowView key, std::vector<uint32_t>* out);
 
   /// Const selection that never builds indexes or updates statistics.
-  void SelectConst(ColumnMask mask, const Tuple& key,
+  void SelectConst(ColumnMask mask, RowView key,
                    std::vector<uint32_t>* out) const;
 
   // --- Index management --------------------------------------------------
@@ -102,7 +111,9 @@ class Relation {
   /// Inserts every tuple of \p src; returns the number actually added.
   size_t UnionAll(const Relation& src);
 
-  /// Replaces contents with a copy of \p src (arity must match).
+  /// Replaces contents with a copy of \p src (arity must match). When the
+  /// source has no dead rows this copies whole arena chunks and bulk-loads
+  /// the dedup table without per-row probing.
   void CopyFrom(const Relation& src);
 
   /// Live tuples in canonical (term-order) sorted order; for deterministic
@@ -126,8 +137,7 @@ class Relation {
     const_iterator(const Relation* rel, uint32_t pos) : rel_(rel), pos_(pos) {
       SkipDead();
     }
-    const Tuple& operator*() const { return rel_->rows_[pos_]; }
-    const Tuple* operator->() const { return &rel_->rows_[pos_]; }
+    RowView operator*() const { return rel_->row(pos_); }
     const_iterator& operator++() {
       ++pos_;
       SkipDead();
@@ -138,7 +148,7 @@ class Relation {
 
    private:
     void SkipDead() {
-      while (pos_ < rel_->rows_.size() && !rel_->live_[pos_]) ++pos_;
+      while (pos_ < rel_->num_rows() && !rel_->live_[pos_]) ++pos_;
     }
     const Relation* rel_;
     uint32_t pos_;
@@ -148,27 +158,38 @@ class Relation {
   const_iterator end() const { return const_iterator(this, num_rows()); }
 
   /// Cumulative operation counters, reported through Engine statistics.
-  /// Atomic (relaxed) because SelectConst updates them from concurrent
-  /// reader threads; atomic<uint64_t> converts implicitly on read, so
-  /// counters().scan_rows etc. read like plain fields.
+  /// Atomic (relaxed) because SelectConst/Contains update them from
+  /// concurrent reader threads; atomic<uint64_t> converts implicitly on
+  /// read, so counters().scan_rows etc. read like plain fields.
   struct Counters {
     std::atomic<uint64_t> scan_rows{0};     ///< rows visited by keyed scans
     std::atomic<uint64_t> index_lookups{0}; ///< keyed selections via index
     std::atomic<uint64_t> indexes_built{0}; ///< indexes built (any policy)
+    std::atomic<uint64_t> dedup_probes{0};  ///< dedup slots inspected
   };
   const Counters& counters() const { return counters_; }
 
+  /// Current bytes held by the arena, the dedup table, and all indexes.
+  size_t arena_bytes() const;
+
  private:
-  void ScanSelect(ColumnMask mask, const Tuple& key,
+  void ScanSelect(ColumnMask mask, RowView key,
                   std::vector<uint32_t>* out) const;
+  /// Dedup lookup: live row id storing \p t, or RowIdTable::kNoRow.
+  uint32_t FindRow(RowView t, uint64_t hash) const;
+  /// Appends a row known to be absent: arena + dedup + indexes + version.
+  void AppendNewRow(RowView t, uint64_t hash);
 
   std::string name_;
   uint32_t arity_;
   std::atomic<uint64_t> version_{0};
 
-  std::vector<Tuple> rows_;
+  /// Row data, stored exactly once.
+  TupleArena arena_;
   std::vector<bool> live_;
-  std::unordered_map<Tuple, uint32_t, TupleHash> dedup_;
+  /// Row-id set hashing/comparing arena data directly — the dedup
+  /// structure holds no tuple copies.
+  RowIdTable dedup_;
 
   std::vector<std::unique_ptr<HashIndex>> indexes_;
 

@@ -6,12 +6,10 @@
 
 namespace gluenail {
 
-bool RelationSnapshot::Contains(const TermPool& pool, const Tuple& t) const {
+bool RelationSnapshot::Contains(const TermPool& pool, RowView t) const {
   return std::binary_search(
       tuples.begin(), tuples.end(), t,
-      [&pool](const Tuple& a, const Tuple& b) {
-        return CompareTuples(pool, a, b) < 0;
-      });
+      [&pool](RowView a, RowView b) { return CompareTuples(pool, a, b) < 0; });
 }
 
 const RelationSnapshot* DatabaseSnapshot::Find(TermId name,

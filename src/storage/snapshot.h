@@ -42,7 +42,7 @@ struct RelationSnapshot {
   size_t size() const { return tuples.size(); }
   bool empty() const { return tuples.empty(); }
   /// Binary search over the canonical order.
-  bool Contains(const TermPool& pool, const Tuple& t) const;
+  bool Contains(const TermPool& pool, RowView t) const;
 };
 
 /// A consistent set of relation snapshots keyed by (name term, arity).

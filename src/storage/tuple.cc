@@ -2,7 +2,7 @@
 
 namespace gluenail {
 
-std::string TupleToString(const TermPool& pool, const Tuple& tuple) {
+std::string TupleToString(const TermPool& pool, RowView tuple) {
   std::string out = "(";
   for (size_t i = 0; i < tuple.size(); ++i) {
     if (i != 0) out += ",";
@@ -12,7 +12,7 @@ std::string TupleToString(const TermPool& pool, const Tuple& tuple) {
   return out;
 }
 
-int CompareTuples(const TermPool& pool, const Tuple& a, const Tuple& b) {
+int CompareTuples(const TermPool& pool, RowView a, RowView b) {
   size_t n = std::min(a.size(), b.size());
   for (size_t i = 0; i < n; ++i) {
     int c = pool.Compare(a[i], b[i]);

@@ -1,10 +1,22 @@
 /// \file tuple.h
 /// \brief Ground tuples: fixed-arity sequences of interned terms.
+///
+/// Two row representations coexist:
+///  * RowView — a borrowed, contiguous view into a relation's TupleArena
+///    (or any TermId array). This is what flows through the executors:
+///    matching, key probes, and set operations never copy row data.
+///  * Tuple — an owning vector, used where a row must outlive its source
+///    (sorted output, snapshots, head construction). A Tuple converts
+///    implicitly to RowView.
+///
+/// All attributes are interned TermIds, so equality and hashing never
+/// inspect term structure.
 
 #ifndef GLUENAIL_STORAGE_TUPLE_H_
 #define GLUENAIL_STORAGE_TUPLE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -13,24 +25,40 @@
 
 namespace gluenail {
 
-/// A ground tuple. All attributes are interned TermIds, so tuple equality
-/// and hashing never inspect term structure.
+/// An owning ground tuple.
 using Tuple = std::vector<TermId>;
+
+/// A borrowed view of a row's columns (arena storage or a Tuple).
+using RowView = std::span<const TermId>;
+
+/// The one row hash used by dedup tables and indexes; hashing a Tuple and
+/// hashing the arena row it was stored as must agree.
+inline uint64_t HashRow(RowView t) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (TermId v : t) h = HashCombine(h, v);
+  return h;
+}
+
+inline bool RowEquals(RowView a, RowView b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
 
 struct TupleHash {
   size_t operator()(const Tuple& t) const {
-    uint64_t h = 0x9e3779b97f4a7c15ULL;
-    for (TermId v : t) h = HashCombine(h, v);
-    return static_cast<size_t>(h);
+    return static_cast<size_t>(HashRow(t));
   }
 };
 
 /// Renders "(a,b,c)" using the pool's term printer.
-std::string TupleToString(const TermPool& pool, const Tuple& tuple);
+std::string TupleToString(const TermPool& pool, RowView tuple);
 
 /// Lexicographic comparison by the pool's total term order; shorter tuples
 /// sort first. Used for canonical (deterministic) output ordering.
-int CompareTuples(const TermPool& pool, const Tuple& a, const Tuple& b);
+int CompareTuples(const TermPool& pool, RowView a, RowView b);
 
 }  // namespace gluenail
 

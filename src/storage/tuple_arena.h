@@ -1,0 +1,124 @@
+/// \file tuple_arena.h
+/// \brief Flat chunked storage for relation rows: contiguous, arity-strided.
+///
+/// A TupleArena holds every row of one relation in fixed-size chunks of
+/// `kRowsPerChunk * arity` TermIds. Like common/chunked_vector.h it is
+/// append-only and never moves a row once written, so a row id resolves to
+/// a stable `std::span<const TermId>` into the chunk — relations, dedup
+/// tables, and indexes all read row data from here and never store tuple
+/// copies of their own. Unlike ChunkedVector the stride is a run-time
+/// arity, so chunks are sized in rows (rows never straddle a chunk
+/// boundary) and location is a shift+mask, not a bit-width computation.
+///
+/// Concurrency: same contract as the owning Relation — appends are
+/// externally serialized; row() is safe from any thread while no append or
+/// Clear runs concurrently.
+
+#ifndef GLUENAIL_STORAGE_TUPLE_ARENA_H_
+#define GLUENAIL_STORAGE_TUPLE_ARENA_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "src/term/term_pool.h"
+
+namespace gluenail {
+
+class TupleArena {
+ public:
+  /// log2 of rows per chunk: 4096 rows, i.e. chunks of 32 KiB * arity/1
+  /// TermIds — big enough to amortize allocation, small enough that tiny
+  /// relations don't overcommit (the first chunk is allocated lazily).
+  static constexpr uint32_t kRowsPerChunkShift = 12;
+  static constexpr uint32_t kRowsPerChunk = 1u << kRowsPerChunkShift;
+  static constexpr uint32_t kRowOffsetMask = kRowsPerChunk - 1;
+
+  explicit TupleArena(uint32_t arity) : arity_(arity) {}
+  TupleArena(const TupleArena&) = delete;
+  TupleArena& operator=(const TupleArena&) = delete;
+  TupleArena(TupleArena&& o) noexcept
+      : arity_(o.arity_),
+        num_rows_(o.num_rows_),
+        chunks_(std::move(o.chunks_)) {
+    o.num_rows_ = 0;
+    o.chunks_.clear();
+  }
+  TupleArena& operator=(TupleArena&& o) noexcept {
+    if (this != &o) {
+      Clear();
+      assert(arity_ == o.arity_);
+      num_rows_ = o.num_rows_;
+      chunks_ = std::move(o.chunks_);
+      o.num_rows_ = 0;
+      o.chunks_.clear();
+    }
+    return *this;
+  }
+  ~TupleArena() { Clear(); }
+
+  uint32_t arity() const { return arity_; }
+  uint32_t num_rows() const { return num_rows_; }
+
+  /// Appends one row (size must equal arity) and returns its row id.
+  uint32_t Append(std::span<const TermId> row) {
+    assert(row.size() == arity_);
+    uint32_t id = num_rows_++;
+    if (arity_ == 0) return id;  // arity-0 rows occupy no storage
+    size_t chunk = id >> kRowsPerChunkShift;
+    if (chunk == chunks_.size()) {
+      chunks_.push_back(new TermId[size_t{kRowsPerChunk} * arity_]);
+    }
+    TermId* dst = chunks_[chunk] + size_t(id & kRowOffsetMask) * arity_;
+    std::memcpy(dst, row.data(), sizeof(TermId) * arity_);
+    return id;
+  }
+
+  /// Bulk append of \p src's rows; only valid on an empty arena of the
+  /// same arity (the CopyFrom fast path). Copies whole chunks.
+  void CopyRowsFrom(const TupleArena& src) {
+    assert(num_rows_ == 0 && arity_ == src.arity_);
+    num_rows_ = src.num_rows_;
+    if (arity_ == 0) return;
+    chunks_.reserve(src.chunks_.size());
+    const size_t chunk_terms = size_t{kRowsPerChunk} * arity_;
+    for (size_t c = 0; c < src.chunks_.size(); ++c) {
+      TermId* chunk = new TermId[chunk_terms];
+      // The last chunk may be partially filled; copying it whole is still
+      // within the source allocation.
+      std::memcpy(chunk, src.chunks_[c], sizeof(TermId) * chunk_terms);
+      chunks_.push_back(chunk);
+    }
+  }
+
+  /// Stable view of row \p id's columns. Valid until Clear().
+  std::span<const TermId> row(uint32_t id) const {
+    assert(id < num_rows_);
+    if (arity_ == 0) return {};
+    const TermId* p = chunks_[id >> kRowsPerChunkShift] +
+                      size_t(id & kRowOffsetMask) * arity_;
+    return {p, arity_};
+  }
+
+  void Clear() {
+    for (TermId* c : chunks_) delete[] c;
+    chunks_.clear();
+    num_rows_ = 0;
+  }
+
+  /// Bytes of row storage currently allocated (whole chunks).
+  size_t allocated_bytes() const {
+    return chunks_.size() * size_t{kRowsPerChunk} * arity_ * sizeof(TermId);
+  }
+
+ private:
+  uint32_t arity_;
+  uint32_t num_rows_ = 0;
+  std::vector<TermId*> chunks_;
+};
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_STORAGE_TUPLE_ARENA_H_

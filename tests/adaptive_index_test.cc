@@ -123,8 +123,14 @@ TEST_F(AdaptiveIndexTest, AdaptiveAndScanAgreeOnResults) {
     ASSERT_EQ(a.size(), b.size()) << "query " << q;
     // Same multiset of tuples.
     std::vector<Tuple> ta, tb;
-    for (uint32_t x : a) ta.push_back(scan.row(x));
-    for (uint32_t x : b) tb.push_back(adaptive.row(x));
+    for (uint32_t x : a) {
+      RowView row = scan.row(x);
+      ta.emplace_back(row.begin(), row.end());
+    }
+    for (uint32_t x : b) {
+      RowView row = adaptive.row(x);
+      tb.emplace_back(row.begin(), row.end());
+    }
     std::sort(ta.begin(), ta.end());
     std::sort(tb.begin(), tb.end());
     EXPECT_EQ(ta, tb);

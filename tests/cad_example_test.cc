@@ -109,7 +109,7 @@ class FakeWindowSystem {
     highlight.free_arity = 0;
     highlight.fn = [this](TermPool* pool, const Relation& input,
                           Relation* output) -> Status {
-      for (const Tuple& t : input) {
+      for (RowView t : input) {
         highlighted_.push_back(pool->ToString(t[0]));
         output->Insert(t);
       }
@@ -121,7 +121,7 @@ class FakeWindowSystem {
     dehighlight.name = "dehighlight";
     dehighlight.fn = [this](TermPool* pool, const Relation& input,
                             Relation* output) -> Status {
-      for (const Tuple& t : input) {
+      for (RowView t : input) {
         dehighlighted_.push_back(pool->ToString(t[0]));
         output->Insert(t);
       }

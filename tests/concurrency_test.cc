@@ -84,9 +84,9 @@ TEST(ConcurrencyTest, SnapshotsNeverObserveTornMultiRelationWrites) {
     for (int i = 1; i <= kWrites; ++i) {
       Status s = engine.Mutate([i](Database* edb, Database*, TermPool* pool) {
         edb->GetOrCreate(pool->MakeSymbol("a"), 1)
-            ->Insert({pool->MakeInt(i)});
+            ->Insert(Tuple{pool->MakeInt(i)});
         edb->GetOrCreate(pool->MakeSymbol("b"), 1)
-            ->Insert({pool->MakeInt(i)});
+            ->Insert(Tuple{pool->MakeInt(i)});
         return Status::OK();
       });
       ASSERT_TRUE(s.ok()) << s;
@@ -365,7 +365,7 @@ TEST(ConcurrencyTest, RelationVersionReadableWhileWriterMutates) {
     for (int i = 1; i <= 500; ++i) {
       Status s = engine.Mutate([i](Database* edb, Database*, TermPool* pool) {
         edb->GetOrCreate(pool->MakeSymbol("v"), 1)
-            ->Insert({pool->MakeInt(i)});
+            ->Insert(Tuple{pool->MakeInt(i)});
         return Status::OK();
       });
       ASSERT_TRUE(s.ok());

@@ -42,7 +42,7 @@ class CrossFeatureTest
 TEST_P(CrossFeatureTest, HostGlueAndNailInOneStatement) {
   HostProcedure scale{"scale", 1, 1, false, nullptr};
   scale.fn = [](TermPool* pool, const Relation& input, Relation* output) {
-    for (const Tuple& t : input) {
+    for (RowView t : input) {
       if (!pool->IsInt(t[0])) continue;
       output->Insert(Tuple{t[0], pool->MakeInt(pool->IntValue(t[0]) * 100)});
     }

@@ -114,6 +114,26 @@ TEST(ExecStatsTest, HeadTuplesCountNetChanges) {
   EXPECT_EQ(engine.exec_stats().head_tuples, 0u);
 }
 
+TEST(ExecStatsTest, StorageStatsAggregateCounters) {
+  Engine engine;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(engine.AddFact(StrCat("e(", i % 7, ", ", i, ").")).ok());
+    // Duplicate insert: costs dedup probes, changes nothing.
+    ASSERT_TRUE(engine.AddFact(StrCat("e(", i % 7, ", ", i, ").")).ok());
+  }
+  ASSERT_TRUE(engine.ExecuteStatement("out(Y) := e(3, Y).").ok());
+  StorageStats s = engine.storage_stats();
+  EXPECT_GE(s.relations, 2u);  // e/2 and out/1
+  // 50 facts in e/2 plus the 7 derived out/1 tuples (i % 7 == 3).
+  EXPECT_GE(s.live_tuples, 57u);
+  EXPECT_GT(s.arena_bytes, 0u);
+  EXPECT_GT(s.dedup_probes, 50u);
+  // The keyed body match went through either a scan or an index.
+  EXPECT_GT(s.scan_rows + s.index_lookups, 0u);
+  std::string line = FormatStorageStats(s);
+  EXPECT_NE(line.find("arena bytes"), std::string::npos);
+}
+
 TEST(ExecStatsTest, NailRefreshCounted) {
   Engine engine;
   ASSERT_TRUE(engine.LoadProgram(R"(

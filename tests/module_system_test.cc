@@ -140,7 +140,7 @@ TEST(ModuleSystemTest, HostImportSatisfiesForeignModule) {
   Engine engine;
   HostProcedure beep{"beep", 1, 0, true, nullptr};
   beep.fn = [](TermPool*, const Relation& input, Relation* output) {
-    for (const Tuple& t : input) output->Insert(t);
+    for (RowView t : input) output->Insert(t);
     return Status::OK();
   };
   ASSERT_TRUE(engine.RegisterHostProcedure(std::move(beep)).ok());

@@ -59,7 +59,7 @@ TEST_P(StorageStressTest, RelationMatchesReferenceSet) {
 
   // Full-content comparison at the end.
   std::set<std::pair<int, int>> final_rel;
-  for (const Tuple& t : rel) {
+  for (RowView t : rel) {
     final_rel.emplace(static_cast<int>(pool.IntValue(t[0])),
                       static_cast<int>(pool.IntValue(t[1])));
   }
@@ -155,6 +155,73 @@ TEST(StorageEdgeTest, IndexOnHighColumns) {
   std::vector<uint32_t> rows;
   rel.Select(0b10000001, Tuple{pool.MakeInt(0), pool.MakeInt(7)}, &rows);
   EXPECT_EQ(rows.size(), 1u);
+}
+
+TEST(StorageEdgeTest, DedupAcrossManyRows) {
+  // >64k distinct rows force several dedup-table growths and span many
+  // arena chunks; every duplicate must still be rejected afterwards.
+  TermPool pool;
+  Relation rel("big", 2);
+  constexpr int kN = 70'000;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(rel.Insert(Tuple{pool.MakeInt(i / 256), pool.MakeInt(i)}));
+  }
+  EXPECT_EQ(rel.size(), static_cast<size_t>(kN));
+  for (int i = 0; i < kN; i += 997) {
+    EXPECT_FALSE(rel.Insert(Tuple{pool.MakeInt(i / 256), pool.MakeInt(i)}));
+    EXPECT_TRUE(rel.Contains(Tuple{pool.MakeInt(i / 256), pool.MakeInt(i)}));
+  }
+  EXPECT_EQ(rel.size(), static_cast<size_t>(kN));
+  EXPECT_GT(rel.counters().dedup_probes, static_cast<uint64_t>(kN));
+}
+
+TEST(StorageEdgeTest, InsertEraseSelectCompactInterleave) {
+  // Regression for index/dedup consistency across Erase -> Remove ->
+  // Compact under the arena layout: indexes must survive row-id
+  // renumbering and tombstoned dedup slots must be recycled.
+  TermPool pool;
+  Relation rel("r", 2);
+  rel.EnsureIndex(0b01);
+  auto tup = [&pool](int a, int b) {
+    return Tuple{pool.MakeInt(a), pool.MakeInt(b)};
+  };
+  auto check = [&](int key, size_t expected) {
+    std::vector<uint32_t> rows;
+    rel.Select(0b01, Tuple{pool.MakeInt(key)}, &rows);
+    ASSERT_EQ(rows.size(), expected) << "key " << key;
+    for (uint32_t r : rows) {
+      EXPECT_EQ(pool.IntValue(rel.row(r)[0]), key);
+    }
+  };
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 500; ++i) rel.Insert(tup(i % 10, round * 1000 + i));
+    check(3, 50u);
+    check(4, 50u);
+    // i % 10 preserves parity, so erasing every even i empties exactly the
+    // even keys and leaves the odd keys whole.
+    for (int i = 0; i < 500; i += 2) rel.Erase(tup(i % 10, round * 1000 + i));
+    check(4, 0u);
+    check(3, 50u);
+    rel.Compact();  // renumbers row ids; index answers must not change
+    check(4, 0u);
+    check(3, 50u);
+    for (int i = 1; i < 500; i += 2) rel.Erase(tup(i % 10, round * 1000 + i));
+    check(3, 0u);
+    EXPECT_TRUE(rel.empty());
+    for (int i = 0; i < 500; ++i) rel.Insert(tup(i % 10, round * 1000 + i));
+    check(3, 50u);
+    check(4, 50u);
+    // Alternate between carrying the index through Clear-rebuild and
+    // compacting a fully-live relation.
+    if (round % 2 == 1) {
+      rel.Clear();
+      rel.EnsureIndex(0b01);
+    } else {
+      rel.Compact();
+      for (int i = 0; i < 500; ++i) rel.Erase(tup(i % 10, round * 1000 + i));
+      EXPECT_TRUE(rel.empty());
+    }
+  }
 }
 
 TEST(StorageEdgeTest, ManyIndexesStayConsistent) {

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Builds the benchmarks in Release mode and runs them, leaving one
+# BENCH_<name>.json per benchmark in the repo root (or $BENCH_OUT_DIR).
+#
+# Usage: tools/run_bench.sh [bench_name ...]
+#   tools/run_bench.sh                 # run every bench target
+#   tools/run_bench.sh bench_storage   # run just one
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BENCH_BUILD_DIR:-$repo_root/build-release}"
+out_dir="${BENCH_OUT_DIR:-$repo_root}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$build_dir" -j >/dev/null
+
+if [ "$#" -gt 0 ]; then
+  benches=("$@")
+else
+  benches=()
+  for exe in "$build_dir"/bench/bench_*; do
+    [ -x "$exe" ] && benches+=("$(basename "$exe")")
+  done
+fi
+
+for name in "${benches[@]}"; do
+  exe="$build_dir/bench/$name"
+  if [ ! -x "$exe" ]; then
+    echo "error: no such benchmark: $name" >&2
+    exit 1
+  fi
+  out="$out_dir/BENCH_${name#bench_}.json"
+  echo "== $name -> $out"
+  "$exe" --benchmark_out="$out" --benchmark_out_format=json
+done
