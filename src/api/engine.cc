@@ -14,6 +14,36 @@
 
 namespace gluenail {
 
+namespace {
+
+/// Installs a control block on the writer-path executor for the duration
+/// of one guarded call. Safe under the exclusive writer lock: nothing else
+/// runs through executor_ while the scope is live.
+class ControlScope {
+ public:
+  ControlScope(Executor* exec, const ExecControl* ctl) : exec_(exec) {
+    if (exec_ != nullptr) exec_->set_control(ctl);
+  }
+  ~ControlScope() {
+    if (exec_ != nullptr) exec_->set_control(nullptr);
+  }
+  ControlScope(const ControlScope&) = delete;
+  ControlScope& operator=(const ControlScope&) = delete;
+
+ private:
+  Executor* exec_;
+};
+
+ExecControl MakeControl(const QueryOptions& options) {
+  ExecControl ctl;
+  ctl.deadline = options.deadline;
+  ctl.cancel = options.cancel;
+  ctl.limits = options.limits;
+  return ctl;
+}
+
+}  // namespace
+
 Engine::Engine() : Engine(EngineOptions{}) {}
 
 Engine::Engine(EngineOptions options)
@@ -168,10 +198,26 @@ Result<Engine::QueryResult> Engine::Query(std::string_view goal,
                                           const QueryOptions& options) {
   std::unique_lock<std::shared_mutex> lock(state_mu_);
   GLUENAIL_RETURN_NOT_OK(EnsureLoadedLocked());
-  if (options.strategy == QueryStrategy::kMagic) {
-    return QueryMagicWith(goal, ExecOptions{});
+  ExecControl ctl = MakeControl(options);
+  const ExecControl* ctl_ptr = options.guarded() ? &ctl : nullptr;
+  if (ctl_ptr != nullptr) {
+    // Fail fast on pre-cancelled tokens and already-expired deadlines.
+    GLUENAIL_RETURN_NOT_OK(ctl.Check());
   }
-  return QueryGoalWith(executor_.get(), goal);
+  // Arena growth reports OOM (real or injected) as bad_alloc; surface it
+  // as a status so the engine stays usable. Any half-built NAIL! state is
+  // memo-invalid (Refresh unwound) and recomputed on the next demand.
+  try {
+    if (options.strategy == QueryStrategy::kMagic) {
+      ExecOptions eo;
+      eo.control = ctl_ptr;
+      return QueryMagicWith(goal, eo);
+    }
+    ControlScope scope(executor_.get(), ctl_ptr);
+    return QueryGoalWith(executor_.get(), goal);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted("allocation failed during query");
+  }
 }
 
 Result<Engine::QueryResult> Engine::QueryGoalWith(Executor* exec,
@@ -375,6 +421,12 @@ Status Engine::SaveEdbFile(const std::string& path) {
 Status Engine::LoadEdbFile(const std::string& path) {
   std::unique_lock<std::shared_mutex> lock(state_mu_);
   return LoadDatabaseFromFile(&edb_, path);
+}
+
+Result<LoadReport> Engine::LoadEdbFile(const std::string& path,
+                                       const LoadOptions& options) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  return LoadDatabaseFromFile(&edb_, path, options);
 }
 
 Result<std::vector<Tuple>> Engine::RelationContents(

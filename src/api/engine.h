@@ -34,6 +34,7 @@
 #include "src/analysis/resolver.h"
 #include "src/api/options.h"
 #include "src/api/stats.h"
+#include "src/common/deadline.h"
 #include "src/storage/database.h"
 #include "src/storage/persistence.h"
 #include "src/storage/snapshot.h"
@@ -52,6 +53,22 @@ enum class QueryStrategy {
 
 struct QueryOptions {
   QueryStrategy strategy = QueryStrategy::kBottomUp;
+
+  // --- Guardrails (see src/common/deadline.h) ----------------------------
+  /// Wall-clock bound; an expired deadline aborts with Status::Cancelled.
+  Deadline deadline;
+  /// Cooperative cancellation; trip from another thread to abort with
+  /// Status::Cancelled. Default-constructed tokens are inert.
+  CancelToken cancel;
+  /// Tuple / arena-byte budgets; exceeding one aborts the query with
+  /// Status::ResourceExhausted before memory runs away.
+  ResourceLimits limits;
+
+  /// True when any guardrail is active (the unguarded path stays
+  /// zero-overhead).
+  bool guarded() const {
+    return !deadline.infinite() || cancel.valid() || !limits.unlimited();
+  }
 };
 
 /// An immutable, consistent view of the engine's databases at one point in
@@ -170,9 +187,15 @@ class Engine {
   /// Inserts one ground fact, "edge(1,2)." (trailing dot optional).
   Status AddFact(std::string_view fact);
 
-  /// §10: EDB persistence between runs.
+  /// §10: EDB persistence between runs. Saves are crash-safe (temp file +
+  /// fsync + atomic rename); loads are all-or-nothing under kStrict.
   Status SaveEdbFile(const std::string& path);
   Status LoadEdbFile(const std::string& path);
+  /// Load with explicit recovery options (RecoveryMode::kSalvage keeps the
+  /// checksummed-good relations of a torn file); reports what was loaded
+  /// and what was dropped.
+  Result<LoadReport> LoadEdbFile(const std::string& path,
+                                 const LoadOptions& options);
 
   /// Sorted contents of an EDB relation or NAIL! predicate instance.
   Result<std::vector<Tuple>> RelationContents(std::string_view name_term,

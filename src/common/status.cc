@@ -27,6 +27,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "internal error";
     case StatusCode::kNotFound:
       return "not found";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
   }
   return "unknown";
 }

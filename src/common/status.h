@@ -37,6 +37,13 @@ enum class StatusCode : int {
   kInternal = 6,
   /// Requested entity does not exist.
   kNotFound = 7,
+  /// Evaluation was abandoned: an explicit CancelToken fired or a query
+  /// deadline expired. The engine's state is unaffected (partial NAIL!
+  /// materializations are invalidated and recomputed on next demand).
+  kCancelled = 8,
+  /// A resource budget was exceeded (tuple or arena-byte limit) or an
+  /// allocation failed; evaluation aborted instead of exhausting memory.
+  kResourceExhausted = 9,
 };
 
 /// \brief Returns a stable lowercase name for a status code.
@@ -81,6 +88,12 @@ class [[nodiscard]] Status {
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : rep_->code; }
@@ -96,6 +109,10 @@ class [[nodiscard]] Status {
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;

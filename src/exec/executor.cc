@@ -454,6 +454,9 @@ Status Executor::ExecBlock(const std::vector<CInstr>& code,
               StrCat("repeat loop in ", proc.name, " exceeded ",
                      options_.max_loop_iterations, " iterations"));
         }
+        // Repeat loops are where generated NAIL! drivers (and user
+        // programs) run their fixpoints; check guardrails per iteration.
+        GLUENAIL_RETURN_NOT_OK(CheckStorageBudgets());
         GLUENAIL_RETURN_NOT_OK(ExecBlock(instr.body, proc, frame));
         if (frame->returned) return Status::OK();
         GLUENAIL_ASSIGN_OR_RETURN(bool done, EvalCond(instr.cond, frame));
@@ -462,6 +465,22 @@ Status Executor::ExecBlock(const std::vector<CInstr>& code,
     }
   }
   return Status::OK();
+}
+
+Status Executor::CheckStorageBudgets() {
+  const ExecControl* c = control();
+  if (c == nullptr) return Status::OK();
+  ++stats_.control_checks;
+  GLUENAIL_RETURN_NOT_OK(c->Check());
+  if (c->limits.unlimited() || idb_ == nullptr) return Status::OK();
+  uint64_t tuples = 0;
+  uint64_t bytes = 0;
+  idb_->ForEach([&](TermId, uint32_t, Relation* rel) {
+    tuples += rel->size();
+    bytes += rel->arena_bytes();
+  });
+  GLUENAIL_RETURN_NOT_OK(c->CheckTuples(tuples));
+  return c->CheckArenaBytes(bytes);
 }
 
 Status Executor::CallProcedureByIndex(int index, const Relation& input,

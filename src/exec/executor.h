@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/deadline.h"
 #include "src/common/result.h"
 #include "src/exec/bindings.h"
 #include "src/exec/eval.h"
@@ -48,6 +49,10 @@ struct ExecOptions {
   /// passed to this executor is a private scratch database, so kNail writes
   /// and refreshes stay allowed while the shared EDB remains read-only.
   bool writable_private_idb = false;
+  /// Borrowed per-query guardrails (deadline, cancellation, budgets); null
+  /// when the query is unguarded. The owner (Engine/Session) keeps the
+  /// control alive for the duration of the evaluation.
+  const ExecControl* control = nullptr;
 };
 
 /// Run-time counters surfaced through Engine::stats().
@@ -62,6 +67,8 @@ struct ExecStats {
   uint64_t loop_iterations = 0;
   uint64_t head_tuples = 0;
   uint64_t nail_refreshes = 0;
+  /// Full guardrail checks performed (cancel/deadline/budget probes).
+  uint64_t control_checks = 0;
 };
 
 /// Interface to the NAIL! engine (implemented in src/nail/seminaive.cc).
@@ -139,6 +146,46 @@ class Executor {
   const ExecStats& stats() const { return stats_; }
   const ExecOptions& options() const { return options_; }
 
+  // --- Query guardrails ---------------------------------------------------
+
+  /// Installs (or clears, with nullptr) a per-query control that overrides
+  /// ExecOptions::control. The Engine's writer path uses this to guard a
+  /// query run through its long-lived executor; callers must clear it when
+  /// the query finishes (see the ControlScope RAII in engine.cc).
+  void set_control(const ExecControl* control) { control_override_ = control; }
+  /// The active guardrails: the per-query override, else the one baked
+  /// into ExecOptions, else null (unguarded).
+  const ExecControl* control() const {
+    return control_override_ != nullptr ? control_override_
+                                        : options_.control;
+  }
+
+  /// Cheap inner-loop probe: a full cancel/deadline check every 4096th
+  /// call, a pointer test otherwise. Scan loops call this per row.
+  Status TickControl() {
+    const ExecControl* c = control();
+    if (c == nullptr) return Status::OK();
+    if ((++control_tick_ & 0xFFF) != 0) return Status::OK();
+    ++stats_.control_checks;
+    return c->Check();
+  }
+
+  /// Op-boundary check: cancel/deadline plus the tuple budget against the
+  /// records materialized so far in the current statement.
+  Status CheckControl(uint64_t produced) {
+    const ExecControl* c = control();
+    if (c == nullptr) return Status::OK();
+    ++stats_.control_checks;
+    GLUENAIL_RETURN_NOT_OK(c->Check());
+    return c->CheckTuples(produced);
+  }
+
+  /// Fixpoint-boundary check: cancel/deadline plus both budgets against
+  /// the whole materialized IDB. The repeat loops of generated NAIL!
+  /// driver procedures and the direct semi-naive evaluator call this once
+  /// per iteration, so aborts land within one fixpoint iteration.
+  Status CheckStorageBudgets();
+
  private:
   // --- Strategy entry points (materialized.cc / pipelined.cc) -----------
   Status RunMaterialized(const StatementPlan& plan, Frame* frame,
@@ -203,6 +250,8 @@ class Executor {
   ExecOptions options_;
   ExecStats stats_;
   int call_depth_ = 0;
+  const ExecControl* control_override_ = nullptr;
+  uint64_t control_tick_ = 0;
   /// Name -> replacement relation for reads (parallel delta partitions).
   std::unordered_map<TermId, Relation*> read_overrides_;
 };

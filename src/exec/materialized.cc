@@ -18,6 +18,7 @@ Status Executor::RunMaterialized(const StatementPlan& plan, Frame* frame,
   OpRunner runner(this, plan, frame);
   for (const PlanOp& op : plan.ops) {
     if (cur.empty()) break;  // §3.2: empty sup stops the statement
+    GLUENAIL_RETURN_NOT_OK(CheckControl(cur.records.size()));
     switch (op.kind) {
       case OpKind::kMatch:
       case OpKind::kNegMatch:

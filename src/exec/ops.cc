@@ -61,6 +61,8 @@ Status OpRunner::StreamMatchRelation(const PlanOp& op, Relation* rel,
     exec_->SelectRows(rel, op.bound_mask, scratch->key, &scratch->rows);
     Status st;
     for (uint32_t row : scratch->rows) {
+      st = exec_->TickControl();
+      if (!st.ok()) break;
       undo.clear();
       if (MatchColumns(op.col_patterns, rel->row(row), *exec_->pool_, rec,
                        &undo)) {
@@ -73,6 +75,7 @@ Status OpRunner::StreamMatchRelation(const PlanOp& op, Relation* rel,
     return st;
   }
   for (RowView tuple : *rel) {
+    GLUENAIL_RETURN_NOT_OK(exec_->TickControl());
     undo.clear();
     if (MatchColumns(op.col_patterns, tuple, *exec_->pool_, rec, &undo)) {
       GLUENAIL_RETURN_NOT_OK(emit(rec, group));
@@ -152,6 +155,7 @@ Result<bool> OpRunner::HasMatch(const PlanOp& op, Relation* rel,
     return found;
   }
   for (RowView tuple : *rel) {
+    GLUENAIL_RETURN_NOT_OK(exec_->TickControl());
     undo.clear();
     bool ok = MatchColumns(op.col_patterns, tuple, *exec_->pool_, rec, &undo);
     UnbindAll(undo, rec);

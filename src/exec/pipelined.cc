@@ -43,6 +43,7 @@ Status Executor::RunPipelined(const StatementPlan& plan, Frame* frame,
   size_t i = 0;
   const size_t n = plan.ops.size();
   while (i < n && !cur.empty()) {
+    GLUENAIL_RETURN_NOT_OK(CheckControl(cur.records.size()));
     // Find the end of the pipelineable run [i, j).
     size_t j = i;
     while (j < n && !IsBarrier(plan.ops[j])) ++j;

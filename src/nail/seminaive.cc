@@ -89,19 +89,27 @@ Status NailEngine::Refresh() {
   evaluating_ = true;
   Status st = ClearIdb();
   if (st.ok()) {
-    switch (mode_) {
-      case NailMode::kDirect:
-        st = RefreshDirect();
-        break;
-      case NailMode::kNaive:
-        st = RefreshNaive();
-        break;
-      case NailMode::kCompiledGlue:
-        st = RefreshCompiled();
-        break;
+    // Arena chunk allocation reports OOM (real or injected) by throwing
+    // bad_alloc; convert it here so evaluating_ is always unwound and the
+    // half-built IDB is recomputed on next demand instead of trusted.
+    try {
+      switch (mode_) {
+        case NailMode::kDirect:
+          st = RefreshDirect();
+          break;
+        case NailMode::kNaive:
+          st = RefreshNaive();
+          break;
+        case NailMode::kCompiledGlue:
+          st = RefreshCompiled();
+          break;
+      }
+      if (st.ok()) st = Publish();
+    } catch (const std::bad_alloc&) {
+      st = Status::ResourceExhausted(
+          "allocation failed during NAIL! evaluation");
     }
   }
-  if (st.ok()) st = Publish();
   evaluating_ = false;
   GLUENAIL_RETURN_NOT_OK(st.WithContext("NAIL! evaluation"));
   ++refresh_count_;
@@ -124,6 +132,9 @@ Status NailEngine::RefreshDirect() {
     const std::vector<int>& preds = program_.scc_order[s];
     while (true) {
       ++iteration_count_;
+      // Guardrails once per fixpoint iteration: a cancelled or
+      // over-budget query aborts within one iteration.
+      GLUENAIL_RETURN_NOT_OK(exec_->CheckStorageBudgets());
       // Clear newdelta relations.
       for (int p : preds) {
         const NailPred& pred = program_.preds[static_cast<size_t>(p)];
@@ -318,6 +329,7 @@ Status NailEngine::RefreshNaive() {
     const std::vector<int>& preds = program_.scc_order[s];
     while (true) {
       ++iteration_count_;
+      GLUENAIL_RETURN_NOT_OK(exec_->CheckStorageBudgets());
       uint64_t before = 0;
       for (int p : preds) {
         const NailPred& pred = program_.preds[static_cast<size_t>(p)];

@@ -1,11 +1,20 @@
 #include "src/storage/persistence.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <charconv>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <utility>
 #include <vector>
 
+#include "src/common/fault_injector.h"
 #include "src/common/strings.h"
 
 namespace gluenail {
@@ -222,6 +231,179 @@ void AppendFact(const TermPool& pool, TermId name, const Tuple& tuple,
   out->append(".\n");
 }
 
+// --- v2 checksummed framing ------------------------------------------------
+
+constexpr std::string_view kFileMagic = "%% gluenail-edb v2";
+constexpr uint64_t kFnvSeed = 0xcbf29ce484222325ULL;
+
+std::string Hex16(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf, 16);
+}
+
+/// Checksums are accumulated per logical line as hash(line + '\n') with
+/// trailing '\r' stripped first, so a file that went through CRLF
+/// translation still validates.
+uint64_t ChecksumLine(uint64_t h, std::string_view line) {
+  while (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  h = Fnv1a64(line.data(), line.size(), h);
+  return Fnv1a64("\n", 1, h);
+}
+
+/// Extracts the decimal value of "key=<digits>" from \p line.
+bool FindField(std::string_view line, std::string_view key, uint64_t* out) {
+  size_t at = line.find(key);
+  if (at == std::string_view::npos) return false;
+  const char* begin = line.data() + at + key.size();
+  const char* end = line.data() + line.size();
+  auto [p, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && p != begin;
+}
+
+/// Extracts the 16-hex-digit value of "checksum=<hex>" from \p line.
+bool FindChecksum(std::string_view line, uint64_t* out) {
+  constexpr std::string_view key = "checksum=";
+  size_t at = line.find(key);
+  if (at == std::string_view::npos) return false;
+  const char* begin = line.data() + at + key.size();
+  const char* end = line.data() + line.size();
+  auto [p, ec] = std::from_chars(begin, end, *out, 16);
+  return ec == std::errc() && p == begin + 16;
+}
+
+bool IsSectionHeader(std::string_view line) {
+  return StartsWith(line, "% ") &&
+         line.find(" tuples checksum=") != std::string_view::npos;
+}
+
+Status ErrnoError(std::string_view op, const std::string& path) {
+  return Status::IoError(
+      StrCat(op, " failed for ", path, ": ", std::strerror(errno)));
+}
+
+/// Parses one "name(args)." line into \p db (shared \p pool).
+Status ParseFactInto(Database* db, TermPool* pool, std::string_view line,
+                     size_t line_no) {
+  GroundTermReader reader(pool, line);
+  Result<TermId> fact = reader.ReadTerm();
+  if (!fact.ok()) {
+    return fact.status().WithContext(StrCat("line ", line_no));
+  }
+  Status dot = reader.ExpectDot();
+  if (!dot.ok()) return dot.WithContext(StrCat("line ", line_no));
+  GLUENAIL_RETURN_NOT_OK(
+      reader.ExpectEnd().WithContext(StrCat("line ", line_no)));
+  TermId t = *fact;
+  if (pool->IsCompound(t)) {
+    TermId name = pool->Functor(t);
+    std::span<const TermId> args = pool->Args(t);
+    Relation* rel = db->GetOrCreate(name, static_cast<uint32_t>(args.size()));
+    rel->Insert(args);  // span insert: no intermediate Tuple copy
+    return Status::OK();
+  }
+  if (pool->IsSymbol(t)) {
+    db->GetOrCreate(t, 0)->Insert(Tuple{});
+    return Status::OK();
+  }
+  return Status::ParseError(
+      StrCat("line ", line_no, ": a fact must be a symbol or compound"));
+}
+
+/// Unions every relation of \p staged into \p dst, creating as needed.
+void MergeInto(const Database& staged, Database* dst) {
+  staged.ForEach([&](TermId name, uint32_t arity, Relation* rel) {
+    dst->GetOrCreate(name, arity)->UnionAll(*rel);
+  });
+}
+
+struct Section {
+  std::string label;        // "edge/2", for reporting
+  uint64_t declared_tuples = 0;
+  uint64_t declared_checksum = 0;
+  size_t header_line_no = 0;
+  std::vector<std::pair<size_t, std::string>> lines;  // (line_no, text)
+};
+
+/// Splits a v2 body (every line after the %% header, \r-stripped) into
+/// sections. Stray lines before the first section header are returned in
+/// \p stray.
+void SplitSections(const std::vector<std::string>& lines,
+                   size_t first_line_no, std::vector<Section>* sections,
+                   std::vector<std::pair<size_t, std::string>>* stray) {
+  Section* cur = nullptr;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    size_t line_no = first_line_no + i;
+    if (IsSectionHeader(line)) {
+      sections->emplace_back();
+      cur = &sections->back();
+      cur->header_line_no = line_no;
+      FindChecksum(line, &cur->declared_checksum);
+      // "% <label>: <n> tuples checksum=<hex>" — anchor on the trailing
+      // keywords so a ':' inside a quoted relation name cannot confuse us.
+      size_t tup = line.find(" tuples checksum=");
+      size_t colon = line.rfind(": ", tup);
+      if (tup != std::string::npos && colon != std::string::npos &&
+          colon >= 2) {
+        const char* begin = line.data() + colon + 2;
+        const char* end = line.data() + tup;
+        std::from_chars(begin, end, cur->declared_tuples);
+        cur->label = line.substr(2, colon - 2);
+      } else {
+        cur->label = line;
+      }
+      continue;
+    }
+    if (cur == nullptr) {
+      stray->emplace_back(line_no, line);
+    } else {
+      cur->lines.emplace_back(line_no, line);
+    }
+  }
+}
+
+/// Validates and parses one section into its own scratch database; on
+/// success merges the scratch into \p staging and bumps the report.
+Status LoadSection(const Section& sec, Database* staging, TermPool* pool,
+                   LoadReport* report) {
+  if (sec.lines.size() != sec.declared_tuples) {
+    return Status::IoError(
+        StrCat("section ", sec.label, " (line ", sec.header_line_no,
+               "): expected ", sec.declared_tuples, " tuples, found ",
+               sec.lines.size(), " (torn file?)"));
+  }
+  uint64_t h = kFnvSeed;
+  for (const auto& [line_no, line] : sec.lines) h = ChecksumLine(h, line);
+  if (h != sec.declared_checksum) {
+    return Status::IoError(StrCat("section ", sec.label, " (line ",
+                                  sec.header_line_no,
+                                  "): checksum mismatch (corrupt file?)"));
+  }
+  Database scratch(pool);
+  for (const auto& [line_no, line] : sec.lines) {
+    GLUENAIL_RETURN_NOT_OK(ParseFactInto(&scratch, pool, line, line_no));
+  }
+  // Recreate the relation even when empty, so empty relations round-trip.
+  size_t slash = sec.label.rfind('/');
+  if (slash != std::string::npos) {
+    uint32_t arity = 0;
+    const char* begin = sec.label.data() + slash + 1;
+    const char* end = sec.label.data() + sec.label.size();
+    auto [p, ec] = std::from_chars(begin, end, arity);
+    if (ec == std::errc() && p == end) {
+      Result<TermId> name =
+          ParseGroundTerm(pool, sec.label.substr(0, slash));
+      if (name.ok()) scratch.GetOrCreate(*name, arity);
+    }
+  }
+  MergeInto(scratch, staging);
+  ++report->relations_loaded;
+  report->facts_loaded += sec.lines.size();
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<TermId> ParseGroundTerm(TermPool* pool, std::string_view text) {
@@ -231,7 +413,7 @@ Result<TermId> ParseGroundTerm(TermPool* pool, std::string_view text) {
   return t;
 }
 
-Status SaveDatabase(const Database& db, std::ostream& os) {
+std::string SerializeDatabase(const Database& db) {
   const TermPool& pool = *db.pool();
   // Collect and order relations by printed name for deterministic files.
   std::vector<std::pair<std::string, std::pair<TermId, Relation*>>> rels;
@@ -241,71 +423,231 @@ Status SaveDatabase(const Database& db, std::ostream& os) {
   });
   std::sort(rels.begin(), rels.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  std::string buf;
+
+  // Body first: each section is "% label: n tuples checksum=H" followed by
+  // its fact lines; the section checksum covers only the fact lines.
+  std::string body;
+  std::string facts;
+  uint64_t total_tuples = 0;
   for (const auto& [label, entry] : rels) {
     auto [name, rel] = entry;
-    buf.clear();
-    buf += StrCat("% ", label, ": ", rel->size(), " tuples\n");
+    facts.clear();
     for (const Tuple& t : rel->SortedTuples(pool)) {
-      AppendFact(pool, name, t, &buf);
+      AppendFact(pool, name, t, &facts);
     }
-    os << buf;
-    if (!os.good()) return Status::IoError("write failed while saving EDB");
+    total_tuples += rel->size();
+    body += StrCat("% ", label, ": ", rel->size(), " tuples checksum=",
+                   Hex16(Fnv1a64(facts.data(), facts.size())), "\n");
+    body += facts;
+  }
+  // The file checksum covers every line after the %% header.
+  std::string out =
+      StrCat(kFileMagic, " relations=", rels.size(), " tuples=", total_tuples,
+             " checksum=", Hex16(Fnv1a64(body.data(), body.size())), "\n");
+  out += body;
+  return out;
+}
+
+Status SaveDatabase(const Database& db, std::ostream& os) {
+  std::string buf = SerializeDatabase(db);
+  os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  os.flush();
+  // Stream state after the flush is the only truth about whether the bytes
+  // left the process; a full disk shows up here, not at write().
+  if (!os.good()) {
+    return Status::IoError("stream write failed while saving EDB");
   }
   return Status::OK();
 }
 
 Status SaveDatabaseToFile(const Database& db, const std::string& path) {
-  std::ofstream os(path);
-  if (!os.is_open()) {
-    return Status::IoError(StrCat("cannot open ", path, " for writing"));
-  }
-  return SaveDatabase(db, os).WithContext(path);
-}
+  const std::string data = SerializeDatabase(db);
+  // Temp file in the target's directory, so the final rename cannot cross
+  // a filesystem boundary (rename(2) is only atomic within one).
+  const std::string tmp = StrCat(path, ".tmp.", ::getpid());
 
-Status LoadDatabase(Database* db, std::istream& is) {
-  TermPool* pool = db->pool();
-  std::string line;
-  size_t line_no = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
-    // Strip comments and blank lines.
-    size_t first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos) continue;
-    if (line[first] == '%' || line[first] == '#') continue;
-    GroundTermReader reader(pool, line);
-    Result<TermId> fact = reader.ReadTerm();
-    if (!fact.ok()) {
-      return fact.status().WithContext(StrCat("line ", line_no));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoError("open", tmp);
+  auto fail = [&](Status st) {
+    if (fd >= 0) ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  };
+
+  // Write in bounded chunks so large databases span several write(2)
+  // calls — both for EINTR robustness and so the fault injector can hit
+  // any write, not just "the" write.
+  constexpr size_t kChunk = 64 * 1024;
+  size_t off = 0;
+  while (off < data.size()) {
+    Status st = InjectFault(FaultOp::kWrite, tmp);
+    if (!st.ok()) return fail(std::move(st));
+    size_t want = std::min(kChunk, data.size() - off);
+    ssize_t n = ::write(fd, data.data() + off, want);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail(ErrnoError("write", tmp));
     }
-    Status dot = reader.ExpectDot();
-    if (!dot.ok()) return dot.WithContext(StrCat("line ", line_no));
-    GLUENAIL_RETURN_NOT_OK(reader.ExpectEnd().WithContext(
-        StrCat("line ", line_no)));
-    TermId t = *fact;
-    if (pool->IsCompound(t)) {
-      TermId name = pool->Functor(t);
-      std::span<const TermId> args = pool->Args(t);
-      Relation* rel =
-          db->GetOrCreate(name, static_cast<uint32_t>(args.size()));
-      rel->Insert(args);  // span insert: no intermediate Tuple copy
-    } else if (pool->IsSymbol(t)) {
-      Relation* rel = db->GetOrCreate(t, 0);
-      rel->Insert(Tuple{});
-    } else {
-      return Status::ParseError(
-          StrCat("line ", line_no, ": a fact must be a symbol or compound"));
-    }
+    off += static_cast<size_t>(n);
+  }
+
+  Status st = InjectFault(FaultOp::kFsync, tmp);
+  if (!st.ok()) return fail(std::move(st));
+  if (::fsync(fd) != 0) return fail(ErrnoError("fsync", tmp));
+  if (::close(fd) != 0) {
+    fd = -1;  // the fd is gone even when close reports an error
+    return fail(ErrnoError("close", tmp));
+  }
+  fd = -1;
+
+  st = InjectFault(FaultOp::kRename, path);
+  if (!st.ok()) return fail(std::move(st));
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return fail(ErrnoError("rename", path));
+  }
+
+  // Durability of the rename itself: fsync the directory. Best-effort and
+  // deliberately not fault-injected — once rename succeeded the new file
+  // is complete and the old one gone, so reporting an error here would
+  // only mislead (the save can no longer be rolled back).
+  std::string dir = ".";
+  size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) dir = path.substr(0, slash + 1);
+  int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
   }
   return Status::OK();
 }
 
-Status LoadDatabaseFromFile(Database* db, const std::string& path) {
+Result<LoadReport> LoadDatabase(Database* db, std::istream& is,
+                                const LoadOptions& options) {
+  TermPool* pool = db->pool();
+  const bool salvage = options.recovery == RecoveryMode::kSalvage;
+  LoadReport report;
+
+  // Slurp lines up front (\r-stripped): both checksumming and salvage need
+  // to see the whole file before anything may touch \p db.
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(is, line)) {
+    while (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  if (is.bad()) return Status::IoError("read failed while loading EDB");
+
+  Database staging(pool);
+
+  if (!lines.empty() && StartsWith(lines[0], kFileMagic)) {
+    // --- v2 checksummed format ------------------------------------------
+    uint64_t declared_relations = 0;
+    uint64_t declared_tuples = 0;
+    uint64_t declared_checksum = 0;
+    bool header_ok = FindField(lines[0], "relations=", &declared_relations) &&
+                     FindField(lines[0], "tuples=", &declared_tuples) &&
+                     FindChecksum(lines[0], &declared_checksum);
+    if (!header_ok && !salvage) {
+      return Status::ParseError("malformed gluenail-edb v2 header");
+    }
+
+    std::vector<std::string> body(lines.begin() + 1, lines.end());
+    if (header_ok) {
+      uint64_t h = kFnvSeed;
+      for (const std::string& l : body) h = ChecksumLine(h, l);
+      if (h != declared_checksum && !salvage) {
+        return Status::IoError(
+            "file checksum mismatch (torn or corrupt EDB file); "
+            "retry with RecoveryMode::kSalvage to keep the good relations");
+      }
+    }
+
+    std::vector<Section> sections;
+    std::vector<std::pair<size_t, std::string>> stray;
+    SplitSections(body, /*first_line_no=*/2, &sections, &stray);
+
+    if (!salvage) {
+      if (!stray.empty()) {
+        return Status::ParseError(
+            StrCat("line ", stray.front().first,
+                   ": content outside any relation section"));
+      }
+      if (sections.size() != declared_relations) {
+        return Status::IoError(
+            StrCat("expected ", declared_relations, " relation sections, "
+                   "found ", sections.size(), " (torn file?)"));
+      }
+      for (const Section& sec : sections) {
+        GLUENAIL_RETURN_NOT_OK(LoadSection(sec, &staging, pool, &report));
+      }
+      if (report.facts_loaded != declared_tuples) {
+        return Status::IoError(
+            StrCat("expected ", declared_tuples, " tuples, found ",
+                   report.facts_loaded));
+      }
+    } else {
+      // Salvage: every section stands or falls on its own checksum.
+      for (const auto& [line_no, text] : stray) {
+        ++report.lines_dropped;
+        report.dropped.push_back(
+            StrCat("line ", line_no, ": outside any relation section"));
+      }
+      for (const Section& sec : sections) {
+        Status sec_st = LoadSection(sec, &staging, pool, &report);
+        if (!sec_st.ok()) {
+          ++report.sections_dropped;
+          report.dropped.push_back(sec_st.message());
+        }
+      }
+    }
+  } else {
+    // --- legacy headerless fact files -----------------------------------
+    for (size_t i = 0; i < lines.size(); ++i) {
+      const std::string& l = lines[i];
+      size_t first = l.find_first_not_of(" \t");
+      if (first == std::string::npos) continue;
+      if (l[first] == '%' || l[first] == '#') continue;
+      Status st = ParseFactInto(&staging, pool, l, i + 1);
+      if (!st.ok()) {
+        if (!salvage) return st;
+        ++report.lines_dropped;
+        report.dropped.push_back(st.message());
+        continue;
+      }
+      ++report.facts_loaded;
+    }
+    report.relations_loaded = staging.num_relations();
+  }
+
+  // Validation passed (or salvage kept what it could): only now touch the
+  // destination. A failed load above returned without mutating *db.
+  MergeInto(staging, db);
+  return report;
+}
+
+Status LoadDatabase(Database* db, std::istream& is) {
+  GLUENAIL_ASSIGN_OR_RETURN(LoadReport report,
+                            LoadDatabase(db, is, LoadOptions{}));
+  (void)report;
+  return Status::OK();
+}
+
+Result<LoadReport> LoadDatabaseFromFile(Database* db, const std::string& path,
+                                        const LoadOptions& options) {
   std::ifstream is(path);
   if (!is.is_open()) {
     return Status::IoError(StrCat("cannot open ", path, " for reading"));
   }
-  return LoadDatabase(db, is).WithContext(path);
+  Result<LoadReport> out = LoadDatabase(db, is, options);
+  if (!out.ok()) return out.status().WithContext(path);
+  return out;
+}
+
+Status LoadDatabaseFromFile(Database* db, const std::string& path) {
+  GLUENAIL_ASSIGN_OR_RETURN(LoadReport report,
+                            LoadDatabaseFromFile(db, path, LoadOptions{}));
+  (void)report;
+  return Status::OK();
 }
 
 }  // namespace gluenail

@@ -1,14 +1,34 @@
 /// \file persistence.h
 /// \brief EDB persistence: "storing EDB relations on disk between runs"
-/// (paper §10).
+/// (paper §10), hardened for crash safety.
 ///
-/// The on-disk format is plain fact syntax, one ground fact per line:
+/// The on-disk format is plain fact syntax, one ground fact per line,
+/// framed by checksummed headers (format v2):
 ///
+///     %% gluenail-edb v2 relations=2 tuples=6 checksum=89abcdef01234567
+///     % edge/2: 5 tuples checksum=0123456789abcdef
 ///     edge(1,2).
 ///     tolerance(2.5).
 ///     students(cs99)(wilson).      % parameterized (HiLog) predicate
 ///     flag.                        % zero-arity relation
-///     % comment lines start with '%' or '#'
+///
+/// The `%%` header carries the relation/tuple counts and a whole-file
+/// checksum; each `%` section header carries its relation's tuple count
+/// and a checksum over just that section's fact lines. Checksums are
+/// FNV-1a 64 over lines normalized to LF endings, so files survive CRLF
+/// translation. Headerless files (format v1, and hand-written fact files)
+/// still load.
+///
+/// Crash safety:
+///  * SaveDatabaseToFile writes a temp file in the target's directory,
+///    fsyncs, and atomically renames over the target — a crash at any
+///    point leaves either the old complete file or the new complete file,
+///    never a torn one.
+///  * Loading stages everything into a scratch database and swaps into
+///    the destination only after full validation: a failed load leaves
+///    the destination untouched (all-or-nothing).
+///  * RecoveryMode::kSalvage keeps the checksummed-good relations of a
+///    torn or partially corrupted file and reports what was dropped.
 ///
 /// Every fact is simply a ground term whose functor is the predicate name
 /// and whose arguments are the tuple; the loader therefore needs only a
@@ -21,20 +41,68 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "src/common/result.h"
 #include "src/storage/database.h"
 
 namespace gluenail {
 
-/// Writes every relation of \p db in canonical sorted order.
+/// How loading reacts to a corrupt or torn file.
+enum class RecoveryMode {
+  /// Any validation failure (bad checksum, short section, parse error)
+  /// fails the whole load; the destination database is untouched.
+  kStrict,
+  /// Keep every relation section whose own checksum and tuple count
+  /// validate; drop (and report) the rest. Headerless legacy files
+  /// salvage line-by-line instead of section-by-section.
+  kSalvage,
+};
+
+struct LoadOptions {
+  RecoveryMode recovery = RecoveryMode::kStrict;
+};
+
+/// What a load accomplished — and, under kSalvage, what it had to drop.
+struct LoadReport {
+  size_t relations_loaded = 0;
+  uint64_t facts_loaded = 0;
+  /// Relation sections dropped by salvage (checksum/count/parse failures).
+  size_t sections_dropped = 0;
+  /// Individual fact lines dropped by salvage (legacy headerless files).
+  size_t lines_dropped = 0;
+  /// One human-readable reason per dropped section or line.
+  std::vector<std::string> dropped;
+
+  bool clean() const { return sections_dropped == 0 && lines_dropped == 0; }
+};
+
+/// Serializes every relation of \p db in canonical sorted order, with the
+/// v2 checksummed headers. Infallible; the result is what the save
+/// functions write.
+std::string SerializeDatabase(const Database& db);
+
+/// Writes SerializeDatabase(db) to \p os and flushes, verifying stream
+/// state afterwards: a full disk or broken pipe surfaces as
+/// Status::IoError, never as a silent truncation.
 Status SaveDatabase(const Database& db, std::ostream& os);
+
+/// Crash-safe save: temp file in the same directory, fsync, atomic
+/// rename. On any failure the previous file content is untouched and the
+/// temp file is removed.
 Status SaveDatabaseToFile(const Database& db, const std::string& path);
 
-/// Reads facts into \p db, creating relations as needed. Existing tuples
-/// are kept; duplicates in the input are harmless (relations dedupe).
+/// Reads facts into \p db, creating relations as needed. All-or-nothing:
+/// facts are staged into a scratch database and merged only after the
+/// whole input validates. Existing tuples are kept; duplicates in the
+/// input are harmless (relations dedupe).
 Status LoadDatabase(Database* db, std::istream& is);
+Result<LoadReport> LoadDatabase(Database* db, std::istream& is,
+                                const LoadOptions& options);
+
 Status LoadDatabaseFromFile(Database* db, const std::string& path);
+Result<LoadReport> LoadDatabaseFromFile(Database* db, const std::string& path,
+                                        const LoadOptions& options);
 
 /// Parses one ground term from \p text (the whole string must be consumed,
 /// modulo surrounding whitespace). Exposed for tests and the Engine's

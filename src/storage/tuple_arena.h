@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "src/common/fault_injector.h"
 #include "src/term/term_pool.h"
 
 namespace gluenail {
@@ -69,6 +70,10 @@ class TupleArena {
     if (arity_ == 0) return id;  // arity-0 rows occupy no storage
     size_t chunk = id >> kRowsPerChunkShift;
     if (chunk == chunks_.size()) {
+      // Chunk allocation is the storage layer's only unbounded growth
+      // point; the injector seam simulates OOM here (as std::bad_alloc,
+      // converted to Status::ResourceExhausted at the query boundary).
+      FaultInjector::MaybeFailAlloc();
       chunks_.push_back(new TermId[size_t{kRowsPerChunk} * arity_]);
     }
     TermId* dst = chunks_[chunk] + size_t(id & kRowOffsetMask) * arity_;
@@ -85,6 +90,7 @@ class TupleArena {
     chunks_.reserve(src.chunks_.size());
     const size_t chunk_terms = size_t{kRowsPerChunk} * arity_;
     for (size_t c = 0; c < src.chunks_.size(); ++c) {
+      FaultInjector::MaybeFailAlloc();
       TermId* chunk = new TermId[chunk_terms];
       // The last chunk may be partially filled; copying it whole is still
       // within the source allocation.

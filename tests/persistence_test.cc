@@ -190,5 +190,198 @@ TEST_F(PersistenceTest, MissingFileReportsIoError) {
       LoadDatabaseFromFile(&db_, "/nonexistent/path/x.facts").IsIoError());
 }
 
+// --- v2 format and edge-case round-trips -----------------------------------
+
+namespace {
+
+/// Round-trips \p db through serialization into \p db2 (fresh pool).
+void RoundTrip(const Database& db, Database* db2) {
+  std::ostringstream out;
+  ASSERT_TRUE(SaveDatabase(db, out).ok());
+  std::istringstream in(out.str());
+  ASSERT_TRUE(LoadDatabase(db2, in).ok()) << out.str();
+}
+
+}  // namespace
+
+TEST_F(PersistenceTest, SerializeEmitsChecksummedHeader) {
+  db_.GetOrCreate(pool_.MakeSymbol("edge"), 2)
+      ->Insert(Tuple{pool_.MakeInt(1), pool_.MakeInt(2)});
+  std::string text = SerializeDatabase(db_);
+  EXPECT_TRUE(text.rfind("%% gluenail-edb v2 ", 0) == 0) << text;
+  EXPECT_NE(text.find("relations=1"), std::string::npos);
+  EXPECT_NE(text.find("tuples=1"), std::string::npos);
+  EXPECT_NE(text.find("checksum="), std::string::npos);
+  EXPECT_NE(text.find("% edge/2: 1 tuples checksum="), std::string::npos);
+}
+
+TEST_F(PersistenceTest, RoundTripsQuotedSymbolsWithEscapes) {
+  Relation* r = db_.GetOrCreate(pool_.MakeSymbol("q"), 1);
+  std::vector<std::string> names = {
+      "it's",  "back\\slash", "tab\there", "new\nline",
+      "quoted 'inner' text", "trailing space ", " leading",
+      "mixed \\' both \\\\ ways",
+  };
+  for (const std::string& n : names) {
+    r->Insert(Tuple{pool_.MakeSymbol(n)});
+  }
+  TermPool pool2;
+  Database db2(&pool2);
+  RoundTrip(db_, &db2);
+  Relation* r2 = db2.Find(pool2.MakeSymbol("q"), 1);
+  ASSERT_NE(r2, nullptr);
+  EXPECT_EQ(r2->size(), names.size());
+  for (const std::string& n : names) {
+    EXPECT_TRUE(r2->Contains(Tuple{pool2.MakeSymbol(n)})) << n;
+  }
+}
+
+TEST_F(PersistenceTest, RoundTripsNegativeExponentFloats) {
+  Relation* r = db_.GetOrCreate(pool_.MakeSymbol("f"), 1);
+  std::vector<double> values = {-1.5e-7, 2.5e-300, -3e15, 1e-9, -0.0625};
+  for (double v : values) r->Insert(Tuple{pool_.MakeFloat(v)});
+  TermPool pool2;
+  Database db2(&pool2);
+  RoundTrip(db_, &db2);
+  Relation* r2 = db2.Find(pool2.MakeSymbol("f"), 1);
+  ASSERT_NE(r2, nullptr);
+  EXPECT_EQ(r2->size(), values.size());
+  for (double v : values) {
+    EXPECT_TRUE(r2->Contains(Tuple{pool2.MakeFloat(v)})) << v;
+  }
+}
+
+TEST_F(PersistenceTest, RoundTripsArityZeroAndEmptyRelations) {
+  db_.GetOrCreate(pool_.MakeSymbol("flag"), 0)->Insert(Tuple{});
+  db_.GetOrCreate(pool_.MakeSymbol("empty"), 3);  // zero tuples
+  TermPool pool2;
+  Database db2(&pool2);
+  RoundTrip(db_, &db2);
+  Relation* flag = db2.Find(pool2.MakeSymbol("flag"), 0);
+  ASSERT_NE(flag, nullptr);
+  EXPECT_EQ(flag->size(), 1u);
+  // v2 sections recreate even empty relations.
+  Relation* empty = db2.Find(pool2.MakeSymbol("empty"), 3);
+  ASSERT_NE(empty, nullptr);
+  EXPECT_EQ(empty->size(), 0u);
+}
+
+TEST_F(PersistenceTest, LoadsCrlfFilesWithValidChecksums) {
+  db_.GetOrCreate(pool_.MakeSymbol("edge"), 2)
+      ->Insert(Tuple{pool_.MakeInt(1), pool_.MakeInt(2)});
+  std::string text = SerializeDatabase(db_);
+  // Simulate a Windows checkout: every LF becomes CRLF.
+  std::string crlf;
+  for (char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  TermPool pool2;
+  Database db2(&pool2);
+  std::istringstream in(crlf);
+  ASSERT_TRUE(LoadDatabase(&db2, in).ok());
+  Relation* edge = db2.Find(pool2.MakeSymbol("edge"), 2);
+  ASSERT_NE(edge, nullptr);
+  EXPECT_EQ(edge->size(), 1u);
+}
+
+TEST_F(PersistenceTest, RoundTripsRelationLargerThan64kTuples) {
+  Relation* big = db_.GetOrCreate(pool_.MakeSymbol("big"), 2);
+  constexpr int kN = 70000;  // > 64k: spans many arena chunks / file writes
+  for (int i = 0; i < kN; ++i) {
+    big->Insert(Tuple{pool_.MakeInt(i), pool_.MakeInt(i + 1)});
+  }
+  const std::string path = testing::TempDir() + "/gluenail_big.facts";
+  ASSERT_TRUE(SaveDatabaseToFile(db_, path).ok());
+  TermPool pool2;
+  Database db2(&pool2);
+  ASSERT_TRUE(LoadDatabaseFromFile(&db2, path).ok());
+  Relation* big2 = db2.Find(pool2.MakeSymbol("big"), 2);
+  ASSERT_NE(big2, nullptr);
+  EXPECT_EQ(big2->size(), static_cast<size_t>(kN));
+  EXPECT_TRUE(big2->Contains(
+      Tuple{pool2.MakeInt(kN - 1), pool2.MakeInt(kN)}));
+  ::remove(path.c_str());
+}
+
+TEST_F(PersistenceTest, CorruptedFileFailsStrictLoadAllOrNothing) {
+  db_.GetOrCreate(pool_.MakeSymbol("edge"), 2)
+      ->Insert(Tuple{pool_.MakeInt(1), pool_.MakeInt(2)});
+  std::string text = SerializeDatabase(db_);
+  text[text.find("edge(1,2).") + 5] = '7';  // flip a byte in a fact
+
+  TermPool pool2;
+  Database db2(&pool2);
+  db2.GetOrCreate(pool2.MakeSymbol("keep"), 1)
+      ->Insert(Tuple{pool2.MakeInt(1)});
+  std::istringstream in(text);
+  Status st = LoadDatabase(&db2, in);
+  EXPECT_TRUE(st.IsIoError()) << st;
+  EXPECT_EQ(db2.num_relations(), 1u);  // destination untouched
+}
+
+TEST_F(PersistenceTest, TamperedHeaderCountFailsStrictLoad) {
+  db_.GetOrCreate(pool_.MakeSymbol("edge"), 2)
+      ->Insert(Tuple{pool_.MakeInt(1), pool_.MakeInt(2)});
+  std::string text = SerializeDatabase(db_);
+  size_t at = text.find("relations=1");
+  ASSERT_NE(at, std::string::npos);
+  text[at + std::string("relations=").size()] = '3';
+  TermPool pool2;
+  Database db2(&pool2);
+  std::istringstream in(text);
+  EXPECT_FALSE(LoadDatabase(&db2, in).ok());
+  EXPECT_EQ(db2.num_relations(), 0u);
+}
+
+TEST_F(PersistenceTest, LegacyHeaderlessFilesStillLoad) {
+  std::istringstream in(
+      "% hand-written legacy file, no %% header\n"
+      "edge(1,2).\n"
+      "edge(2,3).\n");
+  ASSERT_TRUE(LoadDatabase(&db_, in).ok());
+  Relation* edge = db_.Find(pool_.MakeSymbol("edge"), 2);
+  ASSERT_NE(edge, nullptr);
+  EXPECT_EQ(edge->size(), 2u);
+}
+
+TEST_F(PersistenceTest, LegacyLoadIsAllOrNothingInStrictMode) {
+  db_.GetOrCreate(pool_.MakeSymbol("keep"), 1)
+      ->Insert(Tuple{pool_.MakeInt(1)});
+  std::istringstream in(
+      "edge(1,2).\n"
+      "not a fact!!\n"
+      "edge(2,3).\n");
+  EXPECT_FALSE(LoadDatabase(&db_, in).ok());
+  // The parse failure on line 2 must not leave line 1 behind.
+  EXPECT_EQ(db_.Find(pool_.MakeSymbol("edge"), 2), nullptr);
+  EXPECT_EQ(db_.num_relations(), 1u);
+}
+
+TEST_F(PersistenceTest, LegacySalvageSkipsBadLines) {
+  std::istringstream in(
+      "edge(1,2).\n"
+      "not a fact!!\n"
+      "edge(2,3).\n");
+  LoadOptions opts;
+  opts.recovery = RecoveryMode::kSalvage;
+  Result<LoadReport> report = LoadDatabase(&db_, in, opts);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->facts_loaded, 2u);
+  EXPECT_EQ(report->lines_dropped, 1u);
+  ASSERT_EQ(report->dropped.size(), 1u);
+  Relation* edge = db_.Find(pool_.MakeSymbol("edge"), 2);
+  ASSERT_NE(edge, nullptr);
+  EXPECT_EQ(edge->size(), 2u);
+}
+
+TEST_F(PersistenceTest, StreamSaveReportsFailedStream) {
+  db_.GetOrCreate(pool_.MakeSymbol("edge"), 2)
+      ->Insert(Tuple{pool_.MakeInt(1), pool_.MakeInt(2)});
+  std::ostringstream os;
+  os.setstate(std::ios::badbit);  // simulate a dead sink
+  EXPECT_TRUE(SaveDatabase(db_, os).IsIoError());
+}
+
 }  // namespace
 }  // namespace gluenail

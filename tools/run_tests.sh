@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite across the build configurations the CI
+# matrix cares about:
+#
+#   debug  — plain Debug build, full ctest suite
+#   asan   — -DGLUENAIL_ASAN=ON, runs the asan-labelled storage tests
+#   tsan   — -DGLUENAIL_TSAN=ON, runs the tsan-labelled concurrency tests
+#   fault  — Debug build, runs only the faultinject-labelled matrix
+#
+# Usage: tools/run_tests.sh [config ...]
+#   tools/run_tests.sh                # debug + asan + tsan
+#   tools/run_tests.sh debug          # just the plain suite
+#   tools/run_tests.sh fault          # just the fault-injection matrix
+#
+# Build trees are kept per-config under build-<config>/ (override the
+# prefix with $TEST_BUILD_PREFIX) so switching configs never thrashes one
+# cache.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+prefix="${TEST_BUILD_PREFIX:-$repo_root/build}"
+
+configure_and_build() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S "$repo_root" "$@" >/dev/null
+  cmake --build "$dir" -j
+}
+
+run_config() {
+  local config="$1"
+  case "$config" in
+    debug)
+      configure_and_build "$prefix-debug" -DCMAKE_BUILD_TYPE=Debug
+      (cd "$prefix-debug" && ctest --output-on-failure -j)
+      ;;
+    asan)
+      configure_and_build "$prefix-asan" -DCMAKE_BUILD_TYPE=Debug \
+        -DGLUENAIL_ASAN=ON
+      (cd "$prefix-asan" && ctest --output-on-failure -j -L asan)
+      ;;
+    tsan)
+      configure_and_build "$prefix-tsan" -DCMAKE_BUILD_TYPE=Debug \
+        -DGLUENAIL_TSAN=ON
+      (cd "$prefix-tsan" && ctest --output-on-failure -j -L tsan)
+      ;;
+    fault)
+      configure_and_build "$prefix-debug" -DCMAKE_BUILD_TYPE=Debug
+      (cd "$prefix-debug" && ctest --output-on-failure -j -L faultinject)
+      ;;
+    *)
+      echo "error: unknown config '$config' (debug|asan|tsan|fault)" >&2
+      exit 1
+      ;;
+  esac
+}
+
+configs=("$@")
+if [ "${#configs[@]}" -eq 0 ]; then
+  configs=(debug asan tsan)
+fi
+
+for config in "${configs[@]}"; do
+  echo "== $config"
+  run_config "$config"
+done
+echo "== all configs passed"
