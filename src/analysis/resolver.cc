@@ -296,7 +296,8 @@ Result<LinkedProgram> LinkProgram(const ast::Program& program,
         mod.procedures[static_cast<size_t>(ref.local_index)];
     Result<CompiledProcedure> compiled = CompileProcedureAst(
         proc, scope, pool, mod.name,
-        proc_fixed[static_cast<size_t>(ref.global)], opts.planner);
+        proc_fixed[static_cast<size_t>(ref.global)], opts.planner,
+        /*implicit_edb=*/false, opts.stats);
     if (!compiled.ok()) {
       return compiled.status().WithContext(
           StrCat("module ", mod.name, ", procedure ", proc.name));
@@ -316,7 +317,8 @@ Result<LinkedProgram> LinkProgram(const ast::Program& program,
           BuildSccProcedure(out.nail, static_cast<int>(s));
       Result<CompiledProcedure> compiled =
           CompileProcedureAst(proc, nail_scope, pool, "$nail", false,
-                              opts.planner, /*implicit_edb=*/true);
+                              opts.planner, /*implicit_edb=*/true,
+                              opts.stats);
       if (!compiled.ok()) {
         return compiled.status().WithContext(
             StrCat("generated NAIL! stratum ", s));
@@ -336,7 +338,8 @@ Result<LinkedProgram> LinkProgram(const ast::Program& program,
     ast::Procedure driver = BuildDriverProcedure(out.nail);
     Result<CompiledProcedure> compiled =
         CompileProcedureAst(driver, driver_scope, pool, "$nail", false,
-                            opts.planner, /*implicit_edb=*/true);
+                            opts.planner, /*implicit_edb=*/true,
+                            opts.stats);
     if (!compiled.ok()) {
       return compiled.status().WithContext("generated NAIL! driver");
     }

@@ -30,6 +30,9 @@ namespace gluenail {
 struct LinkOptions {
   PlannerOptions planner;
   NailMode nail_mode = NailMode::kCompiledGlue;
+  /// Cardinality oracle handed to the physical planner; may be nullptr
+  /// (plans fall back to default cardinalities).
+  const StatsProvider* stats = nullptr;
 };
 
 struct LinkedProgram {

@@ -24,6 +24,8 @@
 
 namespace gluenail {
 
+class StatsProvider;
+
 /// The predicate classes of paper §2 (plus implementation-level refinements
 /// of "Glue procedure": host and predefined I/O procedures share the same
 /// calling convention).
@@ -103,6 +105,9 @@ struct CompileEnv {
   bool in_procedure = false;
   uint32_t proc_bound_arity = 0;
   uint32_t proc_arity = 0;
+  /// Cardinality oracle for the physical planner; nullptr means no
+  /// statistics are available (the planner falls back to defaults).
+  const StatsProvider* stats = nullptr;
 };
 
 }  // namespace gluenail

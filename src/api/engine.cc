@@ -92,6 +92,7 @@ Status Engine::LoadProgramLocked(std::string_view source) {
   LinkOptions link_opts;
   link_opts.planner = options_.planner;
   link_opts.nail_mode = nail_mode;
+  link_opts.stats = &stats_provider_;
   GLUENAIL_ASSIGN_OR_RETURN(
       LinkedProgram linked, LinkProgram(parsed, hosts_, &pool_, link_opts));
   linked_ = std::make_unique<LinkedProgram>(std::move(linked));
@@ -104,7 +105,7 @@ Status Engine::LoadProgramLocked(std::string_view source) {
     nail_engine_->set_driver_proc(linked_->nail_driver_proc);
   } else {
     GLUENAIL_RETURN_NOT_OK(nail_engine_->CompileDirect(
-        linked_->builtin_scope.get(), options_.planner));
+        linked_->builtin_scope.get(), options_.planner, &stats_provider_));
   }
 
   RuntimeEnv env;
@@ -178,7 +179,7 @@ Result<CompiledProcedure> Engine::CompileAdhoc(const ast::Statement& stmt) {
   proc.body.push_back(stmt);
   return CompileProcedureAst(proc, *linked_->global_scope, &pool_, "$adhoc",
                              /*fixed=*/true, options_.planner,
-                             /*implicit_edb=*/true);
+                             /*implicit_edb=*/true, &stats_provider_);
 }
 
 Status Engine::ExecuteStatement(std::string_view statement) {
@@ -245,6 +246,7 @@ Result<Engine::QueryResult> Engine::QueryGoalWith(Executor* exec,
   env.pool = &pool_;
   env.scope = linked_->global_scope.get();
   env.implicit_edb = true;
+  env.stats = &stats_provider_;
   GLUENAIL_ASSIGN_OR_RETURN(StatementPlan plan,
                             PlanAssignment(a, env, options_.planner));
 
@@ -351,15 +353,34 @@ Result<Engine::QueryResult> Engine::QueryMagicWith(
   return out;
 }
 
-Result<std::string> Engine::ExplainStatement(std::string_view statement) {
+Result<std::string> Engine::ExplainStatement(std::string_view statement,
+                                             const ExplainOptions& options) {
   std::unique_lock<std::shared_mutex> lock(state_mu_);
   GLUENAIL_RETURN_NOT_OK(EnsureLoadedLocked());
   GLUENAIL_ASSIGN_OR_RETURN(ast::Statement stmt, ParseStatement(statement));
   GLUENAIL_ASSIGN_OR_RETURN(CompiledProcedure proc, CompileAdhoc(stmt));
   std::string out;
-  for (const StatementPlan& plan : proc.plans) {
-    out += PlanToString(plan, pool_);
+  if (!options.analyze) {
+    for (const StatementPlan& plan : proc.plans) {
+      out += PlanToString(plan, pool_);
+    }
+    return out;
   }
+  // ANALYZE: run the statement with per-op row profiling switched on, then
+  // render each op's estimate next to the rows it actually produced.
+  for (const StatementPlan& plan : proc.plans) {
+    executor_->EnableOpProfile(&plan);
+  }
+  Frame frame(&proc);
+  Status run = executor_->ExecBlock(proc.code, proc, &frame);
+  if (!run.ok()) {
+    executor_->ClearOpProfiles();
+    return run;
+  }
+  for (const StatementPlan& plan : proc.plans) {
+    out += PlanToString(plan, pool_, executor_->OpProfile(&plan));
+  }
+  executor_->ClearOpProfiles();
   return out;
 }
 

@@ -71,6 +71,12 @@ struct QueryOptions {
   }
 };
 
+struct ExplainOptions {
+  /// EXPLAIN ANALYZE: execute the statement and render per-op actual row
+  /// counts alongside the planner's estimates.
+  bool analyze = false;
+};
+
 /// An immutable, consistent view of the engine's databases at one point in
 /// time. Copyable and cheap to pass around (relation contents are shared,
 /// not duplicated); stays valid after the engine mutates or is destroyed —
@@ -118,22 +124,10 @@ class Engine {
   Result<TermId> InternTerm(std::string_view text);
 
   /// Runs \p fn with exclusive access to the raw databases and pool — the
-  /// explicit escape hatch replacing the deprecated mutable accessors.
+  /// explicit escape hatch for callers that need more than terms() /
+  /// InternTerm() / snapshot() / AddFact().
   Status Mutate(const std::function<Status(Database* edb, Database* idb,
                                            TermPool* pool)>& fn);
-
-  // --- Deprecated raw accessors ------------------------------------------
-
-  /// \deprecated Unsynchronized mutable accessors predate the concurrent
-  /// API. Use terms() / InternTerm() for terms, snapshot() for reads, and
-  /// Mutate() / AddFact() for writes. These remain for backward
-  /// compatibility and are only safe while no other thread touches the
-  /// engine.
-  TermPool* pool() { return &pool_; }
-  /// \deprecated See pool().
-  Database* edb() { return &edb_; }
-  /// \deprecated See pool().
-  Database* idb() { return &idb_; }
 
   // --- Write entry points (serialized behind the writer lock) ------------
 
@@ -173,16 +167,17 @@ class Engine {
   Result<std::vector<Tuple>> Call(std::string_view name,
                                   const std::vector<Tuple>& inputs);
 
-  /// \deprecated Thin shim for Query(goal, {.strategy = kMagic}).
-  Result<QueryResult> QueryMagic(std::string_view goal) {
-    QueryOptions options;
-    options.strategy = QueryStrategy::kMagic;
-    return Query(goal, options);
-  }
-
   /// EXPLAIN: compiles \p statement ad-hoc and renders its plan(s) —
-  /// access paths, keyed columns, barriers, head action.
-  Result<std::string> ExplainStatement(std::string_view statement);
+  /// access paths, keyed columns, barriers, head action, and the physical
+  /// planner's estimated row count per op.
+  Result<std::string> ExplainStatement(std::string_view statement) {
+    return ExplainStatement(statement, ExplainOptions{});
+  }
+  /// EXPLAIN ANALYZE (options.analyze): additionally *runs* the statement
+  /// — side effects included — and renders actual rows next to each op's
+  /// estimate, so misestimates are visible at a glance.
+  Result<std::string> ExplainStatement(std::string_view statement,
+                                       const ExplainOptions& options);
 
   /// Inserts one ground fact, "edge(1,2)." (trailing dot optional).
   Status AddFact(std::string_view fact);
@@ -251,6 +246,10 @@ class Engine {
   TermPool pool_;
   Database edb_;
   Database idb_;
+  /// Cardinality estimates for the physical planner, answered from the
+  /// live relations' incrementally maintained statistics (EDB first, then
+  /// IDB for NAIL! storage relations).
+  DatabasePairStatsProvider stats_provider_{&edb_, &idb_};
   std::vector<HostProcedure> hosts_;
   std::unique_ptr<LinkedProgram> linked_;
   std::unique_ptr<NailEngine> nail_engine_;

@@ -18,6 +18,7 @@ constexpr std::string_view kHelp = R"(commands:
   :edb FILE                 load facts into the EDB
   :save FILE                save the EDB
   :explain STMT.            show the compiled plan of a statement
+  :explain analyze STMT.    run it; show estimated vs. actual rows per op
   :relations                list EDB relations
   :stats                    execution statistics
   :help                     this text
@@ -134,8 +135,14 @@ Status Repl::Execute(const std::string& raw, bool* quit) {
       return Status::OK();
     }
     if (cmd == ":explain") {
+      ExplainOptions eopts;
+      std::string stmt = arg;
+      if (StartsWith(stmt, "analyze ") || StartsWith(stmt, "analyze\t")) {
+        eopts.analyze = true;
+        stmt = Trim(stmt.substr(8));
+      }
       GLUENAIL_ASSIGN_OR_RETURN(std::string plan,
-                                engine_->ExplainStatement(arg));
+                                engine_->ExplainStatement(stmt, eopts));
       *out_ << plan;
       return Status::OK();
     }

@@ -17,7 +17,9 @@ std::string FormatExecStats(const ExecStats& stats) {
                 " records, ", stats.pipeline_breaks, " pipeline breaks, ",
                 stats.duplicates_removed, " dups removed, ",
                 stats.proc_calls, " proc calls, ", stats.loop_iterations,
-                " loop iterations, ", stats.head_tuples, " head tuples");
+                " loop iterations, ", stats.head_tuples, " head tuples, ",
+                stats.match_rows, " match rows, ", stats.compare_rows,
+                " compare rows");
 }
 
 std::string FormatStorageStats(const StorageStats& stats) {

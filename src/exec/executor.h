@@ -69,6 +69,18 @@ struct ExecStats {
   uint64_t nail_refreshes = 0;
   /// Full guardrail checks performed (cancel/deadline/budget probes).
   uint64_t control_checks = 0;
+
+  // Per-op-kind rows produced ("actual_rows"): every record an op emits —
+  // or, for barrier ops, the size of the record set it leaves behind — is
+  // counted against its kind. EXPLAIN ANALYZE renders the per-op
+  // breakdown; these aggregates make plan behavior visible in stats().
+  uint64_t match_rows = 0;
+  uint64_t negmatch_rows = 0;
+  uint64_t compare_rows = 0;
+  uint64_t aggregate_rows = 0;
+  uint64_t groupby_rows = 0;
+  uint64_t call_rows = 0;
+  uint64_t update_rows = 0;
 };
 
 /// Interface to the NAIL! engine (implemented in src/nail/seminaive.cc).
@@ -145,6 +157,45 @@ class Executor {
   ExecStats& stats() { return stats_; }
   const ExecStats& stats() const { return stats_; }
   const ExecOptions& options() const { return options_; }
+
+  // --- Per-op profiling (EXPLAIN ANALYZE) --------------------------------
+
+  /// Starts collecting per-op actual row counts for \p plan (zeroing any
+  /// previous profile). The plan pointer must stay valid while profiled.
+  void EnableOpProfile(const StatementPlan* plan) {
+    op_profiles_[plan].assign(plan->ops.size(), 0);
+  }
+  /// The collected actual rows per op index, or nullptr if not profiled.
+  const std::vector<uint64_t>* OpProfile(const StatementPlan* plan) const {
+    auto it = op_profiles_.find(plan);
+    return it == op_profiles_.end() ? nullptr : &it->second;
+  }
+  /// Drops every profile (the keys are plan pointers, so callers must
+  /// clear before a profiled plan dies).
+  void ClearOpProfiles() { op_profiles_.clear(); }
+
+  /// Accounts \p n rows produced by \p op (which must live in plan.ops).
+  /// Called by both strategies for every emitted record and after every
+  /// barrier op; the profile branch is one empty-map test in the common
+  /// unprofiled case.
+  void CountOpRows(const StatementPlan& plan, const PlanOp& op, uint64_t n) {
+    switch (op.kind) {
+      case OpKind::kMatch: stats_.match_rows += n; break;
+      case OpKind::kNegMatch: stats_.negmatch_rows += n; break;
+      case OpKind::kCompare: stats_.compare_rows += n; break;
+      case OpKind::kAggregate: stats_.aggregate_rows += n; break;
+      case OpKind::kGroupBy: stats_.groupby_rows += n; break;
+      case OpKind::kCall: stats_.call_rows += n; break;
+      case OpKind::kUpdate: stats_.update_rows += n; break;
+    }
+    if (!op_profiles_.empty()) {
+      auto it = op_profiles_.find(&plan);
+      if (it != op_profiles_.end()) {
+        size_t idx = static_cast<size_t>(&op - plan.ops.data());
+        if (idx < it->second.size()) it->second[idx] += n;
+      }
+    }
+  }
 
   // --- Query guardrails ---------------------------------------------------
 
@@ -254,6 +305,9 @@ class Executor {
   uint64_t control_tick_ = 0;
   /// Name -> replacement relation for reads (parallel delta partitions).
   std::unordered_map<TermId, Relation*> read_overrides_;
+  /// Plans under EXPLAIN ANALYZE profiling -> actual rows per op index.
+  std::unordered_map<const StatementPlan*, std::vector<uint64_t>>
+      op_profiles_;
 };
 
 }  // namespace gluenail

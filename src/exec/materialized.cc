@@ -28,7 +28,8 @@ Status Executor::RunMaterialized(const StatementPlan& plan, Frame* frame,
         for (size_t i = 0; i < cur.records.size(); ++i) {
           uint32_t g = cur.groups.empty() ? 0 : cur.groups[i];
           GLUENAIL_RETURN_NOT_OK(runner.Stream(
-              op, &cur.records[i], g, [&next](Record* rec, uint32_t group) {
+              op, &cur.records[i], g, [&](Record* rec, uint32_t group) {
+                runner.CountRow(op);
                 next.Add(*rec, group);
                 return Status::OK();
               }));
@@ -59,6 +60,7 @@ Status Executor::RunMaterialized(const StatementPlan& plan, Frame* frame,
         GLUENAIL_RETURN_NOT_OK(ApplyUpdate(plan, op, frame, &cur));
         break;
     }
+    if (IsBarrier(op)) CountOpRows(plan, op, cur.records.size());
     if (options_.dedup_at_breaks) {
       stats_.duplicates_removed += DedupRecords(&cur);
     }

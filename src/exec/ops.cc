@@ -52,6 +52,13 @@ Status OpRunner::StreamMatchRelation(const PlanOp& op, Relation* rel,
   if (rel == nullptr || rel->empty()) return Status::OK();
   BindUndo undo;
   if (op.bound_mask != 0) {
+    // Planner-decided index build (§10 folded into planning): build before
+    // the first probe instead of waiting for the adaptive policy to amortize
+    // scans. Shared readers never build; kNeverIndex still wins.
+    if (op.build_index && !exec_->options_.read_only_storage &&
+        rel->index_policy() != IndexPolicy::kNeverIndex) {
+      rel->EnsureIndex(op.bound_mask);
+    }
     Scratch* scratch = AcquireScratch();
     Status key_st = EvalKey(op, *rec, &scratch->key);
     if (!key_st.ok()) {

@@ -31,6 +31,11 @@ class OpRunner {
   Status Stream(const PlanOp& op, Record* rec, uint32_t group,
                 const EmitFn& emit);
 
+  /// Accounts one row emitted by \p op against the executor's per-op
+  /// counters (and the EXPLAIN ANALYZE profile, if active). Both
+  /// strategies call this from their emit continuations.
+  void CountRow(const PlanOp& op) { exec_->CountOpRows(plan_, op, 1); }
+
  private:
   Status StreamMatch(const PlanOp& op, Record* rec, uint32_t group,
                      const EmitFn& emit);

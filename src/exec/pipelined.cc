@@ -27,6 +27,7 @@ Status StreamSegment(OpRunner* runner, const std::vector<PlanOp>& ops,
   }
   return runner->Stream(ops[i],  rec, group,
                         [&](Record* r, uint32_t g) {
+                          runner->CountRow(ops[i]);
                           return StreamSegment(runner, ops, i + 1, end, r, g,
                                                sink);
                         });
@@ -93,6 +94,7 @@ Status Executor::RunPipelined(const StatementPlan& plan, Frame* frame,
         default:
           return Status::Internal("non-barrier op at barrier position");
       }
+      CountOpRows(plan, op, cur.records.size());
       if (options_.dedup_at_breaks) {
         stats_.duplicates_removed += DedupRecords(&cur);
       }

@@ -9,7 +9,10 @@
 namespace gluenail {
 
 Status NailEngine::CompileDirect(const Scope* builtin_scope,
-                                 const PlannerOptions& opts) {
+                                 const PlannerOptions& opts,
+                                 const StatsProvider* stats) {
+  planner_opts_ = opts;
+  stats_ = stats;
   nail_scope_ = std::make_unique<Scope>(builtin_scope);
   DeclareNailScope(program_, nail_scope_.get());
   CompileEnv env;
@@ -17,6 +20,7 @@ Status NailEngine::CompileDirect(const Scope* builtin_scope,
   env.scope = nail_scope_.get();
   // Rule bodies reference EDB relations without per-module declarations.
   env.implicit_edb = true;
+  env.stats = stats;
 
   scc_plans_.clear();
   scc_plans_.resize(program_.scc_order.size());
@@ -39,8 +43,54 @@ Status NailEngine::CompileDirect(const Scope* builtin_scope,
                                 PlanAssignment(a, env, opts));
       scc_plans_[s].iterate_info.push_back(AnalyzeIterate(plan));
       scc_plans_[s].iterate.push_back(std::move(plan));
+      scc_plans_[s].iterate_asts.push_back(a);
     }
+    scc_plans_[s].last_planned_delta = 0;
   }
+  return Status::OK();
+}
+
+uint64_t NailEngine::SccDeltaRows(const std::vector<int>& preds) const {
+  uint64_t total = 0;
+  for (int p : preds) {
+    const NailPred& pred = program_.preds[static_cast<size_t>(p)];
+    Relation* delta = idb_->Find(pred.delta_storage, pred.columns());
+    if (delta != nullptr) total += delta->size();
+  }
+  return total;
+}
+
+Status NailEngine::MaybeReplanScc(SccPlans* plans,
+                                  const std::vector<int>& preds) {
+  // Feedback loop: the iterate plans were costed against whatever the
+  // delta relations held at planning time (empty, at first compile). When
+  // the observed delta volume drifts an order of magnitude — in either
+  // direction — the chosen join orders may be stale, so recompile the
+  // bodies against live statistics. The 8x hysteresis keeps steady-state
+  // fixpoints replan-free.
+  if (stats_ == nullptr || !planner_opts_.reorder ||
+      planner_opts_.cost_model != PlannerOptions::CostModel::kStatistics) {
+    return Status::OK();
+  }
+  uint64_t cur = SccDeltaRows(preds);
+  uint64_t last = plans->last_planned_delta;
+  bool drifted = last == 0 ? cur >= 8 : (cur >= last * 8 || last >= cur * 8);
+  if (!drifted) return Status::OK();
+
+  CompileEnv env;
+  env.pool = pool_;
+  env.scope = nail_scope_.get();
+  env.implicit_edb = true;
+  env.stats = stats_;
+  for (size_t i = 0; i < plans->iterate_asts.size(); ++i) {
+    GLUENAIL_ASSIGN_OR_RETURN(
+        StatementPlan plan,
+        PlanAssignment(plans->iterate_asts[i], env, planner_opts_));
+    plans->iterate_info[i] = AnalyzeIterate(plan);
+    plans->iterate[i] = std::move(plan);
+  }
+  plans->last_planned_delta = cur;
+  ++replan_count_;
   return Status::OK();
 }
 
@@ -135,6 +185,9 @@ Status NailEngine::RefreshDirect() {
       // Guardrails once per fixpoint iteration: a cancelled or
       // over-budget query aborts within one iteration.
       GLUENAIL_RETURN_NOT_OK(exec_->CheckStorageBudgets());
+      // Replan the iterate bodies if the observed delta sizes drifted far
+      // from what they were costed against.
+      GLUENAIL_RETURN_NOT_OK(MaybeReplanScc(&plans, preds));
       // Clear newdelta relations.
       for (int p : preds) {
         const NailPred& pred = program_.preds[static_cast<size_t>(p)];

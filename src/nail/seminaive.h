@@ -45,9 +45,10 @@ class NailEngine : public NailEvaluator {
 
   /// Compiles the rule-version plans for kDirect / kNaive mode. The plans
   /// resolve EDB names implicitly; \p module_scope supplies anything else
-  /// visible to rules.
-  Status CompileDirect(const Scope* builtin_scope,
-                       const PlannerOptions& opts);
+  /// visible to rules. \p stats (may be null) feeds the physical planner,
+  /// both here and on mid-fixpoint replans.
+  Status CompileDirect(const Scope* builtin_scope, const PlannerOptions& opts,
+                       const StatsProvider* stats = nullptr);
 
   /// Wires the executor used to run plans / generated procedures. Must be
   /// called before evaluation. (The executor's RuntimeEnv points back at
@@ -87,6 +88,9 @@ class NailEngine : public NailEvaluator {
   /// Iterate statements executed through the parallel partitioned path
   /// (tests assert the parallel evaluator actually engaged).
   uint64_t parallel_batches() const { return parallel_batches_; }
+  /// Mid-fixpoint replans of iterate bodies triggered by observed delta
+  /// sizes drifting from what the plans were costed against.
+  uint64_t replan_count() const { return replan_count_; }
 
  private:
   Status Refresh();
@@ -123,6 +127,11 @@ class NailEngine : public NailEvaluator {
     std::vector<IterInfo> iterate_info;
     /// Naive mode: the original rules over full relations, delta-free.
     std::vector<StatementPlan> naive;
+    /// The iterate statements' ASTs, kept so the fixpoint can replan them
+    /// against observed delta cardinalities (feedback loop).
+    std::vector<ast::Assignment> iterate_asts;
+    /// Total delta rows the iterate plans were last costed against.
+    uint64_t last_planned_delta = 0;
   };
   std::vector<SccPlans> scc_plans_;
   std::unique_ptr<Scope> nail_scope_;
@@ -134,12 +143,23 @@ class NailEngine : public NailEvaluator {
   Status ParallelIterate(const StatementPlan& plan, const IterInfo& info,
                          Relation* delta);
 
+  /// Sum of delta relation sizes for one SCC (the iterate plans' input).
+  uint64_t SccDeltaRows(const std::vector<int>& preds) const;
+  /// Replans the SCC's iterate statements when the observed delta volume
+  /// has drifted >= 8x from what they were costed against.
+  Status MaybeReplanScc(SccPlans* plans, const std::vector<int>& preds);
+
+  /// Planner configuration captured by CompileDirect for replans.
+  PlannerOptions planner_opts_;
+  const StatsProvider* stats_ = nullptr;
+
   bool valid_ = false;
   bool evaluating_ = false;
   std::pair<uint64_t, uint64_t> snapshot_{0, 0};
   uint64_t refresh_count_ = 0;
   uint64_t iteration_count_ = 0;
   uint64_t parallel_batches_ = 0;
+  uint64_t replan_count_ = 0;
   int num_threads_ = 1;
   /// Lazily created when num_threads_ > 1 and a parallel batch runs.
   std::unique_ptr<WorkerPool> workers_;

@@ -1,0 +1,62 @@
+/// \file physical.h
+/// \brief The physical planning phase: cost-based subgoal ordering.
+///
+/// Compilation is split into a logical phase and a physical phase. The
+/// logical phase (plan/planner.h) translates AST subgoals into PlanOps —
+/// pattern compilation, expression compilation, access-path resolution.
+/// The physical phase, here, decides *in what order* the subgoals of a
+/// statement body run and *which indexes* to build up front, and produces
+/// the per-op cardinality estimates that EXPLAIN ANALYZE renders.
+///
+/// Ordering respects the same invariants as the §3.1 syntactic reorderer
+/// (analysis/reorder.h): fixed subgoals are barriers that keep their
+/// written position, a subgoal is only scheduled once its required
+/// variables are bound, and a binding '=' keeps its written order relative
+/// to earlier binders of the same variable. Within those constraints the
+/// statistics model greedily picks, per step, the subgoal minimizing the
+/// estimated number of rows flowing into the rest of the segment:
+///
+///   est_out(match)   = est_in * rows(rel) * prod over bound columns c of
+///                      (1 / ndv_c)          -- selectivity from NDV
+///   est_out(filter)  = est_in * 0.5          -- comparisons, negation
+///   est_out(binder)  = est_in                -- '=' that binds
+///
+/// Relation cardinalities come from CompileEnv::stats (a StatsProvider,
+/// storage/stats.h); unknown relations fall back to
+/// PlannerOptions::default_relation_rows. Procedure calls rank after all
+/// relation subgoals regardless of estimate ("Procedure calls are
+/// expensive", §9).
+
+#ifndef GLUENAIL_PLAN_PHYSICAL_H_
+#define GLUENAIL_PLAN_PHYSICAL_H_
+
+#include <vector>
+
+#include "src/analysis/binding.h"
+#include "src/analysis/scope.h"
+#include "src/ast/ast.h"
+#include "src/common/result.h"
+#include "src/plan/planner.h"
+
+namespace gluenail {
+
+/// One scheduled subgoal: its position in the written body, the estimated
+/// rows flowing out of it, and whether the planner decided to build the
+/// index for its bound columns before the first probe.
+struct PhysicalChoice {
+  size_t body_index = 0;
+  double est_rows = -1;
+  bool build_index = false;
+};
+
+/// Orders the subgoals of one statement body. Honors opts.reorder (off =
+/// written order, estimates still annotated) and opts.cost_model
+/// (kSyntactic delegates ordering to ReorderBody and only annotates).
+/// The result is a permutation of [0, body.size()).
+Result<std::vector<PhysicalChoice>> PlanBodyOrder(
+    const std::vector<ast::Subgoal>& body, const CompileEnv& env,
+    const BoundSet& initially_bound, const PlannerOptions& opts);
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_PLAN_PHYSICAL_H_

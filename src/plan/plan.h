@@ -132,6 +132,16 @@ struct PlanOp {
   bool fixed = false;
   ast::SourceLoc loc;
 
+  /// Physical-planner annotation: estimated rows flowing out of this op
+  /// (-1 = no estimate was computed). Rendered by EXPLAIN ANALYZE against
+  /// the executors' actual per-op row counts.
+  double est_rows = -1;
+  /// Physical-planner decision: build the index for bound_mask before the
+  /// first probe because the cost model says it pays for itself (§10
+  /// adaptive policy folded into planning; the runtime policy remains the
+  /// fallback when this is false).
+  bool build_index = false;
+
   // -- kMatch / kNegMatch / kUpdate: the relation being read or written.
   PredicateAccess access;
   /// Columns whose pattern is fully bound at this point; such columns form

@@ -136,11 +136,30 @@ void AppendOp(const PlanOp& op, const TermPool& pool, std::string* out) {
       break;
   }
   if (op.fixed) out->append("  ; fixed");
+  if (op.build_index) out->append("  ; build-index");
+}
+
+/// The est/actual annotation: estimates are fractional internally but read
+/// better rounded; -1 means the plan predates annotation.
+void AppendRowCounts(const PlanOp& op, const uint64_t* actual,
+                     std::string* out) {
+  if (op.est_rows >= 0) {
+    out->append(StrCat("  ; est=",
+                       static_cast<uint64_t>(op.est_rows + 0.5)));
+    if (actual != nullptr) out->append(StrCat(" actual=", *actual));
+  } else if (actual != nullptr) {
+    out->append(StrCat("  ; actual=", *actual));
+  }
 }
 
 }  // namespace
 
 std::string PlanToString(const StatementPlan& plan, const TermPool& pool) {
+  return PlanToString(plan, pool, nullptr);
+}
+
+std::string PlanToString(const StatementPlan& plan, const TermPool& pool,
+                         const std::vector<uint64_t>* actual_rows) {
   std::string out = "slots:";
   for (size_t i = 0; i < plan.slot_names.size(); ++i) {
     out.append(StrCat(" ", plan.slot_names[i], "=", i));
@@ -149,6 +168,11 @@ std::string PlanToString(const StatementPlan& plan, const TermPool& pool) {
   for (size_t i = 0; i < plan.ops.size(); ++i) {
     out.append(StrCat("  ", i, ": "));
     AppendOp(plan.ops[i], pool, &out);
+    const uint64_t* actual =
+        actual_rows != nullptr && i < actual_rows->size()
+            ? &(*actual_rows)[i]
+            : nullptr;
+    AppendRowCounts(plan.ops[i], actual, &out);
     out.push_back('\n');
   }
   out.append("  head: ");

@@ -4,8 +4,8 @@
 #include <map>
 
 #include "src/analysis/binding.h"
-#include "src/analysis/reorder.h"
 #include "src/common/strings.h"
+#include "src/plan/physical.h"
 #include "src/runtime/aggregates.h"
 #include "src/runtime/io.h"
 #include "src/runtime/string_builtins.h"
@@ -61,15 +61,22 @@ class StatementPlanner {
       return LocError(a.loc, "':' in a head is only allowed on return");
     }
 
-    // Order and compile the body.
-    std::vector<size_t> order;
-    if (opts_.reorder) {
-      GLUENAIL_ASSIGN_OR_RETURN(order, ReorderBody(a.body, env_, bound_));
-    } else {
-      for (size_t i = 0; i < a.body.size(); ++i) order.push_back(i);
-    }
-    for (size_t idx : order) {
-      GLUENAIL_RETURN_NOT_OK(CompileSubgoal(a.body[idx]));
+    // Physical phase: choose the body order and per-subgoal cardinality
+    // estimates (plan/physical.h), then compile each subgoal logically in
+    // that order, annotating the op it produced. Each CompileSubgoal call
+    // pushes exactly one op.
+    GLUENAIL_ASSIGN_OR_RETURN(std::vector<PhysicalChoice> order,
+                              PlanBodyOrder(a.body, env_, bound_, opts_));
+    for (const PhysicalChoice& choice : order) {
+      GLUENAIL_RETURN_NOT_OK(CompileSubgoal(a.body[choice.body_index]));
+      PlanOp& op = plan_.ops.back();
+      op.est_rows = choice.est_rows;
+      // The physical phase predicts bound columns with the same analysis
+      // CompileMatch uses; the mask check is a safety net.
+      op.build_index = choice.build_index &&
+                       (op.kind == OpKind::kMatch ||
+                        op.kind == OpKind::kNegMatch) &&
+                       op.bound_mask != 0;
     }
 
     GLUENAIL_RETURN_NOT_OK(PlanHead(a, is_return));
@@ -824,7 +831,8 @@ Result<CompiledProcedure> CompileProcedureAst(const ast::Procedure& p,
                                               std::string module_name,
                                               bool fixed,
                                               const PlannerOptions& opts,
-                                              bool implicit_edb) {
+                                              bool implicit_edb,
+                                              const StatsProvider* stats) {
   CompiledProcedure proc;
   proc.module = std::move(module_name);
   proc.name = p.name;
@@ -861,6 +869,7 @@ Result<CompiledProcedure> CompileProcedureAst(const ast::Procedure& p,
   env.in_procedure = true;
   env.proc_bound_arity = p.bound_arity;
   env.proc_arity = p.arity();
+  env.stats = stats;
 
   int site_counter = 0;
   std::function<Result<std::vector<CInstr>>(

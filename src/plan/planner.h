@@ -31,6 +31,22 @@ struct PlannerOptions {
   /// Reorder non-fixed subgoals (§3.1). Off = paper's "naive" baseline,
   /// used by bench E8.
   bool reorder = true;
+
+  /// How the physical phase ranks subgoals within a segment.
+  enum class CostModel {
+    /// The original syntactic heuristic (analysis/reorder.h): filters
+    /// first, then matches by bound-column count. Kept selectable for A/B
+    /// comparison and for tests that pin the heuristic's order.
+    kSyntactic,
+    /// Cardinality-driven: greedily minimize estimated output rows using
+    /// relation statistics (storage/stats.h) from CompileEnv::stats.
+    kStatistics,
+  };
+  CostModel cost_model = CostModel::kStatistics;
+
+  /// Assumed row count for relations the stats provider cannot answer for
+  /// (locals, `in`, dynamic predicates, relations not yet created).
+  double default_relation_rows = 1000.0;
 };
 
 /// Compiles one assignment statement.
@@ -53,7 +69,9 @@ Result<CompiledProcedure> CompileProcedureAst(const ast::Procedure& p,
                                               std::string module_name,
                                               bool fixed,
                                               const PlannerOptions& opts,
-                                              bool implicit_edb = false);
+                                              bool implicit_edb = false,
+                                              const StatsProvider* stats =
+                                                  nullptr);
 
 }  // namespace gluenail
 

@@ -92,6 +92,32 @@ class Database {
   AdaptiveConfig default_adaptive_cfg_;
 };
 
+/// StatsProvider over an (EDB, IDB) database pair: answers cardinality
+/// queries from live relation statistics, trying the primary database
+/// first. Reads must be externally serialized against writers (the
+/// planner runs under the engine's writer/reader lock, which covers this).
+class DatabasePairStatsProvider : public StatsProvider {
+ public:
+  DatabasePairStatsProvider(const Database* primary, const Database* secondary)
+      : primary_(primary), secondary_(secondary) {}
+
+  bool Estimate(TermId name, uint32_t arity,
+                CardEstimate* out) const override {
+    const Relation* rel =
+        primary_ != nullptr ? primary_->Find(name, arity) : nullptr;
+    if (rel == nullptr && secondary_ != nullptr) {
+      rel = secondary_->Find(name, arity);
+    }
+    if (rel == nullptr) return false;
+    *out = rel->stats().Estimate();
+    return true;
+  }
+
+ private:
+  const Database* primary_;
+  const Database* secondary_;
+};
+
 }  // namespace gluenail
 
 #endif  // GLUENAIL_STORAGE_DATABASE_H_

@@ -6,7 +6,7 @@
 namespace gluenail {
 
 Relation::Relation(std::string name, uint32_t arity)
-    : name_(std::move(name)), arity_(arity), arena_(arity) {
+    : name_(std::move(name)), arity_(arity), arena_(arity), stats_(arity) {
   assert(arity <= 32 && "relations are limited to 32 columns");
 }
 
@@ -25,6 +25,7 @@ void Relation::AppendNewRow(RowView t, uint64_t hash) {
   dedup_.Insert(hash, row_id,
                 [this](uint32_t r) { return HashRow(arena_.row(r)); });
   for (auto& idx : indexes_) idx->Add(arena_, row_id);
+  stats_.OnInsert(t);
   version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
@@ -43,6 +44,7 @@ bool Relation::Erase(RowView t) {
   if (row_id == RowIdTable::kNoRow) return false;
   live_[row_id] = false;
   for (auto& idx : indexes_) idx->Remove(arena_, row_id);
+  stats_.OnErase();
   version_.fetch_add(1, std::memory_order_acq_rel);
   return true;
 }
@@ -59,6 +61,7 @@ void Relation::Clear() {
   dedup_.Clear();
   indexes_.clear();
   access_stats_.Reset();
+  stats_.Clear();
 }
 
 const HashIndex* Relation::FindIndex(ColumnMask mask) const {
@@ -162,6 +165,9 @@ void Relation::CopyFrom(const Relation& src) {
     for (uint32_t r = 0; r < arena_.num_rows(); ++r) {
       dedup_.Insert(HashRow(arena_.row(r)), r, hash_of);
     }
+    // The contents are now an exact copy of src, so its statistics apply
+    // verbatim — no per-row observation needed on the bulk path.
+    stats_ = src.stats_;
     version_.fetch_add(1, std::memory_order_acq_rel);
     return;
   }
@@ -188,6 +194,7 @@ std::shared_ptr<const RelationSnapshot> Relation::Snapshot(
   snap->arity = arity_;
   snap->version = v;
   snap->tuples = SortedTuples(pool);
+  snap->stats = stats_.Estimate();
   snap_cache_ = std::move(snap);
   return snap_cache_;
 }

@@ -38,6 +38,7 @@
 #include "src/storage/index.h"
 #include "src/storage/row_table.h"
 #include "src/storage/snapshot.h"
+#include "src/storage/stats.h"
 #include "src/storage/tuple.h"
 #include "src/storage/tuple_arena.h"
 
@@ -99,6 +100,10 @@ class Relation {
   IndexPolicy index_policy() const { return policy_; }
   void set_adaptive_config(const AdaptiveConfig& cfg) { adaptive_cfg_ = cfg; }
   const AccessStats& access_stats() const { return access_stats_; }
+
+  /// Incremental cardinality statistics (row count + per-column NDV),
+  /// maintained on the Insert/Erase path — the planner's cost input.
+  const RelationStats& stats() const { return stats_; }
 
   // --- Set operations ----------------------------------------------------
 
@@ -196,6 +201,7 @@ class Relation {
   IndexPolicy policy_ = IndexPolicy::kAdaptive;
   AdaptiveConfig adaptive_cfg_;
   AccessStats access_stats_;
+  RelationStats stats_;
   mutable Counters counters_;
 
   /// Snapshot cache: valid while snap_cache_->version == version().

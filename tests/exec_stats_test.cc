@@ -134,6 +134,50 @@ TEST(ExecStatsTest, StorageStatsAggregateCounters) {
   EXPECT_NE(line.find("arena bytes"), std::string::npos);
 }
 
+TEST(ExecStatsTest, PerOpRowCountersBothStrategies) {
+  for (auto strategy : {ExecOptions::Strategy::kMaterialized,
+                        ExecOptions::Strategy::kPipelined}) {
+    EngineOptions opts;
+    opts.exec.strategy = strategy;
+    Engine engine(opts);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(engine.AddFact(StrCat("a(", i, ").")).ok());
+    }
+    engine.ResetExecStats();
+    ASSERT_TRUE(engine.ExecuteStatement("out(X) := a(X) & X > 4.").ok());
+    // The match streams all 10 rows; the filter passes 5..9.
+    EXPECT_EQ(engine.exec_stats().match_rows, 10u);
+    EXPECT_EQ(engine.exec_stats().compare_rows, 5u);
+
+    engine.ResetExecStats();
+    ASSERT_TRUE(engine.ExecuteStatement("neg(X) := a(X) & !b(X).").ok());
+    EXPECT_EQ(engine.exec_stats().negmatch_rows, 10u);
+  }
+}
+
+TEST(ExecStatsTest, BarrierOpRowCountersCounted) {
+  for (auto strategy : {ExecOptions::Strategy::kMaterialized,
+                        ExecOptions::Strategy::kPipelined}) {
+    EngineOptions opts;
+    opts.exec.strategy = strategy;
+    Engine engine(opts);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(engine.AddFact(StrCat("a(", i, ").")).ok());
+    }
+    engine.ResetExecStats();
+    ASSERT_TRUE(engine.ExecuteStatement(
+                    "out(X, C) := a(X) & group_by(X) & C = count(X).")
+                    .ok());
+    // Five singleton groups survive both barrier ops.
+    EXPECT_EQ(engine.exec_stats().groupby_rows, 5u);
+    EXPECT_EQ(engine.exec_stats().aggregate_rows, 5u);
+
+    engine.ResetExecStats();
+    ASSERT_TRUE(engine.ExecuteStatement("out2(X) := a(X) & ++log(X).").ok());
+    EXPECT_EQ(engine.exec_stats().update_rows, 5u);
+  }
+}
+
 TEST(ExecStatsTest, NailRefreshCounted) {
   Engine engine;
   ASSERT_TRUE(engine.LoadProgram(R"(
@@ -146,6 +190,30 @@ end
   engine.ResetExecStats();
   ASSERT_TRUE(engine.Query("p(X)").ok());
   EXPECT_GE(engine.exec_stats().nail_refreshes, 1u);
+}
+
+TEST(ExecStatsTest, FixpointReplansOnDeltaDrift) {
+  // The iterate plans are first costed at LoadProgram time, before the
+  // module facts reach the EDB — so the first fixpoint iteration sees a
+  // delta volume far from the (empty) planning-time estimate and must
+  // recompile the rule bodies against live statistics. Replanning lives
+  // in the direct fixpoint driver.
+  EngineOptions opts;
+  opts.nail_mode = NailMode::kDirect;
+  Engine engine(opts);
+  std::string src =
+      "module kb;\nedb edge(X,Y);\n"
+      "path(X,Y) :- edge(X,Y).\n"
+      "path(X,Z) :- path(X,Y) & edge(Y,Z).\n";
+  for (int i = 0; i < 40; ++i) {
+    src += StrCat("edge(", i, ",", i + 1, ").\n");
+  }
+  src += "end\n";
+  ASSERT_TRUE(engine.LoadProgram(src).ok());
+  Result<Engine::QueryResult> r = engine.Query("path(0, Y)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->rows.size(), 40u);
+  EXPECT_GE(engine.nail_engine()->replan_count(), 1u);
 }
 
 }  // namespace

@@ -1,4 +1,5 @@
-/// Tests for Engine::ExplainStatement and Engine::QueryMagic.
+/// Tests for Engine::ExplainStatement (plain and ANALYZE forms) and the
+/// magic query strategy.
 
 #include <gtest/gtest.h>
 
@@ -8,7 +9,11 @@ namespace gluenail {
 namespace {
 
 TEST(ExplainTest, ShowsKeyedSelectionAfterReorder) {
-  Engine engine;
+  // This test documents the *syntactic* reorder heuristic, kept as the
+  // A/B baseline for the cost-based planner.
+  EngineOptions opts;
+  opts.planner.cost_model = PlannerOptions::CostModel::kSyntactic;
+  Engine engine(opts);
   ASSERT_TRUE(engine.AddFact("seed(1).").ok());
   ASSERT_TRUE(engine.AddFact("big(1,2).").ok());
   Result<std::string> plan =
@@ -27,6 +32,53 @@ TEST(ExplainTest, ShowsKeyedSelectionAfterReorder) {
   EXPECT_LT(big_pos, lookup_pos);
   EXPECT_NE(plan->find("match edb big/2 keyed[c0]"), std::string::npos)
       << *plan;
+}
+
+TEST(ExplainTest, CostModelOrdersBySelectivity) {
+  Engine engine;  // cost_model defaults to kStatistics
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        engine.AddFact("big(" + std::to_string(i) + "," +
+                       std::to_string(i + 1) + ").").ok());
+  }
+  ASSERT_TRUE(engine.AddFact("tiny(5).").ok());
+  ASSERT_TRUE(engine.AddFact("tiny(6).").ok());
+  ASSERT_TRUE(engine.AddFact("tiny(7).").ok());
+  // Written order scans big (100 rows) first. The statistics planner runs
+  // tiny (3 rows) first and probes big keyed on its now-bound column —
+  // and, since big is large and the probe repeats, schedules the index
+  // build up front.
+  Result<std::string> plan =
+      engine.ExplainStatement("out(Y) := big(X, Y) & tiny(X).");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  size_t tiny_pos = plan->find("match edb tiny");
+  size_t big_pos = plan->find("match edb big/2 keyed[c0]");
+  ASSERT_NE(tiny_pos, std::string::npos) << *plan;
+  ASSERT_NE(big_pos, std::string::npos) << *plan;
+  EXPECT_LT(tiny_pos, big_pos);
+  EXPECT_NE(plan->find("; est="), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("; build-index"), std::string::npos) << *plan;
+}
+
+TEST(ExplainTest, AnalyzeShowsEstimatedVsActualRowsOnBothExecutors) {
+  for (auto strategy : {ExecOptions::Strategy::kMaterialized,
+                        ExecOptions::Strategy::kPipelined}) {
+    EngineOptions eopts;
+    eopts.exec.strategy = strategy;
+    Engine engine(eopts);
+    ASSERT_TRUE(engine.AddFact("e(1,2).").ok());
+    ASSERT_TRUE(engine.AddFact("e(2,3).").ok());
+    ExplainOptions opts;
+    opts.analyze = true;
+    Result<std::string> plan =
+        engine.ExplainStatement("out(X,Y) := e(X,Y).", opts);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    EXPECT_NE(plan->find("est=2 actual=2"), std::string::npos) << *plan;
+    // ANALYZE executes the statement, side effects included.
+    Result<Engine::QueryResult> rows = engine.Query("out(X, Y)");
+    ASSERT_TRUE(rows.ok()) << rows.status();
+    EXPECT_EQ(rows->rows.size(), 2u);
+  }
 }
 
 TEST(ExplainTest, ShowsBarriersAndHead) {
@@ -111,8 +163,9 @@ end
   EXPECT_TRUE(engine.Query("p(X + 1)", {QueryStrategy::kMagic})
                   .status()
                   .IsInvalidArgument());
-  // The deprecated shim forwards to Query(goal, {kMagic}).
-  EXPECT_TRUE(engine.QueryMagic("zzz(X)").status().IsInvalidArgument());
+  EXPECT_TRUE(engine.Query("zzz(X)", {QueryStrategy::kMagic})
+                  .status()
+                  .IsInvalidArgument());
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 /// Differential property tests: the materialized and pipelined executors,
-/// with and without early duplicate elimination, and all index policies,
-/// must agree on every program — the §9 trade-offs are performance-only.
+/// with and without early duplicate elimination, all index policies, and
+/// both planner cost models must agree on every program — the §9 and
+/// join-order trade-offs are performance-only.
 
 #include <gtest/gtest.h>
 
@@ -16,6 +17,7 @@ struct Config {
   bool dedup;
   IndexPolicy policy;
   NailMode nail;
+  PlannerOptions::CostModel cost = PlannerOptions::CostModel::kStatistics;
 };
 
 std::vector<Config> AllConfigs() {
@@ -25,7 +27,11 @@ std::vector<Config> AllConfigs() {
     for (bool dedup : {true, false}) {
       for (auto policy : {IndexPolicy::kNeverIndex, IndexPolicy::kAdaptive,
                           IndexPolicy::kAlwaysIndex}) {
-        out.push_back(Config{strategy, dedup, policy, NailMode::kDirect});
+        for (auto cost : {PlannerOptions::CostModel::kStatistics,
+                          PlannerOptions::CostModel::kSyntactic}) {
+          out.push_back(
+              Config{strategy, dedup, policy, NailMode::kDirect, cost});
+        }
       }
     }
   }
@@ -33,6 +39,9 @@ std::vector<Config> AllConfigs() {
                        IndexPolicy::kAdaptive, NailMode::kCompiledGlue});
   out.push_back(Config{ExecOptions::Strategy::kPipelined, true,
                        IndexPolicy::kAdaptive, NailMode::kNaive});
+  out.push_back(Config{ExecOptions::Strategy::kPipelined, true,
+                       IndexPolicy::kAdaptive, NailMode::kNaive,
+                       PlannerOptions::CostModel::kSyntactic});
   return out;
 }
 
@@ -42,6 +51,7 @@ std::unique_ptr<Engine> MakeEngine(const Config& c) {
   opts.exec.dedup_at_breaks = c.dedup;
   opts.index_policy = c.policy;
   opts.nail_mode = c.nail;
+  opts.planner.cost_model = c.cost;
   return std::make_unique<Engine>(opts);
 }
 
@@ -78,7 +88,8 @@ void ExpectAllConfigsAgree(
           << "strategy=" << static_cast<int>(c.strategy)
           << " dedup=" << c.dedup
           << " policy=" << static_cast<int>(c.policy)
-          << " nail=" << static_cast<int>(c.nail);
+          << " nail=" << static_cast<int>(c.nail)
+          << " cost=" << static_cast<int>(c.cost);
     }
   }
 }

@@ -5,6 +5,8 @@
 # Usage: tools/run_bench.sh [bench_name ...]
 #   tools/run_bench.sh                 # run every bench target
 #   tools/run_bench.sh bench_storage   # run just one
+#   tools/run_bench.sh bench_planner   # cost-based planning A/B
+#                                      #   -> BENCH_planner.json
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"

@@ -4,11 +4,12 @@
 #
 #   debug  — plain Debug build, full ctest suite
 #   asan   — -DGLUENAIL_ASAN=ON, runs the asan-labelled storage tests
+#   ubsan  — -DGLUENAIL_UBSAN=ON, runs the ubsan-labelled planner tests
 #   tsan   — -DGLUENAIL_TSAN=ON, runs the tsan-labelled concurrency tests
 #   fault  — Debug build, runs only the faultinject-labelled matrix
 #
 # Usage: tools/run_tests.sh [config ...]
-#   tools/run_tests.sh                # debug + asan + tsan
+#   tools/run_tests.sh                # debug + asan + ubsan + tsan
 #   tools/run_tests.sh debug          # just the plain suite
 #   tools/run_tests.sh fault          # just the fault-injection matrix
 #
@@ -36,19 +37,24 @@ run_config() {
     asan)
       configure_and_build "$prefix-asan" -DCMAKE_BUILD_TYPE=Debug \
         -DGLUENAIL_ASAN=ON
-      (cd "$prefix-asan" && ctest --output-on-failure -j -L asan)
+      (cd "$prefix-asan" && ctest --output-on-failure -L asan -j)
+      ;;
+    ubsan)
+      configure_and_build "$prefix-ubsan" -DCMAKE_BUILD_TYPE=Debug \
+        -DGLUENAIL_UBSAN=ON
+      (cd "$prefix-ubsan" && ctest --output-on-failure -L ubsan -j)
       ;;
     tsan)
       configure_and_build "$prefix-tsan" -DCMAKE_BUILD_TYPE=Debug \
         -DGLUENAIL_TSAN=ON
-      (cd "$prefix-tsan" && ctest --output-on-failure -j -L tsan)
+      (cd "$prefix-tsan" && ctest --output-on-failure -L tsan -j)
       ;;
     fault)
       configure_and_build "$prefix-debug" -DCMAKE_BUILD_TYPE=Debug
-      (cd "$prefix-debug" && ctest --output-on-failure -j -L faultinject)
+      (cd "$prefix-debug" && ctest --output-on-failure -L faultinject -j)
       ;;
     *)
-      echo "error: unknown config '$config' (debug|asan|tsan|fault)" >&2
+      echo "error: unknown config '$config' (debug|asan|ubsan|tsan|fault)" >&2
       exit 1
       ;;
   esac
@@ -56,7 +62,7 @@ run_config() {
 
 configs=("$@")
 if [ "${#configs[@]}" -eq 0 ]; then
-  configs=(debug asan tsan)
+  configs=(debug asan ubsan tsan)
 fi
 
 for config in "${configs[@]}"; do
