@@ -10,6 +10,7 @@
 #include "src/common/strings.h"
 #include "src/nail/magic.h"
 #include "src/parser/parser.h"
+#include "src/plan/physical.h"
 #include "src/plan/plan_printer.h"
 
 namespace gluenail {
@@ -47,14 +48,221 @@ ExecControl MakeControl(const QueryOptions& options) {
 Engine::Engine() : Engine(EngineOptions{}) {}
 
 Engine::Engine(EngineOptions options)
-    : options_(options), edb_(&pool_), idb_(&pool_) {
+    : options_(options),
+      edb_(&pool_),
+      idb_(&pool_),
+      trace_ring_(options.trace_ring_capacity),
+      slow_log_(options.slow_query_log_capacity) {
   edb_.set_default_index_policy(options_.index_policy);
   edb_.set_default_adaptive_config(options_.adaptive);
   idb_.set_default_index_policy(options_.index_policy);
   idb_.set_default_adaptive_config(options_.adaptive);
+  RegisterBuiltinMetrics();
 }
 
 Engine::~Engine() = default;
+
+void Engine::RegisterBuiltinMetrics() {
+  // Engine-owned handles: updated on the query path with single relaxed
+  // atomic ops.
+  m_queries_ = metrics_.RegisterCounter(
+      "gluenail_queries_total", "queries and traced statements executed");
+  m_traced_queries_ = metrics_.RegisterCounter(
+      "gluenail_queries_traced_total",
+      "queries traced explicitly (QueryOptions::trace)");
+  m_slow_queries_ = metrics_.RegisterCounter(
+      "gluenail_slow_queries_total",
+      "queries over EngineOptions::slow_query_threshold");
+  m_query_latency_ = metrics_.RegisterHistogram(
+      "gluenail_query_latency_ns", "end-to-end query latency in nanoseconds");
+
+  // Pull metrics: values the subsystems already maintain. The callbacks
+  // run under DumpMetrics' shared lock, so they must read lock-free state
+  // (atomics, the thread-safe pool) and never re-lock state_mu_.
+  metrics_.RegisterPullGauge("gluenail_termpool_terms",
+                             "terms interned in the pool", [this] {
+                               return static_cast<int64_t>(pool_.size());
+                             });
+  metrics_.RegisterPullGauge("gluenail_storage_relations",
+                             "relations across the EDB and IDB", [this] {
+                               return static_cast<int64_t>(
+                                   StorageStatsNoLock().relations);
+                             });
+  metrics_.RegisterPullGauge("gluenail_storage_live_tuples",
+                             "live tuples across every relation", [this] {
+                               return static_cast<int64_t>(
+                                   StorageStatsNoLock().live_tuples);
+                             });
+  metrics_.RegisterPullGauge("gluenail_storage_arena_bytes",
+                             "bytes held by arenas, dedup tables, indexes",
+                             [this] {
+                               return static_cast<int64_t>(
+                                   StorageStatsNoLock().arena_bytes);
+                             });
+  metrics_.RegisterPullCounter(
+      "gluenail_storage_scan_rows_total", "rows visited by full scans",
+      [this] { return StorageStatsNoLock().scan_rows; });
+  metrics_.RegisterPullCounter(
+      "gluenail_storage_index_lookups_total", "keyed index lookups",
+      [this] { return StorageStatsNoLock().index_lookups; });
+  metrics_.RegisterPullCounter(
+      "gluenail_storage_index_probe_rows_total",
+      "rows walked along index probe chains",
+      [this] { return StorageStatsNoLock().index_probe_rows; });
+  metrics_.RegisterPullCounter(
+      "gluenail_storage_indexes_built_total", "hash indexes built",
+      [this] { return StorageStatsNoLock().indexes_built; });
+  metrics_.RegisterPullCounter(
+      "gluenail_storage_dedup_probes_total", "dedup-table probe steps",
+      [this] { return StorageStatsNoLock().dedup_probes; });
+  metrics_.RegisterPullCounter(
+      "gluenail_storage_stats_rebuilds_total",
+      "NDV-sketch rebuilds (erase churn or compaction)",
+      [this] { return StorageStatsNoLock().stats_rebuilds; });
+
+  // Writer-path executor counters (the long-lived executor; read sessions'
+  // ephemeral executors are not aggregated here).
+  auto exec_stat = [this](uint64_t ExecStats::* field) {
+    return [this, field]() -> uint64_t {
+      return executor_ != nullptr ? executor_->stats().*field : 0;
+    };
+  };
+  metrics_.RegisterPullCounter("gluenail_exec_statements_total",
+                               "statement plans executed",
+                               exec_stat(&ExecStats::statements));
+  metrics_.RegisterPullCounter("gluenail_exec_records_produced_total",
+                               "binding records produced",
+                               exec_stat(&ExecStats::records_produced));
+  metrics_.RegisterPullCounter(
+      "gluenail_exec_rows_scanned_total",
+      "rows visited answering matches (scan + probe chains)",
+      exec_stat(&ExecStats::rows_scanned));
+  metrics_.RegisterPullCounter("gluenail_exec_control_checks_total",
+                               "full guardrail checks",
+                               exec_stat(&ExecStats::control_checks));
+  metrics_.RegisterPullCounter("gluenail_exec_pipeline_breaks_total",
+                               "pipelined-strategy materialization points",
+                               exec_stat(&ExecStats::pipeline_breaks));
+  metrics_.RegisterPullCounter("gluenail_exec_duplicates_removed_total",
+                               "records dropped by dedup-at-breaks",
+                               exec_stat(&ExecStats::duplicates_removed));
+
+  // Semi-naive driver counters.
+  metrics_.RegisterPullCounter(
+      "gluenail_nail_refreshes_total", "NAIL! memo refreshes", [this] {
+        return nail_engine_ != nullptr ? nail_engine_->refresh_count() : 0;
+      });
+  metrics_.RegisterPullCounter(
+      "gluenail_nail_iterations_total", "semi-naive fixpoint iterations",
+      [this] {
+        return nail_engine_ != nullptr ? nail_engine_->iteration_count() : 0;
+      });
+  metrics_.RegisterPullCounter(
+      "gluenail_nail_parallel_batches_total",
+      "parallel fixpoint iterations dispatched to workers", [this] {
+        return nail_engine_ != nullptr ? nail_engine_->parallel_batches() : 0;
+      });
+  metrics_.RegisterPullCounter(
+      "gluenail_nail_replans_total",
+      "mid-evaluation SCC replans on cardinality drift", [this] {
+        return nail_engine_ != nullptr ? nail_engine_->replan_count() : 0;
+      });
+
+  // Process-wide planner and persistence counters (free-function layers).
+  metrics_.RegisterPullCounter(
+      "gluenail_planner_bodies_planned_total",
+      "statement bodies ordered by the physical planner", [] {
+        return GlobalPlannerCounters().bodies_planned.load(
+            std::memory_order_relaxed);
+      });
+  metrics_.RegisterPullCounter(
+      "gluenail_planner_index_builds_scheduled_total",
+      "planner-decided index builds", [] {
+        return GlobalPlannerCounters().index_builds_scheduled.load(
+            std::memory_order_relaxed);
+      });
+  metrics_.RegisterPullCounter(
+      "gluenail_persist_saves_total", "successful database file saves", [] {
+        return GlobalPersistenceCounters().saves.load(
+            std::memory_order_relaxed);
+      });
+  metrics_.RegisterPullCounter(
+      "gluenail_persist_save_failures_total", "failed database file saves",
+      [] {
+        return GlobalPersistenceCounters().save_failures.load(
+            std::memory_order_relaxed);
+      });
+  metrics_.RegisterPullCounter(
+      "gluenail_persist_loads_total", "successful database file loads", [] {
+        return GlobalPersistenceCounters().loads.load(
+            std::memory_order_relaxed);
+      });
+  metrics_.RegisterPullCounter(
+      "gluenail_persist_load_failures_total", "failed database file loads",
+      [] {
+        return GlobalPersistenceCounters().load_failures.load(
+            std::memory_order_relaxed);
+      });
+}
+
+std::string Engine::DumpMetrics(MetricsFormat format) const {
+  // Shared lock: pull callbacks read executor_/nail_engine_ and walk the
+  // databases, which only writers (exclusive holders) replace or mutate.
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return format == MetricsFormat::kJson ? metrics_.RenderJson()
+                                        : metrics_.RenderPrometheus();
+}
+
+void Engine::BeginQueryObs(QueryObs* obs, bool want_trace) {
+  obs->start = std::chrono::steady_clock::now();
+  obs->want_trace = want_trace;
+  obs->active = want_trace || options_.slow_query_threshold.count() > 0;
+  if (!obs->active) return;
+  obs->scope.emplace(&obs->sink);
+}
+
+void Engine::SampleReplanBaseline(QueryObs* obs) {
+  // Separate from BeginQueryObs: sessions install the sink before taking
+  // the engine lock (to trace the read-upgrade NAIL! refresh), but the
+  // nail_engine_ pointer itself may only be dereferenced under the lock —
+  // a concurrent LoadProgram can swap it.
+  if (!obs->active) return;
+  obs->replans_before =
+      nail_engine_ != nullptr ? nail_engine_->replan_count() : 0;
+}
+
+void Engine::FinishQueryObs(QueryObs* obs, std::string_view query,
+                            TraceRing* ring) {
+  const auto total_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - obs->start)
+          .count());
+  m_queries_->Add(1);
+  m_query_latency_->Observe(total_ns);
+  if (!obs->active) return;
+  obs->scope.reset();  // uninstall before freezing
+  auto trace = std::make_shared<const QueryTrace>(
+      obs->sink.Finish(std::string(query), total_ns));
+  if (obs->want_trace) {
+    m_traced_queries_->Add(1);
+    if (ring != nullptr) ring->Push(trace);
+  }
+  const auto threshold = options_.slow_query_threshold;
+  if (threshold.count() > 0 &&
+      total_ns >= static_cast<uint64_t>(threshold.count())) {
+    SlowQueryEntry entry;
+    entry.query = trace->query;
+    entry.seconds = static_cast<double>(total_ns) * 1e-9;
+    const uint64_t replans_now =
+        nail_engine_ != nullptr ? nail_engine_->replan_count() : 0;
+    entry.replans = replans_now - obs->replans_before;
+    entry.plan = trace->plan;
+    entry.top_spans = TopSpansByDuration(trace->spans, 3);
+    m_slow_queries_->Add(1);
+    slow_log_.Record(std::move(entry));
+  }
+  obs->active = false;
+}
 
 Session Engine::OpenSession() { return Session(this); }
 
@@ -187,12 +395,53 @@ Status Engine::ExecuteStatement(std::string_view statement) {
   return ExecuteStatementLocked(statement);
 }
 
+Status Engine::ExecuteStatement(std::string_view statement,
+                                const QueryOptions& options) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  GLUENAIL_RETURN_NOT_OK(EnsureLoadedLocked());
+  ExecControl ctl = MakeControl(options);
+  const ExecControl* ctl_ptr = options.guarded() ? &ctl : nullptr;
+  if (ctl_ptr != nullptr) GLUENAIL_RETURN_NOT_OK(ctl.Check());
+  QueryObs obs;
+  BeginQueryObs(&obs, options.trace);
+  SampleReplanBaseline(&obs);
+  Status st;
+  try {
+    ControlScope scope(executor_.get(), ctl_ptr);
+    st = ExecuteStatementLocked(statement);
+  } catch (const std::bad_alloc&) {
+    st = Status::ResourceExhausted("allocation failed during statement");
+  }
+  FinishQueryObs(&obs, statement, &trace_ring_);
+  return st;
+}
+
 Status Engine::ExecuteStatementLocked(std::string_view statement) {
   GLUENAIL_RETURN_NOT_OK(EnsureLoadedLocked());
+  ScopedSpan parse_span("stmt:parse");
   GLUENAIL_ASSIGN_OR_RETURN(ast::Statement stmt, ParseStatement(statement));
+  parse_span.End();
+  ScopedSpan compile_span("stmt:compile");
   GLUENAIL_ASSIGN_OR_RETURN(CompiledProcedure proc, CompileAdhoc(stmt));
+  compile_span.End();
+  // Under an active sink, profile every plan so the trace captures the
+  // plan text with actual rows. The plans die with `proc`, so the
+  // profiles (keyed by plan pointer) are dropped on every exit path.
+  TraceSink* sink = TraceSink::Current();
+  if (sink != nullptr) {
+    for (const StatementPlan& plan : proc.plans) {
+      executor_->EnableOpProfile(&plan);
+    }
+  }
   Frame frame(&proc);
-  return executor_->ExecBlock(proc.code, proc, &frame);
+  Status run = executor_->ExecBlock(proc.code, proc, &frame);
+  if (sink != nullptr) {
+    for (const StatementPlan& plan : proc.plans) {
+      sink->AppendPlan(PlanToString(plan, pool_, executor_->OpProfile(&plan)));
+      executor_->DisableOpProfile(&plan);
+    }
+  }
+  return run;
 }
 
 Result<Engine::QueryResult> Engine::Query(std::string_view goal,
@@ -205,25 +454,34 @@ Result<Engine::QueryResult> Engine::Query(std::string_view goal,
     // Fail fast on pre-cancelled tokens and already-expired deadlines.
     GLUENAIL_RETURN_NOT_OK(ctl.Check());
   }
+  QueryObs obs;
+  BeginQueryObs(&obs, options.trace);
+  SampleReplanBaseline(&obs);
   // Arena growth reports OOM (real or injected) as bad_alloc; surface it
   // as a status so the engine stays usable. Any half-built NAIL! state is
   // memo-invalid (Refresh unwound) and recomputed on the next demand.
-  try {
-    if (options.strategy == QueryStrategy::kMagic) {
-      ExecOptions eo;
-      eo.control = ctl_ptr;
-      return QueryMagicWith(goal, eo);
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    try {
+      if (options.strategy == QueryStrategy::kMagic) {
+        ExecOptions eo;
+        eo.control = ctl_ptr;
+        return QueryMagicWith(goal, eo);
+      }
+      ControlScope scope(executor_.get(), ctl_ptr);
+      return QueryGoalWith(executor_.get(), goal);
+    } catch (const std::bad_alloc&) {
+      return Status::ResourceExhausted("allocation failed during query");
     }
-    ControlScope scope(executor_.get(), ctl_ptr);
-    return QueryGoalWith(executor_.get(), goal);
-  } catch (const std::bad_alloc&) {
-    return Status::ResourceExhausted("allocation failed during query");
-  }
+  }();
+  FinishQueryObs(&obs, goal, &trace_ring_);
+  return result;
 }
 
 Result<Engine::QueryResult> Engine::QueryGoalWith(Executor* exec,
                                                   std::string_view goal) {
+  ScopedSpan parse_span("query:parse");
   GLUENAIL_ASSIGN_OR_RETURN(std::vector<ast::Subgoal> body, ParseGoal(goal));
+  parse_span.End();
 
   // Head variables: every goal variable, in first-appearance order.
   std::vector<std::string> vars;
@@ -247,14 +505,30 @@ Result<Engine::QueryResult> Engine::QueryGoalWith(Executor* exec,
   env.scope = linked_->global_scope.get();
   env.implicit_edb = true;
   env.stats = &stats_provider_;
+  ScopedSpan plan_span("query:plan");
   GLUENAIL_ASSIGN_OR_RETURN(StatementPlan plan,
                             PlanAssignment(a, env, options_.planner));
+  plan_span.End();
+
+  // Under an active sink, profile the ad-hoc plan so the trace can carry
+  // its plan text with actual rows. The plan is stack-local, so the
+  // profile (keyed by plan pointer) must be dropped on every exit path.
+  TraceSink* sink = TraceSink::Current();
+  if (sink != nullptr) exec->EnableOpProfile(&plan);
 
   Frame frame(nullptr);
   RecordSet sup;
-  GLUENAIL_RETURN_NOT_OK(exec->ExecuteBodyOnly(plan, &frame, &sup));
+  ScopedSpan exec_span("query:execute");
+  Status run = exec->ExecuteBodyOnly(plan, &frame, &sup);
+  exec_span.End();
+  if (sink != nullptr) {
+    sink->AppendPlan(PlanToString(plan, pool_, exec->OpProfile(&plan)));
+    exec->DisableOpProfile(&plan);
+  }
+  GLUENAIL_RETURN_NOT_OK(run);
 
   // Evaluate the head expressions per record; dedupe and sort.
+  ScopedSpan answers_span("query:answers");
   Relation answers("$answers", static_cast<uint32_t>(vars.size()));
   for (const Record& rec : sup.records) {
     Tuple row;
@@ -268,6 +542,7 @@ Result<Engine::QueryResult> Engine::QueryGoalWith(Executor* exec,
   QueryResult out;
   out.vars = std::move(vars);
   out.rows = answers.SortedTuples(pool_);
+  answers_span.AddRows(out.rows.size());
   return out;
 }
 
@@ -489,6 +764,10 @@ void Engine::ResetExecStats() {
 
 StorageStats Engine::storage_stats() const {
   std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return StorageStatsNoLock();
+}
+
+StorageStats Engine::StorageStatsNoLock() const {
   StorageStats out;
   auto add = [&out](TermId, uint32_t, Relation* rel) {
     ++out.relations;
@@ -498,7 +777,10 @@ StorageStats Engine::storage_stats() const {
     out.dedup_probes += c.dedup_probes.load(std::memory_order_relaxed);
     out.scan_rows += c.scan_rows.load(std::memory_order_relaxed);
     out.index_lookups += c.index_lookups.load(std::memory_order_relaxed);
+    out.index_probe_rows +=
+        c.index_probe_rows.load(std::memory_order_relaxed);
     out.indexes_built += c.indexes_built.load(std::memory_order_relaxed);
+    out.stats_rebuilds += c.stats_rebuilds.load(std::memory_order_relaxed);
   };
   edb_.ForEach(add);
   idb_.ForEach(add);

@@ -25,8 +25,10 @@
 #ifndef GLUENAIL_API_ENGINE_H_
 #define GLUENAIL_API_ENGINE_H_
 
+#include <chrono>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -35,6 +37,9 @@
 #include "src/api/options.h"
 #include "src/api/stats.h"
 #include "src/common/deadline.h"
+#include "src/obs/metrics.h"
+#include "src/obs/slow_query.h"
+#include "src/obs/trace.h"
 #include "src/storage/database.h"
 #include "src/storage/persistence.h"
 #include "src/storage/snapshot.h"
@@ -69,6 +74,20 @@ struct QueryOptions {
   bool guarded() const {
     return !deadline.infinite() || cancel.valid() || !limits.unlimited();
   }
+
+  // --- Observability -----------------------------------------------------
+  /// Record a structured trace of this query (span tree + chosen plans with
+  /// actual rows) into the engine's/session's trace ring. Queries also
+  /// trace implicitly while the slow-query log is armed
+  /// (EngineOptions::slow_query_threshold > 0), but only explicit traces
+  /// are pushed to the ring.
+  bool trace = false;
+};
+
+/// Export format for Engine::DumpMetrics.
+enum class MetricsFormat {
+  kPrometheus,  ///< text exposition format (# HELP / # TYPE + samples)
+  kJson,
 };
 
 struct ExplainOptions {
@@ -147,6 +166,10 @@ class Engine {
   /// against the loaded program's exports, the EDB, and the NAIL!
   /// predicates. Unknown plain names resolve to EDB relations.
   Status ExecuteStatement(std::string_view statement);
+  /// ExecuteStatement with guardrails and tracing (QueryOptions::trace
+  /// lands the statement's trace in the engine's trace ring).
+  Status ExecuteStatement(std::string_view statement,
+                          const QueryOptions& options);
 
   /// Answer set of a conjunctive goal, e.g. "path(1,X) & X != 3".
   struct QueryResult {
@@ -199,6 +222,24 @@ class Engine {
   /// Redirect the I/O builtins.
   void SetIo(std::ostream* out, std::istream* in);
 
+  // --- Observability (src/obs/) ------------------------------------------
+
+  /// Renders every registered metric — engine-owned query counters plus
+  /// pull metrics over storage, executor, planner, semi-naive, and
+  /// persistence counters. Takes the shared lock, so it is safe to call
+  /// from a scrape thread while queries run.
+  std::string DumpMetrics(MetricsFormat format = MetricsFormat::kPrometheus)
+      const;
+  /// The engine's metric registry, for callers registering their own.
+  MetricsRegistry& metrics() { return metrics_; }
+  /// Most recent explicitly traced query on the writer path (null when
+  /// nothing was traced yet). Session traces land in the session's ring.
+  std::shared_ptr<const QueryTrace> last_trace() const {
+    return trace_ring_.Last();
+  }
+  TraceRing& trace_ring() { return trace_ring_; }
+  const SlowQueryLog& slow_query_log() const { return slow_log_; }
+
   const CompileStats& compile_stats() const { return compile_stats_; }
   /// Statistics of the writer-path executor. Read while quiescent.
   const ExecStats& exec_stats() const;
@@ -212,6 +253,33 @@ class Engine {
 
  private:
   friend class Session;
+
+  /// Per-query observability state: a sink installed thread-locally for
+  /// the query's duration (when tracing is on, explicitly or via the armed
+  /// slow-query log) plus the timing needed by the latency histogram and
+  /// the slow-query check. Lives on the caller's stack; Begin/Finish
+  /// bracket one query or statement.
+  struct QueryObs {
+    bool active = false;      ///< a sink is installed
+    bool want_trace = false;  ///< push the finished trace to \p ring
+    TraceSink sink;
+    std::chrono::steady_clock::time_point start;
+    uint64_t replans_before = 0;
+    std::optional<TraceScope> scope;
+  };
+  void BeginQueryObs(QueryObs* obs, bool want_trace);
+  /// Records the replan counter the query started from, so the slow-query
+  /// entry can report replans-during-query. Requires state_mu_ held (any
+  /// mode) — unlike BeginQueryObs, which may run before the lock.
+  void SampleReplanBaseline(QueryObs* obs);
+  /// Observes latency, pushes the trace to \p ring (explicit traces only),
+  /// and records a slow-query entry when over threshold. \p ring may be
+  /// the engine's or a session's.
+  void FinishQueryObs(QueryObs* obs, std::string_view query, TraceRing* ring);
+  void RegisterBuiltinMetrics();
+  /// storage_stats() body without locking (for metric pull callbacks,
+  /// which run under DumpMetrics' shared lock).
+  StorageStats StorageStatsNoLock() const;
 
   Status EnsureLoadedLocked();
   /// Compiles an ad-hoc statement by wrapping it in a throwaway procedure.
@@ -256,6 +324,17 @@ class Engine {
   std::unique_ptr<Executor> executor_;
   IoEnv io_;
   CompileStats compile_stats_;
+
+  // --- Observability -----------------------------------------------------
+  MetricsRegistry metrics_;
+  TraceRing trace_ring_;
+  SlowQueryLog slow_log_;
+  /// Engine-owned handles (registered in the constructor; single relaxed
+  /// atomic ops on the query path).
+  Counter* m_queries_ = nullptr;
+  Counter* m_traced_queries_ = nullptr;
+  Counter* m_slow_queries_ = nullptr;
+  Histogram* m_query_latency_ = nullptr;
 };
 
 }  // namespace gluenail

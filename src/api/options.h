@@ -9,6 +9,9 @@
 #ifndef GLUENAIL_API_OPTIONS_H_
 #define GLUENAIL_API_OPTIONS_H_
 
+#include <chrono>
+#include <cstddef>
+
 #include "src/exec/executor.h"
 #include "src/nail/seminaive.h"
 #include "src/plan/planner.h"
@@ -32,6 +35,18 @@ struct EngineOptions {
   /// generated Glue procedures, which the partitioner cannot split); the
   /// two modes are differential-tested equal.
   int num_threads = 1;
+
+  // --- Observability (src/obs/, docs/ARCHITECTURE.md "Observability") ----
+  /// Queries and statements slower than this are captured in the engine's
+  /// slow-query log (text, chosen plan with est vs. actual rows, replan
+  /// count, top-3 spans). Zero (the default) disarms the log; while armed,
+  /// every query is traced so slow ones have a trace to mine.
+  std::chrono::nanoseconds slow_query_threshold{0};
+  /// Finished traces kept per ring (the engine has one ring; each session
+  /// has its own). Oldest evicted first.
+  size_t trace_ring_capacity = 16;
+  /// Entries kept by the slow-query log before eviction.
+  size_t slow_query_log_capacity = 64;
 };
 
 }  // namespace gluenail

@@ -21,6 +21,10 @@ constexpr std::string_view kHelp = R"(commands:
   :explain analyze STMT.    run it; show estimated vs. actual rows per op
   :relations                list EDB relations
   :stats                    execution statistics
+  :metrics [json]           dump every engine metric (Prometheus or JSON)
+  :trace last               span tree of the last traced query
+  :trace chrome             last trace as Chrome trace_event JSON
+  :slowlog                  queries over the slow-query threshold
   :help                     this text
   :quit                     leave
 )";
@@ -162,15 +166,44 @@ Status Repl::Execute(const std::string& raw, bool* quit) {
       *out_ << FormatExecStats(engine_->exec_stats()) << "\n";
       return Status::OK();
     }
+    if (cmd == ":metrics") {
+      MetricsFormat format =
+          arg == "json" ? MetricsFormat::kJson : MetricsFormat::kPrometheus;
+      *out_ << engine_->DumpMetrics(format);
+      return Status::OK();
+    }
+    if (cmd == ":trace") {
+      std::shared_ptr<const QueryTrace> trace = engine_->last_trace();
+      if (trace == nullptr) {
+        *out_ << "no trace recorded yet (queries here are traced; run "
+                 "one first)\n";
+        return Status::OK();
+      }
+      if (arg == "chrome") {
+        *out_ << trace->RenderChromeJson() << "\n";
+      } else {
+        *out_ << trace->RenderTree();
+      }
+      return Status::OK();
+    }
+    if (cmd == ":slowlog") {
+      *out_ << engine_->slow_query_log().Render();
+      return Status::OK();
+    }
     return Status::InvalidArgument(
         StrCat("unknown command ", cmd, " (try :help)"));
   }
+
+  // REPL evaluation always traces, so `:trace last` works out of the box
+  // without re-running the query.
+  QueryOptions qopts;
+  qopts.trace = true;
 
   if (StartsWith(input, "?-")) {
     std::string goal = Trim(input.substr(2));
     if (!goal.empty() && goal.back() == '.') goal.pop_back();
     GLUENAIL_ASSIGN_OR_RETURN(Engine::QueryResult result,
-                              engine_->Query(goal));
+                              engine_->Query(goal, qopts));
     PrintQueryResult(result);
     return Status::OK();
   }
@@ -178,7 +211,7 @@ Status Repl::Execute(const std::string& raw, bool* quit) {
   if (input.back() == '.' && LooksLikeFact(input)) {
     return engine_->AddFact(input);
   }
-  return engine_->ExecuteStatement(input);
+  return engine_->ExecuteStatement(input, qopts);
 }
 
 Status Repl::Run() {

@@ -23,9 +23,16 @@ Status Session::EnterRead(std::shared_lock<std::shared_mutex>* lock) {
 
 Result<Engine::QueryResult> Session::Query(std::string_view goal,
                                            const QueryOptions& options) {
+  // Install the sink before entering read state: when this session is the
+  // reader that upgrades to refresh a stale NAIL! memo, the refresh's
+  // fixpoint spans (usually the dominant cost) belong to this trace. The
+  // sink is thread-local, so pre-lock installation races with nothing.
+  Engine::QueryObs obs;
+  engine_->BeginQueryObs(&obs, options.trace);
   std::shared_lock<std::shared_mutex> lock(engine_->state_mu_,
                                            std::defer_lock);
   GLUENAIL_RETURN_NOT_OK(EnterRead(&lock));
+  engine_->SampleReplanBaseline(&obs);
   ExecControl ctl;
   ctl.deadline = options.deadline;
   ctl.cancel = options.cancel;
@@ -37,29 +44,34 @@ Result<Engine::QueryResult> Session::Query(std::string_view goal,
     // the engine stays clean for the next query on this session.
     GLUENAIL_RETURN_NOT_OK(ctl.Check());
   }
-  try {
-    if (options.strategy == QueryStrategy::kMagic) {
-      // Magic evaluation writes only a private scratch IDB; the shared EDB
-      // stays read-only.
-      ExecOptions opts;
+  Result<Engine::QueryResult> result =
+      [&]() -> Result<Engine::QueryResult> {
+    try {
+      if (options.strategy == QueryStrategy::kMagic) {
+        // Magic evaluation writes only a private scratch IDB; the shared
+        // EDB stays read-only.
+        ExecOptions opts;
+        opts.read_only_storage = true;
+        opts.writable_private_idb = true;
+        opts.control = ctl_ptr;
+        return engine_->QueryMagicWith(goal, opts);
+      }
+      ExecOptions opts = engine_->options_.exec;
       opts.read_only_storage = true;
-      opts.writable_private_idb = true;
       opts.control = ctl_ptr;
-      return engine_->QueryMagicWith(goal, opts);
+      RuntimeEnv env;
+      env.io = engine_->io_;
+      env.hosts = &engine_->hosts_;
+      env.nail = engine_->nail_engine_.get();
+      Executor exec(&engine_->linked_->program, &engine_->edb_,
+                    &engine_->idb_, &engine_->pool_, env, opts);
+      return engine_->QueryGoalWith(&exec, goal);
+    } catch (const std::bad_alloc&) {
+      return Status::ResourceExhausted("allocation failed during query");
     }
-    ExecOptions opts = engine_->options_.exec;
-    opts.read_only_storage = true;
-    opts.control = ctl_ptr;
-    RuntimeEnv env;
-    env.io = engine_->io_;
-    env.hosts = &engine_->hosts_;
-    env.nail = engine_->nail_engine_.get();
-    Executor exec(&engine_->linked_->program, &engine_->edb_, &engine_->idb_,
-                  &engine_->pool_, env, opts);
-    return engine_->QueryGoalWith(&exec, goal);
-  } catch (const std::bad_alloc&) {
-    return Status::ResourceExhausted("allocation failed during query");
-  }
+  }();
+  engine_->FinishQueryObs(&obs, goal, ring_.get());
+  return result;
 }
 
 Result<std::vector<Tuple>> Session::Call(std::string_view name,

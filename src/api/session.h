@@ -21,6 +21,7 @@
 #ifndef GLUENAIL_API_SESSION_H_
 #define GLUENAIL_API_SESSION_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -52,9 +53,23 @@ class Session {
   Status ExecuteStatement(std::string_view statement);
   Status AddFact(std::string_view fact);
 
+  // --- Observability -----------------------------------------------------
+
+  /// Most recent explicitly traced query on this session (traces recorded
+  /// with QueryOptions::trace land in the session's private ring, so
+  /// concurrent sessions never see each other's traces). Null until the
+  /// first traced query finishes.
+  std::shared_ptr<const QueryTrace> last_trace() const {
+    return ring_->Last();
+  }
+  TraceRing& trace_ring() { return *ring_; }
+
  private:
   friend class Engine;
-  explicit Session(Engine* engine) : engine_(engine) {}
+  explicit Session(Engine* engine)
+      : engine_(engine),
+        ring_(std::make_shared<TraceRing>(
+            engine->options_.trace_ring_capacity)) {}
 
   /// Acquires \p lock (shared) with the engine read-ready, upgrading to
   /// the writer lock to refresh stale state as needed. On success the
@@ -62,6 +77,8 @@ class Session {
   Status EnterRead(std::shared_lock<std::shared_mutex>* lock);
 
   Engine* engine_;
+  /// Shared so Session stays cheap to copy (copies see the same ring).
+  std::shared_ptr<TraceRing> ring_;
 };
 
 }  // namespace gluenail

@@ -27,7 +27,8 @@ std::string FormatStorageStats(const StorageStats& stats) {
                 " tuples, ", stats.arena_bytes, " arena bytes, ",
                 stats.dedup_probes, " dedup probes, ", stats.scan_rows,
                 " scan rows, ", stats.index_lookups, " index lookups, ",
-                stats.indexes_built, " indexes built");
+                stats.index_probe_rows, " probe rows, ", stats.indexes_built,
+                " indexes built, ", stats.stats_rebuilds, " stats rebuilds");
 }
 
 }  // namespace gluenail

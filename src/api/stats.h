@@ -32,7 +32,12 @@ struct StorageStats {
   uint64_t dedup_probes = 0;
   uint64_t scan_rows = 0;
   uint64_t index_lookups = 0;
+  /// Rows walked along index probe chains (hash-bucket collisions plus
+  /// true key matches) — the index-side complement of scan_rows.
+  uint64_t index_probe_rows = 0;
   uint64_t indexes_built = 0;
+  /// NDV-sketch rebuilds triggered by erase churn or compaction.
+  uint64_t stats_rebuilds = 0;
 };
 
 /// One-line human-readable summary (README quickstart prints this).

@@ -94,8 +94,14 @@ struct ResourceLimits {
   uint64_t max_tuples = 0;
   /// Bound on bytes held by IDB tuple arenas, dedup tables, and indexes.
   uint64_t max_arena_bytes = 0;
+  /// Bound on rows visited while evaluating one query: full-scan rows plus
+  /// index probe-chain rows, so an index-heavy query cannot dodge the
+  /// budget by never scanning.
+  uint64_t max_rows_scanned = 0;
 
-  bool unlimited() const { return max_tuples == 0 && max_arena_bytes == 0; }
+  bool unlimited() const {
+    return max_tuples == 0 && max_arena_bytes == 0 && max_rows_scanned == 0;
+  }
 };
 
 /// The per-query control block the Engine threads through the executors.
@@ -122,6 +128,15 @@ struct ExecControl {
       return Status::ResourceExhausted(
           StrCat("tuple budget exceeded: ", tuples, " tuples materialized, ",
                  "limit ", limits.max_tuples));
+    }
+    return Status::OK();
+  }
+
+  Status CheckRowsScanned(uint64_t rows) const {
+    if (limits.max_rows_scanned != 0 && rows > limits.max_rows_scanned) {
+      return Status::ResourceExhausted(
+          StrCat("row scan budget exceeded: ", rows, " rows visited, ",
+                 "limit ", limits.max_rows_scanned));
     }
     return Status::OK();
   }

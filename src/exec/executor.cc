@@ -6,6 +6,7 @@
 
 #include "src/common/strings.h"
 #include "src/exec/ops.h"
+#include "src/obs/trace.h"
 #include "src/runtime/arith.h"
 
 namespace gluenail {
@@ -378,11 +379,74 @@ Status Executor::ExecuteBodyOnly(const StatementPlan& plan, Frame* frame,
                                  RecordSet* final_sup) {
   ++stats_.statements;
   final_sup->Clear();
+#if GLUENAIL_TRACE
+  if (TraceSink::Current() != nullptr) {
+    return ExecuteBodyTraced(plan, frame, final_sup);
+  }
+#endif
   Status st = options_.strategy == ExecOptions::Strategy::kMaterialized
                   ? RunMaterialized(plan, frame, final_sup)
                   : RunPipelined(plan, frame, final_sup);
   GLUENAIL_RETURN_NOT_OK(st);
   stats_.records_produced += final_sup->size();
+  return Status::OK();
+}
+
+namespace {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMatch: return "match";
+    case OpKind::kNegMatch: return "negmatch";
+    case OpKind::kCompare: return "compare";
+    case OpKind::kAggregate: return "aggregate";
+    case OpKind::kGroupBy: return "group_by";
+    case OpKind::kCall: return "call";
+    case OpKind::kUpdate: return "update";
+  }
+  return "op";
+}
+
+}  // namespace
+
+std::string Executor::OpSpanName(const StatementPlan& plan,
+                                 size_t idx) const {
+  const PlanOp& op = plan.ops[idx];
+  std::string name = StrCat("op", idx, ":", OpKindName(op.kind));
+  if ((op.kind == OpKind::kMatch || op.kind == OpKind::kNegMatch) &&
+      op.access.name != kNullTerm) {
+    name += " ";
+    name += pool_->ToString(op.access.name);
+  }
+  return name;
+}
+
+Status Executor::ExecuteBodyTraced(const StatementPlan& plan, Frame* frame,
+                                   RecordSet* final_sup) {
+  TraceSink* sink = TraceSink::Current();
+  ScopedSpan stmt_span("stmt:execute");
+  // Borrow (or create) the op profile so the per-op spans report the same
+  // actual-rows numbers EXPLAIN ANALYZE would; the delta against a
+  // snapshot keeps nested/repeated executions of a profiled plan honest.
+  bool created_profile = OpProfile(&plan) == nullptr;
+  if (created_profile) EnableOpProfile(&plan);
+  std::vector<uint64_t> before = *OpProfile(&plan);
+  Status st = options_.strategy == ExecOptions::Strategy::kMaterialized
+                  ? RunMaterialized(plan, frame, final_sup)
+                  : RunPipelined(plan, frame, final_sup);
+  const std::vector<uint64_t>* after = OpProfile(&plan);
+  if (after != nullptr) {
+    for (size_t i = 0; i < after->size(); ++i) {
+      uint64_t delta = (*after)[i] - (i < before.size() ? before[i] : 0);
+      int32_t span = sink->StartSpan(OpSpanName(plan, i));
+      sink->AddRows(span, delta);
+      sink->EndSpan(span);
+    }
+  }
+  if (created_profile) DisableOpProfile(&plan);
+  GLUENAIL_RETURN_NOT_OK(st);
+  stats_.records_produced += final_sup->size();
+  stmt_span.AddRows(final_sup->size());
   return Status::OK();
 }
 

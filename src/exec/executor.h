@@ -15,6 +15,7 @@
 #ifndef GLUENAIL_EXEC_EXECUTOR_H_
 #define GLUENAIL_EXEC_EXECUTOR_H_
 
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -69,6 +70,10 @@ struct ExecStats {
   uint64_t nail_refreshes = 0;
   /// Full guardrail checks performed (cancel/deadline/budget probes).
   uint64_t control_checks = 0;
+  /// Rows visited answering matches: full-scan rows plus index
+  /// probe-chain rows — the quantity ResourceLimits::max_rows_scanned
+  /// bounds per query.
+  uint64_t rows_scanned = 0;
 
   // Per-op-kind rows produced ("actual_rows"): every record an op emits —
   // or, for barrier ops, the size of the record set it leaves behind — is
@@ -170,6 +175,11 @@ class Executor {
     auto it = op_profiles_.find(plan);
     return it == op_profiles_.end() ? nullptr : &it->second;
   }
+  /// Drops one plan's profile (callers that enabled profiling for the
+  /// lifetime of a short-lived plan must drop it before the plan dies).
+  void DisableOpProfile(const StatementPlan* plan) {
+    op_profiles_.erase(plan);
+  }
   /// Drops every profile (the keys are plan pointers, so callers must
   /// clear before a profiled plan dies).
   void ClearOpProfiles() { op_profiles_.clear(); }
@@ -203,7 +213,12 @@ class Executor {
   /// ExecOptions::control. The Engine's writer path uses this to guard a
   /// query run through its long-lived executor; callers must clear it when
   /// the query finishes (see the ControlScope RAII in engine.cc).
-  void set_control(const ExecControl* control) { control_override_ = control; }
+  /// Installing a control restarts the per-query row-scan accounting so a
+  /// long-lived executor's history never counts against a fresh budget.
+  void set_control(const ExecControl* control) {
+    control_override_ = control;
+    rows_budget_used_ = 0;
+  }
   /// The active guardrails: the per-query override, else the one baked
   /// into ExecOptions, else null (unguarded).
   const ExecControl* control() const {
@@ -212,13 +227,42 @@ class Executor {
   }
 
   /// Cheap inner-loop probe: a full cancel/deadline check every 4096th
-  /// call, a pointer test otherwise. Scan loops call this per row.
+  /// call, a pointer test otherwise. Row loops that were already charged
+  /// for their rows (via SelectRows) call this per row.
   Status TickControl() {
     const ExecControl* c = control();
     if (c == nullptr) return Status::OK();
     if ((++control_tick_ & 0xFFF) != 0) return Status::OK();
     ++stats_.control_checks;
     return c->Check();
+  }
+
+  /// Per-row probe for full-scan loops that visit rows without going
+  /// through SelectRows: charges the row against the scan budget, then
+  /// behaves like TickControl (full check — including the budget — every
+  /// 4096th call, so an overrun is detected within one tick window).
+  Status TickScanRow() {
+    ++stats_.rows_scanned;
+    const ExecControl* c = control();
+    if (c == nullptr) return Status::OK();
+    ++rows_budget_used_;
+    if ((++control_tick_ & 0xFFF) != 0) return Status::OK();
+    ++stats_.control_checks;
+    GLUENAIL_RETURN_NOT_OK(c->Check());
+    return c->CheckRowsScanned(rows_budget_used_);
+  }
+
+  /// Bulk charge for rows a keyed selection visited (scanned rows or index
+  /// probe-chain rows). Checked immediately: one oversized probe chain
+  /// must not blow past the budget unnoticed until the next tick.
+  Status ChargeScanRows(uint64_t n) {
+    stats_.rows_scanned += n;
+    const ExecControl* c = control();
+    if (c == nullptr) return Status::OK();
+    rows_budget_used_ += n;
+    if (c->limits.max_rows_scanned == 0) return Status::OK();
+    ++stats_.control_checks;
+    return c->CheckRowsScanned(rows_budget_used_);
   }
 
   /// Op-boundary check: cancel/deadline plus the tuple budget against the
@@ -244,6 +288,15 @@ class Executor {
   Status RunPipelined(const StatementPlan& plan, Frame* frame,
                       RecordSet* out);
 
+  /// ExecuteBodyOnly with an active trace sink: wraps the statement in a
+  /// span and emits one child span per op carrying its actual rows (taken
+  /// from the op profile, so trace rows and EXPLAIN ANALYZE agree by
+  /// construction on both strategies).
+  Status ExecuteBodyTraced(const StatementPlan& plan, Frame* frame,
+                           RecordSet* final_sup);
+  /// Display name for op \p idx of \p plan ("op2:match edge").
+  std::string OpSpanName(const StatementPlan& plan, size_t idx) const;
+
   // --- Shared op helpers (ops.cc) ----------------------------------------
   friend class OpRunner;
 
@@ -256,15 +309,20 @@ class Executor {
                                  TermId dynamic_name);
 
   /// Keyed selection honoring read_only_storage: the mutable Select path
-  /// (adaptive index building) for writers, SelectConst for shared readers.
-  void SelectRows(Relation* rel, ColumnMask mask, RowView key,
-                  std::vector<uint32_t>* out) {
+  /// (adaptive index building) for writers, SelectConst for shared
+  /// readers. Every row the selection visits — scanned or walked along an
+  /// index probe chain — is charged against the row-scan budget, so
+  /// index-heavy queries cannot dodge ResourceLimits::max_rows_scanned.
+  Status SelectRows(Relation* rel, ColumnMask mask, RowView key,
+                    std::vector<uint32_t>* out) {
+    uint64_t visited = 0;
     if (options_.read_only_storage) {
       const Relation* crel = rel;
-      crel->SelectConst(mask, key, out);
+      crel->SelectConst(mask, key, out, &visited);
     } else {
-      rel->Select(mask, key, out);
+      rel->Select(mask, key, out, &visited);
     }
+    return ChargeScanRows(visited);
   }
 
   /// Barrier ops over a whole record set.
@@ -303,6 +361,9 @@ class Executor {
   int call_depth_ = 0;
   const ExecControl* control_override_ = nullptr;
   uint64_t control_tick_ = 0;
+  /// Rows charged against the current control's max_rows_scanned budget;
+  /// reset by set_control so each guarded query starts at zero.
+  uint64_t rows_budget_used_ = 0;
   /// Name -> replacement relation for reads (parallel delta partitions).
   std::unordered_map<TermId, Relation*> read_overrides_;
   /// Plans under EXPLAIN ANALYZE profiling -> actual rows per op index.

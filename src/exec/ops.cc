@@ -65,8 +65,12 @@ Status OpRunner::StreamMatchRelation(const PlanOp& op, Relation* rel,
       ReleaseScratch();
       return key_st;
     }
-    exec_->SelectRows(rel, op.bound_mask, scratch->key, &scratch->rows);
-    Status st;
+    Status st = exec_->SelectRows(rel, op.bound_mask, scratch->key,
+                                  &scratch->rows);
+    if (!st.ok()) {
+      ReleaseScratch();
+      return st;
+    }
     for (uint32_t row : scratch->rows) {
       st = exec_->TickControl();
       if (!st.ok()) break;
@@ -82,7 +86,7 @@ Status OpRunner::StreamMatchRelation(const PlanOp& op, Relation* rel,
     return st;
   }
   for (RowView tuple : *rel) {
-    GLUENAIL_RETURN_NOT_OK(exec_->TickControl());
+    GLUENAIL_RETURN_NOT_OK(exec_->TickScanRow());
     undo.clear();
     if (MatchColumns(op.col_patterns, tuple, *exec_->pool_, rec, &undo)) {
       GLUENAIL_RETURN_NOT_OK(emit(rec, group));
@@ -146,7 +150,12 @@ Result<bool> OpRunner::HasMatch(const PlanOp& op, Relation* rel,
       ReleaseScratch();
       return key_st;
     }
-    exec_->SelectRows(rel, op.bound_mask, scratch->key, &scratch->rows);
+    Status sel_st = exec_->SelectRows(rel, op.bound_mask, scratch->key,
+                                      &scratch->rows);
+    if (!sel_st.ok()) {
+      ReleaseScratch();
+      return sel_st;
+    }
     bool found = false;
     for (uint32_t row : scratch->rows) {
       undo.clear();
@@ -162,7 +171,7 @@ Result<bool> OpRunner::HasMatch(const PlanOp& op, Relation* rel,
     return found;
   }
   for (RowView tuple : *rel) {
-    GLUENAIL_RETURN_NOT_OK(exec_->TickControl());
+    GLUENAIL_RETURN_NOT_OK(exec_->TickScanRow());
     undo.clear();
     bool ok = MatchColumns(op.col_patterns, tuple, *exec_->pool_, rec, &undo);
     UnbindAll(undo, rec);

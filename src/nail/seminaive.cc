@@ -1,9 +1,12 @@
 #include "src/nail/seminaive.h"
 
+#include <memory>
+#include <optional>
 #include <unordered_set>
 
 #include "src/common/strings.h"
 #include "src/nail/nail_to_glue.h"
+#include "src/obs/trace.h"
 #include "src/plan/planner.h"
 
 namespace gluenail {
@@ -90,7 +93,7 @@ Status NailEngine::MaybeReplanScc(SccPlans* plans,
     plans->iterate[i] = std::move(plan);
   }
   plans->last_planned_delta = cur;
-  ++replan_count_;
+  replan_count_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -136,6 +139,7 @@ Status NailEngine::Refresh() {
   if (exec_ == nullptr) {
     return Status::Internal("NailEngine has no executor wired");
   }
+  ScopedSpan refresh_span("nail:refresh");
   evaluating_ = true;
   Status st = ClearIdb();
   if (st.ok()) {
@@ -175,12 +179,17 @@ Status NailEngine::RefreshDirect() {
   Frame frame(nullptr);
   for (size_t s = 0; s < program_.scc_order.size(); ++s) {
     SccPlans& plans = scc_plans_[s];
+    ScopedSpan scc_span("nail:scc");
     for (const StatementPlan& plan : plans.init) {
       GLUENAIL_RETURN_NOT_OK(exec_->ExecuteStatementPlan(plan, &frame));
     }
     if (plans.iterate.empty()) continue;
     const std::vector<int>& preds = program_.scc_order[s];
     while (true) {
+      // One span per fixpoint iteration; rows carries the delta volume the
+      // iteration started from, so a trace shows convergence at a glance.
+      ScopedSpan iter_span("nail:iteration");
+      if (iter_span.active()) iter_span.AddRows(SccDeltaRows(preds));
       ++iteration_count_;
       // Guardrails once per fixpoint iteration: a cancelled or
       // over-budget query aborts within one iteration.
@@ -324,7 +333,25 @@ Status NailEngine::ParallelIterate(const StatementPlan& plan,
   // storage ∪ newdelta, so the delta rule refires next round.
   std::vector<std::vector<Tuple>> found(static_cast<size_t>(k));
   std::vector<Status> worker_status(static_cast<size_t>(k));
+  // Tracing across the fork/join: each worker records into its own sink
+  // (sharing the parent's clock epoch) installed thread-locally on the
+  // worker thread, so recording needs no mutex; after the barrier the
+  // children merge under the span open on this thread (the iteration).
+  TraceSink* parent_sink = TraceSink::Current();
+  std::vector<std::unique_ptr<TraceSink>> worker_sinks;
+  if (parent_sink != nullptr) {
+    worker_sinks.reserve(static_cast<size_t>(k));
+    for (int w = 0; w < k; ++w) {
+      worker_sinks.push_back(std::make_unique<TraceSink>(
+          static_cast<uint32_t>(w + 1), parent_sink->epoch()));
+    }
+  }
   workers_->Run(k, [&](int w) {
+    std::optional<TraceScope> trace_scope;
+    if (parent_sink != nullptr) {
+      trace_scope.emplace(worker_sinks[static_cast<size_t>(w)].get());
+    }
+    ScopedSpan worker_span("nail:worker");
     ExecOptions opts = exec_->options();
     opts.read_only_storage = true;
     opts.writable_private_idb = false;
@@ -357,7 +384,14 @@ Status NailEngine::ParallelIterate(const StatementPlan& plan,
         out.push_back(std::move(t));
       }
     }
+    worker_span.AddRows(out.size());
   });
+  if (parent_sink != nullptr) {
+    int32_t attach = parent_sink->current_open();
+    for (auto& sink : worker_sinks) {
+      parent_sink->Merge(std::move(*sink), attach);
+    }
+  }
   for (const Status& st : worker_status) {
     GLUENAIL_RETURN_NOT_OK(st);
   }

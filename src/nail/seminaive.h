@@ -23,6 +23,7 @@
 #ifndef GLUENAIL_NAIL_SEMINAIVE_H_
 #define GLUENAIL_NAIL_SEMINAIVE_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -89,8 +90,11 @@ class NailEngine : public NailEvaluator {
   /// (tests assert the parallel evaluator actually engaged).
   uint64_t parallel_batches() const { return parallel_batches_; }
   /// Mid-fixpoint replans of iterate bodies triggered by observed delta
-  /// sizes drifting from what the plans were costed against.
-  uint64_t replan_count() const { return replan_count_; }
+  /// sizes drifting from what the plans were costed against. Atomic so
+  /// query observability can sample it before taking the engine lock.
+  uint64_t replan_count() const {
+    return replan_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   Status Refresh();
@@ -159,7 +163,7 @@ class NailEngine : public NailEvaluator {
   uint64_t refresh_count_ = 0;
   uint64_t iteration_count_ = 0;
   uint64_t parallel_batches_ = 0;
-  uint64_t replan_count_ = 0;
+  std::atomic<uint64_t> replan_count_{0};
   int num_threads_ = 1;
   /// Lazily created when num_threads_ > 1 and a parallel batch runs.
   std::unique_ptr<WorkerPool> workers_;

@@ -1,0 +1,144 @@
+#include "src/obs/metrics.h"
+
+#include "src/common/strings.h"
+
+namespace gluenail {
+
+MetricsRegistry::Entry* MetricsRegistry::Add(Entry::Kind kind,
+                                             std::string name,
+                                             std::string help) {
+  auto entry = std::make_unique<Entry>();
+  entry->kind = kind;
+  entry->name = std::move(name);
+  entry->help = std::move(help);
+  Entry* out = entry.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Counter* MetricsRegistry::RegisterCounter(std::string name, std::string help) {
+  Entry* e = Add(Entry::Kind::kCounter, std::move(name), std::move(help));
+  e->counter = std::make_unique<Counter>();
+  return e->counter.get();
+}
+
+Gauge* MetricsRegistry::RegisterGauge(std::string name, std::string help) {
+  Entry* e = Add(Entry::Kind::kGauge, std::move(name), std::move(help));
+  e->gauge = std::make_unique<Gauge>();
+  return e->gauge.get();
+}
+
+Histogram* MetricsRegistry::RegisterHistogram(std::string name,
+                                              std::string help) {
+  Entry* e = Add(Entry::Kind::kHistogram, std::move(name), std::move(help));
+  e->histogram = std::make_unique<Histogram>();
+  return e->histogram.get();
+}
+
+void MetricsRegistry::RegisterPullCounter(std::string name, std::string help,
+                                          std::function<uint64_t()> read) {
+  Entry* e = Add(Entry::Kind::kPullCounter, std::move(name), std::move(help));
+  e->pull_counter = std::move(read);
+}
+
+void MetricsRegistry::RegisterPullGauge(std::string name, std::string help,
+                                        std::function<int64_t()> read) {
+  Entry* e = Add(Entry::Kind::kPullGauge, std::move(name), std::move(help));
+  e->pull_gauge = std::move(read);
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& e : entries_) {
+    out += StrCat("# HELP ", e->name, " ", e->help, "\n");
+    switch (e->kind) {
+      case Entry::Kind::kCounter:
+        out += StrCat("# TYPE ", e->name, " counter\n", e->name, " ",
+                      e->counter->value(), "\n");
+        break;
+      case Entry::Kind::kPullCounter:
+        out += StrCat("# TYPE ", e->name, " counter\n", e->name, " ",
+                      e->pull_counter(), "\n");
+        break;
+      case Entry::Kind::kGauge:
+        out += StrCat("# TYPE ", e->name, " gauge\n", e->name, " ",
+                      e->gauge->value(), "\n");
+        break;
+      case Entry::Kind::kPullGauge:
+        out += StrCat("# TYPE ", e->name, " gauge\n", e->name, " ",
+                      e->pull_gauge(), "\n");
+        break;
+      case Entry::Kind::kHistogram: {
+        out += StrCat("# TYPE ", e->name, " histogram\n");
+        const Histogram& h = *e->histogram;
+        // Render cumulative buckets up to the last non-empty one; empty
+        // tails collapse into +Inf so idle histograms stay one line.
+        uint32_t last = 0;
+        for (uint32_t b = 0; b < Histogram::kBuckets; ++b) {
+          if (h.bucket(b) != 0) last = b;
+        }
+        uint64_t cumulative = 0;
+        for (uint32_t b = 0; b <= last && h.count() != 0; ++b) {
+          cumulative += h.bucket(b);
+          out += StrCat(e->name, "_bucket{le=\"", Histogram::UpperBound(b),
+                        "\"} ", cumulative, "\n");
+        }
+        out += StrCat(e->name, "_bucket{le=\"+Inf\"} ", h.count(), "\n");
+        out += StrCat(e->name, "_sum ", h.sum(), "\n");
+        out += StrCat(e->name, "_count ", h.count(), "\n");
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const auto& e : entries_) {
+    if (!first) out += ",";
+    first = false;
+    switch (e->kind) {
+      case Entry::Kind::kCounter:
+        out += StrCat("{\"name\":\"", e->name, "\",\"type\":\"counter\",",
+                      "\"value\":", e->counter->value(), "}");
+        break;
+      case Entry::Kind::kPullCounter:
+        out += StrCat("{\"name\":\"", e->name, "\",\"type\":\"counter\",",
+                      "\"value\":", e->pull_counter(), "}");
+        break;
+      case Entry::Kind::kGauge:
+        out += StrCat("{\"name\":\"", e->name, "\",\"type\":\"gauge\",",
+                      "\"value\":", e->gauge->value(), "}");
+        break;
+      case Entry::Kind::kPullGauge:
+        out += StrCat("{\"name\":\"", e->name, "\",\"type\":\"gauge\",",
+                      "\"value\":", e->pull_gauge(), "}");
+        break;
+      case Entry::Kind::kHistogram: {
+        const Histogram& h = *e->histogram;
+        out += StrCat("{\"name\":\"", e->name, "\",\"type\":\"histogram\",",
+                      "\"count\":", h.count(), ",\"sum\":", h.sum(),
+                      ",\"buckets\":[");
+        bool first_bucket = true;
+        for (uint32_t b = 0; b < Histogram::kBuckets; ++b) {
+          if (h.bucket(b) == 0) continue;
+          if (!first_bucket) out += ",";
+          first_bucket = false;
+          out += StrCat("{\"le\":", Histogram::UpperBound(b),
+                        ",\"count\":", h.bucket(b), "}");
+        }
+        out += "]}";
+        break;
+      }
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace gluenail

@@ -1,0 +1,67 @@
+#include "src/obs/slow_query.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/strings.h"
+
+namespace gluenail {
+
+std::vector<std::pair<std::string, uint64_t>> TopSpansByDuration(
+    const std::vector<TraceSpan>& spans, size_t n) {
+  std::vector<size_t> order(spans.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  size_t keep = std::min(n, order.size());
+  std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                    [&](size_t a, size_t b) {
+                      return spans[a].dur_ns > spans[b].dur_ns;
+                    });
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    out.emplace_back(spans[order[i]].name, spans[order[i]].dur_ns);
+  }
+  return out;
+}
+
+void SlowQueryLog::Record(SlowQueryEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  entries_.push_back(std::move(entry));
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {entries_.begin(), entries_.end()};
+}
+
+uint64_t SlowQueryLog::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::string SlowQueryLog::Render() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.empty()) return "slow-query log is empty\n";
+  std::string out = StrCat("slow queries (", entries_.size(), " kept of ",
+                           total_, " recorded):\n");
+  for (const SlowQueryEntry& e : entries_) {
+    char secs[32];
+    std::snprintf(secs, sizeof(secs), "%.6f", e.seconds);
+    out += StrCat("-- ", secs, "s  replans=", e.replans, "  ", e.query, "\n");
+    for (const auto& [name, dur_ns] : e.top_spans) {
+      char ms[32];
+      std::snprintf(ms, sizeof(ms), "%.3f",
+                    static_cast<double>(dur_ns) / 1e6);
+      out += StrCat("   span ", name, "  ", ms, "ms\n");
+    }
+    if (!e.plan.empty()) {
+      out += e.plan;
+      if (out.back() != '\n') out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace gluenail

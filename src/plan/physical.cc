@@ -192,9 +192,16 @@ Result<std::vector<PhysicalChoice>> AnnotateOrder(
 
 }  // namespace
 
+PlannerCounters& GlobalPlannerCounters() {
+  static PlannerCounters counters;
+  return counters;
+}
+
 Result<std::vector<PhysicalChoice>> PlanBodyOrder(
     const std::vector<ast::Subgoal>& body, const CompileEnv& env,
     const BoundSet& initially_bound, const PlannerOptions& opts) {
+  GlobalPlannerCounters().bodies_planned.fetch_add(1,
+                                                   std::memory_order_relaxed);
   if (!opts.reorder ||
       opts.cost_model == PlannerOptions::CostModel::kSyntactic) {
     std::vector<size_t> order;
@@ -218,6 +225,10 @@ Result<std::vector<PhysicalChoice>> PlanBodyOrder(
     choice.body_index = idx;
     choice.est_rows = est_out;
     choice.build_index = build_index;
+    if (build_index) {
+      GlobalPlannerCounters().index_builds_scheduled.fetch_add(
+          1, std::memory_order_relaxed);
+    }
     out.push_back(choice);
     est_in = est_out;
     GLUENAIL_ASSIGN_OR_RETURN(SubgoalInfo info,

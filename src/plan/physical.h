@@ -30,6 +30,8 @@
 #ifndef GLUENAIL_PLAN_PHYSICAL_H_
 #define GLUENAIL_PLAN_PHYSICAL_H_
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "src/analysis/binding.h"
@@ -39,6 +41,16 @@
 #include "src/plan/planner.h"
 
 namespace gluenail {
+
+/// Process-wide planner activity counters, exported through the engine's
+/// metrics registry. Global (not per-Engine) because PlanBodyOrder is a free
+/// function shared by every compilation path.
+struct PlannerCounters {
+  std::atomic<uint64_t> bodies_planned{0};
+  std::atomic<uint64_t> index_builds_scheduled{0};
+};
+
+PlannerCounters& GlobalPlannerCounters();
 
 /// One scheduled subgoal: its position in the written body, the estimated
 /// rows flowing out of it, and whether the planner decided to build the

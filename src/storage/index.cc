@@ -75,13 +75,13 @@ void HashIndex::Remove(const TupleArena& arena, uint32_t row_id) {
   }
 }
 
-void HashIndex::Find(const TupleArena& arena, RowView key,
-                     std::vector<uint32_t>* out) const {
+size_t HashIndex::Find(const TupleArena& arena, RowView key,
+                       std::vector<uint32_t>* out) const {
   uint64_t h = HashRow(key);
   uint32_t head = heads_.Find(h, [&](uint32_t r) {
     return ProjectedEquals(mask_, arena.row(r), key);
   });
-  if (head == RowIdTable::kNoRow) return;
+  if (head == RowIdTable::kNoRow) return 0;
   size_t first = out->size();
   for (uint32_t r = head; r != kNoChain; r = chain_next_[r]) {
     out->push_back(r);
@@ -89,6 +89,7 @@ void HashIndex::Find(const TupleArena& arena, RowView key,
   // Chains are push-front (newest first); emit in insertion (ascending
   // row id) order to preserve the pre-arena executor iteration order.
   std::reverse(out->begin() + static_cast<ptrdiff_t>(first), out->end());
+  return out->size() - first;
 }
 
 size_t HashIndex::allocated_bytes() const {

@@ -65,9 +65,11 @@ class HashIndex {
   /// Unlinks \p row_id from its key's chain (no-op if absent).
   void Remove(const TupleArena& arena, uint32_t row_id);
   /// Appends all row ids matching \p key (the mask's columns, ascending)
-  /// to \p out.
-  void Find(const TupleArena& arena, RowView key,
-            std::vector<uint32_t>* out) const;
+  /// to \p out. Returns the number of chain rows visited — the probe cost
+  /// the caller charges against ResourceLimits::max_rows_scanned, so an
+  /// index-heavy query is accounted like the scan it replaced.
+  size_t Find(const TupleArena& arena, RowView key,
+              std::vector<uint32_t>* out) const;
 
   /// Number of distinct keys currently indexed.
   size_t num_keys() const { return heads_.size(); }

@@ -460,6 +460,11 @@ Status SaveDatabase(const Database& db, std::ostream& os) {
   return Status::OK();
 }
 
+PersistenceCounters& GlobalPersistenceCounters() {
+  static PersistenceCounters counters;
+  return counters;
+}
+
 Status SaveDatabaseToFile(const Database& db, const std::string& path) {
   const std::string data = SerializeDatabase(db);
   // Temp file in the target's directory, so the final rename cannot cross
@@ -467,10 +472,16 @@ Status SaveDatabaseToFile(const Database& db, const std::string& path) {
   const std::string tmp = StrCat(path, ".tmp.", ::getpid());
 
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return ErrnoError("open", tmp);
+  if (fd < 0) {
+    GlobalPersistenceCounters().save_failures.fetch_add(
+        1, std::memory_order_relaxed);
+    return ErrnoError("open", tmp);
+  }
   auto fail = [&](Status st) {
     if (fd >= 0) ::close(fd);
     ::unlink(tmp.c_str());
+    GlobalPersistenceCounters().save_failures.fetch_add(
+        1, std::memory_order_relaxed);
     return st;
   };
 
@@ -518,6 +529,7 @@ Status SaveDatabaseToFile(const Database& db, const std::string& path) {
     ::fsync(dfd);
     ::close(dfd);
   }
+  GlobalPersistenceCounters().saves.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -634,12 +646,18 @@ Status LoadDatabase(Database* db, std::istream& is) {
 
 Result<LoadReport> LoadDatabaseFromFile(Database* db, const std::string& path,
                                         const LoadOptions& options) {
+  PersistenceCounters& counters = GlobalPersistenceCounters();
   std::ifstream is(path);
   if (!is.is_open()) {
+    counters.load_failures.fetch_add(1, std::memory_order_relaxed);
     return Status::IoError(StrCat("cannot open ", path, " for reading"));
   }
   Result<LoadReport> out = LoadDatabase(db, is, options);
-  if (!out.ok()) return out.status().WithContext(path);
+  if (!out.ok()) {
+    counters.load_failures.fetch_add(1, std::memory_order_relaxed);
+    return out.status().WithContext(path);
+  }
+  counters.loads.fetch_add(1, std::memory_order_relaxed);
   return out;
 }
 

@@ -38,6 +38,8 @@
 #ifndef GLUENAIL_STORAGE_PERSISTENCE_H_
 #define GLUENAIL_STORAGE_PERSISTENCE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -47,6 +49,18 @@
 #include "src/storage/database.h"
 
 namespace gluenail {
+
+/// Process-wide persistence activity counters, exported through the engine's
+/// metrics registry. Global (not per-Engine) because the file-level save/load
+/// entry points are free functions.
+struct PersistenceCounters {
+  std::atomic<uint64_t> saves{0};
+  std::atomic<uint64_t> save_failures{0};
+  std::atomic<uint64_t> loads{0};
+  std::atomic<uint64_t> load_failures{0};
+};
+
+PersistenceCounters& GlobalPersistenceCounters();
 
 /// How loading reacts to a corrupt or torn file.
 enum class RecoveryMode {

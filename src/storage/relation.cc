@@ -45,8 +45,15 @@ bool Relation::Erase(RowView t) {
   live_[row_id] = false;
   for (auto& idx : indexes_) idx->Remove(arena_, row_id);
   stats_.OnErase();
+  if (stats_.NeedsSketchRebuild()) RebuildStatsSketches();
   version_.fetch_add(1, std::memory_order_acq_rel);
   return true;
+}
+
+void Relation::RebuildStatsSketches() {
+  stats_.BeginSketchRebuild();
+  for (RowView t : *this) stats_.ObserveForRebuild(t);
+  counters_.stats_rebuilds.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool Relation::Contains(RowView t) const {
@@ -85,22 +92,24 @@ HashIndex* Relation::EnsureIndex(ColumnMask mask) {
 }
 
 void Relation::ScanSelect(ColumnMask mask, RowView key,
-                          std::vector<uint32_t>* out) const {
+                          std::vector<uint32_t>* out,
+                          uint64_t* visited) const {
   for (uint32_t r = 0; r < num_rows(); ++r) {
     if (!live_[r]) continue;
     if (ProjectedEquals(mask, arena_.row(r), key)) out->push_back(r);
   }
   counters_.scan_rows.fetch_add(num_rows(), std::memory_order_relaxed);
+  if (visited != nullptr) *visited += num_rows();
 }
 
-void Relation::Select(ColumnMask mask, RowView key,
-                      std::vector<uint32_t>* out) {
+void Relation::Select(ColumnMask mask, RowView key, std::vector<uint32_t>* out,
+                      uint64_t* visited) {
   assert(mask != 0);
   const HashIndex* idx = FindIndex(mask);
   if (idx == nullptr) {
     switch (policy_) {
       case IndexPolicy::kNeverIndex:
-        ScanSelect(mask, key, out);
+        ScanSelect(mask, key, out, visited);
         return;
       case IndexPolicy::kAlwaysIndex:
         idx = EnsureIndex(mask);
@@ -112,25 +121,30 @@ void Relation::Select(ColumnMask mask, RowView key,
           idx = EnsureIndex(mask);
         } else {
           access_stats_.RecordScan(mask, size());
-          ScanSelect(mask, key, out);
+          ScanSelect(mask, key, out, visited);
           return;
         }
         break;
     }
   }
   counters_.index_lookups.fetch_add(1, std::memory_order_relaxed);
-  idx->Find(arena_, key, out);
+  size_t probed = idx->Find(arena_, key, out);
+  counters_.index_probe_rows.fetch_add(probed, std::memory_order_relaxed);
+  if (visited != nullptr) *visited += probed;
 }
 
 void Relation::SelectConst(ColumnMask mask, RowView key,
-                           std::vector<uint32_t>* out) const {
+                           std::vector<uint32_t>* out,
+                           uint64_t* visited) const {
   const HashIndex* idx = FindIndex(mask);
   if (idx != nullptr) {
     counters_.index_lookups.fetch_add(1, std::memory_order_relaxed);
-    idx->Find(arena_, key, out);
+    size_t probed = idx->Find(arena_, key, out);
+    counters_.index_probe_rows.fetch_add(probed, std::memory_order_relaxed);
+    if (visited != nullptr) *visited += probed;
     return;
   }
-  ScanSelect(mask, key, out);
+  ScanSelect(mask, key, out, visited);
 }
 
 size_t Relation::UnionDiff(const Relation& src, Relation* delta) {
@@ -166,7 +180,10 @@ void Relation::CopyFrom(const Relation& src) {
       dedup_.Insert(HashRow(arena_.row(r)), r, hash_of);
     }
     // The contents are now an exact copy of src, so its statistics apply
-    // verbatim — no per-row observation needed on the bulk path.
+    // verbatim — no per-row observation needed on the bulk path. This is
+    // only sound because the fast path requires zero dead rows: every
+    // erase leaves a dead row until Compact, so src's sketches observed
+    // exactly the rows copied here and carry no erase debt.
     stats_ = src.stats_;
     version_.fetch_add(1, std::memory_order_acq_rel);
     return;
@@ -217,6 +234,10 @@ void Relation::Compact() {
     dedup_.Insert(HashRow(arena_.row(r)), r, hash_of);
   }
   for (ColumnMask m : masks) EnsureIndex(m);
+  // Compaction walks every live row anyway; refreshing the NDV sketches
+  // here makes them exact again regardless of how much erase debt had
+  // accumulated below the automatic-rebuild threshold.
+  RebuildStatsSketches();
   version_.fetch_add(1, std::memory_order_acq_rel);
 }
 

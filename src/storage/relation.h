@@ -85,11 +85,17 @@ class Relation {
   /// scanning reaches the modeled build cost (paper §10). Under
   /// kAlwaysIndex the index is built on first use. \p mask must be
   /// non-zero; full scans should iterate rows directly.
-  void Select(ColumnMask mask, RowView key, std::vector<uint32_t>* out);
+  ///
+  /// \p visited, when non-null, accumulates the rows this selection had to
+  /// look at — every physical row for a scan, the probe-chain length for
+  /// an index lookup — which is what the executors charge against
+  /// ResourceLimits::max_rows_scanned.
+  void Select(ColumnMask mask, RowView key, std::vector<uint32_t>* out,
+              uint64_t* visited = nullptr);
 
   /// Const selection that never builds indexes or updates statistics.
-  void SelectConst(ColumnMask mask, RowView key,
-                   std::vector<uint32_t>* out) const;
+  void SelectConst(ColumnMask mask, RowView key, std::vector<uint32_t>* out,
+                   uint64_t* visited = nullptr) const;
 
   // --- Index management --------------------------------------------------
 
@@ -169,8 +175,10 @@ class Relation {
   struct Counters {
     std::atomic<uint64_t> scan_rows{0};     ///< rows visited by keyed scans
     std::atomic<uint64_t> index_lookups{0}; ///< keyed selections via index
+    std::atomic<uint64_t> index_probe_rows{0};  ///< probe-chain rows walked
     std::atomic<uint64_t> indexes_built{0}; ///< indexes built (any policy)
     std::atomic<uint64_t> dedup_probes{0};  ///< dedup slots inspected
+    std::atomic<uint64_t> stats_rebuilds{0};  ///< NDV sketch rebuilds
   };
   const Counters& counters() const { return counters_; }
 
@@ -178,8 +186,13 @@ class Relation {
   size_t arena_bytes() const;
 
  private:
-  void ScanSelect(ColumnMask mask, RowView key,
-                  std::vector<uint32_t>* out) const;
+  void ScanSelect(ColumnMask mask, RowView key, std::vector<uint32_t>* out,
+                  uint64_t* visited) const;
+  /// Re-observes every live row into freshly cleared NDV sketches. Called
+  /// once the erase debt crosses the NeedsSketchRebuild threshold (and on
+  /// Compact, which walks the rows anyway), so delete/re-insert churn
+  /// cannot leave the planner with saturated stale NDV estimates.
+  void RebuildStatsSketches();
   /// Dedup lookup: live row id storing \p t, or RowIdTable::kNoRow.
   uint32_t FindRow(RowView t, uint64_t hash) const;
   /// Appends a row known to be absent: arena + dedup + indexes + version.

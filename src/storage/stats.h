@@ -3,12 +3,14 @@
 ///
 /// Every Relation owns a RelationStats: an exact live-row count plus one
 /// linear-counting sketch per column estimating the number of distinct
-/// values (NDV) seen in that column. Maintenance is strictly incremental —
-/// Insert observes each column's TermId into its sketch (a handful of ns),
-/// Erase only decrements the row count, and nothing ever rescans stored
-/// tuples. The NDV estimates are therefore upper bounds after deletions,
-/// which is the safe direction for a selectivity model (overestimating NDV
-/// underestimates join fan-out conservatively toward fewer reorderings).
+/// values (NDV) seen in that column. Maintenance is incremental — Insert
+/// observes each column's TermId into its sketch (a handful of ns), Erase
+/// only decrements the row count — so after deletions the NDV estimates
+/// are upper bounds, which is the safe direction for a selectivity model
+/// only while the drift stays modest. Once erases since the last rebuild
+/// exceed half the live rows the owning Relation rebuilds the sketches
+/// from the arena (Relation::Erase / Compact), so delete/re-insert churn
+/// cannot leave the planner ordering joins off saturated stale NDVs.
 ///
 /// The physical planner (plan/physical.h) consumes these through the
 /// StatsProvider interface so the plan layer never depends on storage
@@ -72,20 +74,49 @@ class RelationStats {
     }
   }
 
-  /// Called for every row actually removed. Only the row count moves; the
-  /// NDV sketches keep their bits (documented upper bound — see file
-  /// comment), because removing a value from a bitmap sketch would need a
-  /// rescan, which this layer forbids.
+  /// Called for every row actually removed. Only the row count moves here:
+  /// a bitmap sketch cannot un-observe a value, so each erase leaves stale
+  /// bits behind and the NDV estimates drift upward. The erase debt is
+  /// tracked so the owning Relation — the layer that *can* rescan — knows
+  /// when the drift is bad enough to warrant a sketch rebuild
+  /// (NeedsSketchRebuild); without that, delete/re-insert churn saturates
+  /// the sketches and the planner mis-orders joins off NDVs that only grow.
   void OnErase() {
     if (rows_ > 0) --rows_;
+    ++erased_since_rebuild_;
+  }
+
+  /// True when erases since the last rebuild exceed half the live rows:
+  /// past that point the sketches count more dead values than a safe upper
+  /// bound tolerates, and the O(rows) rescan is amortized against the
+  /// erases that earned it.
+  bool NeedsSketchRebuild() const {
+    return erased_since_rebuild_ > 0 && erased_since_rebuild_ * 2 > rows_;
+  }
+
+  /// Clears the sketches (keeping the exact row count) and resets the
+  /// erase debt; the caller must then ObserveForRebuild every live row.
+  void BeginSketchRebuild() {
+    for (auto& c : columns_) c.Clear();
+    erased_since_rebuild_ = 0;
+  }
+
+  /// Re-observes one live row during a rebuild (sketches only — the row
+  /// count is already exact).
+  void ObserveForRebuild(RowView t) {
+    for (uint32_t c = 0; c < static_cast<uint32_t>(columns_.size()); ++c) {
+      columns_[c].Observe(t[c]);
+    }
   }
 
   void Clear() {
     rows_ = 0;
+    erased_since_rebuild_ = 0;
     for (auto& c : columns_) c.Clear();
   }
 
   uint64_t rows() const { return rows_; }
+  uint64_t erased_since_rebuild() const { return erased_since_rebuild_; }
 
   /// Freezes the current state into a CardEstimate. NDV values are clamped
   /// into [1, rows] when the relation is non-empty.
@@ -93,6 +124,7 @@ class RelationStats {
 
  private:
   uint64_t rows_ = 0;
+  uint64_t erased_since_rebuild_ = 0;
   std::vector<ColumnNdvSketch> columns_;
 };
 

@@ -390,5 +390,69 @@ TEST(ConcurrencyTest, RelationVersionReadableWhileWriterMutates) {
   EXPECT_GE(last, 1u);
 }
 
+// --- Tracing under concurrency -------------------------------------------
+
+TEST(ConcurrencyTest, ConcurrentTracedSessionsRecordPrivateTraces) {
+  // N sessions trace queries in parallel while another thread hammers
+  // DumpMetrics (whose pull callbacks read engine state under the shared
+  // lock). Sinks are thread-local and rings are per-session, so TSan must
+  // see no races and every session must end up with its own trace.
+  Engine engine;
+  constexpr int kFacts = 200;
+  Status s = engine.Mutate([](Database* edb, Database*, TermPool* pool) {
+    Relation* e = edb->GetOrCreate(pool->MakeSymbol("edge"), 2);
+    for (int i = 0; i < kFacts; ++i) {
+      e->Insert(Tuple{pool->MakeInt(i), pool->MakeInt(i + 1)});
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok()) << s;
+
+  constexpr int kThreads = 6;
+  constexpr int kQueries = 25;
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+
+  std::thread scraper([&engine, &done] {
+    while (!done.load()) {
+      std::string dump = engine.DumpMetrics();
+      ASSERT_NE(dump.find("gluenail_queries_total"), std::string::npos);
+    }
+  });
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&engine, &failures, t] {
+      Session session = engine.OpenSession();
+      QueryOptions opts;
+      opts.trace = true;
+      // Each thread binds a different first column so traces differ.
+      std::string goal =
+          "edge(" + std::to_string(t) + ",Y) & edge(Y,Z)";
+      for (int i = 0; i < kQueries; ++i) {
+        Result<Engine::QueryResult> r = session.Query(goal, opts);
+        if (!r.ok() || r->rows.size() != 1) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+      std::shared_ptr<const QueryTrace> trace = session.last_trace();
+      if (trace == nullptr || trace->query != goal ||
+          trace->spans.empty()) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  done.store(true);
+  scraper.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // Explicit session traces never leak into the engine-level ring.
+  EXPECT_EQ(engine.last_trace(), nullptr);
+  EXPECT_NE(engine.DumpMetrics().find("gluenail_queries_traced_total"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace gluenail

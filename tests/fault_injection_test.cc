@@ -396,6 +396,63 @@ TEST_P(GuardrailTest, InjectedAllocFailureSurfacesAsResourceExhausted) {
   EXPECT_EQ(ok->rows.size(), 200u);
 }
 
+// --- Row-scan budget (max_rows_scanned) -------------------------------------
+
+/// An engine whose dup/2 relation holds \p n rows all sharing first-column
+/// key 1: a keyed probe on that key walks an n-row index chain, the
+/// degenerate shape the row-scan budget exists to catch.
+std::unique_ptr<Engine> MakeHotKeyEngine(int n, IndexPolicy policy) {
+  EngineOptions opts;
+  opts.index_policy = policy;
+  auto engine = std::make_unique<Engine>(opts);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(engine->AddFact(StrCat("dup(1,", i, ").")).ok());
+  }
+  return engine;
+}
+
+TEST_F(FaultInjectionTest, RowScanBudgetChargesIndexProbeChains) {
+  // Under kAlwaysIndex the keyed match never scans: every row it visits
+  // comes from the index probe chain. Before probe chains were charged,
+  // this query sailed under any max_rows_scanned.
+  std::unique_ptr<Engine> engine =
+      MakeHotKeyEngine(6000, IndexPolicy::kAlwaysIndex);
+  QueryOptions opts;
+  opts.limits.max_rows_scanned = 1000;
+  Result<Engine::QueryResult> r = engine->Query("dup(1,Y)", opts);
+  EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status();
+  // The abort really came from the index path, not a fallback scan.
+  EXPECT_GT(engine->storage_stats().index_probe_rows, 0u);
+  EXPECT_EQ(engine->storage_stats().scan_rows, 0u);
+  // Unguarded retry returns the full answer.
+  Result<Engine::QueryResult> ok = engine->Query("dup(1,Y)");
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok->rows.size(), 6000u);
+}
+
+TEST_F(FaultInjectionTest, RowScanBudgetAbortsFullScans) {
+  std::unique_ptr<Engine> engine =
+      MakeHotKeyEngine(6000, IndexPolicy::kNeverIndex);
+  QueryOptions opts;
+  opts.limits.max_rows_scanned = 1000;
+  // Unkeyed goal: a full scan of all 6000 rows, charged row by row.
+  Result<Engine::QueryResult> r = engine->Query("dup(X,Y) & Y > 2", opts);
+  EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status();
+  Result<Engine::QueryResult> ok = engine->Query("dup(X,Y) & Y > 2");
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok->rows.size(), 5997u);
+}
+
+TEST_F(FaultInjectionTest, RowScanBudgetAdmitsQueriesUnderTheLimit) {
+  std::unique_ptr<Engine> engine =
+      MakeHotKeyEngine(100, IndexPolicy::kAlwaysIndex);
+  QueryOptions opts;
+  opts.limits.max_rows_scanned = 100000;
+  Result<Engine::QueryResult> r = engine->Query("dup(1,Y)", opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->rows.size(), 100u);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Modes, GuardrailTest,
     ::testing::Values(ModeParam{NailMode::kCompiledGlue, "compiled"},

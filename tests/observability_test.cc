@@ -1,0 +1,376 @@
+/// Observability tests (ctest -L obs): the metrics registry and its two
+/// export formats, structured query tracing (span trees, Chrome export,
+/// bounded rings), the slow-query log, and two cross-cutting invariants —
+/// per-op trace rows must equal EXPLAIN ANALYZE actual rows on both
+/// executor strategies, and the planner must pick a good join order on a
+/// relation whose NDV sketches went through heavy erase churn.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/engine.h"
+#include "src/api/session.h"
+#include "src/obs/metrics.h"
+#include "src/obs/slow_query.h"
+#include "src/obs/trace.h"
+
+namespace gluenail {
+namespace {
+
+// --- Metrics registry ----------------------------------------------------
+
+TEST(MetricsTest, CountersGaugesAndPullMetricsRenderInBothFormats) {
+  MetricsRegistry reg;
+  Counter* c = reg.RegisterCounter("test_events_total", "events seen");
+  Gauge* g = reg.RegisterGauge("test_depth", "current depth");
+  c->Add(3);
+  g->Set(-7);
+  uint64_t pulled = 42;
+  reg.RegisterPullCounter("test_pulled_total", "pulled on export",
+                          [&pulled]() { return pulled; });
+
+  std::string prom = reg.RenderPrometheus();
+  EXPECT_NE(prom.find("# HELP test_events_total events seen"),
+            std::string::npos);
+  EXPECT_NE(prom.find("test_events_total 3"), std::string::npos);
+  EXPECT_NE(prom.find("test_depth -7"), std::string::npos);
+  EXPECT_NE(prom.find("test_pulled_total 42"), std::string::npos);
+
+  pulled = 43;  // pull callbacks re-evaluate on every export
+  std::string json = reg.RenderJson();
+  EXPECT_NE(json.find("\"test_events_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test_pulled_total\",\"type\":\"counter\","
+                      "\"value\":43"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, HistogramBucketsCountAndSum) {
+  MetricsRegistry reg;
+  Histogram* h = reg.RegisterHistogram("test_latency_ns", "latencies");
+  h->Observe(1);
+  h->Observe(1000);
+  h->Observe(1000000);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_EQ(h->sum(), 1001001u);
+  std::string prom = reg.RenderPrometheus();
+  EXPECT_NE(prom.find("test_latency_ns_count 3"), std::string::npos);
+  EXPECT_NE(prom.find("test_latency_ns_sum 1001001"), std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST(MetricsTest, EngineDumpCoversAllLayersAndCountsQueries) {
+  Engine engine;
+  ASSERT_TRUE(engine.AddFact("edge(1,2).").ok());
+  ASSERT_TRUE(engine.Query("edge(X,Y)").ok());
+  std::string prom = engine.DumpMetrics();
+  // One representative metric per instrumented layer.
+  for (const char* name :
+       {"gluenail_queries_total", "gluenail_query_latency_ns",
+        "gluenail_termpool_terms", "gluenail_storage_live_tuples",
+        "gluenail_storage_scan_rows_total", "gluenail_exec_statements_total",
+        "gluenail_planner_bodies_planned_total",
+        "gluenail_persist_saves_total", "gluenail_nail_refreshes_total"}) {
+    EXPECT_NE(prom.find(name), std::string::npos) << "missing " << name;
+  }
+
+  // gluenail_queries_total increments per query.
+  auto count_of = [&](const std::string& dump) {
+    size_t pos = dump.find("\ngluenail_queries_total ");
+    EXPECT_NE(pos, std::string::npos);
+    return std::stoull(dump.substr(pos + 24));
+  };
+  uint64_t before = count_of(engine.DumpMetrics());
+  ASSERT_TRUE(engine.Query("edge(X,Y)").ok());
+  EXPECT_EQ(count_of(engine.DumpMetrics()), before + 1);
+
+  std::string json = engine.DumpMetrics(MetricsFormat::kJson);
+  EXPECT_NE(json.find("\"gluenail_queries_total\""), std::string::npos);
+}
+
+// --- Tracing -------------------------------------------------------------
+
+TEST(TraceTest, TracedQueryRecordsSpanTreeAndPlan) {
+  Engine engine;
+  ASSERT_TRUE(engine.AddFact("edge(1,2).").ok());
+  ASSERT_TRUE(engine.AddFact("edge(2,3).").ok());
+  EXPECT_EQ(engine.last_trace(), nullptr);
+
+  QueryOptions opts;
+  opts.trace = true;
+  ASSERT_TRUE(engine.Query("edge(X,Y)", opts).ok());
+
+  std::shared_ptr<const QueryTrace> trace = engine.last_trace();
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->query, "edge(X,Y)");
+  EXPECT_FALSE(trace->spans.empty());
+  EXPECT_FALSE(trace->plan.empty());
+
+  std::string tree = trace->RenderTree();
+  for (const char* span : {"query:parse", "query:plan", "query:execute",
+                           "query:answers"}) {
+    EXPECT_NE(tree.find(span), std::string::npos) << "missing " << span;
+  }
+  // The answers span carries the row count.
+  bool found_rows = false;
+  for (const TraceSpan& s : trace->spans) {
+    if (s.name == "query:answers") {
+      EXPECT_EQ(s.rows, 2u);
+      found_rows = true;
+    }
+  }
+  EXPECT_TRUE(found_rows);
+}
+
+TEST(TraceTest, UntracedQueriesLeaveNoTrace) {
+  Engine engine;
+  ASSERT_TRUE(engine.AddFact("p(1).").ok());
+  ASSERT_TRUE(engine.Query("p(X)").ok());
+  EXPECT_EQ(engine.last_trace(), nullptr);
+}
+
+TEST(TraceTest, ChromeExportIsWellFormedTraceEventJson) {
+  Engine engine;
+  ASSERT_TRUE(engine.AddFact("p(1).").ok());
+  QueryOptions opts;
+  opts.trace = true;
+  ASSERT_TRUE(engine.Query("p(X)", opts).ok());
+  std::shared_ptr<const QueryTrace> trace = engine.last_trace();
+  ASSERT_NE(trace, nullptr);
+
+  std::string json = trace->RenderChromeJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"query:execute\""), std::string::npos);
+  // Balanced braces/brackets — cheap well-formedness proxy that catches
+  // missing commas/terminators without a JSON parser dependency.
+  int braces = 0, brackets = 0;
+  for (char ch : json) {
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(TraceTest, RingEvictsOldestBeyondCapacity) {
+  EngineOptions eopts;
+  eopts.trace_ring_capacity = 2;
+  Engine engine(eopts);
+  ASSERT_TRUE(engine.AddFact("p(1).").ok());
+  QueryOptions opts;
+  opts.trace = true;
+  ASSERT_TRUE(engine.Query("p(1)", opts).ok());
+  ASSERT_TRUE(engine.Query("p(X)", opts).ok());
+  ASSERT_TRUE(engine.Query("p(Y)", opts).ok());
+  std::vector<std::shared_ptr<const QueryTrace>> all =
+      engine.trace_ring().All();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0]->query, "p(X)");
+  EXPECT_EQ(all[1]->query, "p(Y)");
+  EXPECT_EQ(engine.last_trace()->query, "p(Y)");
+}
+
+TEST(TraceTest, SessionTracesAreSessionPrivate) {
+  Engine engine;
+  ASSERT_TRUE(engine.AddFact("p(1).").ok());
+  Session a = engine.OpenSession();
+  Session b = engine.OpenSession();
+  QueryOptions opts;
+  opts.trace = true;
+  ASSERT_TRUE(a.Query("p(X)", opts).ok());
+  ASSERT_NE(a.last_trace(), nullptr);
+  EXPECT_EQ(b.last_trace(), nullptr);
+  // Session traces do not leak into the engine's ring either.
+  EXPECT_EQ(engine.last_trace(), nullptr);
+}
+
+TEST(TraceTest, TopSpansByDurationOrdersAndTruncates) {
+  std::vector<TraceSpan> spans(5);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    spans[i].name = "s" + std::to_string(i);
+    spans[i].dur_ns = (i + 1) * 100;
+  }
+  std::vector<std::pair<std::string, uint64_t>> top =
+      TopSpansByDuration(spans, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, "s4");
+  EXPECT_EQ(top[0].second, 500u);
+  EXPECT_EQ(top[1].first, "s3");
+  EXPECT_EQ(top[2].first, "s2");
+}
+
+// --- Slow-query log ------------------------------------------------------
+
+TEST(SlowQueryTest, ArmedThresholdCapturesPlanReplansAndTopSpans) {
+  EngineOptions eopts;
+  eopts.slow_query_threshold = std::chrono::nanoseconds(1);  // everything
+  Engine engine(eopts);
+  ASSERT_TRUE(engine.AddFact("edge(1,2).").ok());
+  // No QueryOptions::trace: the armed threshold alone must trace.
+  ASSERT_TRUE(engine.Query("edge(X,Y)").ok());
+
+  std::vector<SlowQueryEntry> entries = engine.slow_query_log().Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].query, "edge(X,Y)");
+  EXPECT_GT(entries[0].seconds, 0.0);
+  EXPECT_FALSE(entries[0].plan.empty());
+  EXPECT_FALSE(entries[0].top_spans.empty());
+  EXPECT_LE(entries[0].top_spans.size(), 3u);
+  EXPECT_EQ(engine.slow_query_log().total(), 1u);
+
+  std::string render = engine.slow_query_log().Render();
+  EXPECT_NE(render.find("edge(X,Y)"), std::string::npos);
+}
+
+TEST(SlowQueryTest, DisarmedThresholdCapturesNothing) {
+  Engine engine;  // slow_query_threshold = 0
+  ASSERT_TRUE(engine.AddFact("p(1).").ok());
+  ASSERT_TRUE(engine.Query("p(X)").ok());
+  EXPECT_TRUE(engine.slow_query_log().Entries().empty());
+  EXPECT_EQ(engine.slow_query_log().total(), 0u);
+}
+
+TEST(SlowQueryTest, LogEvictsButTotalKeepsCounting) {
+  SlowQueryLog log(2);
+  for (int i = 0; i < 5; ++i) {
+    SlowQueryEntry e;
+    e.query = "q" + std::to_string(i);
+    log.Record(std::move(e));
+  }
+  std::vector<SlowQueryEntry> entries = log.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].query, "q3");
+  EXPECT_EQ(entries[1].query, "q4");
+  EXPECT_EQ(log.total(), 5u);
+}
+
+// --- EXPLAIN ANALYZE actual rows == trace span rows ----------------------
+
+/// Extracts every "actual=N" row count from a rendered plan, in op order.
+std::vector<uint64_t> ParseActualRows(const std::string& plan) {
+  std::vector<uint64_t> rows;
+  size_t pos = 0;
+  while ((pos = plan.find("actual=", pos)) != std::string::npos) {
+    pos += 7;
+    rows.push_back(std::stoull(plan.substr(pos)));
+  }
+  return rows;
+}
+
+/// Extracts per-op row counts from the "opN:" marker spans, in op order.
+std::vector<uint64_t> OpSpanRows(const QueryTrace& trace) {
+  std::vector<uint64_t> rows;
+  for (const TraceSpan& s : trace.spans) {
+    if (s.name.size() > 2 && s.name[0] == 'o' && s.name[1] == 'p' &&
+        s.name.find(':') != std::string::npos) {
+      rows.push_back(s.rows);
+    }
+  }
+  return rows;
+}
+
+class ExplainVsTraceTest
+    : public ::testing::TestWithParam<ExecOptions::Strategy> {};
+
+TEST_P(ExplainVsTraceTest, AnalyzeActualRowsEqualTraceSpanRows) {
+  EngineOptions eopts;
+  eopts.exec.strategy = GetParam();
+  Engine engine(eopts);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        engine
+            .AddFact("e(" + std::to_string(i) + "," +
+                     std::to_string(i % 7) + ").")
+            .ok());
+  }
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine.AddFact("f(" + std::to_string(i) + ").").ok());
+  }
+  // `:=` clears the head first, so repeated runs are idempotent — the
+  // EXPLAIN ANALYZE pass and the traced pass see identical inputs and must
+  // report identical per-op actual rows.
+  const std::string stmt = "r(X,Y) := e(X,Y) & f(Y).";
+
+  ExplainOptions an;
+  an.analyze = true;
+  Result<std::string> plan = engine.ExplainStatement(stmt, an);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  std::vector<uint64_t> analyze_rows = ParseActualRows(*plan);
+  ASSERT_FALSE(analyze_rows.empty());
+
+  QueryOptions qopts;
+  qopts.trace = true;
+  ASSERT_TRUE(engine.ExecuteStatement(stmt, qopts).ok());
+  std::shared_ptr<const QueryTrace> trace = engine.last_trace();
+  ASSERT_NE(trace, nullptr);
+  std::vector<uint64_t> span_rows = OpSpanRows(*trace);
+
+  EXPECT_EQ(span_rows, analyze_rows);
+  // The traced plan text must agree with EXPLAIN ANALYZE too.
+  EXPECT_EQ(ParseActualRows(trace->plan), analyze_rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStrategies, ExplainVsTraceTest,
+                         ::testing::Values(
+                             ExecOptions::Strategy::kMaterialized,
+                             ExecOptions::Strategy::kPipelined),
+                         [](const auto& info) {
+                           return info.param ==
+                                          ExecOptions::Strategy::kMaterialized
+                                      ? "Materialized"
+                                      : "Pipelined";
+                         });
+
+// --- Planner A/B on a churned relation -----------------------------------
+
+TEST(PlannerChurnTest, JoinOrderStaysGoodAfterEraseChurn) {
+  Engine engine;
+  Status s = engine.Mutate([](Database* edb, Database*, TermPool* pool) {
+    Relation* a = edb->GetOrCreate(pool->MakeSymbol("a"), 1);
+    for (int i = 0; i < 10; ++i) a->Insert(Tuple{pool->MakeInt(i)});
+    Relation* mid = edb->GetOrCreate(pool->MakeSymbol("mid"), 2);
+    for (int i = 0; i < 1000; ++i) {
+      mid->Insert(Tuple{pool->MakeInt(i % 500), pool->MakeInt(i)});
+    }
+    // big/2 goes through heavy churn: 10k distinct keys inserted and
+    // erased again, then 10k rows over just 5 keys. Before the staleness
+    // fix the NDV sketch stayed saturated near 10k, making `big` look
+    // ultra-selective (est ≈ 10 rows out) so the planner joined it before
+    // `mid` — a 20000-row mistake at execution time.
+    Relation* big = edb->GetOrCreate(pool->MakeSymbol("big"), 2);
+    for (int i = 0; i < 10000; ++i) {
+      big->Insert(Tuple{pool->MakeInt(i), pool->MakeInt(i)});
+    }
+    for (int i = 0; i < 10000; ++i) {
+      big->Erase(Tuple{pool->MakeInt(i), pool->MakeInt(i)});
+    }
+    for (int i = 0; i < 10000; ++i) {
+      big->Insert(Tuple{pool->MakeInt(i % 5), pool->MakeInt(i)});
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok()) << s;
+
+  // With fresh stats: est(mid after a) = 10 * 1000/500 = 20 rows, while
+  // est(big after a) = 10 * 10000/5 = 20000 rows — mid must come first.
+  Result<std::string> plan =
+      engine.ExplainStatement("out(A,W) := a(A) & mid(A,W) & big(A,B).");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  size_t mid_pos = plan->find("mid");
+  size_t big_pos = plan->find("big");
+  ASSERT_NE(mid_pos, std::string::npos);
+  ASSERT_NE(big_pos, std::string::npos);
+  EXPECT_LT(mid_pos, big_pos)
+      << "planner joined the churned relation first:\n" << *plan;
+}
+
+}  // namespace
+}  // namespace gluenail

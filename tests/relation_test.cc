@@ -289,5 +289,138 @@ TEST_F(RelationTest, DedupProbeCounterAdvances) {
   EXPECT_GT(r.counters().dedup_probes, before);
 }
 
+// --- NDV statistics under churn (the cost-model staleness fix) -------------
+
+TEST_F(RelationTest, NdvConvergesAfterChurn) {
+  // Regression: insert many distinct values, erase them all, re-insert a
+  // handful of distinct values. Linear-counting sketches cannot un-observe,
+  // so before erase-debt-triggered rebuilds the estimate stayed saturated
+  // near the historical 2000 and the planner ordered joins off a relation
+  // it believed three orders of magnitude bigger than it was.
+  Relation r("churn", 2);
+  for (int i = 0; i < 2000; ++i) r.Insert(T({i, i}));
+  for (int i = 0; i < 2000; ++i) r.Erase(T({i, i}));
+  for (int i = 0; i < 2000; ++i) r.Insert(T({i % 5, i}));
+
+  CardEstimate est = r.stats().Estimate();
+  ASSERT_EQ(est.ndv.size(), 2u);
+  EXPECT_EQ(est.rows, 2000.0);
+  // Column 0 really holds 5 distinct values; a stale sketch reports ~2000.
+  EXPECT_LE(est.ndv[0], 16.0) << "stale NDV survived churn";
+  EXPECT_GE(est.ndv[0], 1.0);
+  EXPECT_GT(r.counters().stats_rebuilds, 0u);
+}
+
+TEST_F(RelationTest, NdvRebuildTriggersAtHalfLiveRows) {
+  Relation r("half", 1);
+  for (int i = 0; i < 100; ++i) r.Insert(T({i}));
+  // Erase 33: debt 33, live 67 -> 66 <= 67, below threshold, no rebuild.
+  for (int i = 0; i < 33; ++i) r.Erase(T({i}));
+  EXPECT_EQ(r.counters().stats_rebuilds, 0u);
+  EXPECT_EQ(r.stats().erased_since_rebuild(), 33u);
+  // One more: debt 34, live 66 -> 68 > 66 trips the rebuild.
+  r.Erase(T({33}));
+  EXPECT_EQ(r.counters().stats_rebuilds, 1u);
+  EXPECT_EQ(r.stats().erased_since_rebuild(), 0u);
+  // The rebuilt sketch reflects only live values.
+  CardEstimate est = r.stats().Estimate();
+  EXPECT_EQ(est.rows, 66.0);
+  EXPECT_LE(est.ndv[0], 80.0);
+}
+
+TEST_F(RelationTest, CompactRebuildsSketchesExactly) {
+  Relation r("cmp", 1);
+  for (int i = 0; i < 40; ++i) r.Insert(T({i}));
+  // Ten erases: below the rebuild threshold, debt stays.
+  for (int i = 0; i < 10; ++i) r.Erase(T({i}));
+  EXPECT_EQ(r.stats().erased_since_rebuild(), 10u);
+  r.Compact();
+  EXPECT_EQ(r.stats().erased_since_rebuild(), 0u);
+  CardEstimate est = r.stats().Estimate();
+  EXPECT_EQ(est.rows, 30.0);
+  EXPECT_LE(est.ndv[0], 40.0);
+}
+
+TEST_F(RelationTest, ClearResetsRebuildCounters) {
+  Relation r("clr", 1);
+  for (int i = 0; i < 10; ++i) r.Insert(T({i}));
+  for (int i = 0; i < 3; ++i) r.Erase(T({i}));
+  EXPECT_GT(r.stats().erased_since_rebuild(), 0u);
+  r.Clear();
+  EXPECT_EQ(r.stats().rows(), 0u);
+  EXPECT_EQ(r.stats().erased_since_rebuild(), 0u);
+  CardEstimate est = r.stats().Estimate();
+  EXPECT_EQ(est.rows, 0.0);
+}
+
+// --- Stats maintenance across the bulk-copy fast paths ----------------------
+
+/// Property: after CopyFrom — whichever path it took — the destination's
+/// statistics match what row-by-row insertion of the same tuples yields.
+TEST_F(RelationTest, CopyFromFastPathPreservesStats) {
+  // Fast path: src has no dead rows.
+  Relation src("src", 2);
+  for (int i = 0; i < 500; ++i) src.Insert(T({i % 7, i}));
+  ASSERT_EQ(src.num_rows(), src.size());  // fast-path precondition
+
+  Relation fast("fast", 2);
+  fast.CopyFrom(src);
+  Relation slow("slow", 2);
+  for (RowView t : src) slow.Insert(t);
+
+  CardEstimate a = fast.stats().Estimate();
+  CardEstimate b = slow.stats().Estimate();
+  ASSERT_EQ(a.ndv.size(), b.ndv.size());
+  EXPECT_EQ(a.rows, b.rows);
+  for (size_t c = 0; c < a.ndv.size(); ++c) {
+    EXPECT_DOUBLE_EQ(a.ndv[c], b.ndv[c]) << "column " << c;
+  }
+  EXPECT_EQ(fast.stats().erased_since_rebuild(), 0u);
+}
+
+TEST_F(RelationTest, CopyFromSlowPathPreservesStats) {
+  // Slow path: a dead row in src forces per-row insertion; the copy must
+  // observe only live rows (and inherit no erase debt).
+  Relation src("src", 2);
+  for (int i = 0; i < 200; ++i) src.Insert(T({i % 7, i}));
+  src.Erase(T({3, 3}));
+  ASSERT_NE(src.num_rows(), src.size());
+
+  Relation dst("dst", 2);
+  dst.CopyFrom(src);
+  EXPECT_EQ(dst.size(), src.size());
+  EXPECT_EQ(dst.stats().rows(), src.size());
+  EXPECT_EQ(dst.stats().erased_since_rebuild(), 0u);
+
+  Relation ref("ref", 2);
+  for (RowView t : src) ref.Insert(t);
+  CardEstimate a = dst.stats().Estimate();
+  CardEstimate b = ref.stats().Estimate();
+  for (size_t c = 0; c < a.ndv.size(); ++c) {
+    EXPECT_DOUBLE_EQ(a.ndv[c], b.ndv[c]) << "column " << c;
+  }
+}
+
+TEST_F(RelationTest, UnionDiffMaintainsStatsIncrementally) {
+  // UnionDiff inserts through the normal path, so stats must equal the
+  // row-by-row reference on destination, and the delta must carry stats
+  // for exactly the newly added tuples.
+  Relation dst("dst", 1);
+  for (int i = 0; i < 50; ++i) dst.Insert(T({i}));
+  Relation src("src", 1);
+  for (int i = 25; i < 100; ++i) src.Insert(T({i}));
+
+  Relation delta("delta", 1);
+  size_t added = dst.UnionDiff(src, &delta);
+  EXPECT_EQ(added, 50u);
+  EXPECT_EQ(dst.stats().rows(), 100u);
+  EXPECT_EQ(delta.stats().rows(), 50u);
+
+  Relation ref("ref", 1);
+  for (int i = 0; i < 100; ++i) ref.Insert(T({i}));
+  EXPECT_DOUBLE_EQ(dst.stats().Estimate().ndv[0],
+                   ref.stats().Estimate().ndv[0]);
+}
+
 }  // namespace
 }  // namespace gluenail

@@ -146,5 +146,35 @@ TEST_F(ReplTest, QuotedFactWithOperatorsInsideIsStillAFact) {
   EXPECT_NE(out.find("X = 'a := b'"), std::string::npos) << out;
 }
 
+TEST_F(ReplTest, MetricsCommandDumpsBothFormats) {
+  std::string out = Session(
+      "p(1).\n"
+      "?- p(X).\n"
+      ":metrics\n"
+      ":metrics json\n");
+  EXPECT_NE(out.find("# HELP gluenail_queries_total"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"name\":\"gluenail_queries_total\""),
+            std::string::npos)
+      << out;
+}
+
+TEST_F(ReplTest, TraceLastShowsTheQueryJustRun) {
+  // REPL evaluation always traces, so no opt-in is needed.
+  std::string out = Session(
+      "edge(1,2).\n"
+      "?- edge(X,Y).\n"
+      ":trace last\n"
+      ":trace chrome\n");
+  EXPECT_NE(out.find("trace: edge(X,Y)"), std::string::npos) << out;
+  EXPECT_NE(out.find("query:execute"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos) << out;
+}
+
+TEST_F(ReplTest, TraceBeforeAnyQueryExplainsItself) {
+  std::string out = Session(":trace last\n");
+  EXPECT_NE(out.find("no trace recorded yet"), std::string::npos) << out;
+}
+
 }  // namespace
 }  // namespace gluenail

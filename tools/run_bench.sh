@@ -7,6 +7,9 @@
 #   tools/run_bench.sh bench_storage   # run just one
 #   tools/run_bench.sh bench_planner   # cost-based planning A/B
 #                                      #   -> BENCH_planner.json
+#   tools/run_bench.sh bench_observability
+#                                      # tracing off/on + DumpMetrics
+#                                      #   -> BENCH_observability.json
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"

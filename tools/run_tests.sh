@@ -7,11 +7,13 @@
 #   ubsan  — -DGLUENAIL_UBSAN=ON, runs the ubsan-labelled planner tests
 #   tsan   — -DGLUENAIL_TSAN=ON, runs the tsan-labelled concurrency tests
 #   fault  — Debug build, runs only the faultinject-labelled matrix
+#   obs    — Debug build, runs only the obs-labelled observability suite
 #
 # Usage: tools/run_tests.sh [config ...]
 #   tools/run_tests.sh                # debug + asan + ubsan + tsan
 #   tools/run_tests.sh debug          # just the plain suite
 #   tools/run_tests.sh fault          # just the fault-injection matrix
+#   tools/run_tests.sh obs            # just the observability suite
 #
 # Build trees are kept per-config under build-<config>/ (override the
 # prefix with $TEST_BUILD_PREFIX) so switching configs never thrashes one
@@ -53,8 +55,12 @@ run_config() {
       configure_and_build "$prefix-debug" -DCMAKE_BUILD_TYPE=Debug
       (cd "$prefix-debug" && ctest --output-on-failure -L faultinject -j)
       ;;
+    obs)
+      configure_and_build "$prefix-debug" -DCMAKE_BUILD_TYPE=Debug
+      (cd "$prefix-debug" && ctest --output-on-failure -L obs -j)
+      ;;
     *)
-      echo "error: unknown config '$config' (debug|asan|ubsan|tsan|fault)" >&2
+      echo "error: unknown config '$config' (debug|asan|ubsan|tsan|fault|obs)" >&2
       exit 1
       ;;
   esac
