@@ -1,0 +1,179 @@
+/// \file bench_server.cc
+/// \brief Experiment E15: the service layer under concurrent clients.
+///
+/// Measures the wire path (frame + checksum + codec + socket round-trip +
+/// Session dispatch) against the in-process baseline, and drives N
+/// concurrent socket clients (benchmark --threads, up to 16) against one
+/// server to show reads scale the same way N in-process sessions do —
+/// each connection owns a Session, so the shared-reader lock is the same
+/// either way. Setup verifies wire results are *identical* to in-process
+/// Engine::Query answers before any timing runs; a mismatch aborts.
+///
+/// Output lands in BENCH_server.json via tools/run_bench.sh bench_server.
+
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+
+#include "bench/bench_util.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+
+namespace gluenail {
+namespace {
+
+constexpr std::string_view kGoal = "path(0,X)";
+constexpr int kChain = 64;
+
+/// One engine + one running server shared by every benchmark in this
+/// binary (google-benchmark threads all enter the loop; the harness is
+/// built once under a mutex).
+class ServerHarness {
+ public:
+  static ServerHarness& Get() {
+    static ServerHarness* harness = new ServerHarness();
+    return *harness;
+  }
+
+  uint16_t port() const { return server_->port(); }
+  Engine& engine() { return *engine_; }
+
+  /// Renders the in-process answer rows to wire text form, once.
+  const std::vector<std::vector<std::string>>& expected_rows() {
+    return expected_;
+  }
+
+ private:
+  ServerHarness() {
+    engine_ = std::make_unique<Engine>();
+    bench::Require(engine_->LoadProgram(bench::TcModule(
+        bench::ChainFacts(kChain))));
+    server_ = std::make_unique<Server>(engine_.get(), ServerOptions{});
+    bench::Require(server_->Start());
+    Engine::QueryResult local =
+        bench::Require(engine_->Query(kGoal));
+    for (const Tuple& row : local.rows) {
+      std::vector<std::string> cells;
+      cells.reserve(row.size());
+      for (TermId t : row) cells.push_back(engine_->terms().ToString(t));
+      expected_.push_back(std::move(cells));
+    }
+  }
+
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<Server> server_;
+  std::vector<std::vector<std::string>> expected_;
+};
+
+Client MustConnect() {
+  Result<Client> c =
+      Client::Connect("127.0.0.1", ServerHarness::Get().port());
+  bench::Require(c.status());
+  return std::move(*c);
+}
+
+/// Hard acceptance check: the socket answer must be byte-identical to the
+/// in-process answer (same rows, same order, same term text).
+void VerifyAgainstInProcess(Client* client) {
+  Result<WireResponse> remote = client->Execute(Command::Query(
+      std::string(kGoal)));
+  bench::Require(remote.status());
+  bench::Require(remote->status);
+  const auto& expected = ServerHarness::Get().expected_rows();
+  if (remote->rows != expected) {
+    fprintf(stderr,
+            "bench_server: wire rows differ from in-process rows "
+            "(%zu vs %zu)\n",
+            remote->rows.size(), expected.size());
+    std::abort();
+  }
+}
+
+/// Baseline: the same query through an in-process Session (no socket, no
+/// codec) — the floor the wire path is compared against.
+void BM_InProcessQuery(benchmark::State& state) {
+  Engine& engine = ServerHarness::Get().engine();
+  Session session = engine.OpenSession();
+  for (auto _ : state) {
+    Response r = session.Execute(Command::Query(std::string(kGoal)));
+    bench::Require(r.status);
+    benchmark::DoNotOptimize(r.rows.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InProcessQuery)->ThreadRange(1, 16)->UseRealTime();
+
+/// The wire path: one connected client per benchmark thread, so
+/// --threads=N is N concurrent socket clients against one server.
+/// The ≥8-concurrent-clients acceptance run is the Threads(8) row.
+void BM_SocketQuery(benchmark::State& state) {
+  Client client = MustConnect();
+  VerifyAgainstInProcess(&client);
+  for (auto _ : state) {
+    Result<WireResponse> r =
+        client.Execute(Command::Query(std::string(kGoal)));
+    bench::Require(r.status());
+    bench::Require(r->status);
+    benchmark::DoNotOptimize(r->rows.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SocketQuery)->ThreadRange(1, 16)->UseRealTime();
+
+/// Round-trip floor: a ping frame carries ~no payload, so this isolates
+/// framing + socket latency from query evaluation.
+void BM_SocketPing(benchmark::State& state) {
+  Client client = MustConnect();
+  for (auto _ : state) {
+    bench::Require(client.Ping());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SocketPing)->ThreadRange(1, 8)->UseRealTime();
+
+/// Writer path over the wire: each iteration inserts and erases one
+/// private fact; with --threads=N the mutations from N connections
+/// serialize behind the engine's writer lock.
+void BM_SocketMutateBatch(benchmark::State& state) {
+  Client client = MustConnect();
+  const int me = state.thread_index();
+  int i = 0;
+  for (auto _ : state) {
+    MutationBatch ins;
+    ins.Insert(StrCat("bench_scratch(", me, ",", i, ")"));
+    Result<WireResponse> r1 = client.Execute(Command::MutateBatch(ins));
+    bench::Require(r1.status());
+    bench::Require(r1->status);
+    MutationBatch del;
+    del.Erase(StrCat("bench_scratch(", me, ",", i, ")"));
+    Result<WireResponse> r2 = client.Execute(Command::MutateBatch(del));
+    bench::Require(r2.status());
+    bench::Require(r2->status);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SocketMutateBatch)->ThreadRange(1, 8)->UseRealTime();
+
+/// Codec-only: encode + decode one mid-sized response payload, no socket.
+/// Bounds what of the wire-vs-in-process delta is CPU (codec) rather than
+/// transport.
+void BM_ResponseCodec(benchmark::State& state) {
+  Engine& engine = ServerHarness::Get().engine();
+  Session session = engine.OpenSession();
+  Response resp = session.Execute(Command::Query(std::string(kGoal)));
+  bench::Require(resp.status);
+  for (auto _ : state) {
+    std::string bytes = EncodeResponse(resp, engine.terms());
+    Result<WireResponse> decoded = DecodeResponse(bytes);
+    bench::Require(decoded.status());
+    benchmark::DoNotOptimize(decoded->rows.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResponseCodec);
+
+}  // namespace
+}  // namespace gluenail
+
+BENCHMARK_MAIN();

@@ -144,7 +144,11 @@ class Engine {
 
   /// Runs \p fn with exclusive access to the raw databases and pool — the
   /// explicit escape hatch for callers that need more than terms() /
-  /// InternTerm() / snapshot() / AddFact().
+  /// InternTerm() / snapshot() / AddFact(). Structured fact-level updates
+  /// should prefer a MutationBatch dispatched through
+  /// Session::Execute(Command) — the serializable surface the wire
+  /// protocol, the REPL, and (soon) the WAL share; this hook remains the
+  /// thin unstructured shim underneath it.
   Status Mutate(const std::function<Status(Database* edb, Database* idb,
                                            TermPool* pool)>& fn);
 
@@ -178,6 +182,9 @@ class Engine {
     /// Distinct answers in canonical term order.
     std::vector<Tuple> rows;
   };
+  /// Convenience shim over the unified Command surface: equivalent to
+  /// OpenSession().Execute(Command::Query(goal)) but running on the writer
+  /// path with full QueryOptions (cancel tokens, absolute deadlines).
   Result<QueryResult> Query(std::string_view goal) {
     return Query(goal, QueryOptions{});
   }

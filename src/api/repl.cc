@@ -74,26 +74,40 @@ bool LooksLikeFact(const std::string& t) {
 
 Repl::Repl(Engine* engine, std::istream* in, std::ostream* out,
            ReplOptions options)
-    : engine_(engine), in_(in), out_(out), options_(options) {}
+    : engine_(engine),
+      session_(engine->OpenSession()),
+      in_(in),
+      out_(out),
+      options_(options) {}
 
-void Repl::PrintQueryResult(const Engine::QueryResult& result) {
-  if (result.rows.empty()) {
+void Repl::PrintQueryResult(const std::vector<std::string>& vars,
+                            const std::vector<Tuple>& rows) {
+  if (rows.empty()) {
     *out_ << "no\n";
     return;
   }
-  if (result.vars.empty()) {
+  if (vars.empty()) {
     *out_ << "yes\n";
     return;
   }
-  for (const Tuple& row : result.rows) {
+  for (const Tuple& row : rows) {
     for (size_t i = 0; i < row.size(); ++i) {
       if (i != 0) *out_ << ", ";
-      *out_ << result.vars[i] << " = "
-            << engine_->terms().ToString(row[i]);
+      *out_ << vars[i] << " = " << engine_->terms().ToString(row[i]);
     }
     *out_ << "\n";
   }
-  *out_ << result.rows.size() << " answer(s)\n";
+  *out_ << rows.size() << " answer(s)\n";
+}
+
+Status Repl::RunCommand(const Command& cmd) {
+  Response resp = session_.Execute(cmd);
+  if (!resp.ok()) return resp.status;
+  if (!resp.text.empty()) {
+    *out_ << resp.text;
+    if (resp.text.back() != '\n') *out_ << "\n";
+  }
+  return Status::OK();
 }
 
 Status Repl::Execute(const std::string& raw, bool* quit) {
@@ -117,38 +131,22 @@ Status Repl::Execute(const std::string& raw, bool* quit) {
       return Status::OK();
     }
     if (cmd == ":load") {
-      std::ifstream f(arg);
-      if (!f.is_open()) {
-        return Status::IoError(StrCat("cannot open ", arg));
-      }
-      std::ostringstream text;
-      text << f.rdbuf();
-      GLUENAIL_RETURN_NOT_OK(engine_->LoadProgram(text.str()));
-      *out_ << "loaded: "
-            << FormatCompileStats(engine_->compile_stats()) << "\n";
-      return Status::OK();
+      return RunCommand(Command::LoadProgramFile(arg));
     }
     if (cmd == ":edb") {
-      GLUENAIL_RETURN_NOT_OK(engine_->LoadEdbFile(arg));
-      *out_ << "edb loaded from " << arg << "\n";
-      return Status::OK();
+      return RunCommand(Command::LoadEdbFile(arg));
     }
     if (cmd == ":save") {
-      GLUENAIL_RETURN_NOT_OK(engine_->SaveEdbFile(arg));
-      *out_ << "edb saved to " << arg << "\n";
-      return Status::OK();
+      return RunCommand(Command::SaveEdb(arg));
     }
     if (cmd == ":explain") {
-      ExplainOptions eopts;
+      bool analyze = false;
       std::string stmt = arg;
       if (StartsWith(stmt, "analyze ") || StartsWith(stmt, "analyze\t")) {
-        eopts.analyze = true;
+        analyze = true;
         stmt = Trim(stmt.substr(8));
       }
-      GLUENAIL_ASSIGN_OR_RETURN(std::string plan,
-                                engine_->ExplainStatement(stmt, eopts));
-      *out_ << plan;
-      return Status::OK();
+      return RunCommand(Command::Explain(std::move(stmt), analyze));
     }
     if (cmd == ":relations") {
       std::vector<std::string> names;
@@ -167,13 +165,16 @@ Status Repl::Execute(const std::string& raw, bool* quit) {
       return Status::OK();
     }
     if (cmd == ":metrics") {
-      MetricsFormat format =
-          arg == "json" ? MetricsFormat::kJson : MetricsFormat::kPrometheus;
-      *out_ << engine_->DumpMetrics(format);
-      return Status::OK();
+      return RunCommand(Command::Metrics(arg == "json"
+                                             ? MetricsFormat::kJson
+                                             : MetricsFormat::kPrometheus));
     }
     if (cmd == ":trace") {
-      std::shared_ptr<const QueryTrace> trace = engine_->last_trace();
+      // Query traces land in this REPL's session ring, statement traces on
+      // the engine's writer ring; last_trace_ remembers whichever finished
+      // most recently.
+      std::shared_ptr<const QueryTrace> trace =
+          last_trace_ != nullptr ? last_trace_ : engine_->last_trace();
       if (trace == nullptr) {
         *out_ << "no trace recorded yet (queries here are traced; run "
                  "one first)\n";
@@ -187,8 +188,7 @@ Status Repl::Execute(const std::string& raw, bool* quit) {
       return Status::OK();
     }
     if (cmd == ":slowlog") {
-      *out_ << engine_->slow_query_log().Render();
-      return Status::OK();
+      return RunCommand(Command::Slowlog());
     }
     return Status::InvalidArgument(
         StrCat("unknown command ", cmd, " (try :help)"));
@@ -196,22 +196,28 @@ Status Repl::Execute(const std::string& raw, bool* quit) {
 
   // REPL evaluation always traces, so `:trace last` works out of the box
   // without re-running the query.
-  QueryOptions qopts;
+  WireQueryOptions qopts;
   qopts.trace = true;
 
   if (StartsWith(input, "?-")) {
     std::string goal = Trim(input.substr(2));
     if (!goal.empty() && goal.back() == '.') goal.pop_back();
-    GLUENAIL_ASSIGN_OR_RETURN(Engine::QueryResult result,
-                              engine_->Query(goal, qopts));
-    PrintQueryResult(result);
+    Response resp = session_.Execute(Command::Query(goal, qopts));
+    if (!resp.ok()) return resp.status;
+    last_trace_ = session_.last_trace();
+    PrintQueryResult(resp.vars, resp.rows);
     return Status::OK();
   }
 
   if (input.back() == '.' && LooksLikeFact(input)) {
-    return engine_->AddFact(input);
+    MutationBatch batch;
+    batch.Insert(input);
+    Response resp = session_.Execute(Command::MutateBatch(std::move(batch)));
+    return resp.status;
   }
-  return engine_->ExecuteStatement(input, qopts);
+  Response resp = session_.Execute(Command::MutateStatement(input, qopts));
+  if (resp.ok()) last_trace_ = engine_->last_trace();
+  return resp.status;
 }
 
 Status Repl::Run() {

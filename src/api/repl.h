@@ -21,10 +21,12 @@
 #define GLUENAIL_API_REPL_H_
 
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <string>
 
 #include "src/api/engine.h"
+#include "src/api/session.h"
 
 namespace gluenail {
 
@@ -49,12 +51,22 @@ class Repl {
   Status Execute(const std::string& input, bool* quit);
 
  private:
-  void PrintQueryResult(const Engine::QueryResult& result);
+  void PrintQueryResult(const std::vector<std::string>& vars,
+                        const std::vector<Tuple>& rows);
+  /// Dispatches \p cmd through the unified Command surface and prints
+  /// Response::text (the shared path for meta-commands and mutations).
+  Status RunCommand(const Command& cmd);
 
   Engine* engine_;
+  /// Queries, mutations, and meta-commands dispatch through this session's
+  /// Execute(Command) — the same entry point the network server uses.
+  Session session_;
   std::istream* in_;
   std::ostream* out_;
   ReplOptions options_;
+  /// Most recent trace from either ring (session for queries, engine for
+  /// statements); what `:trace` renders.
+  std::shared_ptr<const QueryTrace> last_trace_;
 };
 
 }  // namespace gluenail

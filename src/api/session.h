@@ -25,12 +25,20 @@
 #include <string>
 #include <vector>
 
+#include "src/api/command.h"
 #include "src/api/engine.h"
 
 namespace gluenail {
 
 class Session {
  public:
+  /// The one dispatch point every front end shares (in-process callers,
+  /// the REPL, and the network server): executes one Command and returns
+  /// its Response. Reads go through this session's shared-lock read path;
+  /// mutations serialize behind the engine's writer lock. Never throws;
+  /// failures come back in Response::status. See src/api/command.h.
+  Response Execute(const Command& cmd);
+
   /// Answer set of a conjunctive goal; shared-lock read path.
   Result<Engine::QueryResult> Query(std::string_view goal,
                                     const QueryOptions& options = {});

@@ -1,0 +1,123 @@
+#include "src/server/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/common/strings.h"
+
+namespace gluenail {
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                         &res);
+  if (rc != 0) {
+    return Status::IoError(
+        StrCat("resolve ", host, ": ", ::gai_strerror(rc)));
+  }
+  int fd = -1;
+  Status last = Status::IoError(StrCat("no usable address for ", host));
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Status::IoError(StrCat("socket(): ", std::strerror(errno)));
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last = Status::IoError(StrCat("connect ", host, ":", port, ": ",
+                                  std::strerror(errno)));
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) return last;
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  Client client;
+  client.fd_ = fd;
+  return client;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<WireResponse> Client::Execute(const Command& cmd) {
+  if (fd_ < 0) return Status::InvalidArgument("client is not connected");
+  std::string frame = EncodeFrame(FrameType::kCommand, EncodeCommand(cmd));
+  size_t off = 0;
+  while (off < frame.size()) {
+    ssize_t n =
+        ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      Status s = Status::IoError(
+          StrCat("send: ", n < 0 ? std::strerror(errno) : "connection lost"));
+      Close();
+      return s;
+    }
+    off += static_cast<size_t>(n);
+  }
+  char buf[64 << 10];
+  while (true) {
+    Result<std::optional<WireFrame>> next = decoder_.Next();
+    if (!next.ok()) {
+      Close();
+      return next.status();
+    }
+    if (next->has_value()) {
+      if ((*next)->type != FrameType::kResponse) {
+        Close();
+        return Status::InvalidArgument(
+            "protocol: expected a response frame");
+      }
+      return DecodeResponse((*next)->payload);
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      Close();
+      return Status::IoError("server closed the connection mid-response");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = Status::IoError(StrCat("recv: ", std::strerror(errno)));
+      Close();
+      return s;
+    }
+    decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+}
+
+Status Client::Ping() {
+  GLUENAIL_ASSIGN_OR_RETURN(WireResponse r, Execute(Command::Ping()));
+  if (!r.ok()) return r.status;
+  if (r.text != "pong") {
+    return Status::Internal(StrCat("ping answered '", r.text, "'"));
+  }
+  return Status::OK();
+}
+
+}  // namespace gluenail

@@ -1,0 +1,53 @@
+/// \file client.h
+/// \brief A small blocking client for the Glue-Nail wire protocol — the
+/// reference consumer used by tests, benchmarks, and simple tools.
+///
+/// One Client is one TCP connection speaking request/response in
+/// lock-step: Execute() frames a Command, sends it, and blocks until the
+/// matching Response frame arrives. Not thread-safe; open one Client per
+/// thread (the server maps each connection to its own Session anyway, so
+/// this mirrors the intended concurrency model).
+
+#ifndef GLUENAIL_SERVER_CLIENT_H_
+#define GLUENAIL_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/server/protocol.h"
+
+namespace gluenail {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+  Client(Client&& other) noexcept { *this = std::move(other); }
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to \p host:\p port ("127.0.0.1" or a hostname).
+  static Result<Client> Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one command, blocks for its response. A transport or framing
+  /// failure closes the connection and returns the error; an engine-side
+  /// failure comes back as WireResponse::status with the wire error code
+  /// preserved.
+  Result<WireResponse> Execute(const Command& cmd);
+
+  /// Execute(Command::Ping()), reduced to a Status.
+  Status Ping();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_SERVER_CLIENT_H_

@@ -1,0 +1,323 @@
+#include "src/server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/strings.h"
+
+namespace gluenail {
+
+namespace {
+
+/// Creates a listening TCP socket on \p port (0 = ephemeral); returns the
+/// fd and writes the actual port to \p bound_port.
+Result<int> BindListen(uint16_t port, int backlog, uint16_t* bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(StrCat("socket(): ", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::IoError(
+        StrCat("bind(port ", port, "): ", std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status s = Status::IoError(StrCat("listen(): ", std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  sockaddr_in actual{};
+  socklen_t len = sizeof(actual);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+/// Writes all of \p data; false on a broken connection. MSG_NOSIGNAL so a
+/// client that hung up surfaces as EPIPE, not a process-killing SIGPIPE.
+bool SendAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string HttpResponse(int code, std::string_view reason,
+                         std::string_view content_type,
+                         std::string_view body) {
+  return StrCat("HTTP/1.0 ", code, " ", reason,
+                "\r\nContent-Type: ", content_type,
+                "\r\nContent-Length: ", body.size(),
+                "\r\nConnection: close\r\n\r\n", body);
+}
+
+}  // namespace
+
+Server::Server(Engine* engine, ServerOptions options)
+    : engine_(engine), options_(options) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already running");
+  }
+  GLUENAIL_ASSIGN_OR_RETURN(
+      listen_fd_, BindListen(options_.port, options_.backlog, &port_));
+  if (options_.admin_port >= 0) {
+    Result<int> admin = BindListen(static_cast<uint16_t>(options_.admin_port),
+                                   options_.backlog, &admin_port_);
+    if (!admin.ok()) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return admin.status();
+    }
+    admin_fd_ = *admin;
+  }
+  // Mirror server activity into the engine's registry so the admin
+  // /metrics surface covers the service layer too. Handles are owned by
+  // the registry (safe past this Server's lifetime); intended deployment
+  // is one Server per Engine.
+  MetricsRegistry& reg = engine_->metrics();
+  m_connections_ = reg.RegisterCounter(
+      "gluenail_server_connections_total", "client connections accepted");
+  m_commands_ = reg.RegisterCounter("gluenail_server_commands_total",
+                                    "wire commands served");
+  m_proto_errors_ =
+      reg.RegisterCounter("gluenail_server_protocol_errors_total",
+                          "connections dropped on framing/decode errors");
+  m_live_ = reg.RegisterGauge("gluenail_server_connections_live",
+                              "currently connected clients");
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (admin_fd_ >= 0) {
+    admin_thread_ = std::thread([this] { AdminLoop(); });
+  }
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    // Not started or already stopped; still join any leftover threads.
+    if (accept_thread_.joinable()) accept_thread_.join();
+    if (admin_thread_.joinable()) admin_thread_.join();
+    return;
+  }
+  // shutdown(2) unblocks accept(2) in both loops; the fds are closed only
+  // after the loops joined, so no loop ever races a reused descriptor.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (admin_fd_ >= 0) ::shutdown(admin_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (admin_thread_.joinable()) admin_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (admin_fd_ >= 0) {
+    ::close(admin_fd_);
+    admin_fd_ = -1;
+  }
+  // Drain the workers: shutting down a connection's read side makes its
+  // next recv() return 0, so each worker finishes the command it is
+  // executing (response included), then exits; join waits for that.
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    ::shutdown(conn->fd, SHUT_RD);
+  }
+  for (auto& conn : conns) {
+    if (conn->worker.joinable()) conn->worker.join();
+    ::close(conn->fd);
+  }
+}
+
+void Server::ReapFinishedLocked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->worker.joinable()) (*it)->worker.join();
+      ::close((*it)->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listening socket closed (Stop) or fatal
+    }
+    if (!running_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    m_connections_->Add(1);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    ReapFinishedLocked();
+    conn->worker = std::thread([this, raw] { ServeConnection(raw); });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void Server::ServeConnection(Connection* conn) {
+  connections_live_.fetch_add(1, std::memory_order_relaxed);
+  m_live_->Add(1);
+  Session session = engine_->OpenSession();
+  FrameDecoder decoder(options_.max_frame_payload);
+  char buf[64 << 10];
+  bool alive = true;
+  while (alive) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n == 0) break;  // peer closed (or Stop shut the read side down)
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    while (alive) {
+      Result<std::optional<WireFrame>> next = decoder.Next();
+      if (!next.ok()) {
+        // Framing is lost: answer with the error so the client can log
+        // something meaningful, then drop the connection.
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        m_proto_errors_->Add(1);
+        SendAll(conn->fd,
+                EncodeFrame(FrameType::kResponse,
+                            EncodeResponse(Response::Error(next.status()),
+                                           engine_->terms())));
+        alive = false;
+        break;
+      }
+      if (!next->has_value()) break;  // need more bytes
+      Response response;
+      if ((*next)->type != FrameType::kCommand) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        m_proto_errors_->Add(1);
+        response = Response::Error(Status::InvalidArgument(
+            "protocol: expected a command frame"));
+        alive = false;
+      } else {
+        Result<Command> cmd = DecodeCommand((*next)->payload);
+        if (!cmd.ok()) {
+          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          m_proto_errors_->Add(1);
+          response = Response::Error(cmd.status());
+          alive = false;  // cannot trust the stream past a bad payload
+        } else {
+          response = session.Execute(*cmd);
+          commands_served_.fetch_add(1, std::memory_order_relaxed);
+          m_commands_->Add(1);
+        }
+      }
+      if (!SendAll(conn->fd, EncodeFrame(FrameType::kResponse,
+                                         EncodeResponse(response,
+                                                        engine_->terms())))) {
+        alive = false;
+      }
+    }
+  }
+  ::shutdown(conn->fd, SHUT_RDWR);  // fd itself is closed by reap/Stop
+  connections_live_.fetch_sub(1, std::memory_order_relaxed);
+  m_live_->Add(-1);
+  conn->done.store(true, std::memory_order_release);
+}
+
+void Server::AdminLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    int fd = ::accept(admin_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    // Admin requests are tiny and the handlers are O(metrics dump);
+    // serving them inline keeps the listener single-threaded and simple.
+    ServeAdminConnection(fd);
+    ::close(fd);
+  }
+}
+
+void Server::ServeAdminConnection(int fd) {
+  std::string request;
+  char buf[4096];
+  while (request.size() < (16u << 10) &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+  size_t eol = request.find_first_of("\r\n");
+  std::string line =
+      eol == std::string::npos ? request : request.substr(0, eol);
+  // "GET /path HTTP/1.x"
+  if (line.size() < 5 || line.substr(0, 4) != "GET ") {
+    SendAll(fd, HttpResponse(405, "Method Not Allowed", "text/plain",
+                             "only GET is served here\n"));
+    return;
+  }
+  std::string target = line.substr(4);
+  size_t space = target.find(' ');
+  if (space != std::string::npos) target = target.substr(0, space);
+  std::string path = target, query;
+  size_t qmark = target.find('?');
+  if (qmark != std::string::npos) {
+    path = target.substr(0, qmark);
+    query = target.substr(qmark + 1);
+  }
+
+  if (path == "/healthz") {
+    SendAll(fd, HttpResponse(200, "OK", "text/plain", "ok\n"));
+  } else if (path == "/metrics") {
+    bool json = query.find("format=json") != std::string::npos;
+    SendAll(fd, HttpResponse(
+                    200, "OK",
+                    json ? "application/json"
+                         : "text/plain; version=0.0.4; charset=utf-8",
+                    engine_->DumpMetrics(json ? MetricsFormat::kJson
+                                              : MetricsFormat::kPrometheus)));
+  } else if (path == "/slowlog") {
+    SendAll(fd, HttpResponse(200, "OK", "text/plain",
+                             engine_->slow_query_log().Render()));
+  } else {
+    SendAll(fd, HttpResponse(404, "Not Found", "text/plain",
+                             StrCat("no route for ", path, "\n")));
+  }
+}
+
+}  // namespace gluenail

@@ -1,0 +1,133 @@
+/// \file server.h
+/// \brief The Glue-Nail network server: a multi-client socket front end
+/// over the Command/Response surface.
+///
+/// Architecture (docs/ARCHITECTURE.md, "Service layer"):
+///
+///   * one accept-loop thread per listening socket;
+///   * one worker thread per accepted connection, owning one Session —
+///     so N connected clients read in parallel under the engine's shared
+///     lock exactly like N in-process session threads, and mutations
+///     serialize behind the writer lock;
+///   * frames decoded by FrameDecoder, dispatched through
+///     Session::Execute(Command), responses framed back. A protocol error
+///     (bad magic / checksum / oversized length) sends a final error
+///     response and drops the connection, since frame boundaries are lost.
+///
+/// An optional HTTP admin listener (plain HTTP/1.0, GET only) serves the
+/// observability surface: /metrics (Prometheus text, ?format=json for
+/// JSON), /slowlog, and /healthz — scrapable by curl or Prometheus with
+/// no Glue-Nail client.
+///
+/// Stop() is graceful: stops accepting, wakes every worker via
+/// shutdown(2) on its socket, and joins them — a worker mid-command
+/// finishes that command (and writes its response) before exiting, so
+/// in-flight work drains rather than being cut off.
+
+#ifndef GLUENAIL_SERVER_SERVER_H_
+#define GLUENAIL_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/api/session.h"
+#include "src/server/protocol.h"
+
+namespace gluenail {
+
+struct ServerOptions {
+  /// TCP port for the wire protocol; 0 picks an ephemeral port (tests).
+  uint16_t port = 0;
+  /// HTTP admin port; negative disables the admin listener, 0 picks an
+  /// ephemeral port.
+  int admin_port = -1;
+  /// listen(2) backlog.
+  int backlog = 64;
+  /// Per-frame payload bound handed to FrameDecoder.
+  size_t max_frame_payload = kDefaultMaxPayload;
+};
+
+class Server {
+ public:
+  /// The engine must outlive the server.
+  Server(Engine* engine, ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the accept loop(s). Fails with IoError if
+  /// a port cannot be bound.
+  Status Start();
+
+  /// Graceful shutdown: stop accepting, drain in-flight commands, join
+  /// every thread. Idempotent; also run by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Actual bound ports (useful with port 0). Valid after Start().
+  uint16_t port() const { return port_; }
+  uint16_t admin_port() const { return admin_port_; }
+
+  /// Connections accepted / currently live / protocol errors observed —
+  /// also exported through the engine's metrics registry as
+  /// gluenail_server_* gauges and counters.
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t connections_live() const {
+    return connections_live_.load(std::memory_order_relaxed);
+  }
+  uint64_t protocol_errors() const {
+    return protocol_errors_.load(std::memory_order_relaxed);
+  }
+  uint64_t commands_served() const {
+    return commands_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread worker;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void AdminLoop();
+  void ServeConnection(Connection* conn);
+  void ServeAdminConnection(int fd);
+  /// Joins finished workers; under conns_mu_.
+  void ReapFinishedLocked();
+
+  Engine* engine_;
+  ServerOptions options_;
+  std::atomic<bool> running_{false};
+
+  int listen_fd_ = -1;
+  int admin_fd_ = -1;
+  uint16_t port_ = 0;
+  uint16_t admin_port_ = 0;
+  std::thread accept_thread_;
+  std::thread admin_thread_;
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_live_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> commands_served_{0};
+
+  /// Registry-owned mirrors (gluenail_server_*), registered in Start().
+  Counter* m_connections_ = nullptr;
+  Counter* m_commands_ = nullptr;
+  Counter* m_proto_errors_ = nullptr;
+  Gauge* m_live_ = nullptr;
+};
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_SERVER_SERVER_H_

@@ -1,0 +1,194 @@
+#include "src/storage/mutation_batch.h"
+
+#include <charconv>
+
+#include "src/common/strings.h"
+#include "src/storage/persistence.h"
+
+namespace gluenail {
+
+namespace {
+
+constexpr std::string_view kHeaderPrefix = "%% gluenail-batch v1 ";
+
+std::string_view TrimView(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r' || s.front() == '\n')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r' || s.back() == '\n')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// FNV-1a over \p line normalized to end in exactly one LF — the same
+/// discipline the v2 EDB format uses, so batches survive CRLF translation.
+uint64_t HashLine(uint64_t h, std::string_view line) {
+  h = Fnv1a64(line.data(), line.size(), h);
+  return Fnv1a64("\n", 1, h);
+}
+
+std::string Hex16(uint64_t v) {
+  char buf[17];
+  snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return std::string(buf, 16);
+}
+
+bool ParseU64(std::string_view s, uint64_t* out) {
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+bool ParseHex64(std::string_view s, uint64_t* out) {
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out, 16);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+std::string OpLine(const MutationBatch::Op& op) {
+  return StrCat(op.kind == MutationBatch::OpKind::kInsert ? "+ " : "- ",
+                op.fact);
+}
+
+}  // namespace
+
+void MutationBatch::Push(OpKind kind, std::string_view fact) {
+  std::string_view t = TrimView(fact);
+  if (!t.empty() && t.back() == '.') t = TrimView(t.substr(0, t.size() - 1));
+  ops_.push_back(Op{kind, std::string(t)});
+}
+
+std::string MutationBatch::RenderFact(const TermPool& pool, TermId name,
+                                      RowView row) {
+  std::string out = pool.ToString(name);
+  if (row.empty()) return out;
+  out += "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i != 0) out += ",";
+    pool.AppendTerm(row[i], &out);
+  }
+  out += ")";
+  return out;
+}
+
+Result<MutationBatch::ApplyReport> MutationBatch::Apply(
+    Database* db, TermPool* pool) const {
+  // Validate everything before touching the database: parse every fact and
+  // pin down its (relation, tuple) shape first, so a bad op in the middle
+  // of a batch cannot leave a half-applied prefix behind.
+  struct Resolved {
+    OpKind kind;
+    TermId name;
+    Tuple row;
+  };
+  std::vector<Resolved> resolved;
+  resolved.reserve(ops_.size());
+  for (const Op& op : ops_) {
+    Result<TermId> parsed = ParseGroundTerm(pool, op.fact);
+    if (!parsed.ok()) {
+      return parsed.status().WithContext(StrCat("batch op '", op.fact, "'"));
+    }
+    TermId t = *parsed;
+    if (pool->IsCompound(t)) {
+      std::span<const TermId> args = pool->Args(t);
+      resolved.push_back(
+          Resolved{op.kind, pool->Functor(t), Tuple(args.begin(), args.end())});
+    } else if (pool->IsSymbol(t)) {
+      resolved.push_back(Resolved{op.kind, t, Tuple{}});
+    } else {
+      return Status::InvalidArgument(StrCat(
+          "batch op '", op.fact, "': a fact must be a symbol or compound"));
+    }
+  }
+
+  ApplyReport report;
+  for (const Resolved& r : resolved) {
+    uint32_t arity = static_cast<uint32_t>(r.row.size());
+    if (r.kind == OpKind::kInsert) {
+      if (db->GetOrCreate(r.name, arity)->Insert(r.row)) ++report.inserted;
+    } else {
+      Relation* rel = db->Find(r.name, arity);
+      if (rel != nullptr && rel->Erase(r.row)) ++report.erased;
+    }
+    ++report.applied;
+  }
+  return report;
+}
+
+std::string MutationBatch::Serialize() const {
+  uint64_t checksum = 0xcbf29ce484222325ULL;
+  std::string body;
+  for (const Op& op : ops_) {
+    std::string line = OpLine(op);
+    checksum = HashLine(checksum, line);
+    body += line;
+    body += "\n";
+  }
+  return StrCat(kHeaderPrefix, "ops=", ops_.size(),
+                " checksum=", Hex16(checksum), "\n", body);
+}
+
+Result<MutationBatch> MutationBatch::Parse(std::string_view text) {
+  size_t eol = text.find('\n');
+  if (eol == std::string_view::npos) {
+    return Status::InvalidArgument("mutation batch: missing header line");
+  }
+  std::string_view header = TrimView(text.substr(0, eol));
+  if (header.substr(0, kHeaderPrefix.size()) != kHeaderPrefix) {
+    return Status::InvalidArgument(
+        StrCat("mutation batch: bad header '", header, "'"));
+  }
+  uint64_t declared_ops = 0;
+  uint64_t declared_checksum = 0;
+  bool have_ops = false, have_checksum = false;
+  for (std::string_view field :
+       Split(header.substr(kHeaderPrefix.size()), ' ')) {
+    if (field.substr(0, 4) == "ops=") {
+      have_ops = ParseU64(field.substr(4), &declared_ops);
+    } else if (field.substr(0, 9) == "checksum=") {
+      have_checksum = ParseHex64(field.substr(9), &declared_checksum);
+    }
+  }
+  if (!have_ops || !have_checksum) {
+    return Status::InvalidArgument(
+        "mutation batch: header lacks ops=/checksum= fields");
+  }
+
+  MutationBatch batch;
+  uint64_t checksum = 0xcbf29ce484222325ULL;
+  std::string_view rest = text.substr(eol + 1);
+  while (!rest.empty()) {
+    size_t next = rest.find('\n');
+    std::string_view line =
+        next == std::string_view::npos ? rest : rest.substr(0, next);
+    rest = next == std::string_view::npos ? std::string_view()
+                                          : rest.substr(next + 1);
+    std::string_view t = TrimView(line);
+    if (t.empty()) continue;
+    OpKind kind;
+    if (t.substr(0, 2) == "+ ") {
+      kind = OpKind::kInsert;
+    } else if (t.substr(0, 2) == "- ") {
+      kind = OpKind::kErase;
+    } else {
+      return Status::InvalidArgument(
+          StrCat("mutation batch: bad op line '", t, "'"));
+    }
+    batch.ops_.push_back(Op{kind, std::string(TrimView(t.substr(2)))});
+    checksum = HashLine(checksum, OpLine(batch.ops_.back()));
+  }
+  if (batch.size() != declared_ops) {
+    return Status::InvalidArgument(
+        StrCat("mutation batch: header declares ", declared_ops,
+               " ops but body has ", batch.size()));
+  }
+  if (checksum != declared_checksum) {
+    return Status::InvalidArgument(
+        StrCat("mutation batch: checksum mismatch (header ",
+               Hex16(declared_checksum), ", body ", Hex16(checksum), ")"));
+  }
+  return batch;
+}
+
+}  // namespace gluenail

@@ -387,7 +387,14 @@ TEST(ConcurrencyTest, RelationVersionReadableWhileWriterMutates) {
     last = rel->version;
   }
   writer.join();
-  EXPECT_GE(last, 1u);
+  // A fast writer can finish before the loop's first capture; one final
+  // snapshot observes its completed writes either way.
+  Result<EngineSnapshot> snap = session.Snapshot();
+  ASSERT_TRUE(snap.ok());
+  const RelationSnapshot* rel = snap->edb().Find(v, 1);
+  ASSERT_NE(rel, nullptr);
+  ASSERT_GE(rel->version, last);
+  EXPECT_GE(rel->version, 1u);
 }
 
 // --- Tracing under concurrency -------------------------------------------

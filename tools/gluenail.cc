@@ -1,5 +1,5 @@
 /// \file gluenail.cc
-/// \brief The gluenail command-line shell.
+/// \brief The gluenail command-line shell and server launcher.
 ///
 /// Usage:
 ///   gluenail                          interactive shell
@@ -8,17 +8,28 @@
 ///   gluenail -e 'stmt.'               execute and exit (repeatable)
 ///   gluenail -q 'goal'                query and exit (repeatable)
 ///   gluenail --script file            run shell commands from a file
+///   gluenail --serve PORT             serve the wire protocol on PORT
+///   gluenail --admin-port PORT        also serve HTTP /metrics /slowlog
 ///
 /// Everything the shell accepts is described under :help.
+/// `--serve` runs until SIGINT/SIGTERM, then shuts down gracefully:
+/// in-flight commands finish and their responses are written before the
+/// process exits.
 
+#include <atomic>
+#include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <vector>
 
+#include <unistd.h>
+
 #include "src/api/engine.h"
 #include "src/api/repl.h"
+#include "src/server/server.h"
 
 namespace {
 
@@ -27,11 +38,62 @@ int Fail(const gluenail::Status& s) {
   return 1;
 }
 
+/// Self-pipe written by the signal handler; ServeForever blocks on it.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  char byte = 1;
+  // write(2) is async-signal-safe; a full pipe just means a signal is
+  // already pending, which is all we need.
+  ssize_t ignored = write(g_signal_pipe[1], &byte, 1);
+  (void)ignored;
+}
+
+int ServeForever(gluenail::Engine* engine, int port, int admin_port) {
+  if (pipe(g_signal_pipe) != 0) {
+    std::cerr << "gluenail: pipe: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  gluenail::ServerOptions opts;
+  opts.port = static_cast<uint16_t>(port);
+  opts.admin_port = admin_port;
+  gluenail::Server server(engine, opts);
+  gluenail::Status s = server.Start();
+  if (!s.ok()) return Fail(s);
+
+  std::cout << "gluenail: serving on port " << server.port();
+  if (admin_port >= 0) {
+    std::cout << " (admin http on " << server.admin_port() << ")";
+  }
+  std::cout << "\n";
+
+  struct sigaction sa = {};
+  sa.sa_handler = OnSignal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  // Block until a signal arrives (EINTR restarts the read).
+  char byte;
+  while (read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  std::cout << "gluenail: shutting down (draining "
+            << server.connections_live() << " connection(s))\n";
+  server.Stop();
+  std::cout << "gluenail: served " << server.commands_served()
+            << " command(s) over " << server.connections_accepted()
+            << " connection(s)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   gluenail::Engine engine;
   bool ran_batch = false;
+  int serve_port = -1;
+  int admin_port = -1;
   std::vector<std::string> scripts;
 
   for (int i = 1; i < argc; ++i) {
@@ -64,9 +126,23 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--script") {
       scripts.push_back(next());
+    } else if (arg == "--serve") {
+      serve_port = std::atoi(next());
+      if (serve_port < 0 || serve_port > 65535) {
+        std::cerr << "gluenail: --serve needs a port in [0, 65535]\n";
+        return 2;
+      }
+    } else if (arg == "--admin-port") {
+      admin_port = std::atoi(next());
+      if (admin_port < 0 || admin_port > 65535) {
+        std::cerr << "gluenail: --admin-port needs a port in [0, 65535]\n";
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: gluenail [program.gn ...] [--edb FILE] "
-                   "[-e STMT] [-q GOAL] [--script FILE]\n";
+                   "[-e STMT] [-q GOAL] [--script FILE]\n"
+                   "       gluenail --serve PORT [--admin-port PORT] "
+                   "[program.gn ...] [--edb FILE]\n";
       return 0;
     } else {
       std::ifstream f(arg);
@@ -96,6 +172,12 @@ int main(int argc, char** argv) {
     gluenail::Repl repl(&engine, &f, &std::cout, opts);
     gluenail::Status s = repl.Run();
     if (!s.ok()) return Fail(s);
+  }
+
+  if (serve_port >= 0) return ServeForever(&engine, serve_port, admin_port);
+  if (admin_port >= 0) {
+    std::cerr << "gluenail: --admin-port requires --serve\n";
+    return 2;
   }
 
   if (ran_batch) return 0;

@@ -10,6 +10,9 @@
 #   tools/run_bench.sh bench_observability
 #                                      # tracing off/on + DumpMetrics
 #                                      #   -> BENCH_observability.json
+#   tools/run_bench.sh bench_server    # wire protocol vs in-process,
+#                                      # 1..16 concurrent socket clients
+#                                      #   -> BENCH_server.json
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"

@@ -8,6 +8,9 @@
 #   tsan   — -DGLUENAIL_TSAN=ON, runs the tsan-labelled concurrency tests
 #   fault  — Debug build, runs only the faultinject-labelled matrix
 #   obs    — Debug build, runs only the obs-labelled observability suite
+#   server — Debug build, runs only the server-labelled service-layer
+#            suite (framing, codecs, end-to-end socket tests); the same
+#            tests also run under tsan via their tsan label
 #
 # Usage: tools/run_tests.sh [config ...]
 #   tools/run_tests.sh                # debug + asan + ubsan + tsan
@@ -59,8 +62,12 @@ run_config() {
       configure_and_build "$prefix-debug" -DCMAKE_BUILD_TYPE=Debug
       (cd "$prefix-debug" && ctest --output-on-failure -L obs -j)
       ;;
+    server)
+      configure_and_build "$prefix-debug" -DCMAKE_BUILD_TYPE=Debug
+      (cd "$prefix-debug" && ctest --output-on-failure -L server -j)
+      ;;
     *)
-      echo "error: unknown config '$config' (debug|asan|ubsan|tsan|fault|obs)" >&2
+      echo "error: unknown config '$config' (debug|asan|ubsan|tsan|fault|obs|server)" >&2
       exit 1
       ;;
   esac
