@@ -1,0 +1,155 @@
+/// \file bench_vector.cc
+/// \brief Experiment E16: batch-at-a-time vs. tuple-at-a-time execution.
+///
+/// The join/scan hot path A/B from the vectorized-execution work
+/// (src/exec/vector/): identical engines and plans, batch_mode forced
+/// kOff (classic tuple-at-a-time streaming) vs. kAlways (lane buffers +
+/// selection vectors, one emit per 4096-lane batch). Sized at 10k / 100k
+/// / 1M rows; the acceptance bar is >= 2x throughput on the 1M-row
+/// join/scan shape (BM_JoinScan), and every shape requires both modes to
+/// produce the same answer.
+///
+/// Heads are kept small on purpose: inserting a large result relation
+/// costs the same in either mode and would dilute the pipeline A/B into
+/// a storage benchmark. BM_KeyedProbeJoin is the deliberately
+/// memory-bound counterpoint — index probe chains over a 1M-row arena
+/// miss cache in both modes, so batching only trims the dispatch slice.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace gluenail {
+namespace {
+
+ExecOptions::BatchMode Mode(int64_t arg) {
+  return arg != 0 ? ExecOptions::BatchMode::kAlways
+                  : ExecOptions::BatchMode::kOff;
+}
+
+const char* ModeName(int64_t arg) { return arg != 0 ? "batch" : "tuple"; }
+
+/// Values cycle over [0, kVals) so filter selectivities are exact.
+constexpr int kVals = 1000;
+
+void RequireRows(Engine* engine, const std::string& goal, size_t expect) {
+  auto out = bench::Require(engine->Query(goal));
+  if (out.rows.size() != expect) {
+    fprintf(stderr, "bench result mismatch for %s: got %zu want %zu\n",
+            goal.c_str(), out.rows.size(), expect);
+    std::abort();
+  }
+}
+
+/// Scan leg: full scan of big through a chain of four filters, the last
+/// two selective (4 of every 1000 rows survive). The pipelineable run the
+/// batch runner fuses into one lane-at-a-time segment.
+void BM_ScanFilterChain(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(1));
+  EngineOptions opts;
+  opts.exec.batch_mode = Mode(state.range(0));
+  Engine engine(opts);
+  for (int i = 0; i < rows; ++i) {
+    bench::Require(engine.AddFact(StrCat("big(", i, ",", i % kVals, ").")));
+  }
+  const std::string stmt =
+      "out(X) := big(X, Y) & Y >= 0 & Y < 1000 & Y > 990 & Y < 995.";
+  for (auto _ : state) {
+    bench::Require(engine.ExecuteStatement(stmt));
+  }
+  RequireRows(&engine, "out(X)", static_cast<size_t>(rows / kVals) * 4);
+  state.SetItemsProcessed(state.iterations() * rows);
+  state.SetLabel(StrCat(ModeName(state.range(0)), "/rows=", rows));
+}
+BENCHMARK(BM_ScanFilterChain)
+    ->ArgsProduct({{0, 1}, {10'000, 100'000, 1'000'000}})
+    ->Unit(benchmark::kMillisecond);
+
+/// The headline join/scan shape: scan big, filter down to the last 2999
+/// rows, then join the survivors against a 1000-row dimension keyed on
+/// its first column. The syntactic cost model pins the written order so
+/// both modes run the identical scan-driven plan (plan choice is E13's
+/// experiment, not this one).
+void BM_JoinScan(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(1));
+  EngineOptions opts;
+  opts.exec.batch_mode = Mode(state.range(0));
+  opts.planner.cost_model = PlannerOptions::CostModel::kSyntactic;
+  Engine engine(opts);
+  for (int i = 0; i < rows; ++i) {
+    bench::Require(engine.AddFact(StrCat("big(", i, ",", i % kVals, ").")));
+  }
+  for (int k = 0; k < kVals; ++k) {
+    bench::Require(engine.AddFact(StrCat("dim(", k, ",", k % 10, ").")));
+  }
+  const std::string stmt = StrCat(
+      "out(P) := big(K, V) & V >= 0 & K > ", rows - 3000, " & dim(V, P).");
+  for (auto _ : state) {
+    bench::Require(engine.ExecuteStatement(stmt));
+  }
+  // Survivors cover every V in [0, kVals), so out(P) is the 10 distinct
+  // dim payloads.
+  RequireRows(&engine, "out(P)", 10);
+  state.SetItemsProcessed(state.iterations() * rows);
+  state.SetLabel(StrCat(ModeName(state.range(0)), "/rows=", rows));
+}
+BENCHMARK(BM_JoinScan)
+    ->ArgsProduct({{0, 1}, {10'000, 100'000, 1'000'000}})
+    ->Unit(benchmark::kMillisecond);
+
+/// Probe-heavy join: 1000 driver rows each probing a chain of rows/1000
+/// matches keyed into big, filtered selectively afterwards. Walking the
+/// probe chains misses cache in both modes — the memory-bound bound on
+/// what batching can buy.
+void BM_KeyedProbeJoin(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(1));
+  EngineOptions opts;
+  opts.exec.batch_mode = Mode(state.range(0));
+  Engine engine(opts);
+  for (int i = 0; i < rows; ++i) {
+    bench::Require(engine.AddFact(StrCat("big(", i, ",", i % kVals, ").")));
+  }
+  for (int k = 0; k < kVals; ++k) {
+    bench::Require(engine.AddFact(StrCat("dim(", k, ",", k % 10, ").")));
+  }
+  const std::string stmt = StrCat(
+      "out(P) := dim(V, P) & big(K, V) & K > ", rows - 3000, ".");
+  for (auto _ : state) {
+    bench::Require(engine.ExecuteStatement(stmt));
+  }
+  RequireRows(&engine, "out(P)", 10);
+  state.SetItemsProcessed(state.iterations() * rows);
+  state.SetLabel(StrCat(ModeName(state.range(0)), "/rows=", rows));
+}
+BENCHMARK(BM_KeyedProbeJoin)
+    ->ArgsProduct({{0, 1}, {10'000, 100'000, 1'000'000}})
+    ->Unit(benchmark::kMillisecond);
+
+/// Negation over the scan path: for every driver row, prove absence in a
+/// half-sized relation. Exercises the batched existence check with
+/// per-lane early exit.
+void BM_NegationScan(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(1));
+  EngineOptions opts;
+  opts.exec.batch_mode = Mode(state.range(0));
+  Engine engine(opts);
+  for (int i = 0; i < rows; ++i) {
+    bench::Require(engine.AddFact(StrCat("n(", i, ").")));
+    if (i % 2 == 0) bench::Require(engine.AddFact(StrCat("odd(", i, ").")));
+  }
+  const std::string stmt = "out(X) := n(X) & !odd(X).";
+  for (auto _ : state) {
+    bench::Require(engine.ExecuteStatement(stmt));
+  }
+  RequireRows(&engine, "out(X)", static_cast<size_t>(rows / 2));
+  state.SetItemsProcessed(state.iterations() * rows);
+  state.SetLabel(StrCat(ModeName(state.range(0)), "/rows=", rows));
+}
+BENCHMARK(BM_NegationScan)
+    ->ArgsProduct({{0, 1}, {10'000, 100'000}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gluenail
+
+BENCHMARK_MAIN();

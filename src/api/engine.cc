@@ -146,6 +146,13 @@ void Engine::RegisterBuiltinMetrics() {
   metrics_.RegisterPullCounter("gluenail_exec_duplicates_removed_total",
                                "records dropped by dedup-at-breaks",
                                exec_stat(&ExecStats::duplicates_removed));
+  metrics_.RegisterPullCounter("gluenail_exec_batch_segments_total",
+                               "batch-at-a-time segments run",
+                               exec_stat(&ExecStats::batch_segments));
+  metrics_.RegisterPullCounter(
+      "gluenail_exec_batch_rows_total",
+      "binding records entering batch segments",
+      exec_stat(&ExecStats::batch_rows));
 
   // Semi-naive driver counters.
   metrics_.RegisterPullCounter(

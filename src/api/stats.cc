@@ -19,7 +19,8 @@ std::string FormatExecStats(const ExecStats& stats) {
                 stats.proc_calls, " proc calls, ", stats.loop_iterations,
                 " loop iterations, ", stats.head_tuples, " head tuples, ",
                 stats.match_rows, " match rows, ", stats.compare_rows,
-                " compare rows");
+                " compare rows, ", stats.batch_segments,
+                " batch segments");
 }
 
 std::string FormatStorageStats(const StorageStats& stats) {

@@ -6,18 +6,58 @@
 
 namespace gluenail {
 
+namespace {
+
+// EvalExpr recurses as deep as expressions nest, and unoptimized builds
+// give every branch's locals a slot in the one recursive frame — so the
+// rare, allocation-heavy branches (argument vectors, error-string
+// formatting) live in these out-of-line helpers, keeping the recursive
+// frame lean enough for thousands of levels within a default 8 MiB stack
+// (robustness_test exercises 2000).
+
+[[gnu::noinline]] Status UnboundSlotError(int slot) {
+  return Status::Internal(StrCat("unbound slot ", slot, " read at run time"));
+}
+
+[[gnu::noinline]] Result<TermId> EvalStringOpExpr(
+    const StatementPlan& plan, const ExprNode& n, std::span<const TermId> rec,
+    TermPool* pool) {
+  std::vector<TermId> args;
+  args.reserve(n.children.size());
+  for (ExprId c : n.children) {
+    GLUENAIL_ASSIGN_OR_RETURN(TermId v, EvalExpr(plan, c, rec, pool));
+    args.push_back(v);
+  }
+  return EvalStringBuiltin(pool, n.op, args);
+}
+
+[[gnu::noinline]] Result<TermId> EvalBuildExpr(const StatementPlan& plan,
+                                               const ExprNode& n,
+                                               std::span<const TermId> rec,
+                                               TermPool* pool) {
+  GLUENAIL_ASSIGN_OR_RETURN(TermId f,
+                            EvalExpr(plan, n.children[0], rec, pool));
+  std::vector<TermId> args;
+  args.reserve(n.children.size() - 1);
+  for (size_t i = 1; i < n.children.size(); ++i) {
+    GLUENAIL_ASSIGN_OR_RETURN(TermId v,
+                              EvalExpr(plan, n.children[i], rec, pool));
+    args.push_back(v);
+  }
+  return pool->MakeCompound(f, args);
+}
+
+}  // namespace
+
 Result<TermId> EvalExpr(const StatementPlan& plan, ExprId id,
-                        const Record& rec, TermPool* pool) {
+                        std::span<const TermId> rec, TermPool* pool) {
   const ExprNode& n = plan.exprs[static_cast<size_t>(id)];
   switch (n.kind) {
     case ExprKind::kConst:
       return n.const_term;
     case ExprKind::kSlot: {
       TermId v = rec[static_cast<size_t>(n.slot)];
-      if (v == kNullTerm) {
-        return Status::Internal(
-            StrCat("unbound slot ", n.slot, " read at run time"));
-      }
+      if (v == kNullTerm) return UnboundSlotError(n.slot);
       return v;
     }
     case ExprKind::kArith: {
@@ -32,27 +72,10 @@ Result<TermId> EvalExpr(const StatementPlan& plan, ExprId id,
                                 EvalExpr(plan, n.children[0], rec, pool));
       return EvalNegate(pool, a);
     }
-    case ExprKind::kStringOp: {
-      std::vector<TermId> args;
-      args.reserve(n.children.size());
-      for (ExprId c : n.children) {
-        GLUENAIL_ASSIGN_OR_RETURN(TermId v, EvalExpr(plan, c, rec, pool));
-        args.push_back(v);
-      }
-      return EvalStringBuiltin(pool, n.op, args);
-    }
-    case ExprKind::kBuild: {
-      GLUENAIL_ASSIGN_OR_RETURN(TermId f,
-                                EvalExpr(plan, n.children[0], rec, pool));
-      std::vector<TermId> args;
-      args.reserve(n.children.size() - 1);
-      for (size_t i = 1; i < n.children.size(); ++i) {
-        GLUENAIL_ASSIGN_OR_RETURN(TermId v,
-                                  EvalExpr(plan, n.children[i], rec, pool));
-        args.push_back(v);
-      }
-      return pool->MakeCompound(f, args);
-    }
+    case ExprKind::kStringOp:
+      return EvalStringOpExpr(plan, n, rec, pool);
+    case ExprKind::kBuild:
+      return EvalBuildExpr(plan, n, rec, pool);
   }
   return Status::Internal("unreachable expression kind");
 }

@@ -4,6 +4,7 @@
 #ifndef GLUENAIL_EXEC_EVAL_H_
 #define GLUENAIL_EXEC_EVAL_H_
 
+#include <span>
 #include <vector>
 
 #include "src/common/result.h"
@@ -14,9 +15,11 @@
 namespace gluenail {
 
 /// Evaluates expression \p id of \p plan against \p rec. All slots an
-/// expression reads are guaranteed bound by the planner.
+/// expression reads are guaranteed bound by the planner. Takes the record
+/// as a span so both representations of a binding record work: a tuple
+/// executor's Record (std::vector) and a batch executor's flat lane.
 Result<TermId> EvalExpr(const StatementPlan& plan, ExprId id,
-                        const Record& rec, TermPool* pool);
+                        std::span<const TermId> rec, TermPool* pool);
 
 /// Undo log for bindings made while matching; unwound between candidate
 /// tuples so one scratch record serves a whole scan.

@@ -6,10 +6,27 @@
 
 #include "src/common/strings.h"
 #include "src/exec/ops.h"
+#include "src/exec/vector/batch_runner.h"
 #include "src/obs/trace.h"
 #include "src/runtime/arith.h"
 
 namespace gluenail {
+
+// ---------------------------------------------------------------------------
+// Batch-mode selection
+// ---------------------------------------------------------------------------
+
+bool Executor::UseBatchFor(const StatementPlan& plan, const PlanOp& op) const {
+  switch (options_.batch_mode) {
+    case ExecOptions::BatchMode::kOff:
+      return false;
+    case ExecOptions::BatchMode::kAlways:
+      return BatchRunner::OpEligible(plan, op);
+    case ExecOptions::BatchMode::kAuto:
+      return op.batch && BatchRunner::OpEligible(plan, op);
+  }
+  return false;
+}
 
 // ---------------------------------------------------------------------------
 // Relation resolution

@@ -33,6 +33,15 @@ namespace gluenail {
 struct ExecOptions {
   enum class Strategy { kMaterialized, kPipelined };
   Strategy strategy = Strategy::kPipelined;
+  /// Whether pipelineable ops run batch-at-a-time (exec/vector/: blocks of
+  /// up to 4096 binding records with selection vectors) or tuple-at-a-time
+  /// (exec/ops.h). kAuto follows the planner's per-op PlanOp::batch hint
+  /// (est_rows-driven, so it compounds with the cost model); kAlways and
+  /// kOff force one side for A/B benches and differential tests. Either
+  /// way, ops the batch runner cannot express (dynamic HiLog access,
+  /// structural patterns) take the tuple path.
+  enum class BatchMode { kAuto, kOff, kAlways };
+  BatchMode batch_mode = BatchMode::kAuto;
   /// Eliminate duplicate binding records at every materialization point
   /// (§9). Turning this off is the bench E2 baseline.
   bool dedup_at_breaks = true;
@@ -74,6 +83,11 @@ struct ExecStats {
   /// probe-chain rows — the quantity ResourceLimits::max_rows_scanned
   /// bounds per query.
   uint64_t rows_scanned = 0;
+  /// Batch-at-a-time segments run and the records that entered them —
+  /// nonzero proves the vectorized path engaged (tests assert on it the
+  /// way parallel_batches proves the worker pool engaged).
+  uint64_t batch_segments = 0;
+  uint64_t batch_rows = 0;
 
   // Per-op-kind rows produced ("actual_rows"): every record an op emits —
   // or, for barrier ops, the size of the record set it leaves behind — is
@@ -218,6 +232,7 @@ class Executor {
   void set_control(const ExecControl* control) {
     control_override_ = control;
     rows_budget_used_ = 0;
+    rows_since_check_ = 0;
   }
   /// The active guardrails: the per-query override, else the one baked
   /// into ExecOptions, else null (unguarded).
@@ -237,31 +252,45 @@ class Executor {
     return c->Check();
   }
 
-  /// Per-row probe for full-scan loops that visit rows without going
-  /// through SelectRows: charges the row against the scan budget, then
-  /// behaves like TickControl (full check — including the budget — every
-  /// 4096th call, so an overrun is detected within one tick window).
+  /// Per-batch row accounting, shared by every charging path. Scan loops
+  /// (per row), keyed selections (per probe, scanned or probe-chain rows),
+  /// and batch segments (per chunk) all feed one accumulator; a full
+  /// check — cancel, deadline, and the row budget — runs once every
+  /// kRowCheckInterval accumulated rows, so an overrun is detected within
+  /// one batch window regardless of which path charged the rows.
+  static constexpr uint64_t kRowCheckInterval = 4096;
+
+  /// Per-row probe for full-scan loops that visit rows one at a time.
   Status TickScanRow() {
     ++stats_.rows_scanned;
     const ExecControl* c = control();
     if (c == nullptr) return Status::OK();
     ++rows_budget_used_;
-    if ((++control_tick_ & 0xFFF) != 0) return Status::OK();
-    ++stats_.control_checks;
-    GLUENAIL_RETURN_NOT_OK(c->Check());
-    return c->CheckRowsScanned(rows_budget_used_);
+    if (++rows_since_check_ < kRowCheckInterval) return Status::OK();
+    return FlushRowAccounting(c);
   }
 
-  /// Bulk charge for rows a keyed selection visited (scanned rows or index
-  /// probe-chain rows). Checked immediately: one oversized probe chain
-  /// must not blow past the budget unnoticed until the next tick.
+  /// Bulk charge for rows a selection or batch visited (scanned rows or
+  /// index probe-chain rows). Same per-batch check cadence as TickScanRow:
+  /// an oversized charge (>= one check interval) is checked immediately,
+  /// smaller ones accumulate toward the next check.
   Status ChargeScanRows(uint64_t n) {
     stats_.rows_scanned += n;
     const ExecControl* c = control();
     if (c == nullptr) return Status::OK();
     rows_budget_used_ += n;
-    if (c->limits.max_rows_scanned == 0) return Status::OK();
+    rows_since_check_ += n;
+    if (rows_since_check_ < kRowCheckInterval) return Status::OK();
+    return FlushRowAccounting(c);
+  }
+
+  /// The deferred full check behind TickScanRow/ChargeScanRows: resets the
+  /// interval accumulator, then runs cancel/deadline and the row budget
+  /// against everything charged so far.
+  Status FlushRowAccounting(const ExecControl* c) {
+    rows_since_check_ = 0;
     ++stats_.control_checks;
+    GLUENAIL_RETURN_NOT_OK(c->Check());
     return c->CheckRowsScanned(rows_budget_used_);
   }
 
@@ -297,8 +326,15 @@ class Executor {
   /// Display name for op \p idx of \p plan ("op2:match edge").
   std::string OpSpanName(const StatementPlan& plan, size_t idx) const;
 
-  // --- Shared op helpers (ops.cc) ----------------------------------------
+  // --- Shared op helpers (ops.cc, vector/batch_runner.cc) ---------------
   friend class OpRunner;
+  friend class BatchRunner;
+
+  /// Whether \p op should run batch-at-a-time under the current
+  /// BatchMode: the planner hint for kAuto, forced for kAlways — in both
+  /// cases gated on the batch runner being able to express the op
+  /// (defined in executor.cc to keep the vector layer out of this header).
+  bool UseBatchFor(const StatementPlan& plan, const PlanOp& op) const;
 
   /// Resolves a static-name relation access for reading. May return
   /// nullptr: the relation does not exist, i.e. it is empty.
@@ -364,6 +400,10 @@ class Executor {
   /// Rows charged against the current control's max_rows_scanned budget;
   /// reset by set_control so each guarded query starts at zero.
   uint64_t rows_budget_used_ = 0;
+  /// Rows charged since the last full check; every charging path (per-row
+  /// ticks, probe charges, batch charges) accumulates here and flushes at
+  /// kRowCheckInterval.
+  uint64_t rows_since_check_ = 0;
   /// Name -> replacement relation for reads (parallel delta partitions).
   std::unordered_map<TermId, Relation*> read_overrides_;
   /// Plans under EXPLAIN ANALYZE profiling -> actual rows per op index.

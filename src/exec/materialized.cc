@@ -5,8 +5,11 @@
 /// sup_i, fully computed before op i+1 starts. Execution stops as soon as
 /// a supplementary relation is empty.
 
+#include <optional>
+
 #include "src/exec/executor.h"
 #include "src/exec/ops.h"
+#include "src/exec/vector/batch_runner.h"
 
 namespace gluenail {
 
@@ -16,6 +19,8 @@ Status Executor::RunMaterialized(const StatementPlan& plan, Frame* frame,
   cur.Add(Record(static_cast<size_t>(plan.num_slots), kNullTerm), 0);
 
   OpRunner runner(this, plan, frame);
+  // Lazily constructed: most statements never take the batch path.
+  std::optional<BatchRunner> batcher;
   for (const PlanOp& op : plan.ops) {
     if (cur.empty()) break;  // §3.2: empty sup stops the statement
     GLUENAIL_RETURN_NOT_OK(CheckControl(cur.records.size()));
@@ -25,14 +30,26 @@ Status Executor::RunMaterialized(const StatementPlan& plan, Frame* frame,
       case OpKind::kCompare: {
         RecordSet next;
         next.num_groups = cur.num_groups;
-        for (size_t i = 0; i < cur.records.size(); ++i) {
-          uint32_t g = cur.groups.empty() ? 0 : cur.groups[i];
-          GLUENAIL_RETURN_NOT_OK(runner.Stream(
-              op, &cur.records[i], g, [&](Record* rec, uint32_t group) {
-                runner.CountRow(op);
-                next.Add(*rec, group);
-                return Status::OK();
-              }));
+        if (UseBatchFor(plan, op)) {
+          // Batch-at-a-time: single-op segments here, because this
+          // strategy dedups between ops and a fused segment would skip
+          // those intermediate dedups.
+          if (!batcher) batcher.emplace(this, plan, frame);
+          ++stats_.batch_segments;
+          stats_.batch_rows += cur.records.size();
+          size_t idx = static_cast<size_t>(&op - plan.ops.data());
+          GLUENAIL_RETURN_NOT_OK(
+              batcher->RunSegment(idx, idx + 1, cur, &next));
+        } else {
+          for (size_t i = 0; i < cur.records.size(); ++i) {
+            uint32_t g = cur.groups.empty() ? 0 : cur.groups[i];
+            GLUENAIL_RETURN_NOT_OK(runner.Stream(
+                op, &cur.records[i], g, [&](Record* rec, uint32_t group) {
+                  runner.CountRow(op);
+                  next.Add(*rec, group);
+                  return Status::OK();
+                }));
+          }
         }
         cur = std::move(next);
         break;

@@ -12,7 +12,7 @@ bool IsInternalPredicateName(const TermPool& pool, TermId name) {
 }
 
 Status OpRunner::Stream(const PlanOp& op, Record* rec, uint32_t group,
-                        const EmitFn& emit) {
+                        EmitFn emit) {
   switch (op.kind) {
     case OpKind::kMatch:
       return StreamMatch(op, rec, group, emit);
@@ -48,7 +48,7 @@ void OpRunner::ReleaseScratch() { --scratch_depth_; }
 
 Status OpRunner::StreamMatchRelation(const PlanOp& op, Relation* rel,
                                      Record* rec, uint32_t group,
-                                     const EmitFn& emit) {
+                                     EmitFn emit) {
   if (rel == nullptr || rel->empty()) return Status::OK();
   BindUndo undo;
   if (op.bound_mask != 0) {
@@ -97,7 +97,7 @@ Status OpRunner::StreamMatchRelation(const PlanOp& op, Relation* rel,
 }
 
 Status OpRunner::StreamMatch(const PlanOp& op, Record* rec, uint32_t group,
-                             const EmitFn& emit) {
+                             EmitFn emit) {
   if (op.access.kind != PredicateAccess::Kind::kDynamic) {
     GLUENAIL_ASSIGN_OR_RETURN(Relation * rel,
                               exec_->ResolveRead(op.access, frame_));
@@ -181,7 +181,7 @@ Result<bool> OpRunner::HasMatch(const PlanOp& op, Relation* rel,
 }
 
 Status OpRunner::StreamNegMatch(const PlanOp& op, Record* rec, uint32_t group,
-                                const EmitFn& emit) {
+                                EmitFn emit) {
   Relation* rel = nullptr;
   if (op.access.kind == PredicateAccess::Kind::kDynamic) {
     GLUENAIL_ASSIGN_OR_RETURN(
@@ -200,7 +200,7 @@ Status OpRunner::StreamNegMatch(const PlanOp& op, Record* rec, uint32_t group,
 }
 
 Status OpRunner::StreamCompare(const PlanOp& op, Record* rec, uint32_t group,
-                               const EmitFn& emit) {
+                               EmitFn emit) {
   if (op.bind_slot >= 0) {
     GLUENAIL_ASSIGN_OR_RETURN(TermId v,
                               EvalExpr(plan_, op.rhs, *rec, exec_->pool_));

@@ -11,15 +11,17 @@
 #ifndef GLUENAIL_EXEC_OPS_H_
 #define GLUENAIL_EXEC_OPS_H_
 
-#include <functional>
-
+#include "src/common/function_ref.h"
 #include "src/exec/executor.h"
 
 namespace gluenail {
 
 class OpRunner {
  public:
-  using EmitFn = std::function<Status(Record*, uint32_t group)>;
+  /// Emit continuations are borrowed callables: a FunctionRef costs one
+  /// indirect call per row and never allocates, where the previous
+  /// std::function added type-erasure dispatch to every emitted record.
+  using EmitFn = FunctionRef<Status(Record*, uint32_t group)>;
 
   OpRunner(Executor* exec, const StatementPlan& plan, Frame* frame)
       : exec_(exec), plan_(plan), frame_(frame) {}
@@ -29,7 +31,7 @@ class OpRunner {
   /// returning, but the record handed to \p emit is valid only for the
   /// duration of that call.
   Status Stream(const PlanOp& op, Record* rec, uint32_t group,
-                const EmitFn& emit);
+                EmitFn emit);
 
   /// Accounts one row emitted by \p op against the executor's per-op
   /// counters (and the EXPLAIN ANALYZE profile, if active). Both
@@ -38,14 +40,14 @@ class OpRunner {
 
  private:
   Status StreamMatch(const PlanOp& op, Record* rec, uint32_t group,
-                     const EmitFn& emit);
+                     EmitFn emit);
   Status StreamMatchRelation(const PlanOp& op, Relation* rel, Record* rec,
-                             uint32_t group, const EmitFn& emit);
+                             uint32_t group, EmitFn emit);
   Status StreamNegMatch(const PlanOp& op, Record* rec, uint32_t group,
-                        const EmitFn& emit);
+                        EmitFn emit);
   Result<bool> HasMatch(const PlanOp& op, Relation* rel, Record* rec);
   Status StreamCompare(const PlanOp& op, Record* rec, uint32_t group,
-                       const EmitFn& emit);
+                       EmitFn emit);
   /// Evaluates the op's key expressions into \p key (cleared first). The
   /// buffer is pooled scratch, so steady-state probes do not allocate.
   Status EvalKey(const PlanOp& op, const Record& rec, Tuple* key);

@@ -10,8 +10,11 @@
 /// reports "has always been advantageous" on real programs; bench E2/E3
 /// measure both effects.
 
+#include <optional>
+
 #include "src/exec/executor.h"
 #include "src/exec/ops.h"
+#include "src/exec/vector/batch_runner.h"
 
 namespace gluenail {
 
@@ -41,6 +44,8 @@ Status Executor::RunPipelined(const StatementPlan& plan, Frame* frame,
   cur.Add(Record(static_cast<size_t>(plan.num_slots), kNullTerm), 0);
 
   OpRunner runner(this, plan, frame);
+  // Lazily constructed: most statements never take the batch path.
+  std::optional<BatchRunner> batcher;
   size_t i = 0;
   const size_t n = plan.ops.size();
   while (i < n && !cur.empty()) {
@@ -50,15 +55,34 @@ Status Executor::RunPipelined(const StatementPlan& plan, Frame* frame,
     while (j < n && !IsBarrier(plan.ops[j])) ++j;
 
     if (j > i) {
-      // Fused nested join over the run; materialize only its output.
-      RecordSet next;
-      next.num_groups = cur.num_groups;
-      for (size_t r = 0; r < cur.records.size(); ++r) {
-        uint32_t g = cur.groups.empty() ? 0 : cur.groups[r];
-        GLUENAIL_RETURN_NOT_OK(StreamSegment(&runner, plan.ops, i, j,
-                                             &cur.records[r], g, &next));
+      // Split the run into maximal sub-segments of a single execution
+      // mode. A batch sub-segment streams whole lane blocks through its
+      // ops with one emit per batch; a tuple sub-segment is the classic
+      // fused nested join. A mode switch materializes in between — the
+      // same record multiset either way, so dedup at the end of the run
+      // (the §9 break) is unaffected.
+      size_t s = i;
+      while (s < j && !cur.empty()) {
+        const bool use_batch = UseBatchFor(plan, plan.ops[s]);
+        size_t e = s + 1;
+        while (e < j && UseBatchFor(plan, plan.ops[e]) == use_batch) ++e;
+        RecordSet next;
+        next.num_groups = cur.num_groups;
+        if (use_batch) {
+          if (!batcher) batcher.emplace(this, plan, frame);
+          ++stats_.batch_segments;
+          stats_.batch_rows += cur.records.size();
+          GLUENAIL_RETURN_NOT_OK(batcher->RunSegment(s, e, cur, &next));
+        } else {
+          for (size_t r = 0; r < cur.records.size(); ++r) {
+            uint32_t g = cur.groups.empty() ? 0 : cur.groups[r];
+            GLUENAIL_RETURN_NOT_OK(StreamSegment(&runner, plan.ops, s, e,
+                                                 &cur.records[r], g, &next));
+          }
+        }
+        cur = std::move(next);
+        s = e;
       }
-      cur = std::move(next);
       if (options_.dedup_at_breaks) {
         stats_.duplicates_removed += DedupRecords(&cur);
       }

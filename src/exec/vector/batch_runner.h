@@ -1,0 +1,180 @@
+/// \file batch_runner.h
+/// \brief Batch-at-a-time execution of pipelineable op segments.
+///
+/// BatchRunner is the vectorized counterpart of OpRunner: it drives a
+/// contiguous segment of kMatch / kNegMatch / kCompare ops over blocks of
+/// up to kBatchLanes binding records at once. Per-op it compiles the
+/// column patterns into flat check/bind actions once, then runs tight
+/// row-id loops instead of the tuple path's per-record virtual emit +
+/// MatchColumns + undo-log machinery:
+///
+///  * compare and negated match filter their input batch in place
+///    (selection vector + compress);
+///  * match gathers surviving, extended lanes into a per-op output buffer
+///    and pushes a full buffer down the rest of the segment — one emit per
+///    batch rather than one per record;
+///  * full scans walk the relation one arena chunk at a time, running the
+///    lane-independent checks (constants, same-op column equalities) once
+///    per chunk instead of once per lane.
+///
+/// Semantics, per-op actual row counts (EXPLAIN ANALYZE), and the
+/// rows-scanned guardrail accounting are identical to the tuple path by
+/// construction; tests/vector_exec_test.cc holds the two equal.
+
+#ifndef GLUENAIL_EXEC_VECTOR_BATCH_RUNNER_H_
+#define GLUENAIL_EXEC_VECTOR_BATCH_RUNNER_H_
+
+#include <vector>
+
+#include "src/exec/executor.h"
+#include "src/exec/vector/batch.h"
+
+namespace gluenail {
+
+class BatchRunner {
+ public:
+  BatchRunner(Executor* exec, const StatementPlan& plan, Frame* frame)
+      : exec_(exec),
+        plan_(plan),
+        frame_(frame),
+        width_(static_cast<uint32_t>(plan.num_slots)),
+        states_(plan.ops.size()),
+        out_bufs_(plan.ops.size()),
+        emitted_(plan.ops.size(), 0) {}
+
+  /// Whether the batch runner can express \p op at all: pipelineable ops
+  /// except dynamic (HiLog) accesses and structural column patterns, which
+  /// stay on the tuple path.
+  static bool OpEligible(const StatementPlan& plan, const PlanOp& op);
+
+  /// Runs plan.ops[begin, end) — all batch-eligible, no barriers — over
+  /// every record of \p in, appending the surviving extended records to
+  /// \p out. Equivalent to streaming each record through the segment with
+  /// OpRunner, including per-op actual-rows accounting and guardrail
+  /// charges; only the order of \p out may differ (batched, not
+  /// depth-first).
+  Status RunSegment(size_t begin, size_t end, const RecordSet& in,
+                    RecordSet* out);
+
+ private:
+  // --- Compiled per-op state --------------------------------------------
+
+  /// Row column c must equal an interned constant.
+  struct ColConst {
+    uint32_t col;
+    TermId value;
+  };
+  /// Row column c must equal row column other: a later occurrence of a
+  /// variable first bound by an earlier column of the same op (p(X, X)).
+  struct ColColEq {
+    uint32_t col;
+    uint32_t other;
+  };
+  /// Row column c must equal the lane's slot value (kCheck against a slot
+  /// bound before this op).
+  struct ColSlotEq {
+    uint32_t col;
+    int slot;
+  };
+  /// Row column c binds into the output lane's slot.
+  struct ColBind {
+    uint32_t col;
+    int slot;
+  };
+  /// Compare operand, pre-classified so the common slot/const fetches skip
+  /// expression evaluation. Comparison semantics always go through
+  /// EvalCompare (numeric coercion: 1 == 1.0), only the fetch is special-
+  /// cased.
+  struct Operand {
+    enum class Kind : uint8_t { kSlot, kConst, kExpr };
+    Kind kind = Kind::kExpr;
+    int slot = -1;
+    TermId value = kNullTerm;
+    ExprId expr = kNoExpr;
+  };
+  /// Key gather step for probes whose key expressions are all slots or
+  /// constants (the overwhelmingly common case).
+  struct KeyPart {
+    bool is_const;
+    TermId value;
+    int slot;
+  };
+
+  struct OpState {
+    bool compiled = false;
+    // Match / negmatch column actions, split by what they depend on.
+    std::vector<ColConst> const_checks;   // lane-independent
+    std::vector<ColColEq> coleq_checks;   // lane-independent
+    std::vector<ColSlotEq> slot_checks;   // per lane
+    std::vector<ColBind> binds;
+    bool fast_key = false;
+    std::vector<KeyPart> key_parts;
+    // Compare operands.
+    Operand lhs;
+    Operand rhs;
+    // Scratch, reused across batches.
+    std::vector<uint32_t> rows;  // chunk row-id harvest / probe results
+    std::vector<uint32_t> sel;   // selection vector (row ids or lane idxs)
+    std::vector<uint8_t> row_ok;  // per-row static-check results (negmatch)
+    Tuple key;
+  };
+
+  void CompileOp(size_t k);
+  Operand CompileOperand(ExprId e) const;
+
+  /// True iff \p row passes the op's lane-independent checks.
+  bool RowPassesStatic(const OpState& st, const TermId* row) const {
+    for (const ColConst& c : st.const_checks) {
+      if (row[c.col] != c.value) return false;
+    }
+    for (const ColColEq& c : st.coleq_checks) {
+      if (row[c.col] != row[c.other]) return false;
+    }
+    return true;
+  }
+  /// True iff \p row passes the per-lane slot checks.
+  bool RowPassesLane(const OpState& st, const TermId* row,
+                     const TermId* lane) const {
+    for (const ColSlotEq& c : st.slot_checks) {
+      if (row[c.col] != lane[c.slot]) return false;
+    }
+    return true;
+  }
+
+  Result<TermId> FetchOperand(const Operand& o, const TermId* lane) const;
+
+  /// Recursive driver: applies op k to \p batch, pushing survivors through
+  /// ops (k, end) and materializing final lanes into \p out at k == end.
+  Status Push(size_t k, size_t end, LaneBuffer* batch, RecordSet* out);
+  /// Counts the lanes of \p ob as op k's output and pushes them onward.
+  Status FlushDown(size_t k, size_t end, LaneBuffer* ob, RecordSet* out);
+
+  Status RunMatchKeyed(const PlanOp& op, OpState& st, Relation* rel,
+                       const LaneBuffer& in, size_t k, size_t end,
+                       LaneBuffer* ob, RecordSet* out);
+  Status RunMatchScan(const PlanOp& op, OpState& st, Relation* rel,
+                      const LaneBuffer& in, size_t k, size_t end,
+                      LaneBuffer* ob, RecordSet* out);
+  Status RunNegMatch(const PlanOp& op, OpState& st, LaneBuffer* batch);
+  Status RunCompare(const PlanOp& op, OpState& st, LaneBuffer* batch);
+
+  Status BuildKey(const PlanOp& op, OpState& st, const TermId* lane);
+
+  Executor* exec_;
+  const StatementPlan& plan_;
+  Frame* frame_;
+  uint32_t width_;
+  std::vector<OpState> states_;
+  /// Per-op gather buffers (kMatch output), indexed by op position; at any
+  /// moment at most one Push per op is live, fully flushed before return.
+  std::vector<LaneBuffer> out_bufs_;
+  /// Rows emitted per op since the last CountOpRows flush: the batch path
+  /// counts in bulk (one CountOpRows call per op per segment) but the
+  /// totals match the tuple path's per-record CountRow exactly.
+  std::vector<uint64_t> emitted_;
+  LaneBuffer seed_;
+};
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_EXEC_VECTOR_BATCH_RUNNER_H_

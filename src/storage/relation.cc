@@ -151,13 +151,34 @@ size_t Relation::UnionDiff(const Relation& src, Relation* delta) {
   assert(src.arity() == arity_);
   assert(&src != this);
   size_t added = 0;
-  for (RowView t : src) {
-    if (Insert(t)) {
-      ++added;
-      if (delta != nullptr) delta->Insert(t);
+  // Chunk-at-a-time walk: harvest each arena chunk's live row ids in one
+  // tight pass over the live bitmap, then insert from the id batch. Same
+  // ascending-row-id order (hence identical delta insertion order) as the
+  // per-row iterator, without its per-step skip-dead branching.
+  std::vector<uint32_t> rows;
+  const TupleArena& arena = src.arena();
+  for (uint32_t c = 0; c < arena.num_chunks(); ++c) {
+    rows.clear();
+    src.CollectLiveRows(arena.chunk_begin(c), arena.chunk_end(c), &rows);
+    for (uint32_t r : rows) {
+      RowView t = src.row(r);
+      if (Insert(t)) {
+        ++added;
+        if (delta != nullptr) delta->Insert(t);
+      }
     }
   }
   return added;
+}
+
+void Relation::AppendDistinctRows(const Relation& src,
+                                  std::span<const uint32_t> rows) {
+  assert(src.arity() == arity_);
+  assert(&src != this);
+  for (uint32_t r : rows) {
+    RowView t = src.row(r);
+    AppendNewRow(t, HashRow(t));
+  }
 }
 
 size_t Relation::UnionAll(const Relation& src) {

@@ -97,6 +97,48 @@ class Relation {
   void SelectConst(ColumnMask mask, RowView key, std::vector<uint32_t>* out,
                    uint64_t* visited = nullptr) const;
 
+  // --- Batch-granular access (exec/vector/) ------------------------------
+
+  /// The underlying arena: chunk geometry for the batch executor, which
+  /// walks rows one 4096-row chunk at a time.
+  const TupleArena& arena() const { return arena_; }
+
+  /// Appends the ids of live rows in [\p begin, \p end) (clamped to
+  /// num_rows()) — the batch executor's chunk-at-a-time row harvest, and
+  /// the building block of the batched UnionDiff walk.
+  void CollectLiveRows(uint32_t begin, uint32_t end,
+                       std::vector<uint32_t>* out) const {
+    if (end > num_rows()) end = num_rows();
+    for (uint32_t r = begin; r < end; ++r) {
+      if (live_[r]) out->push_back(r);
+    }
+  }
+
+  /// Keyed selection into a caller-owned scratch buffer (cleared first),
+  /// returned as a row-id span: the batch executor's probe entry points.
+  /// Same semantics and \p visited accounting as Select / SelectConst.
+  std::span<const uint32_t> SelectSpan(ColumnMask mask, RowView key,
+                                       std::vector<uint32_t>* scratch,
+                                       uint64_t* visited = nullptr) {
+    scratch->clear();
+    Select(mask, key, scratch, visited);
+    return {scratch->data(), scratch->size()};
+  }
+  std::span<const uint32_t> SelectSpanConst(
+      ColumnMask mask, RowView key, std::vector<uint32_t>* scratch,
+      uint64_t* visited = nullptr) const {
+    scratch->clear();
+    SelectConst(mask, key, scratch, visited);
+    return {scratch->data(), scratch->size()};
+  }
+
+  /// Bulk-appends \p rows of \p src, which the caller guarantees are
+  /// distinct and absent from this relation (e.g. a slice of a
+  /// duplicate-free relation into a fresh partition): one arena append and
+  /// dedup insert per row, no dedup probe. The parallel semi-naive
+  /// partitioner's batch loader.
+  void AppendDistinctRows(const Relation& src, std::span<const uint32_t> rows);
+
   // --- Index management --------------------------------------------------
 
   const HashIndex* FindIndex(ColumnMask mask) const;

@@ -99,6 +99,22 @@ class TupleArena {
     }
   }
 
+  // --- Chunk-granular access (the batch executor's unit of work) --------
+
+  /// Number of row chunks the current rows span (0 for an empty arena;
+  /// always computed from num_rows, so arity-0 arenas — which allocate no
+  /// storage — still report their logical chunks).
+  uint32_t num_chunks() const {
+    return (num_rows_ + kRowsPerChunk - 1) >> kRowsPerChunkShift;
+  }
+  /// First row id of chunk \p c.
+  uint32_t chunk_begin(uint32_t c) const { return c << kRowsPerChunkShift; }
+  /// One past the last row id of chunk \p c.
+  uint32_t chunk_end(uint32_t c) const {
+    uint32_t end = (c + 1) << kRowsPerChunkShift;
+    return end < num_rows_ ? end : num_rows_;
+  }
+
   /// Stable view of row \p id's columns. Valid until Clear().
   std::span<const TermId> row(uint32_t id) const {
     assert(id < num_rows_);

@@ -1,0 +1,408 @@
+/// Differential tests for batch-at-a-time execution (src/exec/vector/):
+/// every program must produce identical answers whether pipelineable ops
+/// run batch-at-a-time or tuple-at-a-time, on both executors, with serial
+/// and parallel fixpoints — and the row accounting (EXPLAIN ANALYZE
+/// actual rows, ExecStats::rows_scanned, the per-batch row-scan budget)
+/// must stay exact in both modes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/api/engine.h"
+
+namespace gluenail {
+namespace {
+
+struct Config {
+  ExecOptions::Strategy strategy;
+  ExecOptions::BatchMode batch;
+  IndexPolicy policy = IndexPolicy::kAdaptive;
+  int threads = 1;
+};
+
+std::vector<Config> AllConfigs() {
+  std::vector<Config> out;
+  for (auto strategy : {ExecOptions::Strategy::kMaterialized,
+                        ExecOptions::Strategy::kPipelined}) {
+    for (auto batch : {ExecOptions::BatchMode::kOff,
+                       ExecOptions::BatchMode::kAlways,
+                       ExecOptions::BatchMode::kAuto}) {
+      for (auto policy : {IndexPolicy::kNeverIndex, IndexPolicy::kAdaptive,
+                          IndexPolicy::kAlwaysIndex}) {
+        out.push_back(Config{strategy, batch, policy});
+      }
+    }
+  }
+  // Parallel fixpoint workers consume delta partitions through the same
+  // batch runner; one config per mode keeps the matrix affordable.
+  out.push_back(Config{ExecOptions::Strategy::kPipelined,
+                       ExecOptions::BatchMode::kOff,
+                       IndexPolicy::kAdaptive, 4});
+  out.push_back(Config{ExecOptions::Strategy::kPipelined,
+                       ExecOptions::BatchMode::kAlways,
+                       IndexPolicy::kAdaptive, 4});
+  return out;
+}
+
+std::unique_ptr<Engine> MakeEngine(const Config& c) {
+  EngineOptions opts;
+  opts.exec.strategy = c.strategy;
+  opts.exec.batch_mode = c.batch;
+  opts.index_policy = c.policy;
+  opts.num_threads = c.threads;
+  return std::make_unique<Engine>(opts);
+}
+
+std::string Render(Engine* engine, const Engine::QueryResult& r) {
+  std::string out;
+  for (size_t i = 0; i < r.rows.size(); ++i) {
+    if (i != 0) out += ";";
+    out += TupleToString(engine->terms(), r.rows[i]);
+  }
+  return out;
+}
+
+/// Runs the same scenario under every (strategy x batch-mode x policy)
+/// config and expects identical answers.
+void ExpectBatchParity(const std::function<void(Engine*)>& setup,
+                       const std::vector<std::string>& goals) {
+  std::vector<std::string> reference;
+  bool first = true;
+  for (const Config& c : AllConfigs()) {
+    std::unique_ptr<Engine> engine = MakeEngine(c);
+    setup(engine.get());
+    std::vector<std::string> answers;
+    for (const std::string& g : goals) {
+      Result<Engine::QueryResult> r = engine->Query(g);
+      ASSERT_TRUE(r.ok()) << g << ": " << r.status();
+      answers.push_back(Render(engine.get(), *r));
+    }
+    if (first) {
+      reference = answers;
+      first = false;
+    } else {
+      EXPECT_EQ(answers, reference)
+          << "strategy=" << static_cast<int>(c.strategy)
+          << " batch=" << static_cast<int>(c.batch)
+          << " policy=" << static_cast<int>(c.policy)
+          << " threads=" << c.threads;
+    }
+  }
+}
+
+TEST(BatchParityTest, JoinChainsAndArithmetic) {
+  std::mt19937 rng(20260809);
+  std::uniform_int_distribution<int> v(0, 40);
+  std::string facts;
+  for (int i = 0; i < 120; ++i) {
+    facts += StrCat("a(", v(rng), ",", v(rng), ").\n");
+    facts += StrCat("b(", v(rng), ",", v(rng), ").\n");
+    if (i % 3 == 0) facts += StrCat("c(", v(rng), ",", v(rng), ").\n");
+  }
+  ExpectBatchParity(
+      [&](Engine* e) {
+        std::string src =
+            "module kb;\n"
+            "edb a(X,Y); edb b(X,Y); edb c(X,Y);\n"
+            // Three-deep keyed chain plus compare binds: the batch runner
+            // must gather keys per lane and evaluate bound arithmetic.
+            "chain(X,W) :- a(X,Y) & b(Y,Z) & c(Z,W).\n"
+            "scaled(X,S) :- a(X,Y) & S = X * 2 + Y & S > 20.\n"
+            // Same-op repeated variable: bind-then-check within one match.
+            "diag(X) :- a(X,X).\n"
+            "cross(X) :- a(X,Y) & b(Y,X).\n" +
+            facts + "end\n";
+        ASSERT_TRUE(e->LoadProgram(src).ok());
+      },
+      {"chain(X,W)", "scaled(X,S)", "diag(X)", "cross(X)", "a(7,Y)"});
+}
+
+TEST(BatchParityTest, NegationShapes) {
+  std::mt19937 rng(4097);
+  std::uniform_int_distribution<int> v(0, 30);
+  std::string facts;
+  for (int i = 0; i < 80; ++i) {
+    facts += StrCat("n(", v(rng), ").\n");
+    if (i % 2 == 0) facts += StrCat("banned(", v(rng), ").\n");
+    if (i % 5 == 0) facts += StrCat("pairs(", v(rng), ",", v(rng), ").\n");
+  }
+  ExpectBatchParity(
+      [&](Engine* e) {
+        std::string src =
+            "module kb;\n"
+            "edb n(X); edb banned(X); edb pairs(X,Y); edb nothing(X);\n"
+            // Keyed negmatch: the negated column is bound.
+            "keep(X) :- n(X) & !banned(X).\n"
+            // Scan negmatch: no bound column, pure existence check.
+            "lonely(X) :- n(X) & !pairs(_,_).\n"
+            // Partially bound negmatch over a binary relation.
+            "nopair(X) :- n(X) & !pairs(X,_).\n"
+            // Negation against a declared-but-empty relation: everything
+            // survives, and the runner must not dereference a null arena.
+            "all(X) :- n(X) & !nothing(X).\n" +
+            facts + "end\n";
+        ASSERT_TRUE(e->LoadProgram(src).ok());
+      },
+      {"keep(X)", "lonely(X)", "nopair(X)", "all(X)"});
+}
+
+TEST(BatchParityTest, RandomRecursiveGraphs) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 3; ++trial) {
+    int n = 15 + trial * 10;
+    std::uniform_int_distribution<int> node(0, n - 1);
+    std::string facts;
+    for (int i = 0; i < n * 3; ++i) {
+      facts += StrCat("edge(", node(rng), ",", node(rng), ").\n");
+    }
+    ExpectBatchParity(
+        [&](Engine* e) {
+          std::string src =
+              "module kb;\nedb edge(X,Y);\n"
+              "path(X,Y) :- edge(X,Y).\n"
+              "path(X,Z) :- path(X,Y) & edge(Y,Z).\n" +
+              facts + "end\n";
+          ASSERT_TRUE(e->LoadProgram(src).ok());
+        },
+        {"path(0,Y)", "path(X,Y)", "path(X,0)"});
+  }
+}
+
+TEST(BatchParityTest, GroupedAggregatesAroundBatches) {
+  std::mt19937 rng(991);
+  std::uniform_int_distribution<int> g(0, 8), v(1, 50);
+  std::vector<std::pair<int, int>> facts;
+  for (int i = 0; i < 150; ++i) facts.emplace_back(g(rng), v(rng));
+  ExpectBatchParity(
+      [&](Engine* e) {
+        for (auto& [grp, val] : facts) {
+          ASSERT_TRUE(e->AddFact(StrCat("m(", grp, ",", val, ").")).ok());
+        }
+        // Matches on both sides of the group_by/aggregate barriers: group
+        // ids must ride through the lane buffers unchanged.
+        ASSERT_TRUE(e->ExecuteStatement(
+                         "tot(G, S) := m(G, V) & group_by(G) & S = sum(V).")
+                        .ok());
+        ASSERT_TRUE(e->ExecuteStatement(
+                         "cnt(G, C) := m(G, V) & V > 10 & group_by(G) & "
+                         "C = count(V).")
+                        .ok());
+      },
+      {"tot(G,S)", "tot(G,S) & S > 100", "cnt(G,C)"});
+}
+
+TEST(BatchParityTest, StructuralPatternsFallBackToTuples) {
+  // Structural column patterns are outside the batch runner's compiled
+  // column actions; under kAlways they must take the tuple path and still
+  // agree, including when mixed with batchable ops in one rule body.
+  ExpectBatchParity(
+      [](Engine* e) {
+        std::string src =
+            "module kb;\nedb shape(S); edb w(X);\n"
+            "area(A) :- shape(rect(W,H)) & A = W * H.\n"
+            "wide(W) :- shape(rect(W,_)) & w(X) & W > X.\n"
+            "shape(rect(3,4)). shape(rect(10,2)). shape(circle(5)).\n"
+            "w(1). w(5). w(9).\n"
+            "end\n";
+        ASSERT_TRUE(e->LoadProgram(src).ok());
+      },
+      {"area(A)", "wide(W)"});
+}
+
+TEST(BatchParityTest, ChunkBoundaryRowCounts) {
+  // Relation sizes straddling the 4096-row arena chunk / batch size: the
+  // last partial batch, an exactly-full batch, and a batch that spills one
+  // lane into a second block must all round-trip.
+  for (int n : {4095, 4096, 4097}) {
+    std::string facts;
+    for (int i = 0; i < n; ++i) {
+      facts += StrCat("big(", i, ",", i % 97, ").\n");
+    }
+    for (auto strategy : {ExecOptions::Strategy::kMaterialized,
+                          ExecOptions::Strategy::kPipelined}) {
+      std::string reference;
+      size_t reference_rows = 0;
+      for (auto batch : {ExecOptions::BatchMode::kOff,
+                         ExecOptions::BatchMode::kAlways}) {
+        std::unique_ptr<Engine> engine =
+            MakeEngine(Config{strategy, batch});
+        std::string src =
+            "module kb;\nedb big(X,Y);\n"
+            "hit(X) :- big(X,Y) & Y < 3.\n"
+            "last(X) :- big(X,Y) & X > " + StrCat(n - 3) + ".\n" +
+            facts + "end\n";
+        ASSERT_TRUE(engine->LoadProgram(src).ok());
+        Result<Engine::QueryResult> all = engine->Query("big(X,Y)");
+        ASSERT_TRUE(all.ok()) << all.status();
+        EXPECT_EQ(all->rows.size(), static_cast<size_t>(n)) << "n=" << n;
+        Result<Engine::QueryResult> hit = engine->Query("hit(X)");
+        Result<Engine::QueryResult> last = engine->Query("last(X)");
+        ASSERT_TRUE(hit.ok() && last.ok());
+        std::string rendered = Render(engine.get(), *hit) + "|" +
+                               Render(engine.get(), *last);
+        if (batch == ExecOptions::BatchMode::kOff) {
+          reference = rendered;
+          reference_rows = all->rows.size();
+        } else {
+          EXPECT_EQ(rendered, reference) << "n=" << n;
+          EXPECT_EQ(all->rows.size(), reference_rows) << "n=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchStatsTest, AlwaysEngagesAndOffDoesNot) {
+  for (auto strategy : {ExecOptions::Strategy::kMaterialized,
+                        ExecOptions::Strategy::kPipelined}) {
+    for (auto batch : {ExecOptions::BatchMode::kOff,
+                       ExecOptions::BatchMode::kAlways}) {
+      std::unique_ptr<Engine> engine = MakeEngine(Config{strategy, batch});
+      for (int i = 0; i < 50; ++i) {
+        ASSERT_TRUE(
+            engine->AddFact(StrCat("e(", i, ",", i + 1, ").")).ok());
+      }
+      Result<Engine::QueryResult> r = engine->Query("e(X,Y) & Y > 10");
+      ASSERT_TRUE(r.ok()) << r.status();
+      if (batch == ExecOptions::BatchMode::kAlways) {
+        EXPECT_GT(engine->exec_stats().batch_segments, 0u);
+        EXPECT_GT(engine->exec_stats().batch_rows, 0u);
+      } else {
+        EXPECT_EQ(engine->exec_stats().batch_segments, 0u);
+        EXPECT_EQ(engine->exec_stats().batch_rows, 0u);
+      }
+    }
+  }
+}
+
+TEST(BatchStatsTest, AutoFollowsPlannerEstimate) {
+  // kAuto (the default) takes the batch path only where the planner's
+  // est_rows clears PlannerOptions::batch_min_work. A 5000-row full scan
+  // qualifies; a 10-row relation does not.
+  Engine big;  // defaults: kAuto, statistics cost model
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(big.AddFact(StrCat("big(", i, ",", i % 7, ").")).ok());
+  }
+  Result<Engine::QueryResult> r = big.Query("big(X,Y) & Y > 3");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GT(big.exec_stats().batch_segments, 0u);
+
+  Engine tiny;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(tiny.AddFact(StrCat("tiny(", i, ",", i % 7, ").")).ok());
+  }
+  Result<Engine::QueryResult> t = tiny.Query("tiny(X,Y) & Y > 3");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(tiny.exec_stats().batch_segments, 0u);
+}
+
+TEST(BatchAccountingTest, ExplainAnalyzeIdenticalAcrossModes) {
+  // EXPLAIN ANALYZE must render byte-identical output in both modes: the
+  // plan (and its batch hints) comes from the same planner, and per-batch
+  // row counting keeps every actual= exact, not approximate.
+  for (auto strategy : {ExecOptions::Strategy::kMaterialized,
+                        ExecOptions::Strategy::kPipelined}) {
+    std::string reference;
+    for (auto batch : {ExecOptions::BatchMode::kOff,
+                       ExecOptions::BatchMode::kAlways}) {
+      std::unique_ptr<Engine> engine = MakeEngine(Config{strategy, batch});
+      for (int i = 0; i < 5000; ++i) {
+        ASSERT_TRUE(
+            engine->AddFact(StrCat("big(", i, ",", i % 97, ").")).ok());
+        if (i % 50 == 0) {
+          ASSERT_TRUE(engine->AddFact(StrCat("sel(", i % 97, ").")).ok());
+        }
+      }
+      ExplainOptions opts;
+      opts.analyze = true;
+      Result<std::string> plan = engine->ExplainStatement(
+          "out(X) := big(X, Y) & sel(Y) & X > 100.", opts);
+      ASSERT_TRUE(plan.ok()) << plan.status();
+      EXPECT_NE(plan->find("actual="), std::string::npos) << *plan;
+      if (batch == ExecOptions::BatchMode::kOff) {
+        reference = *plan;
+      } else {
+        EXPECT_EQ(*plan, reference)
+            << "strategy=" << static_cast<int>(strategy);
+      }
+    }
+  }
+}
+
+TEST(BatchAccountingTest, RowsScannedIdenticalAcrossModes) {
+  // rows_scanned (full-scan rows + index probe-chain rows) must not drift
+  // between modes: the batch runner charges per chunk / per probe exactly
+  // what the tuple loops tick per row. Pinned index policies keep the
+  // adaptive conversion point out of the comparison.
+  for (auto policy : {IndexPolicy::kNeverIndex, IndexPolicy::kAlwaysIndex}) {
+    for (auto strategy : {ExecOptions::Strategy::kMaterialized,
+                          ExecOptions::Strategy::kPipelined}) {
+      uint64_t reference = 0;
+      for (auto batch : {ExecOptions::BatchMode::kOff,
+                         ExecOptions::BatchMode::kAlways}) {
+        std::unique_ptr<Engine> engine =
+            MakeEngine(Config{strategy, batch, policy});
+        for (int i = 0; i < 600; ++i) {
+          ASSERT_TRUE(
+              engine->AddFact(StrCat("d(", i % 37, ",", i, ").")).ok());
+          if (i < 37) {
+            ASSERT_TRUE(engine->AddFact(StrCat("k(", i, ").")).ok());
+          }
+        }
+        Result<Engine::QueryResult> r =
+            engine->Query("k(X) & d(X,Y) & Y > 50");
+        ASSERT_TRUE(r.ok()) << r.status();
+        Result<Engine::QueryResult> neg = engine->Query("k(X) & !d(X,_)");
+        ASSERT_TRUE(neg.ok()) << neg.status();
+        uint64_t scanned = engine->exec_stats().rows_scanned;
+        EXPECT_GT(scanned, 0u);
+        if (batch == ExecOptions::BatchMode::kOff) {
+          reference = scanned;
+        } else {
+          EXPECT_EQ(scanned, reference)
+              << "policy=" << static_cast<int>(policy)
+              << " strategy=" << static_cast<int>(strategy);
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchAccountingTest, BudgetCatchesAccumulatedSmallProbes) {
+  // Satellite regression for the unified per-batch row accounting: no
+  // single probe chain here comes near kRowCheckInterval (each key chains
+  // 60 rows), but 100 probes accumulate past it, and the deferred check
+  // must still enforce the budget — small charges cannot slip under a
+  // per-call threshold because there is no per-call threshold.
+  for (auto batch : {ExecOptions::BatchMode::kOff,
+                     ExecOptions::BatchMode::kAlways}) {
+    EngineOptions opts;
+    opts.exec.batch_mode = batch;
+    opts.index_policy = IndexPolicy::kAlwaysIndex;
+    Engine engine(opts);
+    for (int key = 0; key < 100; ++key) {
+      ASSERT_TRUE(engine.AddFact(StrCat("k(", key, ").")).ok());
+      for (int j = 0; j < 60; ++j) {
+        ASSERT_TRUE(
+            engine.AddFact(StrCat("d(", key, ",", j, ").")).ok());
+      }
+    }
+    QueryOptions qopts;
+    qopts.limits.max_rows_scanned = 1000;
+    Result<Engine::QueryResult> r = engine.Query("k(X) & d(X,Y)", qopts);
+    EXPECT_TRUE(r.status().IsResourceExhausted())
+        << "batch=" << static_cast<int>(batch) << ": " << r.status();
+    // The same query fits comfortably under a budget sized for it.
+    qopts.limits.max_rows_scanned = 50'000;
+    Result<Engine::QueryResult> ok = engine.Query("k(X) & d(X,Y)", qopts);
+    ASSERT_TRUE(ok.ok()) << ok.status();
+    EXPECT_EQ(ok->rows.size(), 6000u);
+  }
+}
+
+}  // namespace
+}  // namespace gluenail

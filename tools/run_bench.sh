@@ -13,6 +13,9 @@
 #   tools/run_bench.sh bench_server    # wire protocol vs in-process,
 #                                      # 1..16 concurrent socket clients
 #                                      #   -> BENCH_server.json
+#   tools/run_bench.sh bench_vector    # batch vs tuple execution A/B at
+#                                      # 10k/100k/1M rows
+#                                      #   -> BENCH_vector.json
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"

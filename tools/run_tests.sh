@@ -11,6 +11,9 @@
 #   server — Debug build, runs only the server-labelled service-layer
 #            suite (framing, codecs, end-to-end socket tests); the same
 #            tests also run under tsan via their tsan label
+#   vector — Debug build, runs only the vector-labelled batch-vs-tuple
+#            differential suite; the same tests also run under asan and
+#            tsan via their labels
 #
 # Usage: tools/run_tests.sh [config ...]
 #   tools/run_tests.sh                # debug + asan + ubsan + tsan
@@ -66,8 +69,12 @@ run_config() {
       configure_and_build "$prefix-debug" -DCMAKE_BUILD_TYPE=Debug
       (cd "$prefix-debug" && ctest --output-on-failure -L server -j)
       ;;
+    vector)
+      configure_and_build "$prefix-debug" -DCMAKE_BUILD_TYPE=Debug
+      (cd "$prefix-debug" && ctest --output-on-failure -L vector -j)
+      ;;
     *)
-      echo "error: unknown config '$config' (debug|asan|ubsan|tsan|fault|obs|server)" >&2
+      echo "error: unknown config '$config' (debug|asan|ubsan|tsan|fault|obs|server|vector)" >&2
       exit 1
       ;;
   esac
