@@ -200,19 +200,15 @@ Response Session::Execute(const Command& cmd) {
     case CommandKind::kMutate: {
       Response resp;
       if (!cmd.batch.empty()) {
-        MutationBatch::ApplyReport report;
-        Status s = engine_->Mutate(
-            [&](Database* edb, Database* /*idb*/, TermPool* pool) -> Status {
-              Result<MutationBatch::ApplyReport> r =
-                  cmd.batch.Apply(edb, pool);
-              if (!r.ok()) return r.status();
-              report = *r;
-              return Status::OK();
-            });
-        if (!s.ok()) return Response::Error(std::move(s));
-        resp.applied = report.applied;
-        resp.inserted = report.inserted;
-        resp.erased = report.erased;
+        // The durable write path: when a WAL is configured the batch is
+        // logged (and, per the durability level, fsynced) before this
+        // returns; otherwise it is a plain in-memory apply.
+        Result<MutationBatch::ApplyReport> r =
+            engine_->ApplyBatch(cmd.batch);
+        if (!r.ok()) return Response::Error(r.status());
+        resp.applied = r->applied;
+        resp.inserted = r->inserted;
+        resp.erased = r->erased;
       }
       if (!cmd.statement.empty()) {
         Status s = engine_->ExecuteStatement(cmd.statement,

@@ -1,9 +1,11 @@
 #include "src/api/engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "src/analysis/binding.h"
 #include "src/api/session.h"
@@ -60,7 +62,16 @@ Engine::Engine(EngineOptions options)
   RegisterBuiltinMetrics();
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  // Stop the group-commit pump first (it never takes state_mu_, so this
+  // cannot deadlock with the drain below), then flush the tail of the log
+  // so a clean shutdown loses nothing even under kAsync (best effort —
+  // the Wal destructor fsyncs too, but draining here also settles the
+  // commit mirrors while waiters could still exist).
+  StopCommitPump();
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  if (WalActiveLocked()) (void)DrainCommitsLocked();
+}
 
 void Engine::RegisterBuiltinMetrics() {
   // Engine-owned handles: updated on the query path with single relaxed
@@ -208,6 +219,68 @@ void Engine::RegisterBuiltinMetrics() {
       "gluenail_persist_load_failures_total", "failed database file loads",
       [] {
         return GlobalPersistenceCounters().load_failures.load(
+            std::memory_order_relaxed);
+      });
+
+  // Durability: engine-owned commit counters plus pulls over the WAL's and
+  // the recovery layer's own counters. wal_ is guarded like executor_: the
+  // callbacks run under DumpMetrics' shared lock, and only exclusive
+  // holders replace the pointer.
+  m_wal_commits_ = metrics_.RegisterCounter(
+      "gluenail_wal_commits_total",
+      "mutation batches committed through the WAL write path");
+  m_wal_commit_failures_ = metrics_.RegisterCounter(
+      "gluenail_wal_commit_failures_total",
+      "mutation batches rejected or not made durable");
+  m_checkpoints_ = metrics_.RegisterCounter(
+      "gluenail_checkpoints_total", "checkpoint saves with WAL rotation");
+  m_wal_group_size_ = metrics_.RegisterHistogram(
+      "gluenail_wal_group_commit_batches",
+      "batches made durable per fsync (group-commit amortization)");
+  auto wal_count = [this](std::atomic<uint64_t> WalCounters::* field) {
+    return [this, field]() -> uint64_t {
+      return wal_ != nullptr
+                 ? (wal_->counters().*field).load(std::memory_order_relaxed)
+                 : 0;
+    };
+  };
+  metrics_.RegisterPullCounter("gluenail_wal_appends_total",
+                               "records appended to the WAL",
+                               wal_count(&WalCounters::appends));
+  metrics_.RegisterPullCounter("gluenail_wal_appended_bytes_total",
+                               "bytes appended to the WAL",
+                               wal_count(&WalCounters::appended_bytes));
+  metrics_.RegisterPullCounter("gluenail_wal_append_failures_total",
+                               "failed WAL appends",
+                               wal_count(&WalCounters::append_failures));
+  metrics_.RegisterPullCounter("gluenail_wal_syncs_total", "WAL fsyncs",
+                               wal_count(&WalCounters::syncs));
+  metrics_.RegisterPullCounter("gluenail_wal_sync_failures_total",
+                               "failed WAL fsyncs (log marked broken)",
+                               wal_count(&WalCounters::sync_failures));
+  metrics_.RegisterPullCounter("gluenail_wal_rotations_total",
+                               "WAL rotations behind checkpoints",
+                               wal_count(&WalCounters::rotations));
+  metrics_.RegisterPullCounter(
+      "gluenail_recovery_runs_total", "successful crash recoveries", [] {
+        return GlobalRecoveryCounters().recoveries.load(
+            std::memory_order_relaxed);
+      });
+  metrics_.RegisterPullCounter(
+      "gluenail_recovery_failures_total", "failed crash recoveries", [] {
+        return GlobalRecoveryCounters().failures.load(
+            std::memory_order_relaxed);
+      });
+  metrics_.RegisterPullCounter(
+      "gluenail_recovery_records_replayed_total",
+      "WAL records replayed during recovery", [] {
+        return GlobalRecoveryCounters().records_replayed.load(
+            std::memory_order_relaxed);
+      });
+  metrics_.RegisterPullCounter(
+      "gluenail_recovery_torn_bytes_total",
+      "torn-tail bytes discarded during recovery", [] {
+        return GlobalRecoveryCounters().torn_bytes.load(
             std::memory_order_relaxed);
       });
 }
@@ -667,8 +740,15 @@ Result<std::string> Engine::ExplainStatement(std::string_view statement,
 }
 
 Status Engine::AddFact(std::string_view fact) {
-  std::unique_lock<std::shared_mutex> lock(state_mu_);
-  return AddFactLocked(fact);
+  {
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    if (!WalActiveLocked()) return AddFactLocked(fact);
+  }
+  // Durability on: route through the logged write path so ad-hoc facts
+  // honor the same ack promise as wire-protocol batches.
+  MutationBatch batch;
+  batch.Insert(fact);
+  return ApplyBatch(batch).status();
 }
 
 Status Engine::AddFactLocked(std::string_view fact) {
@@ -713,23 +793,42 @@ EngineSnapshot Engine::SnapshotLocked() {
   snap.pool_ = &pool_;
   snap.edb_ = edb_.Snapshot();
   snap.idb_ = idb_.Snapshot();
+  snap.guard_ = snapshot_token_;
   return snap;
 }
 
 Status Engine::SaveEdbFile(const std::string& path) {
   std::unique_lock<std::shared_mutex> lock(state_mu_);
+  // Flush in-flight commits first so the saved image is at or ahead of the
+  // log's durable point (ignore a broken log — memory is the truth, and
+  // the save captures it either way).
+  if (WalActiveLocked()) (void)DrainCommitsLocked();
   return SaveDatabaseToFile(edb_, path);
 }
 
 Status Engine::LoadEdbFile(const std::string& path) {
-  std::unique_lock<std::shared_mutex> lock(state_mu_);
-  return LoadDatabaseFromFile(&edb_, path);
+  return LoadEdbFile(path, LoadOptions{}).status();
 }
 
 Result<LoadReport> Engine::LoadEdbFile(const std::string& path,
                                        const LoadOptions& options) {
   std::unique_lock<std::shared_mutex> lock(state_mu_);
-  return LoadDatabaseFromFile(&edb_, path, options);
+  // Loading replaces relation contents out from under point-in-time
+  // readers' feet semantically (their copies stay valid, but the engine
+  // jumps to a different history mid-conversation) — refuse, like
+  // Recover().
+  const long live = snapshot_token_.use_count() - 1;
+  if (live > 0) {
+    return Status::InvalidArgument(
+        StrCat("cannot load an EDB while ", live,
+               " live snapshot(s) are outstanding; drop them first"));
+  }
+  GLUENAIL_ASSIGN_OR_RETURN(LoadReport report,
+                            LoadDatabaseFromFile(&edb_, path, options));
+  // Loaded facts bypassed the log; checkpoint immediately so the durable
+  // state includes them (otherwise a crash would silently undo the load).
+  if (WalActiveLocked()) GLUENAIL_RETURN_NOT_OK(CheckpointLocked());
+  return report;
 }
 
 Result<std::vector<Tuple>> Engine::RelationContents(
@@ -792,6 +891,434 @@ StorageStats Engine::StorageStatsNoLock() const {
   edb_.ForEach(add);
   idb_.ForEach(add);
   return out;
+}
+
+// --- Durability ------------------------------------------------------------
+//
+// Lock protocol. state_mu_ (outer) -> commit_mu_ (inner) -> the Wal's own
+// mutex (innermost). Commit *leaders* — the thread that fsyncs for a group,
+// and the kAsync piggyback syncer — hold only the commit_leader_ flag and
+// the Wal's internals, never state_mu_, which is what makes
+// DrainCommitsLocked (called with state_mu_ exclusive) deadlock-free: it
+// waits for the flag to clear, and the flag's owner needs nothing we hold.
+// Rotating or resetting wal_ happens only under state_mu_ *after* a drain,
+// so no leader can be mid-fsync on a closing fd.
+
+std::string Engine::checkpoint_path() const {
+  return StrCat(options_.data_dir, "/checkpoint.facts");
+}
+
+std::string Engine::wal_path() const {
+  return StrCat(options_.data_dir, "/wal.log");
+}
+
+uint64_t Engine::durable_lsn() const {
+  std::lock_guard<std::mutex> ql(commit_mu_);
+  return commit_durable_;
+}
+
+std::optional<RecoveryReport> Engine::last_recovery() const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return last_recovery_;
+}
+
+Result<MutationBatch::ApplyReport> Engine::ApplyBatch(
+    const MutationBatch& batch) {
+  if (batch.empty()) return MutationBatch::ApplyReport{};
+  auto commit_failed = [this](Status s) -> Status {
+    if (!s.ok() && m_wal_commit_failures_ != nullptr) {
+      m_wal_commit_failures_->Add();
+    }
+    return s;
+  };
+
+  uint64_t lsn = 0;
+  Result<MutationBatch::ApplyReport> applied =
+      MutationBatch::ApplyReport{};
+  {
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    if (!WalActiveLocked()) {
+      // Durability off: the batch is just a structured multi-op apply.
+      return batch.Apply(&edb_, &pool_);
+    }
+    // Write-ahead: validate (so a malformed batch is never logged), log,
+    // then apply to memory. The apply happens before the ack wait so the
+    // writer lock is released during the fsync — the whole point of group
+    // commit.
+    GLUENAIL_RETURN_NOT_OK(commit_failed(batch.Validate(&pool_)));
+    Result<uint64_t> appended = wal_->Append(batch);
+    if (!appended.ok()) {
+      std::lock_guard<std::mutex> ql(commit_mu_);
+      commit_broken_ = commit_broken_ || wal_->broken();
+      commit_cv_.notify_all();
+      return commit_failed(appended.status());
+    }
+    lsn = *appended;
+    {
+      std::lock_guard<std::mutex> ql(commit_mu_);
+      if (lsn > commit_appended_) commit_appended_ = lsn;
+      if (pump_running_) pump_cv_.notify_one();
+    }
+    if (options_.durability == DurabilityLevel::kSync) {
+      // The per-batch baseline: fsync inside the writer lock, commits
+      // fully serialized. Group commit is benchmarked against this.
+      Status synced = wal_->Sync();
+      {
+        std::lock_guard<std::mutex> ql(commit_mu_);
+        if (wal_->durable_lsn() > commit_durable_) {
+          commit_durable_ = wal_->durable_lsn();
+        }
+        commit_broken_ = commit_broken_ || wal_->broken();
+        commit_cv_.notify_all();
+      }
+      GLUENAIL_RETURN_NOT_OK(commit_failed(std::move(synced)));
+      if (m_wal_group_size_ != nullptr) m_wal_group_size_->Observe(1);
+    }
+    applied = batch.Apply(&edb_, &pool_);
+    if (!applied.ok()) {
+      // Validate passed, so this cannot happen short of an engine bug —
+      // but if it does, the log now has a record memory does not reflect.
+      return commit_failed(applied.status().WithContext(
+          "applied to log but not memory; recovery will replay it"));
+    }
+  }
+
+  switch (options_.durability) {
+    case DurabilityLevel::kGroupCommit:
+      GLUENAIL_RETURN_NOT_OK(commit_failed(WaitDurable(lsn)));
+      break;
+    case DurabilityLevel::kAsync:
+      MaybeAsyncSync();
+      break;
+    case DurabilityLevel::kSync:
+    case DurabilityLevel::kNone:
+      break;
+  }
+  if (m_wal_commits_ != nullptr) m_wal_commits_->Add();
+  return applied;
+}
+
+Status Engine::WaitDurable(uint64_t lsn) {
+  std::unique_lock<std::mutex> ql(commit_mu_);
+  for (;;) {
+    if (commit_durable_ >= lsn) return Status::OK();
+    if (commit_broken_) {
+      return Status::IoError(StrCat(
+          "wal is broken; commit lsn=", lsn,
+          " is applied in memory but NOT durable — checkpoint to heal"));
+    }
+    if (!pump_running_ && !commit_leader_) {
+      // No pump (it starts when the WAL opens in kGroupCommit mode, so
+      // this is the bootstrap/fallback path): become the group's leader
+      // and issue one fsync for everyone appended so far. Committers that
+      // append while this leader waits on the disk park as followers and
+      // are absorbed into the next group — the in-flight fsync is itself
+      // a group window.
+      commit_leader_ = true;
+      LingerForGroupLocked(ql);
+      if (commit_broken_) {
+        commit_leader_ = false;
+        commit_cv_.notify_all();
+        continue;  // re-enter the broken branch above
+      }
+      const uint64_t durable_before = commit_durable_;
+      ql.unlock();
+      Status synced = wal_->Sync();
+      ql.lock();
+      commit_leader_ = false;
+      if (wal_->durable_lsn() > commit_durable_) {
+        commit_durable_ = wal_->durable_lsn();
+      }
+      commit_broken_ = commit_broken_ || wal_->broken();
+      if (m_wal_group_size_ != nullptr &&
+          commit_durable_ > durable_before) {
+        m_wal_group_size_->Observe(commit_durable_ - durable_before);
+      }
+      commit_cv_.notify_all();
+      if (!synced.ok() && commit_durable_ < lsn) return synced;
+      continue;
+    }
+    // Follow: wait for the durable LSN to advance past us, the log to
+    // break, or (when no pump runs) the leader seat to free up. With the
+    // pump running the ack arrives on fsync cadence — around a hundred
+    // microseconds — so a bounded yield-spin beats a futex park+wake:
+    // yielding hands the CPU straight to the pump or a fellow committer,
+    // and the whole group re-enters without paying per-thread wakeup
+    // latency. Park on the cv only if the spin overruns a few fsyncs'
+    // worth of time (slow disk, overloaded box).
+    if (pump_running_) {
+      constexpr auto kSpinCap = std::chrono::microseconds(1000);
+      const auto spin_deadline = std::chrono::steady_clock::now() + kSpinCap;
+      ql.unlock();
+      bool done = false;
+      for (;;) {
+        // Lock-free poll: commit_durable_ is atomic precisely so this
+        // spin never touches commit_mu_ (a broken log or a stopped pump
+        // is caught by the locked re-check after the spin ends).
+        if (commit_durable_.load(std::memory_order_acquire) >= lsn) {
+          done = true;
+          break;
+        }
+        if (std::chrono::steady_clock::now() >= spin_deadline) break;
+        std::this_thread::yield();
+      }
+      ql.lock();
+      if (done || commit_broken_) continue;  // re-enter the checks on top
+    }
+    commit_cv_.wait(ql, [this, lsn] {
+      return commit_durable_ >= lsn || commit_broken_ ||
+             (!pump_running_ && !commit_leader_);
+    });
+  }
+}
+
+void Engine::LingerForGroupLocked(std::unique_lock<std::mutex>& ql) {
+  if (options_.wal_group_linger.count() <= 0) return;
+  // Yield-spin rather than a timed cv wait: the arrivals being collected
+  // land microseconds apart, far below what timed waits can resolve. The
+  // grace window refreshes on every new append and the lock is dropped
+  // between checks so appenders can land.
+  constexpr auto kGrace = std::chrono::microseconds(5);
+  const auto start = std::chrono::steady_clock::now();
+  const auto cap = start + options_.wal_group_linger;
+  auto grace_end = start + kGrace;
+  uint64_t group_end = commit_appended_;
+  while (!commit_broken_) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= cap || now >= grace_end) break;
+    ql.unlock();
+    std::this_thread::yield();
+    ql.lock();
+    if (commit_appended_ > group_end) {
+      group_end = commit_appended_;
+      grace_end = std::chrono::steady_clock::now() + kGrace;
+    }
+  }
+}
+
+void Engine::CommitPump() {
+  std::unique_lock<std::mutex> ql(commit_mu_);
+  for (;;) {
+    pump_cv_.wait(ql, [this] {
+      return pump_stop_ || (!commit_broken_ && !commit_leader_ &&
+                            commit_durable_ < commit_appended_);
+    });
+    if (pump_stop_) return;
+    // Claim the leader seat in the same critical section the wait
+    // released in — DrainCommitsLocked and the kAsync piggyback syncer
+    // respect it, and holding it is what keeps Rotate from closing the fd
+    // under the fsync below (rotation needs state_mu_ plus a drain, and
+    // the drain waits for this seat).
+    commit_leader_ = true;
+    LingerForGroupLocked(ql);
+    const uint64_t durable_before = commit_durable_;
+    ql.unlock();
+    Status synced = wal_->Sync();
+    (void)synced;  // a failure surfaces as commit_broken_ below
+    ql.lock();
+    commit_leader_ = false;
+    if (wal_->durable_lsn() > commit_durable_) {
+      commit_durable_ = wal_->durable_lsn();
+    }
+    commit_broken_ = commit_broken_ || wal_->broken();
+    if (m_wal_group_size_ != nullptr && commit_durable_ > durable_before) {
+      m_wal_group_size_->Observe(commit_durable_ - durable_before);
+    }
+    commit_cv_.notify_all();
+    // Loop straight into the next wait: if commits landed during the
+    // fsync, the predicate is already true and the next fsync starts
+    // immediately — the in-flight fsync is the group window, and
+    // back-to-back fsyncs fully overlap follower wakeup and re-entry.
+  }
+}
+
+void Engine::StartCommitPumpLocked() {
+  std::lock_guard<std::mutex> ql(commit_mu_);
+  if (pump_running_) return;
+  pump_running_ = true;
+  pump_stop_ = false;
+  commit_pump_ = std::thread([this] { CommitPump(); });
+}
+
+void Engine::StopCommitPump() {
+  {
+    std::lock_guard<std::mutex> ql(commit_mu_);
+    if (!pump_running_) return;
+    pump_stop_ = true;
+    pump_cv_.notify_one();
+  }
+  commit_pump_.join();
+  std::lock_guard<std::mutex> ql(commit_mu_);
+  pump_running_ = false;
+  pump_stop_ = false;
+  // Any still-parked waiter may now self-elect as a leader.
+  commit_cv_.notify_all();
+}
+
+void Engine::MaybeAsyncSync() {
+  const int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count();
+  const int64_t interval =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          options_.wal_fsync_interval)
+          .count();
+  int64_t last = last_async_sync_ns_.load(std::memory_order_relaxed);
+  if (now - last < interval) return;
+  if (!last_async_sync_ns_.compare_exchange_strong(
+          last, now, std::memory_order_relaxed)) {
+    return;  // another committer claimed this interval's sync
+  }
+  {
+    std::lock_guard<std::mutex> ql(commit_mu_);
+    // Take the leader seat so Rotate can never close the fd under our
+    // fsync; skip entirely if someone is already syncing.
+    if (commit_leader_ || commit_broken_ ||
+        commit_durable_ >= commit_appended_) {
+      return;
+    }
+    commit_leader_ = true;
+  }
+  Status synced = wal_->Sync();  // errors surface as broken on next commit
+  (void)synced;
+  std::lock_guard<std::mutex> ql(commit_mu_);
+  commit_leader_ = false;
+  if (wal_->durable_lsn() > commit_durable_) {
+    commit_durable_ = wal_->durable_lsn();
+  }
+  commit_broken_ = commit_broken_ || wal_->broken();
+  commit_cv_.notify_all();
+}
+
+Status Engine::DrainCommitsLocked() {
+  if (!WalActiveLocked()) return Status::OK();
+  std::unique_lock<std::mutex> ql(commit_mu_);
+  commit_cv_.wait(ql, [this] { return !commit_leader_; });
+  Status synced;
+  if (!commit_broken_ && commit_durable_ < commit_appended_) {
+    // Claim the seat in the same critical section the wait released in,
+    // so no parked waiter can slip in between check and claim.
+    commit_leader_ = true;
+    ql.unlock();
+    synced = wal_->Sync();
+    ql.lock();
+    commit_leader_ = false;
+    if (wal_->durable_lsn() > commit_durable_) {
+      commit_durable_ = wal_->durable_lsn();
+    }
+    commit_broken_ = commit_broken_ || wal_->broken();
+    commit_cv_.notify_all();
+  }
+  // After this point no new leader can appear until state_mu_ is released:
+  // every parked waiter's LSN is either durable (exits OK) or the log is
+  // broken (exits with the error), and new appends need state_mu_.
+  if (!synced.ok()) return synced.WithContext("draining wal commits");
+  if (commit_broken_) {
+    return Status::IoError("wal is broken; checkpoint to heal");
+  }
+  return Status::OK();
+}
+
+Status Engine::Checkpoint() {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  return CheckpointLocked();
+}
+
+Status Engine::CheckpointLocked() {
+  if (options_.data_dir.empty()) {
+    return Status::InvalidArgument(
+        "Checkpoint needs EngineOptions::data_dir");
+  }
+  // Drain best-effort: a broken log is exactly what a checkpoint heals
+  // (memory is the truth and the image below captures it), so drain
+  // errors do not stop the save.
+  if (WalActiveLocked()) (void)DrainCommitsLocked();
+  GLUENAIL_RETURN_NOT_OK(SaveDatabaseToFile(edb_, checkpoint_path()));
+  if (options_.durability != DurabilityLevel::kNone) {
+    if (WalActiveLocked()) {
+      GLUENAIL_RETURN_NOT_OK(wal_->Rotate(wal_->next_lsn()));
+    } else {
+      // Durability configured but Recover() never ran (fresh directory
+      // bootstrap): bring the log up now.
+      GLUENAIL_ASSIGN_OR_RETURN(wal_, Wal::Create(wal_path(), 1));
+    }
+    std::lock_guard<std::mutex> ql(commit_mu_);
+    // Everything appended so far is durable *via the checkpoint image*,
+    // including batches whose fsync failed: heal the broken flag and
+    // release any still-parked waiters.
+    if (commit_appended_ > commit_durable_) {
+      commit_durable_ = commit_appended_;
+    }
+    commit_broken_ = false;
+    commit_cv_.notify_all();
+  }
+  if (WalActiveLocked() &&
+      options_.durability == DurabilityLevel::kGroupCommit) {
+    StartCommitPumpLocked();  // idempotent; covers the bootstrap path
+  }
+  if (m_checkpoints_ != nullptr) m_checkpoints_->Add();
+  return Status::OK();
+}
+
+Result<RecoveryReport> Engine::Recover() {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  if (options_.data_dir.empty()) {
+    return Status::InvalidArgument("Recover needs EngineOptions::data_dir");
+  }
+  // Refuse while point-in-time readers are live: their copies would stay
+  // valid, but the engine swapping to a different history underneath a
+  // reader mid-conversation is exactly the confusion snapshots exist to
+  // prevent.
+  const long live = snapshot_token_.use_count() - 1;
+  if (live > 0) {
+    return Status::InvalidArgument(
+        StrCat("cannot recover while ", live,
+               " live snapshot(s) are outstanding; drop them first"));
+  }
+  if (WalActiveLocked()) (void)DrainCommitsLocked();
+  wal_.reset();
+  {
+    std::lock_guard<std::mutex> ql(commit_mu_);
+    commit_appended_ = 0;
+    commit_durable_ = 0;
+    commit_broken_ = false;
+  }
+  // Clear in place so relation version counters stay monotone — cached
+  // NAIL! memos and relation snapshots key off versions, and a fresh
+  // Database would reset them.
+  edb_.ForEach([](TermId, uint32_t, Relation* rel) { rel->Clear(); });
+  idb_.ForEach([](TermId, uint32_t, Relation* rel) { rel->Clear(); });
+  if (nail_engine_ != nullptr) nail_engine_->Invalidate();
+
+  RecoveryOptions ropts;
+  ropts.mode = options_.wal_recovery;
+  GLUENAIL_ASSIGN_OR_RETURN(
+      RecoveryReport report,
+      RecoverDatabase(&edb_, &pool_, checkpoint_path(), wal_path(), ropts));
+
+  if (options_.durability != DurabilityLevel::kNone) {
+    if (report.needs_reset) {
+      // The old log is damaged past repair: capture the salvaged truth as
+      // a fresh checkpoint and rotate to a clean log.
+      GLUENAIL_RETURN_NOT_OK(SaveDatabaseToFile(edb_, checkpoint_path()));
+      GLUENAIL_ASSIGN_OR_RETURN(
+          wal_, Wal::Create(wal_path(), report.last_lsn + 1));
+    } else {
+      GLUENAIL_ASSIGN_OR_RETURN(
+          wal_, Wal::Open(wal_path(), report.last_lsn + 1));
+    }
+    {
+      std::lock_guard<std::mutex> ql(commit_mu_);
+      commit_appended_ = wal_->next_lsn() - 1;
+      commit_durable_ = wal_->durable_lsn();
+      commit_broken_ = false;
+    }
+    if (options_.durability == DurabilityLevel::kGroupCommit) {
+      StartCommitPumpLocked();
+    }
+  }
+  last_recovery_ = report;
+  return report;
 }
 
 }  // namespace gluenail

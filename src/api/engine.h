@@ -25,9 +25,14 @@
 #ifndef GLUENAIL_API_ENGINE_H_
 #define GLUENAIL_API_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <optional>
 #include <shared_mutex>
 #include <string>
@@ -41,8 +46,11 @@
 #include "src/obs/slow_query.h"
 #include "src/obs/trace.h"
 #include "src/storage/database.h"
+#include "src/storage/mutation_batch.h"
 #include "src/storage/persistence.h"
+#include "src/storage/recovery.h"
 #include "src/storage/snapshot.h"
+#include "src/storage/wal.h"
 
 namespace gluenail {
 
@@ -115,6 +123,12 @@ class EngineSnapshot {
   const TermPool* pool_ = nullptr;
   DatabaseSnapshot edb_;
   DatabaseSnapshot idb_;
+  /// Liveness token shared with the engine: while any snapshot copy is
+  /// alive, Engine::Recover refuses to swap the state out from under it
+  /// (the contents stay *valid* — relation data is copied — but readers
+  /// holding a snapshot mid-conversation should not silently observe the
+  /// engine jump to a different history).
+  std::shared_ptr<const int> guard_;
 };
 
 class Engine {
@@ -222,6 +236,40 @@ class Engine {
   Result<LoadReport> LoadEdbFile(const std::string& path,
                                  const LoadOptions& options);
 
+  // --- Durability (EngineOptions::data_dir + durability) ------------------
+
+  /// Applies a MutationBatch with the configured durability: the batch is
+  /// validated, appended to the WAL, applied to the EDB, and the call
+  /// returns only once the ack's promise holds (kGroupCommit/kSync: the
+  /// record is fsynced; kAsync: it is logged; kNone / no WAL: it is
+  /// applied). This is the single write path the wire protocol, the REPL,
+  /// and AddFact share when durability is on.
+  Result<MutationBatch::ApplyReport> ApplyBatch(const MutationBatch& batch);
+
+  /// Rebuilds the EDB from the data directory: loads the checkpoint,
+  /// replays the WAL tail (EngineOptions::wal_recovery decides how much
+  /// damage is tolerated), and opens the log for appending. Refuses while
+  /// live EngineSnapshots are outstanding — readers must drop their views
+  /// of the old history first. Call once at boot, before serving.
+  Result<RecoveryReport> Recover();
+
+  /// Writes an atomic checkpoint of the EDB to the data directory and
+  /// rotates the WAL behind it (drains in-flight commits first). A broken
+  /// log (failed sync) is healed by this: the checkpoint captures the
+  /// in-memory truth and the rotation gives it a fresh file.
+  Status Checkpoint();
+
+  /// The open WAL, or nullptr when durability is off. The pointer stays
+  /// valid while the engine is alive (Rotate happens in place).
+  const Wal* wal() const { return wal_.get(); }
+  /// Highest LSN known durable (0 = no WAL or nothing synced).
+  uint64_t durable_lsn() const;
+  /// The report of the last successful Recover(), if any.
+  std::optional<RecoveryReport> last_recovery() const;
+  /// Paths derived from EngineOptions::data_dir.
+  std::string checkpoint_path() const;
+  std::string wal_path() const;
+
   /// Sorted contents of an EDB relation or NAIL! predicate instance.
   Result<std::vector<Tuple>> RelationContents(std::string_view name_term,
                                               uint32_t arity);
@@ -313,6 +361,37 @@ class Engine {
       std::string_view name_term, uint32_t arity);
   EngineSnapshot SnapshotLocked();
 
+  // --- Durability internals (see ApplyBatch in engine.cc for the lock
+  // protocol: state_mu_ -> commit_mu_ nests; commit leaders take only
+  // commit_mu_ + the WAL's internal mutex, never state_mu_) ---------------
+  /// True when a WAL is open and mutations must be logged.
+  bool WalActiveLocked() const { return wal_ != nullptr; }
+  /// Blocks until every appended LSN is durable (or the log is broken).
+  /// Called with state_mu_ held exclusively — safe because commit leaders
+  /// never take state_mu_, so they can finish while we wait.
+  Status DrainCommitsLocked();
+  /// Group-commit wait: returns once \p lsn is durable. While the commit
+  /// pump runs, committers are pure followers; without it (pump not yet
+  /// started, or after a failed start) waiters elect a leader among
+  /// themselves that syncs once for the whole group and wakes everyone.
+  Status WaitDurable(uint64_t lsn);
+  /// kAsync: piggybacked background sync, at most once per fsync interval.
+  void MaybeAsyncSync();
+  /// Optional pre-fsync linger (wal_group_linger > 0): yield-spins with
+  /// commit_mu_ dropped between checks, extending while new appends keep
+  /// arriving. \p ql must hold commit_mu_ and holds it again on return.
+  void LingerForGroupLocked(std::unique_lock<std::mutex>& ql);
+  /// The kGroupCommit syncer thread: back-to-back fsyncs whenever there
+  /// are unsynced appends, so the in-flight fsync is the group window —
+  /// commits landing during one fsync are absorbed into the next.
+  void CommitPump();
+  /// Starts the pump once (kGroupCommit; called when the WAL opens).
+  void StartCommitPumpLocked();
+  /// Stops and joins the pump; called before teardown drains.
+  void StopCommitPump();
+  /// Checkpoint body; requires state_mu_ held exclusively.
+  Status CheckpointLocked();
+
   /// Single-writer / shared-reader lock over all engine state. Engine
   /// methods hold it exclusively; Session reads hold it shared.
   mutable std::shared_mutex state_mu_;
@@ -332,6 +411,42 @@ class Engine {
   IoEnv io_;
   CompileStats compile_stats_;
 
+  // --- Durability --------------------------------------------------------
+  /// Open WAL (null when durability is off). Guarded by state_mu_ for
+  /// open/rotate/reset; Append/Sync are internally synchronized so commit
+  /// leaders use it without state_mu_.
+  std::unique_ptr<Wal> wal_;
+  /// Group-commit state. commit_mu_ nests *inside* state_mu_; the
+  /// condition variable carries both "a new group leader may be needed"
+  /// and "the durable LSN advanced".
+  mutable std::mutex commit_mu_;
+  std::condition_variable commit_cv_;
+  /// Mirrors of the WAL's progress, maintained under commit_mu_ so waiters
+  /// never need the WAL's own mutex.
+  uint64_t commit_appended_ = 0;  ///< highest LSN appended
+  /// Highest LSN fsynced. Written under commit_mu_ like the rest, but
+  /// atomic so WaitDurable's follower spin can poll it without taking the
+  /// lock — eight spinners hammering commit_mu_ would starve the pump's
+  /// post-fsync mirror update, which is exactly what they are waiting for.
+  std::atomic<uint64_t> commit_durable_{0};
+  bool commit_broken_ = false;    ///< sticky mirror of wal_->broken()
+  bool commit_leader_ = false;    ///< a leader (pump/async/drain) owns the fd
+  /// Last piggybacked async sync, for kAsync's interval gate
+  /// (steady_clock ns; atomic so the check needs no lock).
+  std::atomic<int64_t> last_async_sync_ns_{0};
+  /// kGroupCommit's dedicated syncer (see CommitPump). pump_cv_ is the
+  /// pump's wake channel: group-commit appends nudge it after updating
+  /// commit_appended_. pump_running_ is guarded by commit_mu_.
+  std::thread commit_pump_;
+  std::condition_variable pump_cv_;
+  bool pump_running_ = false;
+  bool pump_stop_ = false;
+  /// Live-snapshot guard: SnapshotLocked hands each EngineSnapshot a copy;
+  /// use_count() - 1 is the number of outstanding snapshots Recover must
+  /// refuse over.
+  std::shared_ptr<const int> snapshot_token_ = std::make_shared<int>(0);
+  std::optional<RecoveryReport> last_recovery_;
+
   // --- Observability -----------------------------------------------------
   MetricsRegistry metrics_;
   TraceRing trace_ring_;
@@ -342,6 +457,12 @@ class Engine {
   Counter* m_traced_queries_ = nullptr;
   Counter* m_slow_queries_ = nullptr;
   Histogram* m_query_latency_ = nullptr;
+  Counter* m_wal_commits_ = nullptr;
+  Counter* m_wal_commit_failures_ = nullptr;
+  Counter* m_checkpoints_ = nullptr;
+  /// Batches made durable per fsync — the group-commit amortization,
+  /// directly observable.
+  Histogram* m_wal_group_size_ = nullptr;
 };
 
 }  // namespace gluenail

@@ -11,11 +11,14 @@
 
 #include <chrono>
 #include <cstddef>
+#include <string>
 
 #include "src/exec/executor.h"
 #include "src/nail/seminaive.h"
 #include "src/plan/planner.h"
 #include "src/storage/adaptive.h"
+#include "src/storage/persistence.h"
+#include "src/storage/wal.h"
 
 namespace gluenail {
 
@@ -47,6 +50,35 @@ struct EngineOptions {
   size_t trace_ring_capacity = 16;
   /// Entries kept by the slow-query log before eviction.
   size_t slow_query_log_capacity = 64;
+
+  // --- Durability (src/storage/wal.h, docs/ARCHITECTURE.md "Failure
+  // model & recovery") ----------------------------------------------------
+  /// Directory holding the engine's durable state: `checkpoint.facts`
+  /// (atomic EDB image) and `wal.log` (MutationBatch records appended
+  /// since). Empty (the default) disables the WAL entirely; when set and
+  /// durability > kNone, Engine::Recover() rebuilds from it and every
+  /// batch applied through Session::Execute / Engine::ApplyBatch is logged
+  /// before it touches memory.
+  std::string data_dir;
+  /// What a mutation ack promises (see DurabilityLevel): nothing (kNone),
+  /// logged-not-yet-synced (kAsync), per-batch fsync (kSync), or shared
+  /// leader fsync (kGroupCommit).
+  DurabilityLevel durability = DurabilityLevel::kNone;
+  /// kAsync only: minimum spacing between the piggybacked background
+  /// fsyncs that bound how much a crash can lose.
+  std::chrono::microseconds wal_fsync_interval{500};
+  /// kGroupCommit only: cap on how long the commit pump lingers collecting
+  /// followers before issuing a group's fsync. The linger is an adaptive
+  /// yield-spin that keeps extending only while new appends keep arriving,
+  /// so a solo writer stops after one empty grace slice and a full writer
+  /// pool is collected into a single fsync; the cap only bounds the worst
+  /// case. 0 disables it (pure absorption: the in-flight fsync is the
+  /// only group window — smaller groups, slightly lower latency).
+  std::chrono::microseconds wal_group_linger{50};
+  /// How Engine::Recover() treats damage beyond a torn WAL tail: kStrict
+  /// refuses, kSalvage keeps every record that checksums and rotates to a
+  /// fresh log.
+  RecoveryMode wal_recovery = RecoveryMode::kStrict;
 };
 
 }  // namespace gluenail

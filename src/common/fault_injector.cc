@@ -16,6 +16,8 @@ std::string_view FaultOpName(FaultOp op) {
       return "rename";
     case FaultOp::kAlloc:
       return "alloc";
+    case FaultOp::kTruncate:
+      return "truncate";
   }
   return "unknown";
 }

@@ -29,12 +29,13 @@ namespace gluenail {
 
 /// Operation kinds the injector can fail.
 enum class FaultOp : int {
-  kWrite = 0,   ///< a file write in the persistence layer
-  kFsync = 1,   ///< an fsync before the atomic rename
-  kRename = 2,  ///< the rename that publishes a saved file
-  kAlloc = 3,   ///< a tuple-arena chunk allocation
+  kWrite = 0,     ///< a file write in the persistence or WAL layer
+  kFsync = 1,     ///< an fsync before the atomic rename / WAL group commit
+  kRename = 2,    ///< the rename that publishes a saved file or rotated log
+  kAlloc = 3,     ///< a tuple-arena chunk allocation
+  kTruncate = 4,  ///< a WAL ftruncate (torn-tail or failed-append rollback)
 };
-inline constexpr int kNumFaultOps = 4;
+inline constexpr int kNumFaultOps = 5;
 
 std::string_view FaultOpName(FaultOp op);
 
@@ -83,9 +84,9 @@ class FaultInjector {
 
   mutable std::mutex mu_;
   /// Absolute operation count at which kind i fails next; 0 = not armed.
-  uint64_t trigger_[kNumFaultOps] = {0, 0, 0, 0};
-  uint64_t ops_[kNumFaultOps] = {0, 0, 0, 0};
-  uint64_t injected_[kNumFaultOps] = {0, 0, 0, 0};
+  uint64_t trigger_[kNumFaultOps] = {};
+  uint64_t ops_[kNumFaultOps] = {};
+  uint64_t injected_[kNumFaultOps] = {};
   bool seeded_ = false;
   uint64_t lcg_ = 0;
   uint64_t period_ = 0;

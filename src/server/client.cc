@@ -7,24 +7,20 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "src/common/strings.h"
 
 namespace gluenail {
 
-Client& Client::operator=(Client&& other) noexcept {
-  if (this != &other) {
-    Close();
-    fd_ = std::exchange(other.fd_, -1);
-    decoder_ = std::move(other.decoder_);
-  }
-  return *this;
-}
+namespace {
 
-Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+/// One dial attempt: resolve + connect; returns the connected fd.
+Result<int> DialOnce(const std::string& host, uint16_t port) {
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -53,9 +49,79 @@ Result<Client> Client::Connect(const std::string& host, uint16_t port) {
   if (fd < 0) return last;
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+uint64_t Xorshift64(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return *state = x;
+}
+
+/// Dials with the options' bounded backoff schedule.
+Result<int> DialWithRetry(const std::string& host, uint16_t port,
+                          const ClientOptions& options) {
+  uint64_t rng = options.jitter_seed != 0
+                     ? options.jitter_seed
+                     : Fnv1a64(host.data(), host.size()) ^ (port + 1);
+  Status last;
+  for (int attempt = 0;; ++attempt) {
+    Result<int> fd = DialOnce(host, port);
+    if (fd.ok()) return fd;
+    last = fd.status();
+    if (attempt >= options.max_retries) break;
+    // Exponential backoff with jitter: delay doubles per attempt (capped),
+    // then is scaled into [0.5, 1.0] so a fleet of clients desynchronizes.
+    auto delay = options.backoff_initial * (int64_t{1} << std::min(attempt, 20));
+    if (delay > options.backoff_max) delay = options.backoff_max;
+    const int64_t us =
+        std::chrono::duration_cast<std::chrono::microseconds>(delay).count();
+    const int64_t jittered = us / 2 + static_cast<int64_t>(
+                                          Xorshift64(&rng) % (us / 2 + 1));
+    std::this_thread::sleep_for(std::chrono::microseconds(jittered));
+  }
+  if (options.max_retries > 0) {
+    return last.WithContext(
+        StrCat("after ", options.max_retries + 1, " attempts"));
+  }
+  return last;
+}
+
+}  // namespace
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    decoder_ = std::move(other.decoder_);
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    options_ = other.options_;
+  }
+  return *this;
+}
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               const ClientOptions& options) {
+  GLUENAIL_ASSIGN_OR_RETURN(int fd, DialWithRetry(host, port, options));
   Client client;
   client.fd_ = fd;
+  client.host_ = host;
+  client.port_ = port;
+  client.options_ = options;
   return client;
+}
+
+Status Client::Reconnect() {
+  if (host_.empty()) {
+    return Status::InvalidArgument("client was never connected");
+  }
+  Close();
+  GLUENAIL_ASSIGN_OR_RETURN(fd_, DialWithRetry(host_, port_, options_));
+  decoder_ = FrameDecoder();  // drop any half-received frame bytes
+  return Status::OK();
 }
 
 void Client::Close() {

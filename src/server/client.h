@@ -11,12 +11,29 @@
 #ifndef GLUENAIL_SERVER_CLIENT_H_
 #define GLUENAIL_SERVER_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
 #include "src/server/protocol.h"
 
 namespace gluenail {
+
+/// Dial behavior. The defaults are a single attempt — exactly the old
+/// Connect(host, port); retries opt in.
+struct ClientOptions {
+  /// Re-dial attempts after the first connect fails (0 = fail fast). Also
+  /// bounds Reconnect().
+  int max_retries = 0;
+  /// Delay before the first retry; doubles per attempt (exponential
+  /// backoff) up to backoff_max.
+  std::chrono::milliseconds backoff_initial{50};
+  std::chrono::milliseconds backoff_max{2000};
+  /// Seed for the jitter PRNG (each delay is scaled by a random factor in
+  /// [0.5, 1.0] so a fleet of clients does not retry in lock-step).
+  /// 0 derives a seed from host/port.
+  uint64_t jitter_seed = 0;
+};
 
 class Client {
  public:
@@ -28,7 +45,21 @@ class Client {
   Client& operator=(const Client&) = delete;
 
   /// Connects to \p host:\p port ("127.0.0.1" or a hostname).
-  static Result<Client> Connect(const std::string& host, uint16_t port);
+  static Result<Client> Connect(const std::string& host, uint16_t port) {
+    return Connect(host, port, ClientOptions{});
+  }
+  /// Connect with bounded retry: on failure, re-dials up to
+  /// options.max_retries times with exponential backoff + jitter.
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                const ClientOptions& options);
+
+  /// Re-dials the address this client was connected to, with the same
+  /// bounded backoff schedule, after a transport failure closed it. Any
+  /// half-received response bytes are discarded (the protocol is
+  /// request/response in lock-step, so a fresh connection starts clean).
+  /// Commands are NOT replayed — the caller decides whether its last
+  /// command is safe to retry.
+  Status Reconnect();
 
   bool connected() const { return fd_ >= 0; }
 
@@ -46,6 +77,10 @@ class Client {
  private:
   int fd_ = -1;
   FrameDecoder decoder_;
+  /// Remembered dial target + retry policy, for Reconnect().
+  std::string host_;
+  uint16_t port_ = 0;
+  ClientOptions options_;
 };
 
 }  // namespace gluenail

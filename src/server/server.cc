@@ -109,6 +109,9 @@ Status Server::Start() {
                           "connections dropped on framing/decode errors");
   m_live_ = reg.RegisterGauge("gluenail_server_connections_live",
                               "currently connected clients");
+  m_rejected_ = reg.RegisterCounter(
+      "gluenail_server_rejected_connections",
+      "connections turned away by max_connections admission control");
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   if (admin_fd_ >= 0) {
@@ -180,13 +183,32 @@ void Server::AcceptLoop() {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    ReapFinishedLocked();
+    if (options_.max_connections > 0 &&
+        conns_.size() >= static_cast<size_t>(options_.max_connections)) {
+      // Admission control: answer with a clean wire-level error (so the
+      // client sees *why* instead of a bare RST) and close. The rejected
+      // socket never gets a worker thread or a Session.
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      m_rejected_->Add(1);
+      SendAll(fd,
+              EncodeFrame(FrameType::kResponse,
+                          EncodeResponse(
+                              Response::Error(Status::ResourceExhausted(
+                                  StrCat("server at max_connections=",
+                                         options_.max_connections,
+                                         "; retry later"))),
+                              engine_->terms())));
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+      continue;
+    }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     m_connections_->Add(1);
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     Connection* raw = conn.get();
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    ReapFinishedLocked();
     conn->worker = std::thread([this, raw] { ServeConnection(raw); });
     conns_.push_back(std::move(conn));
   }

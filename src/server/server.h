@@ -49,6 +49,10 @@ struct ServerOptions {
   int backlog = 64;
   /// Per-frame payload bound handed to FrameDecoder.
   size_t max_frame_payload = kDefaultMaxPayload;
+  /// Admission control: connections beyond this many live workers are
+  /// answered with one kResourceExhausted response and closed, instead of
+  /// spawning an unbounded thread per socket. 0 (the default) = unlimited.
+  int max_connections = 0;
 };
 
 class Server {
@@ -87,6 +91,10 @@ class Server {
   uint64_t commands_served() const {
     return commands_served_.load(std::memory_order_relaxed);
   }
+  /// Connections turned away by ServerOptions::max_connections.
+  uint64_t connections_rejected() const {
+    return connections_rejected_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Connection {
@@ -120,12 +128,14 @@ class Server {
   std::atomic<uint64_t> connections_live_{0};
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> commands_served_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
 
   /// Registry-owned mirrors (gluenail_server_*), registered in Start().
   Counter* m_connections_ = nullptr;
   Counter* m_commands_ = nullptr;
   Counter* m_proto_errors_ = nullptr;
   Gauge* m_live_ = nullptr;
+  Counter* m_rejected_ = nullptr;
 };
 
 }  // namespace gluenail

@@ -116,6 +116,20 @@ Result<MutationBatch::ApplyReport> MutationBatch::Apply(
   return report;
 }
 
+Status MutationBatch::Validate(TermPool* pool) const {
+  for (const Op& op : ops_) {
+    Result<TermId> parsed = ParseGroundTerm(pool, op.fact);
+    if (!parsed.ok()) {
+      return parsed.status().WithContext(StrCat("batch op '", op.fact, "'"));
+    }
+    if (!pool->IsCompound(*parsed) && !pool->IsSymbol(*parsed)) {
+      return Status::InvalidArgument(StrCat(
+          "batch op '", op.fact, "': a fact must be a symbol or compound"));
+    }
+  }
+  return Status::OK();
+}
+
 std::string MutationBatch::Serialize() const {
   uint64_t checksum = 0xcbf29ce484222325ULL;
   std::string body;

@@ -85,6 +85,11 @@ class MutationBatch {
   /// order against \p db. All-or-nothing on validation failure.
   Result<ApplyReport> Apply(Database* db, TermPool* pool) const;
 
+  /// The validation half of Apply, without the apply: parses every op and
+  /// checks its fact shape. The WAL calls this before appending a batch,
+  /// so a malformed batch is rejected up front and never logged.
+  Status Validate(TermPool* pool) const;
+
   /// Checksummed text form (see file comment). Infallible.
   std::string Serialize() const;
 

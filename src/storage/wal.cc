@@ -1,0 +1,433 @@
+#include "src/storage/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/fault_injector.h"
+#include "src/common/strings.h"
+
+namespace gluenail {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'G', 'N', 'W', 'A', 'L', 'O', 'G', '1'};
+constexpr char kRecordMagic[4] = {'G', 'N', 'W', 'R'};
+constexpr size_t kWalHeaderSize = 24;    // magic + start_lsn + checksum
+constexpr size_t kRecordHeaderSize = 24;  // magic + lsn + len + checksum
+/// Per-payload sanity bound: anything larger than this is corruption, not
+/// a batch (the wire protocol caps frames at 64 MiB; we allow 4x).
+constexpr uint64_t kMaxPayload = 256u << 20;
+/// Append writes in chunks so the fault injector can tear a large record
+/// mid-write — the same discipline as SaveDatabaseToFile.
+constexpr size_t kWriteChunk = 64 * 1024;
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(char((v >> (8 * i)) & 0xff));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(char((v >> (8 * i)) & 0xff));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= uint32_t(uint8_t(p[i])) << (8 * i);
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= uint64_t(uint8_t(p[i])) << (8 * i);
+  return v;
+}
+
+Status ErrnoError(std::string_view op, const std::string& path) {
+  return Status::IoError(
+      StrCat(op, " '", path, "': ", std::strerror(errno)));
+}
+
+std::string EncodeHeader(uint64_t start_lsn) {
+  std::string out(kWalMagic, sizeof(kWalMagic));
+  PutU64(&out, start_lsn);
+  PutU64(&out, Fnv1a64(out.data(), out.size()));
+  return out;
+}
+
+std::string EncodeRecord(uint64_t lsn, std::string_view payload) {
+  std::string out(kRecordMagic, sizeof(kRecordMagic));
+  PutU64(&out, lsn);
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU64(&out, Fnv1a64(payload.data(), payload.size()));
+  out.append(payload);
+  return out;
+}
+
+/// Writes all of \p data through the kWrite fault seam, in chunks.
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  size_t off = 0;
+  while (off < data.size()) {
+    GLUENAIL_RETURN_NOT_OK(InjectFault(FaultOp::kWrite, path));
+    size_t want = std::min(kWriteChunk, data.size() - off);
+    ssize_t n = ::write(fd, data.data() + off, want);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("write", path);
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadWholeFile(const std::string& path, std::string* out) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoError("open", path);
+  out->clear();
+  char buf[64 * 1024];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = ErrnoError("read", path);
+      ::close(fd);
+      return s;
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+/// Best-effort directory fsync so a freshly renamed log survives a crash
+/// of the directory entry itself (same note as persistence.cc: once the
+/// rename succeeded the log content is safe either way).
+void SyncDirOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+/// Writes a fresh one-header log to \p path via temp + fsync + rename and
+/// opens the published file for appending. The fault seams mirror
+/// SaveDatabaseToFile's: write, fsync, rename.
+Result<int> WriteFreshLog(const std::string& path, uint64_t start_lsn) {
+  const std::string tmp = StrCat(path, ".tmp");
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoError("open", tmp);
+  auto fail = [&](Status s) -> Status {
+    if (fd >= 0) ::close(fd);
+    ::unlink(tmp.c_str());
+    return s;
+  };
+  Status st = WriteAll(fd, EncodeHeader(start_lsn), tmp);
+  if (!st.ok()) return fail(std::move(st));
+  st = InjectFault(FaultOp::kFsync, tmp);
+  if (!st.ok()) return fail(std::move(st));
+  if (::fsync(fd) != 0) return fail(ErrnoError("fsync", tmp));
+  if (::close(fd) != 0) {
+    fd = -1;
+    return fail(ErrnoError("close", tmp));
+  }
+  fd = -1;
+  st = InjectFault(FaultOp::kRename, path);
+  if (!st.ok()) return fail(std::move(st));
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return fail(ErrnoError("rename", path));
+  }
+  SyncDirOf(path);
+  int out = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (out < 0) return ErrnoError("open", path);
+  return out;
+}
+
+/// Parses one record at \p pos; false on any structural or checksum
+/// failure. Writes the record and the offset just past it on success.
+bool ParseRecordAt(std::string_view data, size_t pos, WalScanRecord* rec,
+                   size_t* end) {
+  if (pos + kRecordHeaderSize > data.size()) return false;
+  const char* p = data.data() + pos;
+  if (std::memcmp(p, kRecordMagic, sizeof(kRecordMagic)) != 0) return false;
+  uint64_t lsn = GetU64(p + 4);
+  uint64_t len = GetU32(p + 12);
+  uint64_t sum = GetU64(p + 16);
+  if (len > kMaxPayload) return false;
+  if (pos + kRecordHeaderSize + len > data.size()) return false;
+  std::string_view payload = data.substr(pos + kRecordHeaderSize, len);
+  if (Fnv1a64(payload.data(), payload.size()) != sum) return false;
+  rec->lsn = lsn;
+  rec->payload = payload;
+  *end = pos + kRecordHeaderSize + len;
+  return true;
+}
+
+}  // namespace
+
+std::string_view DurabilityLevelName(DurabilityLevel level) {
+  switch (level) {
+    case DurabilityLevel::kNone:
+      return "none";
+    case DurabilityLevel::kAsync:
+      return "async";
+    case DurabilityLevel::kSync:
+      return "sync";
+    case DurabilityLevel::kGroupCommit:
+      return "group";
+  }
+  return "unknown";
+}
+
+Result<WalScanResult> ScanWalBuffer(std::string_view data) {
+  if (data.size() < kWalHeaderSize ||
+      std::memcmp(data.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::IoError("wal: missing or corrupt file header");
+  }
+  if (Fnv1a64(data.data(), 16) != GetU64(data.data() + 16)) {
+    return Status::IoError("wal: file header checksum mismatch");
+  }
+  WalScanResult out;
+  out.start_lsn = GetU64(data.data() + 8);
+  out.valid_bytes = kWalHeaderSize;
+  uint64_t expect = out.start_lsn;
+  size_t off = kWalHeaderSize;
+  while (off < data.size()) {
+    WalScanRecord rec;
+    size_t end = 0;
+    if (!ParseRecordAt(data, off, &rec, &end) || rec.lsn != expect) break;
+    out.records.push_back(rec);
+    out.last_lsn = rec.lsn;
+    expect = rec.lsn + 1;
+    out.valid_bytes = end;
+    off = end;
+  }
+  if (off >= data.size()) return out;
+
+  // Damage at byte `off`. Resync byte-by-byte: any structurally valid
+  // record past here means the corruption is *inside* the log, not a torn
+  // tail — strict recovery must refuse, salvage replays what it finds.
+  out.damage_note =
+      StrCat("bad record at byte ", off, " of ", data.size());
+  for (size_t pos = off + 1; pos + kRecordHeaderSize <= data.size(); ++pos) {
+    if (data[pos] != 'G') continue;
+    WalScanRecord rec;
+    size_t end = 0;
+    if (ParseRecordAt(data, pos, &rec, &end)) {
+      out.salvaged.push_back(rec);
+      pos = end - 1;
+    }
+  }
+  out.damage =
+      out.salvaged.empty() ? WalDamage::kTornTail : WalDamage::kMidLog;
+  return out;
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                       uint64_t create_start_lsn,
+                                       OpenReport* report) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno != ENOENT) return ErrnoError("stat", path);
+    Result<std::unique_ptr<Wal>> created = Create(path, create_start_lsn);
+    if (created.ok() && report != nullptr) {
+      report->created = true;
+      report->start_lsn = create_start_lsn;
+    }
+    return created;
+  }
+
+  std::string data;
+  GLUENAIL_RETURN_NOT_OK(ReadWholeFile(path, &data));
+  GLUENAIL_ASSIGN_OR_RETURN(WalScanResult scan, ScanWalBuffer(data));
+  if (scan.damage == WalDamage::kMidLog) {
+    return Status::IoError(StrCat(
+        "wal '", path, "': mid-log corruption (", scan.damage_note,
+        " with ", scan.salvaged.size(),
+        " record(s) after it); recover with RecoveryMode::kSalvage and "
+        "rotate to a fresh log"));
+  }
+
+  std::unique_ptr<Wal> wal(new Wal());
+  wal->path_ = path;
+  wal->fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (wal->fd_ < 0) return ErrnoError("open", path);
+  wal->start_lsn_ = scan.start_lsn;
+  wal->next_lsn_ = scan.records.empty() ? scan.start_lsn : scan.last_lsn + 1;
+  wal->durable_lsn_ = scan.records.empty() ? 0 : scan.last_lsn;
+
+  uint64_t truncated = data.size() - scan.valid_bytes;
+  if (truncated > 0) {
+    // Torn tail from a crashed append: cut the file back to the last
+    // record boundary before appending anything after it.
+    GLUENAIL_RETURN_NOT_OK(wal->TruncateLocked(scan.valid_bytes));
+    wal->counters_.open_truncated_bytes.fetch_add(
+        truncated, std::memory_order_relaxed);
+  }
+  wal->offset_ = scan.valid_bytes;
+  // One fsync so the (possibly truncated) state we computed is the state
+  // on disk — from here durable_lsn_ only advances through Sync().
+  if (::fsync(wal->fd_) != 0) return ErrnoError("fsync", path);
+  wal->synced_offset_ = wal->offset_;
+
+  if (report != nullptr) {
+    report->created = false;
+    report->start_lsn = scan.start_lsn;
+    report->last_lsn = scan.last_lsn;
+    report->records = scan.records.size();
+    report->truncated_bytes = truncated;
+  }
+  return wal;
+}
+
+Result<std::unique_ptr<Wal>> Wal::Create(const std::string& path,
+                                         uint64_t start_lsn) {
+  GLUENAIL_ASSIGN_OR_RETURN(int fd, WriteFreshLog(path, start_lsn));
+  std::unique_ptr<Wal> wal(new Wal());
+  wal->path_ = path;
+  wal->fd_ = fd;
+  wal->start_lsn_ = start_lsn;
+  wal->next_lsn_ = start_lsn;
+  wal->offset_ = kWalHeaderSize;
+  wal->synced_offset_ = kWalHeaderSize;
+  wal->durable_lsn_ = 0;
+  return wal;
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) {
+    // Best-effort: don't lose a clean shutdown's tail to a missing sync.
+    if (!broken_ && synced_offset_ != offset_) ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+Status Wal::TruncateLocked(uint64_t to) {
+  GLUENAIL_RETURN_NOT_OK(InjectFault(FaultOp::kTruncate, path_));
+  if (::ftruncate(fd_, static_cast<off_t>(to)) != 0) {
+    return ErrnoError("ftruncate", path_);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> Wal::Append(const MutationBatch& batch) {
+  const std::string payload = batch.Serialize();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ < 0) return Status::InvalidArgument("wal is not open");
+    if (broken_) {
+      return Status::IoError(StrCat(
+          "wal '", path_, "' is broken after an earlier failure; "
+          "checkpoint to rotate in a fresh log"));
+    }
+    uint64_t lsn = next_lsn_;
+    std::string record = EncodeRecord(lsn, payload);
+    Status st = WriteAll(fd_, record, path_);
+    if (!st.ok()) {
+      counters_.append_failures.fetch_add(1, std::memory_order_relaxed);
+      // Roll any partial record back off the file. If even that fails the
+      // file ends in torn bytes — safe for recovery (the record's checksum
+      // cannot validate) but useless for appending, so mark broken.
+      Status rollback = TruncateLocked(offset_);
+      if (!rollback.ok()) broken_ = true;
+      return st;
+    }
+    offset_ += record.size();
+    next_lsn_ = lsn + 1;
+    counters_.appends.fetch_add(1, std::memory_order_relaxed);
+    counters_.appended_bytes.fetch_add(record.size(),
+                                       std::memory_order_relaxed);
+    return lsn;
+  }
+}
+
+Status Wal::FailSyncLocked(Status cause) {
+  counters_.sync_failures.fetch_add(1, std::memory_order_relaxed);
+  broken_ = true;
+  // The un-synced suffix was appended but its commits are about to be
+  // errored — remove it so those batches cannot resurface after restart.
+  // If the rollback fails too, the (valid, unacked) records stay on disk:
+  // that is the one unknown-outcome window, the same one a real crash
+  // between write and ack leaves, and it is documented in wal.h.
+  Status rollback = TruncateLocked(synced_offset_);
+  if (rollback.ok()) {
+    offset_ = synced_offset_;
+    next_lsn_ = durable_lsn_ == 0 ? start_lsn_ : durable_lsn_ + 1;
+  }
+  return cause;
+}
+
+Status Wal::Sync() {
+  uint64_t target_off, target_lsn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ < 0) return Status::InvalidArgument("wal is not open");
+    if (broken_) {
+      return Status::IoError(
+          StrCat("wal '", path_, "' is broken; checkpoint to heal"));
+    }
+    if (synced_offset_ == offset_) return Status::OK();
+    Status st = InjectFault(FaultOp::kFsync, path_);
+    if (!st.ok()) return FailSyncLocked(std::move(st));
+    target_off = offset_;
+    target_lsn = next_lsn_ - 1;
+  }
+  // The fsync itself runs outside mu_, so concurrent Appends keep landing
+  // in the page cache while this group commits; they form the next group.
+  int rc = ::fsync(fd_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (broken_) {
+    return Status::IoError(
+        StrCat("wal '", path_, "' broke during a concurrent failure"));
+  }
+  if (rc != 0) return FailSyncLocked(ErrnoError("fsync", path_));
+  if (target_off > synced_offset_) {
+    synced_offset_ = target_off;
+    if (target_lsn > durable_lsn_) durable_lsn_ = target_lsn;
+  }
+  counters_.syncs.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Wal::Rotate(uint64_t start_lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::InvalidArgument("wal is not open");
+  GLUENAIL_ASSIGN_OR_RETURN(int fresh, WriteFreshLog(path_, start_lsn));
+  ::close(fd_);  // the old log's inode; already renamed over
+  fd_ = fresh;
+  start_lsn_ = start_lsn;
+  next_lsn_ = start_lsn;
+  offset_ = kWalHeaderSize;
+  synced_offset_ = kWalHeaderSize;
+  durable_lsn_ = 0;
+  broken_ = false;
+  counters_.rotations.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+uint64_t Wal::start_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return start_lsn_;
+}
+
+uint64_t Wal::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+uint64_t Wal::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_lsn_;
+}
+
+bool Wal::broken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return broken_;
+}
+
+}  // namespace gluenail

@@ -1,0 +1,206 @@
+/// \file wal.h
+/// \brief Write-ahead log of MutationBatch records — the engine's
+/// durability story for heavy write traffic (ROADMAP item 1).
+///
+/// The log is append-only and binary-framed with the same discipline as
+/// the wire protocol (server/protocol.cc): a magic tag, a length prefix,
+/// and an FNV-1a 64 checksum guarding every payload. Payloads are
+/// MutationBatch::Serialize() text, which carries its *own* header and
+/// checksum, so a record is double-checked before replay ever applies it.
+///
+/// File layout (all integers little-endian):
+///
+///     header   "GNWALOG1" | start_lsn u64 | fnv1a(first 16 bytes) u64
+///     record   "GNWR" | lsn u64 | payload_len u32 | fnv1a(payload) u64
+///              | payload
+///     record   ...
+///
+/// LSNs are dense and ascending: the first record carries the header's
+/// start_lsn, each next record start_lsn+1, +2, ... A checkpoint rotates
+/// the log (fresh header with the next LSN), which is how the log
+/// truncates behind the checkpoint without a separate manifest — replay
+/// after recovery is idempotent (insert/erase are set operations, so
+/// re-applying a tail the checkpoint already includes is harmless).
+///
+/// Failure semantics (what the crash-point sweep in tests/wal_test.cc
+/// proves):
+///  * A failed Append rolls the partial record off the file (ftruncate
+///    back to the last record boundary), so the file always ends on a
+///    record boundary unless the rollback itself failed — and then the
+///    torn bytes fail their checksum and recovery discards them.
+///  * A failed Sync marks the log broken (sticky) and truncates back to
+///    the last *synced* offset, so a batch whose commit errored cannot
+///    reappear after restart. Broken logs refuse further appends until a
+///    checkpoint rotates in a fresh log.
+///  * Every write / fsync / rename / ftruncate consults the process-wide
+///    FaultInjector first, so tests can crash the log at any point.
+///
+/// Thread safety: all methods are safe to call concurrently. Append holds
+/// the internal mutex for the (buffered) write; Sync runs its fsync
+/// *outside* the mutex, so the next commit group can append while the
+/// current group's leader waits on the disk.
+
+#ifndef GLUENAIL_STORAGE_WAL_H_
+#define GLUENAIL_STORAGE_WAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/storage/mutation_batch.h"
+
+namespace gluenail {
+
+/// How hard a Session::Execute(mutate) ack promises the batch is on disk.
+enum class DurabilityLevel {
+  /// No log at all: mutations live in memory until an explicit save.
+  kNone,
+  /// Log every batch, ack immediately, fsync lazily (at most once per
+  /// fsync interval, piggybacked on commits). A crash loses at most the
+  /// un-synced tail; the log still bounds the loss to whole batches.
+  kAsync,
+  /// fsync before every ack, one batch at a time, commits fully
+  /// serialized — the honest per-batch baseline group commit is measured
+  /// against.
+  kSync,
+  /// Group commit: concurrent committers enqueue, one leader fsyncs the
+  /// whole group (committers arriving during the in-flight fsync are
+  /// absorbed into the next group; an optional linger grows groups
+  /// further), every waiter observes the durable LSN before its ack.
+  /// Same guarantee as kSync, shared cost.
+  kGroupCommit,
+};
+
+std::string_view DurabilityLevelName(DurabilityLevel level);
+
+/// Cumulative WAL activity, exported via the engine's metrics registry.
+struct WalCounters {
+  std::atomic<uint64_t> appends{0};
+  std::atomic<uint64_t> appended_bytes{0};
+  std::atomic<uint64_t> append_failures{0};
+  std::atomic<uint64_t> syncs{0};
+  std::atomic<uint64_t> sync_failures{0};
+  std::atomic<uint64_t> rotations{0};
+  /// Torn-tail bytes discarded when opening an existing log.
+  std::atomic<uint64_t> open_truncated_bytes{0};
+};
+
+/// One structurally valid record found by ScanWalBuffer. `payload` views
+/// into the scanned buffer.
+struct WalScanRecord {
+  uint64_t lsn = 0;
+  std::string_view payload;
+};
+
+enum class WalDamage {
+  kNone,      ///< every byte belongs to a valid record
+  kTornTail,  ///< trailing garbage after the valid prefix (crashed append)
+  kMidLog,    ///< valid records exist *past* a corrupt region
+};
+
+struct WalScanResult {
+  uint64_t start_lsn = 1;
+  /// Header + the longest valid record prefix, in bytes. Opening a log
+  /// truncates the file here when damage == kTornTail.
+  uint64_t valid_bytes = 0;
+  uint64_t last_lsn = 0;  ///< last LSN of the valid prefix (0 if none)
+  std::vector<WalScanRecord> records;  ///< the valid prefix, in LSN order
+  WalDamage damage = WalDamage::kNone;
+  std::string damage_note;
+  /// Structurally valid records found past the damage by a byte-wise
+  /// resync scan — what RecoveryMode::kSalvage replays in addition to the
+  /// prefix. Empty unless damage == kMidLog.
+  std::vector<WalScanRecord> salvaged;
+};
+
+/// Parses an in-memory WAL image. Fails only when the file header itself
+/// is missing or corrupt; record-level damage is reported in the result.
+Result<WalScanResult> ScanWalBuffer(std::string_view data);
+
+class Wal {
+ public:
+  struct OpenReport {
+    bool created = false;  ///< the log did not exist and was created fresh
+    uint64_t start_lsn = 1;
+    uint64_t last_lsn = 0;
+    uint64_t records = 0;
+    uint64_t truncated_bytes = 0;  ///< torn tail discarded by this open
+  };
+
+  /// Opens \p path for appending, scanning and validating what is already
+  /// there: a torn tail is truncated away (the crash happened mid-append),
+  /// mid-log corruption is refused — recover with RecoveryMode::kSalvage
+  /// and rotate to a fresh log instead. A missing file is created with
+  /// start_lsn = \p create_start_lsn via the atomic temp+rename path.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path,
+                                           uint64_t create_start_lsn = 1,
+                                           OpenReport* report = nullptr);
+
+  /// Atomically replaces \p path with a fresh empty log whose LSNs start
+  /// at \p start_lsn (temp file + fsync + rename, like SaveDatabaseToFile)
+  /// and opens it for appending.
+  static Result<std::unique_ptr<Wal>> Create(const std::string& path,
+                                             uint64_t start_lsn);
+
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends one record; returns its LSN. The record is in the OS page
+  /// cache but NOT yet durable — call Sync() (or let the engine's group
+  /// commit do it) before acking. Fails without side effects when the
+  /// batch is invalid or the log is broken.
+  Result<uint64_t> Append(const MutationBatch& batch);
+
+  /// fsyncs everything appended so far; on return every previously
+  /// appended record is durable (durable_lsn() covers it). Concurrent
+  /// callers coalesce: a sync that finds nothing new is a no-op, which is
+  /// what makes group commit's shared-fsync accounting honest.
+  Status Sync();
+
+  /// Swaps in a fresh empty log starting at \p start_lsn (checkpoint
+  /// truncation). The caller must guarantee no concurrent Append/Sync —
+  /// the engine calls this under its writer lock after draining commits.
+  /// On failure the old log stays open and intact.
+  Status Rotate(uint64_t start_lsn);
+
+  const std::string& path() const { return path_; }
+  uint64_t start_lsn() const;
+  /// LSN the next Append will return.
+  uint64_t next_lsn() const;
+  /// Highest LSN known to be on disk (0 = none yet).
+  uint64_t durable_lsn() const;
+  /// True after a sync failure or an unrollable append failure: the log
+  /// refuses appends until Rotate gives it a fresh file.
+  bool broken() const;
+
+  const WalCounters& counters() const { return counters_; }
+
+ private:
+  Wal() = default;
+
+  Status TruncateLocked(uint64_t to);
+  Status FailSyncLocked(Status cause);
+
+  std::string path_;
+  int fd_ = -1;
+
+  mutable std::mutex mu_;
+  uint64_t start_lsn_ = 1;
+  uint64_t next_lsn_ = 1;
+  uint64_t offset_ = 0;         ///< file size; end of the last full record
+  uint64_t synced_offset_ = 0;  ///< prefix known durable
+  uint64_t durable_lsn_ = 0;
+  bool broken_ = false;
+
+  WalCounters counters_;
+};
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_STORAGE_WAL_H_

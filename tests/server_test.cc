@@ -722,6 +722,120 @@ end
   EXPECT_TRUE(q->rows.empty());
 }
 
+// --- Admission control ---------------------------------------------------
+
+TEST(AdmissionControlTest, MaxConnectionsRejectsWithWireError) {
+  Engine engine;
+  ServerOptions opts;
+  opts.max_connections = 2;
+  Server server(&engine, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Fill both slots; Ping proves each worker is registered, so the next
+  // accept sees conns_.size() == 2 deterministically.
+  Result<Client> c1 = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c1->Ping().ok());
+  Result<Client> c2 = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(c2.ok());
+  ASSERT_TRUE(c2->Ping().ok());
+
+  // The third connection is turned away with one wire-level error frame —
+  // read it raw so the test never races the server's close.
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  std::string got;
+  char buf[4096];
+  ssize_t n;
+  while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) got.append(buf, n);
+  close(fd);
+  FrameDecoder dec;
+  dec.Feed(got);
+  Result<std::optional<WireFrame>> frame = dec.Next();
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  ASSERT_TRUE(frame->has_value());
+  Result<WireResponse> resp = DecodeResponse((*frame)->payload);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_FALSE(resp->ok());
+  EXPECT_EQ(resp->status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(server.connections_rejected(), 1u);
+  EXPECT_NE(engine.DumpMetrics().find("gluenail_server_rejected_connections"),
+            std::string::npos);
+
+  // The slots still serve their owners.
+  EXPECT_TRUE(c1->Ping().ok());
+  EXPECT_TRUE(c2->Ping().ok());
+
+  // Freeing a slot readmits: the next accept reaps the finished worker.
+  c1->Close();
+  bool admitted = false;
+  for (int attempt = 0; attempt < 100 && !admitted; ++attempt) {
+    Result<Client> c3 = Client::Connect("127.0.0.1", server.port());
+    if (c3.ok() && c3->Ping().ok()) {
+      admitted = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(admitted);
+}
+
+// --- Client reconnect ----------------------------------------------------
+
+TEST(ClientReconnectTest, ReconnectsToALiveServer) {
+  Engine engine;
+  Server server(&engine, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  ClientOptions copts;
+  copts.max_retries = 3;
+  copts.backoff_initial = std::chrono::milliseconds(1);
+  copts.backoff_max = std::chrono::milliseconds(5);
+  Result<Client> c = Client::Connect("127.0.0.1", server.port(), copts);
+  ASSERT_TRUE(c.ok()) << c.status();
+  ASSERT_TRUE(c->Ping().ok());
+
+  // Transport loss (here: locally closed) → Execute fails fast, Reconnect
+  // restores service on a fresh connection with a clean frame decoder.
+  c->Close();
+  EXPECT_FALSE(c->connected());
+  EXPECT_FALSE(c->Execute(Command::Ping()).ok());
+  ASSERT_TRUE(c->Reconnect().ok());
+  EXPECT_TRUE(c->connected());
+  EXPECT_TRUE(c->Ping().ok());
+}
+
+TEST(ClientReconnectTest, RetriesAreBoundedAgainstADeadServer) {
+  // Grab a port that refuses connections: bind a listener, note its port,
+  // close it.
+  Engine engine;
+  Server server(&engine, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  uint16_t dead_port = server.port();
+  ClientOptions copts;
+  copts.max_retries = 2;
+  copts.backoff_initial = std::chrono::milliseconds(1);
+  copts.backoff_max = std::chrono::milliseconds(4);
+  Result<Client> live = Client::Connect("127.0.0.1", dead_port, copts);
+  ASSERT_TRUE(live.ok());
+  server.Stop();
+
+  // Dial-with-retry against the dead port: bounded, and the error says
+  // how many attempts were made.
+  Result<Client> c = Client::Connect("127.0.0.1", dead_port, copts);
+  ASSERT_FALSE(c.ok());
+  EXPECT_NE(c.status().message().find("3 attempts"), std::string::npos);
+
+  // Reconnect() of the previously-live client is bounded the same way.
+  Status s = live->Reconnect();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("3 attempts"), std::string::npos);
+}
+
 // --- HTTP admin surface --------------------------------------------------
 
 std::string HttpRequest(uint16_t port, const std::string& request) {

@@ -1,0 +1,639 @@
+/// \file wal_test.cc
+/// \brief Durability suite: WAL format + scan, torn-tail and mid-log
+/// damage, crash-point sweeps driven by the fault injector (with a shadow
+/// oracle asserting recovery yields exactly the acked prefix), checkpoint
+/// rotation, group commit under 8 concurrent writer sessions (the tsan
+/// target), and the live-snapshot guard on Recover/LoadEdbFile.
+///
+/// The sweep invariants, from wal.h's failure semantics:
+///  * single ArmNth fault on append/fsync/rename: recovered == acked;
+///  * fault + failed rollback (kTruncate armed): acked ⊆ recovered ⊆
+///    acked ∪ errored — the unknown-outcome window a real crash between
+///    write and ack also leaves;
+///  * seeded multi-fault schedules: the subset invariant, always.
+
+#include "src/storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/command.h"
+#include "src/api/engine.h"
+#include "src/api/session.h"
+#include "src/common/fault_injector.h"
+#include "src/common/strings.h"
+#include "src/storage/mutation_batch.h"
+#include "src/storage/recovery.h"
+
+namespace gluenail {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream out;
+  out << is.rdbuf();
+  return out.str();
+}
+
+void WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << data;
+}
+
+uint64_t FileSize(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<uint64_t>(st.st_size)
+                                        : 0;
+}
+
+/// A fresh directory per test case, so crash/recover cycles never see a
+/// neighbor's files.
+std::string FreshDir(const std::string& tag) {
+  std::string tmpl = testing::TempDir() + "/gluenail_wal_" + tag + "_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  char* got = ::mkdtemp(buf.data());
+  EXPECT_NE(got, nullptr) << tmpl;
+  return std::string(buf.data());
+}
+
+MutationBatch InsertBatch(std::initializer_list<int> keys) {
+  MutationBatch b;
+  for (int k : keys) b.Insert(StrCat("f(", k, ")"));
+  return b;
+}
+
+/// The shadow oracle's view of an engine: every f/1 fact as its integer.
+std::set<int> Facts(Engine* engine) {
+  Result<std::vector<Tuple>> rows = engine->RelationContents("f", 1);
+  std::set<int> out;
+  if (!rows.ok()) return out;  // relation never created = empty
+  for (const Tuple& t : *rows) {
+    out.insert(static_cast<int>(engine->terms().IntValue(t[0])));
+  }
+  return out;
+}
+
+EngineOptions DurableOpts(const std::string& dir, DurabilityLevel level,
+                          int64_t fsync_interval_us = 200) {
+  EngineOptions opts;
+  opts.data_dir = dir;
+  opts.durability = level;
+  opts.wal_fsync_interval = std::chrono::microseconds(fsync_interval_us);
+  return opts;
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Instance().Disarm(); }
+  void TearDown() override { FaultInjector::Instance().Disarm(); }
+};
+
+// --- Log format + scan -----------------------------------------------------
+
+TEST_F(WalTest, AppendScanRoundTrip) {
+  const std::string dir = FreshDir("roundtrip");
+  const std::string path = dir + "/wal.log";
+  {
+    Result<std::unique_ptr<Wal>> wal = Wal::Create(path, 1);
+    ASSERT_TRUE(wal.ok()) << wal.status();
+    for (int i = 0; i < 3; ++i) {
+      Result<uint64_t> lsn = (*wal)->Append(InsertBatch({i}));
+      ASSERT_TRUE(lsn.ok()) << lsn.status();
+      EXPECT_EQ(*lsn, static_cast<uint64_t>(i + 1));
+    }
+    EXPECT_EQ((*wal)->durable_lsn(), 0u);
+    ASSERT_TRUE((*wal)->Sync().ok());
+    EXPECT_EQ((*wal)->durable_lsn(), 3u);
+    EXPECT_EQ((*wal)->counters().appends.load(), 3u);
+    EXPECT_EQ((*wal)->counters().syncs.load(), 1u);
+  }
+  const std::string data = ReadFile(path);
+  Result<WalScanResult> scan = ScanWalBuffer(data);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_EQ(scan->damage, WalDamage::kNone);
+  ASSERT_EQ(scan->records.size(), 3u);
+  EXPECT_EQ(scan->records[0].lsn, 1u);
+  EXPECT_EQ(scan->last_lsn, 3u);
+  EXPECT_EQ(scan->valid_bytes, data.size());
+  // Each payload is a parseable batch.
+  for (const WalScanRecord& rec : scan->records) {
+    EXPECT_TRUE(MutationBatch::Parse(rec.payload).ok());
+  }
+}
+
+TEST_F(WalTest, OpenTruncatesTornTail) {
+  const std::string dir = FreshDir("torntail");
+  const std::string path = dir + "/wal.log";
+  {
+    Result<std::unique_ptr<Wal>> wal = Wal::Create(path, 1);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(InsertBatch({1})).ok());
+    ASSERT_TRUE((*wal)->Append(InsertBatch({2})).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  // A crashed append: garbage after the last full record.
+  const std::string good = ReadFile(path);
+  WriteFile(path, good + "GNWR\x01\x02torn-mid-append");
+  Wal::OpenReport report;
+  Result<std::unique_ptr<Wal>> wal = Wal::Open(path, 1, &report);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  EXPECT_FALSE(report.created);
+  EXPECT_EQ(report.records, 2u);
+  EXPECT_EQ(report.last_lsn, 2u);
+  EXPECT_GT(report.truncated_bytes, 0u);
+  EXPECT_EQ(FileSize(path), good.size());
+  // Appending after the truncation continues the LSN sequence cleanly.
+  Result<uint64_t> lsn = (*wal)->Append(InsertBatch({3}));
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 3u);
+  ASSERT_TRUE((*wal)->Sync().ok());
+  Result<WalScanResult> scan = ScanWalBuffer(ReadFile(path));
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->damage, WalDamage::kNone);
+  EXPECT_EQ(scan->records.size(), 3u);
+}
+
+TEST_F(WalTest, MidLogCorruptionStrictRefusesSalvageReplays) {
+  const std::string dir = FreshDir("midlog");
+  const std::string path = dir + "/wal.log";
+  {
+    Result<std::unique_ptr<Wal>> wal = Wal::Create(path, 1);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 1; i <= 5; ++i) {
+      ASSERT_TRUE((*wal)->Append(InsertBatch({i})).ok());
+    }
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  // Corrupt one payload byte of record 3: its checksum fails, records 4-5
+  // stay valid after it — mid-log damage, not a torn tail.
+  std::string data = ReadFile(path);
+  size_t third = data.find("GNWR", data.find("GNWR", data.find("GNWR") + 1) + 1);
+  ASSERT_NE(third, std::string::npos);
+  data[third + 30] ^= 0x40;  // inside record 3's payload
+  WriteFile(path, data);
+
+  Result<WalScanResult> scan = ScanWalBuffer(data);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->damage, WalDamage::kMidLog);
+  EXPECT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->salvaged.size(), 2u);
+
+  // Open refuses a mid-log-corrupt file outright.
+  EXPECT_FALSE(Wal::Open(path).ok());
+
+  // Strict recovery refuses; salvage replays prefix + resynced tail and
+  // demands a rotation.
+  {
+    TermPool pool;
+    Database db(&pool);
+    RecoveryOptions strict;
+    Result<RecoveryReport> r =
+        RecoverDatabase(&db, &pool, dir + "/none.facts", path, strict);
+    EXPECT_FALSE(r.ok());
+  }
+  {
+    TermPool pool;
+    Database db(&pool);
+    RecoveryOptions salvage;
+    salvage.mode = RecoveryMode::kSalvage;
+    Result<RecoveryReport> r =
+        RecoverDatabase(&db, &pool, dir + "/none.facts", path, salvage);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r->records_replayed, 4u);  // 1,2 + salvaged 4,5
+    EXPECT_EQ(r->records_salvaged, 2u);
+    EXPECT_TRUE(r->needs_reset);
+  }
+}
+
+TEST_F(WalTest, DuplicateReplayIsIdempotent) {
+  // A crash between checkpoint save and log rotation leaves a checkpoint
+  // that already contains the log's effects. Replaying the overlap must
+  // reproduce the identical state — the property that lets the engine skip
+  // a checkpoint-LSN manifest.
+  const std::string dir = FreshDir("idem");
+  const std::string wal_path = dir + "/wal.log";
+  const std::string ckpt = dir + "/checkpoint.facts";
+
+  TermPool pool;
+  Database db(&pool);
+  MutationBatch b1;
+  b1.Insert("f(1)");
+  b1.Insert("f(2)");
+  MutationBatch b2;
+  b2.Erase("f(1)");
+  b2.Insert("f(3)");
+  {
+    Result<std::unique_ptr<Wal>> wal = Wal::Create(wal_path, 1);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(b1).ok());
+    ASSERT_TRUE((*wal)->Append(b2).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  ASSERT_TRUE(b1.Apply(&db, &pool).ok());
+  ASSERT_TRUE(b2.Apply(&db, &pool).ok());
+  ASSERT_TRUE(SaveDatabaseToFile(db, ckpt).ok());
+
+  // Recover from checkpoint + the same (unrotated) log: full overlap.
+  TermPool pool2;
+  Database db2(&pool2);
+  Result<RecoveryReport> r = RecoverDatabase(&db2, &pool2, ckpt, wal_path);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->checkpoint_found);
+  EXPECT_EQ(r->records_replayed, 2u);
+
+  Result<TermId> name = ParseGroundTerm(&pool2, "f");
+  ASSERT_TRUE(name.ok());
+  Relation* rel = db2.Find(*name, 1);
+  ASSERT_NE(rel, nullptr);
+  std::vector<Tuple> rows = rel->SortedTuples(pool2);
+  ASSERT_EQ(rows.size(), 2u);  // f(2), f(3) — f(1) inserted then erased
+}
+
+// --- Engine lifecycle ------------------------------------------------------
+
+TEST_F(WalTest, EngineRecoverApplyCrashRecover) {
+  const std::string dir = FreshDir("lifecycle");
+  std::set<int> acked;
+  {
+    Engine engine(DurableOpts(dir, DurabilityLevel::kGroupCommit));
+    Result<RecoveryReport> boot = engine.Recover();
+    ASSERT_TRUE(boot.ok()) << boot.status();
+    EXPECT_FALSE(boot->checkpoint_found);
+    for (int i = 0; i < 5; ++i) {
+      Result<MutationBatch::ApplyReport> r =
+          engine.ApplyBatch(InsertBatch({i}));
+      ASSERT_TRUE(r.ok()) << r.status();
+      EXPECT_EQ(r->inserted, 1u);
+      acked.insert(i);
+    }
+    // Group commit acks only at a durable LSN.
+    EXPECT_EQ(engine.durable_lsn(), 5u);
+    EXPECT_EQ(Facts(&engine), acked);
+    // "Crash": no checkpoint, no clean shutdown beyond the destructor.
+  }
+  {
+    Engine engine(DurableOpts(dir, DurabilityLevel::kGroupCommit));
+    Result<RecoveryReport> boot = engine.Recover();
+    ASSERT_TRUE(boot.ok()) << boot.status();
+    EXPECT_EQ(boot->records_replayed, 5u);
+    EXPECT_EQ(Facts(&engine), acked);
+    ASSERT_TRUE(engine.last_recovery().has_value());
+
+    // Checkpoint truncates the log to a bare header behind it.
+    ASSERT_TRUE(engine.Checkpoint().ok());
+    EXPECT_EQ(FileSize(dir + "/wal.log"), 24u);
+  }
+  {
+    Engine engine(DurableOpts(dir, DurabilityLevel::kGroupCommit));
+    Result<RecoveryReport> boot = engine.Recover();
+    ASSERT_TRUE(boot.ok());
+    EXPECT_TRUE(boot->checkpoint_found);
+    EXPECT_EQ(boot->records_replayed, 0u);
+    EXPECT_EQ(Facts(&engine), acked);
+    // LSNs continue after the checkpoint: the next commit is lsn 6.
+    ASSERT_TRUE(engine.ApplyBatch(InsertBatch({99})).ok());
+    EXPECT_EQ(engine.durable_lsn(), 6u);
+  }
+}
+
+TEST_F(WalTest, AsyncAcksEarlyAndDrainsOnDemand) {
+  const std::string dir = FreshDir("async");
+  std::set<int> acked;
+  {
+    // Huge interval: no piggybacked sync fires during the loop.
+    Engine engine(
+        DurableOpts(dir, DurabilityLevel::kAsync, 10 * 1000 * 1000));
+    ASSERT_TRUE(engine.Recover().ok());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(engine.ApplyBatch(InsertBatch({i})).ok());
+      acked.insert(i);
+    }
+    // Acked but (possibly) not yet durable — that is kAsync's contract.
+    EXPECT_LE(engine.durable_lsn(), 4u);
+    // SaveEdbFile drains in-flight commits first.
+    ASSERT_TRUE(engine.SaveEdbFile(dir + "/manual.facts").ok());
+    EXPECT_EQ(engine.durable_lsn(), 4u);
+  }
+  Engine engine(DurableOpts(dir, DurabilityLevel::kAsync));
+  ASSERT_TRUE(engine.Recover().ok());
+  EXPECT_EQ(Facts(&engine), acked);
+}
+
+TEST_F(WalTest, AddFactRoutesThroughLog) {
+  const std::string dir = FreshDir("addfact");
+  {
+    Engine engine(DurableOpts(dir, DurabilityLevel::kSync));
+    ASSERT_TRUE(engine.Recover().ok());
+    ASSERT_TRUE(engine.AddFact("f(7).").ok());
+    EXPECT_EQ(engine.durable_lsn(), 1u);
+  }
+  Engine engine(DurableOpts(dir, DurabilityLevel::kSync));
+  ASSERT_TRUE(engine.Recover().ok());
+  EXPECT_EQ(Facts(&engine), std::set<int>{7});
+}
+
+// --- Crash-point sweeps (the fault-injector matrix) ------------------------
+
+/// Applies numbered batches, returning which ones acked and which errored.
+struct SweepRun {
+  std::set<int> acked;
+  std::set<int> errored;
+};
+
+SweepRun ApplyNumbered(Engine* engine, int from, int to) {
+  SweepRun run;
+  for (int i = from; i < to; ++i) {
+    Result<MutationBatch::ApplyReport> r = engine->ApplyBatch(InsertBatch({i}));
+    if (r.ok()) {
+      run.acked.insert(i);
+    } else {
+      run.errored.insert(i);
+    }
+  }
+  return run;
+}
+
+/// After a crash at an injected fault: recovery must yield exactly the
+/// acked set (strict invariant, single fault with working rollback).
+void ExpectRecoversExactly(const std::string& dir,
+                           const std::set<int>& acked) {
+  FaultInjector::Instance().Disarm();
+  Engine engine(DurableOpts(dir, DurabilityLevel::kSync));
+  Result<RecoveryReport> boot = engine.Recover();
+  ASSERT_TRUE(boot.ok()) << boot.status();
+  EXPECT_EQ(Facts(&engine), acked) << boot->Summary();
+}
+
+TEST_F(WalTest, CrashPointSweepFailedAppend) {
+  // Fail the nth WAL write: batch n's append rolls back, every other batch
+  // acks, and recovery yields exactly the acked set.
+  for (uint64_t nth = 1; nth <= 5; ++nth) {
+    SCOPED_TRACE(StrCat("kWrite nth=", nth));
+    const std::string dir = FreshDir(StrCat("sweep_w", nth));
+    std::set<int> acked;
+    {
+      Engine engine(DurableOpts(dir, DurabilityLevel::kSync));
+      ASSERT_TRUE(engine.Recover().ok());
+      FaultInjector::Instance().ArmNth(FaultOp::kWrite, nth);
+      SweepRun run = ApplyNumbered(&engine, 0, 8);
+      FaultInjector::Instance().Disarm();
+      EXPECT_EQ(run.errored.size(), 1u);
+      EXPECT_EQ(run.errored.count(static_cast<int>(nth - 1)), 1u);
+      acked = run.acked;
+      EXPECT_EQ(Facts(&engine), acked);  // failed batch never hit memory
+    }
+    ExpectRecoversExactly(dir, acked);
+  }
+}
+
+TEST_F(WalTest, CrashPointSweepFailedFsync) {
+  // Fail the nth fsync: that batch errors, the log goes broken (later
+  // batches error too), a checkpoint heals it, and at every stage recovery
+  // yields exactly the acked set.
+  for (uint64_t nth = 1; nth <= 4; ++nth) {
+    SCOPED_TRACE(StrCat("kFsync nth=", nth));
+    const std::string dir = FreshDir(StrCat("sweep_f", nth));
+    std::set<int> acked;
+    {
+      Engine engine(DurableOpts(dir, DurabilityLevel::kSync));
+      ASSERT_TRUE(engine.Recover().ok());
+      FaultInjector::Instance().ArmNth(FaultOp::kFsync, nth);
+      SweepRun run = ApplyNumbered(&engine, 0, 6);
+      FaultInjector::Instance().Disarm();
+      acked = run.acked;
+      // Batches up to the fault acked; the faulted one and everything
+      // after it (broken log) errored.
+      EXPECT_EQ(acked.size(), nth - 1);
+      EXPECT_EQ(run.errored.size(), 6 - (nth - 1));
+      EXPECT_EQ(Facts(&engine), acked);
+
+      // The checkpoint heals the broken log and commits resume.
+      ASSERT_TRUE(engine.Checkpoint().ok());
+      SweepRun after = ApplyNumbered(&engine, 100, 102);
+      EXPECT_EQ(after.errored.size(), 0u);
+      acked.insert(after.acked.begin(), after.acked.end());
+    }
+    ExpectRecoversExactly(dir, acked);
+  }
+}
+
+TEST_F(WalTest, CrashPointSweepFailedAppendAndRollback) {
+  // A multi-chunk record torn mid-write whose rollback ftruncate ALSO
+  // fails: torn bytes stay on disk, the log is broken — but the torn
+  // record cannot checksum, so recovery still yields exactly the acked
+  // set.
+  const std::string dir = FreshDir("sweep_wt");
+  std::set<int> acked;
+  {
+    Engine engine(DurableOpts(dir, DurabilityLevel::kSync));
+    ASSERT_TRUE(engine.Recover().ok());
+    SweepRun pre = ApplyNumbered(&engine, 0, 3);
+    ASSERT_EQ(pre.acked.size(), 3u);
+    acked = pre.acked;
+
+    // ~120 KiB of ops so the record spans >1 write chunk (64 KiB).
+    MutationBatch big;
+    for (int i = 0; i < 12000; ++i) big.Insert(StrCat("f(", 1000 + i, ")"));
+    FaultInjector::Instance().ArmNth(FaultOp::kWrite, 2);
+    FaultInjector::Instance().ArmNth(FaultOp::kTruncate, 1);
+    Result<MutationBatch::ApplyReport> r = engine.ApplyBatch(big);
+    FaultInjector::Instance().Disarm();
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(engine.wal()->broken());
+    EXPECT_EQ(Facts(&engine), acked);
+  }
+  ExpectRecoversExactly(dir, acked);
+}
+
+TEST_F(WalTest, CrashPointSweepFailedFsyncAndRollback) {
+  // fsync fails AND the rollback truncate fails: fully written but
+  // unacked records survive on disk. This is the documented
+  // unknown-outcome window, so the invariant relaxes to
+  // acked ⊆ recovered ⊆ acked ∪ errored.
+  const std::string dir = FreshDir("sweep_ft");
+  SweepRun run;
+  {
+    Engine engine(DurableOpts(dir, DurabilityLevel::kSync));
+    ASSERT_TRUE(engine.Recover().ok());
+    FaultInjector::Instance().ArmNth(FaultOp::kFsync, 3);
+    FaultInjector::Instance().ArmNth(FaultOp::kTruncate, 1);
+    run = ApplyNumbered(&engine, 0, 5);
+    FaultInjector::Instance().Disarm();
+    EXPECT_EQ(run.acked.size(), 2u);
+  }
+  FaultInjector::Instance().Disarm();
+  Engine engine(DurableOpts(dir, DurabilityLevel::kSync));
+  ASSERT_TRUE(engine.Recover().ok());
+  std::set<int> recovered = Facts(&engine);
+  for (int k : run.acked) EXPECT_EQ(recovered.count(k), 1u) << "lost f(" << k << ")";
+  for (int k : recovered) {
+    EXPECT_TRUE(run.acked.count(k) == 1 || run.errored.count(k) == 1)
+        << "f(" << k << ") was never submitted";
+  }
+}
+
+TEST_F(WalTest, CrashPointSweepCheckpointRename) {
+  // Fail each rename inside Checkpoint(): nth=1 is the checkpoint image's
+  // publishing rename, nth=2 the log rotation's. Either way the previous
+  // checkpoint+log pair stays consistent and recovery equals the acks.
+  for (uint64_t nth = 1; nth <= 2; ++nth) {
+    SCOPED_TRACE(StrCat("kRename nth=", nth));
+    const std::string dir = FreshDir(StrCat("sweep_r", nth));
+    std::set<int> acked;
+    {
+      Engine engine(DurableOpts(dir, DurabilityLevel::kSync));
+      ASSERT_TRUE(engine.Recover().ok());
+      SweepRun pre = ApplyNumbered(&engine, 0, 3);
+      acked = pre.acked;
+      FaultInjector::Instance().ArmNth(FaultOp::kRename, nth);
+      Status cp = engine.Checkpoint();
+      FaultInjector::Instance().Disarm();
+      EXPECT_FALSE(cp.ok());
+      // The log is not broken by a failed checkpoint; commits continue.
+      SweepRun post = ApplyNumbered(&engine, 10, 13);
+      EXPECT_EQ(post.errored.size(), 0u);
+      acked.insert(post.acked.begin(), post.acked.end());
+      EXPECT_EQ(Facts(&engine), acked);
+    }
+    ExpectRecoversExactly(dir, acked);
+  }
+}
+
+TEST_F(WalTest, SeededCrashScheduleKeepsSubsetInvariant) {
+  // Pseudo-random multi-fault schedules, mid-run checkpoints included:
+  // whatever fails, acked ⊆ recovered ⊆ acked ∪ errored.
+  for (uint64_t seed : {11u, 23u, 47u, 91u}) {
+    SCOPED_TRACE(StrCat("seed=", seed));
+    const std::string dir = FreshDir(StrCat("seeded", seed));
+    SweepRun run;
+    {
+      Engine engine(DurableOpts(dir, DurabilityLevel::kSync));
+      ASSERT_TRUE(engine.Recover().ok());
+      FaultInjector::Instance().ArmSeeded(seed, 5);
+      for (int i = 0; i < 30; ++i) {
+        Result<MutationBatch::ApplyReport> r =
+            engine.ApplyBatch(InsertBatch({i}));
+        if (r.ok()) {
+          run.acked.insert(i);
+        } else {
+          run.errored.insert(i);
+        }
+        // Periodic checkpoints, themselves subject to the schedule.
+        if (i % 10 == 9) (void)engine.Checkpoint();
+      }
+      FaultInjector::Instance().Disarm();
+    }
+    FaultInjector::Instance().Disarm();
+    Engine engine(DurableOpts(dir, DurabilityLevel::kSync));
+    Result<RecoveryReport> boot = engine.Recover();
+    ASSERT_TRUE(boot.ok()) << boot.status();
+    std::set<int> recovered = Facts(&engine);
+    for (int k : run.acked) {
+      EXPECT_EQ(recovered.count(k), 1u) << "acked f(" << k << ") lost";
+    }
+    for (int k : recovered) {
+      EXPECT_TRUE(run.acked.count(k) == 1 || run.errored.count(k) == 1)
+          << "f(" << k << ") was never submitted";
+    }
+  }
+}
+
+// --- Group commit under concurrency (tsan target) --------------------------
+
+TEST_F(WalTest, GroupCommitEightConcurrentWriters) {
+  const std::string dir = FreshDir("group8");
+  constexpr int kWriters = 8;
+  constexpr int kBatchesPerWriter = 25;
+  std::set<int> expected;
+  {
+    // A small linger makes the fsync amortization deterministic: each
+    // leader waits long enough for the other writers to join its group.
+    EngineOptions opts = DurableOpts(dir, DurabilityLevel::kGroupCommit);
+    opts.wal_group_linger = std::chrono::microseconds(300);
+    Engine engine(opts);
+    ASSERT_TRUE(engine.Recover().ok());
+    std::atomic<int> failures{0};
+    std::vector<std::thread> writers;
+    writers.reserve(kWriters);
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&engine, &failures, w] {
+        Session session = engine.OpenSession();
+        for (int i = 0; i < kBatchesPerWriter; ++i) {
+          MutationBatch b;
+          b.Insert(StrCat("f(", w * 1000 + i, ")"));
+          Response resp = session.Execute(Command::MutateBatch(b));
+          if (!resp.status.ok()) failures.fetch_add(1);
+        }
+      });
+    }
+    // A checkpoint races the writers mid-run: it must drain, rotate, and
+    // leave every already-acked commit durable.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(engine.Checkpoint().ok());
+    for (std::thread& t : writers) t.join();
+    ASSERT_EQ(failures.load(), 0);
+    // Every committed LSN was durable before its ack returned.
+    EXPECT_EQ(engine.durable_lsn(),
+              static_cast<uint64_t>(kWriters * kBatchesPerWriter));
+    expected = Facts(&engine);
+    EXPECT_EQ(expected.size(),
+              static_cast<size_t>(kWriters * kBatchesPerWriter));
+    // The fsync count is the amortization: far fewer syncs than commits.
+    EXPECT_LT(engine.wal()->counters().syncs.load(),
+              static_cast<uint64_t>(kWriters * kBatchesPerWriter));
+  }
+  Engine engine(DurableOpts(dir, DurabilityLevel::kGroupCommit));
+  ASSERT_TRUE(engine.Recover().ok());
+  EXPECT_EQ(Facts(&engine), expected);
+}
+
+// --- Live-snapshot guard ---------------------------------------------------
+
+TEST_F(WalTest, RecoverAndLoadRefuseWhileSnapshotsLive) {
+  const std::string dir = FreshDir("guard");
+  Engine engine(DurableOpts(dir, DurabilityLevel::kGroupCommit));
+  ASSERT_TRUE(engine.Recover().ok());
+  ASSERT_TRUE(engine.ApplyBatch(InsertBatch({1})).ok());
+  ASSERT_TRUE(engine.SaveEdbFile(dir + "/manual.facts").ok());
+  {
+    Result<EngineSnapshot> snap = engine.snapshot();
+    ASSERT_TRUE(snap.ok());
+    // A reader holds a point-in-time view: the engine must refuse to swap
+    // histories underneath it.
+    EXPECT_FALSE(engine.Recover().ok());
+    EXPECT_FALSE(engine.LoadEdbFile(dir + "/manual.facts").ok());
+    // The snapshot itself stays valid and readable.
+    EXPECT_EQ(snap->edb().num_relations(), 1u);
+  }
+  // Snapshot dropped: both proceed again.
+  EXPECT_TRUE(engine.Recover().ok());
+  EXPECT_TRUE(engine.LoadEdbFile(dir + "/manual.facts").ok());
+  EXPECT_EQ(Facts(&engine), std::set<int>{1});
+}
+
+TEST_F(WalTest, MalformedBatchNeverReachesTheLog) {
+  const std::string dir = FreshDir("malformed");
+  Engine engine(DurableOpts(dir, DurabilityLevel::kSync));
+  ASSERT_TRUE(engine.Recover().ok());
+  MutationBatch bad;
+  bad.Insert("f(1)");
+  bad.Insert("not a fact ((");
+  EXPECT_FALSE(engine.ApplyBatch(bad).ok());
+  EXPECT_EQ(engine.wal()->counters().appends.load(), 0u);
+  EXPECT_EQ(Facts(&engine), std::set<int>{});
+}
+
+}  // namespace
+}  // namespace gluenail

@@ -10,11 +10,24 @@
 ///   gluenail --script file            run shell commands from a file
 ///   gluenail --serve PORT             serve the wire protocol on PORT
 ///   gluenail --admin-port PORT        also serve HTTP /metrics /slowlog
+///   gluenail --max-connections N      admission-control the wire port
+///   gluenail --data DIR               durable mode: recover from DIR's
+///                                     checkpoint+WAL at boot, log every
+///                                     mutation, checkpoint at shutdown
+///   gluenail --durability LEVEL       none|async|sync|group (default:
+///                                     group when --data is given)
+///   gluenail --fsync-interval-us N    async-durability sync spacing in
+///                                     microseconds
+///   gluenail --group-linger-us N      extra group-commit linger before
+///                                     the leader's fsync (default 0:
+///                                     sync immediately, absorb late
+///                                     committers into the next group)
+///   gluenail --salvage                recover past mid-log WAL corruption
 ///
 /// Everything the shell accepts is described under :help.
 /// `--serve` runs until SIGINT/SIGTERM, then shuts down gracefully:
 /// in-flight commands finish and their responses are written before the
-/// process exits.
+/// process exits; with --data, a final checkpoint rotates the log.
 
 #include <atomic>
 #include <cerrno>
@@ -49,7 +62,8 @@ void OnSignal(int) {
   (void)ignored;
 }
 
-int ServeForever(gluenail::Engine* engine, int port, int admin_port) {
+int ServeForever(gluenail::Engine* engine, int port, int admin_port,
+                 int max_connections) {
   if (pipe(g_signal_pipe) != 0) {
     std::cerr << "gluenail: pipe: " << std::strerror(errno) << "\n";
     return 1;
@@ -57,6 +71,7 @@ int ServeForever(gluenail::Engine* engine, int port, int admin_port) {
   gluenail::ServerOptions opts;
   opts.port = static_cast<uint16_t>(port);
   opts.admin_port = admin_port;
+  opts.max_connections = max_connections;
   gluenail::Server server(engine, opts);
   gluenail::Status s = server.Start();
   if (!s.ok()) return Fail(s);
@@ -84,13 +99,81 @@ int ServeForever(gluenail::Engine* engine, int port, int admin_port) {
   std::cout << "gluenail: served " << server.commands_served()
             << " command(s) over " << server.connections_accepted()
             << " connection(s)\n";
+  if (engine->wal() != nullptr) {
+    // Final checkpoint: the next boot replays no log at all.
+    gluenail::Status cp = engine->Checkpoint();
+    if (!cp.ok()) return Fail(cp);
+    std::cout << "gluenail: checkpointed\n";
+  }
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  gluenail::Engine engine;
+  // Durability flags decide how the engine is *constructed*, so they are
+  // pulled out in a pre-pass; the main pass then skips them.
+  gluenail::EngineOptions eng_opts;
+  bool durability_set = false;
+  int max_connections = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "gluenail: " << arg << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--data") {
+      eng_opts.data_dir = next();
+    } else if (arg == "--durability") {
+      std::string level = next();
+      durability_set = true;
+      if (level == "none") {
+        eng_opts.durability = gluenail::DurabilityLevel::kNone;
+      } else if (level == "async") {
+        eng_opts.durability = gluenail::DurabilityLevel::kAsync;
+      } else if (level == "sync") {
+        eng_opts.durability = gluenail::DurabilityLevel::kSync;
+      } else if (level == "group") {
+        eng_opts.durability = gluenail::DurabilityLevel::kGroupCommit;
+      } else {
+        std::cerr << "gluenail: --durability needs none|async|sync|group\n";
+        return 2;
+      }
+    } else if (arg == "--fsync-interval-us") {
+      eng_opts.wal_fsync_interval =
+          std::chrono::microseconds(std::atoll(next()));
+    } else if (arg == "--group-linger-us") {
+      eng_opts.wal_group_linger =
+          std::chrono::microseconds(std::atoll(next()));
+    } else if (arg == "--salvage") {
+      eng_opts.wal_recovery = gluenail::RecoveryMode::kSalvage;
+    } else if (arg == "--max-connections") {
+      max_connections = std::atoi(next());
+    } else if (arg == "--edb" || arg == "-e" || arg == "-q" ||
+               arg == "--script" || arg == "--serve" ||
+               arg == "--admin-port") {
+      next();  // skip the flag's argument in this pass
+    }
+  }
+  if (!eng_opts.data_dir.empty() && !durability_set) {
+    eng_opts.durability = gluenail::DurabilityLevel::kGroupCommit;
+  }
+  if (eng_opts.data_dir.empty() &&
+      eng_opts.durability != gluenail::DurabilityLevel::kNone) {
+    std::cerr << "gluenail: --durability needs --data DIR\n";
+    return 2;
+  }
+
+  gluenail::Engine engine(eng_opts);
+  if (!eng_opts.data_dir.empty()) {
+    auto recovered = engine.Recover();
+    if (!recovered.ok()) return Fail(recovered.status());
+    std::cout << "gluenail: " << recovered->Summary() << "\n";
+  }
+
   bool ran_batch = false;
   int serve_port = -1;
   int admin_port = -1;
@@ -138,11 +221,20 @@ int main(int argc, char** argv) {
         std::cerr << "gluenail: --admin-port needs a port in [0, 65535]\n";
         return 2;
       }
+    } else if (arg == "--data" || arg == "--durability" ||
+               arg == "--fsync-interval-us" || arg == "--group-linger-us" ||
+               arg == "--max-connections") {
+      next();  // consumed by the pre-pass
+    } else if (arg == "--salvage") {
+      // consumed by the pre-pass
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: gluenail [program.gn ...] [--edb FILE] "
                    "[-e STMT] [-q GOAL] [--script FILE]\n"
                    "       gluenail --serve PORT [--admin-port PORT] "
-                   "[program.gn ...] [--edb FILE]\n";
+                   "[--max-connections N] [program.gn ...] [--edb FILE]\n"
+                   "       gluenail --data DIR [--durability "
+                   "none|async|sync|group] [--fsync-interval-us N] "
+                   "[--group-linger-us N] [--salvage] ...\n";
       return 0;
     } else {
       std::ifstream f(arg);
@@ -174,7 +266,9 @@ int main(int argc, char** argv) {
     if (!s.ok()) return Fail(s);
   }
 
-  if (serve_port >= 0) return ServeForever(&engine, serve_port, admin_port);
+  if (serve_port >= 0) {
+    return ServeForever(&engine, serve_port, admin_port, max_connections);
+  }
   if (admin_port >= 0) {
     std::cerr << "gluenail: --admin-port requires --serve\n";
     return 2;

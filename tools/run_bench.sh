@@ -16,6 +16,10 @@
 #   tools/run_bench.sh bench_vector    # batch vs tuple execution A/B at
 #                                      # 10k/100k/1M rows
 #                                      #   -> BENCH_vector.json
+#   tools/run_bench.sh bench_wal       # durable commits/sec at 1..16
+#                                      # writers per durability level,
+#                                      # recovered state verified
+#                                      #   -> BENCH_wal.json
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"

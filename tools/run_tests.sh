@@ -14,6 +14,10 @@
 #   vector — Debug build, runs only the vector-labelled batch-vs-tuple
 #            differential suite; the same tests also run under asan and
 #            tsan via their labels
+#   wal    — Debug build, runs only the wal-labelled durability suite
+#            (crash-point sweeps, torn-tail/mid-log recovery, group
+#            commit); the same tests also run under asan and tsan via
+#            their labels
 #
 # Usage: tools/run_tests.sh [config ...]
 #   tools/run_tests.sh                # debug + asan + ubsan + tsan
@@ -73,8 +77,12 @@ run_config() {
       configure_and_build "$prefix-debug" -DCMAKE_BUILD_TYPE=Debug
       (cd "$prefix-debug" && ctest --output-on-failure -L vector -j)
       ;;
+    wal)
+      configure_and_build "$prefix-debug" -DCMAKE_BUILD_TYPE=Debug
+      (cd "$prefix-debug" && ctest --output-on-failure -L wal -j)
+      ;;
     *)
-      echo "error: unknown config '$config' (debug|asan|ubsan|tsan|fault|obs|server|vector)" >&2
+      echo "error: unknown config '$config' (debug|asan|ubsan|tsan|fault|obs|server|vector|wal)" >&2
       exit 1
       ;;
   esac
