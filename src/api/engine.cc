@@ -933,6 +933,7 @@ Result<MutationBatch::ApplyReport> Engine::ApplyBatch(
   };
 
   uint64_t lsn = 0;
+  uint64_t lsn_epoch = 0;
   Result<MutationBatch::ApplyReport> applied =
       MutationBatch::ApplyReport{};
   {
@@ -956,6 +957,7 @@ Result<MutationBatch::ApplyReport> Engine::ApplyBatch(
     lsn = *appended;
     {
       std::lock_guard<std::mutex> ql(commit_mu_);
+      lsn_epoch = commit_epoch_;
       if (lsn > commit_appended_) commit_appended_ = lsn;
       if (pump_running_) pump_cv_.notify_one();
     }
@@ -985,7 +987,7 @@ Result<MutationBatch::ApplyReport> Engine::ApplyBatch(
 
   switch (options_.durability) {
     case DurabilityLevel::kGroupCommit:
-      GLUENAIL_RETURN_NOT_OK(commit_failed(WaitDurable(lsn)));
+      GLUENAIL_RETURN_NOT_OK(commit_failed(WaitDurable(lsn, lsn_epoch)));
       break;
     case DurabilityLevel::kAsync:
       MaybeAsyncSync();
@@ -998,9 +1000,16 @@ Result<MutationBatch::ApplyReport> Engine::ApplyBatch(
   return applied;
 }
 
-Status Engine::WaitDurable(uint64_t lsn) {
+Status Engine::WaitDurable(uint64_t lsn, uint64_t epoch) {
   std::unique_lock<std::mutex> ql(commit_mu_);
   for (;;) {
+    if (commit_epoch_ != epoch) {
+      // The log rotated while we waited: the checkpoint image that ended
+      // our epoch captured this batch (it was applied to memory before
+      // this wait), which is durability by other means. Our LSN is not
+      // comparable to the rotated log's numbering, so stop watching it.
+      return Status::OK();
+    }
     if (commit_durable_ >= lsn) return Status::OK();
     if (commit_broken_) {
       return Status::IoError(StrCat(
@@ -1065,9 +1074,9 @@ Status Engine::WaitDurable(uint64_t lsn) {
       ql.lock();
       if (done || commit_broken_) continue;  // re-enter the checks on top
     }
-    commit_cv_.wait(ql, [this, lsn] {
-      return commit_durable_ >= lsn || commit_broken_ ||
-             (!pump_running_ && !commit_leader_);
+    commit_cv_.wait(ql, [this, lsn, epoch] {
+      return commit_epoch_ != epoch || commit_durable_ >= lsn ||
+             commit_broken_ || (!pump_running_ && !commit_leader_);
     });
   }
 }
@@ -1165,18 +1174,24 @@ void Engine::MaybeAsyncSync() {
           .count();
   int64_t last = last_async_sync_ns_.load(std::memory_order_relaxed);
   if (now - last < interval) return;
-  if (!last_async_sync_ns_.compare_exchange_strong(
-          last, now, std::memory_order_relaxed)) {
-    return;  // another committer claimed this interval's sync
-  }
   {
     std::lock_guard<std::mutex> ql(commit_mu_);
-    // Take the leader seat so Rotate can never close the fd under our
-    // fsync; skip entirely if someone is already syncing.
+    // Decide the sync will actually run BEFORE claiming the interval:
+    // consuming it and then skipping would leave nothing synced until the
+    // interval after next, stretching kAsync's worst-case un-synced
+    // window toward two intervals. Skip entirely if someone is already
+    // syncing (their in-flight fsync covers our appends or the very next
+    // committer retries).
     if (commit_leader_ || commit_broken_ ||
         commit_durable_ >= commit_appended_) {
       return;
     }
+    if (!last_async_sync_ns_.compare_exchange_strong(
+            last, now, std::memory_order_relaxed)) {
+      return;  // another committer claimed this interval's sync
+    }
+    // Take the leader seat so Rotate can never close the fd under our
+    // fsync.
     commit_leader_ = true;
   }
   Status synced = wal_->Sync();  // errors surface as broken on next commit
@@ -1244,11 +1259,17 @@ Status Engine::CheckpointLocked() {
     }
     std::lock_guard<std::mutex> ql(commit_mu_);
     // Everything appended so far is durable *via the checkpoint image*,
-    // including batches whose fsync failed: heal the broken flag and
-    // release any still-parked waiters.
-    if (commit_appended_ > commit_durable_) {
-      commit_durable_ = commit_appended_;
-    }
+    // including batches whose fsync failed — but a failed sync also
+    // rolled the log's next LSN back, so the old mirrors can sit ABOVE
+    // the rotated log's numbering. Re-seed both from the log rather than
+    // force-promoting commit_durable_: an inflated watermark would ack
+    // post-rotation appends instantly with no fsync ever issued (the
+    // pump's durable < appended predicate could never fire again). Any
+    // waiter still parked on a pre-rotation LSN is released by the epoch
+    // bump — its batch is in the image just saved.
+    commit_epoch_++;
+    commit_appended_ = wal_->next_lsn() - 1;
+    commit_durable_ = commit_appended_;
     commit_broken_ = false;
     commit_cv_.notify_all();
   }

@@ -370,11 +370,15 @@ class Engine {
   /// Called with state_mu_ held exclusively — safe because commit leaders
   /// never take state_mu_, so they can finish while we wait.
   Status DrainCommitsLocked();
-  /// Group-commit wait: returns once \p lsn is durable. While the commit
-  /// pump runs, committers are pure followers; without it (pump not yet
-  /// started, or after a failed start) waiters elect a leader among
-  /// themselves that syncs once for the whole group and wakes everyone.
-  Status WaitDurable(uint64_t lsn);
+  /// Group-commit wait: returns once \p lsn is durable, or once the log
+  /// has rotated out from under the wait (\p epoch, captured under
+  /// commit_mu_ when the LSN was appended, no longer matches) — a
+  /// rotation means a checkpoint image captured the batch, which is
+  /// durability by other means. While the commit pump runs, committers
+  /// are pure followers; without it (pump not yet started, or after a
+  /// failed start) waiters elect a leader among themselves that syncs
+  /// once for the whole group and wakes everyone.
+  Status WaitDurable(uint64_t lsn, uint64_t epoch);
   /// kAsync: piggybacked background sync, at most once per fsync interval.
   void MaybeAsyncSync();
   /// Optional pre-fsync linger (wal_group_linger > 0): yield-spins with
@@ -431,6 +435,12 @@ class Engine {
   std::atomic<uint64_t> commit_durable_{0};
   bool commit_broken_ = false;    ///< sticky mirror of wal_->broken()
   bool commit_leader_ = false;    ///< a leader (pump/async/drain) owns the fd
+  /// Bumped under commit_mu_ when a checkpoint rotates the log. LSNs from
+  /// different epochs are not comparable (a failed sync rolls next_lsn
+  /// back, so post-rotation LSNs can collide with pre-rotation ones), and
+  /// a batch appended in an earlier epoch is durable via the checkpoint
+  /// image that ended it. Captured at append time, checked by WaitDurable.
+  uint64_t commit_epoch_ = 0;
   /// Last piggybacked async sync, for kAsync's interval gate
   /// (steady_clock ns; atomic so the check needs no lock).
   std::atomic<int64_t> last_async_sync_ns_{0};

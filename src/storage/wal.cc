@@ -20,7 +20,19 @@ constexpr size_t kWalHeaderSize = 24;    // magic + start_lsn + checksum
 constexpr size_t kRecordHeaderSize = 24;  // magic + lsn + len + checksum
 /// Per-payload sanity bound: anything larger than this is corruption, not
 /// a batch (the wire protocol caps frames at 64 MiB; we allow 4x).
-constexpr uint64_t kMaxPayload = 256u << 20;
+/// Append enforces the same cap (see Wal::kMaxPayloadBytes), so the scan
+/// never rejects a record Append accepted.
+constexpr uint64_t kMaxPayload = Wal::kMaxPayloadBytes;
+
+/// Test-only Append cap override; 0 = use kMaxPayloadBytes. The scan cap
+/// above stays at the default, so lowering this can only make Append
+/// stricter than recovery — never the reverse.
+std::atomic<uint64_t> g_max_payload_override{0};
+
+uint64_t AppendPayloadCap() {
+  uint64_t o = g_max_payload_override.load(std::memory_order_relaxed);
+  return o == 0 ? Wal::kMaxPayloadBytes : o;
+}
 /// Append writes in chunks so the fault injector can tear a large record
 /// mid-write — the same discipline as SaveDatabaseToFile.
 constexpr size_t kWriteChunk = 64 * 1024;
@@ -315,8 +327,22 @@ Status Wal::TruncateLocked(uint64_t to) {
   return Status::OK();
 }
 
+uint64_t Wal::OverrideMaxPayloadForTesting(uint64_t bytes) {
+  return g_max_payload_override.exchange(bytes, std::memory_order_relaxed);
+}
+
 Result<uint64_t> Wal::Append(const MutationBatch& batch) {
   const std::string payload = batch.Serialize();
+  if (payload.size() > AppendPayloadCap()) {
+    // Refuse before writing a byte: recovery rejects lengths past the cap
+    // as corruption, so an oversized record would be acked durable yet
+    // read back as a torn tail (and past 4 GiB the u32 length prefix
+    // would silently truncate, corrupting the framing).
+    return Status::InvalidArgument(
+        StrCat("mutation batch serializes to ", payload.size(),
+               " bytes, over the ", AppendPayloadCap(),
+               "-byte wal record limit; split the batch"));
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (fd_ < 0) return Status::InvalidArgument("wal is not open");

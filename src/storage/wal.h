@@ -151,10 +151,25 @@ class Wal {
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
 
+  /// Hard cap on a single record's payload. Append refuses anything
+  /// larger *before writing a byte*: recovery's scan rejects lengths past
+  /// this cap as corruption, so an oversized record would be acked
+  /// durable yet unrecoverable (and past 4 GiB the u32 length prefix
+  /// would silently truncate, corrupting the framing).
+  static constexpr uint64_t kMaxPayloadBytes = 256u << 20;
+
+  /// Test-only: lowers the Append payload cap so the refusal path can be
+  /// exercised without building a 256 MiB batch. Pass 0 to restore the
+  /// default; returns the previous override (0 = none). The recovery
+  /// scan's cap is unaffected, so the "every durable record is
+  /// recoverable" invariant holds under any override.
+  static uint64_t OverrideMaxPayloadForTesting(uint64_t bytes);
+
   /// Appends one record; returns its LSN. The record is in the OS page
   /// cache but NOT yet durable — call Sync() (or let the engine's group
   /// commit do it) before acking. Fails without side effects when the
-  /// batch is invalid or the log is broken.
+  /// batch is invalid, its payload exceeds kMaxPayloadBytes, or the log
+  /// is broken.
   Result<uint64_t> Append(const MutationBatch& batch);
 
   /// fsyncs everything appended so far; on return every previously

@@ -133,6 +133,40 @@ TEST_F(WalTest, AppendScanRoundTrip) {
   }
 }
 
+TEST_F(WalTest, AppendRefusesOversizedPayload) {
+  // A payload over the record cap must be refused before a byte is
+  // written: recovery's scan rejects such lengths as corruption, so an
+  // oversized record would be acked durable yet unrecoverable.
+  const std::string dir = FreshDir("maxpayload");
+  const std::string path = dir + "/wal.log";
+  Result<std::unique_ptr<Wal>> wal = Wal::Create(path, 1);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  const uint64_t size_before = FileSize(path);
+
+  const uint64_t prev = Wal::OverrideMaxPayloadForTesting(16);
+  Result<uint64_t> refused = (*wal)->Append(InsertBatch({1, 2, 3, 4}));
+  Wal::OverrideMaxPayloadForTesting(prev);
+
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kInvalidArgument)
+      << refused.status();
+  // No side effects: nothing written, numbering untouched, log healthy.
+  EXPECT_EQ(FileSize(path), size_before);
+  EXPECT_EQ((*wal)->next_lsn(), 1u);
+  EXPECT_FALSE((*wal)->broken());
+  EXPECT_EQ((*wal)->counters().appends.load(), 0u);
+
+  // With the cap back at its default the same batch appends and recovers.
+  Result<uint64_t> ok = (*wal)->Append(InsertBatch({1, 2, 3, 4}));
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(*ok, 1u);
+  ASSERT_TRUE((*wal)->Sync().ok());
+  Result<WalScanResult> scan = ScanWalBuffer(ReadFile(path));
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_EQ(scan->damage, WalDamage::kNone);
+  EXPECT_EQ(scan->records.size(), 1u);
+}
+
 TEST_F(WalTest, OpenTruncatesTornTail) {
   const std::string dir = FreshDir("torntail");
   const std::string path = dir + "/wal.log";
@@ -427,6 +461,53 @@ TEST_F(WalTest, CrashPointSweepFailedFsync) {
     }
     ExpectRecoversExactly(dir, acked);
   }
+}
+
+TEST_F(WalTest, CheckpointHealRestartsGroupCommitFsyncs) {
+  // Regression: a failed fsync rolls the log's next LSN back before the
+  // checkpoint heal rotates. The heal must re-seed the engine's durability
+  // watermarks from the rotated log — force-promoting the durable
+  // watermark to the (higher, pre-rollback) appended watermark would make
+  // post-heal group commits ack instantly against stale numbering, with
+  // no fsync ever issued.
+  const std::string dir = FreshDir("heal_gc");
+  std::set<int> expected;
+  {
+    Engine engine(DurableOpts(dir, DurabilityLevel::kGroupCommit));
+    ASSERT_TRUE(engine.Recover().ok());
+    SweepRun pre = ApplyNumbered(&engine, 0, 3);  // lsns 1..3 durable
+    ASSERT_EQ(pre.acked.size(), 3u);
+    expected = pre.acked;
+
+    FaultInjector::Instance().ArmNth(FaultOp::kFsync, 1);
+    SweepRun faulted = ApplyNumbered(&engine, 10, 11);  // lsn 4 rolls back
+    FaultInjector::Instance().Disarm();
+    ASSERT_EQ(faulted.errored.size(), 1u);
+    ASSERT_TRUE(engine.wal()->broken());
+    // The errored batch was applied to memory before its failed ack, so
+    // the healing checkpoint's image legitimately captures it.
+    expected.insert(10);
+
+    ASSERT_TRUE(engine.Checkpoint().ok());
+    ASSERT_FALSE(engine.wal()->broken());
+    EXPECT_EQ(engine.wal()->durable_lsn(), 0u);  // fresh rotated log
+
+    // The first post-heal commit reuses the rolled-back LSN 4. Its ack
+    // must mean a real fsync of the rotated log reached that LSN, not a
+    // comparison against the stale pre-rotation watermark.
+    SweepRun after = ApplyNumbered(&engine, 20, 21);
+    ASSERT_EQ(after.acked.size(), 1u);
+    EXPECT_GE(engine.wal()->durable_lsn(), 4u)
+        << "acked with no fsync of the rotated log";
+    expected.insert(20);
+
+    // And the group-commit machinery keeps flowing afterwards.
+    SweepRun more = ApplyNumbered(&engine, 30, 33);
+    EXPECT_EQ(more.errored.size(), 0u);
+    expected.insert(more.acked.begin(), more.acked.end());
+    EXPECT_EQ(Facts(&engine), expected);
+  }
+  ExpectRecoversExactly(dir, expected);
 }
 
 TEST_F(WalTest, CrashPointSweepFailedAppendAndRollback) {
