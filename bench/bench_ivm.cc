@@ -1,0 +1,188 @@
+/// \file bench_ivm.cc
+/// \brief Experiment E18: incremental view maintenance vs. full recompute.
+///
+/// A mixed read/write loop over a ~1M-tuple transitive-closure memo:
+/// 9600 disjoint 14-edge chains (134,400 edge tuples, 1,008,000 path
+/// tuples). Each iteration appends a batch of edges (one per chain, batch
+/// sizes 1 / 64 / 4096), reads through the memo — which forces the
+/// refresh being measured — then erases the same edges and reads again,
+/// restoring the base state. The refresh dominates, so the loop
+/// measures exactly what ISSUE 9 claims: DRed patching a small delta
+/// into a large memo (ivm auto) vs. rerunning the fixpoint from scratch
+/// (ivm off).
+///
+/// The acceptance criterion is the per-batch-size ratio of
+/// BM_RefreshFull to BM_RefreshAuto wall time: >= 10x at every batch
+/// size up to 4096. BM_VerifyIdentical is registered last and aborts
+/// the binary if the two engines' closures ever diverge (checked after
+/// the insert half and after the erase half at every batch size).
+///
+/// Output lands in BENCH_ivm.json via tools/run_bench.sh bench_ivm.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/api/engine.h"
+
+namespace gluenail {
+namespace {
+
+constexpr int kChains = 9600;
+constexpr int kChainEdges = 14;  // nodes 0..14 per chain; slot 15 appended
+constexpr int kStride = 32;      // node id = chain * kStride + slot
+
+int Node(int chain, int slot) { return chain * kStride + slot; }
+
+/// The batch appended (and later retracted) by one iteration: one tail
+/// edge per chain for the first \p batch chains.
+MutationBatch TailBatch(int batch, bool insert) {
+  MutationBatch b;
+  for (int c = 0; c < batch; ++c) {
+    std::string fact = StrCat("edge(", Node(c, kChainEdges), ",",
+                              Node(c, kChainEdges + 1), ")");
+    if (insert) {
+      b.Insert(fact);
+    } else {
+      b.Erase(fact);
+    }
+  }
+  return b;
+}
+
+/// One engine per ivm mode over the shared chain workload, built lazily
+/// and kept for the whole binary (function-local statics are
+/// constructed thread-safely).
+class IvmHarness {
+ public:
+  static IvmHarness& Get(IvmMode mode) {
+    static IvmHarness auto_h(IvmMode::kAuto);
+    static IvmHarness off_h(IvmMode::kOff);
+    return mode == IvmMode::kOff ? off_h : auto_h;
+  }
+
+  Engine& engine() { return *engine_; }
+
+  /// Read through the memo from one chain head; forces the refresh.
+  size_t Probe() {
+    Engine::QueryResult r =
+        bench::Require(engine_->Query(StrCat("path(", Node(0, 0), ", Y)")));
+    return r.rows.size();
+  }
+
+ private:
+  explicit IvmHarness(IvmMode mode) {
+    EngineOptions opts;
+    opts.ivm_mode = mode;
+    engine_ = std::make_unique<Engine>(opts);
+    bench::Require(engine_->LoadProgram(bench::TcModule("")));
+    MutationBatch edges;
+    for (int c = 0; c < kChains; ++c) {
+      for (int i = 0; i < kChainEdges; ++i) {
+        edges.Insert(
+            StrCat("edge(", Node(c, i), ",", Node(c, i + 1), ")"));
+      }
+    }
+    bench::Require(engine_->ApplyBatch(edges).status());
+    Probe();  // materialize the base memo outside any timing loop
+  }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+void RefreshLoop(benchmark::State& state, IvmMode mode) {
+  IvmHarness& harness = IvmHarness::Get(mode);
+  const int batch = static_cast<int>(state.range(0));
+  const MutationBatch grow = TailBatch(batch, /*insert=*/true);
+  const MutationBatch shrink = TailBatch(batch, /*insert=*/false);
+  for (auto _ : state) {
+    bench::Require(harness.engine().ApplyBatch(grow).status());
+    benchmark::DoNotOptimize(harness.Probe());
+    bench::Require(harness.engine().ApplyBatch(shrink).status());
+    benchmark::DoNotOptimize(harness.Probe());
+  }
+  NailEngine* nail = harness.engine().nail_engine();
+  state.SetItemsProcessed(state.iterations() * 2);  // refreshes
+  state.counters["delta_refreshes"] =
+      static_cast<double>(nail->delta_refresh_count());
+  state.counters["full_refreshes"] =
+      static_cast<double>(nail->full_refresh_count());
+}
+
+void BM_RefreshAuto(benchmark::State& state) {
+  RefreshLoop(state, IvmMode::kAuto);
+}
+BENCHMARK(BM_RefreshAuto)->Arg(1)->Arg(64)->Arg(4096)->UseRealTime();
+
+void BM_RefreshFull(benchmark::State& state) {
+  RefreshLoop(state, IvmMode::kOff);
+}
+BENCHMARK(BM_RefreshFull)
+    ->Arg(1)
+    ->Arg(64)
+    ->Arg(4096)
+    ->Iterations(2)
+    ->UseRealTime();
+
+/// Aborts the binary if the incrementally maintained closure ever
+/// differs from the recomputed one. Row-count equality over the whole
+/// memo plus rendered-row equality on every chain the batch touched
+/// (TermIds are pool-local, so cross-engine comparison goes through
+/// text), checked after both halves of the mixed loop.
+void CheckIdentical(int batch) {
+  Engine& a = IvmHarness::Get(IvmMode::kAuto).engine();
+  Engine& b = IvmHarness::Get(IvmMode::kOff).engine();
+  size_t na = bench::Require(a.Query("path(X, Y)")).rows.size();
+  size_t nb = bench::Require(b.Query("path(X, Y)")).rows.size();
+  if (na != nb) {
+    fprintf(stderr, "bench_ivm: closure size diverged at batch %d: %zu vs %zu\n",
+            batch, na, nb);
+    std::abort();
+  }
+  for (int c = 0; c < batch; ++c) {
+    std::string goal = StrCat("path(", Node(c, 0), ", Y)");
+    auto render = [&goal](Engine& e) {
+      std::string out;
+      for (const Tuple& row : bench::Require(e.Query(goal)).rows) {
+        for (TermId id : row) {
+          out += e.terms().ToString(id);
+          out += ',';
+        }
+        out += ';';
+      }
+      return out;
+    };
+    if (render(a) != render(b)) {
+      fprintf(stderr, "bench_ivm: %s diverged at batch %d\n", goal.c_str(),
+              batch);
+      std::abort();
+    }
+  }
+}
+
+void BM_VerifyIdentical(benchmark::State& state) {
+  for (auto _ : state) {
+    for (int batch : {1, 64, 4096}) {
+      for (Engine* e : {&IvmHarness::Get(IvmMode::kAuto).engine(),
+                        &IvmHarness::Get(IvmMode::kOff).engine()}) {
+        bench::Require(e->ApplyBatch(TailBatch(batch, true)).status());
+      }
+      CheckIdentical(batch);
+      for (Engine* e : {&IvmHarness::Get(IvmMode::kAuto).engine(),
+                        &IvmHarness::Get(IvmMode::kOff).engine()}) {
+        bench::Require(e->ApplyBatch(TailBatch(batch, false)).status());
+      }
+      CheckIdentical(batch);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VerifyIdentical)->Iterations(1);
+
+}  // namespace
+}  // namespace gluenail
+
+BENCHMARK_MAIN();

@@ -53,6 +53,7 @@ Engine::Engine(EngineOptions options)
     : options_(options),
       edb_(&pool_),
       idb_(&pool_),
+      ivm_log_(options.ivm_max_delta_rows),
       trace_ring_(options.trace_ring_capacity),
       slow_log_(options.slow_query_log_capacity) {
   edb_.set_default_index_policy(options_.index_policy);
@@ -185,6 +186,39 @@ void Engine::RegisterBuiltinMetrics() {
       "mid-evaluation SCC replans on cardinality drift", [this] {
         return nail_engine_ != nullptr ? nail_engine_->replan_count() : 0;
       });
+  // Incremental view maintenance: how often refreshes were served from
+  // captured deltas vs. recomputed, and how much the deltas moved.
+  metrics_.RegisterPullCounter(
+      "gluenail_nail_delta_refresh_total",
+      "NAIL! memo refreshes patched incrementally from captured deltas",
+      [this] {
+        return nail_engine_ != nullptr ? nail_engine_->delta_refresh_count()
+                                       : 0;
+      });
+  metrics_.RegisterPullCounter(
+      "gluenail_nail_full_refresh_total",
+      "NAIL! memo refreshes recomputed from scratch", [this] {
+        return nail_engine_ != nullptr ? nail_engine_->full_refresh_count()
+                                       : 0;
+      });
+  metrics_.RegisterPullCounter(
+      "gluenail_nail_ivm_fallbacks_total",
+      "full recomputes forced while delta maintenance was enabled", [this] {
+        return nail_engine_ != nullptr ? nail_engine_->ivm_fallback_count()
+                                       : 0;
+      });
+  metrics_.RegisterPullCounter(
+      "gluenail_nail_ivm_delta_rows_in_total",
+      "EDB delta rows consumed by incremental refreshes", [this] {
+        return nail_engine_ != nullptr ? nail_engine_->ivm_delta_rows_in()
+                                       : 0;
+      });
+  metrics_.RegisterPullCounter(
+      "gluenail_nail_ivm_delta_rows_out_total",
+      "memo rows changed by incremental refreshes", [this] {
+        return nail_engine_ != nullptr ? nail_engine_->ivm_delta_rows_out()
+                                       : 0;
+      });
 
   // Process-wide planner and persistence counters (free-function layers).
   metrics_.RegisterPullCounter(
@@ -309,6 +343,8 @@ void Engine::SampleReplanBaseline(QueryObs* obs) {
   if (!obs->active) return;
   obs->replans_before =
       nail_engine_ != nullptr ? nail_engine_->replan_count() : 0;
+  obs->refresh_seq_before =
+      nail_engine_ != nullptr ? nail_engine_->refresh_seq() : 0;
 }
 
 void Engine::FinishQueryObs(QueryObs* obs, std::string_view query,
@@ -336,6 +372,17 @@ void Engine::FinishQueryObs(QueryObs* obs, std::string_view query,
     const uint64_t replans_now =
         nail_engine_ != nullptr ? nail_engine_->replan_count() : 0;
     entry.replans = replans_now - obs->replans_before;
+    if (nail_engine_ != nullptr &&
+        nail_engine_->refresh_seq() != obs->refresh_seq_before) {
+      // This query paid for a memo refresh; record how it ran.
+      NailRefreshInfo info = nail_engine_->last_refresh();
+      entry.nail_refresh_mode = info.mode;
+      if (!info.fallback.empty()) {
+        entry.nail_refresh_mode += StrCat(" (", info.fallback, ")");
+      }
+      entry.nail_delta_rows_in = info.delta_rows_in;
+      entry.nail_delta_rows_out = info.delta_rows_out;
+    }
     entry.plan = trace->plan;
     entry.top_spans = TopSpansByDuration(trace->spans, 3);
     m_slow_queries_->Add(1);
@@ -391,10 +438,22 @@ Status Engine::LoadProgramLocked(std::string_view source) {
   nail_engine_->set_num_threads(options_.num_threads);
   if (nail_mode == NailMode::kCompiledGlue) {
     nail_engine_->set_driver_proc(linked_->nail_driver_proc);
+    if (options_.ivm_mode != IvmMode::kOff) {
+      // Delta maintenance drives the direct rule-version plans even when
+      // full refreshes run through the generated Glue driver, so compile
+      // them too (the modes are differential-tested equal).
+      GLUENAIL_RETURN_NOT_OK(nail_engine_->CompileDirect(
+          linked_->builtin_scope.get(), options_.planner, &stats_provider_));
+    }
   } else {
     GLUENAIL_RETURN_NOT_OK(nail_engine_->CompileDirect(
         linked_->builtin_scope.get(), options_.planner, &stats_provider_));
   }
+  nail_engine_->ConfigureIvm(options_.ivm_mode,
+                             options_.ivm_max_delta_fraction, &ivm_log_);
+  // A new program means new memos; deltas captured against the old one
+  // are meaningless (the first refresh rebases the log).
+  ivm_log_.Invalidate();
 
   RuntimeEnv env;
   env.io = io_;
@@ -726,6 +785,8 @@ Result<std::string> Engine::ExplainStatement(std::string_view statement,
   for (const StatementPlan& plan : proc.plans) {
     executor_->EnableOpProfile(&plan);
   }
+  const uint64_t refresh_seq_before =
+      nail_engine_ != nullptr ? nail_engine_->refresh_seq() : 0;
   Frame frame(&proc);
   Status run = executor_->ExecBlock(proc.code, proc, &frame);
   if (!run.ok()) {
@@ -736,6 +797,16 @@ Result<std::string> Engine::ExplainStatement(std::string_view statement,
     out += PlanToString(plan, pool_, executor_->OpProfile(&plan));
   }
   executor_->ClearOpProfiles();
+  if (nail_engine_ != nullptr &&
+      nail_engine_->refresh_seq() != refresh_seq_before) {
+    // The statement demanded a stale NAIL! memo; show how the refresh ran
+    // (full vs. delta-driven, and why a fallback recomputed).
+    NailRefreshInfo info = nail_engine_->last_refresh();
+    out += StrCat("nail refresh: mode=", info.mode);
+    if (!info.fallback.empty()) out += StrCat(" fallback=", info.fallback);
+    out += StrCat(" delta_rows_in=", info.delta_rows_in,
+                  " delta_rows_out=", info.delta_rows_out, "\n");
+  }
   return out;
 }
 
@@ -758,17 +829,47 @@ Status Engine::AddFactLocked(std::string_view fact) {
     text.pop_back();
   }
   GLUENAIL_ASSIGN_OR_RETURN(TermId t, ParseGroundTerm(&pool_, text));
+  TermId name;
+  Tuple row;
   if (pool_.IsCompound(t)) {
     std::span<const TermId> args = pool_.Args(t);
-    edb_.GetOrCreate(pool_.Functor(t), static_cast<uint32_t>(args.size()))
-        ->Insert(Tuple(args.begin(), args.end()));
-    return Status::OK();
+    name = pool_.Functor(t);
+    row.assign(args.begin(), args.end());
+  } else if (pool_.IsSymbol(t)) {
+    name = t;
+  } else {
+    return Status::InvalidArgument(
+        "a fact must be a symbol or compound term");
   }
-  if (pool_.IsSymbol(t)) {
-    edb_.GetOrCreate(t, 0)->Insert(Tuple{});
-    return Status::OK();
+  const uint32_t arity = static_cast<uint32_t>(row.size());
+  if (edb_.GetOrCreate(name, arity)->Insert(row)) {
+    ivm_log_.CaptureInsert(name, arity, row);
+    ivm_log_.SealBatch(SnapshotEdbVersion(edb_));
   }
-  return Status::InvalidArgument("a fact must be a symbol or compound term");
+  return Status::OK();
+}
+
+Result<MutationBatch::ApplyReport> Engine::ApplyBatchCapturedLocked(
+    const MutationBatch& batch) {
+  MutationBatch::ChangeObserver observer =
+      [this](MutationBatch::OpKind kind, TermId name, uint32_t arity,
+             RowView row) {
+        if (kind == MutationBatch::OpKind::kInsert) {
+          ivm_log_.CaptureInsert(name, arity, row);
+        } else {
+          ivm_log_.CaptureErase(name, arity, row);
+        }
+      };
+  Result<MutationBatch::ApplyReport> applied =
+      batch.Apply(&edb_, &pool_, &observer);
+  if (applied.ok()) {
+    ivm_log_.SealBatch(SnapshotEdbVersion(edb_));
+  } else {
+    // A failed apply can leave a captured prefix the watermark will never
+    // catch up to; drop it.
+    ivm_log_.Invalidate();
+  }
+  return applied;
 }
 
 Result<TermId> Engine::InternTerm(std::string_view text) {
@@ -825,6 +926,12 @@ Result<LoadReport> Engine::LoadEdbFile(const std::string& path,
   }
   GLUENAIL_ASSIGN_OR_RETURN(LoadReport report,
                             LoadDatabaseFromFile(&edb_, path, options));
+  // The load rewrote relations wholesale (possibly salvaging only part of
+  // a damaged file); captured deltas describe a history that no longer
+  // exists. The version watermark would catch this too — invalidating is
+  // the explicit belt-and-braces the salvage path demands.
+  ivm_log_.Invalidate();
+  if (nail_engine_ != nullptr) nail_engine_->Invalidate();
   // Loaded facts bypassed the log; checkpoint immediately so the durable
   // state includes them (otherwise a crash would silently undo the load).
   if (WalActiveLocked()) GLUENAIL_RETURN_NOT_OK(CheckpointLocked());
@@ -940,7 +1047,7 @@ Result<MutationBatch::ApplyReport> Engine::ApplyBatch(
     std::unique_lock<std::shared_mutex> lock(state_mu_);
     if (!WalActiveLocked()) {
       // Durability off: the batch is just a structured multi-op apply.
-      return batch.Apply(&edb_, &pool_);
+      return ApplyBatchCapturedLocked(batch);
     }
     // Write-ahead: validate (so a malformed batch is never logged), log,
     // then apply to memory. The apply happens before the ack wait so the
@@ -976,7 +1083,7 @@ Result<MutationBatch::ApplyReport> Engine::ApplyBatch(
       GLUENAIL_RETURN_NOT_OK(commit_failed(std::move(synced)));
       if (m_wal_group_size_ != nullptr) m_wal_group_size_->Observe(1);
     }
-    applied = batch.Apply(&edb_, &pool_);
+    applied = ApplyBatchCapturedLocked(batch);
     if (!applied.ok()) {
       // Validate passed, so this cannot happen short of an engine bug —
       // but if it does, the log now has a record memory does not reflect.
@@ -1310,6 +1417,10 @@ Result<RecoveryReport> Engine::Recover() {
   edb_.ForEach([](TermId, uint32_t, Relation* rel) { rel->Clear(); });
   idb_.ForEach([](TermId, uint32_t, Relation* rel) { rel->Clear(); });
   if (nail_engine_ != nullptr) nail_engine_->Invalidate();
+  // Pre-recovery deltas describe the pre-crash history; a refresh against
+  // them could serve memo rows the recovered (possibly salvaged) EDB never
+  // derived. Drop them before the rebuild below.
+  ivm_log_.Invalidate();
 
   RecoveryOptions ropts;
   ropts.mode = options_.wal_recovery;

@@ -46,6 +46,7 @@
 #include "src/obs/slow_query.h"
 #include "src/obs/trace.h"
 #include "src/storage/database.h"
+#include "src/storage/delta_log.h"
 #include "src/storage/mutation_batch.h"
 #include "src/storage/persistence.h"
 #include "src/storage/recovery.h"
@@ -320,6 +321,10 @@ class Engine {
     TraceSink sink;
     std::chrono::steady_clock::time_point start;
     uint64_t replans_before = 0;
+    /// NAIL! refresh sequence at query start; a different value at finish
+    /// means this query paid for a memo refresh, and the slow-query entry
+    /// reports how it ran (full vs. counting vs. DRed, delta sizes).
+    uint64_t refresh_seq_before = 0;
     std::optional<TraceScope> scope;
   };
   void BeginQueryObs(QueryObs* obs, bool want_trace);
@@ -343,6 +348,11 @@ class Engine {
   Status LoadProgramLocked(std::string_view source);
   Status ExecuteStatementLocked(std::string_view statement);
   Status AddFactLocked(std::string_view fact);
+  /// Applies \p batch with every actual change captured into ivm_log_ and
+  /// the log sealed at the post-batch EDB snapshot. The single apply both
+  /// WAL paths of ApplyBatch share.
+  Result<MutationBatch::ApplyReport> ApplyBatchCapturedLocked(
+      const MutationBatch& batch);
 
   /// True when reads can proceed under a shared lock: a program is linked
   /// and the NAIL! materialization matches the current EDB.
@@ -411,6 +421,12 @@ class Engine {
   std::vector<HostProcedure> hosts_;
   std::unique_ptr<LinkedProgram> linked_;
   std::unique_ptr<NailEngine> nail_engine_;
+  /// Captured EDB deltas feeding delta-driven memo maintenance
+  /// (src/nail/ivm.cc): the structured write path records every tuple that
+  /// actually changed into it; the NAIL! refresh consumes and rebases it.
+  /// Recover / LoadEdbFile invalidate it explicitly; unstructured writes
+  /// (Mutate, ad-hoc statements) are caught by its version watermark.
+  DeltaLog ivm_log_;
   std::unique_ptr<Executor> executor_;
   IoEnv io_;
   CompileStats compile_stats_;

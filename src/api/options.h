@@ -39,6 +39,25 @@ struct EngineOptions {
   /// two modes are differential-tested equal.
   int num_threads = 1;
 
+  // --- Incremental view maintenance (src/nail/ivm.cc,
+  // docs/ARCHITECTURE.md "Incremental view maintenance") ------------------
+  /// How stale NAIL! memos are refreshed. kAuto (the default) patches the
+  /// memo from captured EDB deltas — counting maintenance for
+  /// non-recursive predicates, DRed for recursive SCCs — whenever the
+  /// structured write path (ApplyBatch / AddFact) captured every change
+  /// since the last refresh and the deltas are small; anything else falls
+  /// back to the full recompute. kOff restores the old
+  /// always-recompute behavior; kForce skips the delta-size guard
+  /// (tests/benches).
+  IvmMode ivm_mode = IvmMode::kAuto;
+  /// kAuto's fall-back guard: recompute fully when any relation's captured
+  /// delta exceeds this fraction of its live size (delta joins stop paying
+  /// off well before the delta reaches the base's size).
+  double ivm_max_delta_fraction = 0.25;
+  /// Per-relation cap on captured delta rows. An overflowing capture is
+  /// dropped (bounded memory) and forces the next refresh to recompute.
+  uint64_t ivm_max_delta_rows = 1u << 20;
+
   // --- Observability (src/obs/, docs/ARCHITECTURE.md "Observability") ----
   /// Queries and statements slower than this are captured in the engine's
   /// slow-query log (text, chosen plan with est vs. actual rows, replan

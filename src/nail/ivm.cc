@@ -1,0 +1,978 @@
+/// \file ivm.cc
+/// \brief Delta-driven NAIL! memo maintenance (docs/ARCHITECTURE.md,
+/// "Incremental view maintenance").
+///
+/// When the engine's structured write path captured every EDB change since
+/// the memo's snapshot (storage/delta_log.h), a stale memo is patched
+/// instead of recomputed:
+///
+///  * non-recursive SCCs run *counting* maintenance: exact per-tuple
+///    derivation counts, maintained by joining each rule's body with the
+///    changed relation's net delta in one position (exact because the
+///    other positions are unchanged — old state == new state);
+///  * recursive SCCs run *DRed* (delete-and-rederive): over-delete via
+///    delta-restricted semi-naive (reading erased relations through a
+///    live ∪ erased old-state over-approximation), erase, rederive
+///    survivors through a deletion-set semi-join fixpoint, then seed the
+///    ordinary semi-naive fixpoint with the insertions.
+///
+/// Everything here is *optimistic*: any structural condition the
+/// algorithms cannot handle (aggregates in rules, negation over a changed
+/// relation, more than one changed position per counting rule, a
+/// derivation-count mismatch) abandons the attempt and falls back to the
+/// full recompute in seminaive.cc, which is always correct. Live EDB and
+/// memo relations are never mutated to simulate old states — old-state
+/// reads go through private override copies — so an abandoned attempt can
+/// at worst leave the memo partially patched, which the caller handles by
+/// distrusting it (valid_ = false).
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "src/analysis/binding.h"
+#include "src/common/strings.h"
+#include "src/exec/eval.h"
+#include "src/nail/seminaive.h"
+#include "src/obs/trace.h"
+#include "src/plan/planner.h"
+
+namespace gluenail {
+
+namespace {
+
+using ast::Subgoal;
+using ast::Term;
+
+/// (relation name, arity) packed the way DeltaLog keys entries.
+uint64_t RelKey(TermId name, uint32_t arity) {
+  return (static_cast<uint64_t>(name) << 32) | arity;
+}
+
+/// Flattens a HiLog predicate-name chain's parameter arguments followed by
+/// the subgoal arguments into one column list (same discipline as
+/// nail_to_glue.cc — the flattened storage layout).
+std::vector<Term> FlattenCols(const Term& pred,
+                              const std::vector<Term>& args) {
+  std::vector<Term> cols;
+  std::vector<const Term*> chain;
+  std::function<void(const Term&)> collect = [&](const Term& t) {
+    if (!t.IsApply()) return;
+    collect(t.functor());
+    for (size_t i = 0; i < t.apply_arity(); ++i) chain.push_back(&t.arg(i));
+  };
+  collect(pred);
+  for (const Term* t : chain) cols.push_back(*t);
+  for (const Term& a : args) cols.push_back(a);
+  return cols;
+}
+
+/// Replaces every wildcard with a fresh `$w<n>` variable so each distinct
+/// matching tuple yields a distinct binding record — the counting
+/// algorithm reads derivation multiplicities straight off the record set.
+void RenameWildcards(Term* t, int* counter) {
+  if (t->IsWildcard()) {
+    *t = Term::Variable(StrCat("$w", (*counter)++));
+    return;
+  }
+  for (Term& c : t->children) RenameWildcards(&c, counter);
+}
+
+void AddVars(const Term& t, std::vector<std::string>* out,
+             std::unordered_set<std::string>* seen) {
+  std::vector<std::string> tmp;
+  t.CollectVariables(&tmp);
+  for (std::string& v : tmp) {
+    if (seen->insert(v).second) out->push_back(std::move(v));
+  }
+}
+
+/// Whether every op of \p plan is something the maintenance joins can run
+/// body-only over frozen storage: matches/negations on EDB or NAIL!
+/// relations (read-override-able) and comparisons. Aggregates, group_by,
+/// calls, body updates, and dynamic HiLog access all disqualify the rule.
+bool PlanCapable(const StatementPlan& plan) {
+  for (const PlanOp& op : plan.ops) {
+    switch (op.kind) {
+      case OpKind::kMatch:
+      case OpKind::kNegMatch:
+        if (op.access.kind != PredicateAccess::Kind::kEdb &&
+            op.access.kind != PredicateAccess::Kind::kNail) {
+          return false;
+        }
+        break;
+      case OpKind::kCompare:
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+/// Body-only executors read through SelectConst, which never builds
+/// indexes — so build any keyed index up front, where the writer path
+/// would have built it adaptively (mirrors ParallelIterate).
+void BuildIndexesFor(const StatementPlan& plan, Database* edb, Database* idb,
+                     const std::unordered_map<TermId, Relation*>& overrides) {
+  for (const PlanOp& op : plan.ops) {
+    if (op.kind != OpKind::kMatch && op.kind != OpKind::kNegMatch) continue;
+    if (op.bound_mask == 0) continue;
+    Relation* rel = nullptr;
+    auto it = overrides.find(op.access.name);
+    if (it != overrides.end()) {
+      rel = it->second;
+    } else if (op.access.kind == PredicateAccess::Kind::kEdb) {
+      rel = edb->Find(op.access.name, op.access.arity);
+    } else if (op.access.kind == PredicateAccess::Kind::kNail) {
+      rel = idb->Find(op.access.name, op.access.arity);
+    }
+    if (rel != nullptr && rel->index_policy() != IndexPolicy::kNeverIndex &&
+        rel->size() >= 64) {
+      rel->EnsureIndex(op.bound_mask);
+    }
+  }
+}
+
+/// Runs \p plan body-only through \p ex and hands each binding record's
+/// head tuple (the first \p ncols head expressions) to \p f. One call per
+/// record, so multiplicities survive.
+template <typename F>
+Status RunPlanHeads(Executor* ex, const StatementPlan& plan, size_t ncols,
+                    TermPool* pool, F&& f) {
+  Frame frame(nullptr);
+  RecordSet sup;
+  GLUENAIL_RETURN_NOT_OK(ex->ExecuteBodyOnly(plan, &frame, &sup));
+  for (const Record& rec : sup.records) {
+    Tuple t;
+    t.reserve(ncols);
+    for (size_t i = 0; i < ncols; ++i) {
+      GLUENAIL_ASSIGN_OR_RETURN(
+          TermId v, EvalExpr(plan, plan.head.arg_exprs[i], rec, pool));
+      t.push_back(v);
+    }
+    f(std::move(t));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+/// Per-refresh working state. Everything old-state-shaped lives here as
+/// private copies; live relations are only patched with *final* nets.
+struct NailEngine::IvmCtx {
+  /// Net change of one relation: rows now present that were absent at the
+  /// memo's snapshot, and vice versa.
+  struct Net {
+    explicit Net(uint32_t arity)
+        : inserted("$ivm+", arity), erased("$ivm-", arity) {}
+    Relation inserted;
+    Relation erased;
+    uint64_t rows() const { return inserted.size() + erased.size(); }
+  };
+
+  /// RelKey -> net change. Seeded from the delta log's EDB captures;
+  /// memo storage keys are appended as their SCCs complete, so downstream
+  /// SCCs see upstream memo deltas uniformly.
+  std::unordered_map<uint64_t, std::unique_ptr<Net>> changed;
+  /// Memo nets to mirror into published HiLog instances, in SCC order.
+  std::vector<std::pair<int, const Net*>> publish;
+  /// DRed old-state over-approximation per changed relation:
+  /// live ∪ erased ⊇ old (also ⊇ new — safe for over-deletion).
+  std::unordered_map<uint64_t, std::unique_ptr<Relation>> unions;
+  /// Counting backfill: exact pre-delta copies of changed EDB relations
+  /// (live − inserted ∪ erased).
+  std::unordered_map<uint64_t, std::unique_ptr<Relation>> old_state;
+
+  uint64_t rows_out = 0;
+  bool used_counting = false;
+  bool used_dred = false;
+  std::string fallback;
+
+  Net* Find(uint64_t key) {
+    auto it = changed.find(key);
+    return it == changed.end() ? nullptr : it->second.get();
+  }
+};
+
+Status NailEngine::EnsureIvmPlans() {
+  if (ivm_plans_ready_) return Status::OK();
+  ivm_plans_ready_ = true;
+  ivm_program_capable_ = false;
+  if (nail_scope_ == nullptr || exec_ == nullptr) return Status::OK();
+
+  // All reserved names live in a scope layered over the direct-compile
+  // scope; the plans intern everything they need, so the layer itself can
+  // die with this function.
+  Scope scope(nail_scope_.get());
+
+  // Deletion-set relations for DRed rederivation, one per predicate.
+  ivm_dset_names_.assign(program_.preds.size(), kNullTerm);
+  for (size_t p = 0; p < program_.preds.size(); ++p) {
+    const NailPred& pred = program_.preds[p];
+    std::string dname = StrCat("$ivm$dset$", p);
+    ivm_dset_names_[p] = pool_->MakeSymbol(dname);
+    PredBinding b;
+    b.cls = PredClass::kNail;
+    b.free_arity = pred.columns();
+    b.name = ivm_dset_names_[p];
+    scope.Declare(dname, 0, pred.columns(), b);
+  }
+
+  CompileEnv env;
+  env.pool = pool_;
+  env.scope = &scope;
+  env.implicit_edb = true;
+  env.stats = stats_;
+  // Delta-position-first plans: reordering off keeps the delta subgoal in
+  // front so the join cost is proportional to the delta, not the base.
+  PlannerOptions delta_opts = planner_opts_;
+  delta_opts.reorder = false;
+
+  // A plan that fails without reordering (the original body order may not
+  // be schedulable as written) is retried with the regular planner — the
+  // join result is the same set of bindings either way.
+  auto plan_either = [&](const ast::Assignment& a,
+                         StatementPlan* out) -> bool {
+    Result<StatementPlan> r = PlanAssignment(a, env, delta_opts);
+    if (!r.ok()) r = PlanAssignment(a, env, planner_opts_);
+    if (!r.ok() || !PlanCapable(*r)) return false;
+    *out = std::move(*r);
+    return true;
+  };
+
+  std::vector<int> rule_pred(program_.rules.size(), -1);
+  for (size_t p = 0; p < program_.preds.size(); ++p) {
+    for (int r : program_.preds[p].rules) {
+      rule_pred[static_cast<size_t>(r)] = static_cast<int>(p);
+    }
+  }
+
+  ivm_rules_.clear();
+  ivm_rules_.resize(program_.rules.size());
+  bool all_ok = true;
+  for (size_t r = 0; r < program_.rules.size(); ++r) {
+    IvmRule& ir = ivm_rules_[r];
+    ir.pred = rule_pred[r];
+    const ast::NailRule& rule = program_.rules[r];
+    bool ok = ir.pred >= 0;
+
+    ir.head_cols = FlattenCols(rule.head_pred, rule.head_args);
+    for (const Term& c : ir.head_cols) {
+      if (!c.IsVariable() && !c.IsGround()) ok = false;
+    }
+
+    // Wildcard-free body copy (positive atoms only: a fresh variable in a
+    // negated atom would be unbound and unsafe, and negations are pure
+    // filters so their wildcards cannot inflate multiplicities).
+    ir.body = rule.body;
+    int wc = 0;
+    for (Subgoal& g : ir.body) {
+      if (g.kind != ast::SubgoalKind::kAtom) continue;
+      for (Term& a : g.args) RenameWildcards(&a, &wc);
+    }
+
+    std::unordered_set<std::string> seen;
+    for (const Subgoal& g : ir.body) {
+      if (g.kind == ast::SubgoalKind::kAtom ||
+          g.kind == ast::SubgoalKind::kNegatedAtom) {
+        AddVars(g.pred, &ir.vars, &seen);
+        for (const Term& a : g.args) AddVars(a, &ir.vars, &seen);
+      } else if (g.kind == ast::SubgoalKind::kComparison) {
+        AddVars(g.lhs, &ir.vars, &seen);
+        AddVars(g.rhs, &ir.vars, &seen);
+      }
+    }
+
+    // Resolve every atom position to its relation: NAIL! memo storage, or
+    // an EDB relation named by the (ground) predicate term.
+    auto resolve = [&](const Subgoal& g, size_t index,
+                       IvmRule::Pos* pos) -> bool {
+      std::string root;
+      uint32_t params = 0;
+      if (!StaticPredName(g.pred, &root, &params)) return false;
+      int dp = program_.FindPred(root, params,
+                                 static_cast<uint32_t>(g.args.size()));
+      pos->index = index;
+      if (dp >= 0) {
+        const NailPred& dep = program_.preds[static_cast<size_t>(dp)];
+        pos->rel = dep.storage;
+        pos->arity = dep.columns();
+        pos->nail_pred = dp;
+        return true;
+      }
+      Result<TermId> nm = InternGroundTerm(pool_, g.pred);
+      if (!nm.ok()) return false;
+      pos->rel = *nm;
+      pos->arity = static_cast<uint32_t>(g.args.size());
+      pos->nail_pred = -1;
+      return true;
+    };
+    for (size_t i = 0; ok && i < ir.body.size(); ++i) {
+      const Subgoal& g = ir.body[i];
+      IvmRule::Pos pos;
+      switch (g.kind) {
+        case ast::SubgoalKind::kAtom:
+          if (!resolve(g, i, &pos)) ok = false;
+          else ir.positions.push_back(pos);
+          break;
+        case ast::SubgoalKind::kNegatedAtom:
+          if (!resolve(g, i, &pos)) ok = false;
+          else ir.negations.push_back(pos);
+          break;
+        case ast::SubgoalKind::kComparison:
+          break;
+        default:
+          ok = false;
+          break;
+      }
+    }
+
+    if (ok) {
+      size_t H = ir.head_cols.size();
+      // Synthetic heads: the all-vars head exposes head columns plus every
+      // body variable (one record == one derivation); the rederive head is
+      // just the head columns. Both are assignable reserved kNail names —
+      // assignable so head planning succeeds, though only bodies ever run.
+      std::string hname = StrCat("$ivm$h$", r);
+      uint32_t hv = static_cast<uint32_t>(H + ir.vars.size());
+      PredBinding hb;
+      hb.cls = PredClass::kNail;
+      hb.free_arity = hv;
+      hb.name = pool_->MakeSymbol(hname);
+      hb.assignable = true;
+      scope.Declare(hname, 0, hv, hb);
+      std::string rhname = StrCat("$ivm$rh$", r);
+      PredBinding rhb;
+      rhb.cls = PredClass::kNail;
+      rhb.free_arity = static_cast<uint32_t>(H);
+      rhb.name = pool_->MakeSymbol(rhname);
+      rhb.assignable = true;
+      scope.Declare(rhname, 0, static_cast<uint32_t>(H), rhb);
+
+      std::vector<Term> all_head = ir.head_cols;
+      for (const std::string& v : ir.vars) all_head.push_back(Term::Variable(v));
+
+      // One delta plan per positive position: that position rotated to the
+      // front, redirected to a reserved per-(rule, position) name that the
+      // refresh read-overrides to whichever delta relation it is joining.
+      for (size_t k = 0; ok && k < ir.positions.size(); ++k) {
+        IvmRule::Pos& pos = ir.positions[k];
+        std::string uname = StrCat("$ivm$u$", r, "$", k);
+        pos.scope_name = pool_->MakeSymbol(uname);
+        PredBinding ub;
+        ub.cls = PredClass::kNail;
+        ub.free_arity = pos.arity;
+        ub.name = pos.scope_name;
+        scope.Declare(uname, 0, pos.arity, ub);
+
+        ast::Assignment a;
+        a.head_pred = Term::Symbol(hname);
+        a.head_args = all_head;
+        a.op = ast::AssignOp::kInsert;
+        Subgoal dg = ir.body[pos.index];
+        if (pos.nail_pred >= 0) {
+          // Memo positions flatten HiLog params into columns; EDB delta
+          // rows already carry plain argument columns (the params live in
+          // the relation name), so those keep their args.
+          std::vector<Term> cols = FlattenCols(dg.pred, dg.args);
+          dg.args = std::move(cols);
+        }
+        dg.pred = Term::Symbol(uname);
+        a.body.push_back(std::move(dg));
+        for (size_t j = 0; j < ir.body.size(); ++j) {
+          if (j != pos.index) a.body.push_back(ir.body[j]);
+        }
+        ir.delta_plans.emplace_back();
+        if (!plan_either(a, &ir.delta_plans.back())) ok = false;
+      }
+
+      // Counting backfill: the original body under the all-vars head, run
+      // over full (pre-delta, via overrides) relations.
+      if (ok) {
+        ast::Assignment a;
+        a.head_pred = Term::Symbol(hname);
+        a.head_args = all_head;
+        a.op = ast::AssignOp::kInsert;
+        a.body = ir.body;
+        Result<StatementPlan> cp = PlanAssignment(a, env, planner_opts_);
+        if (!cp.ok() || !PlanCapable(*cp)) ok = false;
+        else ir.count_plan = std::move(*cp);
+      }
+
+      // DRed rederivation: semi-join the head predicate's deletion set
+      // against the body — a deleted tuple with a surviving derivation
+      // comes back.
+      if (ok) {
+        const NailPred& hp = program_.preds[static_cast<size_t>(ir.pred)];
+        ast::Assignment a;
+        a.head_pred = Term::Symbol(rhname);
+        a.head_args = ir.head_cols;
+        a.op = ast::AssignOp::kInsert;
+        a.body.push_back(Subgoal::Atom(
+            Term::Symbol(StrCat("$ivm$dset$", ir.pred)), ir.head_cols));
+        for (const Subgoal& g : ir.body) a.body.push_back(g);
+        (void)hp;
+        if (!plan_either(a, &ir.rederive)) ok = false;
+      }
+    }
+
+    ir.ok = ok;
+    all_ok = all_ok && ok;
+  }
+  ivm_program_capable_ = all_ok && !program_.rules.empty();
+  return Status::OK();
+}
+
+Status NailEngine::RefreshIncremental(NailRefreshInfo* info, bool* done) {
+  *done = false;
+  GLUENAIL_RETURN_NOT_OK(EnsureIvmPlans());
+  if (!ivm_program_capable_) {
+    info->fallback = "unsupported-rule";
+    return Status::OK();
+  }
+  ScopedSpan span("nail:delta-refresh");
+
+  IvmCtx ctx;
+  uint64_t rows_in = 0;
+  bool too_big = false;
+  delta_log_->ForEach([&](TermId name, uint32_t arity,
+                          const DeltaLog::RelDelta& d) {
+    if (d.rows() == 0) return;
+    rows_in += d.rows();
+    if (ivm_mode_ != IvmMode::kForce) {
+      Relation* live = edb_->Find(name, arity);
+      size_t base = live != nullptr ? live->size() : 0;
+      if (base < 256) base = 256;
+      if (static_cast<double>(d.rows()) >
+          ivm_max_fraction_ * static_cast<double>(base)) {
+        too_big = true;
+      }
+    }
+    auto net = std::make_unique<IvmCtx::Net>(arity);
+    net->inserted.CopyFrom(d.inserted);
+    net->erased.CopyFrom(d.erased);
+    ctx.changed[RelKey(name, arity)] = std::move(net);
+  });
+  info->delta_rows_in = rows_in;
+  if (span.active()) span.AddRows(rows_in);
+  if (too_big) {
+    info->fallback = "delta-fraction";
+    return Status::OK();
+  }
+  if (ctx.changed.empty()) {
+    info->mode = "empty";
+    *done = true;
+    return Status::OK();
+  }
+
+  // Executor read overrides are keyed by relation *name* only. If a
+  // changed relation's name is read at more than one arity anywhere in
+  // the program, a name-keyed override would cross-wire the arities.
+  {
+    std::unordered_map<TermId, uint32_t> read_arity;
+    std::unordered_set<TermId> overloaded;
+    auto note = [&](const IvmRule::Pos& pos) {
+      auto [it, inserted] = read_arity.emplace(pos.rel, pos.arity);
+      if (!inserted && it->second != pos.arity) overloaded.insert(pos.rel);
+    };
+    for (const IvmRule& ir : ivm_rules_) {
+      for (const IvmRule::Pos& pos : ir.positions) note(pos);
+      for (const IvmRule::Pos& pos : ir.negations) note(pos);
+    }
+    for (const auto& [key, net] : ctx.changed) {
+      TermId name = static_cast<TermId>(key >> 32);
+      uint32_t arity = static_cast<uint32_t>(key);
+      auto it = read_arity.find(name);
+      if (overloaded.count(name) != 0 ||
+          (it != read_arity.end() && it->second != arity)) {
+        info->fallback = "arity-overload";
+        return Status::OK();
+      }
+    }
+  }
+
+  // Possibly-affected predicates, by topological propagation from the
+  // changed EDB keys (memo nets materialize later, but any pred they could
+  // reach is already downstream of a changed key here).
+  std::vector<bool> affected(program_.preds.size(), false);
+  for (const std::vector<int>& sccp : program_.scc_order) {
+    bool any = false;
+    for (int p : sccp) {
+      for (int r : program_.preds[static_cast<size_t>(p)].rules) {
+        const IvmRule& ir = ivm_rules_[static_cast<size_t>(r)];
+        auto touches = [&](const IvmRule::Pos& pos) {
+          if (pos.nail_pred >= 0 &&
+              affected[static_cast<size_t>(pos.nail_pred)]) {
+            return true;
+          }
+          IvmCtx::Net* net = ctx.Find(RelKey(pos.rel, pos.arity));
+          return net != nullptr && net->rows() > 0;
+        };
+        for (const IvmRule::Pos& pos : ir.positions) {
+          if (touches(pos)) affected[static_cast<size_t>(p)] = true;
+        }
+        for (const IvmRule::Pos& pos : ir.negations) {
+          if (touches(pos)) affected[static_cast<size_t>(p)] = true;
+        }
+      }
+      any = any || affected[static_cast<size_t>(p)];
+    }
+    // Mutual recursion: one affected member affects the whole SCC.
+    if (any) {
+      for (int p : sccp) affected[static_cast<size_t>(p)] = true;
+    }
+  }
+
+  // Counting needs pre-delta derivation counts. Backfill them *up front* —
+  // before any memo is patched — so every count_plan run sees the old
+  // state: changed EDB relations through exact old-state copies, upstream
+  // memos as they stand (unpatched == old).
+  std::vector<int> backfill;
+  for (size_t p = 0; p < program_.preds.size(); ++p) {
+    const NailPred& pred = program_.preds[p];
+    if (!affected[p]) continue;
+    if (program_.scc_recursive[static_cast<size_t>(pred.scc)]) continue;
+    if (counts_.count(RelKey(pred.storage, pred.columns())) != 0) continue;
+    backfill.push_back(static_cast<int>(p));
+  }
+  if (!backfill.empty()) {
+    for (const auto& [key, net] : ctx.changed) {
+      TermId name = static_cast<TermId>(key >> 32);
+      uint32_t arity = static_cast<uint32_t>(key);
+      auto old = std::make_unique<Relation>("$ivm$old", arity);
+      Relation* live = edb_->Find(name, arity);
+      if (live != nullptr) old->CopyFrom(*live);
+      for (RowView t : net->inserted) old->Erase(t);
+      for (RowView t : net->erased) old->Insert(t);
+      ctx.old_state[key] = std::move(old);
+    }
+    for (int p : backfill) {
+      GLUENAIL_RETURN_NOT_OK(EnsureCounts(p, &ctx));
+    }
+  }
+
+  for (size_t s = 0; s < program_.scc_order.size(); ++s) {
+    const std::vector<int>& sccp = program_.scc_order[s];
+    bool live_affected = false;
+    for (int p : sccp) {
+      for (int r : program_.preds[static_cast<size_t>(p)].rules) {
+        const IvmRule& ir = ivm_rules_[static_cast<size_t>(r)];
+        for (const IvmRule::Pos& pos : ir.positions) {
+          IvmCtx::Net* net = ctx.Find(RelKey(pos.rel, pos.arity));
+          if (net != nullptr && net->rows() > 0) live_affected = true;
+        }
+        for (const IvmRule::Pos& pos : ir.negations) {
+          IvmCtx::Net* net = ctx.Find(RelKey(pos.rel, pos.arity));
+          if (net != nullptr && net->rows() > 0) {
+            // Negation is not monotone in the delta; neither algorithm
+            // handles a negated premise whose relation changed.
+            info->fallback = "negation-on-delta";
+            return Status::OK();
+          }
+        }
+      }
+    }
+    if (!live_affected) continue;
+    bool ok = false;
+    if (program_.scc_recursive[s]) {
+      GLUENAIL_RETURN_NOT_OK(RefreshSccDred(s, &ctx, &ok));
+    } else {
+      GLUENAIL_RETURN_NOT_OK(RefreshSccCounting(s, &ctx, &ok));
+    }
+    if (!ok) {
+      info->fallback = ctx.fallback.empty() ? "error" : ctx.fallback;
+      return Status::OK();
+    }
+  }
+
+  // Patch the published HiLog instances with the final memo nets.
+  for (const auto& [p, net] : ctx.publish) {
+    const NailPred& pred = program_.preds[static_cast<size_t>(p)];
+    TermId root = pool_->MakeSymbol(pred.root);
+    if (pred.params == 0) {
+      Relation* pub = idb_->GetOrCreate(root, pred.arity);
+      for (RowView t : net->erased) pub->Erase(t);
+      for (RowView t : net->inserted) pub->Insert(t);
+      continue;
+    }
+    for (RowView t : net->erased) {
+      std::vector<TermId> params(t.begin(), t.begin() + pred.params);
+      TermId name = pool_->MakeCompound(root, params);
+      Relation* pub = idb_->Find(name, pred.arity);
+      // An instance emptied by the erase stays behind as an empty
+      // relation; readers treat empty and missing alike.
+      if (pub != nullptr) pub->Erase(t.subspan(pred.params));
+    }
+    for (RowView t : net->inserted) {
+      std::vector<TermId> params(t.begin(), t.begin() + pred.params);
+      TermId name = pool_->MakeCompound(root, params);
+      idb_->GetOrCreate(name, pred.arity)->Insert(t.subspan(pred.params));
+    }
+  }
+
+  info->delta_rows_out = ctx.rows_out;
+  info->mode = ctx.used_counting && ctx.used_dred ? "counting+dred"
+               : ctx.used_dred                    ? "dred"
+               : ctx.used_counting                ? "counting"
+                                                  : "empty";
+  *done = true;
+  return Status::OK();
+}
+
+Status NailEngine::EnsureCounts(int p, IvmCtx* ctx) {
+  const NailPred& pred = program_.preds[static_cast<size_t>(p)];
+  auto& cnts = counts_[RelKey(pred.storage, pred.columns())];
+  cnts.clear();
+
+  ExecOptions opts = exec_->options();
+  opts.read_only_storage = true;
+  opts.writable_private_idb = false;
+  RuntimeEnv renv;
+  renv.nail = this;
+  Executor ex(exec_->program(), edb_, idb_, pool_, renv, opts);
+  std::unordered_map<TermId, Relation*> ov;
+  for (const auto& [key, old] : ctx->old_state) {
+    TermId name = static_cast<TermId>(key >> 32);
+    ex.AddReadOverride(name, old.get());
+    ov[name] = old.get();
+  }
+  for (int r : pred.rules) {
+    const IvmRule& ir = ivm_rules_[static_cast<size_t>(r)];
+    BuildIndexesFor(ir.count_plan, edb_, idb_, ov);
+    GLUENAIL_RETURN_NOT_OK(RunPlanHeads(
+        &ex, ir.count_plan, ir.head_cols.size(), pool_,
+        [&](Tuple t) { ++cnts[std::move(t)]; }));
+  }
+  return Status::OK();
+}
+
+Status NailEngine::RefreshSccCounting(size_t s, IvmCtx* ctx, bool* ok) {
+  *ok = false;
+  ScopedSpan span("nail:ivm-counting");
+  ctx->used_counting = true;
+
+  ExecOptions opts = exec_->options();
+  opts.read_only_storage = true;
+  opts.writable_private_idb = false;
+  RuntimeEnv renv;
+  renv.nail = this;
+  Executor ex(exec_->program(), edb_, idb_, pool_, renv, opts);
+  std::unordered_map<TermId, Relation*> ov;
+
+  for (int p : program_.scc_order[s]) {
+    const NailPred& pred = program_.preds[static_cast<size_t>(p)];
+    uint64_t skey = RelKey(pred.storage, pred.columns());
+    auto cit = counts_.find(skey);
+    if (cit == counts_.end()) {
+      ctx->fallback = "error";
+      return Status::OK();
+    }
+    auto& cnts = cit->second;
+    Relation* memo = idb_->GetOrCreate(pred.storage, pred.columns());
+
+    // Derivation-count delta for this pred across all its rules.
+    std::unordered_map<Tuple, int64_t, TupleHash> dc;
+    for (int r : pred.rules) {
+      const IvmRule& ir = ivm_rules_[static_cast<size_t>(r)];
+      std::vector<size_t> changed_pos;
+      for (size_t k = 0; k < ir.positions.size(); ++k) {
+        IvmCtx::Net* net =
+            ctx->Find(RelKey(ir.positions[k].rel, ir.positions[k].arity));
+        if (net != nullptr && net->rows() > 0) changed_pos.push_back(k);
+      }
+      if (changed_pos.empty()) continue;
+      if (changed_pos.size() > 1) {
+        // Counting is exact only when a single position changed (the
+        // others then read identical old and new states). Multi-position
+        // deltas would need staged old/new joins — fall back instead.
+        ctx->fallback = "counting-multi-delta";
+        return Status::OK();
+      }
+      size_t k = changed_pos[0];
+      const IvmRule::Pos& pos = ir.positions[k];
+      IvmCtx::Net* net = ctx->Find(RelKey(pos.rel, pos.arity));
+      const StatementPlan& plan = ir.delta_plans[k];
+      for (int side = 0; side < 2; ++side) {
+        Relation* drel = side == 0 ? &net->inserted : &net->erased;
+        int64_t sign = side == 0 ? 1 : -1;
+        if (drel->empty()) continue;
+        ex.AddReadOverride(pos.scope_name, drel);
+        ov[pos.scope_name] = drel;
+        BuildIndexesFor(plan, edb_, idb_, ov);
+        GLUENAIL_RETURN_NOT_OK(RunPlanHeads(
+            &ex, plan, ir.head_cols.size(), pool_,
+            [&](Tuple t) { dc[std::move(t)] += sign; }));
+      }
+    }
+
+    auto out = std::make_unique<IvmCtx::Net>(pred.columns());
+    for (auto& [t, d] : dc) {
+      if (d == 0) continue;
+      auto it = cnts.find(t);
+      int64_t c = it == cnts.end() ? 0 : it->second;
+      int64_t nc = c + d;
+      if (nc < 0) {
+        ctx->fallback = "count-mismatch";
+        return Status::OK();
+      }
+      if (nc == 0) {
+        cnts.erase(it);
+        if (!memo->Erase(t)) {
+          ctx->fallback = "count-mismatch";
+          return Status::OK();
+        }
+        out->erased.Insert(t);
+      } else {
+        if (it == cnts.end()) {
+          cnts.emplace(t, nc);
+        } else {
+          it->second = nc;
+        }
+        if (c == 0) {
+          if (!memo->Insert(t)) {
+            ctx->fallback = "count-mismatch";
+            return Status::OK();
+          }
+          out->inserted.Insert(t);
+        }
+      }
+    }
+    if (span.active()) span.AddRows(out->rows());
+    ctx->rows_out += out->rows();
+    if (out->rows() > 0) {
+      ctx->publish.emplace_back(p, out.get());
+      ctx->changed[skey] = std::move(out);
+    }
+  }
+  *ok = true;
+  return Status::OK();
+}
+
+Status NailEngine::RefreshSccDred(size_t s, IvmCtx* ctx, bool* ok) {
+  *ok = false;
+  ScopedSpan span("nail:ivm-dred");
+  ctx->used_dred = true;
+  const std::vector<int>& sccp = program_.scc_order[s];
+  std::unordered_set<int> internal(sccp.begin(), sccp.end());
+  auto is_internal = [&](const IvmRule::Pos& pos) {
+    return pos.nail_pred >= 0 && internal.count(pos.nail_pred) != 0;
+  };
+
+  // Deletion sets and per-round propagation deltas.
+  std::unordered_map<int, std::unique_ptr<Relation>> dset, ddelta, dnext;
+  for (int p : sccp) {
+    uint32_t cols = program_.preds[static_cast<size_t>(p)].columns();
+    dset[p] = std::make_unique<Relation>("$ivm$D", cols);
+    ddelta[p] = std::make_unique<Relation>("$ivm$Dd", cols);
+    dnext[p] = std::make_unique<Relation>("$ivm$Dn", cols);
+  }
+
+  ExecOptions bopts = exec_->options();
+  bopts.read_only_storage = true;
+  bopts.writable_private_idb = false;
+  RuntimeEnv renv;
+  renv.nail = this;
+
+  // ---- Phase 1: over-delete. Derivations lost to erased external rows,
+  // then propagated through the SCC. Non-delta reads of changed external
+  // relations go through live ∪ erased copies: a superset of the old
+  // state, so nothing deletable is missed (extra deletions rederive).
+  Executor del_exec(exec_->program(), edb_, idb_, pool_, renv, bopts);
+  std::unordered_map<TermId, Relation*> del_ov;
+  for (int p : sccp) {
+    for (int r : program_.preds[static_cast<size_t>(p)].rules) {
+      const IvmRule& ir = ivm_rules_[static_cast<size_t>(r)];
+      for (const IvmRule::Pos& pos : ir.positions) {
+        if (is_internal(pos)) continue;
+        uint64_t key = RelKey(pos.rel, pos.arity);
+        IvmCtx::Net* net = ctx->Find(key);
+        if (net == nullptr || net->erased.empty()) continue;
+        auto uit = ctx->unions.find(key);
+        if (uit == ctx->unions.end()) {
+          auto u = std::make_unique<Relation>("$ivm$old+", pos.arity);
+          Relation* live = pos.nail_pred >= 0
+                               ? idb_->Find(pos.rel, pos.arity)
+                               : edb_->Find(pos.rel, pos.arity);
+          if (live != nullptr) u->CopyFrom(*live);
+          u->UnionAll(net->erased);
+          uit = ctx->unions.emplace(key, std::move(u)).first;
+        }
+        del_exec.AddReadOverride(pos.rel, uit->second.get());
+        del_ov[pos.rel] = uit->second.get();
+      }
+    }
+  }
+  for (int p : sccp) {
+    const NailPred& pred = program_.preds[static_cast<size_t>(p)];
+    Relation* memo = idb_->GetOrCreate(pred.storage, pred.columns());
+    for (int r : pred.rules) {
+      const IvmRule& ir = ivm_rules_[static_cast<size_t>(r)];
+      for (size_t k = 0; k < ir.positions.size(); ++k) {
+        const IvmRule::Pos& pos = ir.positions[k];
+        if (is_internal(pos)) continue;
+        IvmCtx::Net* net = ctx->Find(RelKey(pos.rel, pos.arity));
+        if (net == nullptr || net->erased.empty()) continue;
+        del_exec.AddReadOverride(pos.scope_name, &net->erased);
+        del_ov[pos.scope_name] = &net->erased;
+        BuildIndexesFor(ir.delta_plans[k], edb_, idb_, del_ov);
+        GLUENAIL_RETURN_NOT_OK(RunPlanHeads(
+            &del_exec, ir.delta_plans[k], ir.head_cols.size(), pool_,
+            [&](Tuple t) {
+              if (memo->Contains(t) && dset[p]->Insert(t)) {
+                ddelta[p]->Insert(t);
+              }
+            }));
+      }
+    }
+  }
+  // Propagate deletions through internal positions. The memos stay
+  // unpatched throughout this phase, so non-delta internal reads see
+  // exactly the old state (deleted tuples included — textbook DRed).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int p : sccp) dnext[p]->Clear();
+    for (int p : sccp) {
+      const NailPred& pred = program_.preds[static_cast<size_t>(p)];
+      Relation* memo = idb_->GetOrCreate(pred.storage, pred.columns());
+      for (int r : pred.rules) {
+        const IvmRule& ir = ivm_rules_[static_cast<size_t>(r)];
+        for (size_t k = 0; k < ir.positions.size(); ++k) {
+          const IvmRule::Pos& pos = ir.positions[k];
+          if (!is_internal(pos)) continue;
+          Relation* cur = ddelta[pos.nail_pred].get();
+          if (cur->empty()) continue;
+          del_exec.AddReadOverride(pos.scope_name, cur);
+          del_ov[pos.scope_name] = cur;
+          BuildIndexesFor(ir.delta_plans[k], edb_, idb_, del_ov);
+          GLUENAIL_RETURN_NOT_OK(RunPlanHeads(
+              &del_exec, ir.delta_plans[k], ir.head_cols.size(), pool_,
+              [&](Tuple t) {
+                if (memo->Contains(t) && dset[p]->Insert(t)) {
+                  dnext[p]->Insert(t);
+                }
+              }));
+        }
+      }
+    }
+    for (int p : sccp) {
+      if (!dnext[p]->empty()) progress = true;
+      std::swap(ddelta[p], dnext[p]);
+    }
+  }
+
+  // ---- Phase 2: erase the over-deleted tuples, then rederive survivors
+  // through the deletion-set semi-join plans against the *deleted* memo
+  // state (plus the new EDB / patched upstream memos). A rederived tuple
+  // leaves the deletion set and re-enters the memo, enabling more
+  // rederivations, to fixpoint.
+  for (int p : sccp) {
+    const NailPred& pred = program_.preds[static_cast<size_t>(p)];
+    Relation* memo = idb_->GetOrCreate(pred.storage, pred.columns());
+    for (RowView t : *dset[p]) memo->Erase(t);
+  }
+  Executor red_exec(exec_->program(), edb_, idb_, pool_, renv, bopts);
+  std::unordered_map<TermId, Relation*> red_ov;
+  for (int p : sccp) {
+    red_exec.AddReadOverride(ivm_dset_names_[static_cast<size_t>(p)],
+                             dset[p].get());
+    red_ov[ivm_dset_names_[static_cast<size_t>(p)]] = dset[p].get();
+  }
+  bool rprogress = true;
+  while (rprogress) {
+    rprogress = false;
+    for (int p : sccp) {
+      if (dset[p]->empty()) continue;
+      const NailPred& pred = program_.preds[static_cast<size_t>(p)];
+      Relation* memo = idb_->GetOrCreate(pred.storage, pred.columns());
+      for (int r : pred.rules) {
+        if (dset[p]->empty()) break;
+        const IvmRule& ir = ivm_rules_[static_cast<size_t>(r)];
+        BuildIndexesFor(ir.rederive, edb_, idb_, red_ov);
+        std::vector<Tuple> found;
+        GLUENAIL_RETURN_NOT_OK(RunPlanHeads(
+            &red_exec, ir.rederive, ir.head_cols.size(), pool_,
+            [&](Tuple t) { found.push_back(std::move(t)); }));
+        for (Tuple& t : found) {
+          if (dset[p]->Erase(t)) {
+            memo->Insert(t);
+            rprogress = true;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Phase 3: insertions. Rows appended from here on are the
+  // candidate net inserts (rederived tuples re-entered the arena in phase
+  // 2, below these markers, and are not net changes).
+  std::unordered_map<int, uint32_t> marker;
+  for (int p : sccp) {
+    const NailPred& pred = program_.preds[static_cast<size_t>(p)];
+    marker[p] = idb_->GetOrCreate(pred.storage, pred.columns())->num_rows();
+    idb_->GetOrCreate(pred.delta_storage, pred.columns())->Clear();
+    idb_->GetOrCreate(pred.newdelta_storage, pred.columns())->Clear();
+  }
+  Executor ins_exec(exec_->program(), edb_, idb_, pool_, renv, bopts);
+  std::unordered_map<TermId, Relation*> ins_ov;
+  bool seeded = false;
+  for (int p : sccp) {
+    const NailPred& pred = program_.preds[static_cast<size_t>(p)];
+    Relation* memo = idb_->GetOrCreate(pred.storage, pred.columns());
+    Relation* delta = idb_->GetOrCreate(pred.delta_storage, pred.columns());
+    for (int r : pred.rules) {
+      const IvmRule& ir = ivm_rules_[static_cast<size_t>(r)];
+      for (size_t k = 0; k < ir.positions.size(); ++k) {
+        const IvmRule::Pos& pos = ir.positions[k];
+        if (is_internal(pos)) continue;
+        IvmCtx::Net* net = ctx->Find(RelKey(pos.rel, pos.arity));
+        if (net == nullptr || net->inserted.empty()) continue;
+        ins_exec.AddReadOverride(pos.scope_name, &net->inserted);
+        ins_ov[pos.scope_name] = &net->inserted;
+        BuildIndexesFor(ir.delta_plans[k], edb_, idb_, ins_ov);
+        GLUENAIL_RETURN_NOT_OK(RunPlanHeads(
+            &ins_exec, ir.delta_plans[k], ir.head_cols.size(), pool_,
+            [&](Tuple t) {
+              if (memo->Insert(t)) {
+                delta->Insert(t);
+                seeded = true;
+              }
+            }));
+      }
+    }
+  }
+  if (seeded) {
+    // The seeds feed the ordinary semi-naive engine — same fixpoint loop,
+    // same parallel partitioned path, as a full refresh.
+    GLUENAIL_RETURN_NOT_OK(RunSccFixpoint(s));
+  }
+
+  // ---- Net change: appended live rows are inserts; what remains of the
+  // deletion set is erased — unless phase 3 re-derived it (a wash).
+  for (int p : sccp) {
+    const NailPred& pred = program_.preds[static_cast<size_t>(p)];
+    Relation* memo = idb_->GetOrCreate(pred.storage, pred.columns());
+    auto out = std::make_unique<IvmCtx::Net>(pred.columns());
+    std::vector<uint32_t> newrows;
+    memo->CollectLiveRows(marker[p], memo->num_rows(), &newrows);
+    for (uint32_t rid : newrows) {
+      RowView t = memo->row(rid);
+      if (dset[p]->Erase(t)) continue;
+      out->inserted.Insert(t);
+    }
+    for (RowView t : *dset[p]) out->erased.Insert(t);
+    if (span.active()) span.AddRows(out->rows());
+    ctx->rows_out += out->rows();
+    if (out->rows() > 0) {
+      uint64_t skey = RelKey(pred.storage, pred.columns());
+      ctx->publish.emplace_back(p, out.get());
+      ctx->changed[skey] = std::move(out);
+    }
+  }
+  *ok = true;
+  return Status::OK();
+}
+
+}  // namespace gluenail

@@ -140,6 +140,71 @@ Status NailEngine::Refresh() {
     return Status::Internal("NailEngine has no executor wired");
   }
   ScopedSpan refresh_span("nail:refresh");
+
+  // ---- Delta maintenance first (docs/ARCHITECTURE.md, "Incremental
+  // view maintenance"): when the captured delta log covers exactly the
+  // span from the memoized snapshot to the live EDB, patch the memos
+  // with counting/DRed instead of recomputing from scratch.
+  NailRefreshInfo info;
+  bool ivm_enabled = ivm_mode_ != IvmMode::kOff && delta_log_ != nullptr;
+  // The naive mode is an ablation baseline — it must keep measuring the
+  // non-incremental cost.
+  bool ivm_wired =
+      ivm_enabled && mode_ != NailMode::kNaive && !scc_plans_.empty();
+  if (ivm_enabled && !ivm_wired) info.fallback = "mode";
+  if (ivm_wired) {
+    EdbVersion base{snapshot_.first, snapshot_.second};
+    EdbVersion live{now.first, now.second};
+    if (!valid_) {
+      // Invalidate() (Recover, LoadEdbFile, program reload) — the memo is
+      // untrusted regardless of what the log captured.
+      info.fallback = "invalidated";
+    } else if (!delta_log_->Covers(base, live)) {
+      // Some change bypassed capture (Mutate, ad-hoc updates, Clear…);
+      // relation versions are monotone so the watermark gives it away.
+      info.fallback = "stale-memo";
+    } else if (delta_log_->any_dropped()) {
+      info.fallback = "delta-dropped";
+    } else {
+      bool done = false;
+      evaluating_ = true;
+      Status ist;
+      try {
+        ist = RefreshIncremental(&info, &done);
+      } catch (const std::bad_alloc&) {
+        ist = Status::ResourceExhausted(
+            "allocation failed during NAIL! delta maintenance");
+        done = false;
+      }
+      evaluating_ = false;
+      if (ist.ok() && done) {
+        ++refresh_count_;
+        snapshot_ = now;
+        valid_ = true;
+        delta_log_->Rebase(live);
+        delta_refresh_count_.fetch_add(1, std::memory_order_relaxed);
+        ivm_rows_in_.fetch_add(info.delta_rows_in,
+                               std::memory_order_relaxed);
+        ivm_rows_out_.fetch_add(info.delta_rows_out,
+                                std::memory_order_relaxed);
+        info.seq = refresh_count_;
+        info.incremental = true;
+        {
+          std::lock_guard<std::mutex> lock(info_mu_);
+          last_refresh_ = info;
+        }
+        refresh_seq_.store(refresh_count_, std::memory_order_release);
+        return Status::OK();
+      }
+      // A partially applied delta refresh may have left memo storage
+      // inconsistent; distrust it so the full path rebuilds from scratch
+      // (errors on the incremental path are never fatal — the full
+      // recompute below is always a correct answer).
+      valid_ = false;
+      if (!ist.ok() && info.fallback.empty()) info.fallback = "error";
+    }
+  }
+
   evaluating_ = true;
   Status st = ClearIdb();
   if (st.ok()) {
@@ -172,6 +237,25 @@ Status NailEngine::Refresh() {
   // (impossible: refreshes run under the engine's writer lock).
   snapshot_ = EdbSnapshot();
   valid_ = true;
+  // The memo was rebuilt from scratch: derivation counts no longer match
+  // it (rebuilt lazily on the next counting refresh), and the delta log
+  // restarts against the fresh memo.
+  MarkCountsStale();
+  if (delta_log_ != nullptr) {
+    delta_log_->Rebase(EdbVersion{snapshot_.first, snapshot_.second});
+  }
+  full_refresh_count_.fetch_add(1, std::memory_order_relaxed);
+  if (ivm_enabled && !info.fallback.empty()) {
+    ivm_fallback_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  info.seq = refresh_count_;
+  info.incremental = false;
+  info.mode = "full";
+  {
+    std::lock_guard<std::mutex> lock(info_mu_);
+    last_refresh_ = info;
+  }
+  refresh_seq_.store(refresh_count_, std::memory_order_release);
   return Status::OK();
 }
 
@@ -184,56 +268,67 @@ Status NailEngine::RefreshDirect() {
       GLUENAIL_RETURN_NOT_OK(exec_->ExecuteStatementPlan(plan, &frame));
     }
     if (plans.iterate.empty()) continue;
-    const std::vector<int>& preds = program_.scc_order[s];
-    while (true) {
-      // One span per fixpoint iteration; rows carries the delta volume the
-      // iteration started from, so a trace shows convergence at a glance.
-      ScopedSpan iter_span("nail:iteration");
-      if (iter_span.active()) iter_span.AddRows(SccDeltaRows(preds));
-      ++iteration_count_;
-      // Guardrails once per fixpoint iteration: a cancelled or
-      // over-budget query aborts within one iteration.
-      GLUENAIL_RETURN_NOT_OK(exec_->CheckStorageBudgets());
-      // Replan the iterate bodies if the observed delta sizes drifted far
-      // from what they were costed against.
-      GLUENAIL_RETURN_NOT_OK(MaybeReplanScc(&plans, preds));
-      // Clear newdelta relations.
-      for (int p : preds) {
-        const NailPred& pred = program_.preds[static_cast<size_t>(p)];
-        idb_->GetOrCreate(pred.newdelta_storage, pred.columns())->Clear();
-      }
-      for (size_t i = 0; i < plans.iterate.size(); ++i) {
-        const StatementPlan& plan = plans.iterate[i];
-        const IterInfo& info = plans.iterate_info[i];
-        Relation* delta = nullptr;
-        if (num_threads_ > 1 && info.parallel_ok) {
-          delta = idb_->Find(info.delta_name, info.delta_arity);
-        }
-        // Partitioning pays off only when the delta can feed every worker;
-        // tiny deltas (and all barrier statements) take the serial path.
-        if (delta != nullptr &&
-            delta->size() >= static_cast<size_t>(num_threads_)) {
-          GLUENAIL_RETURN_NOT_OK(ParallelIterate(plan, info, delta));
-        } else {
-          GLUENAIL_RETURN_NOT_OK(exec_->ExecuteStatementPlan(plan, &frame));
-        }
-      }
-      bool done = true;
-      for (int p : preds) {
-        const NailPred& pred = program_.preds[static_cast<size_t>(p)];
-        Relation* nd =
-            idb_->GetOrCreate(pred.newdelta_storage, pred.columns());
-        if (!nd->empty()) {
-          done = false;
-          // Shift: delta := newdelta.
-          idb_->GetOrCreate(pred.delta_storage, pred.columns())
-              ->CopyFrom(*nd);
-        } else {
-          idb_->GetOrCreate(pred.delta_storage, pred.columns())->Clear();
-        }
-      }
-      if (done) break;
+    GLUENAIL_RETURN_NOT_OK(RunSccFixpoint(s));
+  }
+  return Status::OK();
+}
+
+Status NailEngine::RunSccFixpoint(size_t s) {
+  // The caller seeds the SCC's delta relations: the init statements do it
+  // for a full refresh, the DRed rederive/insert phases for an
+  // incremental one. Either way the loop below is the same semi-naive
+  // engine — iterate plans over deltas, shift, repeat to fixpoint.
+  Frame frame(nullptr);
+  SccPlans& plans = scc_plans_[s];
+  const std::vector<int>& preds = program_.scc_order[s];
+  while (true) {
+    // One span per fixpoint iteration; rows carries the delta volume the
+    // iteration started from, so a trace shows convergence at a glance.
+    ScopedSpan iter_span("nail:iteration");
+    if (iter_span.active()) iter_span.AddRows(SccDeltaRows(preds));
+    ++iteration_count_;
+    // Guardrails once per fixpoint iteration: a cancelled or
+    // over-budget query aborts within one iteration.
+    GLUENAIL_RETURN_NOT_OK(exec_->CheckStorageBudgets());
+    // Replan the iterate bodies if the observed delta sizes drifted far
+    // from what they were costed against.
+    GLUENAIL_RETURN_NOT_OK(MaybeReplanScc(&plans, preds));
+    // Clear newdelta relations.
+    for (int p : preds) {
+      const NailPred& pred = program_.preds[static_cast<size_t>(p)];
+      idb_->GetOrCreate(pred.newdelta_storage, pred.columns())->Clear();
     }
+    for (size_t i = 0; i < plans.iterate.size(); ++i) {
+      const StatementPlan& plan = plans.iterate[i];
+      const IterInfo& info = plans.iterate_info[i];
+      Relation* delta = nullptr;
+      if (num_threads_ > 1 && info.parallel_ok) {
+        delta = idb_->Find(info.delta_name, info.delta_arity);
+      }
+      // Partitioning pays off only when the delta can feed every worker;
+      // tiny deltas (and all barrier statements) take the serial path.
+      if (delta != nullptr &&
+          delta->size() >= static_cast<size_t>(num_threads_)) {
+        GLUENAIL_RETURN_NOT_OK(ParallelIterate(plan, info, delta));
+      } else {
+        GLUENAIL_RETURN_NOT_OK(exec_->ExecuteStatementPlan(plan, &frame));
+      }
+    }
+    bool done = true;
+    for (int p : preds) {
+      const NailPred& pred = program_.preds[static_cast<size_t>(p)];
+      Relation* nd =
+          idb_->GetOrCreate(pred.newdelta_storage, pred.columns());
+      if (!nd->empty()) {
+        done = false;
+        // Shift: delta := newdelta.
+        idb_->GetOrCreate(pred.delta_storage, pred.columns())
+            ->CopyFrom(*nd);
+      } else {
+        idb_->GetOrCreate(pred.delta_storage, pred.columns())->Clear();
+      }
+    }
+    if (done) break;
   }
   return Status::OK();
 }

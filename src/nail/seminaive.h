@@ -25,16 +25,47 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/exec/executor.h"
 #include "src/exec/worker_pool.h"
 #include "src/nail/rule_graph.h"
 #include "src/plan/planner.h"
+#include "src/storage/delta_log.h"
 
 namespace gluenail {
 
 enum class NailMode { kDirect, kCompiledGlue, kNaive };
+
+/// Incremental view maintenance policy (docs/ARCHITECTURE.md,
+/// "Incremental view maintenance").
+enum class IvmMode {
+  kOff,   ///< every stale memo is fully recomputed (the old behavior)
+  kAuto,  ///< delta refresh when a valid captured delta is small enough
+  kForce, ///< delta refresh whenever structurally possible (tests/benches)
+};
+
+/// How the last completed refresh ran, for EXPLAIN ANALYZE, the
+/// slow-query log, and trace consumers.
+struct NailRefreshInfo {
+  /// refresh_count() after this refresh; 0 = no refresh yet.
+  uint64_t seq = 0;
+  bool incremental = false;
+  /// "full" | "counting" | "dred" | "counting+dred" | "empty" (a delta
+  /// refresh whose net delta touched no memo).
+  std::string mode = "full";
+  /// Why a full recompute ran although IVM was enabled ("" otherwise):
+  /// "stale-memo", "invalidated", "delta-dropped", "delta-fraction",
+  /// "unsupported-rule", "negation-on-delta", "counting-multi-delta",
+  /// "count-mismatch", "arity-overload", "error", "mode".
+  std::string fallback;
+  /// EDB delta rows consumed / memo rows changed by a delta refresh.
+  uint64_t delta_rows_in = 0;
+  uint64_t delta_rows_out = 0;
+};
 
 class NailEngine : public NailEvaluator {
  public:
@@ -78,11 +109,24 @@ class NailEngine : public NailEvaluator {
   /// Forces recomputation on next demand.
   void Invalidate() { valid_ = false; }
 
+  /// Wires delta-driven maintenance: on staleness, when \p log covers
+  /// exactly the span between the memo's snapshot and the live EDB, the
+  /// refresh runs counting (non-recursive SCCs) / DRed (recursive SCCs)
+  /// against the captured deltas instead of recomputing from scratch.
+  /// Requires the direct plans (CompileDirect). \p log may outlive or be
+  /// null (null disables).
+  void ConfigureIvm(IvmMode mode, double max_delta_fraction, DeltaLog* log) {
+    ivm_mode_ = mode;
+    ivm_max_fraction_ = max_delta_fraction;
+    delta_log_ = log;
+  }
+  IvmMode ivm_mode() const { return ivm_mode_; }
+
   // NailEvaluator:
   Result<Relation*> EnsureNail(TermId storage_name, uint32_t arity) override;
   Status EnsureAllNail() override;
 
-  /// Number of full recomputations performed (for tests/benches).
+  /// Number of refreshes performed, full or delta (for tests/benches).
   uint64_t refresh_count() const { return refresh_count_; }
   /// Fixpoint iterations across refreshes (direct/naive modes).
   uint64_t iteration_count() const { return iteration_count_; }
@@ -96,12 +140,50 @@ class NailEngine : public NailEvaluator {
     return replan_count_.load(std::memory_order_relaxed);
   }
 
+  /// Refreshes served from captured deltas (counting/DRed) vs. full
+  /// recomputations, and fulls that ran *despite* a usable-looking delta
+  /// (dropped/oversized/structurally unsupported). Atomics: sampled by
+  /// metrics scrapes and query observability without the engine lock.
+  uint64_t delta_refresh_count() const {
+    return delta_refresh_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t full_refresh_count() const {
+    return full_refresh_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t ivm_fallback_count() const {
+    return ivm_fallback_count_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative EDB delta rows consumed / memo rows patched by delta
+  /// refreshes.
+  uint64_t ivm_delta_rows_in() const {
+    return ivm_rows_in_.load(std::memory_order_relaxed);
+  }
+  uint64_t ivm_delta_rows_out() const {
+    return ivm_rows_out_.load(std::memory_order_relaxed);
+  }
+  /// Monotone refresh sequence number (== refresh_count, atomic so query
+  /// observability can compare before/after without the engine lock).
+  uint64_t refresh_seq() const {
+    return refresh_seq_.load(std::memory_order_acquire);
+  }
+  /// Copy of the last refresh's outcome (internally mutexed — safe to
+  /// call while another thread holds the engine lock and refreshes).
+  NailRefreshInfo last_refresh() const {
+    std::lock_guard<std::mutex> lock(info_mu_);
+    return last_refresh_;
+  }
+
  private:
   Status Refresh();
   Status RefreshDirect();
   Status RefreshNaive();
   Status RefreshCompiled();
   Status Publish();
+  /// Runs SCC \p s's semi-naive fixpoint loop (deltas already seeded by
+  /// the caller: init statements for a full refresh, captured/derived
+  /// deltas for an incremental one). Shared by RefreshDirect and the
+  /// incremental DRed/insert-propagation phases.
+  Status RunSccFixpoint(size_t s);
   /// (relation count, sum of versions) over the EDB — monotone snapshot.
   std::pair<uint64_t, uint64_t> EdbSnapshot() const;
   Status ClearIdb();
@@ -167,6 +249,93 @@ class NailEngine : public NailEvaluator {
   int num_threads_ = 1;
   /// Lazily created when num_threads_ > 1 and a parallel batch runs.
   std::unique_ptr<WorkerPool> workers_;
+
+  // ---- Incremental view maintenance (src/nail/ivm.cc) ----------------
+
+  /// One rule compiled for delta maintenance: every wildcard renamed to a
+  /// fresh variable (so distinct matching tuples always yield distinct
+  /// binding records — exact derivation multiplicities), the flattened
+  /// head columns (HiLog params ++ args), and the full body variable list.
+  struct IvmRule {
+    int pred = -1;                   ///< index into program_.preds
+    std::vector<ast::Subgoal> body;  ///< wildcard-free copy
+    std::vector<ast::Term> head_cols;
+    std::vector<std::string> vars;  ///< all body variables, in order
+    /// A positive body atom over a NAIL! memo or EDB relation. Delta
+    /// variants rotate one of these to the front, redirected to the
+    /// reserved name `scope_name` (read-overridden to a delta relation at
+    /// run time). `nail_pred` >= 0 when the position reads a memo.
+    struct Pos {
+      size_t index = 0;
+      TermId rel = kNullTerm;
+      uint32_t arity = 0;
+      int nail_pred = -1;
+      TermId scope_name = kNullTerm;
+    };
+    std::vector<Pos> positions;
+    /// Negated atoms (rel/arity only), for the
+    /// negation-over-changed-relation fallback check.
+    std::vector<Pos> negations;
+    /// Per entry of `positions`: the body with that position first reading
+    /// its reserved name, planned with reordering off (delta-proportional
+    /// cost), under a synthetic all-vars head (head_cols ++ vars) run
+    /// body-only.
+    std::vector<StatementPlan> delta_plans;
+    /// Original body under the all-vars head — counting backfill
+    /// (EnsureCounts) runs it over full relations.
+    StatementPlan count_plan;
+    /// DRed rederivation: the per-pred deletion set prepended to the
+    /// original body (semi-join on the head variables), head = head_cols.
+    StatementPlan rederive;
+    bool ok = false;  ///< false => whole-program IVM fallback
+  };
+
+  /// Per-refresh working state (net change map, scratch executors, union
+  /// overrides); defined in ivm.cc.
+  struct IvmCtx;
+
+  Status EnsureIvmPlans();
+  /// Attempts a delta refresh; *done=true iff the memos now match the live
+  /// EDB and published instances are patched. On *done=false (structural
+  /// fallback recorded in info->fallback) the caller runs the full path.
+  Status RefreshIncremental(NailRefreshInfo* info, bool* done);
+  /// Counting maintenance for a non-recursive SCC / DRed for a recursive
+  /// one. Both record the SCC's own net memo delta in the ctx change map
+  /// for downstream SCCs. *ok=false requests whole-refresh fallback.
+  Status RefreshSccCounting(size_t s, IvmCtx* ctx, bool* ok);
+  Status RefreshSccDred(size_t s, IvmCtx* ctx, bool* ok);
+  /// Backfills derivation counts for non-recursive pred \p p by running
+  /// each rule's count_plan against the *pre-delta* EDB state (ctx carries
+  /// old-state overrides for changed relations).
+  Status EnsureCounts(int p, IvmCtx* ctx);
+  void MarkCountsStale() { counts_.clear(); }
+
+  IvmMode ivm_mode_ = IvmMode::kOff;
+  double ivm_max_fraction_ = 0.25;
+  DeltaLog* delta_log_ = nullptr;
+  bool ivm_plans_ready_ = false;
+  bool ivm_program_capable_ = false;
+  /// Parallel to program_.rules.
+  std::vector<IvmRule> ivm_rules_;
+  /// Reserved deletion-set names, parallel to program_.preds (the
+  /// rederive plans' first subgoal, read-overridden per refresh).
+  std::vector<TermId> ivm_dset_names_;
+  /// Derivation counts for non-recursive preds: storage-key ->
+  /// (memo row -> count). An entry's *presence* means the pred is
+  /// backfilled (possibly with an empty inner map). Cleared on any full
+  /// refresh (MarkCountsStale) and rebuilt lazily against pre-delta state.
+  std::unordered_map<uint64_t,
+                     std::unordered_map<Tuple, int64_t, TupleHash>>
+      counts_;
+
+  std::atomic<uint64_t> delta_refresh_count_{0};
+  std::atomic<uint64_t> full_refresh_count_{0};
+  std::atomic<uint64_t> ivm_fallback_count_{0};
+  std::atomic<uint64_t> ivm_rows_in_{0};
+  std::atomic<uint64_t> ivm_rows_out_{0};
+  std::atomic<uint64_t> refresh_seq_{0};
+  mutable std::mutex info_mu_;
+  NailRefreshInfo last_refresh_;
 };
 
 }  // namespace gluenail

@@ -50,6 +50,11 @@ std::string SlowQueryLog::Render() const {
     char secs[32];
     std::snprintf(secs, sizeof(secs), "%.6f", e.seconds);
     out += StrCat("-- ", secs, "s  replans=", e.replans, "  ", e.query, "\n");
+    if (!e.nail_refresh_mode.empty()) {
+      out += StrCat("   nail refresh ", e.nail_refresh_mode, "  delta_in=",
+                    e.nail_delta_rows_in, " delta_out=", e.nail_delta_rows_out,
+                    "\n");
+    }
     for (const auto& [name, dur_ns] : e.top_spans) {
       char ms[32];
       std::snprintf(ms, sizeof(ms), "%.3f",

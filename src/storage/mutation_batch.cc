@@ -73,7 +73,7 @@ std::string MutationBatch::RenderFact(const TermPool& pool, TermId name,
 }
 
 Result<MutationBatch::ApplyReport> MutationBatch::Apply(
-    Database* db, TermPool* pool) const {
+    Database* db, TermPool* pool, const ChangeObserver* observer) const {
   // Validate everything before touching the database: parse every fact and
   // pin down its (relation, tuple) shape first, so a bad op in the middle
   // of a batch cannot leave a half-applied prefix behind.
@@ -106,10 +106,16 @@ Result<MutationBatch::ApplyReport> MutationBatch::Apply(
   for (const Resolved& r : resolved) {
     uint32_t arity = static_cast<uint32_t>(r.row.size());
     if (r.kind == OpKind::kInsert) {
-      if (db->GetOrCreate(r.name, arity)->Insert(r.row)) ++report.inserted;
+      if (db->GetOrCreate(r.name, arity)->Insert(r.row)) {
+        ++report.inserted;
+        if (observer != nullptr) (*observer)(r.kind, r.name, arity, r.row);
+      }
     } else {
       Relation* rel = db->Find(r.name, arity);
-      if (rel != nullptr && rel->Erase(r.row)) ++report.erased;
+      if (rel != nullptr && rel->Erase(r.row)) {
+        ++report.erased;
+        if (observer != nullptr) (*observer)(r.kind, r.name, arity, r.row);
+      }
     }
     ++report.applied;
   }

@@ -30,6 +30,7 @@
 #define GLUENAIL_STORAGE_MUTATION_BATCH_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -81,9 +82,21 @@ class MutationBatch {
   size_t size() const { return ops_.size(); }
   void clear() { ops_.clear(); }
 
+  /// Observes each op that actually changed the database (a duplicate
+  /// insert or absent-tuple erase is not reported). The incremental view
+  /// maintenance layer hangs its delta capture here.
+  using ChangeObserver =
+      std::function<void(OpKind kind, TermId name, uint32_t arity,
+                         RowView row)>;
+
   /// Validates every op (parse + ground + shape), then applies them in
   /// order against \p db. All-or-nothing on validation failure.
-  Result<ApplyReport> Apply(Database* db, TermPool* pool) const;
+  Result<ApplyReport> Apply(Database* db, TermPool* pool) const {
+    return Apply(db, pool, nullptr);
+  }
+  /// Apply with a change observer (may be null).
+  Result<ApplyReport> Apply(Database* db, TermPool* pool,
+                            const ChangeObserver* observer) const;
 
   /// The validation half of Apply, without the apply: parses every op and
   /// checks its fact shape. The WAL calls this before appending a batch,

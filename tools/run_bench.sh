@@ -20,6 +20,11 @@
 #                                      # writers per durability level,
 #                                      # recovered state verified
 #                                      #   -> BENCH_wal.json
+#   tools/run_bench.sh bench_ivm       # incremental (counting/DRed) vs
+#                                      # full memo refresh over a 1M-tuple
+#                                      # closure, batch sizes 1/64/4096,
+#                                      # results verified identical
+#                                      #   -> BENCH_ivm.json
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"

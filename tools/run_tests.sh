@@ -18,6 +18,10 @@
 #            (crash-point sweeps, torn-tail/mid-log recovery, group
 #            commit); the same tests also run under asan and tsan via
 #            their labels
+#   ivm    — Debug build, runs only the ivm-labelled incremental view
+#            maintenance suite (counting/DRed differential checks,
+#            fallback guards, recovery invalidation); the same tests
+#            also run under asan and tsan via their labels
 #
 # Usage: tools/run_tests.sh [config ...]
 #   tools/run_tests.sh                # debug + asan + ubsan + tsan
@@ -81,8 +85,12 @@ run_config() {
       configure_and_build "$prefix-debug" -DCMAKE_BUILD_TYPE=Debug
       (cd "$prefix-debug" && ctest --output-on-failure -L wal -j)
       ;;
+    ivm)
+      configure_and_build "$prefix-debug" -DCMAKE_BUILD_TYPE=Debug
+      (cd "$prefix-debug" && ctest --output-on-failure -L ivm -j)
+      ;;
     *)
-      echo "error: unknown config '$config' (debug|asan|ubsan|tsan|fault|obs|server|vector|wal)" >&2
+      echo "error: unknown config '$config' (debug|asan|ubsan|tsan|fault|obs|server|vector|wal|ivm)" >&2
       exit 1
       ;;
   esac
