@@ -51,6 +51,8 @@ WireError WireErrorFromStatus(StatusCode code) {
       return WireError::kCancelled;
     case StatusCode::kResourceExhausted:
       return WireError::kResourceExhausted;
+    case StatusCode::kFailedPrecondition:
+      return WireError::kFailedPrecondition;
   }
   return WireError::kInternal;
 }
@@ -77,6 +79,8 @@ StatusCode StatusCodeFromWireError(uint8_t wire) {
       return StatusCode::kCancelled;
     case WireError::kResourceExhausted:
       return StatusCode::kResourceExhausted;
+    case WireError::kFailedPrecondition:
+      return StatusCode::kFailedPrecondition;
   }
   return StatusCode::kInternal;
 }
@@ -198,6 +202,9 @@ Response Session::Execute(const Command& cmd) {
     }
 
     case CommandKind::kMutate: {
+      if (engine_->replica()) {
+        return Response::Error(engine_->ReplicaWriteFence("mutate"));
+      }
       Response resp;
       if (!cmd.batch.empty()) {
         // The durable write path: when a WAL is configured the batch is

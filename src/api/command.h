@@ -69,6 +69,7 @@ enum class WireError : uint8_t {
   kNotFound = 7,
   kCancelled = 8,
   kResourceExhausted = 9,
+  kFailedPrecondition = 10,
 };
 
 WireError WireErrorFromStatus(StatusCode code);

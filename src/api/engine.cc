@@ -317,6 +317,36 @@ void Engine::RegisterBuiltinMetrics() {
         return GlobalRecoveryCounters().torn_bytes.load(
             std::memory_order_relaxed);
       });
+
+  // Replication (replica side; the primary's stream counters live in the
+  // server that owns the subscriber connections). The watermarks are
+  // atomics, so the pulls stay lock-free under DumpMetrics' shared lock.
+  if (options_.replica) {
+    m_repl_batches_ = metrics_.RegisterCounter(
+        "gluenail_repl_batches_applied_total",
+        "WAL batches shipped from the primary and applied");
+    m_repl_bootstraps_ = metrics_.RegisterCounter(
+        "gluenail_repl_snapshot_bootstraps_total",
+        "checkpoint-image bootstraps (requested LSN rotated away)");
+    metrics_.RegisterPullGauge(
+        "gluenail_repl_applied_lsn",
+        "highest primary LSN applied on this replica", [this] {
+          return static_cast<int64_t>(replica_applied_lsn());
+        });
+    metrics_.RegisterPullGauge(
+        "gluenail_repl_primary_durable_lsn",
+        "primary's durable LSN as of its last heartbeat", [this] {
+          return static_cast<int64_t>(replica_primary_lsn());
+        });
+    metrics_.RegisterPullGauge(
+        "gluenail_repl_lag", "primary durable LSN minus applied LSN",
+        [this] {
+          uint64_t primary = replica_primary_lsn();
+          uint64_t applied = replica_applied_lsn();
+          return static_cast<int64_t>(primary > applied ? primary - applied
+                                                        : 0);
+        });
+  }
 }
 
 std::string Engine::DumpMetrics(MetricsFormat format) const {
@@ -1031,6 +1061,7 @@ std::optional<RecoveryReport> Engine::last_recovery() const {
 
 Result<MutationBatch::ApplyReport> Engine::ApplyBatch(
     const MutationBatch& batch) {
+  if (options_.replica) return ReplicaWriteFence("ApplyBatch");
   if (batch.empty()) return MutationBatch::ApplyReport{};
   auto commit_failed = [this](Status s) -> Status {
     if (!s.ok() && m_wal_commit_failures_ != nullptr) {
@@ -1451,6 +1482,100 @@ Result<RecoveryReport> Engine::Recover() {
   }
   last_recovery_ = report;
   return report;
+}
+
+// --- Replication ---------------------------------------------------------
+
+Status Engine::ReplicaWriteFence(std::string_view op) const {
+  std::string msg =
+      StrCat(op, " refused: this engine is a read replica; apply "
+                 "mutations at the primary");
+  if (!options_.primary_hint.empty()) {
+    msg = StrCat(msg, " (", options_.primary_hint, ")");
+  }
+  return Status::FailedPrecondition(std::move(msg));
+}
+
+Status Engine::ApplyReplicatedBatch(uint64_t lsn,
+                                    const MutationBatch& batch) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  if (!options_.replica) {
+    return Status::InvalidArgument(
+        "ApplyReplicatedBatch on a non-replica engine");
+  }
+  const uint64_t applied =
+      repl_applied_lsn_.load(std::memory_order_relaxed);
+  if (lsn <= applied) {
+    return Status::InvalidArgument(
+        StrCat("replicated lsn ", lsn, " does not advance applied lsn ",
+               applied, "; stream out of order"));
+  }
+  GLUENAIL_RETURN_NOT_OK(batch.Validate(&pool_));
+  Result<MutationBatch::ApplyReport> report = ApplyBatchCapturedLocked(batch);
+  if (!report.ok()) return report.status();
+  repl_applied_lsn_.store(lsn, std::memory_order_release);
+  if (m_repl_batches_ != nullptr) m_repl_batches_->Add();
+  return Status::OK();
+}
+
+Status Engine::ResetFromCheckpointImage(uint64_t covers_lsn,
+                                        std::string_view image) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  if (!options_.replica) {
+    return Status::InvalidArgument(
+        "ResetFromCheckpointImage on a non-replica engine");
+  }
+  const long live = snapshot_token_.use_count() - 1;
+  if (live > 0) {
+    return Status::InvalidArgument(
+        StrCat("cannot bootstrap while ", live,
+               " live snapshot(s) are outstanding; drop them first"));
+  }
+  // Validate into a scratch database first: the in-place clear below is
+  // destructive, so a torn or corrupt image must be rejected before it
+  // can take down the replica's current (stale but consistent) state.
+  // Interning into the engine's pool is harmless — pools are append-only.
+  Database staged(&pool_);
+  std::istringstream in{std::string(image)};
+  GLUENAIL_RETURN_NOT_OK(
+      LoadDatabase(&staged, in).WithContext("checkpoint image"));
+  // Same in-place clear Recover uses, keeping relation versions monotone
+  // for cached memos and snapshots.
+  edb_.ForEach([](TermId, uint32_t, Relation* rel) { rel->Clear(); });
+  std::istringstream again{std::string(image)};
+  GLUENAIL_RETURN_NOT_OK(
+      LoadDatabase(&edb_, again).WithContext("checkpoint image"));
+  if (nail_engine_ != nullptr) nail_engine_->Invalidate();
+  ivm_log_.Invalidate();
+  repl_applied_lsn_.store(covers_lsn, std::memory_order_release);
+  if (m_repl_bootstraps_ != nullptr) m_repl_bootstraps_->Add();
+  return Status::OK();
+}
+
+Result<Engine::CheckpointImage> Engine::ReadCheckpointImage() const {
+  // Shared lock: CheckpointLocked saves the image and rotates the log
+  // under the exclusive lock, so (file bytes, wal start_lsn) read here are
+  // one consistent pair.
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no WAL open; a primary needs durability on to ship snapshots");
+  }
+  CheckpointImage img;
+  img.covers_lsn = wal_->start_lsn() - 1;
+  std::ifstream in(checkpoint_path(), std::ios::binary);
+  if (!in) {
+    return Status::IoError(
+        StrCat("cannot open checkpoint '", checkpoint_path(), "'"));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return Status::IoError(
+        StrCat("error reading checkpoint '", checkpoint_path(), "'"));
+  }
+  img.bytes = std::move(buf).str();
+  return img;
 }
 
 }  // namespace gluenail

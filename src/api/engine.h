@@ -271,6 +271,54 @@ class Engine {
   std::string checkpoint_path() const;
   std::string wal_path() const;
 
+  // --- Replication (EngineOptions::replica; src/server/replication.h) ----
+
+  /// True when this engine is a read replica (EngineOptions::replica):
+  /// mutations are refused and state arrives via ApplyReplicatedBatch.
+  bool replica() const { return options_.replica; }
+  /// The kFailedPrecondition a replica answers mutations with, pointing
+  /// the client at the primary (EngineOptions::primary_hint).
+  Status ReplicaWriteFence(std::string_view op) const;
+
+  /// Applies one batch shipped from the primary's WAL (replica mode only;
+  /// bypasses the write fence). Runs the same apply/IVM-capture path as
+  /// ApplyBatch, then advances the replica's applied-LSN watermark to
+  /// \p lsn. Out-of-order or replayed LSNs are refused — the stream must
+  /// deliver the primary's durable prefix in order.
+  Status ApplyReplicatedBatch(uint64_t lsn, const MutationBatch& batch);
+
+  /// Replaces the EDB wholesale with a primary checkpoint image (snapshot
+  /// bootstrap: the replica's cursor was rotated out of the primary's
+  /// log). Refuses while live EngineSnapshots are outstanding, exactly
+  /// like Recover. The applied watermark becomes \p covers_lsn.
+  Status ResetFromCheckpointImage(uint64_t covers_lsn, std::string_view image);
+
+  /// Replica progress, readable from any thread: highest LSN applied
+  /// locally, and the primary's durable LSN as of its last heartbeat.
+  /// Their difference is the replication lag /healthz and the
+  /// gluenail_repl_* metrics report.
+  uint64_t replica_applied_lsn() const {
+    return repl_applied_lsn_.load(std::memory_order_acquire);
+  }
+  uint64_t replica_primary_lsn() const {
+    return repl_primary_lsn_.load(std::memory_order_acquire);
+  }
+  /// Records the primary's durable LSN from a heartbeat (replication
+  /// client only).
+  void set_replica_primary_lsn(uint64_t lsn) {
+    repl_primary_lsn_.store(lsn, std::memory_order_release);
+  }
+
+  /// Primary side: one consistent (checkpoint image, covered LSN) pair
+  /// for bootstrapping a subscriber whose requested LSN was rotated away.
+  /// The image is the checkpoint file's bytes; covers_lsn is the last LSN
+  /// folded into it (wal start_lsn - 1).
+  struct CheckpointImage {
+    uint64_t covers_lsn = 0;
+    std::string bytes;
+  };
+  Result<CheckpointImage> ReadCheckpointImage() const;
+
   /// Sorted contents of an EDB relation or NAIL! predicate instance.
   Result<std::vector<Tuple>> RelationContents(std::string_view name_term,
                                               uint32_t arity);
@@ -473,6 +521,12 @@ class Engine {
   std::shared_ptr<const int> snapshot_token_ = std::make_shared<int>(0);
   std::optional<RecoveryReport> last_recovery_;
 
+  // --- Replication -------------------------------------------------------
+  /// Replica progress watermarks. Atomics: the replication client writes
+  /// them, /healthz and the metric pull callbacks read them lock-free.
+  std::atomic<uint64_t> repl_applied_lsn_{0};
+  std::atomic<uint64_t> repl_primary_lsn_{0};
+
   // --- Observability -----------------------------------------------------
   MetricsRegistry metrics_;
   TraceRing trace_ring_;
@@ -489,6 +543,9 @@ class Engine {
   /// Batches made durable per fsync — the group-commit amortization,
   /// directly observable.
   Histogram* m_wal_group_size_ = nullptr;
+  /// Replica-mode handles (registered only when options_.replica).
+  Counter* m_repl_batches_ = nullptr;
+  Counter* m_repl_bootstraps_ = nullptr;
 };
 
 }  // namespace gluenail

@@ -98,6 +98,18 @@ struct EngineOptions {
   /// refuses, kSalvage keeps every record that checksums and rotates to a
   /// fresh log.
   RecoveryMode wal_recovery = RecoveryMode::kStrict;
+
+  // --- Replication (src/server/replication.h, docs/ARCHITECTURE.md
+  // "Replication") ---------------------------------------------------------
+  /// Run as a read replica: client mutations are refused with
+  /// kFailedPrecondition (apply them at the primary), and state arrives
+  /// instead as WAL batches shipped from the primary, applied through
+  /// Engine::ApplyReplicatedBatch — the same ApplyBatch/IVM path, so
+  /// NAIL! memos stay incrementally fresh on replicas too.
+  bool replica = false;
+  /// Where the refusal points the client ("host:port"); advisory text
+  /// only, set by --replicate-from.
+  std::string primary_hint;
 };
 
 }  // namespace gluenail

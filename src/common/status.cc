@@ -31,6 +31,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "cancelled";
     case StatusCode::kResourceExhausted:
       return "resource exhausted";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
   }
   return "unknown";
 }

@@ -44,6 +44,10 @@ enum class StatusCode : int {
   /// A resource budget was exceeded (tuple or arena-byte limit) or an
   /// allocation failed; evaluation aborted instead of exhausting memory.
   kResourceExhausted = 9,
+  /// The operation is valid in general but not against this endpoint in
+  /// its current state — e.g. a mutation sent to a read replica (retry it
+  /// at the primary), or replication asked of an engine with no WAL.
+  kFailedPrecondition = 10,
 };
 
 /// \brief Returns a stable lowercase name for a status code.
@@ -94,6 +98,9 @@ class [[nodiscard]] Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : rep_->code; }
@@ -112,6 +119,9 @@ class [[nodiscard]] Status {
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
   }
 
   /// "OK" or "<code>: <message>".

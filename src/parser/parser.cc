@@ -625,32 +625,52 @@ class Parser {
   }
 
   // --- Expressions ---------------------------------------------------------
+  //
+  // Binary operators parse by precedence climbing in one routine instead
+  // of a ParseAdd → ParseMul → ParseApplyChain cascade: a parenthesized
+  // sub-expression costs two or three stack frames per nesting level
+  // rather than six, so legitimate deep nesting (robustness_test goes
+  // 2000 levels) fits comfortably in a default thread stack, and the
+  // explicit depth guard turns adversarial nesting into a parse error
+  // instead of a blown stack.
 
-  Result<Term> ParseExpr() { return ParseAdd(); }
+  /// Deepest expression nesting accepted. At ~1–2 KiB of parser frames
+  /// per level (unoptimized build), this keeps the worst case a few MiB
+  /// under the common 8 MiB stack limit.
+  static constexpr int kMaxExprDepth = 3000;
 
-  Result<Term> ParseAdd() {
-    GLUENAIL_ASSIGN_OR_RETURN(Term left, ParseMul());
-    while (At(TokKind::kPlus) || At(TokKind::kMinus)) {
-      SourceLoc loc = Here();
-      const char* op = At(TokKind::kPlus) ? "+" : "-";
-      Next();
-      GLUENAIL_ASSIGN_OR_RETURN(Term right, ParseMul());
-      std::vector<Term> args;
-      args.push_back(std::move(left));
-      args.push_back(std::move(right));
-      left = Term::Apply(op, std::move(args), loc);
+  /// RAII depth guard for the mutually recursive expression routines.
+  struct DepthScope {
+    explicit DepthScope(int* depth) : depth(depth) { ++*depth; }
+    ~DepthScope() { --*depth; }
+    int* depth;
+  };
+
+  Result<Term> ParseExpr() { return ParseBinary(0); }
+
+  /// Operator precedence: 0 = none, 1 = +/-, 2 = * / mod.
+  int BinaryPrec() {
+    if (At(TokKind::kPlus) || At(TokKind::kMinus)) return 1;
+    if (At(TokKind::kStar) || At(TokKind::kSlash) || Cur().IsIdent("mod")) {
+      return 2;
     }
-    return left;
+    return 0;
   }
 
-  Result<Term> ParseMul() {
+  /// Parses a (left-associative) binary expression whose operators all
+  /// bind at least as tightly as \p min_prec.
+  Result<Term> ParseBinary(int min_prec) {
     GLUENAIL_ASSIGN_OR_RETURN(Term left, ParseUnary());
-    while (At(TokKind::kStar) || At(TokKind::kSlash) || Cur().IsIdent("mod")) {
+    for (int prec = BinaryPrec(); prec != 0 && prec >= min_prec;
+         prec = BinaryPrec()) {
       SourceLoc loc = Here();
-      const char* op =
-          At(TokKind::kStar) ? "*" : (At(TokKind::kSlash) ? "/" : "mod");
+      const char* op = At(TokKind::kPlus)    ? "+"
+                       : At(TokKind::kMinus) ? "-"
+                       : At(TokKind::kStar)  ? "*"
+                       : At(TokKind::kSlash) ? "/"
+                                             : "mod";
       Next();
-      GLUENAIL_ASSIGN_OR_RETURN(Term right, ParseUnary());
+      GLUENAIL_ASSIGN_OR_RETURN(Term right, ParseBinary(prec + 1));
       std::vector<Term> args;
       args.push_back(std::move(left));
       args.push_back(std::move(right));
@@ -659,7 +679,18 @@ class Parser {
     return left;
   }
 
+  /// unary-minus* primary ('(' args ')')*
+  ///
+  /// The depth guard lives here (and only here): every route deeper into
+  /// the expression grammar — a parenthesized sub-expression, a unary
+  /// minus, a binary right-hand side — passes through ParseUnary exactly
+  /// once per level, so expr_depth_ tracks the real nesting depth.
   Result<Term> ParseUnary() {
+    DepthScope scope(&expr_depth_);
+    if (expr_depth_ > kMaxExprDepth) {
+      return Error(StrCat("expression nesting exceeds ", kMaxExprDepth,
+                          " levels"));
+    }
     if (At(TokKind::kMinus)) {
       SourceLoc loc = Here();
       Next();
@@ -682,6 +713,9 @@ class Parser {
   }
 
   /// primary ('(' args ')')*
+  ///
+  /// Also called directly where the grammar wants an atom (negated /
+  /// delta subgoals, until-conditions) rather than a full expression.
   Result<Term> ParseApplyChain() {
     SourceLoc loc = Here();
     GLUENAIL_ASSIGN_OR_RETURN(Term t, ParsePrimary());
@@ -740,6 +774,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int expr_depth_ = 0;
 };
 
 Result<Parser> MakeParser(std::string_view src) {

@@ -17,9 +17,8 @@
 
 namespace gluenail {
 
-namespace {
+namespace internal {
 
-/// One dial attempt: resolve + connect; returns the connected fd.
 Result<int> DialOnce(const std::string& host, uint16_t port) {
   addrinfo hints{};
   hints.ai_family = AF_INET;
@@ -52,6 +51,10 @@ Result<int> DialOnce(const std::string& host, uint16_t port) {
   return fd;
 }
 
+}  // namespace internal
+
+namespace {
+
 uint64_t Xorshift64(uint64_t* state) {
   uint64_t x = *state;
   x ^= x << 13;
@@ -60,15 +63,38 @@ uint64_t Xorshift64(uint64_t* state) {
   return *state = x;
 }
 
+}  // namespace
+
+namespace internal {
+
+uint64_t SanitizeJitterSeed(uint64_t seed) {
+  if (seed == 0) {
+    // Zero is Xorshift64's fixed point: left there, every delay would use
+    // the same degenerate draw. Any nonzero constant restores a real
+    // sequence; the golden-ratio increment is the conventional choice.
+    return 0x9e3779b97f4a7c15ULL;
+  }
+  return seed;
+}
+
+uint64_t DeriveJitterSeed(uint64_t jitter_seed, std::string_view host,
+                          uint16_t port) {
+  if (jitter_seed != 0) return jitter_seed;
+  return SanitizeJitterSeed(Fnv1a64(host.data(), host.size()) ^ (port + 1));
+}
+
+}  // namespace internal
+
+namespace {
+
 /// Dials with the options' bounded backoff schedule.
 Result<int> DialWithRetry(const std::string& host, uint16_t port,
                           const ClientOptions& options) {
-  uint64_t rng = options.jitter_seed != 0
-                     ? options.jitter_seed
-                     : Fnv1a64(host.data(), host.size()) ^ (port + 1);
+  uint64_t rng =
+      internal::DeriveJitterSeed(options.jitter_seed, host, port);
   Status last;
   for (int attempt = 0;; ++attempt) {
-    Result<int> fd = DialOnce(host, port);
+    Result<int> fd = internal::DialOnce(host, port);
     if (fd.ok()) return fd;
     last = fd.status();
     if (attempt >= options.max_retries) break;
@@ -111,6 +137,7 @@ Result<Client> Client::Connect(const std::string& host, uint16_t port,
   client.host_ = host;
   client.port_ = port;
   client.options_ = options;
+  client.decoder_ = FrameDecoder(options.max_frame_payload);
   return client;
 }
 
@@ -120,7 +147,9 @@ Status Client::Reconnect() {
   }
   Close();
   GLUENAIL_ASSIGN_OR_RETURN(fd_, DialWithRetry(host_, port_, options_));
-  decoder_ = FrameDecoder();  // drop any half-received frame bytes
+  // Drop any half-received frame bytes, keeping the configured payload cap
+  // (a default-constructed decoder would silently shrink it back).
+  decoder_ = FrameDecoder(options_.max_frame_payload);
   return Status::OK();
 }
 

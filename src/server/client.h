@@ -33,7 +33,27 @@ struct ClientOptions {
   /// [0.5, 1.0] so a fleet of clients does not retry in lock-step).
   /// 0 derives a seed from host/port.
   uint64_t jitter_seed = 0;
+  /// Largest response payload this client accepts. Must be at least the
+  /// server's ServerOptions::max_frame_payload, or legal oversized
+  /// responses are rejected as corrupt frames.
+  size_t max_frame_payload = kDefaultMaxPayload;
 };
+
+namespace internal {
+/// One dial attempt (resolve + connect + TCP_NODELAY), no retries; returns
+/// the connected fd. Shared with the replication client
+/// (src/server/replication.h), which runs its own reconnect schedule.
+Result<int> DialOnce(const std::string& host, uint16_t port);
+/// Guards a candidate PRNG seed away from zero — zero is xorshift64's
+/// fixed point, and a stuck-at-zero PRNG would retry a whole fleet in
+/// lock-step with no jitter at all. Nonzero seeds pass through.
+uint64_t SanitizeJitterSeed(uint64_t seed);
+/// Seed derivation for DialWithRetry's jitter PRNG, exposed for tests: an
+/// explicit nonzero jitter_seed wins; otherwise the seed derives from
+/// host/port. Either way the result is sanitized, so it is never zero.
+uint64_t DeriveJitterSeed(uint64_t jitter_seed, std::string_view host,
+                          uint16_t port);
+}  // namespace internal
 
 class Client {
  public:

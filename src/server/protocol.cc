@@ -65,8 +65,8 @@ Result<std::optional<WireFrame>> FrameDecoder::Next() {
     return Status::InvalidArgument("frame: bad magic (stream desynced?)");
   }
   uint8_t type = static_cast<uint8_t>(h[4]);
-  if (type != static_cast<uint8_t>(FrameType::kCommand) &&
-      type != static_cast<uint8_t>(FrameType::kResponse)) {
+  if (type < static_cast<uint8_t>(FrameType::kCommand) ||
+      type > static_cast<uint8_t>(FrameType::kReplHeartbeat)) {
     return Status::InvalidArgument(StrCat("frame: unknown type ", type));
   }
   uint32_t len = ReadLE32(h + 5);

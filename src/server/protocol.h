@@ -42,6 +42,12 @@ namespace gluenail {
 enum class FrameType : uint8_t {
   kCommand = 1,
   kResponse = 2,
+  // Log-shipping replication (src/server/replication.h). A replica opens a
+  // plain protocol connection and sends one kReplSubscribe; the primary
+  // answers with a one-way stream of kReplRecord / kReplHeartbeat frames.
+  kReplSubscribe = 3,  ///< replica -> primary: {u8 version, u64 from_lsn}
+  kReplRecord = 4,     ///< primary -> replica: a batch record or snapshot
+  kReplHeartbeat = 5,  ///< primary -> replica: {u64 durable_lsn} keepalive
 };
 
 inline constexpr char kFrameMagic[4] = {'G', 'N', 'P', '1'};

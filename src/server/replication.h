@@ -1,0 +1,160 @@
+/// \file replication.h
+/// \brief Log-shipping replication: a primary streams its durable WAL to
+/// read replicas over the ordinary wire protocol.
+///
+/// Protocol (docs/PROTOCOL.md, "Replication"): a replica dials the
+/// primary's normal port and sends one kReplSubscribe frame
+/// ({u8 version, u64 from_lsn}). From then on the connection is a one-way
+/// stream from the primary:
+///
+///   * kReplRecord {u8 kind=0 (batch), u64 lsn, string batch_text} — one
+///     committed MutationBatch, in LSN order, durable on the primary;
+///   * kReplRecord {u8 kind=1 (snapshot), u64 covers_lsn, string image} —
+///     a whole checkpoint image, sent when the replica's from_lsn
+///     predates the primary's WAL (a checkpoint rotated the prefix away);
+///     the replica replaces its EDB and resumes from covers_lsn + 1;
+///   * kReplHeartbeat {u64 durable_lsn} — keepalive carrying the
+///     primary's durable watermark, so a caught-up replica still measures
+///     its lag.
+///
+/// Only *durable* (fsynced) records ship. A replica therefore never holds
+/// state the primary could lose in a crash: what the replica applied is
+/// always a prefix of what the primary acked. Mutations sent to a replica
+/// are refused with kFailedPrecondition — writes go to the primary.
+///
+/// The serving side lives in Server (a kReplSubscribe frame turns that
+/// connection's worker into a subscriber loop). This header has the
+/// payload codecs shared by both sides and the ReplicationClient a
+/// replica runs to tail a primary, reconnecting with backoff and resuming
+/// from its last applied LSN.
+
+#ifndef GLUENAIL_SERVER_REPLICATION_H_
+#define GLUENAIL_SERVER_REPLICATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "src/api/engine.h"
+#include "src/server/protocol.h"
+
+namespace gluenail {
+
+/// Bumped only for incompatible stream changes; a primary refuses
+/// subscriptions from versions it does not speak.
+inline constexpr uint8_t kReplProtocolVersion = 1;
+
+/// First byte of a kReplRecord payload.
+enum class ReplRecordKind : uint8_t {
+  kBatch = 0,     ///< {u64 lsn, string batch_text}
+  kSnapshot = 1,  ///< {u64 covers_lsn, string checkpoint_image}
+};
+
+// --- Payload codecs ------------------------------------------------------
+
+std::string EncodeReplSubscribe(uint64_t from_lsn);
+/// Validates the version byte; returns from_lsn.
+Result<uint64_t> DecodeReplSubscribe(std::string_view payload);
+
+std::string EncodeReplBatch(uint64_t lsn, std::string_view batch_text);
+std::string EncodeReplSnapshot(uint64_t covers_lsn, std::string_view image);
+
+/// One decoded kReplRecord. For kBatch, \p lsn is the record's LSN and
+/// \p body the MutationBatch text; for kSnapshot, \p lsn is covers_lsn
+/// and \p body the checkpoint image.
+struct ReplRecord {
+  ReplRecordKind kind = ReplRecordKind::kBatch;
+  uint64_t lsn = 0;
+  std::string body;
+};
+Result<ReplRecord> DecodeReplRecord(std::string_view payload);
+
+std::string EncodeReplHeartbeat(uint64_t durable_lsn);
+Result<uint64_t> DecodeReplHeartbeat(std::string_view payload);
+
+// --- Replica-side client -------------------------------------------------
+
+struct ReplicationClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Reconnect backoff after a dropped stream: doubles from
+  /// reconnect_initial up to reconnect_max, resetting whenever a
+  /// connection makes progress.
+  std::chrono::milliseconds reconnect_initial{50};
+  std::chrono::milliseconds reconnect_max{2000};
+  /// Frame cap for the inbound stream. Snapshot frames carry a whole
+  /// checkpoint image, so this defaults far above kDefaultMaxPayload.
+  size_t max_frame_payload = 512u << 20;
+};
+
+/// Tails a primary on a background thread and applies what arrives to a
+/// replica Engine (EngineOptions::replica must be set). Batches go
+/// through the engine's normal apply path, so NAIL! memos stay
+/// incrementally maintained; snapshots replace the EDB wholesale.
+///
+/// The stream position is the engine's replica_applied_lsn(): every
+/// (re)connection subscribes from applied + 1, so a dropped or torn
+/// stream re-ships from exactly after the last applied batch and the
+/// out-of-order guard in ApplyReplicatedBatch discards any overlap.
+class ReplicationClient {
+ public:
+  /// The engine must outlive the client.
+  ReplicationClient(Engine* engine, ReplicationClientOptions options);
+  ~ReplicationClient();
+  ReplicationClient(const ReplicationClient&) = delete;
+  ReplicationClient& operator=(const ReplicationClient&) = delete;
+
+  /// Validates the engine is a replica and spawns the tailing thread.
+  /// The primary being unreachable is not a Start() error — the thread
+  /// keeps dialing with backoff until Stop().
+  Status Start();
+
+  /// Stops tailing: interrupts any backoff sleep, shuts the stream
+  /// socket down, joins the thread. Idempotent; also run by the
+  /// destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Times a fresh stream was dialed after the first (i.e. recoveries).
+  uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+  uint64_t batches_applied() const {
+    return batches_applied_.load(std::memory_order_relaxed);
+  }
+  uint64_t snapshots_applied() const {
+    return snapshots_applied_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Run();
+  /// One connection lifetime: dial, subscribe, apply until the stream
+  /// breaks or Stop(). Returns why the stream ended. Sets *progressed
+  /// when at least one record was applied (resets the backoff schedule).
+  Status StreamOnce(bool* progressed);
+
+  Engine* engine_;
+  ReplicationClientOptions options_;
+  std::atomic<bool> running_{false};
+  /// Live stream socket, or -1; Stop() shutdown(2)s it to interrupt a
+  /// blocking recv on the tailing thread.
+  std::atomic<int> fd_{-1};
+  std::thread thread_;
+  /// Interruptible backoff sleep.
+  std::mutex mu_;
+  std::condition_variable cv_;
+
+  std::atomic<uint64_t> reconnects_{0};
+  std::atomic<uint64_t> batches_applied_{0};
+  std::atomic<uint64_t> snapshots_applied_{0};
+};
+
+}  // namespace gluenail
+
+#endif  // GLUENAIL_SERVER_REPLICATION_H_

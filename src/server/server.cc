@@ -4,12 +4,15 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "src/common/strings.h"
+#include "src/server/replication.h"
 
 namespace gluenail {
 
@@ -110,8 +113,19 @@ Status Server::Start() {
   m_live_ = reg.RegisterGauge("gluenail_server_connections_live",
                               "currently connected clients");
   m_rejected_ = reg.RegisterCounter(
-      "gluenail_server_rejected_connections",
+      "gluenail_server_rejected_connections_total",
       "connections turned away by max_connections admission control");
+  m_repl_subscribers_ = reg.RegisterGauge(
+      "gluenail_repl_subscribers", "replicas currently streaming the WAL");
+  m_repl_shipped_ =
+      reg.RegisterCounter("gluenail_repl_records_shipped_total",
+                          "WAL batch + snapshot records shipped to replicas");
+  m_repl_snapshots_ = reg.RegisterCounter(
+      "gluenail_repl_snapshots_shipped_total",
+      "checkpoint images shipped to replicas that fell behind the log");
+  m_repl_heartbeats_ =
+      reg.RegisterCounter("gluenail_repl_heartbeats_total",
+                          "heartbeat frames sent to caught-up replicas");
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   if (admin_fd_ >= 0) {
@@ -183,34 +197,52 @@ void Server::AcceptLoop() {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    ReapFinishedLocked();
-    if (options_.max_connections > 0 &&
-        conns_.size() >= static_cast<size_t>(options_.max_connections)) {
-      // Admission control: answer with a clean wire-level error (so the
-      // client sees *why* instead of a bare RST) and close. The rejected
-      // socket never gets a worker thread or a Session.
-      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
-      m_rejected_->Add(1);
-      SendAll(fd,
-              EncodeFrame(FrameType::kResponse,
-                          EncodeResponse(
-                              Response::Error(Status::ResourceExhausted(
-                                  StrCat("server at max_connections=",
-                                         options_.max_connections,
-                                         "; retry later"))),
-                              engine_->terms())));
+    bool reject = false;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      ReapFinishedLocked();
+      if (options_.max_connections > 0 &&
+          conns_.size() >= static_cast<size_t>(options_.max_connections)) {
+        reject = true;
+      } else {
+        connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+        m_connections_->Add(1);
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        Connection* raw = conn.get();
+        conn->worker = std::thread([this, raw] { ServeConnection(raw); });
+        conns_.push_back(std::move(conn));
+      }
+    }
+    if (!reject) continue;
+    // Admission control: answer with a clean wire-level error (so the
+    // client sees *why* instead of a bare RST) and close. The rejected
+    // socket never gets a worker thread or a Session — and the courtesy
+    // response is written on a throwaway thread, never on this one: a
+    // peer that fills its receive window and stops reading would
+    // otherwise park the accept loop inside send() (holding conns_mu_,
+    // pre-fix), wedging every future connection behind one bad client.
+    connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+    m_rejected_->Add(1);
+    std::string frame =
+        EncodeFrame(FrameType::kResponse,
+                    EncodeResponse(Response::Error(Status::ResourceExhausted(
+                                       StrCat("server at max_connections=",
+                                              options_.max_connections,
+                                              "; retry later"))),
+                                   engine_->terms()));
+    std::thread([fd, frame = std::move(frame),
+                 stall = options_.reject_send_stall_for_testing] {
+      // Best effort, time-bounded: the peer was told to go away; if it
+      // will not even read that, give up after 200ms.
+      timeval tv{};
+      tv.tv_usec = 200 * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+      if (stall) stall();
+      SendAll(fd, frame);
       ::shutdown(fd, SHUT_RDWR);
       ::close(fd);
-      continue;
-    }
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    m_connections_->Add(1);
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
-    Connection* raw = conn.get();
-    conn->worker = std::thread([this, raw] { ServeConnection(raw); });
-    conns_.push_back(std::move(conn));
+    }).detach();
   }
 }
 
@@ -244,6 +276,14 @@ void Server::ServeConnection(Connection* conn) {
         break;
       }
       if (!next->has_value()) break;  // need more bytes
+      if ((*next)->type == FrameType::kReplSubscribe) {
+        // The connection changes roles: from here on it is a one-way
+        // record stream driven by this worker until the replica hangs up
+        // or the server stops.
+        ServeReplicationSubscriber(conn, (*next)->payload);
+        alive = false;
+        break;
+      }
       Response response;
       if ((*next)->type != FrameType::kCommand) {
         protocol_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -275,6 +315,84 @@ void Server::ServeConnection(Connection* conn) {
   connections_live_.fetch_sub(1, std::memory_order_relaxed);
   m_live_->Add(-1);
   conn->done.store(true, std::memory_order_release);
+}
+
+void Server::ServeReplicationSubscriber(Connection* conn,
+                                        std::string_view subscribe_payload) {
+  Result<uint64_t> from = DecodeReplSubscribe(subscribe_payload);
+  Status refuse;
+  if (!from.ok()) {
+    refuse = from.status();
+  } else if (engine_->replica()) {
+    refuse = Status::FailedPrecondition(
+        "this server is itself a replica; subscribe to the primary");
+  } else if (engine_->wal() == nullptr) {
+    refuse = Status::FailedPrecondition(
+        "replication needs durability: this server has no WAL to ship");
+  }
+  if (!refuse.ok()) {
+    SendAll(conn->fd,
+            EncodeFrame(FrameType::kResponse,
+                        EncodeResponse(Response::Error(refuse),
+                                       engine_->terms())));
+    return;
+  }
+  // A replica that stops reading must not pin this worker past Stop():
+  // bound each send, and poll running_ between rounds.
+  timeval tv{};
+  tv.tv_sec = 1;
+  ::setsockopt(conn->fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  m_repl_subscribers_->Add(1);
+  const Wal* wal = engine_->wal();
+  uint64_t next_lsn = *from == 0 ? 1 : *from;
+  uint64_t last_heartbeat = UINT64_MAX;  // forces one initial heartbeat
+  bool ok = true;
+  while (ok && running_.load(std::memory_order_acquire)) {
+    Result<Wal::TailChunk> tail = wal->ReadRecordsFrom(next_lsn);
+    if (!tail.ok()) break;
+    if (next_lsn < tail->start_lsn) {
+      // The log was rotated past the replica's position; ship the
+      // checkpoint image the rotation folded that prefix into.
+      Result<Engine::CheckpointImage> img = engine_->ReadCheckpointImage();
+      if (!img.ok()) break;
+      if (!SendAll(conn->fd,
+                   EncodeFrame(FrameType::kReplRecord,
+                               EncodeReplSnapshot(img->covers_lsn,
+                                                  img->bytes)))) {
+        break;
+      }
+      m_repl_snapshots_->Add(1);
+      m_repl_shipped_->Add(1);
+      next_lsn = img->covers_lsn + 1;
+      continue;
+    }
+    bool progressed = false;
+    for (const Wal::TailRecord& rec : tail->records) {
+      if (!SendAll(conn->fd,
+                   EncodeFrame(FrameType::kReplRecord,
+                               EncodeReplBatch(rec.lsn, rec.payload)))) {
+        ok = false;
+        break;
+      }
+      m_repl_shipped_->Add(1);
+      next_lsn = rec.lsn + 1;
+      progressed = true;
+    }
+    if (!ok || progressed) continue;
+    // Caught up: tell the replica how far the primary's durable
+    // watermark is (it measures lag from this), then idle briefly.
+    if (tail->durable_lsn != last_heartbeat) {
+      if (!SendAll(conn->fd,
+                   EncodeFrame(FrameType::kReplHeartbeat,
+                               EncodeReplHeartbeat(tail->durable_lsn)))) {
+        break;
+      }
+      m_repl_heartbeats_->Add(1);
+      last_heartbeat = tail->durable_lsn;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  m_repl_subscribers_->Add(-1);
 }
 
 void Server::AdminLoop() {
@@ -324,7 +442,16 @@ void Server::ServeAdminConnection(int fd) {
   }
 
   if (path == "/healthz") {
-    SendAll(fd, HttpResponse(200, "OK", "text/plain", "ok\n"));
+    std::string body = "ok\n";
+    if (engine_->replica()) {
+      // Replication lag at a glance, curl-able without a metrics scrape.
+      const uint64_t applied = engine_->replica_applied_lsn();
+      const uint64_t primary = engine_->replica_primary_lsn();
+      body = StrCat("ok\nrole=replica\napplied_lsn=", applied,
+                    "\nprimary_durable_lsn=", primary, "\nlag=",
+                    primary > applied ? primary - applied : 0, "\n");
+    }
+    SendAll(fd, HttpResponse(200, "OK", "text/plain", body));
   } else if (path == "/metrics") {
     bool json = query.find("format=json") != std::string::npos;
     SendAll(fd, HttpResponse(

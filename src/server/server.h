@@ -29,6 +29,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -53,6 +54,12 @@ struct ServerOptions {
   /// answered with one kResourceExhausted response and closed, instead of
   /// spawning an unbounded thread per socket. 0 (the default) = unlimited.
   int max_connections = 0;
+  /// Test seam: runs at the point the rejection response is written to a
+  /// turned-away socket. A real peer that never reads can stall that send
+  /// indefinitely; tests install a blocking hook here to emulate one and
+  /// prove the accept loop keeps accepting regardless (the rejection is
+  /// sent off-thread, outside conns_mu_). Never set in production.
+  std::function<void()> reject_send_stall_for_testing;
 };
 
 class Server {
@@ -107,6 +114,11 @@ class Server {
   void AdminLoop();
   void ServeConnection(Connection* conn);
   void ServeAdminConnection(int fd);
+  /// Streams WAL records to a subscribed replica until it disconnects or
+  /// the server stops; runs on the connection's worker thread.
+  /// \p subscribe_payload is the raw kReplSubscribe frame payload.
+  void ServeReplicationSubscriber(Connection* conn,
+                                  std::string_view subscribe_payload);
   /// Joins finished workers; under conns_mu_.
   void ReapFinishedLocked();
 
@@ -136,6 +148,13 @@ class Server {
   Counter* m_proto_errors_ = nullptr;
   Gauge* m_live_ = nullptr;
   Counter* m_rejected_ = nullptr;
+  /// Primary-side replication metrics (gluenail_repl_*_shipped etc.),
+  /// registered in Start(); plain handles, never `this`-capturing pull
+  /// lambdas — the registry outlives the Server.
+  Gauge* m_repl_subscribers_ = nullptr;
+  Counter* m_repl_shipped_ = nullptr;
+  Counter* m_repl_snapshots_ = nullptr;
+  Counter* m_repl_heartbeats_ = nullptr;
 };
 
 }  // namespace gluenail

@@ -436,6 +436,32 @@ Status Wal::Rotate(uint64_t start_lsn) {
   return Status::OK();
 }
 
+Result<Wal::TailChunk> Wal::ReadRecordsFrom(uint64_t from_lsn) const {
+  // Holding mu_ for the whole read pins a consistent (file bytes,
+  // synced_offset_, durable_lsn_) triple against concurrent Append / Sync
+  // / Rotate. The read is page-cache traffic, comparable to the buffered
+  // writes Append already does under this mutex.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::InvalidArgument("wal is not open");
+  TailChunk chunk;
+  chunk.start_lsn = start_lsn_;
+  chunk.durable_lsn = durable_lsn_;
+  if (durable_lsn_ == 0 || from_lsn > durable_lsn_) return chunk;
+  std::string data;
+  GLUENAIL_RETURN_NOT_OK(ReadWholeFile(path_, &data));
+  // Only the synced prefix ships: a record past synced_offset_ is acked to
+  // nobody yet and a sync failure may roll it back, so a replica that
+  // applied it would hold state the primary can lose.
+  if (data.size() > synced_offset_) data.resize(synced_offset_);
+  GLUENAIL_ASSIGN_OR_RETURN(WalScanResult scan, ScanWalBuffer(data));
+  for (const WalScanRecord& rec : scan.records) {
+    if (rec.lsn < from_lsn || rec.lsn > durable_lsn_) continue;
+    chunk.records.push_back(
+        TailRecord{rec.lsn, std::string(rec.payload)});
+  }
+  return chunk;
+}
+
 uint64_t Wal::start_lsn() const {
   std::lock_guard<std::mutex> lock(mu_);
   return start_lsn_;

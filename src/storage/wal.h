@@ -184,6 +184,33 @@ class Wal {
   /// On failure the old log stays open and intact.
   Status Rotate(uint64_t start_lsn);
 
+  /// One record read back out of the log by ReadRecordsFrom; unlike
+  /// WalScanRecord the payload is owned, so it outlives the read.
+  struct TailRecord {
+    uint64_t lsn = 0;
+    std::string payload;
+  };
+
+  /// What one tail-follow poll observed: the log's current start LSN (so
+  /// the caller can detect that its cursor was rotated away and fall back
+  /// to a checkpoint bootstrap), the durable watermark, and every record
+  /// in [from_lsn, durable_lsn] still present in the log. Records the
+  /// log has appended but not yet synced are NOT returned — log shipping
+  /// must never hand a replica a record the primary could still lose.
+  struct TailChunk {
+    uint64_t start_lsn = 1;
+    uint64_t durable_lsn = 0;
+    std::vector<TailRecord> records;
+  };
+
+  /// Reads the durable records with LSN >= \p from_lsn back out of the
+  /// log (replication's tail-follow). If \p from_lsn predates start_lsn()
+  /// the returned records begin at start_lsn — the caller compares and
+  /// bootstraps from the checkpoint image covering the gap. Safe against
+  /// concurrent Append/Sync/Rotate; cost is one full read + scan of the
+  /// current log file, which checkpoint rotation keeps bounded.
+  Result<TailChunk> ReadRecordsFrom(uint64_t from_lsn) const;
+
   const std::string& path() const { return path_; }
   uint64_t start_lsn() const;
   /// LSN the next Append will return.

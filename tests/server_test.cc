@@ -10,6 +10,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <condition_variable>
+#include <cstring>
+#include <memory>
 #include <random>
 #include <thread>
 
@@ -33,6 +36,7 @@ constexpr StatusCode kAllCodes[] = {
     StatusCode::kIoError,      StatusCode::kInvalidArgument,
     StatusCode::kInternal,     StatusCode::kNotFound,
     StatusCode::kCancelled,    StatusCode::kResourceExhausted,
+    StatusCode::kFailedPrecondition,
 };
 
 TEST(WireErrorTest, RoundTripsEveryStatusCode) {
@@ -53,11 +57,14 @@ TEST(WireErrorTest, WireValuesAreFrozen) {
   EXPECT_EQ(static_cast<uint8_t>(
                 WireErrorFromStatus(StatusCode::kResourceExhausted)),
             9);
+  EXPECT_EQ(static_cast<uint8_t>(
+                WireErrorFromStatus(StatusCode::kFailedPrecondition)),
+            10);
 }
 
 TEST(WireErrorTest, UnknownBytesDecodeAsInternal) {
   EXPECT_EQ(StatusCodeFromWireError(200), StatusCode::kInternal);
-  EXPECT_EQ(StatusCodeFromWireError(10), StatusCode::kInternal);
+  EXPECT_EQ(StatusCodeFromWireError(11), StatusCode::kInternal);
 }
 
 // --- Framing -------------------------------------------------------------
@@ -764,8 +771,9 @@ TEST(AdmissionControlTest, MaxConnectionsRejectsWithWireError) {
   EXPECT_FALSE(resp->ok());
   EXPECT_EQ(resp->status.code(), StatusCode::kResourceExhausted);
   EXPECT_EQ(server.connections_rejected(), 1u);
-  EXPECT_NE(engine.DumpMetrics().find("gluenail_server_rejected_connections"),
-            std::string::npos);
+  EXPECT_NE(
+      engine.DumpMetrics().find("gluenail_server_rejected_connections_total"),
+      std::string::npos);
 
   // The slots still serve their owners.
   EXPECT_TRUE(c1->Ping().ok());
@@ -785,7 +793,107 @@ TEST(AdmissionControlTest, MaxConnectionsRejectsWithWireError) {
   EXPECT_TRUE(admitted);
 }
 
+// Regression: the rejection response used to be written on the accept
+// thread while holding conns_mu_. A rejected peer that never drains its
+// receive buffer could park that send forever, wedging every future
+// accept (and Stop()) behind one bad client. The stall hook emulates such
+// a peer; the server must keep admitting clients while it blocks.
+TEST(AdmissionControlTest, AcceptLoopSurvivesAPeerThatNeverReadsItsRejection) {
+  Engine engine;
+  ServerOptions opts;
+  opts.max_connections = 1;
+  struct Stall {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+  };
+  // shared_ptr: the hook runs on detached sender threads that can outlive
+  // this test body.
+  auto stall = std::make_shared<Stall>();
+  opts.reject_send_stall_for_testing = [stall] {
+    std::unique_lock<std::mutex> lock(stall->mu);
+    stall->cv.wait_for(lock, std::chrono::seconds(10),
+                       [&] { return stall->release; });
+  };
+  Server server(&engine, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<Client> holder = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(holder.ok());
+  ASSERT_TRUE(holder->Ping().ok());
+
+  // The rejected peer: connects, never reads. Its rejection send is now
+  // stalled inside the hook.
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  int bad = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(bad, 0);
+  ASSERT_EQ(connect(bad, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  for (int i = 0; i < 500 && server.connections_rejected() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GE(server.connections_rejected(), 1u);
+
+  // While that send is still stalled: free the slot and prove a fresh
+  // client is accepted and served. Raw socket + receive timeout, so a
+  // wedged server surfaces as a clean failure rather than a hang.
+  holder->Close();
+  bool admitted = false;
+  for (int attempt = 0; attempt < 20 && !admitted; ++attempt) {
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    timeval tv{};
+    tv.tv_usec = 100 * 1000;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      std::string ping =
+          EncodeFrame(FrameType::kCommand, EncodeCommand(Command::Ping()));
+      if (send(fd, ping.data(), ping.size(), MSG_NOSIGNAL) ==
+          static_cast<ssize_t>(ping.size())) {
+        char buf[512];
+        admitted = recv(fd, buf, sizeof(buf), 0) > 0;
+      }
+    }
+    close(fd);
+    if (!admitted) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(admitted) << "accept loop wedged behind a stalled rejection";
+
+  {
+    std::lock_guard<std::mutex> lock(stall->mu);
+    stall->release = true;
+  }
+  stall->cv.notify_all();
+  close(bad);
+  server.Stop();
+}
+
 // --- Client reconnect ----------------------------------------------------
+
+TEST(ClientJitterSeedTest, SeedDerivationIsGuardedAwayFromZero) {
+  // Nonzero candidates pass through; zero — xorshift64's fixed point,
+  // which would freeze the backoff jitter fleet-wide — is remapped.
+  EXPECT_EQ(internal::SanitizeJitterSeed(7), 7u);
+  EXPECT_NE(internal::SanitizeJitterSeed(0), 0u);
+
+  // An explicit seed wins verbatim.
+  EXPECT_EQ(internal::DeriveJitterSeed(42, "primary", 4000), 42u);
+
+  // Derived seeds follow the documented fold, sanitized.
+  for (const char* host : {"", "localhost", "primary", "10.0.0.1"}) {
+    for (uint16_t port : {uint16_t{0}, uint16_t{80}, uint16_t{65535}}) {
+      const uint64_t seed = internal::DeriveJitterSeed(0, host, port);
+      EXPECT_NE(seed, 0u) << host << ":" << port;
+      EXPECT_EQ(seed,
+                internal::SanitizeJitterSeed(
+                    Fnv1a64(host, std::strlen(host)) ^ (port + 1)))
+          << host << ":" << port;
+    }
+  }
+}
 
 TEST(ClientReconnectTest, ReconnectsToALiveServer) {
   Engine engine;
@@ -834,6 +942,44 @@ TEST(ClientReconnectTest, RetriesAreBoundedAgainstADeadServer) {
   Status s = live->Reconnect();
   ASSERT_FALSE(s.ok());
   EXPECT_NE(s.message().find("3 attempts"), std::string::npos);
+}
+
+TEST(ClientFrameCapTest, ConfiguredCapSurvivesConnectAndReconnect) {
+  Engine engine;
+  Server server(&engine, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  {
+    // Enough rows that the query response frame clears any small cap.
+    Session session = engine.OpenSession();
+    MutationBatch batch;
+    for (int i = 0; i < 200; ++i) batch.Insert(StrCat("wide(", i, ")"));
+    ASSERT_TRUE(session.Execute(Command::MutateBatch(std::move(batch))).ok());
+  }
+
+  // A client with a small configured cap refuses the oversized (but
+  // perfectly legal) response.
+  ClientOptions small;
+  small.max_frame_payload = 128;
+  Result<Client> capped = Client::Connect("127.0.0.1", server.port(), small);
+  ASSERT_TRUE(capped.ok()) << capped.status();
+  EXPECT_TRUE(capped->Ping().ok());  // small frames are fine
+  Result<WireResponse> r = capped->Execute(Command::Query("wide(X)"));
+  EXPECT_FALSE(r.ok());
+
+  // Reconnect() must keep the configured cap: it used to reset the
+  // decoder to the default, silently raising the bound the caller chose.
+  ASSERT_TRUE(capped->Reconnect().ok());
+  EXPECT_TRUE(capped->Ping().ok());
+  Result<WireResponse> r2 = capped->Execute(Command::Query("wide(X)"));
+  EXPECT_FALSE(r2.ok()) << "cap was lost across Reconnect()";
+
+  // The same response decodes fine under the default cap.
+  Result<Client> roomy = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(roomy.ok());
+  Result<WireResponse> full = roomy->Execute(Command::Query("wide(X)"));
+  ASSERT_TRUE(full.ok()) << full.status();
+  ASSERT_TRUE(full->ok()) << full->status;
+  EXPECT_EQ(full->rows.size(), 200u);
 }
 
 // --- HTTP admin surface --------------------------------------------------

@@ -23,6 +23,10 @@
 ///                                     sync immediately, absorb late
 ///                                     committers into the next group)
 ///   gluenail --salvage                recover past mid-log WAL corruption
+///   gluenail --replicate-from H:P     run as a read replica of the
+///                                     primary at host H, port P: tail
+///                                     its WAL, refuse mutations, serve
+///                                     queries (requires --serve)
 ///
 /// Everything the shell accepts is described under :help.
 /// `--serve` runs until SIGINT/SIGTERM, then shuts down gracefully:
@@ -42,6 +46,7 @@
 
 #include "src/api/engine.h"
 #include "src/api/repl.h"
+#include "src/server/replication.h"
 #include "src/server/server.h"
 
 namespace {
@@ -63,7 +68,8 @@ void OnSignal(int) {
 }
 
 int ServeForever(gluenail::Engine* engine, int port, int admin_port,
-                 int max_connections) {
+                 int max_connections, const std::string& primary_host,
+                 int primary_port) {
   if (pipe(g_signal_pipe) != 0) {
     std::cerr << "gluenail: pipe: " << std::strerror(errno) << "\n";
     return 1;
@@ -76,9 +82,21 @@ int ServeForever(gluenail::Engine* engine, int port, int admin_port,
   gluenail::Status s = server.Start();
   if (!s.ok()) return Fail(s);
 
+  gluenail::ReplicationClientOptions repl_opts;
+  repl_opts.host = primary_host;
+  repl_opts.port = static_cast<uint16_t>(primary_port);
+  gluenail::ReplicationClient replication(engine, repl_opts);
+  if (!primary_host.empty()) {
+    gluenail::Status rs = replication.Start();
+    if (!rs.ok()) return Fail(rs);
+  }
+
   std::cout << "gluenail: serving on port " << server.port();
   if (admin_port >= 0) {
     std::cout << " (admin http on " << server.admin_port() << ")";
+  }
+  if (!primary_host.empty()) {
+    std::cout << " as a replica of " << primary_host << ":" << primary_port;
   }
   std::cout << "\n";
 
@@ -95,6 +113,7 @@ int ServeForever(gluenail::Engine* engine, int port, int admin_port,
 
   std::cout << "gluenail: shutting down (draining "
             << server.connections_live() << " connection(s))\n";
+  replication.Stop();  // stop applying before the query surface drains
   server.Stop();
   std::cout << "gluenail: served " << server.commands_served()
             << " command(s) over " << server.connections_accepted()
@@ -116,6 +135,8 @@ int main(int argc, char** argv) {
   gluenail::EngineOptions eng_opts;
   bool durability_set = false;
   int max_connections = 0;
+  std::string primary_host;
+  int primary_port = -1;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -152,6 +173,22 @@ int main(int argc, char** argv) {
       eng_opts.wal_recovery = gluenail::RecoveryMode::kSalvage;
     } else if (arg == "--max-connections") {
       max_connections = std::atoi(next());
+    } else if (arg == "--replicate-from") {
+      std::string target = next();
+      size_t colon = target.rfind(':');
+      if (colon == std::string::npos || colon == 0) {
+        std::cerr << "gluenail: --replicate-from needs HOST:PORT\n";
+        return 2;
+      }
+      primary_host = target.substr(0, colon);
+      primary_port = std::atoi(target.c_str() + colon + 1);
+      if (primary_port <= 0 || primary_port > 65535) {
+        std::cerr << "gluenail: --replicate-from needs a port in "
+                     "[1, 65535]\n";
+        return 2;
+      }
+      eng_opts.replica = true;
+      eng_opts.primary_hint = target;
     } else if (arg == "--edb" || arg == "-e" || arg == "-q" ||
                arg == "--script" || arg == "--serve" ||
                arg == "--admin-port") {
@@ -164,6 +201,13 @@ int main(int argc, char** argv) {
   if (eng_opts.data_dir.empty() &&
       eng_opts.durability != gluenail::DurabilityLevel::kNone) {
     std::cerr << "gluenail: --durability needs --data DIR\n";
+    return 2;
+  }
+  if (eng_opts.replica && !eng_opts.data_dir.empty()) {
+    // A replica's state comes from the primary's stream, not its own
+    // log; mixing in local recovery would fork the two histories.
+    std::cerr << "gluenail: --replicate-from cannot be combined with "
+                 "--data\n";
     return 2;
   }
 
@@ -223,7 +267,7 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--data" || arg == "--durability" ||
                arg == "--fsync-interval-us" || arg == "--group-linger-us" ||
-               arg == "--max-connections") {
+               arg == "--max-connections" || arg == "--replicate-from") {
       next();  // consumed by the pre-pass
     } else if (arg == "--salvage") {
       // consumed by the pre-pass
@@ -234,7 +278,9 @@ int main(int argc, char** argv) {
                    "[--max-connections N] [program.gn ...] [--edb FILE]\n"
                    "       gluenail --data DIR [--durability "
                    "none|async|sync|group] [--fsync-interval-us N] "
-                   "[--group-linger-us N] [--salvage] ...\n";
+                   "[--group-linger-us N] [--salvage] ...\n"
+                   "       gluenail --serve PORT --replicate-from "
+                   "HOST:PORT [program.gn ...]\n";
       return 0;
     } else {
       std::ifstream f(arg);
@@ -267,10 +313,15 @@ int main(int argc, char** argv) {
   }
 
   if (serve_port >= 0) {
-    return ServeForever(&engine, serve_port, admin_port, max_connections);
+    return ServeForever(&engine, serve_port, admin_port, max_connections,
+                        primary_host, primary_port);
   }
   if (admin_port >= 0) {
     std::cerr << "gluenail: --admin-port requires --serve\n";
+    return 2;
+  }
+  if (eng_opts.replica) {
+    std::cerr << "gluenail: --replicate-from requires --serve\n";
     return 2;
   }
 

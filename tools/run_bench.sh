@@ -25,6 +25,11 @@
 #                                      # closure, batch sizes 1/64/4096,
 #                                      # results verified identical
 #                                      #   -> BENCH_ivm.json
+#   tools/run_bench.sh bench_repl      # read throughput on 1/2/4 WAL-
+#                                      # tailing replicas vs the write-
+#                                      # loaded primary, plus steady-
+#                                      # state replication lag
+#                                      #   -> BENCH_repl.json
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"

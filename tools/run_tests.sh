@@ -22,6 +22,10 @@
 #            maintenance suite (counting/DRed differential checks,
 #            fallback guards, recovery invalidation); the same tests
 #            also run under asan and tsan via their labels
+#   repl   — Debug build, runs only the repl-labelled log-shipping
+#            replication suite (codecs, convergence, snapshot
+#            bootstrap, torn streams, fault sweeps); the same tests
+#            also run under asan and tsan via their labels
 #
 # Usage: tools/run_tests.sh [config ...]
 #   tools/run_tests.sh                # debug + asan + ubsan + tsan
@@ -89,8 +93,12 @@ run_config() {
       configure_and_build "$prefix-debug" -DCMAKE_BUILD_TYPE=Debug
       (cd "$prefix-debug" && ctest --output-on-failure -L ivm -j)
       ;;
+    repl)
+      configure_and_build "$prefix-debug" -DCMAKE_BUILD_TYPE=Debug
+      (cd "$prefix-debug" && ctest --output-on-failure -L repl -j)
+      ;;
     *)
-      echo "error: unknown config '$config' (debug|asan|ubsan|tsan|fault|obs|server|vector|wal|ivm)" >&2
+      echo "error: unknown config '$config' (debug|asan|ubsan|tsan|fault|obs|server|vector|wal|ivm|repl)" >&2
       exit 1
       ;;
   esac
